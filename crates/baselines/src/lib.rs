@@ -1,0 +1,29 @@
+//! Baseline systems of the SpaceFusion evaluation.
+//!
+//! Every baseline runs on the same simulator and the same kernel
+//! machinery as SpaceFusion; what differs is *what it is allowed to fuse
+//! and how it picks block shapes* — exactly the axes Table 2 of the paper
+//! compares:
+//!
+//! * [`handtuned`] — manually-tuned library kernels as fixed-configuration
+//!   compilations: FlashAttention v1/v2 and the Triton port (expert block
+//!   sizes, no tuning), and the three fused LayerNorm flavours of Fig. 12
+//!   (PyTorch Op, NVIDIA Apex, LN-Triton).
+//! * [`engines`] — end-to-end inference engines as composition rules:
+//!   PyTorch eager (unfused), TensorRT (library composition), Kernl
+//!   (Triton attention/LN + eager GEMMs), BladeDISC/AStitch
+//!   (memory-intensive-only fusion), NNFusion/Welder (tile-graph fusion
+//!   without dependency transformation), and SpaceFusion itself.
+//!
+//! Architecture support matches the paper: FlashAttention's CUDA kernels
+//! do not run on Volta, NNFusion results exist only on Volta, and
+//! BladeDISC does not support Hopper.
+
+pub mod engines;
+pub mod handtuned;
+
+pub use engines::Engine;
+pub use handtuned::{
+    apex_layernorm, compile_fixed, flash_attention_triton, flash_attention_v1,
+    flash_attention_v2, pytorch_op_layernorm, triton_layernorm,
+};

@@ -1,0 +1,152 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`
+//! (beyond the paper's own Fig. 16(a) ablation):
+//!
+//! 1. **Streaming-variance rewrite** (extension): Fig. 10(c) LayerNorm vs
+//!    the `E[x²]−E[x]²` form that unlocks temporal slicing.
+//! 2. **Staging limit**: how the shared-memory staging threshold in the
+//!    memory-hierarchy scheduler affects fused MHA.
+//! 3. **Early-quit α**: tuner work saved vs schedule quality.
+//! 4. **Two-phase cost**: what output-spanning temporal slicing pays in
+//!    re-streamed reads (softmax standalone vs fused into attention).
+//!
+//! Usage: `ablation [--quick]`
+
+use sf_bench::{print_header, print_row, quick, REPLAY_INSTANCES};
+use sf_gpu_sim::Arch;
+use sf_models::subgraphs;
+use spacefusion::codegen::{estimate_cost, KernelProgram};
+use spacefusion::compiler::{Compiler, FusionPolicy};
+use spacefusion::rewrite::streaming_variance;
+use spacefusion::sched::{resource_aware_slicing, SlicingOptions};
+use spacefusion::smg::build_smg;
+use spacefusion::tune::tune;
+
+fn rewrite_ablation(q: bool) {
+    println!("== Ablation 1: streaming-variance rewrite on LayerNorm (Ampere) ==");
+    let sizes: Vec<usize> = if q { vec![4096] } else { vec![4096, 16384, 32768, 65536] };
+    print_header("N (rows=1024)", &sizes.iter().map(|s| format!("{}K", s / 1024)).collect::<Vec<_>>());
+    let arch = Arch::Ampere;
+    let mut base_row = Vec::new();
+    let mut rw_row = Vec::new();
+    let mut kernels_row = Vec::new();
+    for &n in &sizes {
+        let g = subgraphs::layernorm(1024, n);
+        let base = Compiler::with_policy(arch, FusionPolicy::SpaceFusion)
+            .compile(&g)
+            .expect("base compile");
+        let r = streaming_variance(&g).expect("pattern");
+        let rw = Compiler::with_policy(arch, FusionPolicy::SpaceFusion)
+            .compile(&r)
+            .expect("rewritten compile");
+        let tb = base.profile(REPLAY_INSTANCES).time_us;
+        let tr = rw.profile(REPLAY_INSTANCES).time_us;
+        base_row.push(tb);
+        rw_row.push(tr);
+        kernels_row.push(base.kernels.len() as f64);
+    }
+    print_row("baseline (Fig.10c) µs", &base_row);
+    print_row("streaming rewrite µs", &rw_row);
+    print_row("baseline kernel count", &kernels_row);
+    let gain: Vec<f64> = base_row.iter().zip(&rw_row).map(|(b, r)| b / r).collect();
+    print_row("rewrite speedup", &gain);
+    println!();
+}
+
+fn staging_ablation(q: bool) {
+    println!("== Ablation 2: shared-memory staging limit (MHA 32x1K, Ampere) ==");
+    let g = subgraphs::mha(if q { 4 } else { 32 }, 16, 1024, 64);
+    let smg = build_smg(&g).unwrap();
+    let arch = Arch::Ampere.config();
+    print_header(
+        "staging limit",
+        &["smem/16", "smem/8", "smem/4", "smem/2"].iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    // The staging limit is applied inside resource-aware slicing via the
+    // architecture; emulate the sweep by scaling the budget the slicer
+    // sees (the divisor is fixed at 4 internally).
+    let mut row = Vec::new();
+    for div in [16u64, 8, 4, 2] {
+        let mut a = arch.clone();
+        // Keep the real budget for feasibility but shift the staging
+        // threshold by scaling smem_per_block seen by assign_memory.
+        a.smem_per_block = arch.smem_per_block * 4 / div;
+        let schedules = resource_aware_slicing(&g, &smg, &a, &SlicingOptions::default())
+            .expect("slicing");
+        let kps: Vec<KernelProgram> = schedules
+            .into_iter()
+            .map(|s| KernelProgram::new("mha", g.clone(), s))
+            .collect();
+        let r = tune(&kps, &arch, g.instances as u64, 0.25);
+        row.push(r.best_us);
+    }
+    print_row("best est. µs", &row);
+    println!();
+}
+
+fn alpha_ablation(q: bool) {
+    println!("== Ablation 3: early-quit α (MHA 32x1K, Ampere) ==");
+    let g = subgraphs::mha(if q { 4 } else { 32 }, 16, 1024, 64);
+    let smg = build_smg(&g).unwrap();
+    let arch = Arch::Ampere.config();
+    let schedules =
+        resource_aware_slicing(&g, &smg, &arch, &SlicingOptions::default()).unwrap();
+    let kps: Vec<KernelProgram> = schedules
+        .into_iter()
+        .map(|s| KernelProgram::new("mha", g.clone(), s))
+        .collect();
+    println!(
+        "{:<8} {:>10} {:>10} {:>12}",
+        "alpha", "evaluated", "pruned", "best est. µs"
+    );
+    for alpha in [1.0f64, 0.5, 0.25, 0.1] {
+        let r = tune(&kps, &arch, g.instances as u64, alpha);
+        println!(
+            "{alpha:<8} {:>10} {:>10} {:>12.1}",
+            r.evaluated, r.pruned, r.best_us
+        );
+    }
+    println!("(the winner never changes; α only trades tuner work)\n");
+}
+
+fn two_phase_ablation(q: bool) {
+    println!("== Ablation 4: two-phase cost of output-spanning slicing (Ampere) ==");
+    let n = if q { 2048 } else { 8192 };
+    let arch = Arch::Ampere;
+    // The same softmax scheduled two ways at fixed 4-row blocks: flat
+    // (whole row on chip, one pass over the input) vs temporally sliced
+    // (tiny footprint, but output spans the sliced dim → phase 2 must
+    // re-stream the tiles).
+    let sm = subgraphs::softmax(1024, n);
+    let flat = sf_baselines::compile_fixed(arch, &sm, 4, None).expect("flat");
+    let sliced = sf_baselines::compile_fixed(arch, &sm, 4, Some(512)).expect("sliced");
+    let input_bytes: u64 = sm
+        .values()
+        .iter()
+        .filter(|v| matches!(v.kind, sf_ir::ValueKind::Input))
+        .map(|v| (v.shape.volume() * v.dtype.size_bytes()) as u64)
+        .sum();
+    for (label, p) in [("flat (row on chip)", &flat), ("temporal two-phase", &sliced)] {
+        let k = &p.kernels[0];
+        let cost = estimate_cost(k, p.instances as u64);
+        println!(
+            "  {label:<22} two-phase={:<5} smem {:>4} KiB  reads {:.1}x the input",
+            k.schedule
+                .temporal
+                .as_ref()
+                .map(|t| t.plan.two_phase)
+                .unwrap_or(false),
+            k.schedule.smem_per_block(&k.graph) >> 10,
+            cost.global_read_bytes as f64 / input_bytes.max(1) as f64,
+        );
+    }
+    println!("  (two-phase trades a 2x read amplification for an O(tile) footprint)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let q = quick(&args);
+    rewrite_ablation(q);
+    staging_ablation(q);
+    alpha_ablation(q);
+    two_phase_ablation(q);
+}

@@ -1,0 +1,88 @@
+//! Figure 11: fused MLP layer stacks and the fused LSTM cell.
+//!
+//! (a) Speedup of SpaceFusion over cuBLASLt (GEMM + epilogue fusion) as
+//!     the number of fused MLP layers grows from 2 to 20, per
+//!     architecture. Paper: max 3.15×, average 2.35×.
+//! (b) Speedup of cuBLASLt and SpaceFusion over cuBLAS (fully unfused,
+//!     5 kernels) for an LSTM cell at hidden sizes 128–1k. Paper: max
+//!     2.87×, average 2.29× for SpaceFusion.
+//!
+//! Usage: `fig11 [--part a|b] [--quick]`
+
+use sf_baselines::Engine;
+use sf_bench::{arg_value, engine_subgraph_us, geomean, library_unfused_us, print_header, print_row, quick};
+use sf_gpu_sim::Arch;
+use sf_models::subgraphs;
+
+fn part_a(quick: bool) {
+    println!("== Figure 11(a): fused MLP layers (speedup vs cuBLASLt) ==");
+    let layer_counts: Vec<usize> =
+        if quick { vec![2, 8, 20] } else { vec![2, 4, 6, 8, 10, 12, 14, 16, 18, 20] };
+    let (m, hidden) = (2048, 256); // the paper's fusable regime: N, K <= 256.
+    print_header(
+        "layers",
+        &layer_counts.iter().map(|l| l.to_string()).collect::<Vec<_>>(),
+    );
+    let mut all = Vec::new();
+    for arch in Arch::all() {
+        let mut row = Vec::new();
+        for &layers in &layer_counts {
+            let g = subgraphs::mlp_stack(layers, m, hidden);
+            let base = engine_subgraph_us(Engine::TensorRt, arch, &g)
+                .expect("cuBLASLt-like compile");
+            let sf = engine_subgraph_us(Engine::SpaceFusion, arch, &g).expect("sf compile");
+            row.push(base / sf);
+        }
+        all.extend(row.iter().copied());
+        print_row(&format!("{arch}"), &row);
+    }
+    println!(
+        "max speedup {:.2}x, geomean {:.2}x (paper: 3.15x max, 2.35x avg)\n",
+        all.iter().cloned().fold(0.0, f64::max),
+        geomean(&all)
+    );
+}
+
+fn part_b(quick: bool) {
+    println!("== Figure 11(b): fused LSTM cell (speedup vs cuBLAS) ==");
+    let hiddens: Vec<usize> = if quick { vec![128, 1024] } else { vec![128, 256, 512, 1024] };
+    let batch = 256;
+    print_header(
+        "hidden",
+        &hiddens.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    let mut sf_all = Vec::new();
+    for arch in Arch::all() {
+        let mut lt_row = Vec::new();
+        let mut sf_row = Vec::new();
+        for &h in &hiddens {
+            let g = subgraphs::lstm_cell(batch, h);
+            let cublas = library_unfused_us(arch, &g).expect("cuBLAS");
+            let cublaslt = engine_subgraph_us(Engine::TensorRt, arch, &g).expect("cuBLASLt");
+            let sf = engine_subgraph_us(Engine::SpaceFusion, arch, &g).expect("sf");
+            lt_row.push(cublas / cublaslt);
+            sf_row.push(cublas / sf);
+        }
+        sf_all.extend(sf_row.iter().copied());
+        print_row(&format!("{arch} cuBLASLt"), &lt_row);
+        print_row(&format!("{arch} SpaceFusion"), &sf_row);
+    }
+    println!(
+        "SpaceFusion max {:.2}x, geomean {:.2}x (paper: 2.87x max, 2.29x avg)",
+        sf_all.iter().cloned().fold(0.0, f64::max),
+        geomean(&sf_all)
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let q = quick(&args);
+    match arg_value(&args, "--part").as_deref() {
+        Some("a") => part_a(q),
+        Some("b") => part_b(q),
+        _ => {
+            part_a(q);
+            part_b(q);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 12: fused LayerNorm performance.
+//!
+//! Speedup over unfused PyTorch for PyTorch Op (fused CUDA), NVIDIA Apex,
+//! the Triton LayerNorm, and SpaceFusion, sweeping square inputs
+//! `M = N = 1K…16K` (Volta) / `1K…32K` (Ampere, Hopper). Paper: average
+//! 7.25× over PyTorch; up to 1.59×/2.46×/4.03× over PyTorch Op / Apex /
+//! LN-Triton.
+//!
+//! Usage: `fig12 [--quick]`
+
+use sf_baselines::{
+    apex_layernorm, pytorch_op_layernorm, triton_layernorm, Engine,
+};
+use sf_bench::{engine_subgraph_us, geomean, print_header, print_row, profiled_us, quick};
+use sf_gpu_sim::Arch;
+use sf_models::subgraphs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let q = quick(&args);
+    println!("== Figure 12: fused LayerNorm (speedup vs PyTorch) ==");
+    let mut sf_speedups = Vec::new();
+    for arch in Arch::all() {
+        let sizes: Vec<usize> = if q {
+            vec![1024, 4096]
+        } else if arch == Arch::Volta {
+            vec![1024, 2048, 4096, 8192, 16384]
+        } else {
+            vec![1024, 2048, 4096, 8192, 16384, 32768]
+        };
+        println!("-- {arch} --");
+        print_header("M=N", &sizes.iter().map(|s| format!("{}K", s / 1024)).collect::<Vec<_>>());
+        let mut rows: Vec<(&str, Vec<f64>)> = vec![
+            ("PyTorch Op", Vec::new()),
+            ("NVIDIA Apex", Vec::new()),
+            ("LN Triton", Vec::new()),
+            ("SpaceFusion", Vec::new()),
+        ];
+        for &n in &sizes {
+            let g = subgraphs::layernorm(n, n);
+            let py = engine_subgraph_us(Engine::PyTorch, arch, &g).expect("pytorch");
+            let op = profiled_us(&pytorch_op_layernorm(arch, &g).expect("op"));
+            let apex = profiled_us(&apex_layernorm(arch, &g).expect("apex"));
+            let triton = profiled_us(&triton_layernorm(arch, &g).expect("triton"));
+            let sf = engine_subgraph_us(Engine::SpaceFusion, arch, &g).expect("sf");
+            rows[0].1.push(py / op);
+            rows[1].1.push(py / apex);
+            rows[2].1.push(py / triton);
+            rows[3].1.push(py / sf);
+            sf_speedups.push(py / sf);
+        }
+        for (name, vals) in &rows {
+            print_row(name, vals);
+        }
+    }
+    println!(
+        "\nSpaceFusion vs PyTorch: geomean {:.2}x, max {:.2}x (paper: avg 7.25x)",
+        geomean(&sf_speedups),
+        sf_speedups.iter().cloned().fold(0.0, f64::max)
+    );
+}

@@ -1,0 +1,90 @@
+//! Figure 13: fused multi-head attention performance.
+//!
+//! Speedup over unfused PyTorch for FlashAttention-in-Triton,
+//! FlashAttention (CUDA), FlashAttention 2, and SpaceFusion, at batch
+//! sizes 1 and 32 and sequence lengths 64–1k (Volta) / 64–8k (Ampere,
+//! Hopper). FlashAttention's CUDA kernels are absent on Volta, as in the
+//! paper. Paper: max 10.35×, average 5.40× over the baseline; performance
+//! comparable to FlashAttention 2.
+//!
+//! Usage: `fig13 [--quick]`
+
+use sf_baselines::{
+    flash_attention_triton, flash_attention_v1, flash_attention_v2, Engine,
+};
+use sf_bench::{
+    arg_value, engine_subgraph_us, geomean, print_header, print_row, profiled_us, quick, Report,
+};
+use sf_gpu_sim::Arch;
+use sf_models::subgraphs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let q = quick(&args);
+    let csv_path = arg_value(&args, "--csv");
+    let mut report = Report::with_header(&["batch", "arch", "system", "seq", "speedup"]);
+    println!("== Figure 13: fused MHA (speedup vs PyTorch) ==");
+    let (heads, head_dim) = (16, 64);
+    let mut sf_speedups = Vec::new();
+    for batch in [1usize, 32] {
+        println!("\n-- batch size = {batch} --");
+        for arch in Arch::all() {
+            let seqs: Vec<usize> = if q {
+                vec![128, 1024]
+            } else if arch == Arch::Volta {
+                vec![64, 128, 256, 512, 1024]
+            } else {
+                vec![64, 128, 256, 512, 1024, 2048, 8192]
+            };
+            println!("{arch}:");
+            print_header("seq", &seqs.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+            let mut triton_row = Vec::new();
+            let mut fa_row: Vec<f64> = Vec::new();
+            let mut fa2_row: Vec<f64> = Vec::new();
+            let mut sf_row = Vec::new();
+            for &seq in &seqs {
+                let g = subgraphs::mha(batch, heads, seq, head_dim);
+                let py = engine_subgraph_us(Engine::PyTorch, arch, &g).expect("pytorch");
+                let tr = profiled_us(&flash_attention_triton(arch, &g).expect("fa triton"));
+                triton_row.push(py / tr);
+                if let Some(fa) = flash_attention_v1(arch, &g) {
+                    fa_row.push(py / profiled_us(&fa.expect("fa")));
+                }
+                if let Some(fa2) = flash_attention_v2(arch, &g) {
+                    fa2_row.push(py / profiled_us(&fa2.expect("fa2")));
+                }
+                let sf = engine_subgraph_us(Engine::SpaceFusion, arch, &g).expect("sf");
+                sf_row.push(py / sf);
+                sf_speedups.push(py / sf);
+            }
+            for (i, &seq) in seqs.iter().enumerate() {
+                report.row(
+                    &[&batch.to_string(), &arch.to_string(), "FA-Triton", &seq.to_string()],
+                    &[triton_row[i]],
+                );
+                report.row(
+                    &[&batch.to_string(), &arch.to_string(), "SpaceFusion", &seq.to_string()],
+                    &[sf_row[i]],
+                );
+            }
+            print_row("FlashAttn Triton", &triton_row);
+            if fa_row.is_empty() {
+                println!("{:<28} (not supported on Volta)", "FlashAttention");
+                println!("{:<28} (not supported on Volta)", "FlashAttention 2");
+            } else {
+                print_row("FlashAttention", &fa_row);
+                print_row("FlashAttention 2", &fa2_row);
+            }
+            print_row("SpaceFusion", &sf_row);
+        }
+    }
+    println!(
+        "\nSpaceFusion vs PyTorch: geomean {:.2}x, max {:.2}x (paper: avg 5.40x, max 10.35x)",
+        geomean(&sf_speedups),
+        sf_speedups.iter().cloned().fold(0.0, f64::max)
+    );
+    if let Some(path) = csv_path {
+        report.save(&path).expect("write csv");
+        println!("(series written to {path})");
+    }
+}

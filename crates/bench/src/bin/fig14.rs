@@ -1,0 +1,100 @@
+//! Figure 14: end-to-end Transformer inference.
+//!
+//! Speedup over Huggingface-on-PyTorch for SpaceFusion, TensorRT, Kernl,
+//! BladeDISC and NNFusion on Bert, Albert, T5, ViT and Llama2-7B, at
+//! batch sizes 1 and 32, on all three architectures. NNFusion appears on
+//! Volta only and BladeDISC not on Hopper, as in the paper. Paper:
+//! SpaceFusion max 8.79×, average 3.54× over PyTorch; avg 1.27× over
+//! TensorRT, 1.34× over Kernl, 2.27× over BladeDISC, 1.21× over
+//! NNFusion (Volta).
+//!
+//! Usage: `fig14 [--quick] [--seq N]`
+
+use sf_baselines::Engine;
+use sf_bench::{arg_value, engine_model_us, geomean, print_header, print_row, quick};
+use sf_gpu_sim::Arch;
+use sf_models::all_models;
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let q = quick(&args);
+    let seq: usize = arg_value(&args, "--seq")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if q { 128 } else { 512 });
+    println!("== Figure 14: end-to-end performance (speedup vs PyTorch, seq={seq}) ==");
+
+    let mut models = all_models();
+    if q {
+        for m in &mut models {
+            m.layers = 2;
+        }
+    }
+    let batches: Vec<usize> = if q { vec![1] } else { vec![1, 32] };
+    let engines = [
+        Engine::SpaceFusion,
+        Engine::TensorRt,
+        Engine::Kernl,
+        Engine::BladeDisc,
+        Engine::NnFusion,
+    ];
+
+    let mut sf_speedups = Vec::new();
+    // Per competitor: (sf speedup, competitor speedup) on the same point.
+    let mut pairs: HashMap<&'static str, Vec<(f64, f64)>> = HashMap::new();
+
+    for batch in &batches {
+        println!("\n-- batch size = {batch} --");
+        for arch in Arch::all() {
+            println!("{arch}:");
+            print_header(
+                "model",
+                &models.iter().map(|m| m.name.to_string()).collect::<Vec<_>>(),
+            );
+            let py_times: Vec<f64> = models
+                .iter()
+                .map(|m| engine_model_us(Engine::PyTorch, arch, m, *batch, seq).expect("py"))
+                .collect();
+            let sf_row: Vec<f64> = models
+                .iter()
+                .zip(&py_times)
+                .map(|(m, &py)| {
+                    py / engine_model_us(Engine::SpaceFusion, arch, m, *batch, seq)
+                        .expect("sf")
+                })
+                .collect();
+            sf_speedups.extend(sf_row.iter().copied());
+            print_row("SpaceFusion", &sf_row);
+            for e in engines.iter().skip(1) {
+                if !e.supports(arch) {
+                    println!("{:<28} (not supported on {arch})", e.name());
+                    continue;
+                }
+                let mut row = Vec::new();
+                for ((m, &py), &sf) in models.iter().zip(&py_times).zip(&sf_row) {
+                    let su = py / engine_model_us(*e, arch, m, *batch, seq).expect("engine");
+                    row.push(su);
+                    pairs.entry(e.name()).or_default().push((sf, su));
+                }
+                print_row(e.name(), &row);
+            }
+        }
+    }
+
+    println!(
+        "\nSpaceFusion vs PyTorch: geomean {:.2}x, max {:.2}x (paper: avg 3.54x, max 8.79x)",
+        geomean(&sf_speedups),
+        sf_speedups.iter().cloned().fold(0.0, f64::max)
+    );
+    for e in engines.iter().skip(1) {
+        if let Some(ps) = pairs.get(e.name()) {
+            let ratios: Vec<f64> = ps.iter().map(|(sf, other)| sf / other).collect();
+            println!(
+                "SpaceFusion vs {:<12} geomean {:.2}x, max {:.2}x",
+                e.name(),
+                geomean(&ratios),
+                ratios.iter().cloned().fold(0.0, f64::max)
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Figure 15: memory and cache analysis.
+//!
+//! L1 cache misses, L2 cache misses and device-memory data movement of
+//! the fused and unfused baselines, normalized to SpaceFusion (lower is
+//! better), for MLP(20,64), MLP(4,128), LN(4K), LN(32K), MHA(32,1K) and
+//! MHA(32,2K). The fused baselines are cuBLASLt for MLP, the PyTorch Op
+//! kernel for LN and FlashAttention for MHA, as in the paper. Paper:
+//! SpaceFusion achieves up to 83.0% fewer L1 misses, 94.1% fewer L2
+//! misses and 96.45% less data movement; LN gains more speedup per byte
+//! saved than MHA (memory- vs compute-intensity).
+//!
+//! Usage: `fig15 [--quick]`
+
+use sf_baselines::{flash_attention_v1, pytorch_op_layernorm, Engine};
+use spacefusion::compiler::{Compiler, FusionPolicy};
+use sf_bench::{print_header, print_row, quick, REPLAY_INSTANCES};
+use sf_gpu_sim::Arch;
+use sf_ir::Graph;
+use sf_models::subgraphs;
+use spacefusion::compiler::CompiledProgram;
+
+struct Case {
+    label: String,
+    graph: Graph,
+    fused_baseline: Box<dyn Fn(&Graph) -> CompiledProgram>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let q = quick(&args);
+    let arch = Arch::Ampere;
+    println!("== Figure 15: memory & cache analysis on {arch} (normalized to SpaceFusion, lower is better) ==");
+
+    let ln_big = if q { 8192 } else { 32768 };
+    let mha_big = if q { 1024 } else { 2048 };
+    let cases: Vec<Case> = vec![
+        Case {
+            label: "MLP(20,64)".into(),
+            graph: subgraphs::mlp_stack(20, 64, 256),
+            fused_baseline: Box::new(move |g| {
+                Engine::TensorRt.compile(arch, g).expect("cublaslt")
+            }),
+        },
+        Case {
+            label: "MLP(4,128)".into(),
+            graph: subgraphs::mlp_stack(4, 128, 256),
+            fused_baseline: Box::new(move |g| {
+                Engine::TensorRt.compile(arch, g).expect("cublaslt")
+            }),
+        },
+        Case {
+            label: "LN(4K)".into(),
+            graph: subgraphs::layernorm(4096, 4096),
+            fused_baseline: Box::new(move |g| pytorch_op_layernorm(arch, g).expect("ln op")),
+        },
+        Case {
+            label: format!("LN({}K)", ln_big / 1024),
+            graph: subgraphs::layernorm(ln_big, ln_big),
+            fused_baseline: Box::new(move |g| pytorch_op_layernorm(arch, g).expect("ln op")),
+        },
+        Case {
+            label: "MHA(32,1K)".into(),
+            graph: subgraphs::mha(32, 16, 1024, 64),
+            fused_baseline: Box::new(move |g| {
+                flash_attention_v1(arch, g).expect("supported").expect("fa")
+            }),
+        },
+        Case {
+            label: format!("MHA(32,{}K)", mha_big / 1024),
+            graph: subgraphs::mha(32, 16, mha_big, 64),
+            fused_baseline: Box::new(move |g| {
+                flash_attention_v1(arch, g).expect("supported").expect("fa")
+            }),
+        },
+    ];
+
+    print_header(
+        "metric / workload",
+        &cases.iter().map(|c| c.label.to_string()).collect::<Vec<_>>(),
+    );
+
+    let mut rows: Vec<(&str, Vec<f64>)> = vec![
+        ("L1 miss (fused base)", Vec::new()),
+        ("L1 miss (unfused)", Vec::new()),
+        ("L2 miss (fused base)", Vec::new()),
+        ("L2 miss (unfused)", Vec::new()),
+        ("data mv (fused base)", Vec::new()),
+        ("data mv (unfused)", Vec::new()),
+    ];
+    let mut sf_speedup_vs_unfused: Vec<(String, f64, f64)> = Vec::new();
+
+    for case in &cases {
+        let sf = Engine::SpaceFusion.compile(arch, &case.graph).expect("sf");
+        let fused = (case.fused_baseline)(&case.graph);
+        // MLP's unfused baseline is the manually-tuned cuBLAS sequence
+        // (bare launches); LN/MHA baselines are eager PyTorch, as in the
+        // paper.
+        let unfused = if case.label.starts_with("MLP") {
+            Compiler::with_policy(arch, FusionPolicy::Unfused)
+                .compile(&case.graph)
+                .expect("cublas")
+        } else {
+            Engine::PyTorch.compile(arch, &case.graph).expect("pytorch")
+        };
+
+        let r_sf = sf.profile(REPLAY_INSTANCES);
+        let r_fused = fused.profile(REPLAY_INSTANCES);
+        let r_un = unfused.profile(REPLAY_INSTANCES);
+
+        let norm = |x: u64, base: u64| x as f64 / base.max(1) as f64;
+        rows[0].1.push(norm(r_fused.stats.l1_misses, r_sf.stats.l1_misses));
+        rows[1].1.push(norm(r_un.stats.l1_misses, r_sf.stats.l1_misses));
+        rows[2].1.push(norm(r_fused.stats.l2_misses, r_sf.stats.l2_misses));
+        rows[3].1.push(norm(r_un.stats.l2_misses, r_sf.stats.l2_misses));
+        rows[4]
+            .1
+            .push(norm(r_fused.stats.dram_total_bytes(), r_sf.stats.dram_total_bytes()));
+        rows[5]
+            .1
+            .push(norm(r_un.stats.dram_total_bytes(), r_sf.stats.dram_total_bytes()));
+        sf_speedup_vs_unfused.push((
+            case.label.clone(),
+            r_un.time_us / r_sf.time_us,
+            r_un.stats.dram_total_bytes() as f64 / r_sf.stats.dram_total_bytes().max(1) as f64,
+        ));
+    }
+    for (name, vals) in &rows {
+        print_row(name, vals);
+    }
+
+    println!("\nspeedup vs data-movement reduction (unfused baseline):");
+    for (label, su, dm) in &sf_speedup_vs_unfused {
+        println!("  {label:<12} speedup {su:>6.2}x   data movement reduced {dm:>6.2}x");
+    }
+    println!("(paper: LN converts traffic savings into speedup more directly than MHA)");
+}

@@ -1,0 +1,190 @@
+//! Figure 16: ablation and sensitivity studies.
+//!
+//! (a) Ablation on Ampere: Base(SS) (spatial slicing only, expert-fixed
+//!     blocks), Base+AS (spatial + auto-scheduling), Base+TS (spatial +
+//!     temporal, expert-fixed), and full SpaceFusion, normalized to
+//!     SpaceFusion. Paper: Base(SS) ≥ 51%, Base+AS ≤ 79%,
+//!     Base+TS 72–89%.
+//! (b) Input-size sensitivity (small/medium/large prompts; image sizes
+//!     for ViT), normalized to the best per model. Paper: at batch 1
+//!     gains shrink with input size; at batch 32 they mostly grow.
+//! (c) Architecture sensitivity: SpaceFusion performance and speedup over
+//!     PyTorch across Volta/Ampere/Hopper, normalized to Volta. Paper:
+//!     perf ratio ≈ 1 : 2.26 : 4.34 at batch 32 (peak ratio 1:2.79:6.75).
+//!
+//! Usage: `fig16 [--part a|b|c] [--quick]`
+
+use sf_baselines::Engine;
+use sf_bench::{
+    arg_value, engine_model_us, options_model_us, print_header, print_row, quick,
+};
+use sf_gpu_sim::Arch;
+use sf_models::{all_models, vit_seq_for_image, TransformerConfig};
+use spacefusion::compiler::CompileOptions;
+use spacefusion::sched::SlicingOptions;
+
+fn models(q: bool) -> Vec<TransformerConfig> {
+    let mut ms = all_models();
+    if q {
+        for m in &mut ms {
+            m.layers = 1;
+        }
+        ms.truncate(2);
+    }
+    ms
+}
+
+fn ablation_variants() -> Vec<(&'static str, CompileOptions)> {
+    let base_ss = CompileOptions {
+        autotune: false,
+        slicing: SlicingOptions {
+            enable_temporal: false,
+            fixed_spatial_block: Some(64),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let base_as = CompileOptions {
+        autotune: true,
+        slicing: SlicingOptions { enable_temporal: false, ..Default::default() },
+        ..Default::default()
+    };
+    let base_ts = CompileOptions {
+        autotune: false,
+        slicing: SlicingOptions {
+            enable_temporal: true,
+            fixed_spatial_block: Some(64),
+            fixed_temporal_block: Some(64),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    vec![
+        ("Base(SS)", base_ss),
+        ("Base+AS", base_as),
+        ("Base+TS", base_ts),
+        ("SpaceFusion", CompileOptions::default()),
+    ]
+}
+
+fn part_a(q: bool) {
+    println!("== Figure 16(a): ablation (perf normalized to SpaceFusion, Ampere) ==");
+    let arch = Arch::Ampere;
+    let seq = if q { 128 } else { 2048 };
+    let ms = models(q);
+    for batch in if q { vec![1] } else { vec![1, 32] } {
+        println!("-- batch size = {batch} --");
+        print_header("variant", &ms.iter().map(|m| m.name.to_string()).collect::<Vec<_>>());
+        let full: Vec<f64> = ms
+            .iter()
+            .map(|m| options_model_us(&CompileOptions::default(), arch, m, batch, seq).unwrap())
+            .collect();
+        for (name, opts) in ablation_variants() {
+            let row: Vec<f64> = ms
+                .iter()
+                .zip(&full)
+                .map(|(m, &f)| f / options_model_us(&opts, arch, m, batch, seq).unwrap())
+                .collect();
+            print_row(name, &row);
+        }
+    }
+}
+
+fn part_b(q: bool) {
+    println!("== Figure 16(b): input-size sensitivity (normalized to best, Ampere) ==");
+    let arch = Arch::Ampere;
+    let ms = models(q);
+    let prompts = [("Small", 128usize), ("Medium", 512), ("Large", 1024)];
+    let images = [("Small", 224usize), ("Medium", 512), ("Large", 768)];
+    for batch in if q { vec![1] } else { vec![1, 32] } {
+        println!("-- batch size = {batch} (speedup vs PyTorch, normalized to per-model best) --");
+        print_header("size", &ms.iter().map(|m| m.name.to_string()).collect::<Vec<_>>());
+        // speedups[model][size]
+        let mut speedups: Vec<Vec<f64>> = Vec::new();
+        for m in &ms {
+            let mut per_size = Vec::new();
+            for i in 0..3 {
+                let seq = if m.fixed_seq.is_some() {
+                    vit_seq_for_image(images[i].1)
+                } else {
+                    prompts[i].1
+                };
+                let mut m2 = m.clone();
+                m2.fixed_seq = None; // let the requested seq apply (ViT sizes).
+                let py = engine_model_us(Engine::PyTorch, arch, &m2, batch, seq).unwrap();
+                let sf = engine_model_us(Engine::SpaceFusion, arch, &m2, batch, seq).unwrap();
+                per_size.push(py / sf);
+            }
+            speedups.push(per_size);
+        }
+        for (i, (label, _)) in prompts.iter().enumerate() {
+            let row: Vec<f64> = speedups
+                .iter()
+                .map(|per_size| {
+                    let best = per_size.iter().cloned().fold(0.0, f64::max);
+                    per_size[i] / best
+                })
+                .collect();
+            print_row(label, &row);
+        }
+    }
+}
+
+fn part_c(q: bool) {
+    println!("== Figure 16(c): architecture sensitivity (normalized to Volta) ==");
+    let seq = if q { 128 } else { 512 };
+    let ms = models(q);
+    for batch in if q { vec![32] } else { vec![1, 32] } {
+        println!("-- batch size = {batch} --");
+        print_header("metric", &ms.iter().map(|m| m.name.to_string()).collect::<Vec<_>>());
+        let mut perf: Vec<Vec<f64>> = Vec::new(); // [arch][model] perf = 1/time.
+        let mut su: Vec<Vec<f64>> = Vec::new();
+        for arch in Arch::all() {
+            let mut p_row = Vec::new();
+            let mut s_row = Vec::new();
+            for m in &ms {
+                let sf = engine_model_us(Engine::SpaceFusion, arch, m, batch, seq).unwrap();
+                let py = engine_model_us(Engine::PyTorch, arch, m, batch, seq).unwrap();
+                p_row.push(1.0 / sf);
+                s_row.push(py / sf);
+            }
+            perf.push(p_row);
+            su.push(s_row);
+        }
+        for (ai, arch) in Arch::all().iter().enumerate() {
+            let row: Vec<f64> =
+                perf[ai].iter().zip(&perf[0]).map(|(p, v)| p / v).collect();
+            print_row(&format!("Perf {arch}"), &row);
+        }
+        for (ai, arch) in Arch::all().iter().enumerate() {
+            let row: Vec<f64> = su[ai].iter().zip(&su[0]).map(|(s, v)| s / v).collect();
+            print_row(&format!("Su {arch}"), &row);
+        }
+        let avg: Vec<f64> = (0..3)
+            .map(|ai| {
+                let r: Vec<f64> =
+                    perf[ai].iter().zip(&perf[0]).map(|(p, v)| p / v).collect();
+                sf_bench::geomean(&r)
+            })
+            .collect();
+        println!(
+            "average perf ratio Volta:Ampere:Hopper = 1 : {:.2} : {:.2} (paper: 1 : 2.26 : 4.34; peak 1 : 2.79 : 6.75)",
+            avg[1], avg[2]
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let q = quick(&args);
+    match arg_value(&args, "--part").as_deref() {
+        Some("a") => part_a(q),
+        Some("b") => part_b(q),
+        Some("c") => part_c(q),
+        _ => {
+            part_a(q);
+            part_b(q);
+            part_c(q);
+        }
+    }
+}

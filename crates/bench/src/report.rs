@@ -1,0 +1,104 @@
+//! Machine-readable result capture.
+//!
+//! Every figure binary prints human-readable tables; this module lets
+//! them also accumulate the same series into a CSV file (`--csv PATH`),
+//! so plots can be regenerated without scraping stdout.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A CSV report under construction.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report with a header row.
+    pub fn with_header(cols: &[&str]) -> Self {
+        let mut r = Report::default();
+        r.rows.push(cols.iter().map(|c| c.to_string()).collect());
+        r
+    }
+
+    /// Appends one row; values are formatted with up to 6 significant
+    /// decimals.
+    pub fn row(&mut self, labels: &[&str], values: &[f64]) {
+        let mut row: Vec<String> = labels.iter().map(|l| l.to_string()).collect();
+        row.extend(values.iter().map(|v| format!("{v:.6}")));
+        self.rows.push(row);
+    }
+
+    /// Number of data rows (excluding the header).
+    pub fn len(&self) -> usize {
+        self.rows.len().saturating_sub(1)
+    }
+
+    /// Whether the report holds no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes to CSV (RFC-4180 quoting for fields containing commas
+    /// or quotes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            for (i, field) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if field.contains(',') || field.contains('"') || field.contains('\n') {
+                    let _ = write!(out, "\"{}\"", field.replace('"', "\"\""));
+                } else {
+                    out.push_str(field);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_rows() {
+        let mut r = Report::with_header(&["arch", "seq", "speedup"]);
+        assert!(r.is_empty());
+        r.row(&["Volta", "128"], &[3.25]);
+        r.row(&["Volta", "256"], &[3.5]);
+        assert_eq!(r.len(), 2);
+        let csv = r.to_csv();
+        assert!(csv.starts_with("arch,seq,speedup\n"));
+        assert!(csv.contains("Volta,128,3.250000\n"));
+    }
+
+    #[test]
+    fn quoting_of_awkward_fields() {
+        let mut r = Report::with_header(&["label"]);
+        r.row(&["a,b"], &[]);
+        r.row(&["say \"hi\""], &[]);
+        let csv = r.to_csv();
+        assert!(csv.contains("\"a,b\"\n"));
+        assert!(csv.contains("\"say \"\"hi\"\"\"\n"));
+    }
+
+    #[test]
+    fn save_round_trips() {
+        let mut r = Report::with_header(&["x", "y"]);
+        r.row(&["p"], &[1.5]);
+        let path = std::env::temp_dir().join("sf_report_test.csv");
+        r.save(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, r.to_csv());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,296 @@
+//! The `sfc` subcommands.
+
+use sf_gpu_sim::Arch;
+use sf_ir::Graph;
+use spacefusion::compiler::{CompileOptions, Compiler, FusionPolicy};
+use spacefusion::sched::OpRole;
+use spacefusion::slicer::AggKind;
+use spacefusion::smg::build_smg;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Target architecture.
+    pub arch: Arch,
+    /// Fusion policy.
+    pub policy: FusionPolicy,
+    /// Emit the SMG in Graphviz DOT.
+    pub dot: bool,
+    /// Profile the compiled program on the simulator.
+    pub profile: bool,
+    /// Execute numerically with random inputs of this seed and verify
+    /// against the unfused reference.
+    pub verify_seed: Option<u64>,
+    /// Apply the streaming-variance rewrite before compiling.
+    pub rewrite: bool,
+    /// Emit Triton-style pseudo-code for each kernel.
+    pub emit: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            arch: Arch::Ampere,
+            policy: FusionPolicy::SpaceFusion,
+            dot: false,
+            profile: false,
+            verify_seed: None,
+            rewrite: false,
+            emit: false,
+        }
+    }
+}
+
+/// Parses `--flag value` style arguments.
+pub fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--arch" => {
+                i += 1;
+                o.arch = match args.get(i).map(|s| s.as_str()) {
+                    Some("volta") => Arch::Volta,
+                    Some("ampere") => Arch::Ampere,
+                    Some("hopper") => Arch::Hopper,
+                    other => return Err(format!("unknown --arch {other:?}")),
+                };
+            }
+            "--policy" => {
+                i += 1;
+                o.policy = match args.get(i).map(|s| s.as_str()) {
+                    Some("spacefusion") => FusionPolicy::SpaceFusion,
+                    Some("unfused") => FusionPolicy::Unfused,
+                    Some("epilogue") => FusionPolicy::EpilogueOnly,
+                    Some("mi-only") => FusionPolicy::MiOnly,
+                    Some("tile-graph") => FusionPolicy::TileGraph,
+                    other => return Err(format!("unknown --policy {other:?}")),
+                };
+            }
+            "--dot" => o.dot = true,
+            "--profile" => o.profile = true,
+            "--verify" => {
+                i += 1;
+                o.verify_seed = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--verify needs a seed")?,
+                );
+            }
+            "--rewrite" => o.rewrite = true,
+            "--emit" => o.emit = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+/// Runs `sfc compile`: compile, report, optionally verify and profile.
+///
+/// Returns the report text (also printed by `main`).
+pub fn compile_report(graph: &Graph, o: &Options) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+
+    let graph = if o.rewrite {
+        match spacefusion::rewrite::streaming_variance(graph) {
+            Some(g) => {
+                let _ = writeln!(out, "applied streaming-variance rewrite");
+                g
+            }
+            None => graph.clone(),
+        }
+    } else {
+        graph.clone()
+    };
+
+    if o.dot {
+        let smg = build_smg(&graph).map_err(|e| e.to_string())?;
+        return Ok(smg.to_dot(&graph));
+    }
+
+    let mut opts = CompileOptions { policy: o.policy, ..Default::default() };
+    if o.policy == FusionPolicy::TileGraph {
+        opts.slicing.enable_uta = false;
+    }
+    let compiler = Compiler::new(o.arch, opts);
+    let program = compiler.compile(&graph).map_err(|e| e.to_string())?;
+
+    let _ = writeln!(
+        out,
+        "compiled '{}' for {}: {} operator(s) -> {} kernel(s)",
+        graph.name(),
+        o.arch,
+        graph.ops().len(),
+        program.kernels.len()
+    );
+    for kp in &program.kernels {
+        let s = &kp.schedule;
+        let _ = writeln!(
+            out,
+            "  kernel {:<28} ops={:<2} grid={:<6} smem={:>4} KiB regs={:>4} KiB",
+            kp.name,
+            kp.graph.ops().len(),
+            s.grid() * graph.instances as u64,
+            s.smem_per_block(&kp.graph) >> 10,
+            s.regs_per_block(&kp.graph) >> 10,
+        );
+        if let Some(t) = &s.temporal {
+            let _ = writeln!(
+                out,
+                "    temporal: block {} over extent {}, two-phase {}",
+                t.block,
+                s.smg.extent(t.plan.dim),
+                t.plan.two_phase
+            );
+            for r in &t.plan.sliced {
+                let name = kp.graph.ops()[r.op.0].kind.name();
+                match &r.agg {
+                    AggKind::Simple => {
+                        let _ = writeln!(out, "      {name}: Simple Aggregate");
+                    }
+                    AggKind::Uta(f) => {
+                        let _ = writeln!(out, "      {name}: UTA with {} factor(s)", f.len());
+                    }
+                }
+            }
+        }
+        let in_loop = kp.roles.iter().filter(|r| **r == OpRole::InLoop).count();
+        let post = kp.roles.iter().filter(|r| **r == OpRole::PostLoop).count();
+        if post > 0 {
+            let _ = writeln!(out, "    {in_loop} in-loop op(s), {post} post-loop op(s)");
+        }
+    }
+
+    if o.emit {
+        for kp in &program.kernels {
+            let _ = writeln!(out, "\n{}", spacefusion::codegen::emit_pseudocode(kp));
+        }
+    }
+
+    if let Some(seed) = o.verify_seed {
+        let bindings = graph.random_bindings(seed);
+        let expect = graph.execute(&bindings).map_err(|e| e.to_string())?;
+        let got = program.execute(&bindings).map_err(|e| e.to_string())?;
+        let mut worst = 0.0f32;
+        for (a, b) in got.iter().zip(expect.iter()) {
+            worst = worst.max(a.max_abs_diff(b).unwrap_or(f32::INFINITY));
+        }
+        let _ = writeln!(out, "verify(seed={seed}): max |fused - reference| = {worst:.3e}");
+        if worst > 1e-2 {
+            return Err(format!("verification FAILED: diff {worst}"));
+        }
+    }
+
+    if o.profile {
+        for kp in &program.kernels {
+            let occ = sf_gpu_sim::occupancy(
+                &program.arch,
+                kp.schedule.grid() * program.instances as u64,
+                kp.schedule.smem_per_block(&kp.graph),
+                kp.schedule.regs_per_block(&kp.graph),
+            );
+            let _ = writeln!(
+                out,
+                "occupancy {}: {} block(s)/SM, {} wave(s)",
+                kp.name, occ.blocks_per_sm, occ.waves
+            );
+        }
+        let r = program.profile(2);
+        let _ = writeln!(
+            out,
+            "profile: {:.1} us, DRAM {:.2} MiB (read {:.2} / write {:.2}), L1 miss {:.1}%, L2 miss {:.1}%",
+            r.time_us,
+            r.stats.dram_total_bytes() as f64 / (1 << 20) as f64,
+            r.stats.dram_read_bytes as f64 / (1 << 20) as f64,
+            r.stats.dram_write_bytes as f64 / (1 << 20) as f64,
+            100.0 * r.stats.l1_misses as f64 / r.stats.l1_accesses.max(1) as f64,
+            100.0 * r.stats.l2_misses as f64 / r.stats.l2_accesses.max(1) as f64,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_graph;
+
+    const LN: &str = "\
+graph ln f16
+input x [64, 2048]
+weight w [1, 2048]
+weight b [1, 2048]
+mean = reduce_mean x dim=1
+c = sub x mean
+sq = sqr c
+var = reduce_mean sq dim=1
+veps = add_scalar var 1e-5
+std = sqrt veps
+norm = div c std
+sc = mul norm w
+y = add sc b
+output y
+";
+
+    #[test]
+    fn option_parsing() {
+        let args: Vec<String> = ["--arch", "hopper", "--policy", "mi-only", "--profile"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_options(&args).unwrap();
+        assert_eq!(o.arch, Arch::Hopper);
+        assert_eq!(o.policy, FusionPolicy::MiOnly);
+        assert!(o.profile);
+        assert!(parse_options(&["--bogus".to_string()]).is_err());
+        assert!(parse_options(&["--arch".to_string(), "mars".to_string()]).is_err());
+    }
+
+    #[test]
+    fn compile_report_covers_layernorm() {
+        let g = parse_graph(LN).unwrap();
+        let o = Options { profile: true, verify_seed: Some(3), ..Default::default() };
+        let report = compile_report(&g, &o).unwrap();
+        assert!(report.contains("1 kernel(s)"));
+        assert!(report.contains("verify(seed=3)"));
+        assert!(report.contains("profile:"));
+    }
+
+    #[test]
+    fn emit_flag_prints_pseudocode() {
+        let g = parse_graph(LN).unwrap();
+        let o = Options { emit: true, ..Default::default() };
+        let report = compile_report(&g, &o).unwrap();
+        assert!(report.contains("parallel_for block"));
+        assert!(report.contains("store("));
+    }
+
+    #[test]
+    fn dot_output_mode() {
+        let g = parse_graph(LN).unwrap();
+        let o = Options { dot: true, ..Default::default() };
+        let report = compile_report(&g, &o).unwrap();
+        assert!(report.starts_with("digraph"));
+    }
+
+    #[test]
+    fn rewrite_flag_changes_the_schedule() {
+        // A row too wide for on-chip residence: only the rewritten,
+        // streaming form can be temporally sliced.
+        let wide = LN.replace("2048", "65536");
+        let g = parse_graph(&wide).unwrap();
+        let plain = compile_report(&g, &Options::default()).unwrap();
+        let rewritten =
+            compile_report(&g, &Options { rewrite: true, ..Default::default() }).unwrap();
+        // Unrewritten: the fused region does not fit on chip and the
+        // variance chain defeats the temporal slicer, so the compiler
+        // must partition into several kernels.
+        assert!(!plain.contains("-> 1 kernel(s)"), "{plain}");
+        // Rewritten: one streaming kernel with temporal slicing.
+        assert!(rewritten.contains("applied streaming-variance rewrite"));
+        assert!(rewritten.contains("-> 1 kernel(s)"), "{rewritten}");
+        assert!(rewritten.contains("temporal:"), "{rewritten}");
+    }
+}

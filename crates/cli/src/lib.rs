@@ -1,0 +1,27 @@
+//! Library backing the `sfc` command-line tool.
+//!
+//! * [`parser`] — a small textual DSL for operator graphs, so fusion
+//!   experiments don't require writing Rust:
+//!
+//! ```text
+//! graph softmax f16
+//! input x [1024, 2048]
+//! m   = reduce_max x dim=1
+//! s   = sub x m
+//! e   = exp s
+//! z   = reduce_sum e dim=1
+//! out = div e z
+//! output out
+//! ```
+//!
+//! * [`printer`] — the inverse: render any [`sf_ir::Graph`] back to the
+//!   DSL (round-trips through the parser).
+//! * [`driver`] — the `compile` / `explain` subcommands used by
+//!   `src/main.rs`.
+
+pub mod driver;
+pub mod parser;
+pub mod printer;
+
+pub use parser::{parse_graph, ParseError};
+pub use printer::print_graph;

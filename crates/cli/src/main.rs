@@ -1,0 +1,74 @@
+//! `sfc` — the SpaceFusion command-line compiler.
+//!
+//! ```text
+//! sfc compile FILE [--arch volta|ampere|hopper]
+//!                  [--policy spacefusion|unfused|epilogue|mi-only|tile-graph]
+//!                  [--dot] [--profile] [--verify SEED] [--rewrite]
+//! sfc print FILE       # parse and pretty-print back to the DSL
+//! ```
+
+use sf_cli::driver::{compile_report, parse_options};
+use sf_cli::{parse_graph, print_graph};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: sfc <compile|print> FILE [flags] (see --help in README)";
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (file, flags) = match rest.split_first() {
+        Some((f, fl)) => (f, fl.to_vec()),
+        None => {
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sfc: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let graph = match parse_graph(&src) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("sfc: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        "print" => {
+            print!("{}", print_graph(&graph));
+            ExitCode::SUCCESS
+        }
+        "compile" => {
+            let opts = match parse_options(&flags) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("sfc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match compile_report(&graph, &opts) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("sfc: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("sfc: unknown command '{other}'\n{usage}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Pseudo-code emission for scheduled kernels.
+//!
+//! Renders a [`KernelProgram`] as the Triton-style pseudo-code of the
+//! paper's Figs. 6 and 7 — the parallel block loop, staged loads, the
+//! intra-block loop with running aggregations and update functions, the
+//! post-loop epilogue and the stores. Intended for humans: debugging
+//! schedules, documentation, and golden tests that pin down the shape of
+//! generated code.
+
+use super::program::KernelProgram;
+use crate::sched::{MemLevel, OpRole};
+use crate::slicer::{AggKind, FactorForm};
+use sf_ir::{OpKind, ValueId, ValueKind};
+use std::fmt::Write as _;
+
+/// Renders the kernel as indented pseudo-code.
+pub fn emit_pseudocode(kp: &KernelProgram) -> String {
+    let g = &kp.graph;
+    let s = &kp.schedule;
+    let mut out = String::new();
+    let name = |v: ValueId| g.value(v).name.clone();
+
+    let _ = writeln!(out, "// kernel {} — grid {} block(s)", kp.name, s.grid());
+    let _ = writeln!(out, "parallel_for block in SMG_blocks {{");
+
+    // Staged loads (whole-block lifetime).
+    for (vi, v) in g.values().iter().enumerate() {
+        if matches!(v.kind, ValueKind::Input | ValueKind::Weight) {
+            let varying = s
+                .temporal
+                .as_ref()
+                .map(|t| s.smg.value_has_dim(g, ValueId(vi), t.plan.dim))
+                .unwrap_or(false);
+            if s.mem.staged[vi] && !varying {
+                let _ = writeln!(out, "    {} = load_block({})        // smem", v.name, v.name);
+            } else if !varying {
+                let _ = writeln!(out, "    {} = stream({})            // global", v.name, v.name);
+            }
+        }
+    }
+
+    match &s.temporal {
+        None => {
+            for (oi, _) in g.ops().iter().enumerate() {
+                let _ = writeln!(out, "    {}", op_line(kp, oi));
+            }
+            for &o in g.outputs() {
+                let _ = writeln!(out, "    store({})", name(o));
+            }
+        }
+        Some(t) => {
+            let _ = writeln!(
+                out,
+                "    // intra-block loop over dim {} in tiles of {}",
+                s.smg.dims[t.plan.dim.0].name, t.block
+            );
+            let _ = writeln!(out, "    for intra_block in Block {{");
+            for (vi, v) in g.values().iter().enumerate() {
+                let varying = s.smg.value_has_dim(g, ValueId(vi), t.plan.dim);
+                if matches!(v.kind, ValueKind::Input | ValueKind::Weight) && varying {
+                    let _ = writeln!(out, "        {} = load_tile({})", v.name, v.name);
+                }
+            }
+            for (oi, op) in g.ops().iter().enumerate() {
+                if !kp.needed_phase1[oi] || kp.roles[oi] == OpRole::PostLoop {
+                    continue;
+                }
+                match kp.roles[oi] {
+                    OpRole::SlicedReduction(idx) => {
+                        let target = name(op.output);
+                        match &t.plan.sliced[idx].agg {
+                            AggKind::Simple => {
+                                let _ = writeln!(
+                                    out,
+                                    "        {target} = aggr({target}_old, {})",
+                                    partial_expr(kp, oi)
+                                );
+                            }
+                            AggKind::Uta(factors) => {
+                                let upd = factors
+                                    .iter()
+                                    .map(|f| {
+                                        let dep = name(g.ops()[f.dep.0].output);
+                                        match f.form {
+                                            FactorForm::ExpNeg => {
+                                                format!("exp({dep}_old - {dep})")
+                                            }
+                                            FactorForm::Recip => format!("{dep}_old/{dep}"),
+                                            FactorForm::Value => format!("{dep}/{dep}_old"),
+                                        }
+                                    })
+                                    .collect::<Vec<_>>()
+                                    .join(" * ");
+                                let _ = writeln!(
+                                    out,
+                                    "        {target} = aggr({target}_old * {upd}, {})  // UTA",
+                                    partial_expr(kp, oi)
+                                );
+                            }
+                        }
+                    }
+                    _ => {
+                        let _ = writeln!(out, "        {}", op_line(kp, oi));
+                    }
+                }
+            }
+            let _ = writeln!(out, "    }}");
+
+            for (oi, _) in g.ops().iter().enumerate() {
+                if kp.roles[oi] == OpRole::PostLoop {
+                    let _ = writeln!(out, "    {}", op_line(kp, oi));
+                }
+            }
+            if t.plan.two_phase {
+                let _ = writeln!(out, "    for intra_block in Block {{  // phase 2");
+                for (oi, _) in g.ops().iter().enumerate() {
+                    if kp.roles[oi] == OpRole::InLoop && kp.needed_output[oi] {
+                        let _ = writeln!(out, "        {}", op_line(kp, oi));
+                    }
+                }
+                for &o in g.outputs() {
+                    if s.smg.value_has_dim(g, o, t.plan.dim) {
+                        let _ = writeln!(out, "        store_tile({})", name(o));
+                    }
+                }
+                let _ = writeln!(out, "    }}");
+            }
+            for &o in g.outputs() {
+                if !s.smg.value_has_dim(g, o, t.plan.dim) {
+                    let _ = writeln!(out, "    store({})", name(o));
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// `dst = op(args)` with the memory level as a comment.
+fn op_line(kp: &KernelProgram, oi: usize) -> String {
+    let g = &kp.graph;
+    let op = &g.ops()[oi];
+    let level = match kp.schedule.level(op.output) {
+        MemLevel::Register => "reg",
+        MemLevel::Shared => "smem",
+        MemLevel::Global => "global",
+    };
+    format!("{} = {}   // {}", g.value(op.output).name, expr(kp, oi), level)
+}
+
+fn expr(kp: &KernelProgram, oi: usize) -> String {
+    let g = &kp.graph;
+    let op = &g.ops()[oi];
+    let a = |i: usize| g.value(op.inputs[i]).name.clone();
+    match &op.kind {
+        OpKind::Gemm { .. } => format!("gemm({}, {})", a(0), a(1)),
+        OpKind::Unary(u) => format!("{}({})", u.name(), a(0)),
+        OpKind::Binary(b) => format!("{}({}, {})", b.name(), a(0), a(1)),
+        OpKind::Scalar { op: b, value } => format!("{}({}, {value})", b.name(), a(0)),
+        OpKind::Reduce { op: r, dim } => format!("{}({}, dim={dim})", r.name(), a(0)),
+        OpKind::Broadcast { dim, .. } => format!("broadcast({}, dim={dim})", a(0)),
+        OpKind::LayoutBarrier => format!("reshape({})", a(0)),
+    }
+}
+
+fn partial_expr(kp: &KernelProgram, oi: usize) -> String {
+    expr(kp, oi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{Compiler, FusionPolicy};
+    use sf_gpu_sim::Arch;
+    use sf_ir::Graph;
+    use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+    use sf_tensor::{DType, Shape};
+
+    fn mha(l: usize) -> Graph {
+        let mut g = Graph::new("mha", DType::F16);
+        let q = g.input("Q", Shape::new(vec![256, 64]));
+        let k = g.input("K", Shape::new(vec![l, 64]));
+        let v = g.input("V", Shape::new(vec![l, 64]));
+        let qk = g.gemm(q, k, true).unwrap();
+        g.rename_value(qk, "QK");
+        let mx = g.reduce(ReduceOp::Max, qk, 1).unwrap();
+        g.rename_value(mx, "Max");
+        let sub = g.binary(BinaryOp::Sub, qk, mx).unwrap();
+        g.rename_value(sub, "Sub");
+        let e = g.unary(UnaryOp::Exp, sub).unwrap();
+        g.rename_value(e, "Exp");
+        let s = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        g.rename_value(s, "Sum");
+        let d = g.binary(BinaryOp::Div, e, s).unwrap();
+        g.rename_value(d, "Div");
+        let out = g.gemm(d, v, false).unwrap();
+        g.rename_value(out, "Out");
+        g.mark_output(out);
+        g
+    }
+
+    #[test]
+    fn mha_pseudocode_matches_figure_7_structure() {
+        let g = mha(8192);
+        let p = Compiler::with_policy(Arch::Volta, FusionPolicy::SpaceFusion)
+            .compile(&g)
+            .unwrap();
+        let code = emit_pseudocode(&p.kernels[0]);
+        // The paper's Fig. 7 structure: parallel blocks, an intra-block
+        // loop, UTA update functions for Sum and Out.
+        assert!(code.contains("parallel_for block"));
+        assert!(code.contains("for intra_block in Block"));
+        assert!(code.contains("Max = aggr(Max_old, max(QK"));
+        assert!(code.contains("Sum = aggr(Sum_old * exp(Max_old - Max)"));
+        assert!(code.contains("Out = aggr(Out_old * exp(Max_old - Max) * Sum_old/Sum"));
+        assert!(code.contains("store(Out)"));
+    }
+
+    #[test]
+    fn flat_kernel_pseudocode_has_no_loop() {
+        let g = mha(64);
+        let p = Compiler::with_policy(Arch::Hopper, FusionPolicy::SpaceFusion)
+            .compile(&g)
+            .unwrap();
+        let kp = &p.kernels[0];
+        if kp.schedule.temporal.is_none() {
+            let code = emit_pseudocode(kp);
+            assert!(!code.contains("intra_block"));
+            assert!(code.contains("gemm(Q, K)"));
+        }
+    }
+
+    #[test]
+    fn two_phase_pseudocode_shows_second_pass() {
+        let mut g = Graph::new("softmax", DType::F16);
+        let x = g.input("X", Shape::new(vec![64, 65536]));
+        let mx = g.reduce(ReduceOp::Max, x, 1).unwrap();
+        let s = g.binary(BinaryOp::Sub, x, mx).unwrap();
+        let e = g.unary(UnaryOp::Exp, s).unwrap();
+        let z = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        let d = g.binary(BinaryOp::Div, e, z).unwrap();
+        g.mark_output(d);
+        let p = Compiler::with_policy(Arch::Volta, FusionPolicy::SpaceFusion)
+            .compile(&g)
+            .unwrap();
+        let kp = &p.kernels[0];
+        assert!(kp.schedule.temporal.as_ref().is_some_and(|t| t.plan.two_phase));
+        let code = emit_pseudocode(kp);
+        assert!(code.contains("phase 2"));
+        assert!(code.contains("store_tile"));
+    }
+}

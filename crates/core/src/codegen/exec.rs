@@ -1,0 +1,470 @@
+//! Numeric interpretation of kernel programs.
+//!
+//! Executes a [`KernelProgram`] exactly as a GPU would: one pass over the
+//! spatial blocks, and within each block either a direct evaluation of
+//! the fused subgraph on the block's tiles, or the temporal intra-block
+//! loop with running aggregations (Simple Aggregate and Update-then-
+//! Aggregate) and, for two-phase schedules, a second streaming pass that
+//! produces the outputs from the finalized aggregates.
+//!
+//! This interpreter is the correctness oracle of the whole compiler: the
+//! test suites compare its results bit-for-bit-ish (to float tolerance)
+//! against the unfused reference execution of the same graph.
+
+use super::program::KernelProgram;
+use crate::error::{Result, SfError};
+use crate::sched::OpRole;
+use crate::slicer::{AggKind, FactorForm};
+use crate::smg::{DimId, Smg};
+use sf_ir::{Graph, OpKind, ValueId};
+use sf_tensor::ops::{self, BinaryOp, ReduceOp, UnaryOp};
+use sf_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+
+/// Dimension restrictions: `dim -> [start, end)`.
+type Restrict = Vec<(DimId, (usize, usize))>;
+
+/// Executes one kernel over the environment of named tensors.
+///
+/// Inputs and weights are read from `env` by value name; outputs are
+/// inserted into `env` under their value names.
+pub fn execute_kernel(kp: &KernelProgram, env: &mut HashMap<String, Tensor>) -> Result<()> {
+    let graph = &kp.graph;
+    let s = &kp.schedule;
+
+    // Allocate full output tensors.
+    let mut outputs: HashMap<ValueId, Tensor> = HashMap::new();
+    for &o in graph.outputs() {
+        outputs.insert(o, Tensor::zeros(graph.shape(o).clone(), graph.dtype()));
+    }
+
+    // Iterate spatial blocks.
+    let block_counts: Vec<usize> = s
+        .spatial
+        .iter()
+        .map(|&(d, b)| s.smg.extent(d).div_ceil(b))
+        .collect();
+    let mut block_idx = vec![0usize; s.spatial.len()];
+    loop {
+        let spatial_restrict: Restrict = s
+            .spatial
+            .iter()
+            .zip(&block_idx)
+            .map(|(&(d, b), &i)| {
+                let start = i * b;
+                (d, (start, (start + b).min(s.smg.extent(d))))
+            })
+            .collect();
+
+        execute_block(kp, env, &mut outputs, &spatial_restrict)?;
+
+        // Advance the multi-index.
+        let mut carry = true;
+        for (i, c) in block_idx.iter_mut().zip(&block_counts) {
+            if carry {
+                *i += 1;
+                if *i == *c {
+                    *i = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+
+    for (v, t) in outputs {
+        env.insert(graph.value(v).name.clone(), t);
+    }
+    Ok(())
+}
+
+fn execute_block(
+    kp: &KernelProgram,
+    env: &HashMap<String, Tensor>,
+    outputs: &mut HashMap<ValueId, Tensor>,
+    spatial: &Restrict,
+) -> Result<()> {
+    let graph = &kp.graph;
+    let s = &kp.schedule;
+    let Some(t) = &s.temporal else {
+        // Unsliced block: evaluate everything on the block tile.
+        let mut local: HashMap<ValueId, Tensor> = HashMap::new();
+        for (oi, _) in graph.ops().iter().enumerate() {
+            let out = eval_op(graph, &s.smg, oi, spatial, &|v| {
+                value_view(graph, &s.smg, env, &local, v, spatial)
+            })?;
+            local.insert(graph.ops()[oi].output, out);
+        }
+        for (&o, full) in outputs.iter_mut() {
+            let tile = local
+                .get(&o)
+                .cloned()
+                .ok_or_else(|| SfError::Codegen("output not computed".into()))?;
+            scatter(graph, &s.smg, full, o, spatial, &tile)?;
+        }
+        return Ok(());
+    };
+
+    let dim = t.plan.dim;
+    let extent = s.smg.extent(dim);
+    let n_tiles = extent.div_ceil(t.block);
+
+    // Phase 1: the intra-block loop computing the sliced reductions.
+    let mut accs: HashMap<ValueId, Tensor> = HashMap::new();
+    for tile in 0..n_tiles {
+        let start = tile * t.block;
+        let mut restrict = spatial.clone();
+        restrict.push((dim, (start, (start + t.block).min(extent))));
+
+        let snapshot = accs.clone();
+        let mut local: HashMap<ValueId, Tensor> = HashMap::new();
+        for (oi, op) in graph.ops().iter().enumerate() {
+            if !kp.needed_phase1[oi] || kp.roles[oi] == OpRole::PostLoop {
+                continue;
+            }
+            match kp.roles[oi] {
+                OpRole::SlicedReduction(idx) => {
+                    let partial = eval_sliced_partial(graph, &s.smg, oi, dim, &restrict, &|v| {
+                        reduction_input_view(graph, &s.smg, env, &local, &accs, v, &restrict)
+                    })?;
+                    let agg = &t.plan.sliced[idx].agg;
+                    let combined = match accs.get(&op.output) {
+                        None => partial,
+                        Some(old) => {
+                            let updated = match agg {
+                                AggKind::Simple => old.clone(),
+                                AggKind::Uta(factors) => {
+                                    apply_update(graph, old, factors, &snapshot, &accs)?
+                                }
+                            };
+                            combine(graph, oi, &updated, &partial)?
+                        }
+                    };
+                    accs.insert(op.output, combined);
+                }
+                _ => {
+                    let out = eval_op(graph, &s.smg, oi, &restrict, &|v| {
+                        reduction_input_view(graph, &s.smg, env, &local, &accs, v, &restrict)
+                    })?;
+                    local.insert(op.output, out);
+                }
+            }
+        }
+    }
+
+    // Finalize mean accumulators.
+    for (oi, op) in graph.ops().iter().enumerate() {
+        if let OpRole::SlicedReduction(_) = kp.roles[oi] {
+            if let OpKind::Reduce { op: ReduceOp::Mean, .. } = op.kind {
+                if let Some(acc) = accs.get_mut(&op.output) {
+                    *acc = ops::binary_scalar(BinaryOp::Div, acc, extent as f32);
+                }
+            }
+        }
+    }
+
+    // Post-loop ops on finalized aggregates.
+    let mut post: HashMap<ValueId, Tensor> = HashMap::new();
+    for (oi, op) in graph.ops().iter().enumerate() {
+        if kp.roles[oi] != OpRole::PostLoop {
+            continue;
+        }
+        let out = eval_op(graph, &s.smg, oi, spatial, &|v| {
+            if let Some(a) = accs.get(&v) {
+                return Ok(a.clone());
+            }
+            if let Some(p) = post.get(&v) {
+                return Ok(p.clone());
+            }
+            value_view(graph, &s.smg, env, &HashMap::new(), v, spatial)
+        })?;
+        post.insert(op.output, out);
+    }
+
+    // Phase 2: re-stream tiles to produce outputs spanning the sliced
+    // dimension, now with finalized aggregates.
+    if t.plan.two_phase {
+        for tile in 0..n_tiles {
+            let start = tile * t.block;
+            let mut restrict = spatial.clone();
+            restrict.push((dim, (start, (start + t.block).min(extent))));
+            let mut local: HashMap<ValueId, Tensor> = HashMap::new();
+            for (oi, op) in graph.ops().iter().enumerate() {
+                if kp.roles[oi] != OpRole::InLoop || !kp.needed_output[oi] {
+                    continue;
+                }
+                let out = eval_op(graph, &s.smg, oi, &restrict, &|v| {
+                    if let Some(l) = local.get(&v) {
+                        return Ok(l.clone());
+                    }
+                    if let Some(a) = accs.get(&v) {
+                        return Ok(a.clone());
+                    }
+                    if let Some(p) = post.get(&v) {
+                        return Ok(p.clone());
+                    }
+                    value_view(graph, &s.smg, env, &HashMap::new(), v, &restrict)
+                })?;
+                local.insert(op.output, out);
+            }
+            for (&o, full) in outputs.iter_mut() {
+                if s.smg.value_has_dim(graph, o, dim) {
+                    let tile_val = local
+                        .get(&o)
+                        .cloned()
+                        .ok_or_else(|| SfError::Codegen("phase-2 output missing".into()))?;
+                    scatter(graph, &s.smg, full, o, &restrict, &tile_val)?;
+                }
+            }
+        }
+    }
+
+    // Outputs that do not span the sliced dimension come from the
+    // aggregates / post-loop values.
+    for (&o, full) in outputs.iter_mut() {
+        if s.smg.value_has_dim(graph, o, dim) {
+            continue; // written in phase 2.
+        }
+        let tile = accs
+            .get(&o)
+            .or_else(|| post.get(&o))
+            .cloned()
+            .ok_or_else(|| SfError::Codegen("block output missing".into()))?;
+        scatter(graph, &s.smg, full, o, spatial, &tile)?;
+    }
+    Ok(())
+}
+
+/// View of a value restricted to the given ranges: computed tiles come
+/// from `local`, globals are extracted from `env`.
+fn value_view(
+    graph: &Graph,
+    smg: &Smg,
+    env: &HashMap<String, Tensor>,
+    local: &HashMap<ValueId, Tensor>,
+    v: ValueId,
+    restrict: &Restrict,
+) -> Result<Tensor> {
+    if let Some(t) = local.get(&v) {
+        return Ok(t.clone());
+    }
+    let name = &graph.value(v).name;
+    let full = env
+        .get(name)
+        .ok_or_else(|| SfError::Codegen(format!("missing binding '{name}'")))?;
+    Ok(extract(graph, smg, full, v, restrict))
+}
+
+/// Like [`value_view`] but lets running aggregates shadow global values.
+fn reduction_input_view(
+    graph: &Graph,
+    smg: &Smg,
+    env: &HashMap<String, Tensor>,
+    local: &HashMap<ValueId, Tensor>,
+    accs: &HashMap<ValueId, Tensor>,
+    v: ValueId,
+    restrict: &Restrict,
+) -> Result<Tensor> {
+    if let Some(t) = local.get(&v) {
+        return Ok(t.clone());
+    }
+    if let Some(a) = accs.get(&v) {
+        return Ok(a.clone());
+    }
+    value_view(graph, smg, env, local, v, restrict)
+}
+
+/// Extracts the restricted sub-tensor of a full value.
+fn extract(graph: &Graph, smg: &Smg, full: &Tensor, v: ValueId, restrict: &Restrict) -> Tensor {
+    let shape = graph.shape(v);
+    let ranges: Vec<(usize, usize)> = shape
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(axis, &e)| {
+            let d = smg.value_axes[v.0][axis];
+            if e == smg.extent(d) {
+                if let Some(&(_, (s, t))) = restrict.iter().find(|&&(rd, _)| rd == d) {
+                    return (s.min(e), t.min(e));
+                }
+            }
+            (0, e)
+        })
+        .collect();
+    let out_dims: Vec<usize> = ranges.iter().map(|&(s, t)| t - s).collect();
+    let out_shape = Shape::new(out_dims.clone());
+    let mut out = Tensor::zeros(out_shape, full.dtype());
+    let mut idx = vec![0usize; ranges.len()];
+    let volume = out.shape().volume();
+    let mut src_index = vec![0usize; ranges.len()];
+    for lin in 0..volume {
+        // Decode lin into idx.
+        let mut rem = lin;
+        for (i, &d) in out_dims.iter().enumerate().rev() {
+            idx[i] = rem % d.max(1);
+            rem /= d.max(1);
+        }
+        for i in 0..ranges.len() {
+            src_index[i] = ranges[i].0 + idx[i];
+        }
+        out.data_mut()[lin] = full.at(&src_index);
+    }
+    out
+}
+
+/// Writes a tile back into the full output tensor.
+fn scatter(
+    graph: &Graph,
+    smg: &Smg,
+    full: &mut Tensor,
+    v: ValueId,
+    restrict: &Restrict,
+    tile: &Tensor,
+) -> Result<()> {
+    let shape = graph.shape(v).clone();
+    let ranges: Vec<(usize, usize)> = shape
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(axis, &e)| {
+            let d = smg.value_axes[v.0][axis];
+            if e == smg.extent(d) {
+                if let Some(&(_, (s, t))) = restrict.iter().find(|&&(rd, _)| rd == d) {
+                    return (s.min(e), t.min(e));
+                }
+            }
+            (0, e)
+        })
+        .collect();
+    let out_dims: Vec<usize> = ranges.iter().map(|&(s, t)| t - s).collect();
+    if out_dims != tile.shape().dims() {
+        return Err(SfError::Codegen(format!(
+            "scatter shape mismatch: tile {:?} vs region {:?}",
+            tile.shape().dims(),
+            out_dims
+        )));
+    }
+    let volume = tile.shape().volume();
+    let mut idx = vec![0usize; ranges.len()];
+    let mut dst_index = vec![0usize; ranges.len()];
+    for lin in 0..volume {
+        let mut rem = lin;
+        for (i, &d) in out_dims.iter().enumerate().rev() {
+            idx[i] = rem % d.max(1);
+            rem /= d.max(1);
+        }
+        for i in 0..ranges.len() {
+            dst_index[i] = ranges[i].0 + idx[i];
+        }
+        full.set(&dst_index, tile.data()[lin]);
+    }
+    Ok(())
+}
+
+/// Evaluates one (non-sliced) operator on restricted views.
+fn eval_op(
+    graph: &Graph,
+    smg: &Smg,
+    op_idx: usize,
+    restrict: &Restrict,
+    get: &dyn Fn(ValueId) -> Result<Tensor>,
+) -> Result<Tensor> {
+    let op = &graph.ops()[op_idx];
+    let out = match &op.kind {
+        OpKind::Gemm { transpose_b } => {
+            ops::matmul(&get(op.inputs[0])?, &get(op.inputs[1])?, *transpose_b)?
+        }
+        OpKind::Unary(u) => ops::unary(*u, &get(op.inputs[0])?),
+        OpKind::Binary(b) => ops::binary(*b, &get(op.inputs[0])?, &get(op.inputs[1])?)?,
+        OpKind::Scalar { op: b, value } => ops::binary_scalar(*b, &get(op.inputs[0])?, *value),
+        OpKind::Reduce { op: r, dim } => ops::reduce(*r, &get(op.inputs[0])?, *dim)?,
+        OpKind::Broadcast { dim, .. } => {
+            // The broadcast target extent is the *restricted* extent.
+            let d = smg.value_axes[op.output.0][*dim];
+            let full = smg.extent(d);
+            let ext = restrict
+                .iter()
+                .find(|&&(rd, _)| rd == d)
+                .map(|&(_, (s, t))| (t - s).min(full))
+                .unwrap_or(full);
+            ops::broadcast_to(&get(op.inputs[0])?, *dim, ext)?
+        }
+        OpKind::LayoutBarrier => {
+            return Err(SfError::Codegen("layout barrier inside a kernel".into()))
+        }
+    };
+    Ok(out)
+}
+
+/// Evaluates the partial result of a sliced reduction on one tile.
+///
+/// Mean reductions accumulate raw sums (finalized at loop end).
+fn eval_sliced_partial(
+    graph: &Graph,
+    smg: &Smg,
+    op_idx: usize,
+    dim: DimId,
+    _restrict: &Restrict,
+    get: &dyn Fn(ValueId) -> Result<Tensor>,
+) -> Result<Tensor> {
+    let op = &graph.ops()[op_idx];
+    match &op.kind {
+        OpKind::Gemm { transpose_b } => {
+            Ok(ops::matmul(&get(op.inputs[0])?, &get(op.inputs[1])?, *transpose_b)?)
+        }
+        OpKind::Reduce { op: r, dim: axis } => {
+            let input = get(op.inputs[0])?;
+            // Sanity: the reduce axis must be the sliced dimension.
+            debug_assert_eq!(smg.value_axes[op.inputs[0].0][*axis], dim);
+            let kind = if *r == ReduceOp::Mean { ReduceOp::Sum } else { *r };
+            Ok(ops::reduce(kind, &input, *axis)?)
+        }
+        other => Err(SfError::Codegen(format!(
+            "op {} cannot be a sliced reduction",
+            other.name()
+        ))),
+    }
+}
+
+/// Combines an (updated) accumulator with a tile partial.
+fn combine(graph: &Graph, op_idx: usize, acc: &Tensor, partial: &Tensor) -> Result<Tensor> {
+    let op = &graph.ops()[op_idx];
+    let b = match &op.kind {
+        OpKind::Reduce { op: ReduceOp::Max, .. } => BinaryOp::Max,
+        _ => BinaryOp::Add,
+    };
+    Ok(ops::binary(b, acc, partial)?)
+}
+
+/// Applies the UTA update function: multiplies the old accumulator by
+/// `Π g(dep_old, dep_new)`.
+fn apply_update(
+    graph: &Graph,
+    old_acc: &Tensor,
+    factors: &[crate::slicer::UpdateFactor],
+    snapshot: &HashMap<ValueId, Tensor>,
+    current: &HashMap<ValueId, Tensor>,
+) -> Result<Tensor> {
+    let mut result = old_acc.clone();
+    for f in factors {
+        let dep_out = graph.ops()[f.dep.0].output;
+        let old = snapshot
+            .get(&dep_out)
+            .ok_or_else(|| SfError::Codegen("missing old dependency value".into()))?;
+        let new = current
+            .get(&dep_out)
+            .ok_or_else(|| SfError::Codegen("missing new dependency value".into()))?;
+        let g = match f.form {
+            FactorForm::Recip => ops::binary(BinaryOp::Div, old, new)?,
+            FactorForm::ExpNeg => {
+                ops::unary(UnaryOp::Exp, &ops::binary(BinaryOp::Sub, old, new)?)
+            }
+            FactorForm::Value => ops::binary(BinaryOp::Div, new, old)?,
+        };
+        result = ops::binary(BinaryOp::Mul, &result, &g)?;
+    }
+    Ok(result)
+}

@@ -1,0 +1,26 @@
+//! Kernel code generation (the paper's Triton-backend substitute).
+//!
+//! A scheduled SMG lowers to a [`KernelProgram`]: the fused subgraph plus
+//! its concrete [`crate::sched::FusedSchedule`] and derived operator
+//! roles. Two consumers interpret the same program:
+//!
+//! * [`exec`] executes it numerically over real tensors, block by block
+//!   and intra-block by intra-block, including the running aggregations
+//!   with Simple Aggregate / Update-then-Aggregate — this is how the test
+//!   suite proves that every generated schedule (including the derived
+//!   FlashAttention-style online softmax) is exactly equivalent to the
+//!   unfused reference;
+//! * [`trace`] replays the program's global-memory access stream into the
+//!   `sf-gpu-sim` profiler for the detailed cache/DRAM measurements, and
+//!   provides the cheap analytic cost estimate used inside the
+//!   auto-tuner.
+
+pub mod emit;
+pub mod exec;
+pub mod program;
+pub mod trace;
+
+pub use emit::emit_pseudocode;
+pub use exec::execute_kernel;
+pub use program::KernelProgram;
+pub use trace::{estimate_cost, trace_kernel};

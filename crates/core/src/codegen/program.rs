@@ -1,0 +1,108 @@
+//! The lowered kernel representation.
+
+use crate::sched::{op_roles, FusedSchedule, OpRole};
+use sf_ir::{Graph, ValueId};
+
+/// A fused kernel: graph + schedule + derived execution metadata.
+#[derive(Debug, Clone)]
+pub struct KernelProgram {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// The fused subgraph this kernel computes. Its inputs are the cut
+    /// values / program inputs, its outputs the values materialized to
+    /// global memory.
+    pub graph: Graph,
+    /// The concrete schedule.
+    pub schedule: FusedSchedule,
+    /// Role of each operator under the schedule.
+    pub roles: Vec<OpRole>,
+    /// Ops transitively needed by the sliced reductions (phase-1 work).
+    pub needed_phase1: Vec<bool>,
+    /// Ops transitively needed by the kernel outputs.
+    pub needed_output: Vec<bool>,
+}
+
+impl KernelProgram {
+    /// Lowers a scheduled graph into a kernel program.
+    pub fn new(name: impl Into<String>, graph: Graph, schedule: FusedSchedule) -> Self {
+        let roles = op_roles(&graph, &schedule);
+        let reduction_outputs: Vec<ValueId> = roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, OpRole::SlicedReduction(_)))
+            .map(|(i, _)| graph.ops()[i].output)
+            .collect();
+        let needed_phase1 = needed_by(&graph, &reduction_outputs);
+        let needed_output = needed_by(&graph, graph.outputs());
+        KernelProgram {
+            name: name.into(),
+            graph,
+            schedule,
+            roles,
+            needed_phase1,
+            needed_output,
+        }
+    }
+
+    /// Whether this kernel fuses more than one operator.
+    pub fn is_fused(&self) -> bool {
+        self.graph.ops().len() > 1
+    }
+}
+
+/// Ops transitively needed to compute the given values.
+fn needed_by(graph: &Graph, targets: &[ValueId]) -> Vec<bool> {
+    let mut needed_vals = vec![false; graph.values().len()];
+    for &t in targets {
+        needed_vals[t.0] = true;
+    }
+    let mut needed_ops = vec![false; graph.ops().len()];
+    for (oi, op) in graph.ops().iter().enumerate().rev() {
+        if needed_vals[op.output.0] {
+            needed_ops[oi] = true;
+            for &i in &op.inputs {
+                needed_vals[i.0] = true;
+            }
+        }
+    }
+    needed_ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{assign_memory, TemporalSchedule};
+    use crate::slicer::plan_temporal;
+    use crate::smg::build_smg;
+    use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+    use sf_tensor::{DType, Shape};
+
+    #[test]
+    fn needed_sets_for_softmax() {
+        let mut g = Graph::new("softmax", DType::F16);
+        let x = g.input("x", Shape::new(vec![32, 128]));
+        let m = g.reduce(ReduceOp::Max, x, 1).unwrap();
+        let s = g.binary(BinaryOp::Sub, x, m).unwrap();
+        let e = g.unary(UnaryOp::Exp, s).unwrap();
+        let z = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        let d = g.binary(BinaryOp::Div, e, z).unwrap();
+        g.mark_output(d);
+        let smg = build_smg(&g).unwrap();
+        let m_dim = smg.value_axes[0][0];
+        let n_dim = smg.value_axes[0][1];
+        let plan = plan_temporal(&g, &smg, n_dim).unwrap();
+        let spatial = vec![(m_dim, 16)];
+        let temporal = Some(TemporalSchedule { plan, block: 32 });
+        let mem = assign_memory(&g, &smg, &spatial, temporal.as_ref(), 32 << 10);
+        let kp = KernelProgram::new(
+            "softmax",
+            g.clone(),
+            FusedSchedule { smg, spatial, temporal, mem },
+        );
+        // Phase 1 needs max, sub, exp, sum but not div.
+        assert_eq!(kp.needed_phase1, vec![true, true, true, true, false]);
+        // Output needs everything.
+        assert!(kp.needed_output.iter().all(|&b| b));
+        assert!(kp.is_fused());
+    }
+}

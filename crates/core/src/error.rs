@@ -1,0 +1,79 @@
+//! Error types of the SpaceFusion compiler.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SfError>;
+
+/// Errors raised across the compilation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SfError {
+    /// The SMG could not be built from the DFG (inconsistent shapes).
+    SmgBuild(String),
+    /// No dimension was eligible for spatial slicing (paper Alg. 1:
+    /// "cannot be scheduled for parallelization").
+    NoSpatialDim(String),
+    /// Temporal slicing failed: the broadcast postposition / update-path
+    /// analysis found no algebraic simplification (paper §4.3: "not all
+    /// the All-to-One chains end up with simplification results").
+    UpdatePath(String),
+    /// No schedule configuration satisfies the hardware resource
+    /// constraints (triggers SMG partitioning).
+    ResourceInfeasible(String),
+    /// SMG partitioning could not split the graph further.
+    Unpartitionable(String),
+    /// Lowering or execution failure in the backend.
+    Codegen(String),
+    /// Underlying IR failure.
+    Ir(String),
+}
+
+impl fmt::Display for SfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SfError::SmgBuild(m) => write!(f, "SMG construction failed: {m}"),
+            SfError::NoSpatialDim(m) => write!(f, "no spatially sliceable dimension: {m}"),
+            SfError::UpdatePath(m) => write!(f, "update-path analysis failed: {m}"),
+            SfError::ResourceInfeasible(m) => {
+                write!(f, "no schedule satisfies resource constraints: {m}")
+            }
+            SfError::Unpartitionable(m) => write!(f, "SMG cannot be partitioned: {m}"),
+            SfError::Codegen(m) => write!(f, "codegen failure: {m}"),
+            SfError::Ir(m) => write!(f, "IR failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SfError {}
+
+impl From<sf_ir::GraphError> for SfError {
+    fn from(e: sf_ir::GraphError) -> Self {
+        SfError::Ir(e.to_string())
+    }
+}
+
+impl From<sf_tensor::TensorError> for SfError {
+    fn from(e: sf_tensor::TensorError) -> Self {
+        SfError::Codegen(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        for e in [
+            SfError::SmgBuild("x".into()),
+            SfError::NoSpatialDim("x".into()),
+            SfError::UpdatePath("x".into()),
+            SfError::ResourceInfeasible("x".into()),
+            SfError::Unpartitionable("x".into()),
+            SfError::Codegen("x".into()),
+            SfError::Ir("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

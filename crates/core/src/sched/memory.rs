@@ -1,0 +1,366 @@
+//! Memory-hierarchy scheduling (paper §5.4).
+//!
+//! SpaceFusion assigns data spaces to the register / shared / global
+//! levels directly from their mapping roles in the SMG:
+//!
+//! * kernel inputs and outputs live in **global** memory; per-block tiles
+//!   of inputs are *staged* into shared memory when they fit a staging
+//!   budget, and *streamed* through a fixed-size double buffer otherwise
+//!   (large weight matrices),
+//! * intermediate data spaces that act as One-to-All sources or
+//!   All-to-One sinks go to **shared** memory (repeated access and
+//!   inter-thread communication),
+//! * values on pure One-to-One chains and the accumulators of sliced
+//!   reductions stay in **registers**.
+//!
+//! Footprints are liveness-aware: shared memory is the maximum over
+//! program points of the live shared values (plus staged tiles and
+//! streaming buffers), which is what allows deep MLP-stack fusion where
+//! successive layers reuse the same shared region (paper §4.3: "the later
+//! intra-block effectively reuses the on-chip memory space allocated to
+//! the intermediate variables of the previous intra-block").
+
+use super::schedule::{FusedSchedule, TemporalSchedule};
+use crate::smg::{DimId, MappingKind, Smg};
+use sf_ir::{Graph, OpKind, ValueId, ValueKind};
+
+/// Bytes reserved per streamed (non-staged) global operand.
+pub const STREAM_BUFFER_BYTES: u64 = 8 << 10;
+
+/// Fixed per-block register overhead (indices, predicates, spills).
+pub const REG_OVERHEAD_BYTES: u64 = 4 << 10;
+
+/// Memory level of a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemLevel {
+    /// Off-chip global memory.
+    Global,
+    /// On-chip shared memory, visible within one thread block.
+    Shared,
+    /// Register file.
+    Register,
+}
+
+/// Per-value memory assignment.
+#[derive(Debug, Clone)]
+pub struct MemoryAssignment {
+    /// Level of each value (indexed by `ValueId`).
+    pub level: Vec<MemLevel>,
+    /// For global values: whether the per-block tile is staged fully in
+    /// shared memory (`false` means streamed).
+    pub staged: Vec<bool>,
+}
+
+/// Assigns a memory level to every value of the fused graph.
+///
+/// `staging_limit` is the per-operand budget above which a global operand
+/// is streamed instead of staged.
+pub fn assign_memory(
+    graph: &Graph,
+    smg: &Smg,
+    spatial: &[(DimId, usize)],
+    temporal: Option<&TemporalSchedule>,
+    staging_limit: u64,
+) -> MemoryAssignment {
+    let mut restrict: Vec<(DimId, usize)> = spatial.to_vec();
+    if let Some(t) = temporal {
+        restrict.push((t.plan.dim, t.block));
+    }
+    let sliced_outputs: Vec<ValueId> = temporal
+        .map(|t| t.plan.sliced.iter().map(|s| graph.ops()[s.op.0].output).collect())
+        .unwrap_or_default();
+
+    let n = graph.values().len();
+    let mut level = vec![MemLevel::Register; n];
+    let mut staged = vec![false; n];
+
+    for (vi, v) in graph.values().iter().enumerate() {
+        let id = ValueId(vi);
+        match v.kind {
+            ValueKind::Input | ValueKind::Weight => {
+                level[vi] = MemLevel::Global;
+                staged[vi] = smg.block_footprint(graph, id, &restrict) <= staging_limit;
+            }
+            ValueKind::Intermediate => {
+                if graph.outputs().contains(&id) {
+                    // Outputs stream back to global through registers.
+                    level[vi] = MemLevel::Global;
+                    continue;
+                }
+                if sliced_outputs.contains(&id) {
+                    // Accumulators of sliced reductions live in registers
+                    // (paper: "intermediate results of the accumulation
+                    // ... are also allocated to the register level").
+                    level[vi] = MemLevel::Register;
+                    continue;
+                }
+                // O2A source or A2O sink → shared; pure O2O → register.
+                let space = smg.data_space[vi];
+                let communicates = smg.mappings.iter().any(|m| {
+                    (m.src == space && matches!(m.kind, MappingKind::OneToAll(_)))
+                        || (m.dst == space && matches!(m.kind, MappingKind::AllToOne(_)))
+                });
+                level[vi] = if communicates { MemLevel::Shared } else { MemLevel::Register };
+            }
+        }
+    }
+    MemoryAssignment { level, staged }
+}
+
+/// Liveness interval (op indices) of each value inside the kernel.
+fn live_ranges(graph: &Graph) -> Vec<(usize, usize)> {
+    let n_ops = graph.ops().len();
+    let mut ranges = vec![(0usize, n_ops); graph.values().len()];
+    for (oi, op) in graph.ops().iter().enumerate() {
+        ranges[op.output.0].0 = oi;
+        ranges[op.output.0].1 = oi;
+    }
+    for (oi, op) in graph.ops().iter().enumerate() {
+        for &input in &op.inputs {
+            ranges[input.0].1 = ranges[input.0].1.max(oi);
+        }
+    }
+    // Graph outputs stay live to the end.
+    for &o in graph.outputs() {
+        ranges[o.0].1 = n_ops;
+    }
+    ranges
+}
+
+/// Shared-memory bytes per block: staged tiles + streaming buffers +
+/// liveness-maximum of shared intermediates.
+pub fn smem_per_block(graph: &Graph, s: &FusedSchedule) -> u64 {
+    let restrict = s.block_restrictions();
+    let mut fixed = 0u64;
+    for (vi, v) in graph.values().iter().enumerate() {
+        if matches!(v.kind, ValueKind::Input | ValueKind::Weight) {
+            fixed += if s.mem.staged[vi] {
+                s.smg.block_footprint(graph, ValueId(vi), &restrict)
+            } else {
+                STREAM_BUFFER_BYTES
+            };
+        }
+    }
+
+    let ranges = live_ranges(graph);
+    let mut peak = 0u64;
+    for oi in 0..graph.ops().len() {
+        let mut live = 0u64;
+        for (vi, _) in graph.values().iter().enumerate() {
+            if s.mem.level[vi] == MemLevel::Shared
+                && ranges[vi].0 <= oi
+                && oi <= ranges[vi].1
+            {
+                live += s.smg.block_footprint(graph, ValueId(vi), &restrict);
+            }
+        }
+        peak = peak.max(live);
+    }
+    fixed + peak
+}
+
+/// Register bytes per block: liveness-maximum of register intermediates
+/// plus the (f32) accumulators of sliced reductions and a fixed overhead.
+pub fn regs_per_block(graph: &Graph, s: &FusedSchedule) -> u64 {
+    let restrict = s.block_restrictions();
+    let spatial_only = s.spatial_restrictions();
+    let esz = graph.dtype().size_bytes() as u64;
+    let ranges = live_ranges(graph);
+
+    let sliced_outputs: Vec<ValueId> = s
+        .temporal
+        .as_ref()
+        .map(|t| t.plan.sliced.iter().map(|r| graph.ops()[r.op.0].output).collect())
+        .unwrap_or_default();
+
+    let mut acc = 0u64;
+    for &v in &sliced_outputs {
+        // Accumulators are kept in f32 regardless of the storage dtype.
+        acc += s.smg.block_footprint(graph, v, spatial_only) / esz * 4;
+    }
+
+    let mut peak = 0u64;
+    for oi in 0..graph.ops().len() {
+        let mut live = 0u64;
+        for (vi, v) in graph.values().iter().enumerate() {
+            let id = ValueId(vi);
+            if sliced_outputs.contains(&id) {
+                continue;
+            }
+            let in_regs = s.mem.level[vi] == MemLevel::Register
+                || (s.mem.level[vi] == MemLevel::Global
+                    && matches!(v.kind, ValueKind::Intermediate));
+            if in_regs && ranges[vi].0 <= oi && oi <= ranges[vi].1 {
+                live += s.smg.block_footprint(graph, id, &restrict);
+            }
+        }
+        peak = peak.max(live);
+    }
+    acc + peak + REG_OVERHEAD_BYTES
+}
+
+/// Flop count of one op over a restricted tile.
+pub fn tile_flops(graph: &Graph, smg: &Smg, op_idx: usize, restrict: &[(DimId, usize)]) -> u64 {
+    let op = &graph.ops()[op_idx];
+    let restricted_extent = |d: DimId| -> u64 {
+        restrict
+            .iter()
+            .find(|(rd, _)| *rd == d)
+            .map(|&(_, b)| b.min(smg.extent(d)))
+            .unwrap_or(smg.extent(d)) as u64
+    };
+    match &op.kind {
+        OpKind::Gemm { .. } => {
+            // Iteration space volume × 2 (multiply-add).
+            let iter = &smg.spaces[smg.iter_space[op_idx].0];
+            2 * iter.dims.iter().map(|&d| restricted_extent(d)).product::<u64>()
+        }
+        OpKind::Reduce { .. } => {
+            let iter = &smg.spaces[smg.iter_space[op_idx].0];
+            iter.dims.iter().map(|&d| restricted_extent(d)).product::<u64>()
+        }
+        _ => {
+            // One op per restricted output element.
+            let out = op.output;
+            graph
+                .shape(out)
+                .dims()
+                .iter()
+                .enumerate()
+                .map(|(axis, &e)| {
+                    let d = smg.value_axes[out.0][axis];
+                    restrict
+                        .iter()
+                        .find(|(rd, _)| *rd == d)
+                        .map(|&(_, b)| b.min(e) as u64)
+                        .unwrap_or(e as u64)
+                })
+                .product()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slicer::plan_temporal;
+    use crate::smg::build_smg;
+    use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+    use sf_tensor::{DType, Shape};
+
+    fn mha(m: usize, l: usize, k: usize) -> Graph {
+        let mut g = Graph::new("mha", DType::F16);
+        let q = g.input("q", Shape::new(vec![m, k]));
+        let kk = g.input("k", Shape::new(vec![l, k]));
+        let v = g.input("v", Shape::new(vec![l, k]));
+        let qk = g.gemm(q, kk, true).unwrap();
+        let mx = g.reduce(ReduceOp::Max, qk, 1).unwrap();
+        let sub = g.binary(BinaryOp::Sub, qk, mx).unwrap();
+        let e = g.unary(UnaryOp::Exp, sub).unwrap();
+        let s = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        let d = g.binary(BinaryOp::Div, e, s).unwrap();
+        let out = g.gemm(d, v, false).unwrap();
+        g.mark_output(out);
+        g
+    }
+
+    fn mha_schedule(m: usize, l: usize, k: usize, bm: usize, bt: Option<usize>) -> (Graph, FusedSchedule) {
+        let g = mha(m, l, k);
+        let smg = build_smg(&g).unwrap();
+        let m_dim = smg.value_axes[0][0];
+        let l_dim = smg.value_axes[1][0];
+        let spatial = vec![(m_dim, bm)];
+        let temporal = bt.map(|b| TemporalSchedule {
+            plan: plan_temporal(&g, &smg, l_dim).unwrap(),
+            block: b,
+        });
+        let mem = assign_memory(&g, &smg, &spatial, temporal.as_ref(), 32 << 10);
+        (g.clone(), FusedSchedule { smg, spatial, temporal, mem })
+    }
+
+    #[test]
+    fn mha_assignment_follows_section_5_4() {
+        let (g, s) = mha_schedule(64, 1024, 64, 64, Some(64));
+        // Inputs are global and staged (small tiles).
+        assert_eq!(s.level(sf_ir::ValueId(0)), MemLevel::Global);
+        assert!(s.is_staged(sf_ir::ValueId(0)));
+        // QK (gemm1 output, an A2O sink) is shared.
+        let qk = g.ops()[0].output;
+        assert_eq!(s.level(qk), MemLevel::Shared);
+        // Max / Sum / Out are sliced-reduction accumulators → registers
+        // (Out itself is a kernel output → global).
+        let max_out = g.ops()[1].output;
+        let sum_out = g.ops()[4].output;
+        assert_eq!(s.level(max_out), MemLevel::Register);
+        assert_eq!(s.level(sum_out), MemLevel::Register);
+        // Sub and Exp sit on O2O chains... Exp feeds both sum (O2O) and
+        // div (O2O) so it stays in registers; Div is an O2A source →
+        // shared.
+        let sub_out = g.ops()[2].output;
+        let exp_out = g.ops()[3].output;
+        let div_out = g.ops()[5].output;
+        assert_eq!(s.level(sub_out), MemLevel::Register);
+        assert_eq!(s.level(exp_out), MemLevel::Register);
+        assert_eq!(s.level(div_out), MemLevel::Shared);
+    }
+
+    #[test]
+    fn temporal_slicing_shrinks_shared_footprint() {
+        let (g_sliced, sliced) = mha_schedule(64, 1024, 64, 64, Some(64));
+        let (g_flat, flat) = mha_schedule(64, 1024, 64, 64, None);
+        let a = sliced.smem_per_block(&g_sliced);
+        let b = flat.smem_per_block(&g_flat);
+        assert!(
+            a * 4 < b,
+            "temporal slicing should cut smem by >4x: sliced={a} flat={b}"
+        );
+        // The flat schedule exceeds a V100's 96 KiB budget; the sliced
+        // one fits — the mechanism behind fusion failures vs successes.
+        assert!(b > 96 << 10);
+        assert!(a < 96 << 10);
+    }
+
+    #[test]
+    fn registers_track_accumulators() {
+        let (g, s) = mha_schedule(64, 1024, 64, 64, Some(64));
+        let regs = s.regs_per_block(&g);
+        // Out accumulator alone is 64×64×4 = 16 KiB.
+        assert!(regs >= 16 << 10);
+        assert!(regs <= 256 << 10, "must fit the register file: {regs}");
+    }
+
+    #[test]
+    fn large_weights_are_streamed() {
+        let mut g = Graph::new("mlp", DType::F16);
+        let x = g.input("x", Shape::new(vec![512, 256]));
+        let w = g.weight("w", Shape::new(vec![256, 256]));
+        let h = g.gemm(x, w, false).unwrap();
+        let r = g.unary(UnaryOp::Relu, h).unwrap();
+        g.mark_output(r);
+        let smg = build_smg(&g).unwrap();
+        let m_dim = smg.value_axes[0][0];
+        let spatial = vec![(m_dim, 64)];
+        let mem = assign_memory(&g, &smg, &spatial, None, 32 << 10);
+        // Weight tile is 256×256×2 = 128 KiB > 32 KiB limit → streamed.
+        assert!(!mem.staged[1]);
+        // x tile is 64×256×2 = 32 KiB ≤ limit → staged.
+        assert!(mem.staged[0]);
+    }
+
+    #[test]
+    fn tile_flops_scale_with_restriction() {
+        let g = mha(64, 1024, 64);
+        let smg = build_smg(&g).unwrap();
+        let m_dim = smg.value_axes[0][0];
+        let l_dim = smg.value_axes[1][0];
+        // GEMM1 full: 2·64·1024·64.
+        assert_eq!(tile_flops(&g, &smg, 0, &[]), 2 * 64 * 1024 * 64);
+        // Restricted to one block/tile: 2·16·128·64.
+        assert_eq!(
+            tile_flops(&g, &smg, 0, &[(m_dim, 16), (l_dim, 128)]),
+            2 * 16 * 128 * 64
+        );
+        // Element-wise op: restricted output volume.
+        assert_eq!(tile_flops(&g, &smg, 2, &[(m_dim, 16), (l_dim, 128)]), 16 * 128);
+    }
+}

@@ -1,0 +1,25 @@
+//! Auto-scheduling (paper §5).
+//!
+//! * [`schedule`] — the concrete schedule representation shared by the
+//!   tuner and the code generator: spatial block sizes, the temporal plan
+//!   with its block size, the memory-hierarchy assignment, and the
+//!   derived per-block resource footprints.
+//! * [`memory`] — memory-hierarchy scheduling (§5.4): data spaces are
+//!   assigned to register / shared / global levels from their mapping
+//!   roles, with liveness-aware footprint accounting.
+//! * [`resource`] — resource-aware slicing (Algorithm 1): spatial slicing
+//!   of all eligible dimensions, temporal slicing of the priority
+//!   dimension, and enumeration of block-size configurations that satisfy
+//!   the hardware resource constraints.
+//! * [`partition`] — SMG partitioning (Algorithm 2) for unschedulable
+//!   SMGs, plus the §5.3 candidate-schedule exploration.
+
+pub mod memory;
+pub mod partition;
+pub mod resource;
+pub mod schedule;
+
+pub use memory::{assign_memory, MemLevel, MemoryAssignment};
+pub use partition::{alternative_cut, extract_ops, partition_round, split_graph, sub_smg_units};
+pub use resource::{resource_aware_slicing, SlicingOptions};
+pub use schedule::{op_roles, FusedSchedule, OpRole, TemporalSchedule};

@@ -1,0 +1,326 @@
+//! Resource-aware slicing (paper §5.1, Algorithm 1).
+
+use super::memory::assign_memory;
+use super::schedule::{FusedSchedule, TemporalSchedule};
+use crate::error::{Result, SfError};
+use crate::slicer::{
+    eligible_spatial_dims, pick_temporal_dim, plan_temporal, AggKind, TemporalPlan,
+};
+use crate::smg::{DimId, Smg};
+use sf_gpu_sim::GpuArch;
+use sf_ir::Graph;
+
+/// Options controlling the slicing process (also used to model the
+/// baseline systems' restricted capabilities and the ablation variants).
+#[derive(Debug, Clone)]
+pub struct SlicingOptions {
+    /// Attempt temporal slicing (§4.3). Disabled for the `Base(SS)`
+    /// ablation variant.
+    pub enable_temporal: bool,
+    /// Allow Update-then-Aggregate. Disabled to model tile-graph systems
+    /// (Welder/NNFusion) that cannot transform intra-operator
+    /// dependencies.
+    pub enable_uta: bool,
+    /// Use only this spatial block size (expert-fixed, for the
+    /// auto-scheduling-disabled ablation variants).
+    pub fixed_spatial_block: Option<usize>,
+    /// Use only this temporal block size.
+    pub fixed_temporal_block: Option<usize>,
+    /// Cap on the number of feasible schedules returned.
+    pub max_configs: usize,
+}
+
+impl Default for SlicingOptions {
+    fn default() -> Self {
+        SlicingOptions {
+            enable_temporal: true,
+            enable_uta: true,
+            fixed_spatial_block: None,
+            fixed_temporal_block: None,
+            max_configs: 128,
+        }
+    }
+}
+
+/// Candidate block sizes for one dimension of the given extent.
+///
+/// `min_block` models backend tiling granularity: dimensions that feed a
+/// GEMM iteration space cannot be tiled below the tensor-core MMA shape
+/// (16), which is what makes flat long-sequence attention genuinely
+/// infeasible rather than "feasible with one-row blocks".
+fn candidate_sizes(extent: usize, min_block: usize, fixed: Option<usize>) -> Vec<usize> {
+    if let Some(b) = fixed {
+        return vec![b.clamp(min_block.min(extent), extent.max(1))];
+    }
+    let mut sizes: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128, 256]
+        .into_iter()
+        .filter(|&b| b <= extent && b >= min_block)
+        .collect();
+    if sizes.is_empty() {
+        sizes.push(extent.max(1));
+    }
+    sizes
+}
+
+/// Minimum block size of a dimension: 16 when the dimension participates
+/// in any GEMM iteration space, 1 otherwise.
+fn min_block_of(graph: &Graph, smg: &Smg, d: DimId) -> usize {
+    let in_gemm = graph.ops().iter().enumerate().any(|(oi, op)| {
+        matches!(op.kind, sf_ir::OpKind::Gemm { .. })
+            && smg.spaces[smg.iter_space[oi].0].dims.contains(&d)
+    });
+    if in_gemm {
+        16
+    } else {
+        1
+    }
+}
+
+/// Finds the highest-priority temporal plan, skipping dimensions whose
+/// dependency chains cannot be transformed (paper §4.3's △ cases fall
+/// back to the next-priority dimension).
+fn find_temporal_plan(
+    graph: &Graph,
+    smg: &Smg,
+    spatial: &[DimId],
+    opts: &SlicingOptions,
+) -> Option<TemporalPlan> {
+    let mut excluded: Vec<DimId> = spatial.to_vec();
+    while let Some(dim) = pick_temporal_dim(graph, smg, &excluded) {
+        match plan_temporal(graph, smg, dim) {
+            Ok(plan) => {
+                let needs_uta =
+                    plan.sliced.iter().any(|s| matches!(s.agg, AggKind::Uta(_)));
+                if needs_uta && !opts.enable_uta {
+                    excluded.push(dim);
+                    continue;
+                }
+                // Slicing a dimension with no reductions and no benefit
+                // is pointless; require at least one sliced mapping.
+                return Some(plan);
+            }
+            Err(_) => excluded.push(dim),
+        }
+    }
+    None
+}
+
+/// Algorithm 1: slices `smg` spatially then temporally and enumerates the
+/// block-size configurations that satisfy `arch`'s resource constraints.
+///
+/// Returns every feasible concrete schedule (the tuner selects among
+/// them). Fails with [`SfError::NoSpatialDim`] when no dimension is
+/// spatially sliceable and with [`SfError::ResourceInfeasible`] when no
+/// configuration fits — both trigger SMG partitioning in the caller.
+pub fn resource_aware_slicing(
+    graph: &Graph,
+    smg: &Smg,
+    arch: &GpuArch,
+    opts: &SlicingOptions,
+) -> Result<Vec<FusedSchedule>> {
+    // When no dimension is dependency-free, fall back to single-block
+    // schedules (grid 1 per instance): batch-like instances still provide
+    // inter-block parallelism. This extends Algorithm 1 to the decode-
+    // style shapes where every non-batch dimension carries a reduction.
+    let spatial_dims = eligible_spatial_dims(graph, smg);
+
+    let temporal_plan = if opts.enable_temporal {
+        find_temporal_plan(graph, smg, &spatial_dims, opts)
+    } else {
+        None
+    };
+
+    // Enumerate spatial configurations (cross product over dims; a
+    // single empty configuration when nothing is sliceable).
+    let per_dim: Vec<Vec<usize>> = spatial_dims
+        .iter()
+        .map(|&d| {
+            candidate_sizes(smg.extent(d), min_block_of(graph, smg, d), opts.fixed_spatial_block)
+        })
+        .collect();
+    let mut spatial_cfgs: Vec<Vec<usize>> = vec![Vec::new()];
+    for sizes in &per_dim {
+        let mut next = Vec::with_capacity(spatial_cfgs.len() * sizes.len());
+        for cfg in &spatial_cfgs {
+            for &s in sizes {
+                let mut c = cfg.clone();
+                c.push(s);
+                next.push(c);
+            }
+        }
+        spatial_cfgs = next;
+    }
+
+    let staging_limit = arch.smem_per_block / 4;
+    let mut feasible: Vec<FusedSchedule> = Vec::new();
+    for cfg in &spatial_cfgs {
+        let spatial: Vec<(DimId, usize)> =
+            spatial_dims.iter().copied().zip(cfg.iter().copied()).collect();
+
+        // Spatial-only variant.
+        let mem = assign_memory(graph, smg, &spatial, None, staging_limit);
+        let s = FusedSchedule { smg: smg.clone(), spatial: spatial.clone(), temporal: None, mem };
+        if arch.block_fits(s.smem_per_block(graph), s.regs_per_block(graph)) {
+            feasible.push(s);
+        }
+
+        // Temporally sliced variants. The paper notes slicing is
+        // attempted whether or not the spatial schedule already fits:
+        // "some SMGs that cannot satisfy the hardware resource
+        // constraints during the spatial slicing become efficient after
+        // being temporal sliced".
+        if let Some(plan) = &temporal_plan {
+            let tmin = min_block_of(graph, smg, plan.dim);
+            for tb in candidate_sizes(smg.extent(plan.dim), tmin, opts.fixed_temporal_block) {
+                if tb < 8 && smg.extent(plan.dim) >= 8 {
+                    continue; // degenerate intra-blocks.
+                }
+                let temporal = Some(TemporalSchedule { plan: plan.clone(), block: tb });
+                let mem = assign_memory(graph, smg, &spatial, temporal.as_ref(), staging_limit);
+                let s = FusedSchedule {
+                    smg: smg.clone(),
+                    spatial: spatial.clone(),
+                    temporal,
+                    mem,
+                };
+                if arch.block_fits(s.smem_per_block(graph), s.regs_per_block(graph)) {
+                    feasible.push(s);
+                }
+            }
+        }
+        if feasible.len() >= opts.max_configs * 2 {
+            break;
+        }
+    }
+
+    if feasible.is_empty() {
+        return Err(SfError::ResourceInfeasible(format!(
+            "graph '{}' ({} ops) has no feasible block configuration on {}",
+            graph.name(),
+            graph.ops().len(),
+            arch.name
+        )));
+    }
+    feasible.truncate(opts.max_configs);
+    Ok(feasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smg::build_smg;
+    use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+    use sf_tensor::{DType, Shape};
+
+    fn mha(m: usize, l: usize, k: usize) -> Graph {
+        let mut g = Graph::new("mha", DType::F16);
+        let q = g.input("q", Shape::new(vec![m, k]));
+        let kk = g.input("k", Shape::new(vec![l, k]));
+        let v = g.input("v", Shape::new(vec![l, k]));
+        let qk = g.gemm(q, kk, true).unwrap();
+        let mx = g.reduce(ReduceOp::Max, qk, 1).unwrap();
+        let sub = g.binary(BinaryOp::Sub, qk, mx).unwrap();
+        let e = g.unary(UnaryOp::Exp, sub).unwrap();
+        let s = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        let d = g.binary(BinaryOp::Div, e, s).unwrap();
+        let out = g.gemm(d, v, false).unwrap();
+        g.mark_output(out);
+        g
+    }
+
+    #[test]
+    fn mha_long_sequence_requires_temporal_slicing() {
+        let g = mha(4096, 4096, 64);
+        let smg = build_smg(&g).unwrap();
+        let arch = GpuArch::volta();
+        let schedules =
+            resource_aware_slicing(&g, &smg, &arch, &SlicingOptions::default()).unwrap();
+        assert!(!schedules.is_empty());
+        // Every feasible schedule at this size is temporally sliced.
+        assert!(schedules.iter().all(|s| s.temporal.is_some()));
+    }
+
+    #[test]
+    fn without_uta_long_mha_is_infeasible() {
+        // Models the tile-graph (Welder) limitation: the dependent
+        // reduction chain cannot be sliced, and the flat intermediate
+        // does not fit.
+        let g = mha(4096, 4096, 64);
+        let smg = build_smg(&g).unwrap();
+        let arch = GpuArch::volta();
+        let opts = SlicingOptions { enable_uta: false, ..Default::default() };
+        let err = resource_aware_slicing(&g, &smg, &arch, &opts);
+        assert!(matches!(err, Err(SfError::ResourceInfeasible(_))));
+    }
+
+    #[test]
+    fn short_mha_fits_without_temporal_slicing_too() {
+        let g = mha(256, 128, 64);
+        let smg = build_smg(&g).unwrap();
+        let arch = GpuArch::ampere();
+        let schedules =
+            resource_aware_slicing(&g, &smg, &arch, &SlicingOptions::default()).unwrap();
+        assert!(schedules.iter().any(|s| s.temporal.is_none()));
+        assert!(schedules.iter().any(|s| s.temporal.is_some()));
+    }
+
+    #[test]
+    fn all_schedules_respect_resource_bounds() {
+        let g = mha(1024, 1024, 64);
+        let smg = build_smg(&g).unwrap();
+        for arch in [GpuArch::volta(), GpuArch::ampere(), GpuArch::hopper()] {
+            let schedules =
+                resource_aware_slicing(&g, &smg, &arch, &SlicingOptions::default()).unwrap();
+            for s in &schedules {
+                assert!(s.smem_per_block(&g) <= arch.smem_per_block);
+                assert!(s.regs_per_block(&g) <= arch.regs_per_block);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_blocks_reduce_the_search_space() {
+        let g = mha(1024, 1024, 64);
+        let smg = build_smg(&g).unwrap();
+        let arch = GpuArch::ampere();
+        let opts = SlicingOptions {
+            fixed_spatial_block: Some(64),
+            fixed_temporal_block: Some(64),
+            ..Default::default()
+        };
+        let schedules = resource_aware_slicing(&g, &smg, &arch, &opts).unwrap();
+        assert!(schedules.len() <= 2);
+        for s in &schedules {
+            assert_eq!(s.spatial[0].1, 64);
+        }
+    }
+
+    #[test]
+    fn unsliceable_graph_falls_back_to_single_block() {
+        // A graph whose every dimension carries a reduction cannot be
+        // spatially sliced; it is scheduled as one block per instance.
+        let mut g = Graph::new("t", DType::F16);
+        let x = g.input("x", Shape::new(vec![1, 64]));
+        let s = g.reduce(ReduceOp::Sum, x, 1).unwrap();
+        let e = g.unary(UnaryOp::Exp, s).unwrap();
+        g.mark_output(e);
+        let smg = build_smg(&g).unwrap();
+        let schedules = resource_aware_slicing(
+            &g,
+            &smg,
+            &GpuArch::ampere(),
+            &SlicingOptions::default(),
+        )
+        .unwrap();
+        assert!(schedules.iter().all(|s| s.grid() == 1));
+    }
+
+    #[test]
+    fn candidate_sizes_respect_extent_and_min_block() {
+        assert_eq!(candidate_sizes(5, 1, None), vec![1, 2, 4]);
+        assert_eq!(candidate_sizes(64, 1, Some(32)), vec![32]);
+        assert_eq!(candidate_sizes(16, 1, Some(64)), vec![16]);
+        assert!(candidate_sizes(4096, 16, None).contains(&256));
+        assert!(!candidate_sizes(4096, 16, None).contains(&8));
+    }
+}

@@ -1,0 +1,126 @@
+//! The spatial slicer (paper §4.2).
+
+use crate::smg::{DimId, MappingKind, Smg};
+use sf_ir::Graph;
+
+/// Dimensions eligible for spatial slicing.
+///
+/// Per Table 3, a dimension can be spatially sliced when every mapping in
+/// the dimension is an *input* One-to-All — the source data space is a
+/// kernel input resident in global memory, visible to all thread blocks,
+/// so slicing induces no inter-block flow dependency — or when the
+/// dimension carries no mappings at all. Any All-to-One, or a One-to-All
+/// sourced from an intermediate, disqualifies the dimension.
+///
+/// Dimensions of extent 1 are skipped (nothing to parallelize).
+pub fn eligible_spatial_dims(graph: &Graph, smg: &Smg) -> Vec<DimId> {
+    (0..smg.dims.len())
+        .map(DimId)
+        .filter(|&d| smg.extent(d) > 1)
+        .filter(|&d| {
+            smg.mappings_in_dim(d).iter().all(|m| match m.kind {
+                MappingKind::OneToAll(_) => smg.is_kernel_input_space(graph, m.src),
+                MappingKind::AllToOne(_) => false,
+                MappingKind::OneToOne => true,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smg::build_smg;
+    use sf_ir::{Graph, ValueId};
+    use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+    use sf_tensor::{DType, Shape};
+
+    fn mha(m: usize, l: usize, k: usize) -> Graph {
+        let mut g = Graph::new("mha", DType::F16);
+        let q = g.input("q", Shape::new(vec![m, k]));
+        let kk = g.input("k", Shape::new(vec![l, k]));
+        let v = g.input("v", Shape::new(vec![l, k]));
+        let qk = g.gemm(q, kk, true).unwrap();
+        let mx = g.reduce(ReduceOp::Max, qk, 1).unwrap();
+        let sub = g.binary(BinaryOp::Sub, qk, mx).unwrap();
+        let e = g.unary(UnaryOp::Exp, sub).unwrap();
+        let s = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        let d = g.binary(BinaryOp::Div, e, s).unwrap();
+        let out = g.gemm(d, v, false).unwrap();
+        g.mark_output(out);
+        g
+    }
+
+    #[test]
+    fn mha_is_sliceable_along_m_only() {
+        // Paper §4.2: "Dim2 is the only dimension eligible for being
+        // spatially sliced, as solely an input One-to-All resides within
+        // Dim2."
+        let g = mha(64, 256, 64);
+        let smg = build_smg(&g).unwrap();
+        let dims = eligible_spatial_dims(&g, &smg);
+        assert_eq!(dims.len(), 1);
+        let m_dim = smg.value_axes[ValueId(0).0][0]; // q axis 0 = M.
+        assert_eq!(dims[0], m_dim);
+    }
+
+    #[test]
+    fn standalone_gemm_slices_both_output_dims() {
+        let mut g = Graph::new("gemm", DType::F16);
+        let a = g.input("a", Shape::new(vec![64, 128]));
+        let b = g.weight("b", Shape::new(vec![128, 96]));
+        let c = g.gemm(a, b, false).unwrap();
+        g.mark_output(c);
+        let smg = build_smg(&g).unwrap();
+        let dims = eligible_spatial_dims(&g, &smg);
+        // M and N are eligible (both carry only input O2As); K is not
+        // (A2O).
+        assert_eq!(dims.len(), 2);
+        let k_dim = smg.value_axes[ValueId(0).0][1];
+        assert!(!dims.contains(&k_dim));
+    }
+
+    #[test]
+    fn softmax_slices_rows_only() {
+        let mut g = Graph::new("softmax", DType::F16);
+        let x = g.input("x", Shape::new(vec![32, 64]));
+        let m = g.reduce(ReduceOp::Max, x, 1).unwrap();
+        let s = g.binary(BinaryOp::Sub, x, m).unwrap();
+        let e = g.unary(UnaryOp::Exp, s).unwrap();
+        let z = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        let d = g.binary(BinaryOp::Div, e, z).unwrap();
+        g.mark_output(d);
+        let smg = build_smg(&g).unwrap();
+        let dims = eligible_spatial_dims(&g, &smg);
+        assert_eq!(dims.len(), 1);
+        assert_eq!(smg.extent(dims[0]), 32);
+    }
+
+    #[test]
+    fn intermediate_broadcast_blocks_spatial_slicing() {
+        // div(exp, sum) as a standalone kernel: sum is a kernel *input*
+        // here, so its O2A is an input O2A and N becomes sliceable. The
+        // same op fused behind the producing reduction is not sliceable
+        // along N — the distinction of Table 3.
+        let mut standalone = Graph::new("div", DType::F16);
+        let e = standalone.input("exp", Shape::new(vec![8, 32]));
+        let s = standalone.input("sum", Shape::new(vec![8, 1]));
+        let d = standalone.binary(BinaryOp::Div, e, s).unwrap();
+        standalone.mark_output(d);
+        let smg = build_smg(&standalone).unwrap();
+        let dims = eligible_spatial_dims(&standalone, &smg);
+        assert_eq!(dims.len(), 2, "both dims sliceable for standalone div");
+    }
+
+    #[test]
+    fn unit_extent_dims_are_skipped() {
+        let mut g = Graph::new("t", DType::F16);
+        let x = g.input("x", Shape::new(vec![1, 64]));
+        let y = g.unary(UnaryOp::Relu, x).unwrap();
+        g.mark_output(y);
+        let smg = build_smg(&g).unwrap();
+        let dims = eligible_spatial_dims(&g, &smg);
+        assert_eq!(dims.len(), 1);
+        assert_eq!(smg.extent(dims[0]), 64);
+    }
+}

@@ -1,0 +1,259 @@
+//! The temporal slicer (paper §4.3).
+
+use super::update::{update_factors, UpdateFactor};
+use crate::error::Result;
+use crate::smg::{DimId, MappingKind, Smg, SpaceKind};
+use sf_ir::{Graph, OpId, OpKind};
+use sf_tensor::ops::ReduceOp;
+use std::collections::HashSet;
+
+/// How a sliced reduction aggregates across intra-blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggKind {
+    /// Simple Aggregate: the reduction is independent; partial results
+    /// combine directly (running max / running sum).
+    Simple,
+    /// Update-then-Aggregate: the old accumulator is rescaled by the
+    /// update function before combining (paper Fig. 7, right).
+    Uta(Vec<UpdateFactor>),
+}
+
+/// One reduction cut by the temporal slicer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlicedReduction {
+    /// The reduction operator (a `Reduce` or a GEMM whose contraction
+    /// dimension is the sliced dimension).
+    pub op: OpId,
+    /// Aggregation strategy.
+    pub agg: AggKind,
+}
+
+/// A temporal slicing plan for one SMG block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalPlan {
+    /// The sliced dimension.
+    pub dim: DimId,
+    /// Reductions cut by the slicer, in topological order.
+    pub sliced: Vec<SlicedReduction>,
+    /// Whether execution needs two passes over the intra-blocks: pass 1
+    /// computes the sliced reductions, pass 2 re-streams the tiles to
+    /// produce outputs that span the sliced dimension with the *final*
+    /// aggregates. Single-pass execution (the FlashAttention shape) is
+    /// possible only when no kernel output spans the sliced dimension and
+    /// no mid-loop consumer needs a finalized value.
+    pub two_phase: bool,
+}
+
+/// Picks the highest-priority dimension for temporal slicing.
+///
+/// Paper §5.1: "a dimension with higher priority is recognized as a
+/// dimension along which an SMG block possesses a larger volume of data
+/// space" — slicing it yields the largest on-chip footprint reduction.
+/// Dimensions already sliced spatially are excluded.
+pub fn pick_temporal_dim(graph: &Graph, smg: &Smg, spatial: &[DimId]) -> Option<DimId> {
+    let mut best: Option<(DimId, u64)> = None;
+    for d in (0..smg.dims.len()).map(DimId) {
+        if spatial.contains(&d) || smg.extent(d) <= 1 {
+            continue;
+        }
+        let volume: u64 = smg
+            .spaces
+            .iter()
+            .filter_map(|s| match s.kind {
+                SpaceKind::Data { value } if s.dims.contains(&d) => {
+                    Some(graph.shape(value).volume() as u64)
+                }
+                _ => None,
+            })
+            .sum();
+        if volume == 0 {
+            continue;
+        }
+        if best.map(|(_, v)| volume > v).unwrap_or(true) {
+            best = Some((d, volume));
+        }
+    }
+    best.map(|(d, _)| d)
+}
+
+/// Builds the temporal slicing plan for dimension `dim`.
+///
+/// Classifies the All-to-One mappings in the dimension (Table 3):
+/// independent reductions get Simple Aggregate; dependent chains get UTA
+/// with derived update functions; and an unfactorable chain fails with
+/// [`crate::error::SfError::UpdatePath`] (the caller then abandons this
+/// dimension).
+pub fn plan_temporal(graph: &Graph, smg: &Smg, dim: DimId) -> Result<TemporalPlan> {
+    // Reductions whose iteration space carries an A2O along `dim`.
+    let mut sliced_ops: Vec<OpId> = Vec::new();
+    for m in smg.mappings_in_dim(dim) {
+        if let MappingKind::AllToOne(_) = m.kind {
+            if let SpaceKind::Iter { op } = smg.spaces[m.src.0].kind {
+                if !sliced_ops.contains(&op) {
+                    sliced_ops.push(op);
+                }
+            }
+        }
+    }
+    sliced_ops.sort();
+
+    // Derive aggregation strategies.
+    let mut sliced = Vec::with_capacity(sliced_ops.len());
+    for &op in &sliced_ops {
+        let factors = update_factors(graph, smg, dim, op, &sliced_ops)?;
+        let agg = if factors.is_empty() { AggKind::Simple } else { AggKind::Uta(factors) };
+        sliced.push(SlicedReduction { op, agg });
+    }
+
+    // Two-phase analysis.
+    let sliced_outputs: HashSet<_> =
+        sliced_ops.iter().map(|&o| graph.ops()[o.0].output).collect();
+
+    // (a) A kernel output spanning `dim` cannot be finalized mid-loop.
+    let mut two_phase = graph
+        .outputs()
+        .iter()
+        .any(|&v| smg.value_has_dim(graph, v, dim));
+
+    // (b) A mean reduction has no meaningful running value, so any
+    // in-loop consumer of it needs the finalized result.
+    // (c) An in-loop op consuming a post-loop value (one computed from
+    // finalized aggregates) likewise forces a second pass.
+    for op in graph.ops() {
+        let in_loop = smg.value_has_dim(graph, op.output, dim);
+        if !in_loop {
+            continue;
+        }
+        for &input in &op.inputs {
+            if sliced_outputs.contains(&input) {
+                if let Some(p) = graph.producer(input) {
+                    if matches!(p.kind, OpKind::Reduce { op: ReduceOp::Mean, .. }) {
+                        two_phase = true;
+                    }
+                }
+            } else if !smg.value_has_dim(graph, input, dim)
+                && graph.producer(input).is_some()
+            {
+                // Input lives outside the loop and is not a running
+                // aggregate: it is only available after the loop.
+                two_phase = true;
+            }
+        }
+    }
+
+    Ok(TemporalPlan { dim, sliced, two_phase })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SfError;
+    use crate::slicer::update::FactorForm;
+    use crate::smg::build_smg;
+    use sf_tensor::ops::{BinaryOp, UnaryOp};
+    use sf_tensor::{DType, Shape};
+
+    fn mha(m: usize, l: usize, k: usize) -> (Graph, Smg) {
+        let mut g = Graph::new("mha", DType::F16);
+        let q = g.input("q", Shape::new(vec![m, k]));
+        let kk = g.input("k", Shape::new(vec![l, k]));
+        let v = g.input("v", Shape::new(vec![l, k]));
+        let qk = g.gemm(q, kk, true).unwrap();
+        let mx = g.reduce(ReduceOp::Max, qk, 1).unwrap();
+        let sub = g.binary(BinaryOp::Sub, qk, mx).unwrap();
+        let e = g.unary(UnaryOp::Exp, sub).unwrap();
+        let s = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        let d = g.binary(BinaryOp::Div, e, s).unwrap();
+        let out = g.gemm(d, v, false).unwrap();
+        g.mark_output(out);
+        let smg = build_smg(&g).unwrap();
+        (g, smg)
+    }
+
+    #[test]
+    fn mha_priority_dim_is_sequence_length() {
+        let (g, smg) = mha(64, 512, 64);
+        let m_dim = smg.value_axes[0][0];
+        let dim = pick_temporal_dim(&g, &smg, &[m_dim]).unwrap();
+        assert_eq!(smg.extent(dim), 512);
+    }
+
+    #[test]
+    fn mha_plan_is_single_pass_flash_attention() {
+        let (g, smg) = mha(64, 512, 64);
+        let m_dim = smg.value_axes[0][0];
+        let dim = pick_temporal_dim(&g, &smg, &[m_dim]).unwrap();
+        let plan = plan_temporal(&g, &smg, dim).unwrap();
+        // Three sliced reductions: max (SA), sum (UTA/max), out (UTA/
+        // max+sum). Output does not span L, so single pass.
+        assert!(!plan.two_phase);
+        assert_eq!(plan.sliced.len(), 3);
+        assert_eq!(plan.sliced[0].agg, AggKind::Simple);
+        match &plan.sliced[1].agg {
+            AggKind::Uta(f) => {
+                assert_eq!(f.len(), 1);
+                assert_eq!(f[0].form, FactorForm::ExpNeg);
+            }
+            other => panic!("sum should be UTA, got {other:?}"),
+        }
+        match &plan.sliced[2].agg {
+            AggKind::Uta(f) => assert_eq!(f.len(), 2),
+            other => panic!("out should be UTA, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn softmax_output_forces_two_phase() {
+        // Standalone softmax: the div output spans the sliced dimension.
+        let mut g = Graph::new("softmax", DType::F16);
+        let x = g.input("x", Shape::new(vec![32, 128]));
+        let m = g.reduce(ReduceOp::Max, x, 1).unwrap();
+        let s = g.binary(BinaryOp::Sub, x, m).unwrap();
+        let e = g.unary(UnaryOp::Exp, s).unwrap();
+        let z = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        let d = g.binary(BinaryOp::Div, e, z).unwrap();
+        g.mark_output(d);
+        let smg = build_smg(&g).unwrap();
+        let n_dim = smg.value_axes[0][1];
+        let plan = plan_temporal(&g, &smg, n_dim).unwrap();
+        assert!(plan.two_phase);
+        assert_eq!(plan.sliced.len(), 2);
+    }
+
+    #[test]
+    fn independent_reductions_use_simple_aggregate() {
+        // RMSNorm-style: mean(x²) is independent of everything.
+        let mut g = Graph::new("rms", DType::F16);
+        let x = g.input("x", Shape::new(vec![16, 64]));
+        let sq = g.unary(UnaryOp::Sqr, x).unwrap();
+        let ms = g.reduce(ReduceOp::Mean, sq, 1).unwrap();
+        g.mark_output(ms);
+        let smg = build_smg(&g).unwrap();
+        let n_dim = smg.value_axes[0][1];
+        let plan = plan_temporal(&g, &smg, n_dim).unwrap();
+        assert_eq!(plan.sliced.len(), 1);
+        assert_eq!(plan.sliced[0].agg, AggKind::Simple);
+        assert!(!plan.two_phase, "output does not span the sliced dim");
+    }
+
+    #[test]
+    fn layernorm_variance_chain_is_rejected() {
+        let mut g = Graph::new("ln", DType::F16);
+        let x = g.input("x", Shape::new(vec![16, 64]));
+        let m = g.reduce(ReduceOp::Mean, x, 1).unwrap();
+        let c = g.binary(BinaryOp::Sub, x, m).unwrap();
+        let sq = g.unary(UnaryOp::Sqr, c).unwrap();
+        let v = g.reduce(ReduceOp::Mean, sq, 1).unwrap();
+        g.mark_output(v);
+        let smg = build_smg(&g).unwrap();
+        let n_dim = smg.value_axes[0][1];
+        assert!(matches!(plan_temporal(&g, &smg, n_dim), Err(SfError::UpdatePath(_))));
+    }
+
+    #[test]
+    fn pick_dim_excludes_spatial_and_unit_dims() {
+        let (g, smg) = mha(64, 512, 64);
+        let all: Vec<DimId> = (0..smg.dims.len()).map(DimId).collect();
+        assert_eq!(pick_temporal_dim(&g, &smg, &all), None);
+    }
+}

@@ -1,0 +1,402 @@
+//! Update-function generation (paper §4.3, Fig. 8).
+//!
+//! When a temporal slicer cuts *dependent* All-to-Ones — reductions whose
+//! inputs consume the results of earlier sliced reductions — Simple
+//! Aggregate is incorrect: the later intra-blocks see different values of
+//! the dependency than the earlier ones did. The paper's Update-then-
+//! Aggregate (UTA) fixes this by rescaling the old accumulator before
+//! each aggregation step.
+//!
+//! The derivation here follows the paper's recipe:
+//!
+//! 1. **Broadcast postposition**: the input expression of each dependent
+//!    reduction is algebraically factored into `core × Π factorᵢ(dᵢ)`,
+//!    where each `factorᵢ` is a function of an earlier sliced reduction
+//!    `dᵢ` that is *invariant along the sliced dimension* (the broadcast
+//!    is pushed past the reduction). Supported factor forms:
+//!    `exp(−d)` (from `exp(x − d)`), `1/d` (from `x / d`) and `d` (from
+//!    `x · d`). These are exactly the algebraic rules of Fig. 8.
+//! 2. **Update-path back-tracing**: the collected factors become the
+//!    update function `acc ← acc · Π gᵢ(dᵢᵒˡᵈ, dᵢⁿᵉʷ)` with
+//!    `g = exp(dᵒˡᵈ − dⁿᵉʷ)` for `exp(−d)`, `g = dᵒˡᵈ/dⁿᵉʷ` for `1/d`,
+//!    and `g = dⁿᵉʷ/dᵒˡᵈ` for `d`.
+//!
+//! Applied to attention this yields
+//! `updateSum = Sum·exp(Max_old − Max_new)` and
+//! `updateOut = Out·(Sum_old/Sum_new)·exp(Max_old − Max_new)` — the
+//! paper's Fig. 8(e), i.e. the FlashAttention online softmax, derived
+//! mechanically.
+
+use crate::error::{Result, SfError};
+use crate::smg::{DimId, Smg};
+use sf_ir::{Graph, OpId, OpKind, ValueId};
+use sf_tensor::ops::{BinaryOp, UnaryOp};
+use std::collections::HashSet;
+
+/// The algebraic form of one multiplicative factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorForm {
+    /// `factor(d) = 1/d`  →  update multiplies by `d_old / d_new`.
+    Recip,
+    /// `factor(d) = exp(−d)`  →  update multiplies by `exp(d_old − d_new)`.
+    ExpNeg,
+    /// `factor(d) = d`  →  update multiplies by `d_new / d_old`.
+    Value,
+}
+
+/// One term of an update function: a factor form applied to the result of
+/// an earlier sliced reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateFactor {
+    /// The sliced reduction this factor depends on.
+    pub dep: OpId,
+    /// The algebraic form.
+    pub form: FactorForm,
+}
+
+/// Derives the update factors for the sliced reduction `target`.
+///
+/// `sliced` lists all reductions sliced along `dim` (in topological
+/// order); factors may only reference reductions appearing *before*
+/// `target`. Returns an empty list when `target` is independent.
+///
+/// Fails with [`SfError::UpdatePath`] when the input expression cannot be
+/// factored — the paper's "not all the All-to-One chains end up with
+/// simplification results" case, in which the temporal slicer must give
+/// up on this dimension.
+pub fn update_factors(
+    graph: &Graph,
+    smg: &Smg,
+    dim: DimId,
+    target: OpId,
+    sliced: &[OpId],
+) -> Result<Vec<UpdateFactor>> {
+    let earlier: Vec<OpId> = sliced.iter().copied().take_while(|&o| o != target).collect();
+    let earlier_outputs: HashSet<ValueId> =
+        earlier.iter().map(|&o| graph.ops()[o.0].output).collect();
+
+    // Values transitively depending on an earlier sliced reduction.
+    let tainted = tainted_values(graph, &earlier_outputs);
+
+    let ctx = Ctx { graph, smg, dim, earlier: &earlier, tainted: &tainted };
+    let op = &graph.ops()[target.0];
+    let mut factors = Vec::new();
+    for &input in &op.inputs {
+        factors.extend(ctx.analyze(input)?);
+    }
+    // Max-like aggregations do not commute with multiplicative factors.
+    if !factors.is_empty() {
+        if let OpKind::Reduce { op: r, .. } = &op.kind {
+            if *r == sf_tensor::ops::ReduceOp::Max {
+                return Err(SfError::UpdatePath(
+                    "max reduction depends on an earlier sliced reduction".into(),
+                ));
+            }
+        }
+    }
+    Ok(factors)
+}
+
+/// Values reachable from the given reduction outputs.
+fn tainted_values(graph: &Graph, roots: &HashSet<ValueId>) -> HashSet<ValueId> {
+    let mut tainted: HashSet<ValueId> = roots.clone();
+    for op in graph.ops() {
+        if op.inputs.iter().any(|i| tainted.contains(i)) {
+            tainted.insert(op.output);
+        }
+    }
+    tainted
+}
+
+struct Ctx<'a> {
+    graph: &'a Graph,
+    smg: &'a Smg,
+    dim: DimId,
+    earlier: &'a [OpId],
+    tainted: &'a HashSet<ValueId>,
+}
+
+impl Ctx<'_> {
+    fn depends(&self, v: ValueId) -> bool {
+        self.tainted.contains(&v)
+    }
+
+    /// If `v` is (a broadcast of) the result of an earlier sliced
+    /// reduction, return that reduction.
+    fn as_earlier_reduction(&self, mut v: ValueId) -> Option<OpId> {
+        loop {
+            if let Some(&r) = self
+                .earlier
+                .iter()
+                .find(|&&o| self.graph.ops()[o.0].output == v)
+            {
+                // The dependency must be invariant along the sliced dim
+                // (true by construction: it reduced that dim away).
+                if !self.smg.value_has_dim(self.graph, v, self.dim) || self.smg.extent(self.dim) == 1
+                {
+                    return Some(r);
+                }
+                return None;
+            }
+            // See through broadcasts and identity ops.
+            match self.graph.producer(v) {
+                Some(op)
+                    if matches!(op.kind, OpKind::Broadcast { .. })
+                        || matches!(op.kind, OpKind::Unary(UnaryOp::Identity)) =>
+                {
+                    v = op.inputs[0];
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Factors `value` into `core × Π factor(dᵢ)` and returns the factors.
+    fn analyze(&self, value: ValueId) -> Result<Vec<UpdateFactor>> {
+        if !self.depends(value) {
+            return Ok(Vec::new());
+        }
+        let op = self.graph.producer(value).ok_or_else(|| {
+            SfError::UpdatePath("tainted kernel input (impossible)".to_string())
+        })?;
+        match &op.kind {
+            OpKind::Binary(BinaryOp::Div) => {
+                let (a, b) = (op.inputs[0], op.inputs[1]);
+                if let Some(dep) = self.as_earlier_reduction(b) {
+                    let mut f = self.analyze(a)?;
+                    f.push(UpdateFactor { dep, form: FactorForm::Recip });
+                    Ok(f)
+                } else if !self.depends(b) {
+                    self.analyze(a)
+                } else {
+                    Err(self.fail("division by a non-reduction dependent value", op))
+                }
+            }
+            OpKind::Binary(BinaryOp::Mul) => {
+                let (a, b) = (op.inputs[0], op.inputs[1]);
+                if let Some(dep) = self.as_earlier_reduction(b) {
+                    let mut f = self.analyze(a)?;
+                    f.push(UpdateFactor { dep, form: FactorForm::Value });
+                    Ok(f)
+                } else if let Some(dep) = self.as_earlier_reduction(a) {
+                    let mut f = self.analyze(b)?;
+                    f.push(UpdateFactor { dep, form: FactorForm::Value });
+                    Ok(f)
+                } else if !self.depends(b) {
+                    self.analyze(a)
+                } else if !self.depends(a) {
+                    self.analyze(b)
+                } else {
+                    Err(self.fail("product of two dependent values", op))
+                }
+            }
+            OpKind::Unary(UnaryOp::Exp) => self.analyze_exp(op.inputs[0]),
+            // A constant scale commutes with the reduction and cancels in
+            // the old/new ratio: it contributes no factor.
+            OpKind::Scalar { op: BinaryOp::Mul | BinaryOp::Div, .. } => {
+                self.analyze(op.inputs[0])
+            }
+            OpKind::Broadcast { .. } | OpKind::Unary(UnaryOp::Identity) => {
+                self.analyze(op.inputs[0])
+            }
+            // Additive mixing destroys the multiplicative factorization:
+            // reduce(x·f(d) + y) has no `core × factor` form.
+            other => Err(self.fail(
+                &format!("cannot postpone broadcast through {}", other.name()),
+                op,
+            )),
+        }
+    }
+
+    /// Factors `exp(inner)` where `inner` may subtract earlier reduction
+    /// results: `exp(x − d) = exp(x)·exp(−d)` (broadcast postposition of
+    /// Fig. 8(b)/(c)).
+    fn analyze_exp(&self, inner: ValueId) -> Result<Vec<UpdateFactor>> {
+        if !self.depends(inner) {
+            return Ok(Vec::new());
+        }
+        let op = self.graph.producer(inner).ok_or_else(|| {
+            SfError::UpdatePath("tainted kernel input under exp".to_string())
+        })?;
+        match &op.kind {
+            OpKind::Binary(BinaryOp::Sub) => {
+                let (a, b) = (op.inputs[0], op.inputs[1]);
+                if let Some(dep) = self.as_earlier_reduction(b) {
+                    let mut f = self.analyze_exp(a)?;
+                    f.push(UpdateFactor { dep, form: FactorForm::ExpNeg });
+                    Ok(f)
+                } else if !self.depends(b) {
+                    self.analyze_exp(a)
+                } else {
+                    Err(self.fail("exp of subtraction by non-reduction value", op))
+                }
+            }
+            OpKind::Binary(BinaryOp::Add) => {
+                let (a, b) = (op.inputs[0], op.inputs[1]);
+                if !self.depends(b) {
+                    self.analyze_exp(a)
+                } else if !self.depends(a) {
+                    self.analyze_exp(b)
+                } else {
+                    Err(self.fail("exp of sum of two dependent values", op))
+                }
+            }
+            OpKind::Scalar { op: BinaryOp::Add | BinaryOp::Sub, .. } => {
+                self.analyze_exp(op.inputs[0])
+            }
+            other => Err(self.fail(
+                &format!("cannot factor exp through {}", other.name()),
+                op,
+            )),
+        }
+    }
+
+    fn fail(&self, msg: &str, op: &sf_ir::OpNode) -> SfError {
+        SfError::UpdatePath(format!("{msg} (at {})", op.kind.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smg::build_smg;
+    use sf_tensor::ops::ReduceOp;
+    use sf_tensor::{DType, Shape};
+
+    /// Builds the MHA graph and returns (graph, smg, L dim, sliced ops).
+    fn mha_setup() -> (Graph, Smg, DimId, Vec<OpId>) {
+        let mut g = Graph::new("mha", DType::F16);
+        let q = g.input("q", Shape::new(vec![64, 64]));
+        let kk = g.input("k", Shape::new(vec![256, 64]));
+        let v = g.input("v", Shape::new(vec![256, 64]));
+        let qk = g.gemm(q, kk, true).unwrap();
+        let mx = g.reduce(ReduceOp::Max, qk, 1).unwrap();
+        let sub = g.binary(BinaryOp::Sub, qk, mx).unwrap();
+        let e = g.unary(UnaryOp::Exp, sub).unwrap();
+        let s = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        let d = g.binary(BinaryOp::Div, e, s).unwrap();
+        let out = g.gemm(d, v, false).unwrap();
+        g.mark_output(out);
+        let smg = build_smg(&g).unwrap();
+        let l_dim = smg.value_axes[1][0]; // key axis 0.
+        // Sliced reductions along L: max (op 1), sum (op 4), gemm2 (op 6).
+        let sliced = vec![OpId(1), OpId(4), OpId(6)];
+        (g, smg, l_dim, sliced)
+    }
+
+    #[test]
+    fn max_is_independent() {
+        let (g, smg, l, sliced) = mha_setup();
+        let f = update_factors(&g, &smg, l, OpId(1), &sliced).unwrap();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn sum_update_matches_paper_update_sum() {
+        // Paper Fig. 8(e): updateSum = Sum_old * exp(Max_old)/exp(Max).
+        let (g, smg, l, sliced) = mha_setup();
+        let f = update_factors(&g, &smg, l, OpId(4), &sliced).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].dep, OpId(1));
+        assert_eq!(f[0].form, FactorForm::ExpNeg);
+    }
+
+    #[test]
+    fn out_update_matches_paper_update_out() {
+        // Paper Fig. 8(e): updateOut = Out_old * Sum_old/Sum *
+        // exp(Max_old)/exp(Max).
+        let (g, smg, l, sliced) = mha_setup();
+        let mut f = update_factors(&g, &smg, l, OpId(6), &sliced).unwrap();
+        f.sort_by_key(|u| u.dep);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0], UpdateFactor { dep: OpId(1), form: FactorForm::ExpNeg });
+        assert_eq!(f[1], UpdateFactor { dep: OpId(4), form: FactorForm::Recip });
+    }
+
+    #[test]
+    fn additive_mixing_fails() {
+        // sum2(x + sum1(x)·broadcast) cannot be factored.
+        let mut g = Graph::new("bad", DType::F16);
+        let x = g.input("x", Shape::new(vec![8, 32]));
+        let s1 = g.reduce(ReduceOp::Sum, x, 1).unwrap();
+        let mixed = g.binary(BinaryOp::Add, x, s1).unwrap();
+        let s2 = g.reduce(ReduceOp::Sum, mixed, 1).unwrap();
+        g.mark_output(s2);
+        let smg = build_smg(&g).unwrap();
+        let dim = smg.value_axes[0][1];
+        let sliced = vec![OpId(0), OpId(2)];
+        let err = update_factors(&g, &smg, dim, OpId(2), &sliced);
+        assert!(matches!(err, Err(SfError::UpdatePath(_))));
+    }
+
+    #[test]
+    fn dependent_max_fails() {
+        // max(x / sum(x)) — a max depending on a sliced sum has no valid
+        // update function.
+        let mut g = Graph::new("bad", DType::F16);
+        let x = g.input("x", Shape::new(vec![8, 32]));
+        let s = g.reduce(ReduceOp::Sum, x, 1).unwrap();
+        let d = g.binary(BinaryOp::Div, x, s).unwrap();
+        let m = g.reduce(ReduceOp::Max, d, 1).unwrap();
+        g.mark_output(m);
+        let smg = build_smg(&g).unwrap();
+        let dim = smg.value_axes[0][1];
+        let sliced = vec![OpId(0), OpId(2)];
+        let err = update_factors(&g, &smg, dim, OpId(2), &sliced);
+        assert!(matches!(err, Err(SfError::UpdatePath(_))));
+    }
+
+    #[test]
+    fn variance_style_chain_fails() {
+        // mean((x − mean(x))²): the square blocks postposition; this is
+        // why Fig. 10(c) LayerNorm is scheduled without temporal slicing.
+        let mut g = Graph::new("ln_var", DType::F16);
+        let x = g.input("x", Shape::new(vec![8, 32]));
+        let m = g.reduce(ReduceOp::Mean, x, 1).unwrap();
+        let c = g.binary(BinaryOp::Sub, x, m).unwrap();
+        let sq = g.unary(UnaryOp::Sqr, c).unwrap();
+        let v = g.reduce(ReduceOp::Mean, sq, 1).unwrap();
+        g.mark_output(v);
+        let smg = build_smg(&g).unwrap();
+        let dim = smg.value_axes[0][1];
+        let sliced = vec![OpId(0), OpId(3)];
+        let err = update_factors(&g, &smg, dim, OpId(3), &sliced);
+        assert!(matches!(err, Err(SfError::UpdatePath(_))));
+    }
+
+    #[test]
+    fn scalar_scale_is_transparent() {
+        // sum(exp(x·s − max(x·s))) with a constant scale: same factors.
+        let mut g = Graph::new("scaled_softmax", DType::F16);
+        let x = g.input("x", Shape::new(vec![8, 32]));
+        let sc = g.scalar(BinaryOp::Mul, x, 0.125).unwrap();
+        let m = g.reduce(ReduceOp::Max, sc, 1).unwrap();
+        let sub = g.binary(BinaryOp::Sub, sc, m).unwrap();
+        let e = g.unary(UnaryOp::Exp, sub).unwrap();
+        let s = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        g.mark_output(s);
+        let smg = build_smg(&g).unwrap();
+        let dim = smg.value_axes[0][1];
+        let sliced = vec![OpId(1), OpId(4)];
+        let f = update_factors(&g, &smg, dim, OpId(4), &sliced).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].form, FactorForm::ExpNeg);
+    }
+
+    #[test]
+    fn mul_by_reduction_yields_value_factor() {
+        // dot(x·sum(x), w): factor `Value(sum)`.
+        let mut g = Graph::new("t", DType::F16);
+        let x = g.input("x", Shape::new(vec![8, 32]));
+        let w = g.input("w", Shape::new(vec![32, 4]));
+        let s = g.reduce(ReduceOp::Sum, x, 1).unwrap();
+        let m = g.binary(BinaryOp::Mul, x, s).unwrap();
+        let out = g.gemm(m, w, false).unwrap();
+        g.mark_output(out);
+        let smg = build_smg(&g).unwrap();
+        let dim = smg.value_axes[0][1];
+        let sliced = vec![OpId(0), OpId(2)];
+        let f = update_factors(&g, &smg, dim, OpId(2), &sliced).unwrap();
+        assert_eq!(f, vec![UpdateFactor { dep: OpId(0), form: FactorForm::Value }]);
+    }
+}

@@ -1,0 +1,29 @@
+//! The Space-Mapping Graph (SMG) abstraction (paper §4.1).
+//!
+//! An SMG models a fused multi-operator region as a graph of
+//! *computational spaces* connected by *space mappings*:
+//!
+//! * **Data spaces** abstract tensors (inputs, weights, intermediates,
+//!   outputs). Each data-space axis is aligned to a *global dimension* of
+//!   the fused space; an axis whose tensor extent is 1 while the global
+//!   dimension is larger is a *placeholder* ("−" in the paper's
+//!   notation), e.g. `Max(M,−)` after a row-max.
+//! * **Iteration spaces** abstract the loop nests of operators. They sit
+//!   between input and output data spaces, decoupling the direct
+//!   dependency into indirect mappings.
+//! * **Mappings** are directed edges: One-to-One (O2O) when source and
+//!   destination cover the same dimensions, One-to-All (O2A, with a
+//!   direction dimension) when the source is *reused* along a dimension
+//!   it does not possess, and All-to-One (A2O, with a direction
+//!   dimension) when the destination *reduces away* a dimension.
+//!
+//! Fused SMGs are built directly from the operator DFG: because producer
+//! and consumer share one tensor value in the IR, the paper's
+//! "connect-then-merge with dimension alignment" step (Fig. 4) is
+//! performed by the union-find alignment in [`build`].
+
+pub mod build;
+pub mod graph;
+
+pub use build::build_smg;
+pub use graph::{DimId, DimInfo, Mapping, MappingKind, Smg, SpaceId, SpaceKind};

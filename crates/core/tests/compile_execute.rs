@@ -1,0 +1,296 @@
+//! End-to-end compiler correctness: compile → execute must reproduce the
+//! unfused reference numerics for every policy and workload shape.
+
+use sf_gpu_sim::Arch;
+use sf_ir::Graph;
+use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+use sf_tensor::{DType, Shape};
+use spacefusion::compiler::{CompileOptions, Compiler, FusionPolicy};
+
+fn softmax_graph(m: usize, n: usize) -> Graph {
+    let mut g = Graph::new("softmax", DType::F32);
+    let x = g.input("x", Shape::new(vec![m, n]));
+    let mx = g.reduce(ReduceOp::Max, x, 1).unwrap();
+    let s = g.binary(BinaryOp::Sub, x, mx).unwrap();
+    let e = g.unary(UnaryOp::Exp, s).unwrap();
+    let z = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+    let d = g.binary(BinaryOp::Div, e, z).unwrap();
+    g.mark_output(d);
+    g
+}
+
+fn mha_graph(m: usize, l: usize, k: usize) -> Graph {
+    let mut g = Graph::new("mha", DType::F32);
+    let q = g.input("q", Shape::new(vec![m, k]));
+    let kk = g.input("k", Shape::new(vec![l, k]));
+    let v = g.input("v", Shape::new(vec![l, k]));
+    let qk = g.gemm(q, kk, true).unwrap();
+    let sc = g.scalar(BinaryOp::Mul, qk, 1.0 / (k as f32).sqrt()).unwrap();
+    let mx = g.reduce(ReduceOp::Max, sc, 1).unwrap();
+    let sub = g.binary(BinaryOp::Sub, sc, mx).unwrap();
+    let e = g.unary(UnaryOp::Exp, sub).unwrap();
+    let s = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+    let d = g.binary(BinaryOp::Div, e, s).unwrap();
+    let out = g.gemm(d, v, false).unwrap();
+    g.mark_output(out);
+    g
+}
+
+fn mlp_graph(layers: usize, m: usize, h: usize) -> Graph {
+    let mut g = Graph::new("mlp", DType::F32);
+    let mut x = g.input("x", Shape::new(vec![m, h]));
+    for i in 0..layers {
+        let w = g.weight(format!("w{i}"), Shape::new(vec![h, h]));
+        let b = g.weight(format!("b{i}"), Shape::new(vec![1, h]));
+        let t = g.gemm(x, w, false).unwrap();
+        let t = g.binary(BinaryOp::Add, t, b).unwrap();
+        x = g.unary(UnaryOp::Relu, t).unwrap();
+    }
+    g.mark_output(x);
+    g
+}
+
+fn layernorm_graph(m: usize, n: usize) -> Graph {
+    let mut g = Graph::new("layernorm", DType::F32);
+    let x = g.input("x", Shape::new(vec![m, n]));
+    let w = g.weight("w", Shape::new(vec![1, n]));
+    let b = g.weight("b", Shape::new(vec![1, n]));
+    let mean = g.reduce(ReduceOp::Mean, x, 1).unwrap();
+    let c = g.binary(BinaryOp::Sub, x, mean).unwrap();
+    let sq = g.unary(UnaryOp::Sqr, c).unwrap();
+    let var = g.reduce(ReduceOp::Mean, sq, 1).unwrap();
+    let veps = g.scalar(BinaryOp::Add, var, 1e-5).unwrap();
+    let std = g.unary(UnaryOp::Sqrt, veps).unwrap();
+    let norm = g.binary(BinaryOp::Div, c, std).unwrap();
+    let sc = g.binary(BinaryOp::Mul, norm, w).unwrap();
+    let y = g.binary(BinaryOp::Add, sc, b).unwrap();
+    g.mark_output(y);
+    g
+}
+
+fn rmsnorm_graph(m: usize, n: usize) -> Graph {
+    let mut g = Graph::new("rmsnorm", DType::F32);
+    let x = g.input("x", Shape::new(vec![m, n]));
+    let w = g.weight("w", Shape::new(vec![1, n]));
+    let sq = g.unary(UnaryOp::Sqr, x).unwrap();
+    let ms = g.reduce(ReduceOp::Mean, sq, 1).unwrap();
+    let eps = g.scalar(BinaryOp::Add, ms, 1e-5).unwrap();
+    let rms = g.unary(UnaryOp::Sqrt, eps).unwrap();
+    let n1 = g.binary(BinaryOp::Div, x, rms).unwrap();
+    let y = g.binary(BinaryOp::Mul, n1, w).unwrap();
+    g.mark_output(y);
+    g
+}
+
+/// Compiles under a policy and checks numerics against the reference.
+fn check(g: &Graph, policy: FusionPolicy, arch: Arch, seed: u64, tol: f32) {
+    let compiler = Compiler::with_policy(arch, policy);
+    let program = compiler.compile(g).unwrap_or_else(|e| {
+        panic!("compile failed for {} under {policy:?}: {e}", g.name())
+    });
+    let bindings = g.random_bindings(seed);
+    let expect = g.execute(&bindings).unwrap();
+    let got = program.execute(&bindings).unwrap_or_else(|e| {
+        panic!("execute failed for {} under {policy:?}: {e}", g.name())
+    });
+    assert_eq!(got.len(), expect.len());
+    for (i, (a, b)) in got.iter().zip(expect.iter()).enumerate() {
+        let diff = a.max_abs_diff(b);
+        assert!(
+            diff.is_some_and(|d| d <= tol),
+            "{} under {policy:?}: output {i} differs by {diff:?} (tol {tol})",
+            g.name()
+        );
+    }
+}
+
+#[test]
+fn softmax_fused_matches_reference() {
+    check(&softmax_graph(64, 256), FusionPolicy::SpaceFusion, Arch::Ampere, 1, 1e-5);
+}
+
+#[test]
+fn softmax_with_uneven_tiles_matches() {
+    // Extents that do not divide the block sizes exercise edge clamping.
+    check(&softmax_graph(37, 100), FusionPolicy::SpaceFusion, Arch::Ampere, 2, 1e-5);
+}
+
+#[test]
+fn softmax_unfused_matches_reference() {
+    check(&softmax_graph(64, 256), FusionPolicy::Unfused, Arch::Ampere, 3, 1e-5);
+}
+
+#[test]
+fn mha_flash_attention_schedule_matches() {
+    // Long sequence forces the temporal slicer + UTA: this is the
+    // mechanically derived FlashAttention, validated numerically.
+    let g = mha_graph(64, 2048, 64);
+    let compiler = Compiler::with_policy(Arch::Volta, FusionPolicy::SpaceFusion);
+    let program = compiler.compile(&g).unwrap();
+    assert_eq!(program.kernels.len(), 1, "MHA must fuse into one kernel");
+    assert!(
+        program.kernels[0].schedule.temporal.is_some(),
+        "long-sequence MHA must be temporally sliced"
+    );
+    check(&g, FusionPolicy::SpaceFusion, Arch::Volta, 4, 1e-3);
+}
+
+#[test]
+fn mha_short_sequence_matches() {
+    check(&mha_graph(32, 64, 32), FusionPolicy::SpaceFusion, Arch::Hopper, 5, 1e-4);
+}
+
+#[test]
+fn mha_all_policies_match() {
+    let g = mha_graph(32, 128, 32);
+    for policy in [
+        FusionPolicy::SpaceFusion,
+        FusionPolicy::Unfused,
+        FusionPolicy::EpilogueOnly,
+        FusionPolicy::MiOnly,
+        FusionPolicy::TileGraph,
+    ] {
+        check(&g, policy, Arch::Ampere, 6, 1e-4);
+    }
+}
+
+#[test]
+fn mlp_stack_fuses_and_matches() {
+    let g = mlp_graph(4, 64, 64);
+    let compiler = Compiler::with_policy(Arch::Ampere, FusionPolicy::SpaceFusion);
+    let program = compiler.compile(&g).unwrap();
+    assert_eq!(program.kernels.len(), 1, "small MLP stack should fully fuse");
+    check(&g, FusionPolicy::SpaceFusion, Arch::Ampere, 7, 1e-3);
+}
+
+#[test]
+fn mlp_unfused_has_one_kernel_per_op() {
+    let g = mlp_graph(3, 32, 32);
+    let compiler = Compiler::with_policy(Arch::Ampere, FusionPolicy::Unfused);
+    let program = compiler.compile(&g).unwrap();
+    assert_eq!(program.kernels.len(), 9);
+    check(&g, FusionPolicy::Unfused, Arch::Ampere, 8, 1e-4);
+}
+
+#[test]
+fn mlp_epilogue_policy_groups_gemm_plus_epilogue() {
+    let g = mlp_graph(3, 32, 32);
+    let compiler = Compiler::with_policy(Arch::Ampere, FusionPolicy::EpilogueOnly);
+    let program = compiler.compile(&g).unwrap();
+    assert_eq!(program.kernels.len(), 3, "one kernel per gemm+bias+relu");
+    check(&g, FusionPolicy::EpilogueOnly, Arch::Ampere, 9, 1e-4);
+}
+
+#[test]
+fn layernorm_fuses_to_one_kernel_and_matches() {
+    let g = layernorm_graph(128, 256);
+    let compiler = Compiler::with_policy(Arch::Ampere, FusionPolicy::SpaceFusion);
+    let program = compiler.compile(&g).unwrap();
+    assert_eq!(program.kernels.len(), 1);
+    check(&g, FusionPolicy::SpaceFusion, Arch::Ampere, 10, 1e-4);
+}
+
+#[test]
+fn layernorm_mi_only_also_fuses() {
+    // LayerNorm is all memory-intensive ops: the AStitch-like policy
+    // fuses it too (paper Table 6: MI fusion is where BladeDISC works).
+    let g = layernorm_graph(64, 128);
+    let compiler = Compiler::with_policy(Arch::Ampere, FusionPolicy::MiOnly);
+    let program = compiler.compile(&g).unwrap();
+    assert_eq!(program.kernels.len(), 1);
+    check(&g, FusionPolicy::MiOnly, Arch::Ampere, 11, 1e-4);
+}
+
+#[test]
+fn rmsnorm_streams_with_simple_aggregate() {
+    let g = rmsnorm_graph(64, 512);
+    check(&g, FusionPolicy::SpaceFusion, Arch::Ampere, 12, 1e-4);
+}
+
+#[test]
+fn welder_policy_partitions_long_mha() {
+    // Without UTA the fused MHA is unschedulable at long sequence
+    // lengths; the tile-graph policy must fall back to multiple kernels
+    // (the paper's "NNFusion fails to fuse MHA with long sequence
+    // lengths") while staying numerically correct.
+    let g = mha_graph(64, 4096, 64);
+    let compiler = Compiler::with_policy(Arch::Volta, FusionPolicy::TileGraph);
+    let program = compiler.compile(&g).unwrap();
+    assert!(
+        program.kernels.len() > 1,
+        "tile-graph policy should have split long MHA"
+    );
+    let sf = Compiler::with_policy(Arch::Volta, FusionPolicy::SpaceFusion);
+    let sf_program = sf.compile(&g).unwrap();
+    assert_eq!(sf_program.kernels.len(), 1, "SpaceFusion keeps one kernel");
+    check(&g, FusionPolicy::TileGraph, Arch::Volta, 13, 1e-3);
+}
+
+#[test]
+fn compile_stats_record_search_space() {
+    let g = mha_graph(128, 512, 64);
+    let compiler = Compiler::new(Arch::Ampere, CompileOptions::default());
+    let program = compiler.compile(&g).unwrap();
+    assert!(program.stats.configs > 1);
+    assert_eq!(
+        program.stats.evaluated + program.stats.pruned,
+        program.stats.configs
+    );
+    assert!(program.stats.total_us > 0.0);
+    // MHA has 4 A2O mappings: it must appear in the fusion census.
+    assert_eq!(program.stats.fusion_patterns.len(), 1);
+}
+
+#[test]
+fn schedule_cache_hits_on_repeated_shapes() {
+    let g = softmax_graph(64, 256);
+    let compiler = Compiler::new(Arch::Ampere, CompileOptions::default());
+    let p1 = compiler.compile(&g).unwrap();
+    assert_eq!(p1.stats.cache_hits, 0);
+    let p2 = compiler.compile(&g).unwrap();
+    assert_eq!(p2.stats.cache_hits, 1);
+    // Cached compilation still executes correctly.
+    let bindings = g.random_bindings(14);
+    let expect = g.execute(&bindings).unwrap();
+    let got = p2.execute(&bindings).unwrap();
+    assert!(got[0].allclose(&expect[0], 1e-5));
+}
+
+#[test]
+fn profile_reports_cache_and_dram_counters() {
+    let g = mha_graph(128, 512, 64);
+    let compiler = Compiler::new(Arch::Ampere, CompileOptions::default());
+    let fused = compiler.compile(&g).unwrap();
+    let unfused = Compiler::with_policy(Arch::Ampere, FusionPolicy::Unfused)
+        .compile(&g)
+        .unwrap();
+    let fr = fused.profile(1);
+    let ur = unfused.profile(1);
+    assert!(fr.stats.dram_total_bytes() > 0);
+    // Fusion must reduce DRAM traffic and simulated time.
+    assert!(
+        fr.stats.dram_total_bytes() < ur.stats.dram_total_bytes(),
+        "fused {} vs unfused {}",
+        fr.stats.dram_total_bytes(),
+        ur.stats.dram_total_bytes()
+    );
+    assert!(fr.time_us < ur.time_us);
+    assert_eq!(ur.stats.kernels as usize, unfused.kernels.len());
+}
+
+#[test]
+fn batched_instances_scale_profile() {
+    let mut g = mha_graph(128, 256, 64);
+    g.instances = 8;
+    let compiler = Compiler::new(Arch::Ampere, CompileOptions::default());
+    let p = compiler.compile(&g).unwrap();
+    let r1 = {
+        let mut g1 = mha_graph(128, 256, 64);
+        g1.instances = 1;
+        compiler.compile(&g1).unwrap().profile(1)
+    };
+    let r8 = p.profile(2);
+    // Eight instances move ~8x the data.
+    let ratio = r8.stats.dram_total_bytes() as f64 / r1.stats.dram_total_bytes() as f64;
+    assert!((4.0..=12.0).contains(&ratio), "ratio {ratio}");
+}

@@ -1,0 +1,200 @@
+//! Structural invariants of the SMG abstraction and the slicers, checked
+//! over randomly generated graphs.
+
+use proptest::prelude::*;
+use sf_ir::{Graph, OpKind, ValueKind};
+use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+use sf_tensor::{DType, Shape};
+use spacefusion::slicer::{eligible_spatial_dims, pick_temporal_dim};
+use spacefusion::smg::{build_smg, MappingKind, SpaceKind};
+
+#[derive(Debug, Clone)]
+enum Step {
+    Unary(u8),
+    Reduce(u8, bool),
+    CombineInput(u8),
+    GemmWeight(u8), // gemm with a fresh weight of width 2^k.
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..4).prop_map(Step::Unary),
+        ((0u8..3), any::<bool>()).prop_map(|(k, c)| Step::Reduce(k, c)),
+        (0u8..4).prop_map(Step::CombineInput),
+        (3u8..6).prop_map(Step::GemmWeight),
+    ]
+}
+
+fn build(m: usize, n: usize, steps: &[Step]) -> Graph {
+    let mut g = Graph::new("random", DType::F16);
+    let x = g.input("x", Shape::new(vec![m, n]));
+    let mut cur = x;
+    let mut widx = 0;
+    for s in steps {
+        cur = match s {
+            Step::Unary(u) => g
+                .unary(
+                    [UnaryOp::Relu, UnaryOp::Tanh, UnaryOp::Sqr, UnaryOp::Sigmoid]
+                        [*u as usize % 4],
+                    cur,
+                )
+                .unwrap(),
+            Step::Reduce(k, cols) => {
+                let dim = if *cols { 0 } else { 1 };
+                if g.shape(cur).dims()[dim] == 1 {
+                    continue;
+                }
+                g.reduce(
+                    [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Mean][*k as usize % 3],
+                    cur,
+                    dim,
+                )
+                .unwrap()
+            }
+            Step::CombineInput(b) => {
+                // Only when the current value still broadcasts against x
+                // (a preceding GEMM may have changed the width).
+                if g.shape(x).broadcast_with(g.shape(cur)).is_err() {
+                    continue;
+                }
+                g.binary(
+                    [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Max]
+                        [*b as usize % 4],
+                    x,
+                    cur,
+                )
+                .unwrap()
+            }
+            Step::GemmWeight(k) => {
+                let shape = g.shape(cur).clone();
+                if shape.dims()[0] == 1 || shape.dims()[1] == 1 {
+                    continue; // Avoid degenerate GEMMs after reductions.
+                }
+                let w = g.weight(
+                    format!("w{widx}"),
+                    Shape::new(vec![shape.dims()[1], 1 << k]),
+                );
+                widx += 1;
+                g.gemm(cur, w, false).unwrap()
+            }
+        };
+    }
+    g.mark_output(cur);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mapping edges always connect a data space to an iteration space
+    /// (or back), never data-to-data; directions always reference real
+    /// dims; every op has exactly one iteration space.
+    #[test]
+    fn smg_structure_is_well_formed(
+        m in 2usize..32,
+        n in 2usize..32,
+        steps in prop::collection::vec(step_strategy(), 1..8),
+    ) {
+        let g = build(m, n, &steps);
+        let Ok(smg) = build_smg(&g) else { return Ok(()) };
+        prop_assert_eq!(smg.iter_space.len(), g.ops().len());
+        prop_assert_eq!(smg.data_space.len(), g.values().len());
+        for mapping in &smg.mappings {
+            let src_is_data =
+                matches!(smg.spaces[mapping.src.0].kind, SpaceKind::Data { .. });
+            let dst_is_data =
+                matches!(smg.spaces[mapping.dst.0].kind, SpaceKind::Data { .. });
+            prop_assert!(src_is_data != dst_is_data, "data<->iter only");
+            if let Some(d) = mapping.kind.dim() {
+                prop_assert!(d.0 < smg.dims.len());
+                prop_assert!(smg.extent(d) >= 1);
+            }
+        }
+    }
+
+    /// The number of A2O edges equals the number of dims each op reduces
+    /// away; element-wise ops contribute none.
+    #[test]
+    fn a2o_count_matches_reductions(
+        m in 2usize..32,
+        n in 2usize..32,
+        steps in prop::collection::vec(step_strategy(), 1..8),
+    ) {
+        let g = build(m, n, &steps);
+        let Ok(smg) = build_smg(&g) else { return Ok(()) };
+        let expected: usize = g
+            .ops()
+            .iter()
+            .map(|op| match op.kind {
+                OpKind::Reduce { .. } => 1,
+                OpKind::Gemm { .. } => 1,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(smg.a2o_count(), expected);
+    }
+
+    /// No spatially eligible dimension ever carries an All-to-One or an
+    /// intermediate-sourced One-to-All (the Table 3 contract).
+    #[test]
+    fn spatial_dims_carry_no_flow_dependencies(
+        m in 2usize..48,
+        n in 2usize..48,
+        steps in prop::collection::vec(step_strategy(), 1..8),
+    ) {
+        let g = build(m, n, &steps);
+        let Ok(smg) = build_smg(&g) else { return Ok(()) };
+        for d in eligible_spatial_dims(&g, &smg) {
+            for mapping in smg.mappings_in_dim(d) {
+                match mapping.kind {
+                    MappingKind::AllToOne(_) => prop_assert!(false, "A2O on spatial dim"),
+                    MappingKind::OneToAll(_) => {
+                        let SpaceKind::Data { value } = smg.spaces[mapping.src.0].kind
+                            else { panic!("O2A source must be a data space") };
+                        prop_assert!(matches!(
+                            g.value(value).kind,
+                            ValueKind::Input | ValueKind::Weight
+                        ));
+                    }
+                    MappingKind::OneToOne => {}
+                }
+            }
+        }
+    }
+
+    /// The temporal priority dimension is never one of the spatial dims
+    /// and always has extent > 1.
+    #[test]
+    fn temporal_dim_disjoint_from_spatial(
+        m in 2usize..48,
+        n in 2usize..48,
+        steps in prop::collection::vec(step_strategy(), 1..8),
+    ) {
+        let g = build(m, n, &steps);
+        let Ok(smg) = build_smg(&g) else { return Ok(()) };
+        let spatial = eligible_spatial_dims(&g, &smg);
+        if let Some(t) = pick_temporal_dim(&g, &smg, &spatial) {
+            prop_assert!(!spatial.contains(&t));
+            prop_assert!(smg.extent(t) > 1);
+        }
+    }
+
+    /// Dimension alignment is consistent: every tensor axis maps to a
+    /// dim whose extent is either the axis extent or broadcastable 1.
+    #[test]
+    fn alignment_extents_are_consistent(
+        m in 2usize..32,
+        n in 2usize..32,
+        steps in prop::collection::vec(step_strategy(), 1..8),
+    ) {
+        let g = build(m, n, &steps);
+        let Ok(smg) = build_smg(&g) else { return Ok(()) };
+        for (vi, v) in g.values().iter().enumerate() {
+            for (axis, &e) in v.shape.dims().iter().enumerate() {
+                let d = smg.value_axes[vi][axis];
+                let ext = smg.extent(d);
+                prop_assert!(e == ext || e == 1, "axis {e} vs dim {ext}");
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! GPU architecture descriptions and the analytic timing model.
+
+use crate::profiler::KernelCost;
+
+/// The three evaluated architectures (paper §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// NVIDIA V100, SM70.
+    Volta,
+    /// NVIDIA A100, SM80.
+    Ampere,
+    /// NVIDIA H100, SM90.
+    Hopper,
+}
+
+impl Arch {
+    /// All architectures, in the paper's presentation order.
+    pub fn all() -> [Arch; 3] {
+        [Arch::Volta, Arch::Ampere, Arch::Hopper]
+    }
+
+    /// The architecture's configuration.
+    pub fn config(self) -> GpuArch {
+        match self {
+            Arch::Volta => GpuArch::volta(),
+            Arch::Ampere => GpuArch::ampere(),
+            Arch::Hopper => GpuArch::hopper(),
+        }
+    }
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Arch::Volta => write!(f, "Volta"),
+            Arch::Ampere => write!(f, "Ampere"),
+            Arch::Hopper => write!(f, "Hopper"),
+        }
+    }
+}
+
+/// Hardware resource configuration (the paper's `RCfg`).
+///
+/// Shared-memory and register budgets gate schedule feasibility in
+/// resource-aware slicing (§5.1); the throughput numbers drive the
+/// roofline timing model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuArch {
+    /// Marketing / paper name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u64,
+    /// FP16 tensor-core peak, in FLOP/s.
+    pub fp16_flops: f64,
+    /// DRAM bandwidth, bytes/s.
+    pub dram_bps: f64,
+    /// L2 bandwidth, bytes/s (several × DRAM).
+    pub l2_bps: f64,
+    /// L2 capacity, bytes.
+    pub l2_bytes: u64,
+    /// L1/shared capacity per SM, bytes.
+    pub l1_bytes: u64,
+    /// Maximum shared memory allocatable to one thread block, bytes.
+    pub smem_per_block: u64,
+    /// Maximum register file bytes allocatable to one thread block.
+    pub regs_per_block: u64,
+    /// Cache line size, bytes.
+    pub cache_line: u64,
+    /// Kernel launch overhead, microseconds (CPU-side cost per kernel).
+    pub launch_overhead_us: f64,
+    /// Fixed scheduling/prologue cost per thread block, microseconds.
+    /// Penalizes degenerate schedules with huge grids of tiny blocks.
+    pub block_overhead_us: f64,
+    /// Fraction of FP16 peak achievable by generated GEMM inner loops.
+    pub compute_efficiency: f64,
+}
+
+impl GpuArch {
+    /// V100-SXM2 32 GB (Volta).
+    pub fn volta() -> Self {
+        GpuArch {
+            name: "V100 (Volta)",
+            sm_count: 80,
+            fp16_flops: 112e12,
+            dram_bps: 900e9,
+            l2_bps: 2.7e12,
+            l2_bytes: 6 << 20,
+            l1_bytes: 128 << 10,
+            smem_per_block: 96 << 10,
+            regs_per_block: 256 << 10,
+            cache_line: 128,
+            launch_overhead_us: 5.0,
+            block_overhead_us: 0.2,
+            compute_efficiency: 0.65,
+        }
+    }
+
+    /// A100-SXM4 80 GB (Ampere).
+    pub fn ampere() -> Self {
+        GpuArch {
+            name: "A100 (Ampere)",
+            sm_count: 108,
+            fp16_flops: 312e12,
+            dram_bps: 2039e9,
+            l2_bps: 6.1e12,
+            l2_bytes: 40 << 20,
+            l1_bytes: 192 << 10,
+            smem_per_block: 164 << 10,
+            regs_per_block: 256 << 10,
+            cache_line: 128,
+            launch_overhead_us: 5.0,
+            block_overhead_us: 0.2,
+            compute_efficiency: 0.65,
+        }
+    }
+
+    /// H100-SXM5 80 GB (Hopper).
+    pub fn hopper() -> Self {
+        GpuArch {
+            name: "H100 (Hopper)",
+            sm_count: 132,
+            fp16_flops: 756e12,
+            dram_bps: 3350e9,
+            l2_bps: 10e12,
+            l2_bytes: 50 << 20,
+            l1_bytes: 256 << 10,
+            smem_per_block: 228 << 10,
+            regs_per_block: 256 << 10,
+            cache_line: 128,
+            launch_overhead_us: 5.0,
+            block_overhead_us: 0.2,
+            compute_efficiency: 0.65,
+        }
+    }
+
+    /// Whether a block with the given footprint fits on this architecture.
+    pub fn block_fits(&self, smem_bytes: u64, reg_bytes: u64) -> bool {
+        smem_bytes <= self.smem_per_block && reg_bytes <= self.regs_per_block
+    }
+
+    /// Fraction of peak throughput usable given the grid size.
+    ///
+    /// A kernel with fewer blocks than SMs cannot use the whole chip; this
+    /// is the mechanism behind the paper's batch-size-1 observations
+    /// (§6.2: Llama2's 32 parallel heads give PyTorch a stronger baseline;
+    /// §6.4(b): gains shrink as input grows without parallelism).
+    pub fn parallel_utilization(&self, grid: u64) -> f64 {
+        if grid == 0 {
+            return 1.0;
+        }
+        // Each SM wants ~2 blocks in flight to hide latency.
+        let want = (self.sm_count * 2) as f64;
+        ((grid as f64) / want).clamp(0.05, 1.0)
+    }
+
+    /// Analytic kernel time (microseconds): launch overhead plus a
+    /// roofline over compute, DRAM, and L2 components.
+    pub fn kernel_time_us(&self, cost: &KernelCost) -> f64 {
+        let util = self.parallel_utilization(cost.grid);
+        let compute_s =
+            cost.flops as f64 / (self.fp16_flops * self.compute_efficiency * util);
+        let dram_s = (cost.dram_read_bytes + cost.dram_write_bytes) as f64
+            / (self.dram_bps * util.max(0.25));
+        let l2_s = cost.l2_bytes as f64 / (self.l2_bps * util.max(0.25));
+        // Per-block scheduling cost, amortized over the concurrent slots.
+        let sched_s = cost.grid as f64 * self.block_overhead_us * 1e-6
+            / (self.sm_count as f64 * 2.0);
+        self.launch_overhead_us + (compute_s.max(dram_s).max(l2_s).max(sched_s)) * 1e6
+    }
+
+    /// Total time of a multi-kernel program (microseconds).
+    pub fn program_time_us(&self, kernels: &[KernelCost]) -> f64 {
+        kernels.iter().map(|k| self.kernel_time_us(k)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_ratios_match_paper() {
+        let v = GpuArch::volta().fp16_flops;
+        let a = GpuArch::ampere().fp16_flops;
+        let h = GpuArch::hopper().fp16_flops;
+        assert!((a / v - 2.79).abs() < 0.02);
+        assert!((h / v - 6.75).abs() < 0.02);
+    }
+
+    #[test]
+    fn block_fit_gates_on_both_resources() {
+        let a = GpuArch::ampere();
+        assert!(a.block_fits(100 << 10, 100 << 10));
+        assert!(!a.block_fits(200 << 10, 0));
+        assert!(!a.block_fits(0, 300 << 10));
+        // Volta has a smaller shared-memory budget than Ampere.
+        assert!(!GpuArch::volta().block_fits(100 << 10, 0));
+    }
+
+    #[test]
+    fn utilization_saturates() {
+        let a = GpuArch::ampere();
+        // A single block is clamped to the floor.
+        assert_eq!(a.parallel_utilization(1), 0.05);
+        assert_eq!(a.parallel_utilization(100_000), 1.0);
+        // Half-occupied chip sits in between.
+        let half = a.parallel_utilization(108);
+        assert!(half > 0.05 && half < 1.0);
+    }
+
+    #[test]
+    fn memory_bound_kernel_times_scale_with_bandwidth() {
+        let cost = KernelCost {
+            name: "memcpy".into(),
+            grid: 10_000,
+            flops: 0,
+            global_read_bytes: 1 << 30,
+            global_write_bytes: 1 << 30,
+            dram_read_bytes: 1 << 30,
+            dram_write_bytes: 1 << 30,
+            l2_bytes: 2 << 30,
+            smem_per_block: 0,
+            regs_per_block: 0,
+        };
+        let tv = GpuArch::volta().kernel_time_us(&cost);
+        let th = GpuArch::hopper().kernel_time_us(&cost);
+        // Hopper has 3.7x the bandwidth; times should reflect that roughly.
+        assert!(tv / th > 2.5, "tv={tv} th={th}");
+    }
+
+    #[test]
+    fn launch_overhead_dominates_empty_kernels() {
+        let cost = KernelCost::named("noop");
+        let t = GpuArch::ampere().kernel_time_us(&cost);
+        assert!((t - 5.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn program_time_sums_kernels() {
+        let k = KernelCost::named("noop");
+        let t = GpuArch::ampere().program_time_us(&[k.clone(), k]);
+        assert!((t - 10.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn arch_enum_round_trip() {
+        for a in Arch::all() {
+            let c = a.config();
+            assert!(c.sm_count > 0);
+            assert!(!format!("{a}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic GPU performance model for the SpaceFusion reproduction.
+//!
+//! The paper evaluates on NVIDIA V100 (Volta), A100 (Ampere) and H100
+//! (Hopper). With no GPU in the loop, this crate substitutes a
+//! deterministic performance model that preserves the properties the
+//! paper's results depend on:
+//!
+//! * per-architecture resource budgets (shared memory and registers per
+//!   block) that gate schedule feasibility (paper §5.1),
+//! * FP16 tensor-core peak ratios of 1 : 2.79 : 6.75 across the three
+//!   architectures (paper §6.4),
+//! * a memory hierarchy — per-SM L1, shared L2, DRAM — simulated with
+//!   set-associative LRU caches over the tile-level access streams of
+//!   generated kernels (paper §6.3's L1/L2 miss and data-movement
+//!   analysis), and
+//! * per-kernel launch overhead, so fusing kernels has the CPU-side
+//!   benefit the paper observes.
+//!
+//! Two fidelity levels are offered: [`GpuArch::kernel_time_us`] is the
+//! cheap analytic roofline used inside the auto-tuner, and [`Profiler`]
+//! replays full access streams through the cache hierarchy for the
+//! detailed measurements reported by the benchmark harness.
+
+pub mod arch;
+pub mod cache;
+pub mod occupancy;
+pub mod profiler;
+
+pub use arch::{Arch, GpuArch};
+pub use cache::Cache;
+pub use occupancy::{occupancy, Occupancy};
+pub use profiler::{BufId, KernelCost, ProgramStats, Profiler, TileAccess};

@@ -1,0 +1,133 @@
+//! Occupancy and wave analysis.
+//!
+//! The roofline in [`crate::arch`] folds parallelism into a utilization
+//! factor; this module exposes the underlying quantities — how many
+//! blocks co-reside on an SM given their shared-memory and register
+//! footprints, how many waves a grid needs, and the wave-quantization
+//! loss — for schedule diagnostics and the `schedule_explorer` example.
+
+use crate::arch::GpuArch;
+
+/// Occupancy of one kernel configuration on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Concurrent blocks per SM (0 when the block does not fit at all).
+    pub blocks_per_sm: u64,
+    /// Concurrent blocks on the whole device.
+    pub concurrent_blocks: u64,
+    /// Full waves needed for the grid.
+    pub waves: u64,
+    /// Fraction of the last wave that does useful work (1.0 when the
+    /// grid divides evenly; small values indicate wave-quantization
+    /// waste).
+    pub tail_utilization: f64,
+}
+
+/// Hardware limit on co-resident blocks per SM, independent of
+/// resources (CUDA's 16–32 depending on generation; we use 16).
+pub const MAX_BLOCKS_PER_SM: u64 = 16;
+
+/// Computes the occupancy of a kernel configuration.
+///
+/// `smem_per_block` / `regs_per_block` are the per-block footprints;
+/// `grid` is the total number of blocks.
+pub fn occupancy(arch: &GpuArch, grid: u64, smem_per_block: u64, regs_per_block: u64) -> Occupancy {
+    if smem_per_block > arch.smem_per_block || regs_per_block > arch.regs_per_block {
+        return Occupancy {
+            blocks_per_sm: 0,
+            concurrent_blocks: 0,
+            waves: 0,
+            tail_utilization: 0.0,
+        };
+    }
+    // Per-SM capacity: L1-resident shared memory and the register file.
+    let by_smem = if smem_per_block == 0 {
+        MAX_BLOCKS_PER_SM
+    } else {
+        arch.l1_bytes / smem_per_block.max(1)
+    };
+    let by_regs = if regs_per_block == 0 {
+        MAX_BLOCKS_PER_SM
+    } else {
+        arch.regs_per_block / regs_per_block.max(1)
+    };
+    let blocks_per_sm = by_smem.min(by_regs).clamp(1, MAX_BLOCKS_PER_SM);
+    let concurrent = blocks_per_sm * arch.sm_count;
+    let waves = grid.div_ceil(concurrent.max(1)).max(1);
+    let tail = grid % concurrent.max(1);
+    let tail_utilization = if grid == 0 || tail == 0 {
+        1.0
+    } else {
+        // (For a single partial wave, tail == grid.)
+        tail as f64 / concurrent as f64
+    };
+    Occupancy {
+        blocks_per_sm,
+        concurrent_blocks: concurrent,
+        waves,
+        tail_utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_blocks_reach_the_hardware_cap() {
+        let a = GpuArch::ampere();
+        let o = occupancy(&a, 10_000, 1 << 10, 1 << 10);
+        assert_eq!(o.blocks_per_sm, MAX_BLOCKS_PER_SM);
+        assert_eq!(o.concurrent_blocks, MAX_BLOCKS_PER_SM * a.sm_count);
+    }
+
+    #[test]
+    fn shared_memory_limits_residency() {
+        let a = GpuArch::ampere(); // 192 KiB L1 per SM.
+        let o = occupancy(&a, 10_000, 64 << 10, 1 << 10);
+        assert_eq!(o.blocks_per_sm, 3);
+    }
+
+    #[test]
+    fn registers_limit_residency() {
+        let a = GpuArch::ampere(); // 256 KiB register budget.
+        let o = occupancy(&a, 10_000, 1 << 10, 128 << 10);
+        assert_eq!(o.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn oversized_blocks_do_not_fit() {
+        let a = GpuArch::volta();
+        let o = occupancy(&a, 64, 128 << 10, 0);
+        assert_eq!(o.blocks_per_sm, 0);
+        assert_eq!(o.waves, 0);
+    }
+
+    #[test]
+    fn waves_and_tail() {
+        let a = GpuArch::volta(); // 80 SMs.
+        // One block per SM (96 KiB smem fills the 128 KiB L1 once).
+        let o = occupancy(&a, 200, 96 << 10, 0);
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.concurrent_blocks, 80);
+        assert_eq!(o.waves, 3);
+        // 200 = 2 full waves of 80 + tail of 40.
+        assert!((o.tail_utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_partial_wave() {
+        let a = GpuArch::volta();
+        let o = occupancy(&a, 40, 96 << 10, 0);
+        assert_eq!(o.waves, 1);
+        assert!((o.tail_utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn even_grid_has_no_tail_loss() {
+        let a = GpuArch::volta();
+        let o = occupancy(&a, 160, 96 << 10, 0);
+        assert_eq!(o.waves, 2);
+        assert_eq!(o.tail_utilization, 1.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Operator cost accounting and pattern classification.
+//!
+//! Used by the GPU model (FLOPs / bytes per op), by the baseline engines
+//! (compute- vs memory-intensive fusion rules, as in AStitch/Welder), and
+//! by the Table 6 fusion-pattern census (distinct pattern signatures).
+
+use crate::graph::{Graph, OpKind, OpNode, ValueKind};
+
+/// Compute- vs memory-intensive classification (paper §6.6 terminology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Compute-intensive: GEMM.
+    ComputeIntensive,
+    /// Memory-intensive: element-wise, reductions, broadcasts.
+    MemoryIntensive,
+}
+
+/// Classifies one operator.
+pub fn op_class(kind: &OpKind) -> OpClass {
+    match kind {
+        OpKind::Gemm { .. } => OpClass::ComputeIntensive,
+        _ => OpClass::MemoryIntensive,
+    }
+}
+
+/// FLOPs and unfused global-memory traffic of one operator node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCost {
+    /// Floating-point operations (multiply-add counted as 2).
+    pub flops: u64,
+    /// Bytes read from global memory when executed as a standalone kernel.
+    pub bytes_read: u64,
+    /// Bytes written to global memory when executed standalone.
+    pub bytes_written: u64,
+}
+
+impl OpCost {
+    /// Total global traffic.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+/// Costs of one operator in `graph`, for a single instance.
+pub fn op_cost(graph: &Graph, op: &OpNode) -> OpCost {
+    let esz = graph.dtype().size_bytes() as u64;
+    let out_vol = graph.shape(op.output).volume() as u64;
+    let in_vol: u64 = op
+        .inputs
+        .iter()
+        .map(|&v| graph.shape(v).volume() as u64)
+        .sum();
+    let flops = match &op.kind {
+        OpKind::Gemm { .. } => {
+            let a = graph.shape(op.inputs[0]);
+            let (m, k) = (a.dims()[0] as u64, a.dims()[1] as u64);
+            let n = graph.shape(op.output).dims()[1] as u64;
+            2 * m * n * k
+        }
+        OpKind::Reduce { .. } => {
+            // One combine per input element.
+            graph.shape(op.inputs[0]).volume() as u64
+        }
+        OpKind::LayoutBarrier => 0,
+        // One scalar op per output element (broadcast included: a move).
+        _ => out_vol,
+    };
+    OpCost {
+        flops,
+        bytes_read: in_vol * esz,
+        bytes_written: out_vol * esz,
+    }
+}
+
+/// Aggregate cost of a whole graph, for a single instance.
+pub fn graph_cost(graph: &Graph) -> OpCost {
+    let mut total = OpCost { flops: 0, bytes_read: 0, bytes_written: 0 };
+    for op in graph.ops() {
+        let c = op_cost(graph, op);
+        total.flops += c.flops;
+        total.bytes_read += c.bytes_read;
+        total.bytes_written += c.bytes_written;
+    }
+    total
+}
+
+/// Counts of non-element-wise operators by class in a graph.
+pub fn class_census(graph: &Graph) -> (usize, usize) {
+    let mut ci = 0;
+    let mut mi = 0;
+    for op in graph.ops() {
+        if op.kind.is_elementwise() {
+            continue;
+        }
+        match op_class(&op.kind) {
+            OpClass::ComputeIntensive => ci += 1,
+            OpClass::MemoryIntensive => mi += 1,
+        }
+    }
+    (ci, mi)
+}
+
+/// A canonical signature of a fusion pattern.
+///
+/// Two subgraphs have the same signature when they consist of the same
+/// multiset of non-element-wise operators wired in the same topology
+/// (paper §6.6: "counted by distinct non-element-wise operators and
+/// distinct subgraph topologies"). Shapes are intentionally excluded so
+/// the same structure at different sizes counts once.
+pub fn pattern_signature(graph: &Graph) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for op in graph.ops() {
+        if op.kind.is_elementwise() {
+            continue;
+        }
+        // Encode each non-element-wise op plus the *kinds* of its operand
+        // producers, capturing local topology.
+        let operands: Vec<String> = op
+            .inputs
+            .iter()
+            .map(|&v| match graph.producer(v) {
+                Some(p) => p.kind.name(),
+                None => match graph.value(v).kind {
+                    ValueKind::Input => "in".to_string(),
+                    ValueKind::Weight => "w".to_string(),
+                    ValueKind::Intermediate => "tmp".to_string(),
+                },
+            })
+            .collect();
+        parts.push(format!("{}({})", op.kind.name(), operands.join(",")));
+    }
+    parts.join(";")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+    use sf_tensor::{DType, Shape};
+
+    fn gemm_graph(m: usize, n: usize, k: usize) -> Graph {
+        let mut g = Graph::new("gemm", DType::F16);
+        let a = g.input("a", Shape::new(vec![m, k]));
+        let b = g.weight("b", Shape::new(vec![k, n]));
+        let c = g.gemm(a, b, false).unwrap();
+        g.mark_output(c);
+        g
+    }
+
+    #[test]
+    fn gemm_flops_and_bytes() {
+        let g = gemm_graph(64, 32, 128);
+        let c = op_cost(&g, &g.ops()[0]);
+        assert_eq!(c.flops, 2 * 64 * 32 * 128);
+        // f16: (64*128 + 128*32) * 2 bytes read, 64*32*2 written.
+        assert_eq!(c.bytes_read, (64 * 128 + 128 * 32) * 2);
+        assert_eq!(c.bytes_written, 64 * 32 * 2);
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(op_class(&OpKind::Gemm { transpose_b: false }), OpClass::ComputeIntensive);
+        assert_eq!(
+            op_class(&OpKind::Reduce { op: ReduceOp::Sum, dim: 0 }),
+            OpClass::MemoryIntensive
+        );
+        assert_eq!(op_class(&OpKind::Unary(UnaryOp::Exp)), OpClass::MemoryIntensive);
+    }
+
+    #[test]
+    fn census_skips_elementwise() {
+        let mut g = Graph::new("t", DType::F16);
+        let x = g.input("x", Shape::new(vec![4, 8]));
+        let w = g.weight("w", Shape::new(vec![8, 8]));
+        let h = g.gemm(x, w, false).unwrap();
+        let r = g.unary(UnaryOp::Relu, h).unwrap();
+        let s = g.reduce(ReduceOp::Max, r, 1).unwrap();
+        g.mark_output(s);
+        let (ci, mi) = class_census(&g);
+        assert_eq!(ci, 1);
+        assert_eq!(mi, 1); // relu is element-wise, only the reduce counts.
+    }
+
+    #[test]
+    fn signatures_distinguish_topology_not_shape() {
+        let a = gemm_graph(64, 32, 128);
+        let b = gemm_graph(256, 256, 256);
+        assert_eq!(pattern_signature(&a), pattern_signature(&b));
+
+        // Different topology: gemm followed by reduction.
+        let mut c = gemm_graph(64, 32, 128);
+        let out = c.ops()[0].output;
+        let r = c.reduce(ReduceOp::Sum, out, 1).unwrap();
+        c.mark_output(r);
+        assert_ne!(pattern_signature(&a), pattern_signature(&c));
+    }
+
+    #[test]
+    fn binary_with_broadcast_counts_output_volume() {
+        let mut g = Graph::new("t", DType::F32);
+        let x = g.input("x", Shape::new(vec![4, 8]));
+        let m = g.reduce(ReduceOp::Max, x, 1).unwrap();
+        let s = g.binary(BinaryOp::Sub, x, m).unwrap();
+        g.mark_output(s);
+        let c = op_cost(&g, &g.ops()[1]);
+        assert_eq!(c.flops, 32);
+        assert_eq!(c.bytes_written, 32 * 4);
+    }
+
+    #[test]
+    fn graph_cost_sums_ops() {
+        let g = gemm_graph(8, 8, 8);
+        let total = graph_cost(&g);
+        let single = op_cost(&g, &g.ops()[0]);
+        assert_eq!(total.flops, single.flops);
+        assert_eq!(total.bytes_total(), single.bytes_total());
+    }
+}

@@ -1,0 +1,177 @@
+//! DFG visualization and summary statistics.
+
+use crate::analysis::{op_class, OpClass};
+use crate::graph::{Graph, OpKind, ValueKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders the operator dataflow graph in Graphviz DOT (paper Fig. 5(a)
+/// style: operators as nodes, tensors as edges).
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::from("digraph dfg {\n  rankdir=TB;\n");
+    // Source nodes for inputs/weights.
+    for (vi, v) in graph.values().iter().enumerate() {
+        match v.kind {
+            ValueKind::Input => {
+                let _ = writeln!(out, "  v{vi} [label=\"{}\", shape=box];", v.name);
+            }
+            ValueKind::Weight => {
+                let _ = writeln!(
+                    out,
+                    "  v{vi} [label=\"{}\", shape=box, style=dashed];",
+                    v.name
+                );
+            }
+            ValueKind::Intermediate => {}
+        }
+    }
+    for (oi, op) in graph.ops().iter().enumerate() {
+        let color = match op_class(&op.kind) {
+            OpClass::ComputeIntensive => "lightcoral",
+            OpClass::MemoryIntensive => "lightblue",
+        };
+        let _ = writeln!(
+            out,
+            "  o{oi} [label=\"{}\", style=filled, fillcolor={color}];",
+            op.kind.name()
+        );
+        for &input in &op.inputs {
+            match graph.producer(input) {
+                Some(p) => {
+                    let pi = graph
+                        .ops()
+                        .iter()
+                        .position(|o| std::ptr::eq(o, p))
+                        .expect("producer in graph");
+                    let _ = writeln!(out, "  o{pi} -> o{oi};");
+                }
+                None => {
+                    let _ = writeln!(out, "  v{} -> o{oi};", input.0);
+                }
+            }
+        }
+    }
+    for &o in graph.outputs() {
+        if let Some(p) = graph.producer(o) {
+            let pi = graph
+                .ops()
+                .iter()
+                .position(|x| std::ptr::eq(x, p))
+                .expect("producer in graph");
+            let _ = writeln!(out, "  out{} [label=\"out\", shape=doublecircle];", o.0);
+            let _ = writeln!(out, "  o{pi} -> out{};", o.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Total operators.
+    pub ops: usize,
+    /// Compute-intensive operators (GEMMs).
+    pub compute_intensive: usize,
+    /// Non-element-wise memory-intensive operators (reductions,
+    /// broadcasts, binary-with-broadcast).
+    pub memory_intensive: usize,
+    /// Element-wise operators.
+    pub elementwise: usize,
+    /// Operator histogram by display name.
+    pub histogram: BTreeMap<String, usize>,
+    /// Values by role: (inputs, weights, intermediates).
+    pub values: (usize, usize, usize),
+}
+
+/// Computes [`GraphStats`].
+pub fn stats(graph: &Graph) -> GraphStats {
+    let mut s = GraphStats {
+        ops: graph.ops().len(),
+        compute_intensive: 0,
+        memory_intensive: 0,
+        elementwise: 0,
+        histogram: BTreeMap::new(),
+        values: (0, 0, 0),
+    };
+    for op in graph.ops() {
+        *s.histogram.entry(op.kind.name()).or_insert(0) += 1;
+        if op.kind.is_elementwise() {
+            s.elementwise += 1;
+        } else {
+            match op_class(&op.kind) {
+                OpClass::ComputeIntensive => s.compute_intensive += 1,
+                OpClass::MemoryIntensive => s.memory_intensive += 1,
+            }
+        }
+        let _: &OpKind = &op.kind;
+    }
+    for v in graph.values() {
+        match v.kind {
+            ValueKind::Input => s.values.0 += 1,
+            ValueKind::Weight => s.values.1 += 1,
+            ValueKind::Intermediate => s.values.2 += 1,
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+    use sf_tensor::{DType, Shape};
+
+    fn mha() -> Graph {
+        let mut g = Graph::new("mha", DType::F16);
+        let q = g.input("q", Shape::new(vec![16, 8]));
+        let k = g.input("k", Shape::new(vec![32, 8]));
+        let v = g.input("v", Shape::new(vec![32, 8]));
+        let qk = g.gemm(q, k, true).unwrap();
+        let mx = g.reduce(ReduceOp::Max, qk, 1).unwrap();
+        let sub = g.binary(BinaryOp::Sub, qk, mx).unwrap();
+        let e = g.unary(UnaryOp::Exp, sub).unwrap();
+        let s = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        let d = g.binary(BinaryOp::Div, e, s).unwrap();
+        let out = g.gemm(d, v, false).unwrap();
+        g.mark_output(out);
+        g
+    }
+
+    #[test]
+    fn dot_renders_all_nodes_and_edges() {
+        let g = mha();
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph dfg"));
+        assert!(dot.contains("gemm"));
+        assert!(dot.contains("lightcoral")); // CI coloring.
+        assert!(dot.contains("lightblue")); // MI coloring.
+        assert!(dot.contains("doublecircle")); // output marker.
+        // Three input boxes.
+        assert_eq!(dot.matches("shape=box").count(), 3);
+    }
+
+    #[test]
+    fn stats_count_classes() {
+        let g = mha();
+        let s = stats(&g);
+        assert_eq!(s.ops, 7);
+        assert_eq!(s.compute_intensive, 2);
+        assert_eq!(s.memory_intensive, 4); // max, sub(broadcast), sum, div(broadcast).
+        assert_eq!(s.elementwise, 1); // exp.
+        assert_eq!(s.histogram["gemm"], 2);
+        assert_eq!(s.values.0, 3);
+        assert_eq!(s.values.2, 7);
+    }
+
+    #[test]
+    fn weight_nodes_are_dashed() {
+        let mut g = Graph::new("t", DType::F16);
+        let x = g.input("x", Shape::new(vec![4, 4]));
+        let w = g.weight("w", Shape::new(vec![4, 4]));
+        let y = g.gemm(x, w, false).unwrap();
+        g.mark_output(y);
+        let dot = to_dot(&g);
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Operator dataflow-graph (DFG) IR for the SpaceFusion reproduction.
+//!
+//! Tensor programs are expressed as graphs of primitive operators over
+//! 2-D (optionally batched) tensors: GEMM, reductions, broadcasts and
+//! element-wise math. This is the input representation of the compiler
+//! (the paper's "program building" stage, §5 Fig. 9): models are segmented
+//! into subprograms at layout barriers, each subprogram is converted into a
+//! Space-Mapping Graph, and the scheduler takes over from there.
+//!
+//! Batch-like leading dimensions (batch, attention heads) carry no
+//! dependencies (paper footnote 2), so a [`Graph`] stores them as an
+//! `instances` multiplier rather than explicit dimensions; all operators
+//! are defined on the innermost 2-D space where the interesting
+//! dependencies live.
+
+pub mod analysis;
+pub mod dot;
+pub mod graph;
+pub mod segment;
+
+pub use analysis::{op_class, op_cost, pattern_signature, OpClass, OpCost};
+pub use graph::{Graph, GraphError, OpId, OpKind, OpNode, ValueId, ValueInfo, ValueKind};
+pub use dot::{stats as graph_stats, to_dot as dfg_to_dot, GraphStats};
+pub use segment::segment;

@@ -1,0 +1,183 @@
+//! Extension workloads beyond the paper's Fig. 10 suite.
+//!
+//! These exercise structurally different corners of the compiler:
+//!
+//! * [`conv2d_im2col`] — 2-D convolution lowered through im2col: a layout
+//!   barrier (the im2col gather) followed by a GEMM, exercising program
+//!   segmentation + epilogue fusion. Partially-ranged sliding-window
+//!   mappings are out of the SMG's scope (paper footnote 1), so the
+//!   barrier boundary is exactly where the paper's abstraction stops.
+//! * [`batchnorm_inference`] — per-*column* normalization: the reductions
+//!   run along dimension 0, so the spatially sliceable dimension is the
+//!   feature axis instead of the row axis.
+//! * [`glu`] — gated linear unit: two GEMMs combined element-wise, a
+//!   CI-only fusion pattern.
+//! * [`log_softmax_nll`] — log-softmax plus a label-weighted negative
+//!   log-likelihood: three chained reductions over one dimension, the
+//!   deepest All-to-One chain in the zoo.
+
+use sf_ir::Graph;
+use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+use sf_tensor::{DType, Shape};
+
+/// 2-D convolution as im2col + GEMM.
+///
+/// Input `[batch·out_h·out_w, k·k·c_in]` is the pre-gathered im2col
+/// matrix (the gather itself is a layout barrier — fusion cannot cross
+/// it); the kernel weights are `[k·k·c_in, c_out]`; a bias and ReLU
+/// epilogue follow, then a reshape barrier back to feature-map layout.
+pub fn conv2d_im2col(
+    batch: usize,
+    out_hw: usize,
+    k: usize,
+    c_in: usize,
+    c_out: usize,
+) -> Graph {
+    let rows = batch * out_hw * out_hw;
+    let cols = k * k * c_in;
+    let mut g = Graph::new(
+        format!("conv2d_b{batch}o{out_hw}k{k}c{c_in}x{c_out}"),
+        DType::F16,
+    );
+    let im2col = g.input("im2col", Shape::new(vec![rows, cols]));
+    let w = g.weight("w", Shape::new(vec![cols, c_out]));
+    let b = g.weight("b", Shape::new(vec![1, c_out]));
+    let y = g.gemm(im2col, w, false).expect("conv gemm");
+    let y = g.binary(BinaryOp::Add, y, b).expect("conv bias");
+    let y = g.unary(UnaryOp::Relu, y).expect("conv relu");
+    // Back to [batch·c_out, out_h·out_w] feature-map layout.
+    let fm = g
+        .layout_barrier(y, Shape::new(vec![batch * c_out, out_hw * out_hw]))
+        .expect("conv reshape");
+    g.mark_output(fm);
+    g
+}
+
+/// Inference-time BatchNorm over `[rows, features]`: statistics reduce
+/// along dimension 0 (per feature column).
+pub fn batchnorm_inference(rows: usize, features: usize) -> Graph {
+    let mut g = Graph::new(format!("batchnorm{rows}x{features}"), DType::F16);
+    let x = g.input("x", Shape::new(vec![rows, features]));
+    let gamma = g.weight("gamma", Shape::new(vec![1, features]));
+    let beta = g.weight("beta", Shape::new(vec![1, features]));
+    let mean = g.reduce(ReduceOp::Mean, x, 0).expect("bn mean");
+    let c = g.binary(BinaryOp::Sub, x, mean).expect("bn sub");
+    let sq = g.unary(UnaryOp::Sqr, c).expect("bn sqr");
+    let var = g.reduce(ReduceOp::Mean, sq, 0).expect("bn var");
+    let veps = g.scalar(BinaryOp::Add, var, 1e-5).expect("bn eps");
+    let std = g.unary(UnaryOp::Sqrt, veps).expect("bn sqrt");
+    let norm = g.binary(BinaryOp::Div, c, std).expect("bn div");
+    let sc = g.binary(BinaryOp::Mul, norm, gamma).expect("bn mul");
+    let y = g.binary(BinaryOp::Add, sc, beta).expect("bn add");
+    g.mark_output(y);
+    g
+}
+
+/// Gated linear unit: `(x·W) ⊙ sigmoid(x·Wg)` — two GEMMs, element-wise
+/// gating, no reductions beyond the contractions (a CI-only pattern).
+pub fn glu(rows: usize, in_dim: usize, out_dim: usize) -> Graph {
+    let mut g = Graph::new(format!("glu{rows}x{in_dim}x{out_dim}"), DType::F16);
+    let x = g.input("x", Shape::new(vec![rows, in_dim]));
+    let w = g.weight("w", Shape::new(vec![in_dim, out_dim]));
+    let wg = g.weight("wg", Shape::new(vec![in_dim, out_dim]));
+    let lin = g.gemm(x, w, false).expect("glu lin");
+    let gate = g.gemm(x, wg, false).expect("glu gate");
+    let gate = g.unary(UnaryOp::Sigmoid, gate).expect("glu sigmoid");
+    let y = g.binary(BinaryOp::Mul, lin, gate).expect("glu mul");
+    g.mark_output(y);
+    g
+}
+
+/// Log-softmax plus label-weighted NLL per row:
+/// `loss[m] = −Σ_n y[m,n] · log_softmax(x)[m,n]`.
+///
+/// Three reductions chain along the class dimension: max → sum(exp) →
+/// the final weighted sum.
+pub fn log_softmax_nll(rows: usize, classes: usize) -> Graph {
+    let mut g = Graph::new(format!("nll{rows}x{classes}"), DType::F32);
+    let x = g.input("x", Shape::new(vec![rows, classes]));
+    let y = g.input("y", Shape::new(vec![rows, classes])); // one-hot-ish.
+    let mx = g.reduce(ReduceOp::Max, x, 1).expect("nll max");
+    let sh = g.binary(BinaryOp::Sub, x, mx).expect("nll sub");
+    let e = g.unary(UnaryOp::Exp, sh).expect("nll exp");
+    let z = g.reduce(ReduceOp::Sum, e, 1).expect("nll sum");
+    let logz = g.unary(UnaryOp::Log, z).expect("nll log");
+    let logp = g.binary(BinaryOp::Sub, sh, logz).expect("nll logp");
+    let wl = g.binary(BinaryOp::Mul, y, logp).expect("nll weight");
+    let s = g.reduce(ReduceOp::Sum, wl, 1).expect("nll reduce");
+    let loss = g.scalar(BinaryOp::Mul, s, -1.0).expect("nll neg");
+    g.mark_output(loss);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_has_a_layout_barrier_boundary() {
+        let g = conv2d_im2col(2, 8, 3, 16, 32);
+        let barriers = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, sf_ir::OpKind::LayoutBarrier))
+            .count();
+        assert_eq!(barriers, 1);
+        let segs = sf_ir::segment(&g).unwrap();
+        assert_eq!(segs.len(), 1, "everything before the reshape is one region");
+        let b = g.random_bindings(1);
+        let out = g.execute(&b).unwrap();
+        assert_eq!(out[0].shape().dims(), &[2 * 32, 64]);
+        assert!(out[0].data().iter().all(|&v| v >= 0.0), "relu applied");
+    }
+
+    #[test]
+    fn batchnorm_normalizes_columns() {
+        let g = batchnorm_inference(64, 16);
+        let mut b = g.random_bindings(2);
+        b.insert(
+            "gamma".into(),
+            sf_tensor::Tensor::full(Shape::new(vec![1, 16]), DType::F16, 1.0),
+        );
+        b.insert(
+            "beta".into(),
+            sf_tensor::Tensor::zeros(Shape::new(vec![1, 16]), DType::F16),
+        );
+        let out = g.execute(&b).unwrap();
+        for j in 0..16 {
+            let col: Vec<f32> = (0..64).map(|i| out[0].at(&[i, j])).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-3, "column {j} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn glu_gates_are_bounded() {
+        let g = glu(32, 64, 64);
+        let b = g.random_bindings(3);
+        let out = g.execute(&b).unwrap();
+        assert_eq!(out[0].shape().dims(), &[32, 64]);
+    }
+
+    #[test]
+    fn nll_of_uniform_distribution_is_log_classes() {
+        let (rows, classes) = (4usize, 8usize);
+        let g = log_softmax_nll(rows, classes);
+        let mut b = g.random_bindings(4);
+        // Uniform logits + one-hot labels → loss = ln(classes).
+        b.insert(
+            "x".into(),
+            sf_tensor::Tensor::zeros(Shape::new(vec![rows, classes]), DType::F32),
+        );
+        let mut onehot =
+            sf_tensor::Tensor::zeros(Shape::new(vec![rows, classes]), DType::F32);
+        for i in 0..rows {
+            onehot.set(&[i, i % classes], 1.0);
+        }
+        b.insert("y".into(), onehot);
+        let out = g.execute(&b).unwrap();
+        for i in 0..rows {
+            assert!((out[0].at(&[i, 0]) - (classes as f32).ln()).abs() < 1e-5);
+        }
+    }
+}

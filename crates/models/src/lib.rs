@@ -1,0 +1,22 @@
+//! Workload model zoo for the SpaceFusion evaluation.
+//!
+//! * [`subgraphs`] — the evaluated subgraphs of paper Fig. 10: MLP layer
+//!   stacks, the simplified LSTM cell, LayerNorm, RMSNorm and multi-head
+//!   attention, built as `sf-ir` graphs.
+//! * [`transformer`] — the five end-to-end models of §6.2 (BERT, ALBERT,
+//!   T5, ViT, Llama2-7B) described as lists of per-layer subprograms with
+//!   repetition counts. Weights are random (operator fusion is
+//!   weight-agnostic); hyper-parameters (hidden sizes, head counts, FFN
+//!   dimensions, normalization and activation kinds) match the published
+//!   models.
+
+pub mod extended;
+pub mod subgraphs;
+pub mod transformer;
+
+pub use extended::{batchnorm_inference, conv2d_im2col, glu, log_softmax_nll};
+pub use subgraphs::{layernorm, lstm_cell, masked_mha, mha, mha_decode, mlp_stack, rmsnorm, softmax};
+pub use transformer::{
+    albert, all_models, bert, llama2_7b, t5, vit, vit_seq_for_image, ActKind, NormKind,
+    TransformerConfig, Workload,
+};

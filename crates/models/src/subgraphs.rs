@@ -1,0 +1,297 @@
+//! The evaluated subgraphs of paper Fig. 10.
+
+use sf_ir::Graph;
+use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+use sf_tensor::{DType, Shape};
+
+/// A stack of `layers` MLP layers: `x ← relu(x·Wᵢ + bᵢ)` (Fig. 10(a)).
+///
+/// `m` is the number of rows (batch·tokens), `hidden` the feature width
+/// (the paper fuses stacks with `N, K ≤ 256`).
+pub fn mlp_stack(layers: usize, m: usize, hidden: usize) -> Graph {
+    let mut g = Graph::new(format!("mlp{layers}x{hidden}"), DType::F16);
+    let mut x = g.input("x", Shape::new(vec![m, hidden]));
+    for i in 0..layers {
+        let w = g.weight(format!("w{i}"), Shape::new(vec![hidden, hidden]));
+        let b = g.weight(format!("b{i}"), Shape::new(vec![1, hidden]));
+        let t = g.gemm(x, w, false).expect("mlp gemm");
+        let t = g.binary(BinaryOp::Add, t, b).expect("mlp bias");
+        x = g.unary(UnaryOp::Relu, t).expect("mlp relu");
+    }
+    g.mark_output(x);
+    g
+}
+
+/// A simplified LSTM cell (Fig. 10(b)): two GEMMs whose results combine
+/// through element-wise gates.
+///
+/// `batch` rows; `hidden` state features. The cuBLAS baseline maps each
+/// of the five operators to one kernel (paper §6.1).
+pub fn lstm_cell(batch: usize, hidden: usize) -> Graph {
+    let mut g = Graph::new(format!("lstm{hidden}"), DType::F16);
+    let x = g.input("x", Shape::new(vec![batch, hidden]));
+    let h = g.input("h", Shape::new(vec![batch, hidden]));
+    let wx = g.weight("wx", Shape::new(vec![hidden, hidden]));
+    let wh = g.weight("wh", Shape::new(vec![hidden, hidden]));
+    let b = g.weight("b", Shape::new(vec![1, hidden]));
+    let gx = g.gemm(x, wx, false).expect("lstm gemm x");
+    let gh = g.gemm(h, wh, false).expect("lstm gemm h");
+    let s = g.binary(BinaryOp::Add, gx, gh).expect("lstm add");
+    let s = g.binary(BinaryOp::Add, s, b).expect("lstm bias");
+    let out = g.unary(UnaryOp::Tanh, s).expect("lstm tanh");
+    g.mark_output(out);
+    g
+}
+
+/// Row softmax over an `[m, n]` tensor.
+pub fn softmax(m: usize, n: usize) -> Graph {
+    let mut g = Graph::new(format!("softmax{m}x{n}"), DType::F16);
+    let x = g.input("x", Shape::new(vec![m, n]));
+    let mx = g.reduce(ReduceOp::Max, x, 1).expect("softmax max");
+    let s = g.binary(BinaryOp::Sub, x, mx).expect("softmax sub");
+    let e = g.unary(UnaryOp::Exp, s).expect("softmax exp");
+    let z = g.reduce(ReduceOp::Sum, e, 1).expect("softmax sum");
+    let d = g.binary(BinaryOp::Div, e, z).expect("softmax div");
+    g.mark_output(d);
+    g
+}
+
+/// LayerNorm over the rows of an `[m, n]` tensor (Fig. 10(c)): the exact
+/// 9-operator memory-intensive chain of the paper.
+pub fn layernorm(m: usize, n: usize) -> Graph {
+    let mut g = Graph::new(format!("layernorm{m}x{n}"), DType::F16);
+    let x = g.input("x", Shape::new(vec![m, n]));
+    let w = g.weight("ln_w", Shape::new(vec![1, n]));
+    let b = g.weight("ln_b", Shape::new(vec![1, n]));
+    let mean = g.reduce(ReduceOp::Mean, x, 1).expect("ln mean");
+    let c = g.binary(BinaryOp::Sub, x, mean).expect("ln sub");
+    let sq = g.unary(UnaryOp::Sqr, c).expect("ln sqr");
+    let var = g.reduce(ReduceOp::Mean, sq, 1).expect("ln var");
+    let veps = g.scalar(BinaryOp::Add, var, 1e-5).expect("ln eps");
+    let std = g.unary(UnaryOp::Sqrt, veps).expect("ln sqrt");
+    let norm = g.binary(BinaryOp::Div, c, std).expect("ln div");
+    let sc = g.binary(BinaryOp::Mul, norm, w).expect("ln mul");
+    let y = g.binary(BinaryOp::Add, sc, b).expect("ln add");
+    g.mark_output(y);
+    g
+}
+
+/// RMSNorm over the rows of an `[m, n]` tensor (Llama2's normalization).
+pub fn rmsnorm(m: usize, n: usize) -> Graph {
+    let mut g = Graph::new(format!("rmsnorm{m}x{n}"), DType::F16);
+    let x = g.input("x", Shape::new(vec![m, n]));
+    let w = g.weight("rms_w", Shape::new(vec![1, n]));
+    let sq = g.unary(UnaryOp::Sqr, x).expect("rms sqr");
+    let ms = g.reduce(ReduceOp::Mean, sq, 1).expect("rms mean");
+    let eps = g.scalar(BinaryOp::Add, ms, 1e-5).expect("rms eps");
+    let rms = g.unary(UnaryOp::Sqrt, eps).expect("rms sqrt");
+    let n1 = g.binary(BinaryOp::Div, x, rms).expect("rms div");
+    let y = g.binary(BinaryOp::Mul, n1, w).expect("rms mul");
+    g.mark_output(y);
+    g
+}
+
+/// Per-head scaled-dot-product attention (Fig. 10(d)).
+///
+/// The graph operates on one `[seq, head_dim]` head; `instances` is set
+/// to `batch × heads` (batch and head dimensions carry no dependencies —
+/// paper footnote 2).
+pub fn mha(batch: usize, heads: usize, seq: usize, head_dim: usize) -> Graph {
+    let mut g = Graph::new(format!("mha_b{batch}h{heads}s{seq}d{head_dim}"), DType::F16);
+    g.instances = batch * heads;
+    let q = g.input("q", Shape::new(vec![seq, head_dim]));
+    let k = g.input("k", Shape::new(vec![seq, head_dim]));
+    let v = g.input("v", Shape::new(vec![seq, head_dim]));
+    let qk = g.gemm(q, k, true).expect("mha qk");
+    let sc = g
+        .scalar(BinaryOp::Mul, qk, 1.0 / (head_dim as f32).sqrt())
+        .expect("mha scale");
+    let mx = g.reduce(ReduceOp::Max, sc, 1).expect("mha max");
+    let sub = g.binary(BinaryOp::Sub, sc, mx).expect("mha sub");
+    let e = g.unary(UnaryOp::Exp, sub).expect("mha exp");
+    let s = g.reduce(ReduceOp::Sum, e, 1).expect("mha sum");
+    let d = g.binary(BinaryOp::Div, e, s).expect("mha div");
+    let out = g.gemm(d, v, false).expect("mha out");
+    g.mark_output(out);
+    g
+}
+
+/// Masked per-head attention: an additive mask lands on the scores
+/// before the softmax (causal masks use −∞ above the diagonal).
+pub fn masked_mha(batch: usize, heads: usize, seq: usize, head_dim: usize) -> Graph {
+    let mut g = Graph::new(
+        format!("masked_mha_b{batch}h{heads}s{seq}d{head_dim}"),
+        DType::F16,
+    );
+    g.instances = batch * heads;
+    let q = g.input("q", Shape::new(vec![seq, head_dim]));
+    let k = g.input("k", Shape::new(vec![seq, head_dim]));
+    let v = g.input("v", Shape::new(vec![seq, head_dim]));
+    let mask = g.input("mask", Shape::new(vec![seq, seq]));
+    let qk = g.gemm(q, k, true).expect("qk");
+    let sc = g
+        .scalar(BinaryOp::Mul, qk, 1.0 / (head_dim as f32).sqrt())
+        .expect("scale");
+    let masked = g.binary(BinaryOp::Add, sc, mask).expect("mask");
+    let mx = g.reduce(ReduceOp::Max, masked, 1).expect("max");
+    let sub = g.binary(BinaryOp::Sub, masked, mx).expect("sub");
+    let e = g.unary(UnaryOp::Exp, sub).expect("exp");
+    let su = g.reduce(ReduceOp::Sum, e, 1).expect("sum");
+    let d = g.binary(BinaryOp::Div, e, su).expect("div");
+    let out = g.gemm(d, v, false).expect("out");
+    g.mark_output(out);
+    g
+}
+
+/// Decode-phase attention: a single query row against a long KV cache
+/// (the latency-critical shape of autoregressive inference).
+pub fn mha_decode(batch: usize, heads: usize, kv_len: usize, head_dim: usize) -> Graph {
+    let mut g = Graph::new(
+        format!("mha_decode_b{batch}h{heads}kv{kv_len}d{head_dim}"),
+        DType::F16,
+    );
+    g.instances = batch * heads;
+    let q = g.input("q", Shape::new(vec![1, head_dim]));
+    let k = g.input("k", Shape::new(vec![kv_len, head_dim]));
+    let v = g.input("v", Shape::new(vec![kv_len, head_dim]));
+    let qk = g.gemm(q, k, true).expect("qk");
+    let sc = g
+        .scalar(BinaryOp::Mul, qk, 1.0 / (head_dim as f32).sqrt())
+        .expect("scale");
+    let mx = g.reduce(ReduceOp::Max, sc, 1).expect("max");
+    let sub = g.binary(BinaryOp::Sub, sc, mx).expect("sub");
+    let e = g.unary(UnaryOp::Exp, sub).expect("exp");
+    let su = g.reduce(ReduceOp::Sum, e, 1).expect("sum");
+    let d = g.binary(BinaryOp::Div, e, su).expect("div");
+    let out = g.gemm(d, v, false).expect("out");
+    g.mark_output(out);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_tensor::ops::composite;
+    use sf_tensor::Tensor;
+
+    #[test]
+    fn mlp_stack_shapes_and_op_count() {
+        let g = mlp_stack(3, 64, 128);
+        assert_eq!(g.ops().len(), 9);
+        assert_eq!(g.outputs().len(), 1);
+        assert_eq!(g.shape(g.outputs()[0]).dims(), &[64, 128]);
+    }
+
+    #[test]
+    fn lstm_cell_has_five_ops() {
+        // Matches the paper: "The cuBLAS implementation ends up with 5
+        // unfused kernels, with each operator in Figure 10(b) mapping to
+        // a kernel."
+        let g = lstm_cell(64, 256);
+        assert_eq!(g.ops().len(), 5);
+    }
+
+    #[test]
+    fn layernorm_has_nine_ops() {
+        // Fig. 10(c): "the LN subgraph is entirely composed of 9
+        // memory-intensive operators".
+        let g = layernorm(128, 256);
+        assert_eq!(g.ops().len(), 9);
+        let (ci, _mi) = {
+            let mut ci = 0;
+            let mut mi = 0;
+            for op in g.ops() {
+                match sf_ir::op_class(&op.kind) {
+                    sf_ir::OpClass::ComputeIntensive => ci += 1,
+                    sf_ir::OpClass::MemoryIntensive => mi += 1,
+                }
+            }
+            (ci, mi)
+        };
+        assert_eq!(ci, 0, "LayerNorm must be all memory-intensive");
+    }
+
+    #[test]
+    fn mha_instances_cover_batch_and_heads() {
+        let g = mha(32, 16, 1024, 64);
+        assert_eq!(g.instances, 512);
+        assert_eq!(g.ops().len(), 8);
+    }
+
+    #[test]
+    fn layernorm_matches_composite_reference() {
+        let g = layernorm(8, 32);
+        let bindings = g.random_bindings(3);
+        let out = g.execute(&bindings).unwrap();
+        let expect = composite::layernorm(
+            &bindings["x"],
+            &bindings["ln_w"],
+            &bindings["ln_b"],
+            1e-5,
+        )
+        .unwrap();
+        assert!(out[0].allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn rmsnorm_matches_composite_reference() {
+        let g = rmsnorm(8, 32);
+        let bindings = g.random_bindings(4);
+        let out = g.execute(&bindings).unwrap();
+        let expect = composite::rmsnorm(&bindings["x"], &bindings["rms_w"], 1e-5).unwrap();
+        assert!(out[0].allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn mha_matches_composite_attention() {
+        let g = mha(1, 1, 32, 16);
+        let bindings = g.random_bindings(5);
+        let out = g.execute(&bindings).unwrap();
+        let expect =
+            composite::attention(&bindings["q"], &bindings["k"], &bindings["v"]).unwrap();
+        assert!(out[0].allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn masked_mha_respects_the_mask() {
+        // A -inf mask on the last column zeroes its attention weight:
+        // the output must equal attention over the first columns only.
+        let g = masked_mha(1, 1, 8, 4);
+        let mut bindings = g.random_bindings(7);
+        let mut mask = Tensor::zeros(Shape::new(vec![8, 8]), DType::F16);
+        for i in 0..8 {
+            mask.set(&[i, 7], -1e30);
+        }
+        bindings.insert("mask".to_string(), mask);
+        let out = g.execute(&bindings).unwrap();
+        // Row 0 of the output must not depend on v[7].
+        let mut b2 = bindings.clone();
+        let v = b2.get_mut("v").unwrap();
+        for j in 0..4 {
+            v.set(&[7, j], 999.0);
+        }
+        let out2 = g.execute(&b2).unwrap();
+        assert!(out[0].allclose(&out2[0], 1e-3), "masked row leaked through");
+    }
+
+    #[test]
+    fn decode_shape_is_single_row() {
+        let g = mha_decode(4, 8, 512, 64);
+        assert_eq!(g.instances, 32);
+        assert_eq!(g.shape(g.outputs()[0]).dims(), &[1, 64]);
+        let b = g.random_bindings(2);
+        g.execute(&b).unwrap();
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let g = softmax(4, 64);
+        let bindings = g.random_bindings(6);
+        let out = g.execute(&bindings).unwrap();
+        for i in 0..4 {
+            let sum: f32 = (0..64).map(|j| out[0].at(&[i, j])).sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+        }
+        let _ = Tensor::zeros(Shape::new(vec![1]), DType::F16);
+    }
+}

@@ -1,0 +1,335 @@
+//! The five end-to-end Transformer models of the evaluation (§6.2).
+//!
+//! A model is described as the list of distinct per-layer subprograms
+//! with repetition counts; end-to-end inference time is the sum over
+//! subprograms of `count × subprogram-time`. This mirrors how the
+//! compiler sees real models after program preprocessing: layers are
+//! repetitive, and repetitive subprograms compile once (paper §5).
+
+use crate::subgraphs;
+use sf_ir::Graph;
+use sf_tensor::ops::{BinaryOp, UnaryOp};
+use sf_tensor::{DType, Shape};
+
+/// Normalization flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormKind {
+    /// LayerNorm (BERT/ALBERT/ViT/T5 — T5 actually uses RMSNorm, see
+    /// [`t5`]).
+    LayerNorm,
+    /// RMSNorm (Llama2, T5).
+    RmsNorm,
+}
+
+/// Feed-forward activation flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActKind {
+    /// GELU (BERT/ALBERT/ViT).
+    Gelu,
+    /// ReLU (T5).
+    Relu,
+    /// SwiGLU: gated FFN with SiLU (Llama2).
+    SwiGlu,
+}
+
+/// Hyper-parameters of one Transformer encoder/decoder stack.
+#[derive(Debug, Clone)]
+pub struct TransformerConfig {
+    /// Model name.
+    pub name: &'static str,
+    /// Number of layers.
+    pub layers: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// Feed-forward inner width.
+    pub ffn: usize,
+    /// Normalization flavour.
+    pub norm: NormKind,
+    /// FFN activation flavour.
+    pub act: ActKind,
+    /// Fixed sequence length (ViT patch count), if any.
+    pub fixed_seq: Option<usize>,
+}
+
+/// A subprogram of a model together with how often it executes per
+/// forward pass.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The subprogram graph.
+    pub graph: Graph,
+    /// Executions per forward pass.
+    pub count: u64,
+}
+
+/// BERT-base (uncased): 12 × 768, 12 heads, FFN 3072, GELU.
+pub fn bert() -> TransformerConfig {
+    TransformerConfig {
+        name: "Bert",
+        layers: 12,
+        hidden: 768,
+        heads: 12,
+        head_dim: 64,
+        ffn: 3072,
+        norm: NormKind::LayerNorm,
+        act: ActKind::Gelu,
+        fixed_seq: None,
+    }
+}
+
+/// ALBERT-base-v2: BERT-base dimensions with cross-layer sharing (same
+/// compute per layer).
+pub fn albert() -> TransformerConfig {
+    TransformerConfig { name: "Albert", ..bert() }
+}
+
+/// T5-base encoder: 12 × 768, 12 heads, FFN 3072, ReLU, RMS-style norm.
+pub fn t5() -> TransformerConfig {
+    TransformerConfig {
+        name: "T5",
+        layers: 12,
+        hidden: 768,
+        heads: 12,
+        head_dim: 64,
+        ffn: 3072,
+        norm: NormKind::RmsNorm,
+        act: ActKind::Relu,
+        fixed_seq: None,
+    }
+}
+
+/// ViT-base/16: 12 × 768, 12 heads, FFN 3072, GELU; 197 tokens at
+/// 224×224 (a 224/16 patch grid plus the class token).
+pub fn vit() -> TransformerConfig {
+    TransformerConfig {
+        name: "ViT",
+        layers: 12,
+        hidden: 768,
+        heads: 12,
+        head_dim: 64,
+        ffn: 3072,
+        norm: NormKind::LayerNorm,
+        act: ActKind::Gelu,
+        fixed_seq: Some(197),
+    }
+}
+
+/// Llama2-7B: 32 × 4096, 32 heads, FFN 11008, RMSNorm, SwiGLU.
+pub fn llama2_7b() -> TransformerConfig {
+    TransformerConfig {
+        name: "Llama2",
+        layers: 32,
+        hidden: 4096,
+        heads: 32,
+        head_dim: 128,
+        ffn: 11008,
+        norm: NormKind::RmsNorm,
+        act: ActKind::SwiGlu,
+        fixed_seq: None,
+    }
+}
+
+/// ViT token count for a square image with 16×16 patches.
+pub fn vit_seq_for_image(image: usize) -> usize {
+    (image / 16) * (image / 16) + 1
+}
+
+impl TransformerConfig {
+    /// Effective sequence length (ViT ignores the prompt length).
+    pub fn seq(&self, requested: usize) -> usize {
+        self.fixed_seq.unwrap_or(requested)
+    }
+
+    /// The distinct subprograms of one forward pass, with counts.
+    ///
+    /// Layers are repetitive, so each subprogram appears once with
+    /// `count = layers × per-layer multiplicity`.
+    pub fn subprograms(&self, batch: usize, seq: usize) -> Vec<Workload> {
+        let seq = self.seq(seq);
+        let rows = batch * seq;
+        let layers = self.layers as u64;
+        let mut out = Vec::new();
+
+        // Attention projections: Q, K, V and the output projection, each
+        // `[rows, hidden] × [hidden, hidden]` plus bias.
+        out.push(Workload {
+            graph: proj(self, "attn_proj", rows, self.hidden, self.hidden, None),
+            count: 4 * layers,
+        });
+
+        // Attention core: per-head fused region.
+        out.push(Workload {
+            graph: subgraphs::mha(batch, self.heads, seq, self.head_dim),
+            count: layers,
+        });
+
+        // Residual add after attention / FFN.
+        out.push(Workload {
+            graph: residual_add(rows, self.hidden),
+            count: 2 * layers,
+        });
+
+        // Normalization (pre/post depending on model; 2 per layer).
+        let norm_graph = match self.norm {
+            NormKind::LayerNorm => subgraphs::layernorm(rows, self.hidden),
+            NormKind::RmsNorm => subgraphs::rmsnorm(rows, self.hidden),
+        };
+        out.push(Workload { graph: norm_graph, count: 2 * layers });
+
+        // Feed-forward network.
+        match self.act {
+            ActKind::Gelu | ActKind::Relu => {
+                let act = if self.act == ActKind::Gelu { UnaryOp::Gelu } else { UnaryOp::Relu };
+                out.push(Workload {
+                    graph: proj(self, "ffn_up", rows, self.hidden, self.ffn, Some(act)),
+                    count: layers,
+                });
+                out.push(Workload {
+                    graph: proj(self, "ffn_down", rows, self.ffn, self.hidden, None),
+                    count: layers,
+                });
+            }
+            ActKind::SwiGlu => {
+                out.push(Workload {
+                    graph: swiglu_up(rows, self.hidden, self.ffn),
+                    count: layers,
+                });
+                out.push(Workload {
+                    graph: proj(self, "ffn_down", rows, self.ffn, self.hidden, None),
+                    count: layers,
+                });
+            }
+        }
+        out
+    }
+
+    /// Total FLOPs of one forward pass (for sanity checks).
+    pub fn forward_flops(&self, batch: usize, seq: usize) -> u64 {
+        self.subprograms(batch, seq)
+            .iter()
+            .map(|w| {
+                let mut f = 0u64;
+                for op in w.graph.ops() {
+                    f += sf_ir::op_cost(&w.graph, op).flops;
+                }
+                f * w.graph.instances as u64 * w.count
+            })
+            .sum()
+    }
+}
+
+/// A projection GEMM with bias and optional activation.
+fn proj(
+    cfg: &TransformerConfig,
+    tag: &str,
+    rows: usize,
+    in_dim: usize,
+    out_dim: usize,
+    act: Option<UnaryOp>,
+) -> Graph {
+    let mut g = Graph::new(
+        format!("{}_{tag}_{rows}x{in_dim}x{out_dim}", cfg.name),
+        DType::F16,
+    );
+    let x = g.input("x", Shape::new(vec![rows, in_dim]));
+    let w = g.weight("w", Shape::new(vec![in_dim, out_dim]));
+    let b = g.weight("b", Shape::new(vec![1, out_dim]));
+    let t = g.gemm(x, w, false).expect("proj gemm");
+    let mut y = g.binary(BinaryOp::Add, t, b).expect("proj bias");
+    if let Some(a) = act {
+        y = g.unary(a, y).expect("proj act");
+    }
+    g.mark_output(y);
+    g
+}
+
+/// The SwiGLU up-projection: `silu(x·Wg) ⊙ (x·Wu)`.
+fn swiglu_up(rows: usize, hidden: usize, ffn: usize) -> Graph {
+    let mut g = Graph::new(format!("swiglu_{rows}x{hidden}x{ffn}"), DType::F16);
+    let x = g.input("x", Shape::new(vec![rows, hidden]));
+    let wg = g.weight("wg", Shape::new(vec![hidden, ffn]));
+    let wu = g.weight("wu", Shape::new(vec![hidden, ffn]));
+    let gate = g.gemm(x, wg, false).expect("swiglu gate");
+    let gate = g.unary(UnaryOp::Silu, gate).expect("swiglu silu");
+    let up = g.gemm(x, wu, false).expect("swiglu up");
+    let y = g.binary(BinaryOp::Mul, gate, up).expect("swiglu mul");
+    g.mark_output(y);
+    g
+}
+
+/// Residual addition of two `[rows, hidden]` activations.
+fn residual_add(rows: usize, hidden: usize) -> Graph {
+    let mut g = Graph::new(format!("residual_{rows}x{hidden}"), DType::F16);
+    let a = g.input("a", Shape::new(vec![rows, hidden]));
+    let b = g.input("b", Shape::new(vec![rows, hidden]));
+    let y = g.binary(BinaryOp::Add, a, b).expect("residual add");
+    g.mark_output(y);
+    g
+}
+
+/// All five evaluated models, in the paper's presentation order.
+pub fn all_models() -> Vec<TransformerConfig> {
+    vec![bert(), albert(), t5(), vit(), llama2_7b()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_configs_match_published_sizes() {
+        assert_eq!(bert().hidden, 768);
+        assert_eq!(bert().layers, 12);
+        assert_eq!(llama2_7b().hidden, 4096);
+        assert_eq!(llama2_7b().heads, 32);
+        assert_eq!(llama2_7b().ffn, 11008);
+        assert_eq!(vit().seq(9999), 197);
+        assert_eq!(bert().seq(128), 128);
+    }
+
+    #[test]
+    fn subprograms_cover_a_layer() {
+        let w = bert().subprograms(1, 128);
+        // proj, mha, residual, norm, ffn_up, ffn_down.
+        assert_eq!(w.len(), 6);
+        // 4 projections + 1 attention per layer.
+        assert_eq!(w[0].count, 48);
+        assert_eq!(w[1].count, 12);
+        // Attention instances cover batch × heads.
+        assert_eq!(w[1].graph.instances, 12);
+    }
+
+    #[test]
+    fn llama2_uses_swiglu_and_rmsnorm() {
+        let w = llama2_7b().subprograms(1, 128);
+        assert!(w.iter().any(|x| x.graph.name().contains("swiglu")));
+        assert!(w.iter().any(|x| x.graph.name().contains("rmsnorm")));
+    }
+
+    #[test]
+    fn forward_flops_scale_with_batch_and_model() {
+        let small = bert().forward_flops(1, 128);
+        let batched = bert().forward_flops(32, 128);
+        assert!(batched > 20 * small);
+        // Llama2-7B forward ≈ 2 × params × tokens ≈ 1.7 TFLOPs at 128.
+        let llama = llama2_7b().forward_flops(1, 128);
+        assert!(llama > 10 * small, "llama {llama} vs bert {small}");
+    }
+
+    #[test]
+    fn vit_seq_formula() {
+        assert_eq!(vit_seq_for_image(224), 197);
+        assert_eq!(vit_seq_for_image(768), 2305);
+    }
+
+    #[test]
+    fn workload_graphs_execute() {
+        for w in bert().subprograms(1, 32) {
+            let b = w.graph.random_bindings(1);
+            w.graph.execute(&b).unwrap();
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Element data types.
+//!
+//! Values are always *computed* in `f32`; the data type only controls the
+//! per-element byte size seen by the GPU performance model, mirroring the
+//! paper's FP16 evaluation setting.
+
+/// Element type of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DType {
+    /// IEEE-754 half precision (2 bytes). The paper's evaluation dtype.
+    #[default]
+    F16,
+    /// IEEE-754 single precision (4 bytes).
+    F32,
+}
+
+impl DType {
+    /// Byte size of one element.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F16 => 2,
+            DType::F32 => 4,
+        }
+    }
+
+    /// Rounds a value through this storage precision.
+    ///
+    /// `F16` snaps to the nearest IEEE-754 binary16 value (round to
+    /// nearest even, with overflow to ±∞); `F32` is the identity. Used to
+    /// study the numerical behaviour of fused schedules under half-
+    /// precision storage.
+    pub fn quantize(self, x: f32) -> f32 {
+        match self {
+            DType::F32 => x,
+            DType::F16 => f16_round(x),
+        }
+    }
+}
+
+/// Round-trips an `f32` through IEEE-754 binary16.
+fn f16_round(x: f32) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    let bits = x.to_bits();
+    let sign = bits >> 31;
+    let exp = ((bits >> 23) & 0xff) as i32 - 127;
+    if exp > 15 {
+        // Overflows half range (max finite ≈ 65504).
+        return if x.abs() > 65504.0 + 16.0 {
+            f32::INFINITY.copysign(x)
+        } else {
+            65504.0_f32.copysign(x)
+        };
+    }
+    if exp < -24 {
+        return 0.0_f32.copysign(x);
+    }
+    // Keep 10 mantissa bits (14 for subnormals), round to nearest even.
+    let drop = if exp >= -14 { 13 } else { 13 + (-14 - exp) as u32 };
+    let mask = (1u32 << drop) - 1;
+    let half = 1u32 << (drop - 1);
+    let frac = bits & mask;
+    let mut kept = bits & !mask;
+    if frac > half || (frac == half && (kept >> drop) & 1 == 1) {
+        kept = kept.wrapping_add(1 << drop);
+    }
+    let _ = sign;
+    f32::from_bits(kept)
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DType::F16 => write!(f, "f16"),
+            DType::F32 => write!(f, "f32"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::F32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn default_is_f16() {
+        assert_eq!(DType::default(), DType::F16);
+    }
+
+    #[test]
+    fn f32_quantize_is_identity() {
+        for x in [0.0f32, -1.5, 3.7e8, f32::INFINITY] {
+            assert_eq!(DType::F32.quantize(x), x);
+        }
+    }
+
+    #[test]
+    fn f16_quantize_snaps_to_half_grid() {
+        // Values exactly representable in binary16 survive.
+        for x in [0.0f32, 1.0, -2.5, 0.5, 65504.0] {
+            assert_eq!(DType::F16.quantize(x), x, "{x} should be exact");
+        }
+        // 1 + 2^-11 rounds back to 1 (half has 10 mantissa bits).
+        let y = DType::F16.quantize(1.0 + 2f32.powi(-12));
+        assert_eq!(y, 1.0);
+        // Relative error bounded by 2^-11 for normal values.
+        for x in [2.7348f32, -123.456, 0.001234, 4567.8] {
+            let q = DType::F16.quantize(x);
+            assert!(((q - x) / x).abs() <= 2f32.powi(-11), "{x} -> {q}");
+        }
+    }
+
+    #[test]
+    fn f16_quantize_handles_extremes() {
+        assert_eq!(DType::F16.quantize(1e30), f32::INFINITY);
+        assert_eq!(DType::F16.quantize(-1e30), f32::NEG_INFINITY);
+        assert_eq!(DType::F16.quantize(1e-20), 0.0);
+        assert!(DType::F16.quantize(f32::NAN).is_nan());
+        // Subnormal half values survive with reduced precision.
+        let tiny = 3.0e-7f32;
+        let q = DType::F16.quantize(tiny);
+        assert!(q > 0.0 && (q - tiny).abs() / tiny < 0.2);
+    }
+}

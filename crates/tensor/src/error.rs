@@ -1,0 +1,78 @@
+//! Error types for tensor operations.
+
+use crate::shape::Shape;
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor construction and the reference operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of data elements did not match the shape volume.
+    DataLenMismatch {
+        /// Expected number of elements (shape volume).
+        expected: usize,
+        /// Actual number of elements supplied.
+        actual: usize,
+    },
+    /// Two operand shapes were incompatible for the requested operation.
+    ShapeMismatch {
+        /// Short description of the operation that failed.
+        op: &'static str,
+        /// Left-hand operand shape.
+        lhs: Shape,
+        /// Right-hand operand shape.
+        rhs: Shape,
+    },
+    /// A dimension index was out of range for the tensor rank.
+    DimOutOfRange {
+        /// The offending dimension index.
+        dim: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+    /// A shape with zero-sized or missing dimensions was rejected.
+    InvalidShape(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataLenMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs} vs {rhs}")
+            }
+            TensorError::DimOutOfRange { dim, rank } => {
+                write!(f, "dimension {dim} out of range for rank {rank}")
+            }
+            TensorError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TensorError::DataLenMismatch { expected: 6, actual: 4 };
+        assert!(e.to_string().contains('6'));
+        assert!(e.to_string().contains('4'));
+
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: Shape::new(vec![2, 3]),
+            rhs: Shape::new(vec![4, 5]),
+        };
+        assert!(e.to_string().contains("matmul"));
+
+        let e = TensorError::DimOutOfRange { dim: 3, rank: 2 };
+        assert!(e.to_string().contains("out of range"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Composite reference operators built from the primitives.
+//!
+//! These are the unfused, numerically exact implementations of the
+//! paper's evaluated subgraphs (Fig. 10): Softmax, LayerNorm, RMSNorm,
+//! multi-head attention, and MLP layers. Every fused kernel the compiler
+//! generates is validated against these.
+
+use super::{binary, binary_scalar, matmul, reduce, unary, BinaryOp, ReduceOp, UnaryOp};
+use crate::error::Result;
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax along the last dimension of a 2-D tensor.
+///
+/// Implements the exact `max → sub → exp → sum → div` chain of Fig. 1.
+pub fn softmax(x: &Tensor) -> Result<Tensor> {
+    let dim = x.shape().rank() - 1;
+    let max = reduce(ReduceOp::Max, x, dim)?;
+    let sub = binary(BinaryOp::Sub, x, &max)?;
+    let exp = unary(UnaryOp::Exp, &sub);
+    let sum = reduce(ReduceOp::Sum, &exp, dim)?;
+    binary(BinaryOp::Div, &exp, &sum)
+}
+
+/// Layer normalization over the last dimension (Fig. 10(c) structure).
+///
+/// `y = (x - mean) / sqrt(var + eps) * weight + bias`, with `weight` and
+/// `bias` of shape `[1, N]`.
+pub fn layernorm(x: &Tensor, weight: &Tensor, bias: &Tensor, eps: f32) -> Result<Tensor> {
+    let dim = x.shape().rank() - 1;
+    let mean = reduce(ReduceOp::Mean, x, dim)?;
+    let centered = binary(BinaryOp::Sub, x, &mean)?;
+    let sq = unary(UnaryOp::Sqr, &centered);
+    let var = reduce(ReduceOp::Mean, &sq, dim)?;
+    let denom = unary(UnaryOp::Sqrt, &binary_scalar(BinaryOp::Add, &var, eps));
+    let normed = binary(BinaryOp::Div, &centered, &denom)?;
+    let scaled = binary(BinaryOp::Mul, &normed, weight)?;
+    binary(BinaryOp::Add, &scaled, bias)
+}
+
+/// RMS normalization over the last dimension (used by Llama2).
+///
+/// `y = x / sqrt(mean(x^2) + eps) * weight`.
+pub fn rmsnorm(x: &Tensor, weight: &Tensor, eps: f32) -> Result<Tensor> {
+    let dim = x.shape().rank() - 1;
+    let sq = unary(UnaryOp::Sqr, x);
+    let ms = reduce(ReduceOp::Mean, &sq, dim)?;
+    let denom = unary(UnaryOp::Sqrt, &binary_scalar(BinaryOp::Add, &ms, eps));
+    let normed = binary(BinaryOp::Div, x, &denom)?;
+    binary(BinaryOp::Mul, &normed, weight)
+}
+
+/// Single-head scaled-dot-product attention (Fig. 10(d) structure).
+///
+/// `Out = softmax(Q · Kᵀ / sqrt(d)) · V` for `Q [L, d]`, `K [L, d]`,
+/// `V [L, d]`.
+pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor> {
+    let d = q.shape().dim(q.shape().rank() - 1)?;
+    let qk = matmul(q, k, true)?;
+    let scaled = binary_scalar(BinaryOp::Mul, &qk, 1.0 / (d as f32).sqrt());
+    let probs = softmax(&scaled)?;
+    matmul(&probs, v, false)
+}
+
+/// One MLP layer: `relu(x · Wᵀ + b)` with `W [N, K]`, `b [1, N]`.
+pub fn mlp_layer(x: &Tensor, weight: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let y = matmul(x, weight, true)?;
+    let y = binary(BinaryOp::Add, &y, bias)?;
+    Ok(unary(UnaryOp::Relu, &y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, Shape};
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::random(Shape::new(vec![4, 16]), DType::F32, 11);
+        let y = softmax(&x).unwrap();
+        for i in 0..4 {
+            let row_sum: f32 = (0..16).map(|j| y.at(&[i, j])).sum();
+            assert!((row_sum - 1.0).abs() < 1e-5, "row {i} sums to {row_sum}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::random(Shape::new(vec![2, 8]), DType::F32, 12);
+        let shifted = binary_scalar(BinaryOp::Add, &x, 100.0);
+        let a = softmax(&x).unwrap();
+        let b = softmax(&shifted).unwrap();
+        assert!(a.allclose(&b, 1e-5));
+    }
+
+    #[test]
+    fn softmax_handles_large_values_stably() {
+        let x = Tensor::full(Shape::new(vec![1, 4]), DType::F32, 1000.0);
+        let y = softmax(&x).unwrap();
+        for j in 0..4 {
+            assert!((y.at(&[0, j]) - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let x = Tensor::random(Shape::new(vec![3, 64]), DType::F32, 13);
+        let w = Tensor::full(Shape::new(vec![1, 64]), DType::F32, 1.0);
+        let b = Tensor::zeros(Shape::new(vec![1, 64]), DType::F32);
+        let y = layernorm(&x, &w, &b, 1e-5).unwrap();
+        for i in 0..3 {
+            let mean: f32 = (0..64).map(|j| y.at(&[i, j])).sum::<f32>() / 64.0;
+            let var: f32 = (0..64).map(|j| (y.at(&[i, j]) - mean).powi(2)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn rmsnorm_unit_weight_scales_rows() {
+        let x = Tensor::full(Shape::new(vec![1, 16]), DType::F32, 2.0);
+        let w = Tensor::full(Shape::new(vec![1, 16]), DType::F32, 1.0);
+        let y = rmsnorm(&x, &w, 0.0).unwrap();
+        // RMS of constant 2.0 is 2.0, so output should be all ones.
+        for j in 0..16 {
+            assert!((y.at(&[0, j]) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn attention_output_shape_and_rows_are_convex_combinations() {
+        let q = Tensor::random(Shape::new(vec![8, 16]), DType::F32, 21);
+        let k = Tensor::random(Shape::new(vec![8, 16]), DType::F32, 22);
+        let v = Tensor::full(Shape::new(vec![8, 16]), DType::F32, 3.0);
+        let out = attention(&q, &k, &v).unwrap();
+        assert_eq!(out.shape().dims(), &[8, 16]);
+        // With constant V, attention output must equal V exactly.
+        for i in 0..8 {
+            for j in 0..16 {
+                assert!((out.at(&[i, j]) - 3.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn mlp_layer_applies_relu() {
+        let x = Tensor::random(Shape::new(vec![4, 8]), DType::F32, 31);
+        let w = Tensor::random(Shape::new(vec![6, 8]), DType::F32, 32);
+        let b = Tensor::zeros(Shape::new(vec![1, 6]), DType::F32);
+        let y = mlp_layer(&x, &w, &b).unwrap();
+        assert_eq!(y.shape().dims(), &[4, 6]);
+        assert!(y.data().iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Element-wise unary and binary reference operators.
+
+use super::{BinaryOp, UnaryOp};
+use crate::error::Result;
+use crate::tensor::Tensor;
+
+/// Applies a unary operator element-wise.
+pub fn unary(op: UnaryOp, x: &Tensor) -> Tensor {
+    let data = x.data().iter().map(|&v| op.eval(v)).collect();
+    Tensor::from_data(x.shape().clone(), x.dtype(), data)
+        .expect("unary preserves volume")
+}
+
+/// Applies a binary operator element-wise with limited broadcasting.
+///
+/// The right operand may have extent 1 in dimensions where the left has a
+/// larger extent (and vice versa); ranks must match. This covers every
+/// broadcast pattern in the paper's workloads (row/column broadcasts after
+/// reductions, bias adds).
+pub fn binary(op: BinaryOp, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let out_shape = a.shape().broadcast_with(b.shape())?;
+    let rank = out_shape.rank();
+    let volume = out_shape.volume();
+    let out_strides = out_shape.strides();
+    let a_strides = masked_strides(a, &out_shape);
+    let b_strides = masked_strides(b, &out_shape);
+
+    let mut data = Vec::with_capacity(volume);
+    let a_data = a.data();
+    let b_data = b.data();
+    for lin in 0..volume {
+        let mut a_off = 0;
+        let mut b_off = 0;
+        let mut rem = lin;
+        for d in 0..rank {
+            let idx = rem / out_strides[d];
+            rem %= out_strides[d];
+            a_off += idx * a_strides[d];
+            b_off += idx * b_strides[d];
+        }
+        data.push(op.eval(a_data[a_off], b_data[b_off]));
+    }
+    Ok(Tensor::from_data(out_shape, a.dtype(), data).expect("volume matches"))
+}
+
+/// Applies `op(x, scalar)` element-wise.
+pub fn binary_scalar(op: BinaryOp, x: &Tensor, scalar: f32) -> Tensor {
+    let data = x.data().iter().map(|&v| op.eval(v, scalar)).collect();
+    Tensor::from_data(x.shape().clone(), x.dtype(), data)
+        .expect("binary_scalar preserves volume")
+}
+
+/// Strides of `t` viewed in `out` shape: broadcast dims get stride 0.
+fn masked_strides(t: &Tensor, out: &crate::shape::Shape) -> Vec<usize> {
+    let strides = t.shape().strides();
+    t.shape()
+        .dims()
+        .iter()
+        .zip(out.dims().iter())
+        .zip(strides)
+        .map(|((&td, &od), s)| if td == od { s } else { 0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, Shape};
+
+    fn t(dims: Vec<usize>, data: Vec<f32>) -> Tensor {
+        Tensor::from_data(Shape::new(dims), DType::F32, data).unwrap()
+    }
+
+    #[test]
+    fn unary_applies_elementwise() {
+        let x = t(vec![2, 2], vec![-1.0, 0.0, 1.0, 2.0]);
+        let y = unary(UnaryOp::Relu, &x);
+        assert_eq!(y.data(), &[0.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn binary_same_shape() {
+        let a = t(vec![2], vec![1.0, 2.0]);
+        let b = t(vec![2], vec![10.0, 20.0]);
+        assert_eq!(binary(BinaryOp::Add, &a, &b).unwrap().data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn binary_broadcast_column() {
+        // [2,3] - [2,1] : subtract a per-row value, the Softmax pattern.
+        let a = t(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(vec![2, 1], vec![1.0, 4.0]);
+        let y = binary(BinaryOp::Sub, &a, &b).unwrap();
+        assert_eq!(y.data(), &[0.0, 1.0, 2.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn binary_broadcast_row() {
+        // [2,3] + [1,3] : bias-add pattern.
+        let a = t(vec![2, 3], vec![1.0; 6]);
+        let b = t(vec![1, 3], vec![1.0, 2.0, 3.0]);
+        let y = binary(BinaryOp::Add, &a, &b).unwrap();
+        assert_eq!(y.data(), &[2.0, 3.0, 4.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn binary_broadcast_left() {
+        let a = t(vec![2, 1], vec![1.0, 2.0]);
+        let b = t(vec![2, 3], vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        let y = binary(BinaryOp::Mul, &a, &b).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        assert_eq!(y.data(), &[1.0, 1.0, 1.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn binary_incompatible_shapes() {
+        let a = t(vec![2, 3], vec![0.0; 6]);
+        let b = t(vec![2, 2], vec![0.0; 4]);
+        assert!(binary(BinaryOp::Add, &a, &b).is_err());
+    }
+
+    #[test]
+    fn scalar_op() {
+        let x = t(vec![3], vec![1.0, 2.0, 3.0]);
+        assert_eq!(binary_scalar(BinaryOp::Mul, &x, 2.0).data(), &[2.0, 4.0, 6.0]);
+    }
+}

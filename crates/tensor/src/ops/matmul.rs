@@ -1,0 +1,156 @@
+//! Matrix-multiplication reference operators.
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// 2-D matrix multiplication `C[M,N] = A · B`.
+///
+/// When `transpose_b` is false, `B` has shape `[K, N]`; when true, `B` has
+/// shape `[N, K]` (the layout used by the paper's `QK = GEMM(Query, Key)`
+/// where both operands are `[rows, K]`).
+pub fn matmul(a: &Tensor, b: &Tensor, transpose_b: bool) -> Result<Tensor> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul(rank)",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let (m, k) = (a.shape().dim(0)?, a.shape().dim(1)?);
+    let (n, bk) = if transpose_b {
+        (b.shape().dim(0)?, b.shape().dim(1)?)
+    } else {
+        (b.shape().dim(1)?, b.shape().dim(0)?)
+    };
+    if k != bk {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul(inner)",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                let bv = if transpose_b { bd[j * k + kk] } else { bd[kk * n + j] };
+                acc += ad[i * k + kk] * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_data(Shape::new(vec![m, n]), a.dtype(), out)
+}
+
+/// Batched matrix multiplication over one leading batch dimension.
+///
+/// `A` is `[B, M, K]`; `B` is `[B, K, N]` (or `[B, N, K]` when
+/// `transpose_b`). Used for per-head attention GEMMs.
+pub fn batched_matmul(a: &Tensor, b: &Tensor, transpose_b: bool) -> Result<Tensor> {
+    if a.shape().rank() != 3 || b.shape().rank() != 3 {
+        return Err(TensorError::ShapeMismatch {
+            op: "batched_matmul(rank)",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let batch = a.shape().dim(0)?;
+    if b.shape().dim(0)? != batch {
+        return Err(TensorError::ShapeMismatch {
+            op: "batched_matmul(batch)",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let (m, k) = (a.shape().dim(1)?, a.shape().dim(2)?);
+    let n = if transpose_b { b.shape().dim(1)? } else { b.shape().dim(2)? };
+
+    let mut out = Tensor::zeros(Shape::new(vec![batch, m, n]), a.dtype());
+    for bi in 0..batch {
+        let a_slice = slice_batch(a, bi, m, k);
+        let b_rows = if transpose_b { n } else { k };
+        let b_cols = if transpose_b { k } else { n };
+        let b_slice = slice_batch(b, bi, b_rows, b_cols);
+        let c = matmul(&a_slice, &b_slice, transpose_b)?;
+        let dst = &mut out.data_mut()[bi * m * n..(bi + 1) * m * n];
+        dst.copy_from_slice(c.data());
+    }
+    Ok(out)
+}
+
+fn slice_batch(t: &Tensor, batch: usize, rows: usize, cols: usize) -> Tensor {
+    let start = batch * rows * cols;
+    Tensor::from_data(
+        Shape::new(vec![rows, cols]),
+        t.dtype(),
+        t.data()[start..start + rows * cols].to_vec(),
+    )
+    .expect("slice volume matches")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DType;
+
+    fn t(dims: Vec<usize>, data: Vec<f32>) -> Tensor {
+        Tensor::from_data(Shape::new(dims), DType::F32, data).unwrap()
+    }
+
+    #[test]
+    fn matmul_basic() {
+        let a = t(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b, false).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_manual_transpose() {
+        let a = Tensor::random(Shape::new(vec![4, 5]), DType::F32, 1);
+        let b = Tensor::random(Shape::new(vec![3, 5]), DType::F32, 2);
+        // Transpose b by hand into [5,3].
+        let mut bt = Tensor::zeros(Shape::new(vec![5, 3]), DType::F32);
+        for i in 0..3 {
+            for j in 0..5 {
+                bt.set(&[j, i], b.at(&[i, j]));
+            }
+        }
+        let c1 = matmul(&a, &b, true).unwrap();
+        let c2 = matmul(&a, &bt, false).unwrap();
+        assert!(c1.allclose(&c2, 1e-5));
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = t(vec![2, 3], vec![0.0; 6]);
+        let b = t(vec![4, 2], vec![0.0; 8]);
+        assert!(matmul(&a, &b, false).is_err());
+    }
+
+    #[test]
+    fn batched_matmul_matches_per_batch() {
+        let a = Tensor::random(Shape::new(vec![2, 3, 4]), DType::F32, 3);
+        let b = Tensor::random(Shape::new(vec![2, 4, 5]), DType::F32, 4);
+        let c = batched_matmul(&a, &b, false).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 3, 5]);
+        // Check batch 1 against a manual 2-D matmul.
+        let a1 = t(vec![3, 4], a.data()[12..24].to_vec());
+        let b1 = t(vec![4, 5], b.data()[20..40].to_vec());
+        let c1 = matmul(&a1, &b1, false).unwrap();
+        assert_eq!(&c.data()[15..30], c1.data());
+    }
+
+    #[test]
+    fn batched_matmul_batch_mismatch() {
+        let a = Tensor::zeros(Shape::new(vec![2, 3, 4]), DType::F32);
+        let b = Tensor::zeros(Shape::new(vec![3, 4, 5]), DType::F32);
+        assert!(batched_matmul(&a, &b, false).is_err());
+    }
+}

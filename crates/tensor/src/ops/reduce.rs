@@ -1,0 +1,147 @@
+//! Reduction and broadcast reference operators.
+
+use super::ReduceOp;
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Reduces along dimension `dim`, keeping it with extent 1.
+///
+/// Keeping the reduced dimension (as extent 1) matches how the SMG
+/// abstraction treats reduction outputs: the dimension becomes a
+/// placeholder ("-" in the paper's notation) but still exists in the fused
+/// space.
+pub fn reduce(op: ReduceOp, x: &Tensor, dim: usize) -> Result<Tensor> {
+    let rank = x.shape().rank();
+    if dim >= rank {
+        return Err(TensorError::DimOutOfRange { dim, rank });
+    }
+    let extent = x.shape().dim(dim)?;
+    let out_shape = x.shape().with_dim(dim, 1)?;
+    let mut out = Tensor::full(out_shape.clone(), x.dtype(), op.identity());
+
+    let in_strides = x.shape().strides();
+    let out_strides = out_shape.strides();
+    let out_volume = out_shape.volume();
+    let xd = x.data();
+    let od = out.data_mut();
+
+    for (out_lin, slot) in od.iter_mut().enumerate().take(out_volume) {
+        // Decode the output index, then walk the reduced dimension.
+        let mut base = 0usize;
+        let mut rem = out_lin;
+        for d in 0..rank {
+            let idx = rem / out_strides[d];
+            rem %= out_strides[d];
+            base += idx * in_strides[d];
+        }
+        let mut acc = op.identity();
+        for r in 0..extent {
+            acc = op.combine(acc, xd[base + r * in_strides[dim]]);
+        }
+        *slot = op.finalize(acc, extent);
+    }
+    Ok(out)
+}
+
+/// Broadcasts a tensor with extent 1 in `dim` to extent `extent`.
+///
+/// This is the explicit form of the One-to-All mapping a broadcast
+/// introduces; element-wise ops also accept implicit broadcasts, but the
+/// compiler sometimes materializes broadcasts when transforming dataflow.
+pub fn broadcast_to(x: &Tensor, dim: usize, extent: usize) -> Result<Tensor> {
+    let rank = x.shape().rank();
+    if dim >= rank {
+        return Err(TensorError::DimOutOfRange { dim, rank });
+    }
+    if x.shape().dim(dim)? != 1 {
+        return Err(TensorError::InvalidShape(format!(
+            "broadcast_to requires extent 1 in dim {dim}, got shape {}",
+            x.shape()
+        )));
+    }
+    let out_shape = x.shape().with_dim(dim, extent)?;
+    let mut out = Tensor::zeros(out_shape.clone(), x.dtype());
+    let in_strides = x.shape().strides();
+    let out_strides = out_shape.strides();
+    let volume = out_shape.volume();
+    let xd = x.data();
+    let od = out.data_mut();
+    for (lin, slot) in od.iter_mut().enumerate().take(volume) {
+        let mut rem = lin;
+        let mut src = 0usize;
+        for d in 0..rank {
+            let idx = rem / out_strides[d];
+            rem %= out_strides[d];
+            if d != dim {
+                src += idx * in_strides[d];
+            }
+        }
+        *slot = xd[src];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, Shape};
+
+    fn t(dims: Vec<usize>, data: Vec<f32>) -> Tensor {
+        Tensor::from_data(Shape::new(dims), DType::F32, data).unwrap()
+    }
+
+    #[test]
+    fn reduce_sum_rows() {
+        let x = t(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = reduce(ReduceOp::Sum, &x, 1).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 1]);
+        assert_eq!(y.data(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn reduce_max_cols() {
+        let x = t(vec![2, 3], vec![1.0, 9.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = reduce(ReduceOp::Max, &x, 0).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 3]);
+        assert_eq!(y.data(), &[4.0, 9.0, 6.0]);
+    }
+
+    #[test]
+    fn reduce_mean() {
+        let x = t(vec![1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = reduce(ReduceOp::Mean, &x, 1).unwrap();
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn reduce_3d_middle_dim() {
+        let x = Tensor::random(Shape::new(vec![2, 3, 4]), DType::F32, 5);
+        let y = reduce(ReduceOp::Sum, &x, 1).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 1, 4]);
+        let mut expect = 0.0;
+        for j in 0..3 {
+            expect += x.at(&[1, j, 2]);
+        }
+        assert!((y.at(&[1, 0, 2]) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reduce_rejects_bad_dim() {
+        let x = Tensor::zeros(Shape::new(vec![2]), DType::F32);
+        assert!(reduce(ReduceOp::Sum, &x, 1).is_err());
+    }
+
+    #[test]
+    fn broadcast_round_trip() {
+        let x = t(vec![2, 1], vec![3.0, 4.0]);
+        let y = broadcast_to(&x, 1, 3).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        assert_eq!(y.data(), &[3.0, 3.0, 3.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn broadcast_requires_unit_extent() {
+        let x = t(vec![2, 2], vec![0.0; 4]);
+        assert!(broadcast_to(&x, 1, 3).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Schedule explorer: walk through what the auto-scheduler sees.
+//!
+//! Prints, for a fused MHA region: the SMG statistics, the spatially
+//! sliceable dimensions (Table 3 analysis), the temporal plan with its
+//! derived update functions, the enumerated feasible configurations with
+//! their resource footprints and estimated times, and the tuner's pick —
+//! across all three architectures.
+//!
+//! Run with: `cargo run --release --example schedule_explorer`
+
+use sf_gpu_sim::{occupancy, Arch};
+use sf_models::subgraphs;
+use spacefusion::codegen::{estimate_cost, KernelProgram};
+use spacefusion::sched::{resource_aware_slicing, SlicingOptions};
+use spacefusion::slicer::eligible_spatial_dims;
+use spacefusion::smg::build_smg;
+use spacefusion::tune::tune;
+
+fn main() {
+    let g = subgraphs::mha(32, 16, 1024, 64);
+    println!("workload: {} ({} instances)", g.name(), g.instances);
+
+    let smg = build_smg(&g).expect("smg");
+    println!(
+        "SMG: {} spaces, {} mappings ({} One-to-All, {} All-to-One), {} dims",
+        smg.spaces.len(),
+        smg.mappings.len(),
+        smg.o2a_count(),
+        smg.a2o_count(),
+        smg.dims.len()
+    );
+
+    let spatial = eligible_spatial_dims(&g, &smg);
+    println!(
+        "spatially sliceable dims: {:?} (of {})",
+        spatial.iter().map(|d| smg.extent(*d)).collect::<Vec<_>>(),
+        smg.dims.len()
+    );
+
+    for arch in Arch::all() {
+        let cfg = arch.config();
+        let schedules = resource_aware_slicing(&g, &smg, &cfg, &SlicingOptions::default())
+            .expect("slicing");
+        println!("\n== {arch}: {} feasible configurations ==", schedules.len());
+        println!(
+            "{:>8} {:>10} {:>10} {:>10} {:>8} {:>12}",
+            "spatial", "temporal", "smem KiB", "regs KiB", "grid", "est. µs"
+        );
+        let candidates: Vec<KernelProgram> = schedules
+            .into_iter()
+            .map(|s| KernelProgram::new(g.name().to_string(), g.clone(), s))
+            .collect();
+        for kp in candidates.iter().take(12) {
+            let s = &kp.schedule;
+            let cost = estimate_cost(kp, g.instances as u64);
+            println!(
+                "{:>8} {:>10} {:>10} {:>10} {:>8} {:>12.1}",
+                s.spatial[0].1,
+                s.temporal.as_ref().map(|t| t.block.to_string()).unwrap_or("-".into()),
+                s.smem_per_block(&kp.graph) >> 10,
+                s.regs_per_block(&kp.graph) >> 10,
+                s.grid() * g.instances as u64,
+                cfg.kernel_time_us(&cost),
+            );
+        }
+        if candidates.len() > 12 {
+            println!("   ... and {} more", candidates.len() - 12);
+        }
+        let pick = tune(&candidates, &cfg, g.instances as u64, 0.25);
+        let best_kp = &candidates[pick.best];
+        let best = &best_kp.schedule;
+        println!(
+            "tuner pick: spatial {} / temporal {:?} -> {:.1} µs ({} evaluated, {} early-quit)",
+            best.spatial[0].1,
+            best.temporal.as_ref().map(|t| t.block),
+            pick.best_us,
+            pick.evaluated,
+            pick.pruned
+        );
+        let occ = occupancy(
+            &cfg,
+            best.grid() * g.instances as u64,
+            best.smem_per_block(&best_kp.graph),
+            best.regs_per_block(&best_kp.graph),
+        );
+        println!(
+            "occupancy: {} block(s)/SM, {} concurrent, {} wave(s), tail utilization {:.0}%",
+            occ.blocks_per_sm,
+            occ.concurrent_blocks,
+            occ.waves,
+            occ.tail_utilization * 100.0
+        );
+    }
+}

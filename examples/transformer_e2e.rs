@@ -1,0 +1,61 @@
+//! End-to-end Transformer inference across engines.
+//!
+//! Compiles every distinct subprogram of a BERT-base forward pass under
+//! each engine's composition rules and reports the simulated end-to-end
+//! time — a miniature of the paper's Fig. 14.
+//!
+//! Run with: `cargo run --release --example transformer_e2e`
+
+use sf_baselines::Engine;
+use sf_gpu_sim::Arch;
+use sf_models::bert;
+
+fn main() {
+    let arch = Arch::Ampere;
+    let model = bert();
+    let (batch, seq) = (8usize, 256usize);
+    println!(
+        "BERT-base ({} layers, hidden {}, {} heads), batch {batch}, seq {seq}, on {arch}",
+        model.layers, model.hidden, model.heads
+    );
+    println!(
+        "forward pass: {:.1} GFLOPs\n",
+        model.forward_flops(batch, seq) as f64 / 1e9
+    );
+
+    println!("{:<14} {:>12} {:>10}", "engine", "time (µs)", "speedup");
+    let mut py_time = None;
+    for engine in [
+        Engine::PyTorch,
+        Engine::BladeDisc,
+        Engine::Kernl,
+        Engine::TensorRt,
+        Engine::SpaceFusion,
+    ] {
+        if !engine.supports(arch) {
+            println!("{:<14} {:>12}", engine.name(), "n/a");
+            continue;
+        }
+        let mut total = 0.0;
+        for w in model.subprograms(batch, seq) {
+            let program = engine.compile(arch, &w.graph).expect("compile");
+            total += program.profile(2).time_us * w.count as f64;
+        }
+        let base = *py_time.get_or_insert(total);
+        println!("{:<14} {:>12.1} {:>9.2}x", engine.name(), total, base / total);
+    }
+
+    // Show where the time goes for SpaceFusion.
+    println!("\nSpaceFusion per-subprogram breakdown:");
+    for w in model.subprograms(batch, seq) {
+        let program = Engine::SpaceFusion.compile(arch, &w.graph).expect("compile");
+        let t = program.profile(2).time_us;
+        println!(
+            "  {:<40} {:>4} kernel(s) × {:>3} calls = {:>10.1} µs",
+            w.graph.name(),
+            program.kernels.len(),
+            w.count,
+            t * w.count as f64
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the SpaceFusion reproduction.
+//!
+//! Re-exports the workspace crates under one roof for the examples and
+//! the cross-crate integration tests in `/tests`:
+//!
+//! * [`tensor`] — shapes, dtypes, CPU reference operators.
+//! * [`ir`] — the operator dataflow graph.
+//! * [`gpu`] — the deterministic GPU performance model.
+//! * [`spacefusion`] — the compiler: SMG, slicers, scheduler, codegen.
+//! * [`baselines`] — hand-tuned kernels and engine rules.
+//! * [`models`] — Fig. 10 subgraphs and the Transformer zoo.
+
+pub use sf_baselines as baselines;
+pub use sf_gpu_sim as gpu;
+pub use sf_ir as ir;
+pub use sf_models as models;
+pub use sf_tensor as tensor;
+pub use spacefusion;

@@ -1,0 +1,194 @@
+//! Property-based tests: every schedule the compiler emits — for
+//! *randomly generated* operator graphs and shapes — must reproduce the
+//! reference numerics and respect hardware resource bounds.
+
+use proptest::prelude::*;
+use sf_gpu_sim::Arch;
+use sf_ir::Graph;
+use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+use sf_tensor::{DType, Shape};
+use spacefusion::compiler::{Compiler, FusionPolicy};
+
+/// One step of a randomly generated element-wise/reduction pipeline.
+#[derive(Debug, Clone)]
+enum Step {
+    Unary(u8),
+    Scalar(f32),
+    Reduce(u8, bool), // (kind, along_columns)
+    CombineInput(u8), // binary with the original input (broadcasts back).
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..5).prop_map(Step::Unary),
+        (-1.5f32..1.5).prop_map(Step::Scalar),
+        ((0u8..3), any::<bool>()).prop_map(|(k, c)| Step::Reduce(k, c)),
+        (0u8..4).prop_map(Step::CombineInput),
+    ]
+}
+
+fn unary_of(i: u8) -> UnaryOp {
+    [UnaryOp::Exp, UnaryOp::Relu, UnaryOp::Sqr, UnaryOp::Tanh, UnaryOp::Sigmoid][i as usize % 5]
+}
+
+fn binary_of(i: u8) -> BinaryOp {
+    [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Max][i as usize % 4]
+}
+
+fn reduce_of(i: u8) -> ReduceOp {
+    [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Mean][i as usize % 3]
+}
+
+/// Builds a graph from the generated pipeline, tracking shapes so every
+/// op is valid by construction.
+fn build_graph(m: usize, n: usize, steps: &[Step]) -> Graph {
+    let mut g = Graph::new("random_pipeline", DType::F32);
+    let x = g.input("x", Shape::new(vec![m, n]));
+    let mut cur = x;
+    for s in steps {
+        cur = match s {
+            Step::Unary(u) => {
+                // Exp after wide values overflows f32; squash first.
+                let v = if unary_of(*u) == UnaryOp::Exp {
+                    g.unary(UnaryOp::Tanh, cur).unwrap()
+                } else {
+                    cur
+                };
+                g.unary(unary_of(*u), v).unwrap()
+            }
+            Step::Scalar(c) => g.scalar(BinaryOp::Mul, cur, *c).unwrap(),
+            Step::Reduce(k, cols) => {
+                let shape = g.shape(cur).clone();
+                let dim = if *cols { 0 } else { 1 };
+                if shape.dims()[dim] == 1 {
+                    continue; // Already reduced along this dim.
+                }
+                g.reduce(reduce_of(*k), cur, dim).unwrap()
+            }
+            Step::CombineInput(b) => g.binary(binary_of(*b), x, cur).unwrap(),
+        };
+    }
+    g.mark_output(cur);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fused execution of random pipelines matches the reference.
+    #[test]
+    fn fused_random_pipelines_match_reference(
+        m in 3usize..48,
+        n in 3usize..48,
+        steps in prop::collection::vec(step_strategy(), 1..8),
+        seed in 0u64..1000,
+    ) {
+        let g = build_graph(m, n, &steps);
+        let bindings = g.random_bindings(seed);
+        let expect = g.execute(&bindings).unwrap();
+        for policy in [FusionPolicy::SpaceFusion, FusionPolicy::MiOnly] {
+            let compiler = Compiler::with_policy(Arch::Ampere, policy);
+            let program = compiler.compile(&g).unwrap();
+            let got = program.execute(&bindings).unwrap();
+            prop_assert!(
+                got[0].allclose(&expect[0], 1e-3),
+                "policy {:?} differs by {:?} on {} steps",
+                policy, got[0].max_abs_diff(&expect[0]), g.ops().len()
+            );
+        }
+    }
+
+    /// Attention matches the reference at arbitrary (legal) shapes,
+    /// through the mechanically derived online softmax.
+    #[test]
+    fn fused_attention_matches_reference_at_random_shapes(
+        m in 17usize..80,
+        l in 33usize..200,
+        d in 8usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut g = Graph::new("mha", DType::F32);
+        let q = g.input("q", Shape::new(vec![m, d]));
+        let k = g.input("k", Shape::new(vec![l, d]));
+        let v = g.input("v", Shape::new(vec![l, d]));
+        let qk = g.gemm(q, k, true).unwrap();
+        let mx = g.reduce(ReduceOp::Max, qk, 1).unwrap();
+        let sub = g.binary(BinaryOp::Sub, qk, mx).unwrap();
+        let e = g.unary(UnaryOp::Exp, sub).unwrap();
+        let s = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        let dv = g.binary(BinaryOp::Div, e, s).unwrap();
+        let out = g.gemm(dv, v, false).unwrap();
+        g.mark_output(out);
+
+        let bindings = g.random_bindings(seed);
+        let expect = g.execute(&bindings).unwrap();
+        let program = Compiler::with_policy(Arch::Volta, FusionPolicy::SpaceFusion)
+            .compile(&g).unwrap();
+        let got = program.execute(&bindings).unwrap();
+        prop_assert!(got[0].allclose(&expect[0], 1e-3));
+    }
+
+    /// Every emitted kernel respects the target's resource bounds.
+    #[test]
+    fn schedules_respect_resource_bounds(
+        m in 16usize..257,
+        n in 16usize..257,
+        steps in prop::collection::vec(step_strategy(), 1..6),
+    ) {
+        let g = build_graph(m, n, &steps);
+        for arch in [Arch::Volta, Arch::Hopper] {
+            let compiler = Compiler::with_policy(arch, FusionPolicy::SpaceFusion);
+            let program = compiler.compile(&g).unwrap();
+            let cfg = arch.config();
+            for k in &program.kernels {
+                prop_assert!(k.schedule.smem_per_block(&k.graph) <= cfg.smem_per_block);
+                prop_assert!(k.schedule.regs_per_block(&k.graph) <= cfg.regs_per_block);
+            }
+        }
+    }
+
+    /// Partition invariant: however a graph is split by policies, the
+    /// kernels chain back to the reference result.
+    #[test]
+    fn policies_agree_with_each_other(
+        m in 8usize..40,
+        n in 8usize..40,
+        steps in prop::collection::vec(step_strategy(), 2..7),
+        seed in 0u64..1000,
+    ) {
+        let g = build_graph(m, n, &steps);
+        let bindings = g.random_bindings(seed);
+        let a = Compiler::with_policy(Arch::Ampere, FusionPolicy::SpaceFusion)
+            .compile(&g).unwrap().execute(&bindings).unwrap();
+        let b = Compiler::with_policy(Arch::Ampere, FusionPolicy::Unfused)
+            .compile(&g).unwrap().execute(&bindings).unwrap();
+        prop_assert!(a[0].allclose(&b[0], 1e-3));
+    }
+
+    /// The profiler's counters are internally consistent on random
+    /// fused programs: misses never exceed accesses, DRAM reads never
+    /// exceed requested bytes rounded to lines.
+    #[test]
+    fn profiler_counters_are_consistent(
+        m in 16usize..128,
+        n in 16usize..128,
+        steps in prop::collection::vec(step_strategy(), 1..5),
+    ) {
+        let g = build_graph(m, n, &steps);
+        let program = Compiler::with_policy(Arch::Ampere, FusionPolicy::SpaceFusion)
+            .compile(&g).unwrap();
+        let r = program.profile(1);
+        prop_assert!(r.stats.l1_misses <= r.stats.l1_accesses);
+        prop_assert!(r.stats.l2_misses <= r.stats.l2_accesses);
+        for k in &r.kernels {
+            // Line-granularity DRAM reads can exceed requested bytes by
+            // at most one line per row access; bound loosely by 2x+line.
+            prop_assert!(
+                k.dram_read_bytes <= 2 * k.global_read_bytes + 4096,
+                "{} dram {} vs requested {}",
+                k.name, k.dram_read_bytes, k.global_read_bytes
+            );
+        }
+        prop_assert!(r.time_us > 0.0);
+    }
+}
