@@ -1,10 +1,10 @@
-//! Criterion benchmarks of the compiler hot paths.
+//! Benchmarks of the compiler hot paths.
 //!
 //! These quantify the "lightweight analysis" claim of §6.5: SMG
 //! construction, slicing analysis, configuration enumeration and the
 //! full compile pipeline are all sub-millisecond per subprogram.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sf_bench::timing::bench;
 use sf_gpu_sim::{Arch, GpuArch};
 use sf_models::subgraphs;
 use spacefusion::compiler::{CompileOptions, Compiler};
@@ -12,71 +12,66 @@ use spacefusion::sched::{resource_aware_slicing, SlicingOptions};
 use spacefusion::slicer::{eligible_spatial_dims, pick_temporal_dim, plan_temporal};
 use spacefusion::smg::build_smg;
 
-fn bench_smg_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("smg_build");
+fn bench_smg_construction() {
     for (name, g) in [
-        ("mha_1k", subgraphs::mha(32, 16, 1024, 64)),
-        ("layernorm_4k", subgraphs::layernorm(4096, 4096)),
-        ("mlp20", subgraphs::mlp_stack(20, 2048, 256)),
+        ("smg_build/mha_1k", subgraphs::mha(32, 16, 1024, 64)),
+        ("smg_build/layernorm_4k", subgraphs::layernorm(4096, 4096)),
+        ("smg_build/mlp20", subgraphs::mlp_stack(20, 2048, 256)),
     ] {
-        group.bench_function(name, |b| b.iter(|| build_smg(std::hint::black_box(&g)).unwrap()));
+        bench(name, || build_smg(std::hint::black_box(&g)).unwrap());
     }
-    group.finish();
 }
 
-fn bench_slicers(c: &mut Criterion) {
+fn bench_slicers() {
     let g = subgraphs::mha(32, 16, 1024, 64);
     let smg = build_smg(&g).unwrap();
-    c.bench_function("spatial_slicer/mha", |b| {
-        b.iter(|| eligible_spatial_dims(std::hint::black_box(&g), &smg))
-    });
+    bench("spatial_slicer/mha", || eligible_spatial_dims(std::hint::black_box(&g), &smg));
     let spatial = eligible_spatial_dims(&g, &smg);
-    c.bench_function("temporal_slicer/mha", |b| {
-        b.iter(|| {
-            let d = pick_temporal_dim(&g, &smg, &spatial).unwrap();
-            plan_temporal(&g, &smg, d).unwrap()
-        })
+    bench("temporal_slicer/mha", || {
+        let d = pick_temporal_dim(&g, &smg, &spatial).unwrap();
+        plan_temporal(&g, &smg, d).unwrap()
     });
 }
 
-fn bench_enumeration(c: &mut Criterion) {
+fn bench_enumeration() {
     let g = subgraphs::mha(32, 16, 1024, 64);
     let smg = build_smg(&g).unwrap();
     let arch = GpuArch::ampere();
-    c.bench_function("resource_aware_slicing/mha", |b| {
-        b.iter(|| {
-            resource_aware_slicing(&g, &smg, &arch, &SlicingOptions::default()).unwrap()
-        })
+    bench("resource_aware_slicing/mha", || {
+        resource_aware_slicing(&g, &smg, &arch, &SlicingOptions::default()).unwrap()
     });
 }
 
-fn bench_full_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile");
+fn bench_full_compile() {
     for seq in [256usize, 1024] {
         let g = subgraphs::mha(32, 16, seq, 64);
-        group.bench_with_input(BenchmarkId::new("mha", seq), &g, |b, g| {
-            b.iter(|| {
-                // Fresh compiler: no schedule-cache hits.
-                Compiler::new(Arch::Ampere, CompileOptions::default())
-                    .compile(g)
-                    .unwrap()
-            })
+        bench(&format!("compile/mha_{seq}"), || {
+            // Fresh compiler: no schedule-cache hits.
+            Compiler::new(Arch::Ampere, CompileOptions::default())
+                .compile(&g)
+                .unwrap()
         });
     }
     let ln = subgraphs::layernorm(4096, 4096);
-    group.bench_function("layernorm_4k", |b| {
-        b.iter(|| {
-            Compiler::new(Arch::Ampere, CompileOptions::default())
-                .compile(&ln)
-                .unwrap()
-        })
+    bench("compile/layernorm_4k", || {
+        Compiler::new(Arch::Ampere, CompileOptions::default())
+            .compile(&ln)
+            .unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_smg_construction, bench_slicers, bench_enumeration, bench_full_compile
-);
-criterion_main!(benches);
+fn bench_session_cache() {
+    use spacefusion::pipeline::CompileSession;
+    let g = subgraphs::mha(32, 16, 1024, 64);
+    let session = CompileSession::new(Arch::Ampere, CompileOptions::default());
+    session.compile(&g).unwrap(); // warm the shared schedule cache
+    bench("compile/mha_1k_cached", || session.compile(&g).unwrap());
+}
+
+fn main() {
+    bench_smg_construction();
+    bench_slicers();
+    bench_enumeration();
+    bench_full_compile();
+    bench_session_cache();
+}

@@ -1,67 +1,55 @@
-//! Criterion benchmarks of the GPU performance model.
+//! Benchmarks of the GPU performance model.
 //!
 //! The cache simulator must sustain millions of line touches per second
 //! for the figure sweeps to be tractable; these benches keep it honest.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sf_baselines::Engine;
+use sf_bench::timing::{bench, bench_throughput};
 use sf_gpu_sim::{Cache, GpuArch, Profiler};
 use sf_models::subgraphs;
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("lru_stream_100k_lines", |b| {
-        b.iter(|| {
-            let mut cache = Cache::new(40 << 20, 128, 16);
-            for i in 0..100_000u64 {
-                cache.access_line(std::hint::black_box(i % 400_000));
-            }
-            cache.misses()
-        })
+fn bench_cache() {
+    bench_throughput("cache/lru_stream_100k_lines", 100_000, || {
+        let mut cache = Cache::new(40 << 20, 128, 16);
+        for i in 0..100_000u64 {
+            cache.access_line(std::hint::black_box(i % 400_000));
+        }
+        cache.misses()
     });
-    group.bench_function("lru_hot_set_100k", |b| {
-        b.iter(|| {
-            let mut cache = Cache::new(40 << 20, 128, 16);
-            for i in 0..100_000u64 {
-                cache.access_line(std::hint::black_box(i % 1024));
-            }
-            cache.hits()
-        })
-    });
-    group.finish();
-}
-
-fn bench_profiler(c: &mut Criterion) {
-    c.bench_function("profiler/tile_streams", |b| {
-        let arch = GpuArch::ampere();
-        b.iter(|| {
-            let mut p = Profiler::new(&arch);
-            let buf = p.alloc(64 << 20);
-            p.begin_kernel("stream", 512, 0, 0);
-            for blk in 0..512u64 {
-                p.begin_block();
-                p.load_tile(buf, blk * 65536, 8192, 8, 8192);
-            }
-            p.end_kernel();
-            p.stats().dram_read_bytes
-        })
+    bench_throughput("cache/lru_hot_set_100k", 100_000, || {
+        let mut cache = Cache::new(40 << 20, 128, 16);
+        for i in 0..100_000u64 {
+            cache.access_line(std::hint::black_box(i % 1024));
+        }
+        cache.hits()
     });
 }
 
-fn bench_end_to_end_profile(c: &mut Criterion) {
+fn bench_profiler() {
+    let arch = GpuArch::ampere();
+    bench("profiler/tile_streams", || {
+        let mut p = Profiler::new(&arch);
+        let buf = p.alloc(64 << 20);
+        p.begin_kernel("stream", 512, 0, 0);
+        for blk in 0..512u64 {
+            p.begin_block();
+            p.load_tile(buf, blk * 65536, 8192, 8, 8192);
+        }
+        p.end_kernel();
+        p.stats().dram_read_bytes
+    });
+}
+
+fn bench_end_to_end_profile() {
     let g = subgraphs::mha(4, 8, 512, 64);
     let program = Engine::SpaceFusion
         .compile(sf_gpu_sim::Arch::Ampere, &g)
         .unwrap();
-    c.bench_function("profile/fused_mha_512", |b| {
-        b.iter(|| program.profile(2).time_us)
-    });
+    bench("profile/fused_mha_512", || program.profile(2).time_us);
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_cache, bench_profiler, bench_end_to_end_profile
-);
-criterion_main!(benches);
+fn main() {
+    bench_cache();
+    bench_profiler();
+    bench_end_to_end_profile();
+}

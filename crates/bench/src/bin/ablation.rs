@@ -76,7 +76,7 @@ fn staging_ablation(q: bool) {
             .into_iter()
             .map(|s| KernelProgram::new("mha", g.clone(), s))
             .collect();
-        let r = tune(&kps, &arch, g.instances as u64, 0.25);
+        let r = tune(&kps, &arch, g.instances as u64, 0.25).expect("candidates");
         row.push(r.best_us);
     }
     print_row("best est. µs", &row);
@@ -99,7 +99,7 @@ fn alpha_ablation(q: bool) {
         "alpha", "evaluated", "pruned", "best est. µs"
     );
     for alpha in [1.0f64, 0.5, 0.25, 0.1] {
-        let r = tune(&kps, &arch, g.instances as u64, alpha);
+        let r = tune(&kps, &arch, g.instances as u64, alpha).expect("candidates");
         println!(
             "{alpha:<8} {:>10} {:>10} {:>12.1}",
             r.evaluated, r.pruned, r.best_us

@@ -9,6 +9,7 @@
 //! crossovers fall.
 
 pub mod report;
+pub mod timing;
 
 pub use report::Report;
 
@@ -17,6 +18,7 @@ use sf_gpu_sim::Arch;
 use sf_ir::Graph;
 use sf_models::{TransformerConfig, Workload};
 use spacefusion::compiler::{CompileOptions, CompiledProgram, Compiler};
+use spacefusion::pipeline::CompileSession;
 use spacefusion::Result;
 
 /// How many batch instances the profiler replays in detail; the rest are
@@ -81,10 +83,12 @@ pub fn options_model_us(
     batch: usize,
     seq: usize,
 ) -> Result<f64> {
-    let compiler = Compiler::new(arch, opts.clone());
+    // One session per sweep point: repeated subprogram shapes across the
+    // model's layers hit the shared schedule cache instead of re-tuning.
+    let session = CompileSession::new(arch, opts.clone());
     let mut total = 0.0;
     for Workload { graph, count } in model.subprograms(batch, seq) {
-        let program = compiler.compile(&graph)?;
+        let program = session.compile(&graph)?;
         let detailed = sf_baselines::engines::is_attention(&graph)
             || sf_baselines::engines::is_row_norm(&graph);
         let us = if detailed { profiled_us(&program) } else { program.estimate_us() };

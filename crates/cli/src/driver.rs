@@ -2,10 +2,12 @@
 
 use sf_gpu_sim::Arch;
 use sf_ir::Graph;
-use spacefusion::compiler::{CompileOptions, Compiler, FusionPolicy};
+use spacefusion::compiler::{CompileOptions, FusionPolicy};
+use spacefusion::pipeline::{render_timings, CollectingSink, CompileSession};
 use spacefusion::sched::OpRole;
 use spacefusion::slicer::AggKind;
 use spacefusion::smg::build_smg;
+use std::sync::Arc;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -25,6 +27,8 @@ pub struct Options {
     pub rewrite: bool,
     /// Emit Triton-style pseudo-code for each kernel.
     pub emit: bool,
+    /// Print the per-pass timing table from the instrumentation events.
+    pub timings: bool,
 }
 
 impl Default for Options {
@@ -37,6 +41,7 @@ impl Default for Options {
             verify_seed: None,
             rewrite: false,
             emit: false,
+            timings: false,
         }
     }
 }
@@ -79,6 +84,7 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--rewrite" => o.rewrite = true,
             "--emit" => o.emit = true,
+            "--timings" => o.timings = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
@@ -114,8 +120,9 @@ pub fn compile_report(graph: &Graph, o: &Options) -> Result<String, String> {
     if o.policy == FusionPolicy::TileGraph {
         opts.slicing.enable_uta = false;
     }
-    let compiler = Compiler::new(o.arch, opts);
-    let program = compiler.compile(&graph).map_err(|e| e.to_string())?;
+    let sink = Arc::new(CollectingSink::new());
+    let session = CompileSession::new(o.arch, opts).with_sink(sink.clone());
+    let program = session.compile(&graph).map_err(|e| e.to_string())?;
 
     let _ = writeln!(
         out,
@@ -161,6 +168,10 @@ pub fn compile_report(graph: &Graph, o: &Options) -> Result<String, String> {
         if post > 0 {
             let _ = writeln!(out, "    {in_loop} in-loop op(s), {post} post-loop op(s)");
         }
+    }
+
+    if o.timings {
+        let _ = writeln!(out, "\n{}", render_timings(&sink.events()).trim_end());
     }
 
     if o.emit {
@@ -265,6 +276,23 @@ output y
         let report = compile_report(&g, &o).unwrap();
         assert!(report.contains("parallel_for block"));
         assert!(report.contains("store("));
+    }
+
+    #[test]
+    fn timings_flag_reports_every_fig9_pass() {
+        // A row too wide for on-chip residence forces partitioning, so
+        // even the fallback pass appears in the table.
+        let wide = LN.replace("2048", "65536");
+        let g = parse_graph(&wide).unwrap();
+        let o = Options { timings: true, ..Default::default() };
+        let report = compile_report(&g, &o).unwrap();
+        for pass in [
+            "segment", "group", "cache-lookup", "smg-build", "spatial-slice",
+            "temporal-slice", "enum-cfg", "partition", "tune", "emit",
+        ] {
+            assert!(report.contains(pass), "missing pass '{pass}' in:\n{report}");
+        }
+        assert!(report.contains("schedule cache:"), "{report}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! sfc compile FILE [--arch volta|ampere|hopper]
 //!                  [--policy spacefusion|unfused|epilogue|mi-only|tile-graph]
 //!                  [--dot] [--profile] [--verify SEED] [--rewrite]
+//!                  [--emit] [--timings]
 //! sfc print FILE       # parse and pretty-print back to the DSL
 //! ```
 

@@ -255,6 +255,14 @@ fn value_view(
     let full = env
         .get(name)
         .ok_or_else(|| SfError::Codegen(format!("missing binding '{name}'")))?;
+    let declared = &graph.value(v).shape;
+    if full.shape() != declared {
+        // The binding was materialized upstream of a layout barrier and
+        // carries the producing kernel's layout; view it under this
+        // segment's declared shape before extracting the block tile.
+        let viewed = full.reshape(declared.clone())?;
+        return Ok(extract(graph, smg, &viewed, v, restrict));
+    }
     Ok(extract(graph, smg, full, v, restrict))
 }
 

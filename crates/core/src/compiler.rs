@@ -1,289 +1,55 @@
-//! The end-to-end compilation pipeline (paper Fig. 9).
+//! The end-to-end SpaceFusion compiler facade.
 //!
-//! `Graph → segments → SMG → resource-aware slicing → (partitioning) →
-//! auto-tuning → kernel programs`. The [`FusionPolicy`] knob restricts
-//! the pipeline's capabilities to model the baseline systems of the
-//! evaluation (Table 2): an unfused PyTorch-eager baseline, cuBLASLt-like
-//! GEMM-epilogue fusion, AStitch-like memory-intensive-only fusion, and
-//! Welder-like tile-graph fusion without dependency transformation.
+//! The actual compilation machinery lives in [`crate::pipeline`]: a
+//! pass pipeline over a [`CompileSession`] with a shared thread-safe
+//! schedule cache, concurrent group scheduling and structured
+//! instrumentation. [`Compiler`] is the thin convenience wrapper the
+//! rest of the workspace (and downstream code) uses:
+//! `Compiler::new(arch, opts).compile(&graph)` still works exactly as
+//! before, now owning a private session per compiler.
 //!
-//! Repetitive subprograms are compiled once: scheduling decisions are
-//! cached by shape key (paper §5: "SpaceFusion compiles the repetitive
-//! ones only once").
+//! Create a [`CompileSession`] directly when you want to share the
+//! schedule cache across compilations, plug in an
+//! [`EventSink`](crate::pipeline::EventSink), or control the worker
+//! count.
 
-use crate::codegen::{estimate_cost, execute_kernel, trace_kernel, KernelProgram};
-use crate::error::{Result, SfError};
-use crate::sched::{
-    assign_memory, partition, resource_aware_slicing, FusedSchedule, SlicingOptions,
-    TemporalSchedule,
+pub use crate::pipeline::{
+    CompileOptions, CompileSession, CompileStats, CompiledProgram, FusionPolicy,
+    ProfileReport,
 };
-use crate::slicer::{eligible_spatial_dims, pick_temporal_dim, plan_temporal};
-use crate::smg::{build_smg, Smg};
-use crate::tune::tune;
-use sf_gpu_sim::{Arch, GpuArch, KernelCost, Profiler, ProgramStats};
-use sf_ir::{analysis, segment, Graph, OpKind, ValueKind};
-use sf_tensor::Tensor;
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::time::Instant;
-
-/// What the compiler is allowed to fuse — SpaceFusion itself plus the
-/// restricted capability sets of the baseline systems.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum FusionPolicy {
-    /// Full SpaceFusion: SMG slicing, UTA, partitioning, tuning.
-    SpaceFusion,
-    /// One kernel per operator (PyTorch-eager / cuBLAS style).
-    Unfused,
-    /// GEMMs absorb their element-wise epilogues (cuBLASLt style).
-    EpilogueOnly,
-    /// Only memory-intensive operators fuse; GEMMs stay standalone
-    /// (AStitch / BladeDISC style).
-    MiOnly,
-    /// Tile-graph fusion: full fusion scope but no intra-operator
-    /// dependency transformation — UTA disabled (Welder / NNFusion
-    /// style). Oversized fusions fall back to partitioning.
-    TileGraph,
-}
-
-/// Compilation options.
-#[derive(Debug, Clone)]
-pub struct CompileOptions {
-    /// Fusion capability set.
-    pub policy: FusionPolicy,
-    /// Slicing options (temporal/UTA toggles, fixed blocks for
-    /// ablations).
-    pub slicing: SlicingOptions,
-    /// Whether to auto-tune block sizes. When disabled, the last
-    /// (most-sliced) feasible candidate is used — the paper's
-    /// expert-fixed-configuration ablation.
-    pub autotune: bool,
-    /// Early-quit proportion α (paper §6.5 uses 0.25).
-    pub alpha: f64,
-}
-
-impl Default for CompileOptions {
-    fn default() -> Self {
-        CompileOptions {
-            policy: FusionPolicy::SpaceFusion,
-            slicing: SlicingOptions::default(),
-            autotune: true,
-            alpha: 0.25,
-        }
-    }
-}
-
-/// Timing and search-space statistics of one compilation.
-#[derive(Debug, Clone, Default)]
-pub struct CompileStats {
-    /// Time in spatial-slicer analysis (`SS.getDims + SS.slice`), µs.
-    pub spatial_us: f64,
-    /// Time in temporal-slicer analysis (`TS.getPriorDim + TS.slice`), µs.
-    pub temporal_us: f64,
-    /// Time enumerating and checking configurations (`enumCfg`), µs.
-    pub enum_us: f64,
-    /// Time evaluating candidates in the tuner, µs.
-    pub tune_us: f64,
-    /// Wall-clock total, µs.
-    pub total_us: f64,
-    /// Configurations generated.
-    pub configs: usize,
-    /// Configurations fully evaluated by the tuner.
-    pub evaluated: usize,
-    /// Configurations abandoned by the early-quit rule.
-    pub pruned: usize,
-    /// Subprograms served from the schedule cache.
-    pub cache_hits: usize,
-    /// Pattern signatures of fused kernels containing ≥ 2 All-to-One
-    /// mappings (the paper's §6.6 census unit).
-    pub fusion_patterns: Vec<String>,
-}
-
-/// A compiled program: an ordered list of kernels over a shared tensor
-/// environment.
-#[derive(Debug, Clone)]
-pub struct CompiledProgram {
-    /// Kernels in execution order.
-    pub kernels: Vec<KernelProgram>,
-    /// Dependency-free instance multiplier (batch × heads).
-    pub instances: usize,
-    /// Program outputs: the environment name that holds each value
-    /// (layout barriers are resolved to their source) and the declared
-    /// output shape it is viewed under.
-    pub outputs: Vec<(String, sf_tensor::Shape)>,
-    /// Architecture compiled for.
-    pub arch: GpuArch,
-    /// Compilation statistics.
-    pub stats: CompileStats,
-}
-
-/// Result of profiling a compiled program on the simulator.
-#[derive(Debug, Clone)]
-pub struct ProfileReport {
-    /// Cache and DRAM counters.
-    pub stats: ProgramStats,
-    /// Per-kernel costs.
-    pub kernels: Vec<KernelCost>,
-    /// Simulated wall time, µs.
-    pub time_us: f64,
-}
-
-impl CompiledProgram {
-    /// Executes the program numerically over named bindings.
-    ///
-    /// Returns the output tensors in the original graph's output order.
-    pub fn execute(&self, bindings: &HashMap<String, Tensor>) -> Result<Vec<Tensor>> {
-        let mut env = bindings.clone();
-        for k in &self.kernels {
-            execute_kernel(k, &mut env)?;
-        }
-        self.outputs
-            .iter()
-            .map(|(n, shape)| {
-                let t = env
-                    .get(n)
-                    .ok_or_else(|| SfError::Codegen(format!("missing output '{n}'")))?;
-                if t.shape() == shape {
-                    Ok(t.clone())
-                } else {
-                    // The declared output sits behind a layout barrier.
-                    Ok(t.reshape(shape.clone())?)
-                }
-            })
-            .collect()
-    }
-
-    /// Profiles the program through the cache-simulating profiler.
-    ///
-    /// `replay_instances` caps how many batch instances are replayed in
-    /// detail; counters are scaled up to the full instance count.
-    pub fn profile(&self, replay_instances: usize) -> ProfileReport {
-        let mut profiler = Profiler::new(&self.arch);
-        // Allocate every distinct global value once, across all kernels.
-        let mut bufs = HashMap::new();
-        for k in &self.kernels {
-            for v in k.graph.values() {
-                let global = matches!(v.kind, ValueKind::Input | ValueKind::Weight)
-                    || k.graph
-                        .outputs()
-                        .iter()
-                        .any(|&o| k.graph.value(o).name == v.name);
-                if global && !bufs.contains_key(&v.name) {
-                    let bytes = (v.shape.volume() * v.dtype.size_bytes()) as u64
-                        * self.instances as u64;
-                    bufs.insert(v.name.clone(), profiler.alloc(bytes));
-                }
-            }
-        }
-        let replay = replay_instances.clamp(1, self.instances);
-        for k in &self.kernels {
-            trace_kernel(k, &mut profiler, &bufs, replay, self.instances as u64);
-        }
-        let factor = self.instances as f64 / replay as f64;
-        let scale = |x: u64| (x as f64 * factor) as u64;
-
-        let mut stats = profiler.stats().clone();
-        stats.l1_accesses = scale(stats.l1_accesses);
-        stats.l1_misses = scale(stats.l1_misses);
-        stats.l2_accesses = scale(stats.l2_accesses);
-        stats.l2_misses = scale(stats.l2_misses);
-        stats.dram_read_bytes = scale(stats.dram_read_bytes);
-        stats.dram_write_bytes = scale(stats.dram_write_bytes);
-
-        let kernels: Vec<KernelCost> = profiler
-            .kernels()
-            .iter()
-            .map(|k| {
-                let mut k = k.clone();
-                k.flops = scale(k.flops);
-                k.global_read_bytes = scale(k.global_read_bytes);
-                k.global_write_bytes = scale(k.global_write_bytes);
-                k.dram_read_bytes = scale(k.dram_read_bytes);
-                k.dram_write_bytes = scale(k.dram_write_bytes);
-                k.l2_bytes = scale(k.l2_bytes);
-                k
-            })
-            .collect();
-        let time_us = self.arch.program_time_us(&kernels);
-        ProfileReport { stats, kernels, time_us }
-    }
-
-    /// Analytic time estimate (no cache simulation), µs.
-    pub fn estimate_us(&self) -> f64 {
-        self.kernels
-            .iter()
-            .map(|k| self.arch.kernel_time_us(&estimate_cost(k, self.instances as u64)))
-            .sum()
-    }
-}
-
-/// Whether ops `[i, i+5)` form the canonical softmax chain
-/// `max → sub → exp → sum → div` over one dimension.
-fn is_softmax_chain(g: &Graph, i: usize) -> bool {
-    use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
-    let ops = g.ops();
-    if i + 5 > ops.len() {
-        return false;
-    }
-    let dim = match ops[i].kind {
-        OpKind::Reduce { op: ReduceOp::Max, dim } => dim,
-        _ => return false,
-    };
-    matches!(ops[i + 1].kind, OpKind::Binary(BinaryOp::Sub))
-        && ops[i + 1].inputs[1] == ops[i].output
-        && matches!(ops[i + 2].kind, OpKind::Unary(UnaryOp::Exp))
-        && ops[i + 2].inputs[0] == ops[i + 1].output
-        && matches!(ops[i + 3].kind, OpKind::Reduce { op: ReduceOp::Sum, dim: d } if d == dim)
-        && ops[i + 3].inputs[0] == ops[i + 2].output
-        && matches!(ops[i + 4].kind, OpKind::Binary(BinaryOp::Div))
-        && ops[i + 4].inputs[0] == ops[i + 2].output
-        && ops[i + 4].inputs[1] == ops[i + 3].output
-}
-
-/// Saved scheduling decision for one (sub)graph shape.
-#[derive(Debug, Clone)]
-struct CacheEntry {
-    /// Op counts of the consecutive kernels the graph splits into.
-    piece_lens: Vec<usize>,
-    /// Per-kernel block configuration.
-    configs: Vec<SavedConfig>,
-}
-
-#[derive(Debug, Clone)]
-struct SavedConfig {
-    spatial: Vec<usize>,
-    temporal: Option<usize>,
-}
+use crate::error::Result;
+use sf_gpu_sim::{Arch, GpuArch};
+use sf_ir::Graph;
 
 /// The SpaceFusion compiler for one target architecture.
+///
+/// Owns a private [`CompileSession`], so repeated [`compile`] calls on
+/// one `Compiler` share its schedule cache (repetitive subprograms
+/// compile once) but two `Compiler`s never interfere.
+///
+/// [`compile`]: Compiler::compile
 pub struct Compiler {
-    arch: GpuArch,
-    opts: CompileOptions,
-    cache: RefCell<HashMap<String, CacheEntry>>,
+    session: CompileSession,
 }
 
 impl Compiler {
     /// Creates a compiler for the given architecture.
     pub fn new(arch: Arch, opts: CompileOptions) -> Self {
-        Compiler { arch: arch.config(), opts, cache: RefCell::new(HashMap::new()) }
+        Compiler { session: CompileSession::new(arch, opts) }
     }
 
     /// Creates a compiler for an explicit hardware configuration (e.g. a
     /// variant with a different per-kernel launch overhead).
     pub fn new_with_config(arch: GpuArch, opts: CompileOptions) -> Self {
-        Compiler { arch, opts, cache: RefCell::new(HashMap::new()) }
-    }
-
-    /// Compiler with the same target but different options (used for the
-    /// fixed-block fallback).
-    fn with_options(&self, opts: CompileOptions) -> Self {
-        Compiler { arch: self.arch.clone(), opts, cache: RefCell::new(HashMap::new()) }
+        Compiler { session: CompileSession::with_config(arch, opts) }
     }
 
     /// Creates a compiler with default options under a fusion policy.
     pub fn with_policy(arch: Arch, policy: FusionPolicy) -> Self {
         let mut opts = CompileOptions { policy, ..Default::default() };
         if policy == FusionPolicy::TileGraph {
+            // Welder-style tile graphs align tile shapes but cannot
+            // rewrite reductions: UTA stays off.
             opts.slicing.enable_uta = false;
         }
         Compiler::new(arch, opts)
@@ -291,374 +57,16 @@ impl Compiler {
 
     /// Target configuration.
     pub fn arch(&self) -> &GpuArch {
-        &self.arch
+        self.session.arch()
+    }
+
+    /// The underlying session (shared cache, sink, worker control).
+    pub fn session(&self) -> &CompileSession {
+        &self.session
     }
 
     /// Compiles a graph into a [`CompiledProgram`].
     pub fn compile(&self, graph: &Graph) -> Result<CompiledProgram> {
-        let t0 = Instant::now();
-        let mut stats = CompileStats::default();
-
-        let has_barrier = graph
-            .ops()
-            .iter()
-            .any(|o| matches!(o.kind, OpKind::LayoutBarrier));
-        let segments: Vec<Graph> =
-            if has_barrier { segment(graph)? } else { vec![graph.clone()] };
-
-        let mut kernels = Vec::new();
-        for seg in &segments {
-            let groups = self.group(seg)?;
-            for g in groups {
-                kernels.extend(self.lower_group(g, &mut stats, false)?);
-            }
-        }
-
-        // Resolve each output through any trailing layout barriers: the
-        // kernels materialize the barrier's *source* value.
-        let outputs = graph
-            .outputs()
-            .iter()
-            .map(|&v| {
-                let shape = graph.shape(v).clone();
-                let mut src = v;
-                while let Some(op) = graph.producer(src) {
-                    if matches!(op.kind, OpKind::LayoutBarrier) {
-                        src = op.inputs[0];
-                    } else {
-                        break;
-                    }
-                }
-                (graph.value(src).name.clone(), shape)
-            })
-            .collect();
-        stats.total_us = t0.elapsed().as_secs_f64() * 1e6;
-        Ok(CompiledProgram {
-            kernels,
-            instances: graph.instances,
-            outputs,
-            arch: self.arch.clone(),
-            stats,
-        })
-    }
-
-    /// Splits a segment into fusion groups according to the policy.
-    fn group(&self, g: &Graph) -> Result<Vec<Graph>> {
-        let n = g.ops().len();
-        if n == 0 {
-            return Ok(Vec::new());
-        }
-        let boundaries: Vec<usize> = match self.opts.policy {
-            FusionPolicy::SpaceFusion | FusionPolicy::TileGraph => vec![0],
-            FusionPolicy::Unfused => {
-                // PyTorch-eager: one kernel per *framework op*. Softmax
-                // is a single framework op (one fused CUDA kernel in
-                // eager mode), so its five-primitive chain stays one
-                // kernel; everything else launches separately.
-                let mut b = Vec::new();
-                let mut i = 0;
-                while i < n {
-                    b.push(i);
-                    i += if is_softmax_chain(g, i) { 5 } else { 1 };
-                }
-                b
-            }
-            FusionPolicy::EpilogueOnly => {
-                let mut b = vec![0];
-                for (i, op) in g.ops().iter().enumerate().skip(1) {
-                    match op.kind {
-                        // GEMMs and reductions start new kernels;
-                        // element-wise ops ride along as epilogues.
-                        OpKind::Gemm { .. } | OpKind::Reduce { .. } => b.push(i),
-                        _ => {}
-                    }
-                }
-                b
-            }
-            FusionPolicy::MiOnly => {
-                let mut b = vec![0];
-                for (i, op) in g.ops().iter().enumerate().skip(1) {
-                    let is_ci = matches!(op.kind, OpKind::Gemm { .. });
-                    let prev_ci = matches!(g.ops()[i - 1].kind, OpKind::Gemm { .. });
-                    if is_ci || prev_ci {
-                        b.push(i);
-                    }
-                }
-                b
-            }
-        };
-        let mut groups = Vec::with_capacity(boundaries.len());
-        for (bi, &start) in boundaries.iter().enumerate() {
-            let end = boundaries.get(bi + 1).copied().unwrap_or(n);
-            groups.push(partition::extract_ops(
-                g,
-                start,
-                end,
-                &format!("{}.g{}", g.name(), bi),
-            )?);
-        }
-        Ok(groups)
-    }
-
-    /// Schedules a fusion group, partitioning recursively when slicing
-    /// fails (Algorithm 2 + §5.3 candidates). `partitioned` records that
-    /// this group is a fallback fragment of a failed fusion: fragments
-    /// execute fine but do not count as *discovered* fusion patterns in
-    /// the §6.6 census.
-    fn lower_group(
-        &self,
-        g: Graph,
-        stats: &mut CompileStats,
-        partitioned: bool,
-    ) -> Result<Vec<KernelProgram>> {
-        // Schedule cache (repetitive subprograms compile once).
-        let key = format!("{:?}|{}", self.opts.policy, segment::shape_key(&g));
-        if let Some(entry) = self.cache.borrow().get(&key).cloned() {
-            stats.cache_hits += 1;
-            let kps = self.rebuild_from_cache(&g, &entry, stats)?;
-            if !partitioned {
-                for k in &kps {
-                    if k.is_fused() && k.schedule.smg.a2o_count() >= 2 {
-                        stats.fusion_patterns.push(analysis::pattern_signature(&k.graph));
-                    }
-                }
-            }
-            return Ok(kps);
-        }
-
-        let mut intended_fusion = true;
-        let kps = match self.try_schedule(&g, stats) {
-            Ok(kp) => vec![kp],
-            Err(SfError::ResourceInfeasible(_))
-            | Err(SfError::NoSpatialDim(_))
-            | Err(SfError::SmgBuild(_)) => {
-                // Expert-pinned block sizes can be infeasible for shapes
-                // the expert never tuned (a fixed 16-row LayerNorm block
-                // at N = 32K). Hand-tuned kernels adapt their block
-                // count rather than refuse; model that by halving the
-                // pinned sizes, then falling back to full tuning.
-                if self.opts.slicing.fixed_spatial_block.is_some()
-                    || self.opts.slicing.fixed_temporal_block.is_some()
-                {
-                    let mut relaxed = self.opts.clone();
-                    let hs = relaxed.slicing.fixed_spatial_block.map(|b| (b / 2).max(1));
-                    let ht = relaxed.slicing.fixed_temporal_block.map(|b| (b / 2).max(1));
-                    if hs != relaxed.slicing.fixed_spatial_block
-                        || ht != relaxed.slicing.fixed_temporal_block
-                    {
-                        relaxed.slicing.fixed_spatial_block = hs;
-                        relaxed.slicing.fixed_temporal_block = ht;
-                    } else {
-                        relaxed.slicing.fixed_spatial_block = None;
-                        relaxed.slicing.fixed_temporal_block = None;
-                        relaxed.autotune = true;
-                    }
-                    return self.with_options(relaxed).lower_group(g, stats, partitioned);
-                }
-                intended_fusion = false;
-                let arch = &self.arch;
-                let slicing = &self.opts.slicing;
-                let schedulable = |cand: &Graph| -> bool {
-                    build_smg(cand)
-                        .ok()
-                        .and_then(|smg| {
-                            resource_aware_slicing(cand, &smg, arch, slicing).ok()
-                        })
-                        .is_some()
-                };
-                let round = partition::partition_round(&g, &schedulable);
-                let (gf, gl) = match round {
-                    Ok(pair) => pair,
-                    Err(e) => {
-                        // Expert-pinned block sizes can be infeasible for
-                        // a shape the expert never tuned (e.g. a fixed
-                        // 16-row LayerNorm block at N = 32K). Hand-tuned
-                        // kernels adapt their block count in that case;
-                        // model it by relaxing the pinned sizes once.
-                        if self.opts.slicing.fixed_spatial_block.is_some()
-                            || self.opts.slicing.fixed_temporal_block.is_some()
-                        {
-                            let mut relaxed = self.opts.clone();
-                            relaxed.slicing.fixed_spatial_block = None;
-                            relaxed.slicing.fixed_temporal_block = None;
-                            relaxed.autotune = true;
-                            return self
-                                .with_options(relaxed)
-                                .lower_group(g, stats, partitioned);
-                        }
-                        return Err(e);
-                    }
-                };
-                let cut = gf.ops().len();
-
-                let mut primary = self.lower_group(gf, stats, true)?;
-                primary.extend(self.lower_group(gl, stats, true)?);
-
-                // §5.3: also consider moving the trailing non-A2O unit.
-                if let Some(alt) = partition::alternative_cut(&g, cut) {
-                    if let Ok((gf2, gl2)) = partition::split_graph(&g, alt) {
-                        if schedulable(&gf2) {
-                            let mut alt_stats = CompileStats::default();
-                            if let (Ok(mut a), Ok(b)) = (
-                                self.lower_group(gf2, &mut alt_stats, true),
-                                self.lower_group(gl2, &mut alt_stats, true),
-                            ) {
-                                a.extend(b);
-                                if self.sequence_us(&a, g.instances) +
-                                    f64::EPSILON
-                                    < self.sequence_us(&primary, g.instances)
-                                {
-                                    primary = a;
-                                }
-                            }
-                        }
-                    }
-                }
-                primary
-            }
-            Err(e) => return Err(e),
-        };
-
-        // Record in the cache and the fusion-pattern census.
-        let entry = CacheEntry {
-            piece_lens: kps.iter().map(|k| k.graph.ops().len()).collect(),
-            configs: kps
-                .iter()
-                .map(|k| SavedConfig {
-                    spatial: k.schedule.spatial.iter().map(|&(_, b)| b).collect(),
-                    temporal: k.schedule.temporal.as_ref().map(|t| t.block),
-                })
-                .collect(),
-        };
-        self.cache.borrow_mut().insert(key, entry);
-        // §6.6 census: only *intended* fusions count as discovered
-        // patterns — fragments produced by the Algorithm-2 fallback are
-        // fusion failures, not discoveries.
-        if !partitioned && intended_fusion {
-            for k in &kps {
-                if k.is_fused() && k.schedule.smg.a2o_count() >= 2 {
-                    stats.fusion_patterns.push(analysis::pattern_signature(&k.graph));
-                }
-            }
-        }
-        Ok(kps)
-    }
-
-    /// Total estimated time of a kernel sequence (for §5.3 comparison).
-    fn sequence_us(&self, kps: &[KernelProgram], instances: usize) -> f64 {
-        kps.iter()
-            .map(|k| self.arch.kernel_time_us(&estimate_cost(k, instances as u64)))
-            .sum()
-    }
-
-    /// Schedules one graph as a single fused kernel (Alg. 1 + tuning).
-    fn try_schedule(&self, g: &Graph, stats: &mut CompileStats) -> Result<KernelProgram> {
-        let smg = build_smg(g)?;
-
-        // Phase timings (Table 4 instrumentation).
-        let t = Instant::now();
-        let spatial_dims = eligible_spatial_dims(g, &smg);
-        stats.spatial_us += t.elapsed().as_secs_f64() * 1e6;
-
-        let t = Instant::now();
-        if self.opts.slicing.enable_temporal {
-            if let Some(d) = pick_temporal_dim(g, &smg, &spatial_dims) {
-                let _ = plan_temporal(g, &smg, d);
-            }
-        }
-        stats.temporal_us += t.elapsed().as_secs_f64() * 1e6;
-
-        let t = Instant::now();
-        let schedules = resource_aware_slicing(g, &smg, &self.arch, &self.opts.slicing)?;
-        stats.enum_us += t.elapsed().as_secs_f64() * 1e6;
-        stats.configs += schedules.len();
-
-        let candidates: Vec<KernelProgram> = schedules
-            .into_iter()
-            .map(|s| KernelProgram::new(g.name().to_string(), g.clone(), s))
-            .collect();
-
-        let t = Instant::now();
-        let pick = if self.opts.autotune {
-            let r = tune(&candidates, &self.arch, g.instances as u64, self.opts.alpha);
-            stats.evaluated += r.evaluated;
-            stats.pruned += r.pruned;
-            r.best
-        } else {
-            candidates.len() - 1
-        };
-        stats.tune_us += t.elapsed().as_secs_f64() * 1e6;
-
-        Ok(candidates.into_iter().nth(pick).expect("pick in range"))
-    }
-
-    /// Rebuilds kernels for a graph whose shape was already scheduled.
-    fn rebuild_from_cache(
-        &self,
-        g: &Graph,
-        entry: &CacheEntry,
-        _stats: &mut CompileStats,
-    ) -> Result<Vec<KernelProgram>> {
-        let mut out = Vec::with_capacity(entry.piece_lens.len());
-        let mut start = 0usize;
-        for (len, cfg) in entry.piece_lens.iter().zip(&entry.configs) {
-            let piece = partition::extract_ops(g, start, start + len, g.name())?;
-            start += len;
-            out.push(self.schedule_from_config(piece, cfg)?);
-        }
-        Ok(out)
-    }
-
-    /// Builds a kernel directly from a saved block configuration.
-    fn schedule_from_config(&self, g: Graph, cfg: &SavedConfig) -> Result<KernelProgram> {
-        let smg = build_smg(&g)?;
-        let dims = eligible_spatial_dims(&g, &smg);
-        if dims.len() != cfg.spatial.len() {
-            return Err(SfError::Codegen("cache shape drift".into()));
-        }
-        let spatial: Vec<_> = dims.into_iter().zip(cfg.spatial.iter().copied()).collect();
-        let temporal = match cfg.temporal {
-            Some(block) => Some(TemporalSchedule {
-                plan: self.cached_plan(&g, &smg, &spatial)?,
-                block,
-            }),
-            None => None,
-        };
-        let mem = assign_memory(
-            &g,
-            &smg,
-            &spatial,
-            temporal.as_ref(),
-            self.arch.smem_per_block / 4,
-        );
-        let schedule = FusedSchedule { smg, spatial, temporal, mem };
-        Ok(KernelProgram::new(g.name().to_string(), g, schedule))
-    }
-
-    fn cached_plan(
-        &self,
-        g: &Graph,
-        smg: &Smg,
-        spatial: &[(crate::smg::DimId, usize)],
-    ) -> Result<crate::slicer::TemporalPlan> {
-        let spatial_dims: Vec<_> = spatial.iter().map(|&(d, _)| d).collect();
-        let mut excluded = spatial_dims.clone();
-        while let Some(dim) = pick_temporal_dim(g, smg, &excluded) {
-            match plan_temporal(g, smg, dim) {
-                Ok(plan) => {
-                    let needs_uta = plan
-                        .sliced
-                        .iter()
-                        .any(|s| matches!(s.agg, crate::slicer::AggKind::Uta(_)));
-                    if needs_uta && !self.opts.slicing.enable_uta {
-                        excluded.push(dim);
-                        continue;
-                    }
-                    return Ok(plan);
-                }
-                Err(_) => excluded.push(dim),
-            }
-        }
-        Err(SfError::Codegen("cached temporal plan not reproducible".into()))
+        self.session.compile(graph)
     }
 }

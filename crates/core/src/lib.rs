@@ -20,9 +20,17 @@
 //!   (performance). This substitutes for the paper's Triton backend.
 //! * [`tune`] — block-size auto-tuning over the enumerated search space
 //!   with the paper's early-quit mechanism (§6.5).
-//! * [`compiler`] — the end-to-end pipeline of Fig. 9, including the
-//!   restricted fusion policies used to model the baseline systems
-//!   (unfused, epilogue-only, memory-intensive-only, tile-graph).
+//! * [`pipeline`] — the end-to-end pipeline of Fig. 9 as explicit named
+//!   passes over a [`pipeline::CompileSession`]: a shared thread-safe
+//!   schedule cache (repetitive subprograms compile once, across
+//!   threads), concurrent scheduling of independent fusion groups with
+//!   deterministic merge order, structured instrumentation events
+//!   ([`pipeline::PassEvent`]) delivered to a pluggable
+//!   [`pipeline::EventSink`], and the restricted fusion policies used
+//!   to model the baseline systems (unfused, epilogue-only,
+//!   memory-intensive-only, tile-graph).
+//! * [`compiler`] — the thin convenience facade over [`pipeline`]:
+//!   `Compiler::new(arch, opts).compile(&graph)`.
 //!
 //! # Quickstart
 //!
@@ -52,6 +60,7 @@
 pub mod codegen;
 pub mod compiler;
 pub mod error;
+pub mod pipeline;
 pub mod rewrite;
 pub mod sched;
 pub mod slicer;
@@ -60,4 +69,5 @@ pub mod tune;
 
 pub use compiler::{CompileOptions, CompiledProgram, Compiler, FusionPolicy};
 pub use error::{Result, SfError};
+pub use pipeline::{CompileSession, ScheduleCache};
 pub use smg::{DimId, Mapping, MappingKind, Smg, SpaceId, SpaceKind};

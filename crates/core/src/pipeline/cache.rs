@@ -1,0 +1,252 @@
+//! The shared, thread-safe schedule cache.
+//!
+//! Scheduling decisions are cached by `(shape key, fusion policy,
+//! architecture)` (paper §5: "SpaceFusion compiles the repetitive ones
+//! only once"). The cache lives in a
+//! [`CompileSession`](super::CompileSession) and is shared across
+//! compilations *and* threads: concurrent compilations of subprograms
+//! with equal keys never tune twice. The first claimant computes while
+//! later claimants block on a condition variable until the entry is
+//! published (or the computation is abandoned, in which case the next
+//! waiter takes over).
+
+use super::FusionPolicy;
+use sf_gpu_sim::GpuArch;
+use sf_ir::{segment, Graph};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Cache key: what makes two scheduling problems identical.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Structural shape key of the subgraph (op kinds + shapes).
+    pub shape: String,
+    /// Fusion capability set the schedule was derived under.
+    pub policy: FusionPolicy,
+    /// Fingerprint of the target configuration: every `GpuArch` field
+    /// participates, so two variants of one chip (e.g. a different
+    /// launch overhead) do not alias.
+    pub arch: String,
+}
+
+impl CacheKey {
+    /// Builds the key for one subgraph under a policy and target.
+    pub fn new(graph: &Graph, policy: FusionPolicy, arch: &GpuArch) -> Self {
+        CacheKey {
+            shape: segment::shape_key(graph),
+            policy,
+            arch: format!("{arch:?}"),
+        }
+    }
+}
+
+/// Saved scheduling decision for one (sub)graph shape: how the graph
+/// split into consecutive kernels and each kernel's block configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// Op counts of the consecutive kernels the graph splits into.
+    pub piece_lens: Vec<usize>,
+    /// Per-kernel block configuration.
+    pub configs: Vec<SavedConfig>,
+}
+
+/// One kernel's saved block configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavedConfig {
+    /// Spatial block size per eligible dimension.
+    pub spatial: Vec<usize>,
+    /// Temporal block size, when the kernel is temporally sliced.
+    pub temporal: Option<usize>,
+}
+
+/// Outcome of [`ScheduleCache::claim`].
+pub enum Claim<'c> {
+    /// The key was already scheduled; here is the saved decision.
+    Hit(CacheEntry),
+    /// The caller must schedule the subgraph and then
+    /// [`fulfill`](ClaimTicket::fulfill) the ticket. Dropping the
+    /// ticket unfulfilled (error or panic) wakes the next waiter, which
+    /// claims the key in turn.
+    Miss(ClaimTicket<'c>),
+}
+
+/// Exclusive right (and obligation) to compute one cache entry.
+pub struct ClaimTicket<'c> {
+    cache: &'c ScheduleCache,
+    key: CacheKey,
+    done: bool,
+}
+
+impl ClaimTicket<'_> {
+    /// Publishes the computed entry and wakes all waiters.
+    pub fn fulfill(mut self, entry: CacheEntry) {
+        let mut state = self.cache.state.lock().expect("cache poisoned");
+        state.in_flight.remove(&self.key);
+        state.ready.insert(self.key.clone(), entry);
+        self.done = true;
+        drop(state);
+        self.cache.cv.notify_all();
+    }
+}
+
+impl Drop for ClaimTicket<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            let mut state = self.cache.state.lock().expect("cache poisoned");
+            state.in_flight.remove(&self.key);
+            drop(state);
+            self.cache.cv.notify_all();
+        }
+    }
+}
+
+#[derive(Default)]
+struct CacheState {
+    ready: HashMap<CacheKey, CacheEntry>,
+    in_flight: HashSet<CacheKey>,
+}
+
+/// Thread-safe schedule cache shared across compilations.
+#[derive(Default)]
+pub struct ScheduleCache {
+    state: Mutex<CacheState>,
+    cv: Condvar,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ScheduleCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ScheduleCache::default()
+    }
+
+    /// Probes the cache, blocking while another thread is computing the
+    /// same key. Wait chains cannot cycle: a computation only ever
+    /// claims keys of strictly smaller subgraphs than its own.
+    pub fn claim(&self, key: &CacheKey) -> Claim<'_> {
+        let mut state = self.state.lock().expect("cache poisoned");
+        loop {
+            if let Some(entry) = state.ready.get(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Claim::Hit(entry.clone());
+            }
+            if !state.in_flight.contains(key) {
+                state.in_flight.insert(key.clone());
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Claim::Miss(ClaimTicket {
+                    cache: self,
+                    key: key.clone(),
+                    done: false,
+                });
+            }
+            state = self.cv.wait(state).expect("cache poisoned");
+        }
+    }
+
+    /// Non-blocking lookup (no in-flight coordination, no counters).
+    pub fn peek(&self, key: &CacheKey) -> Option<CacheEntry> {
+        self.state.lock().expect("cache poisoned").ready.get(key).cloned()
+    }
+
+    /// Number of cached schedules.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("cache poisoned").ready.len()
+    }
+
+    /// Whether the cache holds no schedules.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Probes that found a ready entry (lifetime total).
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Probes that had to compute (lifetime total).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(shape: &str) -> CacheKey {
+        CacheKey {
+            shape: shape.into(),
+            policy: FusionPolicy::SpaceFusion,
+            arch: "test".into(),
+        }
+    }
+
+    fn entry() -> CacheEntry {
+        CacheEntry {
+            piece_lens: vec![3],
+            configs: vec![SavedConfig { spatial: vec![16], temporal: None }],
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = ScheduleCache::new();
+        match cache.claim(&key("a")) {
+            Claim::Miss(t) => t.fulfill(entry()),
+            Claim::Hit(_) => panic!("empty cache cannot hit"),
+        }
+        assert!(matches!(cache.claim(&key("a")), Claim::Hit(e) if e == entry()));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_policies_do_not_alias() {
+        let cache = ScheduleCache::new();
+        let k1 = key("a");
+        let mut k2 = key("a");
+        k2.policy = FusionPolicy::Unfused;
+        match cache.claim(&k1) {
+            Claim::Miss(t) => t.fulfill(entry()),
+            Claim::Hit(_) => panic!(),
+        }
+        assert!(matches!(cache.claim(&k2), Claim::Miss(_)));
+    }
+
+    #[test]
+    fn abandoned_claim_hands_over_to_next_claimant() {
+        let cache = ScheduleCache::new();
+        {
+            let c = cache.claim(&key("a"));
+            assert!(matches!(c, Claim::Miss(_)));
+            // Ticket dropped unfulfilled here.
+        }
+        assert!(matches!(cache.claim(&key("a")), Claim::Miss(_)));
+    }
+
+    #[test]
+    fn concurrent_claims_compute_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = ScheduleCache::new();
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| match cache.claim(&key("hot")) {
+                    Claim::Miss(t) => {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        // Give waiters a chance to pile up.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        t.fulfill(entry());
+                    }
+                    Claim::Hit(e) => assert_eq!(e, entry()),
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one thread computes");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+}

@@ -1,0 +1,662 @@
+//! The pipeline passes (paper Fig. 9).
+//!
+//! * [`SegmentPass`] — split the graph into subprograms at layout
+//!   barriers.
+//! * [`GroupPass`] — split each segment into fusion groups according to
+//!   the [`FusionPolicy`](super::FusionPolicy).
+//! * [`SchedulePass`] — schedule every group: SMG construction, spatial
+//!   and temporal slicing, configuration enumeration, the partitioning
+//!   fallback (Alg. 2 + §5.3) and block-size auto-tuning. Groups are
+//!   independent, so they fan out across `std::thread::scope` workers;
+//!   results land in per-unit slots and are merged in deterministic
+//!   unit order. The shared [`ScheduleCache`](super::ScheduleCache)
+//!   guarantees identical subprograms are tuned exactly once, even when
+//!   two workers (or two concurrent compilations) reach them
+//!   simultaneously.
+//! * [`EmitPass`] — merge kernels and statistics in unit order and
+//!   resolve program outputs through trailing layout barriers.
+
+use super::cache::{CacheEntry, CacheKey, Claim, SavedConfig};
+use super::stats::{CompileStats, EventDetail, PassEvent, PassId};
+use super::{CompileOptions, FusionPolicy, Pass, PassCtx, PipelineState, Unit};
+use crate::codegen::{estimate_cost, KernelProgram};
+use crate::error::{Result, SfError};
+use crate::sched::{
+    assign_memory, partition, resource_aware_slicing, FusedSchedule, TemporalSchedule,
+};
+use crate::slicer::{eligible_spatial_dims, pick_temporal_dim, plan_temporal};
+use crate::smg::{build_smg, Smg};
+use crate::tune::tune;
+use sf_ir::{analysis, segment, Graph, OpKind};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Splits the graph into subprograms at layout barriers.
+pub struct SegmentPass;
+
+impl Pass for SegmentPass {
+    fn name(&self) -> &'static str {
+        PassId::Segment.name()
+    }
+
+    fn run(&self, ctx: &PassCtx<'_>, state: &mut PipelineState) -> Result<()> {
+        let t = Instant::now();
+        let has_barrier = state
+            .graph
+            .ops()
+            .iter()
+            .any(|o| matches!(o.kind, OpKind::LayoutBarrier));
+        state.segments = if has_barrier {
+            segment::segment(&state.graph)?
+        } else {
+            vec![state.graph.clone()]
+        };
+        ctx.emit(PassEvent {
+            pass: PassId::Segment,
+            segment: 0,
+            unit: state.graph.name().to_string(),
+            duration_us: t.elapsed().as_secs_f64() * 1e6,
+            detail: EventDetail::Segments { count: state.segments.len() },
+        });
+        Ok(())
+    }
+}
+
+/// Splits each segment into fusion groups according to the policy.
+pub struct GroupPass;
+
+impl Pass for GroupPass {
+    fn name(&self) -> &'static str {
+        PassId::Group.name()
+    }
+
+    fn run(&self, ctx: &PassCtx<'_>, state: &mut PipelineState) -> Result<()> {
+        let mut index = 0;
+        for (si, seg) in state.segments.iter().enumerate() {
+            let t = Instant::now();
+            let groups = split_into_groups(ctx.opts.policy, seg)?;
+            ctx.emit(PassEvent {
+                pass: PassId::Group,
+                segment: si,
+                unit: seg.name().to_string(),
+                duration_us: t.elapsed().as_secs_f64() * 1e6,
+                detail: EventDetail::Groups { count: groups.len() },
+            });
+            for graph in groups {
+                state.units.push(Unit {
+                    segment: si,
+                    index,
+                    graph,
+                    kernels: Vec::new(),
+                    stats: CompileStats::default(),
+                });
+                index += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Schedules every fusion group, fanning independent groups out across
+/// worker threads.
+pub struct SchedulePass;
+
+impl Pass for SchedulePass {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+
+    fn run(&self, ctx: &PassCtx<'_>, state: &mut PipelineState) -> Result<()> {
+        let workers = ctx.workers.min(state.units.len()).max(1);
+        if workers == 1 {
+            for unit in state.units.iter_mut() {
+                Scheduler { ctx, segment: unit.segment }.schedule_unit(unit)?;
+            }
+            return Ok(());
+        }
+
+        // Dynamic work queue over per-unit slots: each slot is locked by
+        // exactly one worker, results stay in deterministic unit order.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<&mut Unit>> =
+            state.units.iter_mut().map(Mutex::new).collect();
+        let failures: Mutex<Vec<(usize, SfError)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = slots.get(i) else { break };
+                    let mut unit = slot.lock().expect("unit slot poisoned");
+                    let segment = unit.segment;
+                    if let Err(e) =
+                        (Scheduler { ctx, segment }).schedule_unit(&mut unit)
+                    {
+                        failures.lock().expect("failures poisoned").push((i, e));
+                    }
+                });
+            }
+        });
+        // First failure in unit order, so errors are deterministic too.
+        let mut failures = failures.into_inner().expect("failures poisoned");
+        failures.sort_by_key(|(i, _)| *i);
+        match failures.into_iter().next() {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Merges scheduled kernels and statistics in unit order and resolves
+/// program outputs.
+pub struct EmitPass;
+
+impl Pass for EmitPass {
+    fn name(&self) -> &'static str {
+        PassId::Emit.name()
+    }
+
+    fn run(&self, ctx: &PassCtx<'_>, state: &mut PipelineState) -> Result<()> {
+        let t = Instant::now();
+        for unit in state.units.iter_mut() {
+            state.stats.absorb(&unit.stats);
+            state.kernels.append(&mut unit.kernels);
+        }
+        // Resolve each output through any trailing layout barriers: the
+        // kernels materialize the barrier's *source* value.
+        state.outputs = state
+            .graph
+            .outputs()
+            .iter()
+            .map(|&v| {
+                let shape = state.graph.shape(v).clone();
+                let mut src = v;
+                while let Some(op) = state.graph.producer(src) {
+                    if matches!(op.kind, OpKind::LayoutBarrier) {
+                        src = op.inputs[0];
+                    } else {
+                        break;
+                    }
+                }
+                (state.graph.value(src).name.clone(), shape)
+            })
+            .collect();
+        ctx.emit(PassEvent {
+            pass: PassId::Emit,
+            segment: 0,
+            unit: state.graph.name().to_string(),
+            duration_us: t.elapsed().as_secs_f64() * 1e6,
+            detail: EventDetail::None,
+        });
+        Ok(())
+    }
+}
+
+/// Whether ops `[i, i+5)` form the canonical softmax chain
+/// `max → sub → exp → sum → div` over one dimension.
+fn is_softmax_chain(g: &Graph, i: usize) -> bool {
+    use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+    let ops = g.ops();
+    if i + 5 > ops.len() {
+        return false;
+    }
+    let dim = match ops[i].kind {
+        OpKind::Reduce { op: ReduceOp::Max, dim } => dim,
+        _ => return false,
+    };
+    matches!(ops[i + 1].kind, OpKind::Binary(BinaryOp::Sub))
+        && ops[i + 1].inputs[1] == ops[i].output
+        && matches!(ops[i + 2].kind, OpKind::Unary(UnaryOp::Exp))
+        && ops[i + 2].inputs[0] == ops[i + 1].output
+        && matches!(ops[i + 3].kind, OpKind::Reduce { op: ReduceOp::Sum, dim: d } if d == dim)
+        && ops[i + 3].inputs[0] == ops[i + 2].output
+        && matches!(ops[i + 4].kind, OpKind::Binary(BinaryOp::Div))
+        && ops[i + 4].inputs[0] == ops[i + 2].output
+        && ops[i + 4].inputs[1] == ops[i + 3].output
+}
+
+/// Splits a segment into fusion groups according to the policy.
+fn split_into_groups(policy: FusionPolicy, g: &Graph) -> Result<Vec<Graph>> {
+    let n = g.ops().len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let boundaries: Vec<usize> = match policy {
+        FusionPolicy::SpaceFusion | FusionPolicy::TileGraph => vec![0],
+        FusionPolicy::Unfused => {
+            // PyTorch-eager: one kernel per *framework op*. Softmax
+            // is a single framework op (one fused CUDA kernel in
+            // eager mode), so its five-primitive chain stays one
+            // kernel; everything else launches separately.
+            let mut b = Vec::new();
+            let mut i = 0;
+            while i < n {
+                b.push(i);
+                i += if is_softmax_chain(g, i) { 5 } else { 1 };
+            }
+            b
+        }
+        FusionPolicy::EpilogueOnly => {
+            let mut b = vec![0];
+            for (i, op) in g.ops().iter().enumerate().skip(1) {
+                match op.kind {
+                    // GEMMs and reductions start new kernels;
+                    // element-wise ops ride along as epilogues.
+                    OpKind::Gemm { .. } | OpKind::Reduce { .. } => b.push(i),
+                    _ => {}
+                }
+            }
+            b
+        }
+        FusionPolicy::MiOnly => {
+            let mut b = vec![0];
+            for (i, op) in g.ops().iter().enumerate().skip(1) {
+                let is_ci = matches!(op.kind, OpKind::Gemm { .. });
+                let prev_ci = matches!(g.ops()[i - 1].kind, OpKind::Gemm { .. });
+                if is_ci || prev_ci {
+                    b.push(i);
+                }
+            }
+            b
+        }
+    };
+    let mut groups = Vec::with_capacity(boundaries.len());
+    for (bi, &start) in boundaries.iter().enumerate() {
+        let end = boundaries.get(bi + 1).copied().unwrap_or(n);
+        groups.push(partition::extract_ops(
+            g,
+            start,
+            end,
+            &format!("{}.g{}", g.name(), bi),
+        )?);
+    }
+    Ok(groups)
+}
+
+/// Per-unit scheduling engine: the SMG → slice → (partition) → tune
+/// pipeline of one fusion group, instrumented and cache-aware.
+struct Scheduler<'c, 's> {
+    ctx: &'c PassCtx<'s>,
+    segment: usize,
+}
+
+impl Scheduler<'_, '_> {
+    fn emit(&self, pass: PassId, unit: &str, duration_us: f64, detail: EventDetail) {
+        self.ctx.emit(PassEvent {
+            pass,
+            segment: self.segment,
+            unit: unit.to_string(),
+            duration_us,
+            detail,
+        });
+    }
+
+    /// Schedules one fusion group into its unit slot.
+    fn schedule_unit(&self, unit: &mut Unit) -> Result<()> {
+        let graph = unit.graph.clone();
+        unit.kernels =
+            self.schedule_group(self.ctx.opts, graph, &mut unit.stats, false)?;
+        Ok(())
+    }
+
+    /// Schedules a fusion group through the shared cache, partitioning
+    /// recursively when slicing fails (Algorithm 2 + §5.3 candidates).
+    /// `partitioned` records that this group is a fallback fragment of a
+    /// failed fusion: fragments execute fine but do not count as
+    /// *discovered* fusion patterns in the §6.6 census.
+    fn schedule_group(
+        &self,
+        opts: &CompileOptions,
+        g: Graph,
+        stats: &mut CompileStats,
+        partitioned: bool,
+    ) -> Result<Vec<KernelProgram>> {
+        // Schedule cache (repetitive subprograms compile once). A miss
+        // claims the key: concurrent claimants of the same key block
+        // until this thread publishes (or abandons) the entry.
+        let key = CacheKey::new(&g, opts.policy, self.ctx.arch);
+        let t = Instant::now();
+        let claim = self.ctx.cache.claim(&key);
+        self.emit(
+            PassId::CacheLookup,
+            g.name(),
+            t.elapsed().as_secs_f64() * 1e6,
+            EventDetail::Cache {
+                hit: matches!(claim, Claim::Hit(_)),
+                key: key.shape.clone(),
+            },
+        );
+        match claim {
+            Claim::Hit(entry) => {
+                stats.cache_hits += 1;
+                let kps = self.rebuild_from_cache(opts, &g, &entry)?;
+                if !partitioned {
+                    census(stats, &kps);
+                }
+                Ok(kps)
+            }
+            Claim::Miss(ticket) => {
+                let (kps, intended_fusion) =
+                    self.schedule_uncached(opts, &g, stats)?;
+                ticket.fulfill(CacheEntry {
+                    piece_lens: kps.iter().map(|k| k.graph.ops().len()).collect(),
+                    configs: kps
+                        .iter()
+                        .map(|k| SavedConfig {
+                            spatial: k
+                                .schedule
+                                .spatial
+                                .iter()
+                                .map(|&(_, b)| b)
+                                .collect(),
+                            temporal: k.schedule.temporal.as_ref().map(|t| t.block),
+                        })
+                        .collect(),
+                });
+                // §6.6 census: only *intended* fusions count as
+                // discovered patterns — fragments produced by the
+                // Algorithm-2 fallback are fusion failures, not
+                // discoveries.
+                if !partitioned && intended_fusion {
+                    census(stats, &kps);
+                }
+                Ok(kps)
+            }
+        }
+    }
+
+    /// Schedules a group that missed the cache. Returns the kernels and
+    /// whether they realize the *intended* fusion (false when the group
+    /// fell back to partitioning).
+    fn schedule_uncached(
+        &self,
+        opts: &CompileOptions,
+        g: &Graph,
+        stats: &mut CompileStats,
+    ) -> Result<(Vec<KernelProgram>, bool)> {
+        let mut opts = opts.clone();
+        loop {
+            match self.schedule_fused(&opts, g, stats) {
+                Ok(kp) => return Ok((vec![kp], true)),
+                Err(SfError::ResourceInfeasible(_))
+                | Err(SfError::NoSpatialDim(_))
+                | Err(SfError::SmgBuild(_)) => {
+                    // Expert-pinned block sizes can be infeasible for
+                    // shapes the expert never tuned (a fixed 16-row
+                    // LayerNorm block at N = 32K). Hand-tuned kernels
+                    // adapt their block count rather than refuse; model
+                    // that by halving the pinned sizes, then falling
+                    // back to full tuning.
+                    if opts.slicing.fixed_spatial_block.is_some()
+                        || opts.slicing.fixed_temporal_block.is_some()
+                    {
+                        let hs =
+                            opts.slicing.fixed_spatial_block.map(|b| (b / 2).max(1));
+                        let ht =
+                            opts.slicing.fixed_temporal_block.map(|b| (b / 2).max(1));
+                        if hs != opts.slicing.fixed_spatial_block
+                            || ht != opts.slicing.fixed_temporal_block
+                        {
+                            opts.slicing.fixed_spatial_block = hs;
+                            opts.slicing.fixed_temporal_block = ht;
+                        } else {
+                            opts.slicing.fixed_spatial_block = None;
+                            opts.slicing.fixed_temporal_block = None;
+                            opts.autotune = true;
+                        }
+                        continue;
+                    }
+                    return self.schedule_partitioned(&opts, g, stats);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The Algorithm-2 fallback: split the group and schedule both
+    /// halves, then consider the §5.3 alternative cut.
+    fn schedule_partitioned(
+        &self,
+        opts: &CompileOptions,
+        g: &Graph,
+        stats: &mut CompileStats,
+    ) -> Result<(Vec<KernelProgram>, bool)> {
+        let arch = self.ctx.arch;
+        let slicing = opts.slicing.clone();
+        let schedulable = |cand: &Graph| -> bool {
+            build_smg(cand)
+                .ok()
+                .and_then(|smg| resource_aware_slicing(cand, &smg, arch, &slicing).ok())
+                .is_some()
+        };
+        let t = Instant::now();
+        let round = partition::partition_round(g, &schedulable);
+        let cut = round.as_ref().map(|(gf, _)| gf.ops().len()).unwrap_or(0);
+        self.emit(
+            PassId::Partition,
+            g.name(),
+            t.elapsed().as_secs_f64() * 1e6,
+            EventDetail::Partition { cut },
+        );
+        let (gf, gl) = round?;
+
+        let mut primary = self.schedule_group(opts, gf, stats, true)?;
+        primary.extend(self.schedule_group(opts, gl, stats, true)?);
+
+        // §5.3: also consider moving the trailing non-A2O unit.
+        if let Some(alt) = partition::alternative_cut(g, cut) {
+            if let Ok((gf2, gl2)) = partition::split_graph(g, alt) {
+                if schedulable(&gf2) {
+                    let mut alt_stats = CompileStats::default();
+                    if let (Ok(mut a), Ok(b)) = (
+                        self.schedule_group(opts, gf2, &mut alt_stats, true),
+                        self.schedule_group(opts, gl2, &mut alt_stats, true),
+                    ) {
+                        a.extend(b);
+                        if self.sequence_us(&a, g.instances) + f64::EPSILON
+                            < self.sequence_us(&primary, g.instances)
+                        {
+                            primary = a;
+                        }
+                    }
+                }
+            }
+        }
+        Ok((primary, false))
+    }
+
+    /// Total estimated time of a kernel sequence (for §5.3 comparison).
+    fn sequence_us(&self, kps: &[KernelProgram], instances: usize) -> f64 {
+        kps.iter()
+            .map(|k| {
+                self.ctx
+                    .arch
+                    .kernel_time_us(&estimate_cost(k, instances as u64))
+            })
+            .sum()
+    }
+
+    /// Schedules one graph as a single fused kernel (Alg. 1 + tuning).
+    fn schedule_fused(
+        &self,
+        opts: &CompileOptions,
+        g: &Graph,
+        stats: &mut CompileStats,
+    ) -> Result<KernelProgram> {
+        let name = g.name();
+        let t = Instant::now();
+        let smg = build_smg(g);
+        self.emit(
+            PassId::SmgBuild,
+            name,
+            t.elapsed().as_secs_f64() * 1e6,
+            EventDetail::None,
+        );
+        let smg = smg?;
+
+        // Phase timings (Table 4 instrumentation).
+        let t = Instant::now();
+        let spatial_dims = eligible_spatial_dims(g, &smg);
+        let spatial_us = t.elapsed().as_secs_f64() * 1e6;
+        stats.spatial_us += spatial_us;
+        self.emit(PassId::SpatialSlice, name, spatial_us, EventDetail::None);
+
+        let t = Instant::now();
+        if opts.slicing.enable_temporal {
+            if let Some(d) = pick_temporal_dim(g, &smg, &spatial_dims) {
+                let _ = plan_temporal(g, &smg, d);
+            }
+        }
+        let temporal_us = t.elapsed().as_secs_f64() * 1e6;
+        stats.temporal_us += temporal_us;
+        self.emit(PassId::TemporalSlice, name, temporal_us, EventDetail::None);
+
+        let t = Instant::now();
+        let schedules = resource_aware_slicing(g, &smg, self.ctx.arch, &opts.slicing);
+        let enum_us = t.elapsed().as_secs_f64() * 1e6;
+        stats.enum_us += enum_us;
+        self.emit(
+            PassId::EnumCfg,
+            name,
+            enum_us,
+            EventDetail::Candidates {
+                generated: schedules.as_ref().map(|s| s.len()).unwrap_or(0),
+            },
+        );
+        let schedules = schedules?;
+        stats.configs += schedules.len();
+
+        let candidates: Vec<KernelProgram> = schedules
+            .into_iter()
+            .map(|s| KernelProgram::new(g.name().to_string(), g.clone(), s))
+            .collect();
+
+        let t = Instant::now();
+        let pick = if opts.autotune {
+            let r = tune(&candidates, self.ctx.arch, g.instances as u64, opts.alpha)
+                .ok_or_else(|| {
+                    SfError::ResourceInfeasible(format!(
+                        "no schedule candidates to tune for '{name}'"
+                    ))
+                })?;
+            stats.evaluated += r.evaluated;
+            stats.pruned += r.pruned;
+            let tune_us = t.elapsed().as_secs_f64() * 1e6;
+            stats.tune_us += tune_us;
+            self.emit(
+                PassId::Tune,
+                name,
+                tune_us,
+                EventDetail::Tune {
+                    evaluated: r.evaluated,
+                    pruned: r.pruned,
+                    best_us: r.best_us,
+                },
+            );
+            r.best
+        } else {
+            let last = candidates.len().checked_sub(1).ok_or_else(|| {
+                SfError::ResourceInfeasible(format!(
+                    "no feasible schedule candidates for '{name}'"
+                ))
+            })?;
+            let tune_us = t.elapsed().as_secs_f64() * 1e6;
+            stats.tune_us += tune_us;
+            self.emit(
+                PassId::Tune,
+                name,
+                tune_us,
+                EventDetail::Tune { evaluated: 0, pruned: 0, best_us: f64::NAN },
+            );
+            last
+        };
+
+        Ok(candidates.into_iter().nth(pick).expect("pick in range"))
+    }
+
+    /// Rebuilds kernels for a graph whose shape was already scheduled.
+    fn rebuild_from_cache(
+        &self,
+        opts: &CompileOptions,
+        g: &Graph,
+        entry: &CacheEntry,
+    ) -> Result<Vec<KernelProgram>> {
+        let mut out = Vec::with_capacity(entry.piece_lens.len());
+        let mut start = 0usize;
+        for (len, cfg) in entry.piece_lens.iter().zip(&entry.configs) {
+            let piece = partition::extract_ops(g, start, start + len, g.name())?;
+            start += len;
+            out.push(self.schedule_from_config(opts, piece, cfg)?);
+        }
+        Ok(out)
+    }
+
+    /// Builds a kernel directly from a saved block configuration.
+    fn schedule_from_config(
+        &self,
+        opts: &CompileOptions,
+        g: Graph,
+        cfg: &SavedConfig,
+    ) -> Result<KernelProgram> {
+        let smg = build_smg(&g)?;
+        let dims = eligible_spatial_dims(&g, &smg);
+        if dims.len() != cfg.spatial.len() {
+            return Err(SfError::Codegen("cache shape drift".into()));
+        }
+        let spatial: Vec<_> = dims.into_iter().zip(cfg.spatial.iter().copied()).collect();
+        let temporal = match cfg.temporal {
+            Some(block) => Some(TemporalSchedule {
+                plan: self.cached_plan(opts, &g, &smg, &spatial)?,
+                block,
+            }),
+            None => None,
+        };
+        let mem = assign_memory(
+            &g,
+            &smg,
+            &spatial,
+            temporal.as_ref(),
+            self.ctx.arch.smem_per_block / 4,
+        );
+        let schedule = FusedSchedule { smg, spatial, temporal, mem };
+        Ok(KernelProgram::new(g.name().to_string(), g, schedule))
+    }
+
+    fn cached_plan(
+        &self,
+        opts: &CompileOptions,
+        g: &Graph,
+        smg: &Smg,
+        spatial: &[(crate::smg::DimId, usize)],
+    ) -> Result<crate::slicer::TemporalPlan> {
+        let spatial_dims: Vec<_> = spatial.iter().map(|&(d, _)| d).collect();
+        let mut excluded = spatial_dims.clone();
+        while let Some(dim) = pick_temporal_dim(g, smg, &excluded) {
+            match plan_temporal(g, smg, dim) {
+                Ok(plan) => {
+                    let needs_uta = plan
+                        .sliced
+                        .iter()
+                        .any(|s| matches!(s.agg, crate::slicer::AggKind::Uta(_)));
+                    if needs_uta && !opts.slicing.enable_uta {
+                        excluded.push(dim);
+                        continue;
+                    }
+                    return Ok(plan);
+                }
+                Err(_) => excluded.push(dim),
+            }
+        }
+        Err(SfError::Codegen("cached temporal plan not reproducible".into()))
+    }
+}
+
+/// Adds the §6.6 census patterns of `kps` to `stats`: fused kernels
+/// containing ≥ 2 All-to-One mappings.
+fn census(stats: &mut CompileStats, kps: &[KernelProgram]) {
+    for k in kps {
+        if k.is_fused() && k.schedule.smg.a2o_count() >= 2 {
+            stats.fusion_patterns.push(analysis::pattern_signature(&k.graph));
+        }
+    }
+}

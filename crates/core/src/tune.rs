@@ -25,16 +25,19 @@ pub struct TuneResult {
 
 /// Selects the best candidate kernel program for `arch`.
 ///
-/// # Panics
-///
-/// Panics if `candidates` is empty.
+/// Returns `None` when `candidates` is empty — an empty search space is
+/// a scheduling outcome (the slicer found nothing feasible), not a
+/// programming error, so callers decide how to recover (the pipeline
+/// maps it to [`SfError::ResourceInfeasible`](crate::error::SfError)).
 pub fn tune(
     candidates: &[KernelProgram],
     arch: &GpuArch,
     instances: u64,
     alpha: f64,
-) -> TuneResult {
-    assert!(!candidates.is_empty(), "tune requires at least one candidate");
+) -> Option<TuneResult> {
+    if candidates.is_empty() {
+        return None;
+    }
     let mut best = 0usize;
     let mut best_us = f64::INFINITY;
     let mut evaluated = 0usize;
@@ -55,7 +58,7 @@ pub fn tune(
             best = i;
         }
     }
-    TuneResult { best, best_us, evaluated, pruned }
+    Some(TuneResult { best, best_us, evaluated, pruned })
 }
 
 #[cfg(test)]
@@ -95,7 +98,7 @@ mod tests {
         let arch = GpuArch::ampere();
         let (_, kps) = mha_candidates(&arch);
         assert!(kps.len() > 1);
-        let r = tune(&kps, &arch, 32, 0.25);
+        let r = tune(&kps, &arch, 32, 0.25).unwrap();
         assert!(r.best < kps.len());
         assert!(r.best_us.is_finite());
         assert_eq!(r.evaluated + r.pruned, kps.len());
@@ -105,7 +108,7 @@ mod tests {
     fn best_candidate_beats_or_ties_all_others() {
         let arch = GpuArch::ampere();
         let (_, kps) = mha_candidates(&arch);
-        let r = tune(&kps, &arch, 32, 0.25);
+        let r = tune(&kps, &arch, 32, 0.25).unwrap();
         for kp in &kps {
             let t = arch.kernel_time_us(&estimate_cost(kp, 32));
             assert!(t >= r.best_us - 1e-9);
@@ -118,17 +121,16 @@ mod tests {
         let (_, kps) = mha_candidates(&arch);
         // With α = 1 any candidate strictly worse than the running best
         // is abandoned early; the distinct block sizes guarantee spread.
-        let r = tune(&kps, &arch, 32, 1.0);
+        let r = tune(&kps, &arch, 32, 1.0).unwrap();
         assert!(r.pruned > 0, "expected pruning among {} configs", kps.len());
         // A tiny α (wide tolerance) evaluates everything.
-        let r2 = tune(&kps, &arch, 32, 0.01);
+        let r2 = tune(&kps, &arch, 32, 0.01).unwrap();
         assert!(r2.pruned <= r.pruned);
         assert_eq!(r2.best, r.best, "α must not change the winner");
     }
 
     #[test]
-    #[should_panic(expected = "at least one candidate")]
-    fn empty_candidates_panic() {
-        tune(&[], &GpuArch::ampere(), 1, 0.25);
+    fn empty_candidates_return_none() {
+        assert_eq!(tune(&[], &GpuArch::ampere(), 1, 0.25), None);
     }
 }

@@ -87,6 +87,10 @@ pub fn segment(graph: &Graph) -> Result<Vec<Graph>, GraphError> {
                 mapped_inputs.push(id);
             }
             let new_out = replay_op(&mut sub, &op.kind, &mapped_inputs)?;
+            // Keep the original value name: executors bind tensors by
+            // name, and post-barrier segments replay at shifted op
+            // indices, so auto-generated names would drift.
+            sub.rename_value(new_out, graph.value(op.output).name.clone());
             map.insert(op.output, new_out);
         }
 

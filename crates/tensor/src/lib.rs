@@ -18,6 +18,7 @@
 pub mod dtype;
 pub mod error;
 pub mod ops;
+pub mod rng;
 pub mod shape;
 pub mod tensor;
 

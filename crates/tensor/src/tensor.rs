@@ -2,9 +2,8 @@
 
 use crate::dtype::DType;
 use crate::error::{Result, TensorError};
+use crate::rng::XorShiftRng;
 use crate::shape::Shape;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A dense, row-major tensor of `f32` values.
 ///
@@ -58,9 +57,9 @@ impl Tensor {
     /// Deterministic for a given `seed`, so tests and benchmarks are
     /// reproducible.
     pub fn random(shape: Shape, dtype: DType, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = XorShiftRng::seed_from_u64(seed);
         let volume = shape.volume();
-        let data = (0..volume).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        let data = (0..volume).map(|_| rng.uniform(-1.0, 1.0)).collect();
         Tensor { shape, dtype, data }
     }
 

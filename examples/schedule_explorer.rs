@@ -66,7 +66,7 @@ fn main() {
         if candidates.len() > 12 {
             println!("   ... and {} more", candidates.len() - 12);
         }
-        let pick = tune(&candidates, &cfg, g.instances as u64, 0.25);
+        let pick = tune(&candidates, &cfg, g.instances as u64, 0.25).expect("candidates");
         let best_kp = &candidates[pick.best];
         let best = &best_kp.schedule;
         println!(

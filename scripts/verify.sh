@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate plus lints.
+#
+# Usage: scripts/verify.sh
+# Everything resolves offline: the workspace has no registry
+# dependencies (see DESIGN.md §5).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

