@@ -77,18 +77,17 @@ impl Engine {
             Engine::PyTorch => {
                 let mut cfg = arch.config();
                 cfg.launch_overhead_us = EAGER_DISPATCH_US;
-                let opts = CompileOptions { policy: FusionPolicy::Unfused, ..Default::default() };
+                let opts = CompileOptions {
+                    policy: FusionPolicy::Unfused,
+                    ..Default::default()
+                };
                 Compiler::new_with_config(cfg, opts).compile(graph)
             }
             Engine::SpaceFusion => {
                 Compiler::with_policy(arch, FusionPolicy::SpaceFusion).compile(graph)
             }
-            Engine::BladeDisc => {
-                Compiler::with_policy(arch, FusionPolicy::MiOnly).compile(graph)
-            }
-            Engine::NnFusion => {
-                Compiler::with_policy(arch, FusionPolicy::TileGraph).compile(graph)
-            }
+            Engine::BladeDisc => Compiler::with_policy(arch, FusionPolicy::MiOnly).compile(graph),
+            Engine::NnFusion => Compiler::with_policy(arch, FusionPolicy::TileGraph).compile(graph),
             Engine::TensorRt => {
                 if is_attention(graph) {
                     // TensorRT ships a hand-fused multi-head attention

@@ -33,6 +33,7 @@ pub fn compile_fixed(
             max_configs: 4,
         },
         alpha: 0.25,
+        ..Default::default()
     };
     Compiler::new(arch, opts).compile(graph)
 }

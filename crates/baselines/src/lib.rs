@@ -24,6 +24,6 @@ pub mod handtuned;
 
 pub use engines::Engine;
 pub use handtuned::{
-    apex_layernorm, compile_fixed, flash_attention_triton, flash_attention_v1,
-    flash_attention_v2, pytorch_op_layernorm, triton_layernorm,
+    apex_layernorm, compile_fixed, flash_attention_triton, flash_attention_v1, flash_attention_v2,
+    pytorch_op_layernorm, triton_layernorm,
 };

@@ -25,7 +25,9 @@ fn bench_smg_construction() {
 fn bench_slicers() {
     let g = subgraphs::mha(32, 16, 1024, 64);
     let smg = build_smg(&g).unwrap();
-    bench("spatial_slicer/mha", || eligible_spatial_dims(std::hint::black_box(&g), &smg));
+    bench("spatial_slicer/mha", || {
+        eligible_spatial_dims(std::hint::black_box(&g), &smg)
+    });
     let spatial = eligible_spatial_dims(&g, &smg);
     bench("temporal_slicer/mha", || {
         let d = pick_temporal_dim(&g, &smg, &spatial).unwrap();

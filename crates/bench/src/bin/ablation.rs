@@ -23,8 +23,18 @@ use spacefusion::tune::tune;
 
 fn rewrite_ablation(q: bool) {
     println!("== Ablation 1: streaming-variance rewrite on LayerNorm (Ampere) ==");
-    let sizes: Vec<usize> = if q { vec![4096] } else { vec![4096, 16384, 32768, 65536] };
-    print_header("N (rows=1024)", &sizes.iter().map(|s| format!("{}K", s / 1024)).collect::<Vec<_>>());
+    let sizes: Vec<usize> = if q {
+        vec![4096]
+    } else {
+        vec![4096, 16384, 32768, 65536]
+    };
+    print_header(
+        "N (rows=1024)",
+        &sizes
+            .iter()
+            .map(|s| format!("{}K", s / 1024))
+            .collect::<Vec<_>>(),
+    );
     let arch = Arch::Ampere;
     let mut base_row = Vec::new();
     let mut rw_row = Vec::new();
@@ -59,7 +69,10 @@ fn staging_ablation(q: bool) {
     let arch = Arch::Ampere.config();
     print_header(
         "staging limit",
-        &["smem/16", "smem/8", "smem/4", "smem/2"].iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &["smem/16", "smem/8", "smem/4", "smem/2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
     );
     // The staging limit is applied inside resource-aware slicing via the
     // architecture; emulate the sweep by scaling the budget the slicer
@@ -70,13 +83,19 @@ fn staging_ablation(q: bool) {
         // Keep the real budget for feasibility but shift the staging
         // threshold by scaling smem_per_block seen by assign_memory.
         a.smem_per_block = arch.smem_per_block * 4 / div;
-        let schedules = resource_aware_slicing(&g, &smg, &a, &SlicingOptions::default())
-            .expect("slicing");
+        let schedules =
+            resource_aware_slicing(&g, &smg, &a, &SlicingOptions::default()).expect("slicing");
         let kps: Vec<KernelProgram> = schedules
             .into_iter()
             .map(|s| KernelProgram::new("mha", g.clone(), s))
             .collect();
-        let r = tune(&kps, &arch, g.instances as u64, 0.25).expect("candidates");
+        let Some(r) = tune(&kps, &arch, g.instances as u64, 0.25) else {
+            eprintln!(
+                "staging ablation: no feasible schedule at staging budget smem/{div} — \
+                 skipping the sweep"
+            );
+            return;
+        };
         row.push(r.best_us);
     }
     print_row("best est. µs", &row);
@@ -88,8 +107,7 @@ fn alpha_ablation(q: bool) {
     let g = subgraphs::mha(if q { 4 } else { 32 }, 16, 1024, 64);
     let smg = build_smg(&g).unwrap();
     let arch = Arch::Ampere.config();
-    let schedules =
-        resource_aware_slicing(&g, &smg, &arch, &SlicingOptions::default()).unwrap();
+    let schedules = resource_aware_slicing(&g, &smg, &arch, &SlicingOptions::default()).unwrap();
     let kps: Vec<KernelProgram> = schedules
         .into_iter()
         .map(|s| KernelProgram::new("mha", g.clone(), s))
@@ -99,7 +117,10 @@ fn alpha_ablation(q: bool) {
         "alpha", "evaluated", "pruned", "best est. µs"
     );
     for alpha in [1.0f64, 0.5, 0.25, 0.1] {
-        let r = tune(&kps, &arch, g.instances as u64, alpha).expect("candidates");
+        let Some(r) = tune(&kps, &arch, g.instances as u64, alpha) else {
+            eprintln!("alpha ablation: the slicer produced no tunable candidates — skipping");
+            return;
+        };
         println!(
             "{alpha:<8} {:>10} {:>10} {:>12.1}",
             r.evaluated, r.pruned, r.best_us
@@ -125,7 +146,10 @@ fn two_phase_ablation(q: bool) {
         .filter(|v| matches!(v.kind, sf_ir::ValueKind::Input))
         .map(|v| (v.shape.volume() * v.dtype.size_bytes()) as u64)
         .sum();
-    for (label, p) in [("flat (row on chip)", &flat), ("temporal two-phase", &sliced)] {
+    for (label, p) in [
+        ("flat (row on chip)", &flat),
+        ("temporal two-phase", &sliced),
+    ] {
         let k = &p.kernels[0];
         let cost = estimate_cost(k, p.instances as u64);
         println!(

@@ -10,26 +10,34 @@
 //! Usage: `fig11 [--part a|b] [--quick]`
 
 use sf_baselines::Engine;
-use sf_bench::{arg_value, engine_subgraph_us, geomean, library_unfused_us, print_header, print_row, quick};
+use sf_bench::{
+    arg_value, engine_subgraph_us, geomean, library_unfused_us, print_header, print_row, quick,
+};
 use sf_gpu_sim::Arch;
 use sf_models::subgraphs;
 
 fn part_a(quick: bool) {
     println!("== Figure 11(a): fused MLP layers (speedup vs cuBLASLt) ==");
-    let layer_counts: Vec<usize> =
-        if quick { vec![2, 8, 20] } else { vec![2, 4, 6, 8, 10, 12, 14, 16, 18, 20] };
+    let layer_counts: Vec<usize> = if quick {
+        vec![2, 8, 20]
+    } else {
+        vec![2, 4, 6, 8, 10, 12, 14, 16, 18, 20]
+    };
     let (m, hidden) = (2048, 256); // the paper's fusable regime: N, K <= 256.
     print_header(
         "layers",
-        &layer_counts.iter().map(|l| l.to_string()).collect::<Vec<_>>(),
+        &layer_counts
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>(),
     );
     let mut all = Vec::new();
     for arch in Arch::all() {
         let mut row = Vec::new();
         for &layers in &layer_counts {
             let g = subgraphs::mlp_stack(layers, m, hidden);
-            let base = engine_subgraph_us(Engine::TensorRt, arch, &g)
-                .expect("cuBLASLt-like compile");
+            let base =
+                engine_subgraph_us(Engine::TensorRt, arch, &g).expect("cuBLASLt-like compile");
             let sf = engine_subgraph_us(Engine::SpaceFusion, arch, &g).expect("sf compile");
             row.push(base / sf);
         }
@@ -45,7 +53,11 @@ fn part_a(quick: bool) {
 
 fn part_b(quick: bool) {
     println!("== Figure 11(b): fused LSTM cell (speedup vs cuBLAS) ==");
-    let hiddens: Vec<usize> = if quick { vec![128, 1024] } else { vec![128, 256, 512, 1024] };
+    let hiddens: Vec<usize> = if quick {
+        vec![128, 1024]
+    } else {
+        vec![128, 256, 512, 1024]
+    };
     let batch = 256;
     print_header(
         "hidden",

@@ -8,9 +8,7 @@
 //!
 //! Usage: `fig12 [--quick]`
 
-use sf_baselines::{
-    apex_layernorm, pytorch_op_layernorm, triton_layernorm, Engine,
-};
+use sf_baselines::{apex_layernorm, pytorch_op_layernorm, triton_layernorm, Engine};
 use sf_bench::{engine_subgraph_us, geomean, print_header, print_row, profiled_us, quick};
 use sf_gpu_sim::Arch;
 use sf_models::subgraphs;
@@ -29,7 +27,13 @@ fn main() {
             vec![1024, 2048, 4096, 8192, 16384, 32768]
         };
         println!("-- {arch} --");
-        print_header("M=N", &sizes.iter().map(|s| format!("{}K", s / 1024)).collect::<Vec<_>>());
+        print_header(
+            "M=N",
+            &sizes
+                .iter()
+                .map(|s| format!("{}K", s / 1024))
+                .collect::<Vec<_>>(),
+        );
         let mut rows: Vec<(&str, Vec<f64>)> = vec![
             ("PyTorch Op", Vec::new()),
             ("NVIDIA Apex", Vec::new()),

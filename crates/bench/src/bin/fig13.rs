@@ -9,9 +9,7 @@
 //!
 //! Usage: `fig13 [--quick]`
 
-use sf_baselines::{
-    flash_attention_triton, flash_attention_v1, flash_attention_v2, Engine,
-};
+use sf_baselines::{flash_attention_triton, flash_attention_v1, flash_attention_v2, Engine};
 use sf_bench::{
     arg_value, engine_subgraph_us, geomean, print_header, print_row, profiled_us, quick, Report,
 };
@@ -37,7 +35,10 @@ fn main() {
                 vec![64, 128, 256, 512, 1024, 2048, 8192]
             };
             println!("{arch}:");
-            print_header("seq", &seqs.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+            print_header(
+                "seq",
+                &seqs.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            );
             let mut triton_row = Vec::new();
             let mut fa_row: Vec<f64> = Vec::new();
             let mut fa2_row: Vec<f64> = Vec::new();
@@ -59,11 +60,21 @@ fn main() {
             }
             for (i, &seq) in seqs.iter().enumerate() {
                 report.row(
-                    &[&batch.to_string(), &arch.to_string(), "FA-Triton", &seq.to_string()],
+                    &[
+                        &batch.to_string(),
+                        &arch.to_string(),
+                        "FA-Triton",
+                        &seq.to_string(),
+                    ],
                     &[triton_row[i]],
                 );
                 report.row(
-                    &[&batch.to_string(), &arch.to_string(), "SpaceFusion", &seq.to_string()],
+                    &[
+                        &batch.to_string(),
+                        &arch.to_string(),
+                        "SpaceFusion",
+                        &seq.to_string(),
+                    ],
                     &[sf_row[i]],
                 );
             }

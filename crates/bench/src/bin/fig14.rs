@@ -49,7 +49,10 @@ fn main() {
             println!("{arch}:");
             print_header(
                 "model",
-                &models.iter().map(|m| m.name.to_string()).collect::<Vec<_>>(),
+                &models
+                    .iter()
+                    .map(|m| m.name.to_string())
+                    .collect::<Vec<_>>(),
             );
             let py_times: Vec<f64> = models
                 .iter()
@@ -59,8 +62,7 @@ fn main() {
                 .iter()
                 .zip(&py_times)
                 .map(|(m, &py)| {
-                    py / engine_model_us(Engine::SpaceFusion, arch, m, *batch, seq)
-                        .expect("sf")
+                    py / engine_model_us(Engine::SpaceFusion, arch, m, *batch, seq).expect("sf")
                 })
                 .collect();
             sf_speedups.extend(sf_row.iter().copied());

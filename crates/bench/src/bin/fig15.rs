@@ -12,12 +12,12 @@
 //! Usage: `fig15 [--quick]`
 
 use sf_baselines::{flash_attention_v1, pytorch_op_layernorm, Engine};
-use spacefusion::compiler::{Compiler, FusionPolicy};
 use sf_bench::{print_header, print_row, quick, REPLAY_INSTANCES};
 use sf_gpu_sim::Arch;
 use sf_ir::Graph;
 use sf_models::subgraphs;
 use spacefusion::compiler::CompiledProgram;
+use spacefusion::compiler::{Compiler, FusionPolicy};
 
 struct Case {
     label: String,
@@ -37,16 +37,12 @@ fn main() {
         Case {
             label: "MLP(20,64)".into(),
             graph: subgraphs::mlp_stack(20, 64, 256),
-            fused_baseline: Box::new(move |g| {
-                Engine::TensorRt.compile(arch, g).expect("cublaslt")
-            }),
+            fused_baseline: Box::new(move |g| Engine::TensorRt.compile(arch, g).expect("cublaslt")),
         },
         Case {
             label: "MLP(4,128)".into(),
             graph: subgraphs::mlp_stack(4, 128, 256),
-            fused_baseline: Box::new(move |g| {
-                Engine::TensorRt.compile(arch, g).expect("cublaslt")
-            }),
+            fused_baseline: Box::new(move |g| Engine::TensorRt.compile(arch, g).expect("cublaslt")),
         },
         Case {
             label: "LN(4K)".into(),
@@ -76,7 +72,10 @@ fn main() {
 
     print_header(
         "metric / workload",
-        &cases.iter().map(|c| c.label.to_string()).collect::<Vec<_>>(),
+        &cases
+            .iter()
+            .map(|c| c.label.to_string())
+            .collect::<Vec<_>>(),
     );
 
     let mut rows: Vec<(&str, Vec<f64>)> = vec![
@@ -108,16 +107,26 @@ fn main() {
         let r_un = unfused.profile(REPLAY_INSTANCES);
 
         let norm = |x: u64, base: u64| x as f64 / base.max(1) as f64;
-        rows[0].1.push(norm(r_fused.stats.l1_misses, r_sf.stats.l1_misses));
-        rows[1].1.push(norm(r_un.stats.l1_misses, r_sf.stats.l1_misses));
-        rows[2].1.push(norm(r_fused.stats.l2_misses, r_sf.stats.l2_misses));
-        rows[3].1.push(norm(r_un.stats.l2_misses, r_sf.stats.l2_misses));
-        rows[4]
+        rows[0]
             .1
-            .push(norm(r_fused.stats.dram_total_bytes(), r_sf.stats.dram_total_bytes()));
-        rows[5]
+            .push(norm(r_fused.stats.l1_misses, r_sf.stats.l1_misses));
+        rows[1]
             .1
-            .push(norm(r_un.stats.dram_total_bytes(), r_sf.stats.dram_total_bytes()));
+            .push(norm(r_un.stats.l1_misses, r_sf.stats.l1_misses));
+        rows[2]
+            .1
+            .push(norm(r_fused.stats.l2_misses, r_sf.stats.l2_misses));
+        rows[3]
+            .1
+            .push(norm(r_un.stats.l2_misses, r_sf.stats.l2_misses));
+        rows[4].1.push(norm(
+            r_fused.stats.dram_total_bytes(),
+            r_sf.stats.dram_total_bytes(),
+        ));
+        rows[5].1.push(norm(
+            r_un.stats.dram_total_bytes(),
+            r_sf.stats.dram_total_bytes(),
+        ));
         sf_speedup_vs_unfused.push((
             case.label.clone(),
             r_un.time_us / r_sf.time_us,

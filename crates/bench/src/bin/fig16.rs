@@ -15,9 +15,7 @@
 //! Usage: `fig16 [--part a|b|c] [--quick]`
 
 use sf_baselines::Engine;
-use sf_bench::{
-    arg_value, engine_model_us, options_model_us, print_header, print_row, quick,
-};
+use sf_bench::{arg_value, engine_model_us, options_model_us, print_header, print_row, quick};
 use sf_gpu_sim::Arch;
 use sf_models::{all_models, vit_seq_for_image, TransformerConfig};
 use spacefusion::compiler::CompileOptions;
@@ -46,7 +44,10 @@ fn ablation_variants() -> Vec<(&'static str, CompileOptions)> {
     };
     let base_as = CompileOptions {
         autotune: true,
-        slicing: SlicingOptions { enable_temporal: false, ..Default::default() },
+        slicing: SlicingOptions {
+            enable_temporal: false,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let base_ts = CompileOptions {
@@ -74,7 +75,10 @@ fn part_a(q: bool) {
     let ms = models(q);
     for batch in if q { vec![1] } else { vec![1, 32] } {
         println!("-- batch size = {batch} --");
-        print_header("variant", &ms.iter().map(|m| m.name.to_string()).collect::<Vec<_>>());
+        print_header(
+            "variant",
+            &ms.iter().map(|m| m.name.to_string()).collect::<Vec<_>>(),
+        );
         let full: Vec<f64> = ms
             .iter()
             .map(|m| options_model_us(&CompileOptions::default(), arch, m, batch, seq).unwrap())
@@ -98,7 +102,10 @@ fn part_b(q: bool) {
     let images = [("Small", 224usize), ("Medium", 512), ("Large", 768)];
     for batch in if q { vec![1] } else { vec![1, 32] } {
         println!("-- batch size = {batch} (speedup vs PyTorch, normalized to per-model best) --");
-        print_header("size", &ms.iter().map(|m| m.name.to_string()).collect::<Vec<_>>());
+        print_header(
+            "size",
+            &ms.iter().map(|m| m.name.to_string()).collect::<Vec<_>>(),
+        );
         // speedups[model][size]
         let mut speedups: Vec<Vec<f64>> = Vec::new();
         for m in &ms {
@@ -136,7 +143,10 @@ fn part_c(q: bool) {
     let ms = models(q);
     for batch in if q { vec![32] } else { vec![1, 32] } {
         println!("-- batch size = {batch} --");
-        print_header("metric", &ms.iter().map(|m| m.name.to_string()).collect::<Vec<_>>());
+        print_header(
+            "metric",
+            &ms.iter().map(|m| m.name.to_string()).collect::<Vec<_>>(),
+        );
         let mut perf: Vec<Vec<f64>> = Vec::new(); // [arch][model] perf = 1/time.
         let mut su: Vec<Vec<f64>> = Vec::new();
         for arch in Arch::all() {
@@ -152,8 +162,7 @@ fn part_c(q: bool) {
             su.push(s_row);
         }
         for (ai, arch) in Arch::all().iter().enumerate() {
-            let row: Vec<f64> =
-                perf[ai].iter().zip(&perf[0]).map(|(p, v)| p / v).collect();
+            let row: Vec<f64> = perf[ai].iter().zip(&perf[0]).map(|(p, v)| p / v).collect();
             print_row(&format!("Perf {arch}"), &row);
         }
         for (ai, arch) in Arch::all().iter().enumerate() {
@@ -162,8 +171,7 @@ fn part_c(q: bool) {
         }
         let avg: Vec<f64> = (0..3)
             .map(|ai| {
-                let r: Vec<f64> =
-                    perf[ai].iter().zip(&perf[0]).map(|(p, v)| p / v).collect();
+                let r: Vec<f64> = perf[ai].iter().zip(&perf[0]).map(|(p, v)| p / v).collect();
                 sf_bench::geomean(&r)
             })
             .collect();

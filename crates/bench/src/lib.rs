@@ -57,7 +57,11 @@ pub fn engine_model_us(
         let program = engine.compile(arch, &graph)?;
         let detailed = sf_baselines::engines::is_attention(&graph)
             || sf_baselines::engines::is_row_norm(&graph);
-        let us = if detailed { profiled_us(&program) } else { program.estimate_us() };
+        let us = if detailed {
+            profiled_us(&program)
+        } else {
+            program.estimate_us()
+        };
         total += us * count as f64;
     }
     Ok(total)
@@ -91,7 +95,11 @@ pub fn options_model_us(
         let program = session.compile(&graph)?;
         let detailed = sf_baselines::engines::is_attention(&graph)
             || sf_baselines::engines::is_row_norm(&graph);
-        let us = if detailed { profiled_us(&program) } else { program.estimate_us() };
+        let us = if detailed {
+            profiled_us(&program)
+        } else {
+            program.estimate_us()
+        };
         total += us * count as f64;
     }
     Ok(total)
@@ -149,8 +157,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["--part", "a", "--quick"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--part", "a", "--quick"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_value(&args, "--part").as_deref(), Some("a"));
         assert_eq!(arg_value(&args, "--missing"), None);
         assert!(quick(&args));

@@ -27,17 +27,16 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Duration {
         std::hint::black_box(f());
     }
     let mean = t.elapsed() / iters;
-    println!("{name:<40} {:>12} /iter   ({iters} iters)", fmt_duration(mean));
+    println!(
+        "{name:<40} {:>12} /iter   ({iters} iters)",
+        fmt_duration(mean)
+    );
     mean
 }
 
 /// Like [`bench`] but also prints a throughput figure for `elements`
 /// logical items processed per iteration.
-pub fn bench_throughput<T>(
-    name: &str,
-    elements: u64,
-    f: impl FnMut() -> T,
-) -> Duration {
+pub fn bench_throughput<T>(name: &str, elements: u64, f: impl FnMut() -> T) -> Duration {
     let mean = bench(name, f);
     let per_sec = elements as f64 / mean.as_secs_f64();
     println!("{:<40} {:>12.2} Melem/s", "", per_sec / 1e6);

@@ -7,6 +7,7 @@ use spacefusion::pipeline::{render_timings, CollectingSink, CompileSession};
 use spacefusion::sched::OpRole;
 use spacefusion::slicer::AggKind;
 use spacefusion::smg::build_smg;
+use spacefusion::verify::{counts, verify_program, DiagCode, VerifyConfig};
 use std::sync::Arc;
 
 /// Parsed command-line options.
@@ -92,6 +93,190 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
+/// Parsed options of `sfc lint`.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Target architecture.
+    pub arch: Arch,
+    /// Fusion policy.
+    pub policy: FusionPolicy,
+    /// Emit machine-readable JSON instead of the table.
+    pub json: bool,
+    /// Treat warnings as lint failures.
+    pub deny_warnings: bool,
+    /// Per-code severity configuration (`--warn/--deny/--allow CODE`).
+    pub config: VerifyConfig,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            arch: Arch::Ampere,
+            policy: FusionPolicy::SpaceFusion,
+            json: false,
+            deny_warnings: false,
+            config: VerifyConfig::default(),
+        }
+    }
+}
+
+/// Parses `sfc lint` flags.
+pub fn parse_lint_options(args: &[String]) -> Result<LintOptions, String> {
+    let mut o = LintOptions::default();
+    let code_arg = |args: &[String], i: usize, flag: &str| -> Result<DiagCode, String> {
+        let s = args
+            .get(i)
+            .ok_or_else(|| format!("{flag} needs a diagnostic code"))?;
+        DiagCode::parse(s).ok_or_else(|| format!("unknown diagnostic code '{s}'"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--arch" => {
+                i += 1;
+                o.arch = match args.get(i).map(|s| s.as_str()) {
+                    Some("volta") => Arch::Volta,
+                    Some("ampere") => Arch::Ampere,
+                    Some("hopper") => Arch::Hopper,
+                    other => return Err(format!("unknown --arch {other:?}")),
+                };
+            }
+            "--policy" => {
+                i += 1;
+                o.policy = match args.get(i).map(|s| s.as_str()) {
+                    Some("spacefusion") => FusionPolicy::SpaceFusion,
+                    Some("unfused") => FusionPolicy::Unfused,
+                    Some("epilogue") => FusionPolicy::EpilogueOnly,
+                    Some("mi-only") => FusionPolicy::MiOnly,
+                    Some("tile-graph") => FusionPolicy::TileGraph,
+                    other => return Err(format!("unknown --policy {other:?}")),
+                };
+            }
+            "--json" => o.json = true,
+            "--deny-warnings" => o.deny_warnings = true,
+            "--warn" => {
+                i += 1;
+                o.config = o.config.warn(code_arg(args, i, "--warn")?);
+            }
+            "--deny" => {
+                i += 1;
+                o.config = o.config.deny(code_arg(args, i, "--deny")?);
+            }
+            "--allow" => {
+                i += 1;
+                o.config = o.config.allow(code_arg(args, i, "--allow")?);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+/// Runs `sfc lint`: compile `graph` and run the static verifier over the
+/// result.
+///
+/// Returns `(report, clean)`; `clean` is `false` when any error-level
+/// diagnostic survives (or any warning under `--deny-warnings`), which
+/// `main` turns into a failing exit code.
+pub fn lint_report(graph: &Graph, o: &LintOptions) -> Result<(String, bool), String> {
+    use std::fmt::Write as _;
+
+    // Disable the in-pipeline verifier: lint collects the diagnostics
+    // itself so it can render all of them instead of failing on the
+    // first error.
+    let mut opts = CompileOptions {
+        policy: o.policy,
+        verify: false,
+        ..Default::default()
+    };
+    if o.policy == FusionPolicy::TileGraph {
+        opts.slicing.enable_uta = false;
+    }
+    let program = CompileSession::new(o.arch, opts)
+        .compile(graph)
+        .map_err(|e| e.to_string())?;
+    let diags = verify_program(&program.kernels, &program.arch, &o.config);
+    let (errors, warnings) = counts(&diags);
+    let clean = errors == 0 && (!o.deny_warnings || warnings == 0);
+
+    let mut out = String::new();
+    if o.json {
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"model\": \"{}\",", json_escape(graph.name()));
+        let _ = writeln!(out, "  \"arch\": \"{}\",", o.arch);
+        let _ = writeln!(out, "  \"kernels\": {},", program.kernels.len());
+        let _ = writeln!(out, "  \"errors\": {errors},");
+        let _ = writeln!(out, "  \"warnings\": {warnings},");
+        let _ = writeln!(out, "  \"clean\": {clean},");
+        let _ = writeln!(out, "  \"diagnostics\": [");
+        for (i, d) in diags.iter().enumerate() {
+            let comma = if i + 1 < diags.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"code\": \"{}\", \"severity\": \"{}\", \"kernel\": \"{}\", \
+                 \"span\": \"{}\", \"message\": \"{}\"}}{comma}",
+                d.code,
+                d.severity,
+                json_escape(&d.kernel),
+                json_escape(&d.span.to_string()),
+                json_escape(&d.message)
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        return Ok((out, clean));
+    }
+
+    let _ = writeln!(
+        out,
+        "lint '{}' for {}: {} kernel(s), {} check(s)",
+        graph.name(),
+        o.arch,
+        program.kernels.len(),
+        DiagCode::all().len()
+    );
+    if diags.is_empty() {
+        let _ = writeln!(out, "clean: no diagnostics");
+    } else {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<8} {:<20} {:<18} message",
+            "code", "level", "kernel", "span"
+        );
+        for d in &diags {
+            let _ = writeln!(
+                out,
+                "{:<8} {:<8} {:<20} {:<18} {}",
+                d.code.code(),
+                d.severity.to_string(),
+                d.kernel,
+                d.span.to_string(),
+                d.message
+            );
+        }
+        let _ = writeln!(out, "{errors} error(s), {warnings} warning(s)");
+    }
+    Ok((out, clean))
+}
+
+/// Minimal JSON string escaping.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Runs `sfc compile`: compile, report, optionally verify and profile.
 ///
 /// Returns the report text (also printed by `main`).
@@ -116,7 +301,10 @@ pub fn compile_report(graph: &Graph, o: &Options) -> Result<String, String> {
         return Ok(smg.to_dot(&graph));
     }
 
-    let mut opts = CompileOptions { policy: o.policy, ..Default::default() };
+    let mut opts = CompileOptions {
+        policy: o.policy,
+        ..Default::default()
+    };
     if o.policy == FusionPolicy::TileGraph {
         opts.slicing.enable_uta = false;
     }
@@ -188,7 +376,10 @@ pub fn compile_report(graph: &Graph, o: &Options) -> Result<String, String> {
         for (a, b) in got.iter().zip(expect.iter()) {
             worst = worst.max(a.max_abs_diff(b).unwrap_or(f32::INFINITY));
         }
-        let _ = writeln!(out, "verify(seed={seed}): max |fused - reference| = {worst:.3e}");
+        let _ = writeln!(
+            out,
+            "verify(seed={seed}): max |fused - reference| = {worst:.3e}"
+        );
         if worst > 1e-2 {
             return Err(format!("verification FAILED: diff {worst}"));
         }
@@ -262,7 +453,11 @@ output y
     #[test]
     fn compile_report_covers_layernorm() {
         let g = parse_graph(LN).unwrap();
-        let o = Options { profile: true, verify_seed: Some(3), ..Default::default() };
+        let o = Options {
+            profile: true,
+            verify_seed: Some(3),
+            ..Default::default()
+        };
         let report = compile_report(&g, &o).unwrap();
         assert!(report.contains("1 kernel(s)"));
         assert!(report.contains("verify(seed=3)"));
@@ -272,7 +467,10 @@ output y
     #[test]
     fn emit_flag_prints_pseudocode() {
         let g = parse_graph(LN).unwrap();
-        let o = Options { emit: true, ..Default::default() };
+        let o = Options {
+            emit: true,
+            ..Default::default()
+        };
         let report = compile_report(&g, &o).unwrap();
         assert!(report.contains("parallel_for block"));
         assert!(report.contains("store("));
@@ -284,11 +482,23 @@ output y
         // even the fallback pass appears in the table.
         let wide = LN.replace("2048", "65536");
         let g = parse_graph(&wide).unwrap();
-        let o = Options { timings: true, ..Default::default() };
+        let o = Options {
+            timings: true,
+            ..Default::default()
+        };
         let report = compile_report(&g, &o).unwrap();
         for pass in [
-            "segment", "group", "cache-lookup", "smg-build", "spatial-slice",
-            "temporal-slice", "enum-cfg", "partition", "tune", "emit",
+            "segment",
+            "group",
+            "cache-lookup",
+            "smg-build",
+            "spatial-slice",
+            "temporal-slice",
+            "enum-cfg",
+            "partition",
+            "tune",
+            "emit",
+            "verify",
         ] {
             assert!(report.contains(pass), "missing pass '{pass}' in:\n{report}");
         }
@@ -296,9 +506,60 @@ output y
     }
 
     #[test]
+    fn lint_option_parsing() {
+        let args: Vec<String> = [
+            "--arch",
+            "volta",
+            "--json",
+            "--deny-warnings",
+            "--warn",
+            "res201",
+            "--allow",
+            "BND402",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_lint_options(&args).unwrap();
+        assert_eq!(o.arch, Arch::Volta);
+        assert!(o.json && o.deny_warnings);
+        assert_eq!(o.config.levels.len(), 1);
+        assert_eq!(
+            o.config.allowed,
+            vec![spacefusion::verify::DiagCode::BndTileOutOfBounds]
+        );
+        assert!(parse_lint_options(&["--warn".into(), "NOPE99".into()]).is_err());
+    }
+
+    #[test]
+    fn lint_report_is_clean_on_layernorm() {
+        let g = parse_graph(LN).unwrap();
+        let (report, clean) = lint_report(&g, &LintOptions::default()).unwrap();
+        assert!(clean, "{report}");
+        assert!(report.contains("clean: no diagnostics"), "{report}");
+    }
+
+    #[test]
+    fn lint_json_output_is_machine_readable() {
+        let g = parse_graph(LN).unwrap();
+        let o = LintOptions {
+            json: true,
+            ..Default::default()
+        };
+        let (report, clean) = lint_report(&g, &o).unwrap();
+        assert!(clean, "{report}");
+        assert!(report.contains("\"errors\": 0"), "{report}");
+        assert!(report.contains("\"clean\": true"), "{report}");
+        assert!(report.contains("\"diagnostics\": ["), "{report}");
+    }
+
+    #[test]
     fn dot_output_mode() {
         let g = parse_graph(LN).unwrap();
-        let o = Options { dot: true, ..Default::default() };
+        let o = Options {
+            dot: true,
+            ..Default::default()
+        };
         let report = compile_report(&g, &o).unwrap();
         assert!(report.starts_with("digraph"));
     }
@@ -310,8 +571,14 @@ output y
         let wide = LN.replace("2048", "65536");
         let g = parse_graph(&wide).unwrap();
         let plain = compile_report(&g, &Options::default()).unwrap();
-        let rewritten =
-            compile_report(&g, &Options { rewrite: true, ..Default::default() }).unwrap();
+        let rewritten = compile_report(
+            &g,
+            &Options {
+                rewrite: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // Unrewritten: the fused region does not fit on chip and the
         // variance chain defeats the temporal slicer, so the compiler
         // must partition into several kernels.

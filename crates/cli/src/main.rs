@@ -5,16 +5,18 @@
 //!                  [--policy spacefusion|unfused|epilogue|mi-only|tile-graph]
 //!                  [--dot] [--profile] [--verify SEED] [--rewrite]
 //!                  [--emit] [--timings]
+//! sfc lint FILE    [--arch ...] [--policy ...] [--json] [--deny-warnings]
+//!                  [--warn CODE] [--deny CODE] [--allow CODE]
 //! sfc print FILE       # parse and pretty-print back to the DSL
 //! ```
 
-use sf_cli::driver::{compile_report, parse_options};
+use sf_cli::driver::{compile_report, lint_report, parse_lint_options, parse_options};
 use sf_cli::{parse_graph, print_graph};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: sfc <compile|print> FILE [flags] (see --help in README)";
+    let usage = "usage: sfc <compile|lint|print> FILE [flags] (see --help in README)";
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
@@ -60,6 +62,29 @@ fn main() -> ExitCode {
                 Ok(report) => {
                     print!("{report}");
                     ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("sfc: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "lint" => {
+            let opts = match parse_lint_options(&flags) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("sfc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match lint_report(&graph, &opts) {
+                Ok((report, clean)) => {
+                    print!("{report}");
+                    if clean {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
                 }
                 Err(e) => {
                     eprintln!("sfc: {e}");

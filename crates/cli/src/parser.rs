@@ -24,7 +24,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a graph from DSL source.
@@ -190,18 +193,33 @@ fn parse_op(
     let op = tokens[0];
     let ir = |e: sf_ir::GraphError| err(line, e.to_string());
     if let Some(u) = unary_by_name(op) {
-        let x = lookup(names, tokens.get(1).ok_or(err(line, "missing operand"))?, line)?;
+        let x = lookup(
+            names,
+            tokens.get(1).ok_or(err(line, "missing operand"))?,
+            line,
+        )?;
         return g.unary(u, x).map_err(ir);
     }
     if let Some(b) = binary_by_name(op) {
-        let a = lookup(names, tokens.get(1).ok_or(err(line, "missing operand"))?, line)?;
-        let c = lookup(names, tokens.get(2).ok_or(err(line, "missing operand"))?, line)?;
+        let a = lookup(
+            names,
+            tokens.get(1).ok_or(err(line, "missing operand"))?,
+            line,
+        )?;
+        let c = lookup(
+            names,
+            tokens.get(2).ok_or(err(line, "missing operand"))?,
+            line,
+        )?;
         return g.binary(b, a, c).map_err(ir);
     }
     if let Some(base) = op.strip_suffix("_scalar") {
-        let b = binary_by_name(base)
-            .ok_or(err(line, format!("unknown scalar op '{op}'")))?;
-        let x = lookup(names, tokens.get(1).ok_or(err(line, "missing operand"))?, line)?;
+        let b = binary_by_name(base).ok_or(err(line, format!("unknown scalar op '{op}'")))?;
+        let x = lookup(
+            names,
+            tokens.get(1).ok_or(err(line, "missing operand"))?,
+            line,
+        )?;
         let value: f32 = tokens
             .get(2)
             .and_then(|t| t.parse().ok())
@@ -215,25 +233,45 @@ fn parse_op(
             "mean" => ReduceOp::Mean,
             other => return Err(err(line, format!("unknown reduction '{other}'"))),
         };
-        let x = lookup(names, tokens.get(1).ok_or(err(line, "missing operand"))?, line)?;
+        let x = lookup(
+            names,
+            tokens.get(1).ok_or(err(line, "missing operand"))?,
+            line,
+        )?;
         let dim = key_value(tokens, "dim", line)?;
         return g.reduce(r, x, dim).map_err(ir);
     }
     match op {
         "gemm" => {
-            let a = lookup(names, tokens.get(1).ok_or(err(line, "missing operand"))?, line)?;
-            let b = lookup(names, tokens.get(2).ok_or(err(line, "missing operand"))?, line)?;
+            let a = lookup(
+                names,
+                tokens.get(1).ok_or(err(line, "missing operand"))?,
+                line,
+            )?;
+            let b = lookup(
+                names,
+                tokens.get(2).ok_or(err(line, "missing operand"))?,
+                line,
+            )?;
             let t = tokens.contains(&"transpose_b");
             g.gemm(a, b, t).map_err(ir)
         }
         "broadcast" => {
-            let x = lookup(names, tokens.get(1).ok_or(err(line, "missing operand"))?, line)?;
+            let x = lookup(
+                names,
+                tokens.get(1).ok_or(err(line, "missing operand"))?,
+                line,
+            )?;
             let dim = key_value(tokens, "dim", line)?;
             let extent = key_value(tokens, "extent", line)?;
             g.broadcast(x, dim, extent).map_err(ir)
         }
         "reshape" => {
-            let x = lookup(names, tokens.get(1).ok_or(err(line, "missing operand"))?, line)?;
+            let x = lookup(
+                names,
+                tokens.get(1).ok_or(err(line, "missing operand"))?,
+                line,
+            )?;
             let shape = parse_shape(&tokens[2..], line)?;
             g.layout_barrier(x, shape).map_err(ir)
         }

@@ -22,7 +22,12 @@ pub fn print_graph(g: &Graph) -> String {
             ValueKind::Weight => "weight",
             ValueKind::Intermediate => continue,
         };
-        let _ = writeln!(out, "{kw} {} {}", sanitize(&v.name), shape_str(g, ValueId(vi)));
+        let _ = writeln!(
+            out,
+            "{kw} {} {}",
+            sanitize(&v.name),
+            shape_str(g, ValueId(vi))
+        );
     }
     for op in g.ops() {
         let name = sanitize(&g.value(op.output).name);
@@ -64,7 +69,13 @@ fn shape_str(g: &Graph, v: ValueId) -> String {
 /// already clean, but user names from other frontends may not be.
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_whitespace() || c == '=' || c == '#' { '_' } else { c })
+        .map(|c| {
+            if c.is_whitespace() || c == '=' || c == '#' {
+                '_'
+            } else {
+                c
+            }
+        })
         .collect()
 }
 

@@ -32,9 +32,17 @@ pub fn emit_pseudocode(kp: &KernelProgram) -> String {
                 .map(|t| s.smg.value_has_dim(g, ValueId(vi), t.plan.dim))
                 .unwrap_or(false);
             if s.mem.staged[vi] && !varying {
-                let _ = writeln!(out, "    {} = load_block({})        // smem", v.name, v.name);
+                let _ = writeln!(
+                    out,
+                    "    {} = load_block({})        // smem",
+                    v.name, v.name
+                );
             } else if !varying {
-                let _ = writeln!(out, "    {} = stream({})            // global", v.name, v.name);
+                let _ = writeln!(
+                    out,
+                    "    {} = stream({})            // global",
+                    v.name, v.name
+                );
             }
         }
     }
@@ -145,7 +153,12 @@ fn op_line(kp: &KernelProgram, oi: usize) -> String {
         MemLevel::Shared => "smem",
         MemLevel::Global => "global",
     };
-    format!("{} = {}   // {}", g.value(op.output).name, expr(kp, oi), level)
+    format!(
+        "{} = {}   // {}",
+        g.value(op.output).name,
+        expr(kp, oi),
+        level
+    )
 }
 
 fn expr(kp: &KernelProgram, oi: usize) -> String {
@@ -244,7 +257,11 @@ mod tests {
             .compile(&g)
             .unwrap();
         let kp = &p.kernels[0];
-        assert!(kp.schedule.temporal.as_ref().is_some_and(|t| t.plan.two_phase));
+        assert!(kp
+            .schedule
+            .temporal
+            .as_ref()
+            .is_some_and(|t| t.plan.two_phase));
         let code = emit_pseudocode(kp);
         assert!(code.contains("phase 2"));
         assert!(code.contains("store_tile"));

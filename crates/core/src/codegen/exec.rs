@@ -158,7 +158,10 @@ fn execute_block(
     // Finalize mean accumulators.
     for (oi, op) in graph.ops().iter().enumerate() {
         if let OpRole::SlicedReduction(_) = kp.roles[oi] {
-            if let OpKind::Reduce { op: ReduceOp::Mean, .. } = op.kind {
+            if let OpKind::Reduce {
+                op: ReduceOp::Mean, ..
+            } = op.kind
+            {
                 if let Some(acc) = accs.get_mut(&op.output) {
                     *acc = ops::binary_scalar(BinaryOp::Div, acc, extent as f32);
                 }
@@ -420,14 +423,20 @@ fn eval_sliced_partial(
 ) -> Result<Tensor> {
     let op = &graph.ops()[op_idx];
     match &op.kind {
-        OpKind::Gemm { transpose_b } => {
-            Ok(ops::matmul(&get(op.inputs[0])?, &get(op.inputs[1])?, *transpose_b)?)
-        }
+        OpKind::Gemm { transpose_b } => Ok(ops::matmul(
+            &get(op.inputs[0])?,
+            &get(op.inputs[1])?,
+            *transpose_b,
+        )?),
         OpKind::Reduce { op: r, dim: axis } => {
             let input = get(op.inputs[0])?;
             // Sanity: the reduce axis must be the sliced dimension.
             debug_assert_eq!(smg.value_axes[op.inputs[0].0][*axis], dim);
-            let kind = if *r == ReduceOp::Mean { ReduceOp::Sum } else { *r };
+            let kind = if *r == ReduceOp::Mean {
+                ReduceOp::Sum
+            } else {
+                *r
+            };
             Ok(ops::reduce(kind, &input, *axis)?)
         }
         other => Err(SfError::Codegen(format!(
@@ -441,7 +450,9 @@ fn eval_sliced_partial(
 fn combine(graph: &Graph, op_idx: usize, acc: &Tensor, partial: &Tensor) -> Result<Tensor> {
     let op = &graph.ops()[op_idx];
     let b = match &op.kind {
-        OpKind::Reduce { op: ReduceOp::Max, .. } => BinaryOp::Max,
+        OpKind::Reduce {
+            op: ReduceOp::Max, ..
+        } => BinaryOp::Max,
         _ => BinaryOp::Add,
     };
     Ok(ops::binary(b, acc, partial)?)
@@ -467,9 +478,7 @@ fn apply_update(
             .ok_or_else(|| SfError::Codegen("missing new dependency value".into()))?;
         let g = match f.form {
             FactorForm::Recip => ops::binary(BinaryOp::Div, old, new)?,
-            FactorForm::ExpNeg => {
-                ops::unary(UnaryOp::Exp, &ops::binary(BinaryOp::Sub, old, new)?)
-            }
+            FactorForm::ExpNeg => ops::unary(UnaryOp::Exp, &ops::binary(BinaryOp::Sub, old, new)?),
             FactorForm::Value => ops::binary(BinaryOp::Div, new, old)?,
         };
         result = ops::binary(BinaryOp::Mul, &result, &g)?;

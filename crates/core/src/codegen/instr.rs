@@ -1,0 +1,299 @@
+//! A linear instruction form of a scheduled kernel.
+//!
+//! [`emit_pseudocode`](super::emit_pseudocode) renders kernels for
+//! humans; this module lowers the same structure into a small
+//! instruction stream that analyses can walk mechanically: staged
+//! cooperative loads, block-wide barriers, per-operator computes with
+//! explicit operand locations, the intra-block loop boundaries and the
+//! final stores. The static verifier's barrier/race and
+//! placement-consistency checks (see [`crate::verify`]) run over this
+//! stream.
+//!
+//! Barrier discipline mirrors real cooperative kernels: any write that
+//! lands in shared memory — a staged tile load or a compute producing a
+//! block-visible intermediate — is followed by a block barrier before
+//! other threads may read the buffer.
+
+use super::program::KernelProgram;
+use crate::sched::{MemLevel, OpRole};
+use crate::slicer::AggKind;
+use sf_ir::{OpId, ValueId, ValueKind};
+
+/// Where an operand access lands in the memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemSpace {
+    /// Off-chip global memory (visible to every block).
+    Global,
+    /// Shared memory (visible within one block, requires barriers).
+    Shared,
+    /// Registers (private to one thread).
+    Register,
+}
+
+/// One instruction of the lowered kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Cooperative staged load of a whole-block global tile into shared
+    /// memory (lifetime: the whole block).
+    LoadBlock {
+        /// The staged global value.
+        value: ValueId,
+    },
+    /// Cooperative per-intra-block tile load into shared memory (inside
+    /// the temporal loop).
+    LoadTile {
+        /// The staged, loop-varying global value.
+        value: ValueId,
+    },
+    /// Block-wide barrier (`__syncthreads`).
+    Barrier,
+    /// One operator evaluation: operand reads at their memory spaces,
+    /// one output write.
+    Compute {
+        /// The evaluated operator.
+        op: OpId,
+        /// Operand reads (UTA updates additionally read their dependency
+        /// accumulators).
+        reads: Vec<(ValueId, MemSpace)>,
+        /// The produced value and where it lands.
+        write: (ValueId, MemSpace),
+    },
+    /// Start of the intra-block loop (`phase` 1 or 2).
+    LoopBegin {
+        /// 1 for the aggregation pass, 2 for the re-streaming pass.
+        phase: u8,
+    },
+    /// End of the intra-block loop.
+    LoopEnd {
+        /// Matches the corresponding [`Instr::LoopBegin`].
+        phase: u8,
+    },
+    /// Final store of an output back to global memory.
+    Store {
+        /// The stored output value.
+        value: ValueId,
+    },
+}
+
+/// Memory space an operand of `kp` is read from.
+fn read_space(kp: &KernelProgram, v: ValueId) -> MemSpace {
+    match kp.graph.value(v).kind {
+        ValueKind::Input | ValueKind::Weight => {
+            if kp.schedule.is_staged(v) {
+                MemSpace::Shared
+            } else {
+                MemSpace::Global
+            }
+        }
+        ValueKind::Intermediate => match kp.schedule.level(v) {
+            MemLevel::Shared => MemSpace::Shared,
+            // Global-level intermediates (kernel outputs) stream back
+            // through registers; reads of them inside the kernel see the
+            // register copy.
+            MemLevel::Register | MemLevel::Global => MemSpace::Register,
+        },
+    }
+}
+
+/// Memory space an op output of `kp` is written to.
+fn write_space(kp: &KernelProgram, v: ValueId) -> MemSpace {
+    match kp.schedule.level(v) {
+        MemLevel::Shared => MemSpace::Shared,
+        MemLevel::Register | MemLevel::Global => MemSpace::Register,
+    }
+}
+
+/// Appends op `oi` as a [`Instr::Compute`], with a trailing barrier when
+/// the result is published to shared memory.
+fn push_compute(kp: &KernelProgram, out: &mut Vec<Instr>, oi: usize) {
+    let op = &kp.graph.ops()[oi];
+    let mut reads: Vec<(ValueId, MemSpace)> =
+        op.inputs.iter().map(|&i| (i, read_space(kp, i))).collect();
+    // A UTA update additionally reads the accumulators of the earlier
+    // sliced reductions it rescales by (paper Fig. 7, right).
+    if let OpRole::SlicedReduction(idx) = kp.roles[oi] {
+        if let Some(t) = &kp.schedule.temporal {
+            if let Some(AggKind::Uta(factors)) = t.plan.sliced.get(idx).map(|s| &s.agg) {
+                for f in factors {
+                    if f.dep.0 < kp.graph.ops().len() {
+                        reads.push((kp.graph.ops()[f.dep.0].output, MemSpace::Register));
+                    }
+                }
+            }
+        }
+    }
+    let w = write_space(kp, op.output);
+    out.push(Instr::Compute {
+        op: OpId(oi),
+        reads,
+        write: (op.output, w),
+    });
+    if w == MemSpace::Shared {
+        out.push(Instr::Barrier);
+    }
+}
+
+/// Lowers a kernel into its linear instruction stream.
+///
+/// The structure matches [`emit_pseudocode`](super::emit_pseudocode) and
+/// the interpreter in [`exec`](super::exec): staged whole-block loads,
+/// then either the flat op sequence or the phase-1 intra-block loop,
+/// post-loop epilogue, optional phase-2 re-streaming loop, and stores.
+pub fn lower_instructions(kp: &KernelProgram) -> Vec<Instr> {
+    let g = &kp.graph;
+    let s = &kp.schedule;
+    let mut out = Vec::new();
+
+    let varying = |vi: usize| {
+        s.temporal
+            .as_ref()
+            .map(|t| s.smg.value_has_dim(g, ValueId(vi), t.plan.dim))
+            .unwrap_or(false)
+    };
+    let is_global = |vi: usize| matches!(g.values()[vi].kind, ValueKind::Input | ValueKind::Weight);
+
+    // Staged whole-block loads: cooperative, so consumers must wait on a
+    // barrier before reading any element another thread loaded.
+    let mut staged_any = false;
+    for vi in 0..g.values().len() {
+        if is_global(vi) && s.mem.staged[vi] && !varying(vi) {
+            out.push(Instr::LoadBlock { value: ValueId(vi) });
+            staged_any = true;
+        }
+    }
+    if staged_any {
+        out.push(Instr::Barrier);
+    }
+
+    // Per-tile loads inside a loop body, with the same cooperative
+    // barrier rule.
+    let push_tile_loads = |out: &mut Vec<Instr>| {
+        let mut any = false;
+        for vi in 0..g.values().len() {
+            if is_global(vi) && s.mem.staged[vi] && varying(vi) {
+                out.push(Instr::LoadTile { value: ValueId(vi) });
+                any = true;
+            }
+        }
+        if any {
+            out.push(Instr::Barrier);
+        }
+    };
+
+    match &s.temporal {
+        None => {
+            for oi in 0..g.ops().len() {
+                push_compute(kp, &mut out, oi);
+            }
+            for &o in g.outputs() {
+                out.push(Instr::Store { value: o });
+            }
+        }
+        Some(t) => {
+            out.push(Instr::LoopBegin { phase: 1 });
+            push_tile_loads(&mut out);
+            for oi in 0..g.ops().len() {
+                if kp.needed_phase1[oi] && kp.roles[oi] != OpRole::PostLoop {
+                    push_compute(kp, &mut out, oi);
+                }
+            }
+            out.push(Instr::LoopEnd { phase: 1 });
+
+            for oi in 0..g.ops().len() {
+                if kp.roles[oi] == OpRole::PostLoop {
+                    push_compute(kp, &mut out, oi);
+                }
+            }
+
+            if t.plan.two_phase {
+                out.push(Instr::LoopBegin { phase: 2 });
+                push_tile_loads(&mut out);
+                for oi in 0..g.ops().len() {
+                    if kp.roles[oi] == OpRole::InLoop && kp.needed_output[oi] {
+                        push_compute(kp, &mut out, oi);
+                    }
+                }
+                for &o in g.outputs() {
+                    if s.smg.value_has_dim(g, o, t.plan.dim) {
+                        out.push(Instr::Store { value: o });
+                    }
+                }
+                out.push(Instr::LoopEnd { phase: 2 });
+            }
+            for &o in g.outputs() {
+                if !s.smg.value_has_dim(g, o, t.plan.dim) {
+                    out.push(Instr::Store { value: o });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{Compiler, FusionPolicy};
+    use sf_gpu_sim::Arch;
+    use sf_ir::Graph;
+    use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+    use sf_tensor::{DType, Shape};
+
+    fn mha(l: usize) -> Graph {
+        let mut g = Graph::new("mha", DType::F16);
+        let q = g.input("Q", Shape::new(vec![256, 64]));
+        let k = g.input("K", Shape::new(vec![l, 64]));
+        let v = g.input("V", Shape::new(vec![l, 64]));
+        let qk = g.gemm(q, k, true).unwrap();
+        let mx = g.reduce(ReduceOp::Max, qk, 1).unwrap();
+        let sub = g.binary(BinaryOp::Sub, qk, mx).unwrap();
+        let e = g.unary(UnaryOp::Exp, sub).unwrap();
+        let s = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        let d = g.binary(BinaryOp::Div, e, s).unwrap();
+        let out = g.gemm(d, v, false).unwrap();
+        g.mark_output(out);
+        g
+    }
+
+    #[test]
+    fn temporal_mha_lowers_to_loop_with_barriers() {
+        let g = mha(8192);
+        let p = Compiler::with_policy(Arch::Volta, FusionPolicy::SpaceFusion)
+            .compile(&g)
+            .unwrap();
+        let instrs = lower_instructions(&p.kernels[0]);
+        assert!(instrs.contains(&Instr::LoopBegin { phase: 1 }));
+        assert!(instrs.contains(&Instr::LoopEnd { phase: 1 }));
+        assert!(instrs.iter().any(|i| matches!(i, Instr::Barrier)));
+        assert!(instrs.iter().any(|i| matches!(i, Instr::Store { .. })));
+        // Every shared compute write is immediately followed by a
+        // barrier (the cooperative publication rule).
+        for (i, ins) in instrs.iter().enumerate() {
+            if let Instr::Compute {
+                write: (_, MemSpace::Shared),
+                ..
+            } = ins
+            {
+                assert_eq!(instrs.get(i + 1), Some(&Instr::Barrier), "at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_kernel_has_no_loop_markers() {
+        let g = mha(64);
+        let p = Compiler::with_policy(Arch::Hopper, FusionPolicy::SpaceFusion)
+            .compile(&g)
+            .unwrap();
+        let kp = &p.kernels[0];
+        if kp.schedule.temporal.is_none() {
+            let instrs = lower_instructions(kp);
+            assert!(!instrs.iter().any(|i| matches!(i, Instr::LoopBegin { .. })));
+            let computes = instrs
+                .iter()
+                .filter(|i| matches!(i, Instr::Compute { .. }))
+                .count();
+            assert_eq!(computes, kp.graph.ops().len());
+        }
+    }
+}

@@ -17,10 +17,12 @@
 
 pub mod emit;
 pub mod exec;
+pub mod instr;
 pub mod program;
 pub mod trace;
 
 pub use emit::emit_pseudocode;
 pub use exec::execute_kernel;
+pub use instr::{lower_instructions, Instr, MemSpace};
 pub use program::KernelProgram;
 pub use trace::{estimate_cost, trace_kernel};

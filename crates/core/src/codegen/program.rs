@@ -97,7 +97,12 @@ mod tests {
         let kp = KernelProgram::new(
             "softmax",
             g.clone(),
-            FusedSchedule { smg, spatial, temporal, mem },
+            FusedSchedule {
+                smg,
+                spatial,
+                temporal,
+                mem,
+            },
         );
         // Phase 1 needs max, sub, exp, sum but not div.
         assert_eq!(kp.needed_phase1, vec![true, true, true, true, false]);

@@ -60,7 +60,11 @@ fn classify(kp: &KernelProgram) -> Usage {
     }
     let varying = match &kp.schedule.temporal {
         Some(t) => (0..n)
-            .map(|vi| kp.schedule.smg.value_has_dim(graph, ValueId(vi), t.plan.dim))
+            .map(|vi| {
+                kp.schedule
+                    .smg
+                    .value_has_dim(graph, ValueId(vi), t.plan.dim)
+            })
             .collect(),
         None => vec![false; n],
     };
@@ -68,12 +72,7 @@ fn classify(kp: &KernelProgram) -> Usage {
 }
 
 /// Bytes and 2-D layout of a restricted view of `v`.
-fn tile_spec(
-    graph: &Graph,
-    smg: &Smg,
-    v: ValueId,
-    restrict: &Restrict,
-) -> (u64, u64, u64, u64) {
+fn tile_spec(graph: &Graph, smg: &Smg, v: ValueId, restrict: &Restrict) -> (u64, u64, u64, u64) {
     // Returns (offset, row_bytes, rows, row_stride).
     let shape = graph.shape(v);
     let esz = graph.dtype().size_bytes() as u64;
@@ -141,7 +140,10 @@ pub fn trace_kernel(
     let inst_stride: HashMap<ValueId, u64> = global_vals
         .iter()
         .map(|&v| {
-            (v, (graph.shape(v).volume() * graph.dtype().size_bytes()) as u64)
+            (
+                v,
+                (graph.shape(v).volume() * graph.dtype().size_bytes()) as u64,
+            )
         })
         .collect();
 
@@ -220,9 +222,8 @@ fn trace_block(
 ) {
     let graph = &kp.graph;
     let s = &kp.schedule;
-    let is_global = |v: ValueId| {
-        matches!(graph.value(v).kind, ValueKind::Input | ValueKind::Weight)
-    };
+    let is_global =
+        |v: ValueId| matches!(graph.value(v).kind, ValueKind::Input | ValueKind::Weight);
 
     // Non-varying globals load once per block (they stay in shared memory
     // when staged, or in the block-lifetime L1 when streamed).
@@ -313,8 +314,7 @@ fn trace_block(
 
 /// Flops of one op over actual (edge-clamped) restricted ranges.
 fn restricted_flops(kp: &KernelProgram, op_idx: usize, restrict: &Restrict) -> u64 {
-    let sizes: Vec<(DimId, usize)> =
-        restrict.iter().map(|&(d, (s, t))| (d, t - s)).collect();
+    let sizes: Vec<(DimId, usize)> = restrict.iter().map(|&(d, (s, t))| (d, t - s)).collect();
     crate::sched::memory::tile_flops(&kp.graph, &kp.schedule.smg, op_idx, &sizes)
 }
 
@@ -332,7 +332,11 @@ pub fn estimate_cost(kp: &KernelProgram, total_instances: u64) -> KernelCost {
     let esz = graph.dtype().size_bytes() as u64;
     let grid = s.grid();
     let n_tiles = s.intra_blocks();
-    let two_phase = s.temporal.as_ref().map(|t| t.plan.two_phase).unwrap_or(false);
+    let two_phase = s
+        .temporal
+        .as_ref()
+        .map(|t| t.plan.two_phase)
+        .unwrap_or(false);
 
     let block_restrict = s.block_restrictions();
     let spatial_restrict: Vec<(DimId, usize)> = s.spatial.clone();

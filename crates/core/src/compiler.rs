@@ -13,11 +13,10 @@
 //! [`EventSink`](crate::pipeline::EventSink), or control the worker
 //! count.
 
-pub use crate::pipeline::{
-    CompileOptions, CompileSession, CompileStats, CompiledProgram, FusionPolicy,
-    ProfileReport,
-};
 use crate::error::Result;
+pub use crate::pipeline::{
+    CompileOptions, CompileSession, CompileStats, CompiledProgram, FusionPolicy, ProfileReport,
+};
 use sf_gpu_sim::{Arch, GpuArch};
 use sf_ir::Graph;
 
@@ -35,18 +34,25 @@ pub struct Compiler {
 impl Compiler {
     /// Creates a compiler for the given architecture.
     pub fn new(arch: Arch, opts: CompileOptions) -> Self {
-        Compiler { session: CompileSession::new(arch, opts) }
+        Compiler {
+            session: CompileSession::new(arch, opts),
+        }
     }
 
     /// Creates a compiler for an explicit hardware configuration (e.g. a
     /// variant with a different per-kernel launch overhead).
     pub fn new_with_config(arch: GpuArch, opts: CompileOptions) -> Self {
-        Compiler { session: CompileSession::with_config(arch, opts) }
+        Compiler {
+            session: CompileSession::with_config(arch, opts),
+        }
     }
 
     /// Creates a compiler with default options under a fusion policy.
     pub fn with_policy(arch: Arch, policy: FusionPolicy) -> Self {
-        let mut opts = CompileOptions { policy, ..Default::default() };
+        let mut opts = CompileOptions {
+            policy,
+            ..Default::default()
+        };
         if policy == FusionPolicy::TileGraph {
             // Welder-style tile graphs align tile shapes but cannot
             // rewrite reductions: UTA stays off.

@@ -26,6 +26,9 @@ pub enum SfError {
     Codegen(String),
     /// Underlying IR failure.
     Ir(String),
+    /// The static verifier found deny-level diagnostics in a compiled
+    /// kernel (see [`crate::verify`]).
+    Verify(String),
 }
 
 impl fmt::Display for SfError {
@@ -40,6 +43,7 @@ impl fmt::Display for SfError {
             SfError::Unpartitionable(m) => write!(f, "SMG cannot be partitioned: {m}"),
             SfError::Codegen(m) => write!(f, "codegen failure: {m}"),
             SfError::Ir(m) => write!(f, "IR failure: {m}"),
+            SfError::Verify(m) => write!(f, "verification failed: {m}"),
         }
     }
 }
@@ -72,6 +76,7 @@ mod tests {
             SfError::Unpartitionable("x".into()),
             SfError::Codegen("x".into()),
             SfError::Ir("x".into()),
+            SfError::Verify("x".into()),
         ] {
             assert!(!e.to_string().is_empty());
         }

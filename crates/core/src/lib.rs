@@ -66,6 +66,7 @@ pub mod sched;
 pub mod slicer;
 pub mod smg;
 pub mod tune;
+pub mod verify;
 
 pub use compiler::{CompileOptions, CompiledProgram, Compiler, FusionPolicy};
 pub use error::{Result, SfError};

@@ -147,7 +147,12 @@ impl ScheduleCache {
 
     /// Non-blocking lookup (no in-flight coordination, no counters).
     pub fn peek(&self, key: &CacheKey) -> Option<CacheEntry> {
-        self.state.lock().expect("cache poisoned").ready.get(key).cloned()
+        self.state
+            .lock()
+            .expect("cache poisoned")
+            .ready
+            .get(key)
+            .cloned()
     }
 
     /// Number of cached schedules.
@@ -186,7 +191,10 @@ mod tests {
     fn entry() -> CacheEntry {
         CacheEntry {
             piece_lens: vec![3],
-            configs: vec![SavedConfig { spatial: vec![16], temporal: None }],
+            configs: vec![SavedConfig {
+                spatial: vec![16],
+                temporal: None,
+            }],
         }
     }
 
@@ -245,7 +253,11 @@ mod tests {
                 });
             }
         });
-        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one thread computes");
+        assert_eq!(
+            computed.load(Ordering::SeqCst),
+            1,
+            "exactly one thread computes"
+        );
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 7);
     }

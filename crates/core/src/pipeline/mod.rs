@@ -28,8 +28,8 @@ pub mod stats;
 
 pub use cache::{CacheEntry, CacheKey, Claim, ClaimTicket, SavedConfig, ScheduleCache};
 pub use stats::{
-    render_timings, CollectingSink, CompileStats, EventDetail, EventSink, NullSink,
-    PassEvent, PassId,
+    render_timings, CollectingSink, CompileStats, EventDetail, EventSink, NullSink, PassEvent,
+    PassId,
 };
 
 use crate::codegen::{estimate_cost, execute_kernel, trace_kernel, KernelProgram};
@@ -75,6 +75,10 @@ pub struct CompileOptions {
     pub autotune: bool,
     /// Early-quit proportion α (paper §6.5 uses 0.25).
     pub alpha: f64,
+    /// Whether to run the static verifier ([`crate::verify`]) over the
+    /// compiled kernels as a final pass. Defaults to on in debug builds
+    /// (every test compile is checked) and off in release builds.
+    pub verify: bool,
 }
 
 impl Default for CompileOptions {
@@ -84,6 +88,7 @@ impl Default for CompileOptions {
             slicing: SlicingOptions::default(),
             autotune: true,
             alpha: 0.25,
+            verify: cfg!(debug_assertions),
         }
     }
 }
@@ -158,8 +163,8 @@ impl CompiledProgram {
                         .iter()
                         .any(|&o| k.graph.value(o).name == v.name);
                 if global && !bufs.contains_key(&v.name) {
-                    let bytes = (v.shape.volume() * v.dtype.size_bytes()) as u64
-                        * self.instances as u64;
+                    let bytes =
+                        (v.shape.volume() * v.dtype.size_bytes()) as u64 * self.instances as u64;
                     bufs.insert(v.name.clone(), profiler.alloc(bytes));
                 }
             }
@@ -194,14 +199,21 @@ impl CompiledProgram {
             })
             .collect();
         let time_us = self.arch.program_time_us(&kernels);
-        ProfileReport { stats, kernels, time_us }
+        ProfileReport {
+            stats,
+            kernels,
+            time_us,
+        }
     }
 
     /// Analytic time estimate (no cache simulation), µs.
     pub fn estimate_us(&self) -> f64 {
         self.kernels
             .iter()
-            .map(|k| self.arch.kernel_time_us(&estimate_cost(k, self.instances as u64)))
+            .map(|k| {
+                self.arch
+                    .kernel_time_us(&estimate_cost(k, self.instances as u64))
+            })
             .sum()
     }
 }
@@ -395,11 +407,12 @@ impl CompileSession {
             workers: self.workers,
         };
         let mut state = PipelineState::new(graph.clone());
-        let pipeline: [&dyn Pass; 4] = [
+        let pipeline: [&dyn Pass; 5] = [
             &passes::SegmentPass,
             &passes::GroupPass,
             &passes::SchedulePass,
             &passes::EmitPass,
+            &passes::VerifyPass,
         ];
         for pass in pipeline {
             pass.run(&ctx, &mut state)?;

@@ -57,7 +57,9 @@ impl Pass for SegmentPass {
             segment: 0,
             unit: state.graph.name().to_string(),
             duration_us: t.elapsed().as_secs_f64() * 1e6,
-            detail: EventDetail::Segments { count: state.segments.len() },
+            detail: EventDetail::Segments {
+                count: state.segments.len(),
+            },
         });
         Ok(())
     }
@@ -81,7 +83,9 @@ impl Pass for GroupPass {
                 segment: si,
                 unit: seg.name().to_string(),
                 duration_us: t.elapsed().as_secs_f64() * 1e6,
-                detail: EventDetail::Groups { count: groups.len() },
+                detail: EventDetail::Groups {
+                    count: groups.len(),
+                },
             });
             for graph in groups {
                 state.units.push(Unit {
@@ -111,7 +115,11 @@ impl Pass for SchedulePass {
         let workers = ctx.workers.min(state.units.len()).max(1);
         if workers == 1 {
             for unit in state.units.iter_mut() {
-                Scheduler { ctx, segment: unit.segment }.schedule_unit(unit)?;
+                Scheduler {
+                    ctx,
+                    segment: unit.segment,
+                }
+                .schedule_unit(unit)?;
             }
             return Ok(());
         }
@@ -119,8 +127,7 @@ impl Pass for SchedulePass {
         // Dynamic work queue over per-unit slots: each slot is locked by
         // exactly one worker, results stay in deterministic unit order.
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<&mut Unit>> =
-            state.units.iter_mut().map(Mutex::new).collect();
+        let slots: Vec<Mutex<&mut Unit>> = state.units.iter_mut().map(Mutex::new).collect();
         let failures: Mutex<Vec<(usize, SfError)>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -129,9 +136,7 @@ impl Pass for SchedulePass {
                     let Some(slot) = slots.get(i) else { break };
                     let mut unit = slot.lock().expect("unit slot poisoned");
                     let segment = unit.segment;
-                    if let Err(e) =
-                        (Scheduler { ctx, segment }).schedule_unit(&mut unit)
-                    {
+                    if let Err(e) = (Scheduler { ctx, segment }).schedule_unit(&mut unit) {
                         failures.lock().expect("failures poisoned").push((i, e));
                     }
                 });
@@ -192,6 +197,52 @@ impl Pass for EmitPass {
     }
 }
 
+/// Final pass: static verification of the emitted kernels
+/// ([`crate::verify`]). Gated by
+/// [`CompileOptions::verify`](super::CompileOptions) — on by default in
+/// debug builds — and fails the compilation with
+/// [`SfError::Verify`] when any error-level diagnostic survives.
+pub struct VerifyPass;
+
+impl Pass for VerifyPass {
+    fn name(&self) -> &'static str {
+        PassId::Verify.name()
+    }
+
+    fn run(&self, ctx: &PassCtx<'_>, state: &mut PipelineState) -> Result<()> {
+        if !ctx.opts.verify {
+            return Ok(());
+        }
+        let t = Instant::now();
+        let diags = crate::verify::verify_program(
+            &state.kernels,
+            ctx.arch,
+            &crate::verify::VerifyConfig::default(),
+        );
+        let (errors, warnings) = crate::verify::counts(&diags);
+        ctx.emit(PassEvent {
+            pass: PassId::Verify,
+            segment: 0,
+            unit: state.graph.name().to_string(),
+            duration_us: t.elapsed().as_secs_f64() * 1e6,
+            detail: EventDetail::Verify { errors, warnings },
+        });
+        if errors > 0 {
+            let head: Vec<String> = diags
+                .iter()
+                .filter(|d| d.severity == crate::verify::Severity::Error)
+                .take(3)
+                .map(|d| d.to_string())
+                .collect();
+            return Err(SfError::Verify(format!(
+                "{errors} error(s): {}",
+                head.join("; ")
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Whether ops `[i, i+5)` form the canonical softmax chain
 /// `max → sub → exp → sum → div` over one dimension.
 fn is_softmax_chain(g: &Graph, i: usize) -> bool {
@@ -201,7 +252,10 @@ fn is_softmax_chain(g: &Graph, i: usize) -> bool {
         return false;
     }
     let dim = match ops[i].kind {
-        OpKind::Reduce { op: ReduceOp::Max, dim } => dim,
+        OpKind::Reduce {
+            op: ReduceOp::Max,
+            dim,
+        } => dim,
         _ => return false,
     };
     matches!(ops[i + 1].kind, OpKind::Binary(BinaryOp::Sub))
@@ -294,8 +348,7 @@ impl Scheduler<'_, '_> {
     /// Schedules one fusion group into its unit slot.
     fn schedule_unit(&self, unit: &mut Unit) -> Result<()> {
         let graph = unit.graph.clone();
-        unit.kernels =
-            self.schedule_group(self.ctx.opts, graph, &mut unit.stats, false)?;
+        unit.kernels = self.schedule_group(self.ctx.opts, graph, &mut unit.stats, false)?;
         Ok(())
     }
 
@@ -336,19 +389,13 @@ impl Scheduler<'_, '_> {
                 Ok(kps)
             }
             Claim::Miss(ticket) => {
-                let (kps, intended_fusion) =
-                    self.schedule_uncached(opts, &g, stats)?;
+                let (kps, intended_fusion) = self.schedule_uncached(opts, &g, stats)?;
                 ticket.fulfill(CacheEntry {
                     piece_lens: kps.iter().map(|k| k.graph.ops().len()).collect(),
                     configs: kps
                         .iter()
                         .map(|k| SavedConfig {
-                            spatial: k
-                                .schedule
-                                .spatial
-                                .iter()
-                                .map(|&(_, b)| b)
-                                .collect(),
+                            spatial: k.schedule.spatial.iter().map(|&(_, b)| b).collect(),
                             temporal: k.schedule.temporal.as_ref().map(|t| t.block),
                         })
                         .collect(),
@@ -390,10 +437,8 @@ impl Scheduler<'_, '_> {
                     if opts.slicing.fixed_spatial_block.is_some()
                         || opts.slicing.fixed_temporal_block.is_some()
                     {
-                        let hs =
-                            opts.slicing.fixed_spatial_block.map(|b| (b / 2).max(1));
-                        let ht =
-                            opts.slicing.fixed_temporal_block.map(|b| (b / 2).max(1));
+                        let hs = opts.slicing.fixed_spatial_block.map(|b| (b / 2).max(1));
+                        let ht = opts.slicing.fixed_temporal_block.map(|b| (b / 2).max(1));
                         if hs != opts.slicing.fixed_spatial_block
                             || ht != opts.slicing.fixed_temporal_block
                         {
@@ -533,12 +578,13 @@ impl Scheduler<'_, '_> {
 
         let t = Instant::now();
         let pick = if opts.autotune {
-            let r = tune(&candidates, self.ctx.arch, g.instances as u64, opts.alpha)
-                .ok_or_else(|| {
+            let r = tune(&candidates, self.ctx.arch, g.instances as u64, opts.alpha).ok_or_else(
+                || {
                     SfError::ResourceInfeasible(format!(
                         "no schedule candidates to tune for '{name}'"
                     ))
-                })?;
+                },
+            )?;
             stats.evaluated += r.evaluated;
             stats.pruned += r.pruned;
             let tune_us = t.elapsed().as_secs_f64() * 1e6;
@@ -556,9 +602,7 @@ impl Scheduler<'_, '_> {
             r.best
         } else {
             let last = candidates.len().checked_sub(1).ok_or_else(|| {
-                SfError::ResourceInfeasible(format!(
-                    "no feasible schedule candidates for '{name}'"
-                ))
+                SfError::ResourceInfeasible(format!("no feasible schedule candidates for '{name}'"))
             })?;
             let tune_us = t.elapsed().as_secs_f64() * 1e6;
             stats.tune_us += tune_us;
@@ -566,7 +610,11 @@ impl Scheduler<'_, '_> {
                 PassId::Tune,
                 name,
                 tune_us,
-                EventDetail::Tune { evaluated: 0, pruned: 0, best_us: f64::NAN },
+                EventDetail::Tune {
+                    evaluated: 0,
+                    pruned: 0,
+                    best_us: f64::NAN,
+                },
             );
             last
         };
@@ -618,7 +666,12 @@ impl Scheduler<'_, '_> {
             temporal.as_ref(),
             self.ctx.arch.smem_per_block / 4,
         );
-        let schedule = FusedSchedule { smg, spatial, temporal, mem };
+        let schedule = FusedSchedule {
+            smg,
+            spatial,
+            temporal,
+            mem,
+        };
         Ok(KernelProgram::new(g.name().to_string(), g, schedule))
     }
 
@@ -647,7 +700,9 @@ impl Scheduler<'_, '_> {
                 Err(_) => excluded.push(dim),
             }
         }
-        Err(SfError::Codegen("cached temporal plan not reproducible".into()))
+        Err(SfError::Codegen(
+            "cached temporal plan not reproducible".into(),
+        ))
     }
 }
 
@@ -656,7 +711,9 @@ impl Scheduler<'_, '_> {
 fn census(stats: &mut CompileStats, kps: &[KernelProgram]) {
     for k in kps {
         if k.is_fused() && k.schedule.smg.a2o_count() >= 2 {
-            stats.fusion_patterns.push(analysis::pattern_signature(&k.graph));
+            stats
+                .fusion_patterns
+                .push(analysis::pattern_signature(&k.graph));
         }
     }
 }

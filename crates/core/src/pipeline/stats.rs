@@ -35,6 +35,9 @@ pub enum PassId {
     CacheLookup,
     /// Kernel assembly and output resolution.
     Emit,
+    /// Static verification of the compiled kernels (SMG invariants,
+    /// slicing legality, resource budgets, barrier/race analysis).
+    Verify,
 }
 
 impl PassId {
@@ -51,11 +54,12 @@ impl PassId {
             PassId::Tune => "tune",
             PassId::CacheLookup => "cache-lookup",
             PassId::Emit => "emit",
+            PassId::Verify => "verify",
         }
     }
 
     /// All passes in pipeline order.
-    pub fn all() -> [PassId; 10] {
+    pub fn all() -> [PassId; 11] {
         [
             PassId::Segment,
             PassId::Group,
@@ -67,6 +71,7 @@ impl PassId {
             PassId::Partition,
             PassId::Tune,
             PassId::Emit,
+            PassId::Verify,
         ]
     }
 }
@@ -111,6 +116,13 @@ pub enum EventDetail {
     Partition {
         /// Operator count of the leading fragment.
         cut: usize,
+    },
+    /// Verifier outcome over one kernel set.
+    Verify {
+        /// Diagnostics at [`Severity::Error`](crate::verify::Severity).
+        errors: usize,
+        /// Diagnostics at [`Severity::Warning`](crate::verify::Severity).
+        warnings: usize,
     },
 }
 
@@ -197,7 +209,10 @@ pub fn render_timings(events: &[PassEvent]) -> String {
             PassId::Tune => {
                 let (mut ev, mut pr) = (0usize, 0usize);
                 for e in &of_pass {
-                    if let EventDetail::Tune { evaluated, pruned, .. } = e.detail {
+                    if let EventDetail::Tune {
+                        evaluated, pruned, ..
+                    } = e.detail
+                    {
                         ev += evaluated;
                         pr += pruned;
                     }
@@ -213,6 +228,16 @@ pub fn render_timings(events: &[PassEvent]) -> String {
                     })
                     .sum();
                 let _ = write!(notes, "{gen} candidate(s)");
+            }
+            PassId::Verify => {
+                let (mut er, mut wa) = (0usize, 0usize);
+                for e in &of_pass {
+                    if let EventDetail::Verify { errors, warnings } = e.detail {
+                        er += errors;
+                        wa += warnings;
+                    }
+                }
+                let _ = write!(notes, "{er} error(s), {wa} warning(s)");
             }
             _ => {}
         }
@@ -287,7 +312,8 @@ impl CompileStats {
         self.evaluated += other.evaluated;
         self.pruned += other.pruned;
         self.cache_hits += other.cache_hits;
-        self.fusion_patterns.extend(other.fusion_patterns.iter().cloned());
+        self.fusion_patterns
+            .extend(other.fusion_patterns.iter().cloned());
     }
 }
 
@@ -303,7 +329,11 @@ mod tests {
             segment: 0,
             unit: "g".into(),
             duration_us: 1.5,
-            detail: EventDetail::Tune { evaluated: 3, pruned: 1, best_us: 9.0 },
+            detail: EventDetail::Tune {
+                evaluated: 3,
+                pruned: 1,
+                best_us: 9.0,
+            },
         });
         assert_eq!(sink.events().len(), 1);
         assert_eq!(sink.take().len(), 1);
@@ -327,7 +357,11 @@ mod tests {
             segment: 0,
             unit: "u0".into(),
             duration_us: 10.0,
-            detail: EventDetail::Tune { evaluated: 5, pruned: 2, best_us: 1.0 },
+            detail: EventDetail::Tune {
+                evaluated: 5,
+                pruned: 2,
+                best_us: 1.0,
+            },
         });
         let table = render_timings(&sink.events());
         assert!(table.contains("smg-build"), "{table}");
@@ -336,7 +370,11 @@ mod tests {
 
     #[test]
     fn stats_absorb_sums_everything_but_total() {
-        let mut a = CompileStats { tune_us: 1.0, configs: 2, ..Default::default() };
+        let mut a = CompileStats {
+            tune_us: 1.0,
+            configs: 2,
+            ..Default::default()
+        };
         let b = CompileStats {
             tune_us: 3.0,
             configs: 5,

@@ -32,22 +32,42 @@ pub fn streaming_variance(graph: &Graph) -> Option<Graph> {
     let ops = graph.ops();
     let mut target: Option<(usize, usize, usize, usize)> = None;
     for (i4, var_op) in ops.iter().enumerate() {
-        let OpKind::Reduce { op: ReduceOp::Mean, dim } = var_op.kind else { continue };
-        let Some(sq_op) = graph.producer(var_op.inputs[0]) else { continue };
+        let OpKind::Reduce {
+            op: ReduceOp::Mean,
+            dim,
+        } = var_op.kind
+        else {
+            continue;
+        };
+        let Some(sq_op) = graph.producer(var_op.inputs[0]) else {
+            continue;
+        };
         if !matches!(sq_op.kind, OpKind::Unary(UnaryOp::Sqr)) {
             continue;
         }
-        let Some(sub_op) = graph.producer(sq_op.inputs[0]) else { continue };
+        let Some(sub_op) = graph.producer(sq_op.inputs[0]) else {
+            continue;
+        };
         if !matches!(sub_op.kind, OpKind::Binary(BinaryOp::Sub)) {
             continue;
         }
-        let Some(mean_op) = graph.producer(sub_op.inputs[1]) else { continue };
-        let OpKind::Reduce { op: ReduceOp::Mean, dim: d1 } = mean_op.kind else { continue };
+        let Some(mean_op) = graph.producer(sub_op.inputs[1]) else {
+            continue;
+        };
+        let OpKind::Reduce {
+            op: ReduceOp::Mean,
+            dim: d1,
+        } = mean_op.kind
+        else {
+            continue;
+        };
         if d1 != dim || mean_op.inputs[0] != sub_op.inputs[0] {
             continue;
         }
         let find = |needle: &sf_ir::OpNode| {
-            ops.iter().position(|o| std::ptr::eq(o, needle)).expect("op in graph")
+            ops.iter()
+                .position(|o| std::ptr::eq(o, needle))
+                .expect("op in graph")
         };
         target = Some((find(mean_op), find(sub_op), find(sq_op), i4));
         break;
@@ -74,17 +94,18 @@ pub fn streaming_variance(graph: &Graph) -> Option<Graph> {
         id
     };
 
-    let replay = |g: &mut Graph, kind: &OpKind, inputs: &[ValueId]| -> Result<ValueId, GraphError> {
-        match kind {
-            OpKind::Gemm { transpose_b } => g.gemm(inputs[0], inputs[1], *transpose_b),
-            OpKind::Unary(u) => g.unary(*u, inputs[0]),
-            OpKind::Binary(b) => g.binary(*b, inputs[0], inputs[1]),
-            OpKind::Scalar { op, value } => g.scalar(*op, inputs[0], *value),
-            OpKind::Reduce { op, dim } => g.reduce(*op, inputs[0], *dim),
-            OpKind::Broadcast { dim, extent } => g.broadcast(inputs[0], *dim, *extent),
-            OpKind::LayoutBarrier => unreachable!("fused regions have no barriers"),
-        }
-    };
+    let replay =
+        |g: &mut Graph, kind: &OpKind, inputs: &[ValueId]| -> Result<ValueId, GraphError> {
+            match kind {
+                OpKind::Gemm { transpose_b } => g.gemm(inputs[0], inputs[1], *transpose_b),
+                OpKind::Unary(u) => g.unary(*u, inputs[0]),
+                OpKind::Binary(b) => g.binary(*b, inputs[0], inputs[1]),
+                OpKind::Scalar { op, value } => g.scalar(*op, inputs[0], *value),
+                OpKind::Reduce { op, dim } => g.reduce(*op, inputs[0], *dim),
+                OpKind::Broadcast { dim, extent } => g.broadcast(inputs[0], *dim, *extent),
+                OpKind::LayoutBarrier => unreachable!("fused regions have no barriers"),
+            }
+        };
 
     let dim = match ops[i_var].kind {
         OpKind::Reduce { dim, .. } => dim,

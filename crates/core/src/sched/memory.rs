@@ -67,7 +67,13 @@ pub fn assign_memory(
         restrict.push((t.plan.dim, t.block));
     }
     let sliced_outputs: Vec<ValueId> = temporal
-        .map(|t| t.plan.sliced.iter().map(|s| graph.ops()[s.op.0].output).collect())
+        .map(|t| {
+            t.plan
+                .sliced
+                .iter()
+                .map(|s| graph.ops()[s.op.0].output)
+                .collect()
+        })
         .unwrap_or_default();
 
     let n = graph.values().len();
@@ -100,7 +106,11 @@ pub fn assign_memory(
                     (m.src == space && matches!(m.kind, MappingKind::OneToAll(_)))
                         || (m.dst == space && matches!(m.kind, MappingKind::AllToOne(_)))
                 });
-                level[vi] = if communicates { MemLevel::Shared } else { MemLevel::Register };
+                level[vi] = if communicates {
+                    MemLevel::Shared
+                } else {
+                    MemLevel::Register
+                };
             }
         }
     }
@@ -147,10 +157,7 @@ pub fn smem_per_block(graph: &Graph, s: &FusedSchedule) -> u64 {
     for oi in 0..graph.ops().len() {
         let mut live = 0u64;
         for (vi, _) in graph.values().iter().enumerate() {
-            if s.mem.level[vi] == MemLevel::Shared
-                && ranges[vi].0 <= oi
-                && oi <= ranges[vi].1
-            {
+            if s.mem.level[vi] == MemLevel::Shared && ranges[vi].0 <= oi && oi <= ranges[vi].1 {
                 live += s.smg.block_footprint(graph, ValueId(vi), &restrict);
             }
         }
@@ -170,7 +177,13 @@ pub fn regs_per_block(graph: &Graph, s: &FusedSchedule) -> u64 {
     let sliced_outputs: Vec<ValueId> = s
         .temporal
         .as_ref()
-        .map(|t| t.plan.sliced.iter().map(|r| graph.ops()[r.op.0].output).collect())
+        .map(|t| {
+            t.plan
+                .sliced
+                .iter()
+                .map(|r| graph.ops()[r.op.0].output)
+                .collect()
+        })
         .unwrap_or_default();
 
     let mut acc = 0u64;
@@ -213,11 +226,18 @@ pub fn tile_flops(graph: &Graph, smg: &Smg, op_idx: usize, restrict: &[(DimId, u
         OpKind::Gemm { .. } => {
             // Iteration space volume × 2 (multiply-add).
             let iter = &smg.spaces[smg.iter_space[op_idx].0];
-            2 * iter.dims.iter().map(|&d| restricted_extent(d)).product::<u64>()
+            2 * iter
+                .dims
+                .iter()
+                .map(|&d| restricted_extent(d))
+                .product::<u64>()
         }
         OpKind::Reduce { .. } => {
             let iter = &smg.spaces[smg.iter_space[op_idx].0];
-            iter.dims.iter().map(|&d| restricted_extent(d)).product::<u64>()
+            iter.dims
+                .iter()
+                .map(|&d| restricted_extent(d))
+                .product::<u64>()
         }
         _ => {
             // One op per restricted output element.
@@ -264,7 +284,13 @@ mod tests {
         g
     }
 
-    fn mha_schedule(m: usize, l: usize, k: usize, bm: usize, bt: Option<usize>) -> (Graph, FusedSchedule) {
+    fn mha_schedule(
+        m: usize,
+        l: usize,
+        k: usize,
+        bm: usize,
+        bt: Option<usize>,
+    ) -> (Graph, FusedSchedule) {
         let g = mha(m, l, k);
         let smg = build_smg(&g).unwrap();
         let m_dim = smg.value_axes[0][0];
@@ -275,7 +301,15 @@ mod tests {
             block: b,
         });
         let mem = assign_memory(&g, &smg, &spatial, temporal.as_ref(), 32 << 10);
-        (g.clone(), FusedSchedule { smg, spatial, temporal, mem })
+        (
+            g.clone(),
+            FusedSchedule {
+                smg,
+                spatial,
+                temporal,
+                mem,
+            },
+        )
     }
 
     #[test]
@@ -361,6 +395,9 @@ mod tests {
             2 * 16 * 128 * 64
         );
         // Element-wise op: restricted output volume.
-        assert_eq!(tile_flops(&g, &smg, 2, &[(m_dim, 16), (l_dim, 128)]), 16 * 128);
+        assert_eq!(
+            tile_flops(&g, &smg, 2, &[(m_dim, 16), (l_dim, 128)]),
+            16 * 128
+        );
     }
 }

@@ -51,7 +51,12 @@ pub fn split_graph(graph: &Graph, cut: usize) -> Result<(Graph, Graph)> {
         )));
     }
     let former = extract_ops(graph, 0, cut, &format!("{}.f", graph.name()))?;
-    let latter = extract_ops(graph, cut, graph.ops().len(), &format!("{}.l", graph.name()))?;
+    let latter = extract_ops(
+        graph,
+        cut,
+        graph.ops().len(),
+        &format!("{}.l", graph.name()),
+    )?;
     Ok((former, latter))
 }
 
@@ -113,7 +118,9 @@ fn replay(g: &mut Graph, kind: &OpKind, inputs: &[ValueId]) -> Result<ValueId> {
         OpKind::Reduce { op, dim } => g.reduce(*op, inputs[0], *dim)?,
         OpKind::Broadcast { dim, extent } => g.broadcast(inputs[0], *dim, *extent)?,
         OpKind::LayoutBarrier => {
-            return Err(SfError::Unpartitionable("layout barrier in fused region".into()))
+            return Err(SfError::Unpartitionable(
+                "layout barrier in fused region".into(),
+            ))
         }
     };
     Ok(out)

@@ -89,8 +89,7 @@ fn find_temporal_plan(
     while let Some(dim) = pick_temporal_dim(graph, smg, &excluded) {
         match plan_temporal(graph, smg, dim) {
             Ok(plan) => {
-                let needs_uta =
-                    plan.sliced.iter().any(|s| matches!(s.agg, AggKind::Uta(_)));
+                let needs_uta = plan.sliced.iter().any(|s| matches!(s.agg, AggKind::Uta(_)));
                 if needs_uta && !opts.enable_uta {
                     excluded.push(dim);
                     continue;
@@ -135,7 +134,11 @@ pub fn resource_aware_slicing(
     let per_dim: Vec<Vec<usize>> = spatial_dims
         .iter()
         .map(|&d| {
-            candidate_sizes(smg.extent(d), min_block_of(graph, smg, d), opts.fixed_spatial_block)
+            candidate_sizes(
+                smg.extent(d),
+                min_block_of(graph, smg, d),
+                opts.fixed_spatial_block,
+            )
         })
         .collect();
     let mut spatial_cfgs: Vec<Vec<usize>> = vec![Vec::new()];
@@ -154,12 +157,20 @@ pub fn resource_aware_slicing(
     let staging_limit = arch.smem_per_block / 4;
     let mut feasible: Vec<FusedSchedule> = Vec::new();
     for cfg in &spatial_cfgs {
-        let spatial: Vec<(DimId, usize)> =
-            spatial_dims.iter().copied().zip(cfg.iter().copied()).collect();
+        let spatial: Vec<(DimId, usize)> = spatial_dims
+            .iter()
+            .copied()
+            .zip(cfg.iter().copied())
+            .collect();
 
         // Spatial-only variant.
         let mem = assign_memory(graph, smg, &spatial, None, staging_limit);
-        let s = FusedSchedule { smg: smg.clone(), spatial: spatial.clone(), temporal: None, mem };
+        let s = FusedSchedule {
+            smg: smg.clone(),
+            spatial: spatial.clone(),
+            temporal: None,
+            mem,
+        };
         if arch.block_fits(s.smem_per_block(graph), s.regs_per_block(graph)) {
             feasible.push(s);
         }
@@ -175,7 +186,10 @@ pub fn resource_aware_slicing(
                 if tb < 8 && smg.extent(plan.dim) >= 8 {
                     continue; // degenerate intra-blocks.
                 }
-                let temporal = Some(TemporalSchedule { plan: plan.clone(), block: tb });
+                let temporal = Some(TemporalSchedule {
+                    plan: plan.clone(),
+                    block: tb,
+                });
                 let mem = assign_memory(graph, smg, &spatial, temporal.as_ref(), staging_limit);
                 let s = FusedSchedule {
                     smg: smg.clone(),
@@ -248,7 +262,10 @@ mod tests {
         let g = mha(4096, 4096, 64);
         let smg = build_smg(&g).unwrap();
         let arch = GpuArch::volta();
-        let opts = SlicingOptions { enable_uta: false, ..Default::default() };
+        let opts = SlicingOptions {
+            enable_uta: false,
+            ..Default::default()
+        };
         let err = resource_aware_slicing(&g, &smg, &arch, &opts);
         assert!(matches!(err, Err(SfError::ResourceInfeasible(_))));
     }
@@ -305,13 +322,9 @@ mod tests {
         let e = g.unary(UnaryOp::Exp, s).unwrap();
         g.mark_output(e);
         let smg = build_smg(&g).unwrap();
-        let schedules = resource_aware_slicing(
-            &g,
-            &smg,
-            &GpuArch::ampere(),
-            &SlicingOptions::default(),
-        )
-        .unwrap();
+        let schedules =
+            resource_aware_slicing(&g, &smg, &GpuArch::ampere(), &SlicingOptions::default())
+                .unwrap();
         assert!(schedules.iter().all(|s| s.grid() == 1));
     }
 

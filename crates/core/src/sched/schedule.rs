@@ -74,7 +74,8 @@ impl FusedSchedule {
     /// Per-block footprint of one value under this schedule's
     /// restrictions.
     pub fn value_footprint(&self, graph: &Graph, v: ValueId) -> u64 {
-        self.smg.block_footprint(graph, v, &self.block_restrictions())
+        self.smg
+            .block_footprint(graph, v, &self.block_restrictions())
     }
 
     /// Shared-memory bytes per block (liveness-aware maximum).
@@ -154,7 +155,12 @@ mod tests {
         let spatial = vec![(m_dim, 16)];
         let temporal = Some(TemporalSchedule { plan, block: 64 });
         let mem = assign_memory(&g, &smg, &spatial, temporal.as_ref(), 32 << 10);
-        let s = FusedSchedule { smg, spatial, temporal, mem };
+        let s = FusedSchedule {
+            smg,
+            spatial,
+            temporal,
+            mem,
+        };
         assert_eq!(s.grid(), 7); // ceil(100/16)
         assert_eq!(s.intra_blocks(), 4); // ceil(256/64)
         assert_eq!(s.block_restrictions().len(), 2);
@@ -170,7 +176,12 @@ mod tests {
         let spatial = vec![(m_dim, 16)];
         let temporal = Some(TemporalSchedule { plan, block: 64 });
         let mem = assign_memory(&g, &smg, &spatial, temporal.as_ref(), 32 << 10);
-        let s = FusedSchedule { smg, spatial, temporal, mem };
+        let s = FusedSchedule {
+            smg,
+            spatial,
+            temporal,
+            mem,
+        };
         let roles = op_roles(&g, &s);
         // max, sub, exp, sum, div.
         assert_eq!(roles[0], OpRole::SlicedReduction(0));
@@ -187,7 +198,12 @@ mod tests {
         let m_dim = smg.value_axes[0][0];
         let spatial = vec![(m_dim, 16)];
         let mem = assign_memory(&g, &smg, &spatial, None, 32 << 10);
-        let s = FusedSchedule { smg, spatial, temporal: None, mem };
+        let s = FusedSchedule {
+            smg,
+            spatial,
+            temporal: None,
+            mem,
+        };
         assert!(op_roles(&g, &s).iter().all(|r| *r == OpRole::InLoop));
         assert_eq!(s.intra_blocks(), 1);
     }

@@ -101,13 +101,19 @@ pub fn plan_temporal(graph: &Graph, smg: &Smg, dim: DimId) -> Result<TemporalPla
     let mut sliced = Vec::with_capacity(sliced_ops.len());
     for &op in &sliced_ops {
         let factors = update_factors(graph, smg, dim, op, &sliced_ops)?;
-        let agg = if factors.is_empty() { AggKind::Simple } else { AggKind::Uta(factors) };
+        let agg = if factors.is_empty() {
+            AggKind::Simple
+        } else {
+            AggKind::Uta(factors)
+        };
         sliced.push(SlicedReduction { op, agg });
     }
 
     // Two-phase analysis.
-    let sliced_outputs: HashSet<_> =
-        sliced_ops.iter().map(|&o| graph.ops()[o.0].output).collect();
+    let sliced_outputs: HashSet<_> = sliced_ops
+        .iter()
+        .map(|&o| graph.ops()[o.0].output)
+        .collect();
 
     // (a) A kernel output spanning `dim` cannot be finalized mid-loop.
     let mut two_phase = graph
@@ -127,13 +133,17 @@ pub fn plan_temporal(graph: &Graph, smg: &Smg, dim: DimId) -> Result<TemporalPla
         for &input in &op.inputs {
             if sliced_outputs.contains(&input) {
                 if let Some(p) = graph.producer(input) {
-                    if matches!(p.kind, OpKind::Reduce { op: ReduceOp::Mean, .. }) {
+                    if matches!(
+                        p.kind,
+                        OpKind::Reduce {
+                            op: ReduceOp::Mean,
+                            ..
+                        }
+                    ) {
                         two_phase = true;
                     }
                 }
-            } else if !smg.value_has_dim(graph, input, dim)
-                && graph.producer(input).is_some()
-            {
+            } else if !smg.value_has_dim(graph, input, dim) && graph.producer(input).is_some() {
                 // Input lives outside the loop and is not a running
                 // aggregate: it is only available after the loop.
                 two_phase = true;
@@ -141,7 +151,11 @@ pub fn plan_temporal(graph: &Graph, smg: &Smg, dim: DimId) -> Result<TemporalPla
         }
     }
 
-    Ok(TemporalPlan { dim, sliced, two_phase })
+    Ok(TemporalPlan {
+        dim,
+        sliced,
+        two_phase,
+    })
 }
 
 #[cfg(test)]
@@ -247,7 +261,10 @@ mod tests {
         g.mark_output(v);
         let smg = build_smg(&g).unwrap();
         let n_dim = smg.value_axes[0][1];
-        assert!(matches!(plan_temporal(&g, &smg, n_dim), Err(SfError::UpdatePath(_))));
+        assert!(matches!(
+            plan_temporal(&g, &smg, n_dim),
+            Err(SfError::UpdatePath(_))
+        ));
     }
 
     #[test]

@@ -71,14 +71,24 @@ pub fn update_factors(
     target: OpId,
     sliced: &[OpId],
 ) -> Result<Vec<UpdateFactor>> {
-    let earlier: Vec<OpId> = sliced.iter().copied().take_while(|&o| o != target).collect();
+    let earlier: Vec<OpId> = sliced
+        .iter()
+        .copied()
+        .take_while(|&o| o != target)
+        .collect();
     let earlier_outputs: HashSet<ValueId> =
         earlier.iter().map(|&o| graph.ops()[o.0].output).collect();
 
     // Values transitively depending on an earlier sliced reduction.
     let tainted = tainted_values(graph, &earlier_outputs);
 
-    let ctx = Ctx { graph, smg, dim, earlier: &earlier, tainted: &tainted };
+    let ctx = Ctx {
+        graph,
+        smg,
+        dim,
+        earlier: &earlier,
+        tainted: &tainted,
+    };
     let op = &graph.ops()[target.0];
     let mut factors = Vec::new();
     for &input in &op.inputs {
@@ -132,7 +142,8 @@ impl Ctx<'_> {
             {
                 // The dependency must be invariant along the sliced dim
                 // (true by construction: it reduced that dim away).
-                if !self.smg.value_has_dim(self.graph, v, self.dim) || self.smg.extent(self.dim) == 1
+                if !self.smg.value_has_dim(self.graph, v, self.dim)
+                    || self.smg.extent(self.dim) == 1
                 {
                     return Some(r);
                 }
@@ -156,15 +167,19 @@ impl Ctx<'_> {
         if !self.depends(value) {
             return Ok(Vec::new());
         }
-        let op = self.graph.producer(value).ok_or_else(|| {
-            SfError::UpdatePath("tainted kernel input (impossible)".to_string())
-        })?;
+        let op = self
+            .graph
+            .producer(value)
+            .ok_or_else(|| SfError::UpdatePath("tainted kernel input (impossible)".to_string()))?;
         match &op.kind {
             OpKind::Binary(BinaryOp::Div) => {
                 let (a, b) = (op.inputs[0], op.inputs[1]);
                 if let Some(dep) = self.as_earlier_reduction(b) {
                     let mut f = self.analyze(a)?;
-                    f.push(UpdateFactor { dep, form: FactorForm::Recip });
+                    f.push(UpdateFactor {
+                        dep,
+                        form: FactorForm::Recip,
+                    });
                     Ok(f)
                 } else if !self.depends(b) {
                     self.analyze(a)
@@ -176,11 +191,17 @@ impl Ctx<'_> {
                 let (a, b) = (op.inputs[0], op.inputs[1]);
                 if let Some(dep) = self.as_earlier_reduction(b) {
                     let mut f = self.analyze(a)?;
-                    f.push(UpdateFactor { dep, form: FactorForm::Value });
+                    f.push(UpdateFactor {
+                        dep,
+                        form: FactorForm::Value,
+                    });
                     Ok(f)
                 } else if let Some(dep) = self.as_earlier_reduction(a) {
                     let mut f = self.analyze(b)?;
-                    f.push(UpdateFactor { dep, form: FactorForm::Value });
+                    f.push(UpdateFactor {
+                        dep,
+                        form: FactorForm::Value,
+                    });
                     Ok(f)
                 } else if !self.depends(b) {
                     self.analyze(a)
@@ -193,9 +214,10 @@ impl Ctx<'_> {
             OpKind::Unary(UnaryOp::Exp) => self.analyze_exp(op.inputs[0]),
             // A constant scale commutes with the reduction and cancels in
             // the old/new ratio: it contributes no factor.
-            OpKind::Scalar { op: BinaryOp::Mul | BinaryOp::Div, .. } => {
-                self.analyze(op.inputs[0])
-            }
+            OpKind::Scalar {
+                op: BinaryOp::Mul | BinaryOp::Div,
+                ..
+            } => self.analyze(op.inputs[0]),
             OpKind::Broadcast { .. } | OpKind::Unary(UnaryOp::Identity) => {
                 self.analyze(op.inputs[0])
             }
@@ -215,15 +237,19 @@ impl Ctx<'_> {
         if !self.depends(inner) {
             return Ok(Vec::new());
         }
-        let op = self.graph.producer(inner).ok_or_else(|| {
-            SfError::UpdatePath("tainted kernel input under exp".to_string())
-        })?;
+        let op = self
+            .graph
+            .producer(inner)
+            .ok_or_else(|| SfError::UpdatePath("tainted kernel input under exp".to_string()))?;
         match &op.kind {
             OpKind::Binary(BinaryOp::Sub) => {
                 let (a, b) = (op.inputs[0], op.inputs[1]);
                 if let Some(dep) = self.as_earlier_reduction(b) {
                     let mut f = self.analyze_exp(a)?;
-                    f.push(UpdateFactor { dep, form: FactorForm::ExpNeg });
+                    f.push(UpdateFactor {
+                        dep,
+                        form: FactorForm::ExpNeg,
+                    });
                     Ok(f)
                 } else if !self.depends(b) {
                     self.analyze_exp(a)
@@ -241,13 +267,11 @@ impl Ctx<'_> {
                     Err(self.fail("exp of sum of two dependent values", op))
                 }
             }
-            OpKind::Scalar { op: BinaryOp::Add | BinaryOp::Sub, .. } => {
-                self.analyze_exp(op.inputs[0])
-            }
-            other => Err(self.fail(
-                &format!("cannot factor exp through {}", other.name()),
-                op,
-            )),
+            OpKind::Scalar {
+                op: BinaryOp::Add | BinaryOp::Sub,
+                ..
+            } => self.analyze_exp(op.inputs[0]),
+            other => Err(self.fail(&format!("cannot factor exp through {}", other.name()), op)),
         }
     }
 
@@ -279,7 +303,7 @@ mod tests {
         g.mark_output(out);
         let smg = build_smg(&g).unwrap();
         let l_dim = smg.value_axes[1][0]; // key axis 0.
-        // Sliced reductions along L: max (op 1), sum (op 4), gemm2 (op 6).
+                                          // Sliced reductions along L: max (op 1), sum (op 4), gemm2 (op 6).
         let sliced = vec![OpId(1), OpId(4), OpId(6)];
         (g, smg, l_dim, sliced)
     }
@@ -309,8 +333,20 @@ mod tests {
         let mut f = update_factors(&g, &smg, l, OpId(6), &sliced).unwrap();
         f.sort_by_key(|u| u.dep);
         assert_eq!(f.len(), 2);
-        assert_eq!(f[0], UpdateFactor { dep: OpId(1), form: FactorForm::ExpNeg });
-        assert_eq!(f[1], UpdateFactor { dep: OpId(4), form: FactorForm::Recip });
+        assert_eq!(
+            f[0],
+            UpdateFactor {
+                dep: OpId(1),
+                form: FactorForm::ExpNeg
+            }
+        );
+        assert_eq!(
+            f[1],
+            UpdateFactor {
+                dep: OpId(4),
+                form: FactorForm::Recip
+            }
+        );
     }
 
     #[test]
@@ -397,6 +433,12 @@ mod tests {
         let dim = smg.value_axes[0][1];
         let sliced = vec![OpId(0), OpId(2)];
         let f = update_factors(&g, &smg, dim, OpId(2), &sliced).unwrap();
-        assert_eq!(f, vec![UpdateFactor { dep: OpId(0), form: FactorForm::Value }]);
+        assert_eq!(
+            f,
+            vec![UpdateFactor {
+                dep: OpId(0),
+                form: FactorForm::Value
+            }]
+        );
     }
 }

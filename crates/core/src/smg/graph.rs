@@ -130,9 +130,7 @@ impl Smg {
     /// placeholder).
     pub fn value_has_dim(&self, graph: &Graph, value: ValueId, d: DimId) -> bool {
         match self.axis_of(value, d) {
-            Some(axis) => {
-                graph.shape(value).dims()[axis] == self.extent(d) || self.extent(d) == 1
-            }
+            Some(axis) => graph.shape(value).dims()[axis] == self.extent(d) || self.extent(d) == 1,
             None => false,
         }
     }
@@ -195,11 +193,13 @@ impl Smg {
                         .collect();
                     (format!("{}({})", v.name, sig.join(",")), "box")
                 }
-                SpaceKind::Iter { op } => {
-                    (graph.ops()[op.0].kind.name().to_string(), "ellipse")
-                }
+                SpaceKind::Iter { op } => (graph.ops()[op.0].kind.name().to_string(), "ellipse"),
             };
-            let _ = writeln!(out, "  n{i} [label=\"{label}\", shape={shape}];");
+            let _ = writeln!(
+                out,
+                "  n{i} [label=\"{}\", shape={shape}];",
+                sf_ir::escape_label(&label)
+            );
         }
         for m in &self.mappings {
             let (label, color) = match m.kind {

@@ -58,7 +58,12 @@ pub fn tune(
             best = i;
         }
     }
-    Some(TuneResult { best, best_us, evaluated, pruned })
+    Some(TuneResult {
+        best,
+        best_us,
+        evaluated,
+        pruned,
+    })
 }
 
 #[cfg(test)]
@@ -84,8 +89,7 @@ mod tests {
         let out = g.gemm(d, v, false).unwrap();
         g.mark_output(out);
         let smg = build_smg(&g).unwrap();
-        let schedules =
-            resource_aware_slicing(&g, &smg, arch, &SlicingOptions::default()).unwrap();
+        let schedules = resource_aware_slicing(&g, &smg, arch, &SlicingOptions::default()).unwrap();
         let kps = schedules
             .into_iter()
             .map(|s| KernelProgram::new("mha", g.clone(), s))

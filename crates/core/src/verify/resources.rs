@@ -1,0 +1,92 @@
+//! Resource and placement validation (`RES201`–`RES203`, `MEM301`).
+//!
+//! * `RES201`/`RES202` — the schedule's per-block shared-memory and
+//!   register footprints against the architecture budgets (the same
+//!   queries Alg. 1 enumerates under; a violating schedule can only
+//!   come from a scheduler bug or hand-corrupted state).
+//! * `RES203` — the block must fit at least one SM (occupancy ≥ 1).
+//! * `MEM301` — §5.4 placement consistency: a value that communicates
+//!   across threads — the source of a One-to-All or the sink of an
+//!   All-to-One — cannot live in thread-private registers. Kernel
+//!   outputs (streamed to global) and sliced-reduction accumulators
+//!   (kept per-thread and aggregated explicitly) are the two sanctioned
+//!   exceptions.
+
+use super::{DiagCode, Diagnostic, Span};
+use crate::codegen::KernelProgram;
+use crate::sched::MemLevel;
+use crate::smg::MappingKind;
+use sf_gpu_sim::{occupancy, GpuArch, ResourceKind};
+use sf_ir::{ValueId, ValueKind};
+use std::collections::HashSet;
+
+/// Runs the resource and placement checks over one kernel.
+pub fn check_resources(kp: &KernelProgram, arch: &GpuArch) -> Vec<Diagnostic> {
+    let g = &kp.graph;
+    let s = &kp.schedule;
+    let mut diags = Vec::new();
+
+    let smem = s.smem_per_block(g);
+    let regs = s.regs_per_block(g);
+    for v in arch.resource_violations(smem, regs) {
+        let code = match v.resource {
+            ResourceKind::SharedMemory => DiagCode::ResSmemOverBudget,
+            ResourceKind::Registers => DiagCode::ResRegsOverBudget,
+        };
+        diags.push(Diagnostic::new(
+            code,
+            Span::Kernel,
+            format!(
+                "per-block {} footprint {} B exceeds the {} B budget",
+                v.resource, v.used, v.limit
+            ),
+        ));
+    }
+
+    let occ = occupancy(arch, s.grid().max(1), smem, regs);
+    if occ.blocks_per_sm == 0 {
+        diags.push(Diagnostic::new(
+            DiagCode::ResZeroOccupancy,
+            Span::Kernel,
+            "the block fits no streaming multiprocessor — the kernel cannot launch".to_string(),
+        ));
+    }
+
+    // MEM301: cross-thread values must not be register-private.
+    let accumulators: HashSet<ValueId> = s
+        .temporal
+        .iter()
+        .flat_map(|t| t.plan.sliced.iter())
+        .filter(|sr| sr.op.0 < g.ops().len())
+        .map(|sr| g.ops()[sr.op.0].output)
+        .collect();
+    let outputs: HashSet<ValueId> = g.outputs().iter().copied().collect();
+    for (vi, v) in g.values().iter().enumerate() {
+        let vid = ValueId(vi);
+        if v.kind != ValueKind::Intermediate
+            || outputs.contains(&vid)
+            || accumulators.contains(&vid)
+            || s.level(vid) != MemLevel::Register
+            || vi >= s.smg.data_space.len()
+        {
+            continue;
+        }
+        let ds = s.smg.data_space[vi];
+        let communicates = s.smg.mappings.iter().any(|m| {
+            (m.src == ds && matches!(m.kind, MappingKind::OneToAll(_)))
+                || (m.dst == ds && matches!(m.kind, MappingKind::AllToOne(_)))
+        });
+        if communicates {
+            diags.push(Diagnostic::new(
+                DiagCode::MemCrossThreadRegister,
+                Span::Value(vid),
+                format!(
+                    "'{}' communicates across threads (One-to-All source or All-to-One \
+                     sink) but is assigned to thread-private registers",
+                    g.value_name(vid)
+                ),
+            ));
+        }
+    }
+    diags
+}

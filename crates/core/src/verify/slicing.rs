@@ -1,0 +1,149 @@
+//! Slicing-legality checks (`SLC101`–`SLC103`).
+//!
+//! Re-validates what the slicers decided:
+//!
+//! * `SLC101` — Table 3: a spatially sliced dimension may carry only
+//!   One-to-All mappings sourced from kernel inputs (global residents).
+//!   Any All-to-One, or a One-to-All out of an intermediate, is a flow
+//!   dependency across blocks and makes the dimension illegal.
+//! * `SLC102` — every operator the temporal plan lists as a sliced
+//!   reduction must actually reduce the sliced dimension (its
+//!   iteration space carries an All-to-One along it).
+//! * `SLC103` — the declared aggregation (Simple Aggregate or UTA with
+//!   specific factors) must match an independent re-run of the
+//!   broadcast-postposition / update-path back-trace of §4.3. A chain
+//!   for which the back-trace fails has no derivable update function
+//!   and must not have been sliced.
+
+use super::{DiagCode, Diagnostic, Span};
+use crate::codegen::KernelProgram;
+use crate::slicer::{update::update_factors, AggKind, UpdateFactor};
+use crate::smg::{MappingKind, SpaceKind};
+use sf_ir::OpId;
+
+/// Runs the slicing-legality checks over one kernel.
+pub fn check_slicing(kp: &KernelProgram) -> Vec<Diagnostic> {
+    let g = &kp.graph;
+    let smg = &kp.schedule.smg;
+    let mut diags = Vec::new();
+
+    for &(d, block) in &kp.schedule.spatial {
+        for m in smg.mappings_in_dim(d) {
+            let legal = match m.kind {
+                MappingKind::OneToAll(_) => smg.is_kernel_input_space(g, m.src),
+                // All-to-One in the dimension: blocks would have to
+                // exchange partial reductions.
+                MappingKind::AllToOne(_) => false,
+                MappingKind::OneToOne => true,
+            };
+            if !legal {
+                let what = match (m.kind, smg.spaces[m.src.0].kind) {
+                    (MappingKind::AllToOne(_), SpaceKind::Iter { op }) => format!(
+                        "a reduction flow dependency ({} at op #{})",
+                        g.ops()[op.0].kind.name(),
+                        op.0
+                    ),
+                    (_, SpaceKind::Data { value }) => format!(
+                        "a One-to-All sourced from intermediate '{}'",
+                        g.value_name(value)
+                    ),
+                    _ => "a flow dependency".to_string(),
+                };
+                diags.push(Diagnostic::new(
+                    DiagCode::SlcIllegalSpatialDim,
+                    Span::Schedule { dim: d, block },
+                    format!(
+                        "spatially sliced dimension {} carries {what} — blocks are not \
+                         independent (Table 3)",
+                        smg.dims[d.0].name
+                    ),
+                ));
+            }
+        }
+    }
+
+    let Some(t) = &kp.schedule.temporal else {
+        return diags;
+    };
+    let dim = t.plan.dim;
+    let sliced_ops: Vec<OpId> = t.plan.sliced.iter().map(|s| s.op).collect();
+
+    for s in &t.plan.sliced {
+        if s.op.0 >= g.ops().len() {
+            diags.push(Diagnostic::new(
+                DiagCode::SlcNotASlicedReduction,
+                Span::Op(s.op),
+                format!("sliced reduction references unknown op #{}", s.op.0),
+            ));
+            continue;
+        }
+        let is = smg.iter_space[s.op.0];
+        let reduces_dim = smg
+            .mappings
+            .iter()
+            .any(|m| m.src == is && m.kind == MappingKind::AllToOne(dim));
+        if !reduces_dim {
+            diags.push(Diagnostic::new(
+                DiagCode::SlcNotASlicedReduction,
+                Span::Op(s.op),
+                format!(
+                    "op #{} ({}) is listed as a sliced reduction but carries no \
+                     All-to-One along {}",
+                    s.op.0,
+                    g.ops()[s.op.0].kind.name(),
+                    smg.dims[dim.0].name
+                ),
+            ));
+            continue;
+        }
+        match update_factors(g, smg, dim, s.op, &sliced_ops) {
+            Err(e) => diags.push(Diagnostic::new(
+                DiagCode::SlcUpdateChain,
+                Span::Op(s.op),
+                format!(
+                    "no update function is derivable for op #{} ({}): {e}",
+                    s.op.0,
+                    g.ops()[s.op.0].kind.name()
+                ),
+            )),
+            Ok(derived) => {
+                let declared = match &s.agg {
+                    AggKind::Simple => Vec::new(),
+                    AggKind::Uta(f) => f.clone(),
+                };
+                if canon(&derived) != canon(&declared) {
+                    diags.push(Diagnostic::new(
+                        DiagCode::SlcUpdateChain,
+                        Span::Op(s.op),
+                        format!(
+                            "op #{} ({}) declares {} update factor(s) but the \
+                             back-trace derives {} — the aggregation would be wrong",
+                            s.op.0,
+                            g.ops()[s.op.0].kind.name(),
+                            declared.len(),
+                            derived.len()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Order-insensitive canonical form of an update-factor list.
+fn canon(factors: &[UpdateFactor]) -> Vec<(usize, u8)> {
+    let mut v: Vec<(usize, u8)> = factors
+        .iter()
+        .map(|f| {
+            let form = match f.form {
+                crate::slicer::FactorForm::Recip => 0u8,
+                crate::slicer::FactorForm::ExpNeg => 1,
+                crate::slicer::FactorForm::Value => 2,
+            };
+            (f.dep.0, form)
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}

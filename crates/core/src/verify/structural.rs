@@ -1,0 +1,318 @@
+//! SMG structural invariants (`SMG001`–`SMG004`).
+//!
+//! These re-state, as checks, what [`crate::smg::build_smg`] guarantees
+//! by construction (§4.1): every mapping's kind is consistent with its
+//! endpoints' dimension sets, direction dimensions exist and are
+//! non-degenerate, the tensor-axis ↔ global-dimension alignment is
+//! coherent, and the mapping edges form a DAG.
+
+use super::{DiagCode, Diagnostic, Span};
+use crate::smg::{DimId, MappingKind, Smg, SpaceId};
+use sf_ir::{Graph, ValueId};
+use std::collections::BTreeSet;
+
+/// Runs all structural checks over one SMG.
+pub fn check_smg(graph: &Graph, smg: &Smg) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_alignment(graph, smg, &mut diags);
+    check_mappings(smg, &mut diags);
+    check_acyclic(smg, &mut diags);
+    diags
+}
+
+/// `SMG003`: axis ↔ dimension alignment coherence.
+fn check_alignment(graph: &Graph, smg: &Smg, diags: &mut Vec<Diagnostic>) {
+    let ndims = smg.dims.len();
+    let nspaces = smg.spaces.len();
+
+    for (si, s) in smg.spaces.iter().enumerate() {
+        for &d in &s.dims {
+            if d.0 >= ndims {
+                diags.push(Diagnostic::new(
+                    DiagCode::SmgDimAlignment,
+                    Span::Space(SpaceId(si)),
+                    format!("space covers unknown dimension d{}", d.0),
+                ));
+            }
+        }
+    }
+
+    for (vi, axes) in smg.value_axes.iter().enumerate() {
+        if vi >= graph.values().len() {
+            break;
+        }
+        let v = ValueId(vi);
+        let shape = graph.shape(v);
+        if axes.len() != shape.rank() {
+            diags.push(Diagnostic::new(
+                DiagCode::SmgDimAlignment,
+                Span::Value(v),
+                format!(
+                    "'{}' has rank {} but {} aligned axes",
+                    graph.value_name(v),
+                    shape.rank(),
+                    axes.len()
+                ),
+            ));
+            continue;
+        }
+        for (axis, &d) in axes.iter().enumerate() {
+            if d.0 >= ndims {
+                diags.push(Diagnostic::new(
+                    DiagCode::SmgDimAlignment,
+                    Span::Value(v),
+                    format!(
+                        "axis {axis} of '{}' aligned to unknown dimension d{}",
+                        graph.value_name(v),
+                        d.0
+                    ),
+                ));
+                continue;
+            }
+            let e = shape.dims()[axis];
+            let extent = smg.dims[d.0].extent;
+            // A unit axis may sit as a placeholder under any dimension;
+            // a non-unit axis must match its dimension's extent exactly.
+            if e != 1 && extent != 1 && e != extent {
+                diags.push(Diagnostic::new(
+                    DiagCode::SmgDimAlignment,
+                    Span::Value(v),
+                    format!(
+                        "axis {axis} of '{}' has extent {e} but dimension {} has extent {extent}",
+                        graph.value_name(v),
+                        smg.dims[d.0].name
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (vi, &s) in smg.data_space.iter().enumerate() {
+        if s.0 >= nspaces {
+            diags.push(Diagnostic::new(
+                DiagCode::SmgDimAlignment,
+                Span::Value(ValueId(vi)),
+                format!("data-space table points at unknown space #{}", s.0),
+            ));
+        }
+    }
+    for (oi, &s) in smg.iter_space.iter().enumerate() {
+        if s.0 >= nspaces {
+            diags.push(Diagnostic::new(
+                DiagCode::SmgDimAlignment,
+                Span::Op(sf_ir::OpId(oi)),
+                format!("iteration-space table points at unknown space #{}", s.0),
+            ));
+        }
+    }
+}
+
+/// `SMG001` + `SMG002`: mapping classification and direction validity.
+fn check_mappings(smg: &Smg, diags: &mut Vec<Diagnostic>) {
+    let ndims = smg.dims.len();
+    let nspaces = smg.spaces.len();
+    // Classification compares only live (extent > 1) dimensions:
+    // placeholder unit dimensions never participate in mappings.
+    let live = |s: SpaceId| -> BTreeSet<DimId> {
+        smg.spaces[s.0]
+            .dims
+            .iter()
+            .copied()
+            .filter(|d| d.0 < ndims && smg.dims[d.0].extent > 1)
+            .collect()
+    };
+
+    for (mi, m) in smg.mappings.iter().enumerate() {
+        if m.src.0 >= nspaces || m.dst.0 >= nspaces {
+            diags.push(Diagnostic::new(
+                DiagCode::SmgMappingClass,
+                Span::Mapping(mi),
+                "mapping endpoint references an unknown space".to_string(),
+            ));
+            continue;
+        }
+        let mut dir_ok = true;
+        if let Some(d) = m.kind.dim() {
+            if d.0 >= ndims {
+                diags.push(Diagnostic::new(
+                    DiagCode::SmgDirectionDim,
+                    Span::Mapping(mi),
+                    format!("direction dimension d{} does not exist", d.0),
+                ));
+                dir_ok = false;
+            } else if smg.dims[d.0].extent <= 1 {
+                diags.push(Diagnostic::new(
+                    DiagCode::SmgDirectionDim,
+                    Span::Mapping(mi),
+                    format!(
+                        "direction dimension {} has unit extent — no geometric direction",
+                        smg.dims[d.0].name
+                    ),
+                ));
+                dir_ok = false;
+            }
+        }
+        let (src, dst) = (live(m.src), live(m.dst));
+        let class_violation = match m.kind {
+            MappingKind::OneToOne if src != dst => {
+                Some("One-to-One endpoints cover different dimension sets".to_string())
+            }
+            MappingKind::OneToAll(d) if dir_ok && (!dst.contains(&d) || src.contains(&d)) => {
+                Some(format!(
+                    "One-to-All along {} must reuse the source over a dimension \
+                     present only in the destination",
+                    smg.dims[d.0].name
+                ))
+            }
+            MappingKind::AllToOne(d) if dir_ok && (!src.contains(&d) || dst.contains(&d)) => {
+                Some(format!(
+                    "All-to-One along {} must reduce a dimension present only in \
+                     the source",
+                    smg.dims[d.0].name
+                ))
+            }
+            _ => None,
+        };
+        if let Some(msg) = class_violation {
+            diags.push(Diagnostic::new(
+                DiagCode::SmgMappingClass,
+                Span::Mapping(mi),
+                msg,
+            ));
+        }
+    }
+}
+
+/// `SMG004`: the mapping edges form a DAG.
+fn check_acyclic(smg: &Smg, diags: &mut Vec<Diagnostic>) {
+    let n = smg.spaces.len();
+    let mut adj = vec![Vec::new(); n];
+    for m in &smg.mappings {
+        if m.src.0 < n && m.dst.0 < n {
+            adj[m.src.0].push(m.dst.0);
+        }
+    }
+    // Iterative three-color DFS.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; n];
+    for root in 0..n {
+        if color[root] != WHITE {
+            continue;
+        }
+        let mut stack = vec![(root, 0usize)];
+        color[root] = GRAY;
+        while !stack.is_empty() {
+            let top = stack.len() - 1;
+            let (node, next) = stack[top];
+            if next < adj[node].len() {
+                stack[top].1 += 1;
+                let child = adj[node][next];
+                match color[child] {
+                    WHITE => {
+                        color[child] = GRAY;
+                        stack.push((child, 0));
+                    }
+                    GRAY => {
+                        diags.push(Diagnostic::new(
+                            DiagCode::SmgCycle,
+                            Span::Space(SpaceId(child)),
+                            "space-mapping edges form a cycle — the fused space has no \
+                             topological evaluation order"
+                                .to_string(),
+                        ));
+                        return;
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smg::{build_smg, Mapping};
+    use sf_tensor::ops::ReduceOp;
+    use sf_tensor::{DType, Shape};
+
+    fn softmax_smg() -> (Graph, Smg) {
+        let mut g = Graph::new("t", DType::F16);
+        let x = g.input("x", Shape::new(vec![64, 256]));
+        let s = g.reduce(ReduceOp::Sum, x, 1).unwrap();
+        g.mark_output(s);
+        let smg = build_smg(&g).unwrap();
+        (g, smg)
+    }
+
+    #[test]
+    fn built_smg_is_structurally_clean() {
+        let (g, smg) = softmax_smg();
+        assert!(check_smg(&g, &smg).is_empty());
+    }
+
+    #[test]
+    fn reclassified_reduction_trips_smg001() {
+        let (g, mut smg) = softmax_smg();
+        let mi = smg
+            .mappings
+            .iter()
+            .position(|m| matches!(m.kind, MappingKind::AllToOne(_)))
+            .unwrap();
+        smg.mappings[mi].kind = MappingKind::OneToOne;
+        let diags = check_smg(&g, &smg);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::SmgMappingClass),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dangling_direction_trips_smg002() {
+        let (g, mut smg) = softmax_smg();
+        let mi = smg
+            .mappings
+            .iter()
+            .position(|m| m.kind.dim().is_some())
+            .unwrap();
+        smg.mappings[mi].kind = MappingKind::AllToOne(DimId(99));
+        let diags = check_smg(&g, &smg);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::SmgDirectionDim),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_extent_trips_smg003() {
+        let (g, mut smg) = softmax_smg();
+        let d = smg.value_axes[0][1];
+        smg.dims[d.0].extent += 3;
+        let diags = check_smg(&g, &smg);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::SmgDimAlignment),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn reversed_edge_trips_smg004() {
+        let (g, mut smg) = softmax_smg();
+        let m = smg.mappings[0];
+        smg.mappings.push(Mapping {
+            src: m.dst,
+            dst: m.src,
+            kind: MappingKind::OneToOne,
+        });
+        let diags = check_smg(&g, &smg);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::SmgCycle),
+            "{diags:?}"
+        );
+    }
+}

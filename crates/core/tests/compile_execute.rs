@@ -25,7 +25,9 @@ fn mha_graph(m: usize, l: usize, k: usize) -> Graph {
     let kk = g.input("k", Shape::new(vec![l, k]));
     let v = g.input("v", Shape::new(vec![l, k]));
     let qk = g.gemm(q, kk, true).unwrap();
-    let sc = g.scalar(BinaryOp::Mul, qk, 1.0 / (k as f32).sqrt()).unwrap();
+    let sc = g
+        .scalar(BinaryOp::Mul, qk, 1.0 / (k as f32).sqrt())
+        .unwrap();
     let mx = g.reduce(ReduceOp::Max, sc, 1).unwrap();
     let sub = g.binary(BinaryOp::Sub, sc, mx).unwrap();
     let e = g.unary(UnaryOp::Exp, sub).unwrap();
@@ -85,14 +87,14 @@ fn rmsnorm_graph(m: usize, n: usize) -> Graph {
 /// Compiles under a policy and checks numerics against the reference.
 fn check(g: &Graph, policy: FusionPolicy, arch: Arch, seed: u64, tol: f32) {
     let compiler = Compiler::with_policy(arch, policy);
-    let program = compiler.compile(g).unwrap_or_else(|e| {
-        panic!("compile failed for {} under {policy:?}: {e}", g.name())
-    });
+    let program = compiler
+        .compile(g)
+        .unwrap_or_else(|e| panic!("compile failed for {} under {policy:?}: {e}", g.name()));
     let bindings = g.random_bindings(seed);
     let expect = g.execute(&bindings).unwrap();
-    let got = program.execute(&bindings).unwrap_or_else(|e| {
-        panic!("execute failed for {} under {policy:?}: {e}", g.name())
-    });
+    let got = program
+        .execute(&bindings)
+        .unwrap_or_else(|e| panic!("execute failed for {} under {policy:?}: {e}", g.name()));
     assert_eq!(got.len(), expect.len());
     for (i, (a, b)) in got.iter().zip(expect.iter()).enumerate() {
         let diff = a.max_abs_diff(b);
@@ -106,18 +108,36 @@ fn check(g: &Graph, policy: FusionPolicy, arch: Arch, seed: u64, tol: f32) {
 
 #[test]
 fn softmax_fused_matches_reference() {
-    check(&softmax_graph(64, 256), FusionPolicy::SpaceFusion, Arch::Ampere, 1, 1e-5);
+    check(
+        &softmax_graph(64, 256),
+        FusionPolicy::SpaceFusion,
+        Arch::Ampere,
+        1,
+        1e-5,
+    );
 }
 
 #[test]
 fn softmax_with_uneven_tiles_matches() {
     // Extents that do not divide the block sizes exercise edge clamping.
-    check(&softmax_graph(37, 100), FusionPolicy::SpaceFusion, Arch::Ampere, 2, 1e-5);
+    check(
+        &softmax_graph(37, 100),
+        FusionPolicy::SpaceFusion,
+        Arch::Ampere,
+        2,
+        1e-5,
+    );
 }
 
 #[test]
 fn softmax_unfused_matches_reference() {
-    check(&softmax_graph(64, 256), FusionPolicy::Unfused, Arch::Ampere, 3, 1e-5);
+    check(
+        &softmax_graph(64, 256),
+        FusionPolicy::Unfused,
+        Arch::Ampere,
+        3,
+        1e-5,
+    );
 }
 
 #[test]
@@ -137,7 +157,13 @@ fn mha_flash_attention_schedule_matches() {
 
 #[test]
 fn mha_short_sequence_matches() {
-    check(&mha_graph(32, 64, 32), FusionPolicy::SpaceFusion, Arch::Hopper, 5, 1e-4);
+    check(
+        &mha_graph(32, 64, 32),
+        FusionPolicy::SpaceFusion,
+        Arch::Hopper,
+        5,
+        1e-4,
+    );
 }
 
 #[test]
@@ -159,7 +185,11 @@ fn mlp_stack_fuses_and_matches() {
     let g = mlp_graph(4, 64, 64);
     let compiler = Compiler::with_policy(Arch::Ampere, FusionPolicy::SpaceFusion);
     let program = compiler.compile(&g).unwrap();
-    assert_eq!(program.kernels.len(), 1, "small MLP stack should fully fuse");
+    assert_eq!(
+        program.kernels.len(),
+        1,
+        "small MLP stack should fully fuse"
+    );
     check(&g, FusionPolicy::SpaceFusion, Arch::Ampere, 7, 1e-3);
 }
 

@@ -12,9 +12,7 @@ use sf_ir::Graph;
 use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
 use sf_tensor::{DType, Shape};
 use spacefusion::compiler::{CompileOptions, CompiledProgram, FusionPolicy};
-use spacefusion::pipeline::{
-    CollectingSink, CompileSession, EventDetail, ScheduleCache,
-};
+use spacefusion::pipeline::{CollectingSink, CompileSession, EventDetail, ScheduleCache};
 use std::sync::Arc;
 
 fn layernorm(m: usize, n: usize) -> Graph {
@@ -103,14 +101,17 @@ fn repeat_compilation_hits_cache() {
 fn differing_policy_misses() {
     let shared = Arc::new(ScheduleCache::new());
     let g = layernorm(32, 512);
-    let sf = CompileSession::new(Arch::Ampere, CompileOptions::default())
-        .with_cache(shared.clone());
+    let sf =
+        CompileSession::new(Arch::Ampere, CompileOptions::default()).with_cache(shared.clone());
     sf.compile(&g).unwrap();
     let after_sf = shared.misses();
 
     // Same shapes, same arch, different fusion policy → its schedules
     // are different objects; every group must miss.
-    let opts = CompileOptions { policy: FusionPolicy::Unfused, ..Default::default() };
+    let opts = CompileOptions {
+        policy: FusionPolicy::Unfused,
+        ..Default::default()
+    };
     let unfused = CompileSession::new(Arch::Ampere, opts).with_cache(shared.clone());
     unfused.compile(&g).unwrap();
     // New misses, not pure hits: the SpaceFusion entries don't serve the
@@ -137,7 +138,10 @@ fn differing_arch_misses() {
         .with_cache(shared.clone())
         .compile(&g)
         .unwrap();
-    assert!(shared.misses() > after_ampere, "arch must be part of the key");
+    assert!(
+        shared.misses() > after_ampere,
+        "arch must be part of the key"
+    );
     assert_eq!(p.stats.cache_hits, 0);
 }
 
@@ -147,8 +151,7 @@ fn concurrent_compilations_tune_once() {
     let g = layernorm(64, 2048);
     let sink = Arc::new(CollectingSink::new());
     let session = Arc::new(
-        CompileSession::new(Arch::Ampere, CompileOptions::default())
-            .with_sink(sink.clone()),
+        CompileSession::new(Arch::Ampere, CompileOptions::default()).with_sink(sink.clone()),
     );
 
     let programs: Vec<CompiledProgram> = std::thread::scope(|s| {
@@ -189,7 +192,10 @@ fn parallel_matches_sequential_groups() {
     // Unfused on a deep stack → 16 groups, two distinct cache keys:
     // plenty of worker contention.
     let g = mlp_stack(8, 64, 256);
-    let opts = CompileOptions { policy: FusionPolicy::Unfused, ..Default::default() };
+    let opts = CompileOptions {
+        policy: FusionPolicy::Unfused,
+        ..Default::default()
+    };
     let seq = CompileSession::new(Arch::Ampere, opts.clone())
         .with_workers(1)
         .compile(&g)
@@ -225,7 +231,10 @@ fn parallel_matches_sequential_segments() {
         .compile(&g)
         .unwrap();
 
-    assert!(seq.kernels.len() >= 2, "barrier forces at least two kernels");
+    assert!(
+        seq.kernels.len() >= 2,
+        "barrier forces at least two kernels"
+    );
     assert_eq!(fingerprint(&seq), fingerprint(&par));
     assert!((seq.estimate_us() - par.estimate_us()).abs() < 1e-9);
 

@@ -38,8 +38,7 @@ fn build(m: usize, n: usize, steps: &[Step]) -> Graph {
         cur = match s {
             Step::Unary(u) => g
                 .unary(
-                    [UnaryOp::Relu, UnaryOp::Tanh, UnaryOp::Sqr, UnaryOp::Sigmoid]
-                        [*u as usize % 4],
+                    [UnaryOp::Relu, UnaryOp::Tanh, UnaryOp::Sqr, UnaryOp::Sigmoid][*u as usize % 4],
                     cur,
                 )
                 .unwrap(),
@@ -62,8 +61,7 @@ fn build(m: usize, n: usize, steps: &[Step]) -> Graph {
                     continue;
                 }
                 g.binary(
-                    [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Max]
-                        [*b as usize % 4],
+                    [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Max][*b as usize % 4],
                     x,
                     cur,
                 )

@@ -39,6 +39,36 @@ impl std::fmt::Display for Arch {
     }
 }
 
+/// A per-block hardware resource that schedules are checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Shared memory allocatable to one thread block.
+    SharedMemory,
+    /// Register-file bytes allocatable to one thread block.
+    Registers,
+}
+
+impl std::fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResourceKind::SharedMemory => write!(f, "shared memory"),
+            ResourceKind::Registers => write!(f, "registers"),
+        }
+    }
+}
+
+/// One exceeded per-block budget: which resource, how much the block
+/// uses, and the hardware limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceViolation {
+    /// The exceeded resource.
+    pub resource: ResourceKind,
+    /// Bytes the block uses.
+    pub used: u64,
+    /// The architecture's per-block budget, bytes.
+    pub limit: u64,
+}
+
 /// Hardware resource configuration (the paper's `RCfg`).
 ///
 /// Shared-memory and register budgets gate schedule feasibility in
@@ -138,6 +168,31 @@ impl GpuArch {
         smem_bytes <= self.smem_per_block && reg_bytes <= self.regs_per_block
     }
 
+    /// Every per-block resource limit the given footprint exceeds,
+    /// with the amount used and the hardware budget. Empty when the
+    /// block fits (the structured form of [`block_fits`] for
+    /// diagnostics).
+    ///
+    /// [`block_fits`]: GpuArch::block_fits
+    pub fn resource_violations(&self, smem_bytes: u64, reg_bytes: u64) -> Vec<ResourceViolation> {
+        let mut v = Vec::new();
+        if smem_bytes > self.smem_per_block {
+            v.push(ResourceViolation {
+                resource: ResourceKind::SharedMemory,
+                used: smem_bytes,
+                limit: self.smem_per_block,
+            });
+        }
+        if reg_bytes > self.regs_per_block {
+            v.push(ResourceViolation {
+                resource: ResourceKind::Registers,
+                used: reg_bytes,
+                limit: self.regs_per_block,
+            });
+        }
+        v
+    }
+
     /// Fraction of peak throughput usable given the grid size.
     ///
     /// A kernel with fewer blocks than SMs cannot use the whole chip; this
@@ -157,14 +212,13 @@ impl GpuArch {
     /// roofline over compute, DRAM, and L2 components.
     pub fn kernel_time_us(&self, cost: &KernelCost) -> f64 {
         let util = self.parallel_utilization(cost.grid);
-        let compute_s =
-            cost.flops as f64 / (self.fp16_flops * self.compute_efficiency * util);
+        let compute_s = cost.flops as f64 / (self.fp16_flops * self.compute_efficiency * util);
         let dram_s = (cost.dram_read_bytes + cost.dram_write_bytes) as f64
             / (self.dram_bps * util.max(0.25));
         let l2_s = cost.l2_bytes as f64 / (self.l2_bps * util.max(0.25));
         // Per-block scheduling cost, amortized over the concurrent slots.
-        let sched_s = cost.grid as f64 * self.block_overhead_us * 1e-6
-            / (self.sm_count as f64 * 2.0);
+        let sched_s =
+            cost.grid as f64 * self.block_overhead_us * 1e-6 / (self.sm_count as f64 * 2.0);
         self.launch_overhead_us + (compute_s.max(dram_s).max(l2_s).max(sched_s)) * 1e6
     }
 
@@ -195,6 +249,20 @@ mod tests {
         assert!(!a.block_fits(0, 300 << 10));
         // Volta has a smaller shared-memory budget than Ampere.
         assert!(!GpuArch::volta().block_fits(100 << 10, 0));
+    }
+
+    #[test]
+    fn resource_violations_name_the_exceeded_budget() {
+        let a = GpuArch::ampere();
+        assert!(a.resource_violations(1 << 10, 1 << 10).is_empty());
+        let v = a.resource_violations(a.smem_per_block + 1, a.regs_per_block + 1);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].resource, ResourceKind::SharedMemory);
+        assert_eq!(v[0].limit, a.smem_per_block);
+        assert_eq!(v[1].resource, ResourceKind::Registers);
+        let smem_only = a.resource_violations(a.smem_per_block * 2, 0);
+        assert_eq!(smem_only.len(), 1);
+        assert!(!format!("{}", smem_only[0].resource).is_empty());
     }
 
     #[test]

@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn capacity_misses_on_large_working_set() {
         let mut c = Cache::new(1024, 64, 4); // 16 lines.
-        // Stream 64 distinct lines twice: second pass still misses.
+                                             // Stream 64 distinct lines twice: second pass still misses.
         for pass in 0..2 {
             for i in 0..64u64 {
                 c.access_line(i);

@@ -26,7 +26,7 @@ pub mod cache;
 pub mod occupancy;
 pub mod profiler;
 
-pub use arch::{Arch, GpuArch};
+pub use arch::{Arch, GpuArch, ResourceKind, ResourceViolation};
 pub use cache::Cache;
 pub use occupancy::{occupancy, Occupancy};
-pub use profiler::{BufId, KernelCost, ProgramStats, Profiler, TileAccess};
+pub use profiler::{BufId, KernelCost, Profiler, ProgramStats, TileAccess};

@@ -106,7 +106,7 @@ mod tests {
     #[test]
     fn waves_and_tail() {
         let a = GpuArch::volta(); // 80 SMs.
-        // One block per SM (96 KiB smem fills the 128 KiB L1 once).
+                                  // One block per SM (96 KiB smem fills the 128 KiB L1 once).
         let o = occupancy(&a, 200, 96 << 10, 0);
         assert_eq!(o.blocks_per_sm, 1);
         assert_eq!(o.concurrent_blocks, 80);

@@ -177,8 +177,17 @@ impl Profiler {
     /// # Panics
     ///
     /// Panics if a kernel is already open.
-    pub fn begin_kernel(&mut self, name: &str, grid: u64, smem_per_block: u64, regs_per_block: u64) {
-        assert!(self.current.is_none(), "begin_kernel while a kernel is open");
+    pub fn begin_kernel(
+        &mut self,
+        name: &str,
+        grid: u64,
+        smem_per_block: u64,
+        regs_per_block: u64,
+    ) {
+        assert!(
+            self.current.is_none(),
+            "begin_kernel while a kernel is open"
+        );
         let mut k = KernelCost::named(name);
         k.grid = grid;
         k.smem_per_block = smem_per_block;
@@ -201,18 +210,48 @@ impl Profiler {
     }
 
     /// Loads a 2-D tile from global memory through L1 then L2.
-    pub fn load_tile(&mut self, buf: BufId, offset: u64, row_bytes: u64, rows: u64, row_stride: u64) {
-        self.tile(TileAccess { buf, offset, row_bytes, rows, row_stride, write: false });
+    pub fn load_tile(
+        &mut self,
+        buf: BufId,
+        offset: u64,
+        row_bytes: u64,
+        rows: u64,
+        row_stride: u64,
+    ) {
+        self.tile(TileAccess {
+            buf,
+            offset,
+            row_bytes,
+            rows,
+            row_stride,
+            write: false,
+        });
     }
 
     /// Stores a 2-D tile to global memory (write-through to DRAM).
-    pub fn store_tile(&mut self, buf: BufId, offset: u64, row_bytes: u64, rows: u64, row_stride: u64) {
-        self.tile(TileAccess { buf, offset, row_bytes, rows, row_stride, write: true });
+    pub fn store_tile(
+        &mut self,
+        buf: BufId,
+        offset: u64,
+        row_bytes: u64,
+        rows: u64,
+        row_stride: u64,
+    ) {
+        self.tile(TileAccess {
+            buf,
+            offset,
+            row_bytes,
+            rows,
+            row_stride,
+            write: true,
+        });
     }
 
     /// Replays one tile access.
     pub fn tile(&mut self, t: TileAccess) {
-        let Some(k) = self.current.as_mut() else { return };
+        let Some(k) = self.current.as_mut() else {
+            return;
+        };
         let base = self.buf_base[t.buf.0] + t.offset;
         let bytes = t.row_bytes * t.rows;
         let line = self.arch.cache_line;
@@ -236,7 +275,9 @@ impl Profiler {
                     // Touch the missed portion in L2. Approximation: the
                     // missed lines of a row are contiguous in the common
                     // streaming case, so touch the leading span.
-                    let l2_missed = self.l2.access_range(addr, miss_bytes.min(t.row_bytes.max(line)));
+                    let l2_missed = self
+                        .l2
+                        .access_range(addr, miss_bytes.min(t.row_bytes.max(line)));
                     k.l2_bytes += miss_bytes;
                     k.dram_read_bytes += l2_missed * line;
                 }
@@ -250,7 +291,10 @@ impl Profiler {
     ///
     /// Panics if no kernel is open.
     pub fn end_kernel(&mut self) {
-        let k = self.current.take().expect("end_kernel without begin_kernel");
+        let k = self
+            .current
+            .take()
+            .expect("end_kernel without begin_kernel");
         self.stats.kernels += 1;
         self.stats.l1_accesses += self.l1.accesses() - self.l1_base.0;
         self.stats.l1_misses += self.l1.misses() - self.l1_base.1;

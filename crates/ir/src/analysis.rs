@@ -74,7 +74,11 @@ pub fn op_cost(graph: &Graph, op: &OpNode) -> OpCost {
 
 /// Aggregate cost of a whole graph, for a single instance.
 pub fn graph_cost(graph: &Graph) -> OpCost {
-    let mut total = OpCost { flops: 0, bytes_read: 0, bytes_written: 0 };
+    let mut total = OpCost {
+        flops: 0,
+        bytes_read: 0,
+        bytes_written: 0,
+    };
     for op in graph.ops() {
         let c = op_cost(graph, op);
         total.flops += c.flops;
@@ -159,12 +163,21 @@ mod tests {
 
     #[test]
     fn classification() {
-        assert_eq!(op_class(&OpKind::Gemm { transpose_b: false }), OpClass::ComputeIntensive);
         assert_eq!(
-            op_class(&OpKind::Reduce { op: ReduceOp::Sum, dim: 0 }),
+            op_class(&OpKind::Gemm { transpose_b: false }),
+            OpClass::ComputeIntensive
+        );
+        assert_eq!(
+            op_class(&OpKind::Reduce {
+                op: ReduceOp::Sum,
+                dim: 0
+            }),
             OpClass::MemoryIntensive
         );
-        assert_eq!(op_class(&OpKind::Unary(UnaryOp::Exp)), OpClass::MemoryIntensive);
+        assert_eq!(
+            op_class(&OpKind::Unary(UnaryOp::Exp)),
+            OpClass::MemoryIntensive
+        );
     }
 
     #[test]

@@ -5,6 +5,25 @@ use crate::graph::{Graph, OpKind, ValueKind};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// Escapes a node label for a double-quoted Graphviz string: quotes and
+/// backslashes are backslash-escaped, newlines become the DOT `\n`
+/// line-break escape. User-provided value names (parsed DSL files, model
+/// importers) can contain any of these, and an unescaped occurrence
+/// makes the whole dump unparseable.
+pub fn escape_label(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => {}
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders the operator dataflow graph in Graphviz DOT (paper Fig. 5(a)
 /// style: operators as nodes, tensors as edges).
 pub fn to_dot(graph: &Graph) -> String {
@@ -13,13 +32,17 @@ pub fn to_dot(graph: &Graph) -> String {
     for (vi, v) in graph.values().iter().enumerate() {
         match v.kind {
             ValueKind::Input => {
-                let _ = writeln!(out, "  v{vi} [label=\"{}\", shape=box];", v.name);
+                let _ = writeln!(
+                    out,
+                    "  v{vi} [label=\"{}\", shape=box];",
+                    escape_label(&v.name)
+                );
             }
             ValueKind::Weight => {
                 let _ = writeln!(
                     out,
                     "  v{vi} [label=\"{}\", shape=box, style=dashed];",
-                    v.name
+                    escape_label(&v.name)
                 );
             }
             ValueKind::Intermediate => {}
@@ -33,7 +56,7 @@ pub fn to_dot(graph: &Graph) -> String {
         let _ = writeln!(
             out,
             "  o{oi} [label=\"{}\", style=filled, fillcolor={color}];",
-            op.kind.name()
+            escape_label(&op.kind.name())
         );
         for &input in &op.inputs {
             match graph.producer(input) {
@@ -147,7 +170,7 @@ mod tests {
         assert!(dot.contains("lightcoral")); // CI coloring.
         assert!(dot.contains("lightblue")); // MI coloring.
         assert!(dot.contains("doublecircle")); // output marker.
-        // Three input boxes.
+                                               // Three input boxes.
         assert_eq!(dot.matches("shape=box").count(), 3);
     }
 
@@ -162,6 +185,30 @@ mod tests {
         assert_eq!(s.histogram["gemm"], 2);
         assert_eq!(s.values.0, 3);
         assert_eq!(s.values.2, 7);
+    }
+
+    #[test]
+    fn labels_with_quotes_and_newlines_stay_valid_graphviz() {
+        let mut g = Graph::new("t", DType::F16);
+        let x = g.input("x\"rows\"\nbatch", Shape::new(vec![4, 4]));
+        let w = g.weight("w\\slash", Shape::new(vec![4, 4]));
+        let y = g.gemm(x, w, false).unwrap();
+        g.mark_output(y);
+        let dot = to_dot(&g);
+        assert!(dot.contains("label=\"x\\\"rows\\\"\\nbatch\""), "{dot}");
+        assert!(dot.contains("label=\"w\\\\slash\""), "{dot}");
+        // Every label attribute's quoted string must close on its line:
+        // an even number of unescaped quotes per line.
+        for line in dot.lines() {
+            let unescaped = line.replace("\\\\", "").replace("\\\"", "");
+            assert_eq!(
+                unescaped.matches('"').count() % 2,
+                0,
+                "unbalanced quotes in {line:?}"
+            );
+        }
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\r\nb"), "a\\nb");
     }
 
     #[test]

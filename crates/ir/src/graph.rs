@@ -241,7 +241,12 @@ impl Graph {
 
     fn add_value(&mut self, name: String, shape: Shape, kind: ValueKind) -> ValueId {
         let id = ValueId(self.values.len());
-        self.values.push(ValueInfo { name, shape, dtype: self.dtype, kind });
+        self.values.push(ValueInfo {
+            name,
+            shape,
+            dtype: self.dtype,
+            kind,
+        });
         id
     }
 
@@ -255,12 +260,21 @@ impl Graph {
     fn push_op(&mut self, kind: OpKind, inputs: Vec<ValueId>, out_shape: Shape) -> ValueId {
         let name = format!("{}_{}", kind.name(), self.ops.len());
         let out = self.add_value(name, out_shape, ValueKind::Intermediate);
-        self.ops.push(OpNode { kind, inputs, output: out });
+        self.ops.push(OpNode {
+            kind,
+            inputs,
+            output: out,
+        });
         out
     }
 
     /// Adds a GEMM node. See [`OpKind::Gemm`] for the layout convention.
-    pub fn gemm(&mut self, a: ValueId, b: ValueId, transpose_b: bool) -> Result<ValueId, GraphError> {
+    pub fn gemm(
+        &mut self,
+        a: ValueId,
+        b: ValueId,
+        transpose_b: bool,
+    ) -> Result<ValueId, GraphError> {
         self.check(a)?;
         self.check(b)?;
         let (sa, sb) = (self.shape(a).clone(), self.shape(b).clone());
@@ -280,7 +294,11 @@ impl Graph {
                 "gemm inner dims differ: {sa} · {sb} (transpose_b={transpose_b})"
             )));
         }
-        Ok(self.push_op(OpKind::Gemm { transpose_b }, vec![a, b], Shape::new(vec![m, n])))
+        Ok(self.push_op(
+            OpKind::Gemm { transpose_b },
+            vec![a, b],
+            Shape::new(vec![m, n]),
+        ))
     }
 
     /// Adds an element-wise unary node.
@@ -322,7 +340,12 @@ impl Graph {
     }
 
     /// Adds an explicit broadcast of a unit dimension.
-    pub fn broadcast(&mut self, x: ValueId, dim: usize, extent: usize) -> Result<ValueId, GraphError> {
+    pub fn broadcast(
+        &mut self,
+        x: ValueId,
+        dim: usize,
+        extent: usize,
+    ) -> Result<ValueId, GraphError> {
         self.check(x)?;
         let shape = self.shape(x).clone();
         if dim >= shape.rank() || shape.dims()[dim] != 1 {
@@ -358,6 +381,24 @@ impl Graph {
         self.ops.iter().find(|op| op.output == id)
     }
 
+    /// Producer op *identity* of a value, if any — the [`OpId`] form of
+    /// [`producer`](Graph::producer), for diagnostics that must reference
+    /// nodes by stable id rather than by borrow.
+    pub fn producer_id(&self, id: ValueId) -> Option<OpId> {
+        self.ops.iter().position(|op| op.output == id).map(OpId)
+    }
+
+    /// The op node behind an [`OpId`].
+    pub fn op(&self, id: OpId) -> &OpNode {
+        &self.ops[id.0]
+    }
+
+    /// Display name of a value — `v#` ids are meaningless in user-facing
+    /// diagnostics, names are what the DSL/report shows.
+    pub fn value_name(&self, id: ValueId) -> &str {
+        &self.values[id.0].name
+    }
+
     /// Ops that consume a value.
     pub fn consumers(&self, id: ValueId) -> Vec<OpId> {
         self.ops
@@ -373,10 +414,7 @@ impl Graph {
     /// `bindings` maps input/weight names to tensors; intermediates are
     /// computed in topological order. Returns the tensors of the declared
     /// outputs, in declaration order.
-    pub fn execute(
-        &self,
-        bindings: &HashMap<String, Tensor>,
-    ) -> Result<Vec<Tensor>, GraphError> {
+    pub fn execute(&self, bindings: &HashMap<String, Tensor>) -> Result<Vec<Tensor>, GraphError> {
         let mut env: HashMap<ValueId, Tensor> = HashMap::new();
         for (i, v) in self.values.iter().enumerate() {
             if matches!(v.kind, ValueKind::Input | ValueKind::Weight) {
@@ -401,9 +439,7 @@ impl Graph {
                     ops::matmul(&get(&op.inputs[0])?, &get(&op.inputs[1])?, *transpose_b)?
                 }
                 OpKind::Unary(u) => ops::unary(*u, &get(&op.inputs[0])?),
-                OpKind::Binary(b) => {
-                    ops::binary(*b, &get(&op.inputs[0])?, &get(&op.inputs[1])?)?
-                }
+                OpKind::Binary(b) => ops::binary(*b, &get(&op.inputs[0])?, &get(&op.inputs[1])?)?,
                 OpKind::Scalar { op: b, value } => {
                     ops::binary_scalar(*b, &get(&op.inputs[0])?, *value)
                 }

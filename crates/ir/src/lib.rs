@@ -19,6 +19,6 @@ pub mod graph;
 pub mod segment;
 
 pub use analysis::{op_class, op_cost, pattern_signature, OpClass, OpCost};
+pub use dot::{escape_label, stats as graph_stats, to_dot as dfg_to_dot, GraphStats};
 pub use graph::{Graph, GraphError, OpId, OpKind, OpNode, ValueId, ValueInfo, ValueKind};
-pub use dot::{stats as graph_stats, to_dot as dfg_to_dot, GraphStats};
 pub use segment::segment;

@@ -97,7 +97,10 @@ pub fn segment(graph: &Graph) -> Result<Vec<Graph>, GraphError> {
         // Outputs: values produced in this run that are consumed outside it
         // (possibly via a barrier) or are graph outputs.
         for &out in &produced {
-            let consumed_outside = graph.consumers(out).iter().any(|&cid| !run.contains(&cid.0))
+            let consumed_outside = graph
+                .consumers(out)
+                .iter()
+                .any(|&cid| !run.contains(&cid.0))
                 || graph
                     .ops()
                     .iter()

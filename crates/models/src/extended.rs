@@ -26,13 +26,7 @@ use sf_tensor::{DType, Shape};
 /// matrix (the gather itself is a layout barrier — fusion cannot cross
 /// it); the kernel weights are `[k·k·c_in, c_out]`; a bias and ReLU
 /// epilogue follow, then a reshape barrier back to feature-map layout.
-pub fn conv2d_im2col(
-    batch: usize,
-    out_hw: usize,
-    k: usize,
-    c_in: usize,
-    c_out: usize,
-) -> Graph {
+pub fn conv2d_im2col(batch: usize, out_hw: usize, k: usize, c_in: usize, c_out: usize) -> Graph {
     let rows = batch * out_hw * out_hw;
     let cols = k * k * c_in;
     let mut g = Graph::new(
@@ -169,8 +163,7 @@ mod tests {
             "x".into(),
             sf_tensor::Tensor::zeros(Shape::new(vec![rows, classes]), DType::F32),
         );
-        let mut onehot =
-            sf_tensor::Tensor::zeros(Shape::new(vec![rows, classes]), DType::F32);
+        let mut onehot = sf_tensor::Tensor::zeros(Shape::new(vec![rows, classes]), DType::F32);
         for i in 0..rows {
             onehot.set(&[i, i % classes], 1.0);
         }

@@ -15,7 +15,9 @@ pub mod subgraphs;
 pub mod transformer;
 
 pub use extended::{batchnorm_inference, conv2d_im2col, glu, log_softmax_nll};
-pub use subgraphs::{layernorm, lstm_cell, masked_mha, mha, mha_decode, mlp_stack, rmsnorm, softmax};
+pub use subgraphs::{
+    layernorm, lstm_cell, masked_mha, mha, mha_decode, mlp_stack, rmsnorm, softmax,
+};
 pub use transformer::{
     albert, all_models, bert, llama2_7b, t5, vit, vit_seq_for_image, ActKind, NormKind,
     TransformerConfig, Workload,

@@ -223,13 +223,9 @@ mod tests {
         let g = layernorm(8, 32);
         let bindings = g.random_bindings(3);
         let out = g.execute(&bindings).unwrap();
-        let expect = composite::layernorm(
-            &bindings["x"],
-            &bindings["ln_w"],
-            &bindings["ln_b"],
-            1e-5,
-        )
-        .unwrap();
+        let expect =
+            composite::layernorm(&bindings["x"], &bindings["ln_w"], &bindings["ln_b"], 1e-5)
+                .unwrap();
         assert!(out[0].allclose(&expect, 1e-4));
     }
 
@@ -247,8 +243,7 @@ mod tests {
         let g = mha(1, 1, 32, 16);
         let bindings = g.random_bindings(5);
         let out = g.execute(&bindings).unwrap();
-        let expect =
-            composite::attention(&bindings["q"], &bindings["k"], &bindings["v"]).unwrap();
+        let expect = composite::attention(&bindings["q"], &bindings["k"], &bindings["v"]).unwrap();
         assert!(out[0].allclose(&expect, 1e-4));
     }
 

@@ -83,7 +83,10 @@ pub fn bert() -> TransformerConfig {
 /// ALBERT-base-v2: BERT-base dimensions with cross-layer sharing (same
 /// compute per layer).
 pub fn albert() -> TransformerConfig {
-    TransformerConfig { name: "Albert", ..bert() }
+    TransformerConfig {
+        name: "Albert",
+        ..bert()
+    }
 }
 
 /// T5-base encoder: 12 × 768, 12 heads, FFN 3072, ReLU, RMS-style norm.
@@ -177,12 +180,19 @@ impl TransformerConfig {
             NormKind::LayerNorm => subgraphs::layernorm(rows, self.hidden),
             NormKind::RmsNorm => subgraphs::rmsnorm(rows, self.hidden),
         };
-        out.push(Workload { graph: norm_graph, count: 2 * layers });
+        out.push(Workload {
+            graph: norm_graph,
+            count: 2 * layers,
+        });
 
         // Feed-forward network.
         match self.act {
             ActKind::Gelu | ActKind::Relu => {
-                let act = if self.act == ActKind::Gelu { UnaryOp::Gelu } else { UnaryOp::Relu };
+                let act = if self.act == ActKind::Gelu {
+                    UnaryOp::Gelu
+                } else {
+                    UnaryOp::Relu
+                };
                 out.push(Workload {
                     graph: proj(self, "ffn_up", rows, self.hidden, self.ffn, Some(act)),
                     count: layers,

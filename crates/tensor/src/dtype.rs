@@ -57,7 +57,11 @@ fn f16_round(x: f32) -> f32 {
         return 0.0_f32.copysign(x);
     }
     // Keep 10 mantissa bits (14 for subnormals), round to nearest even.
-    let drop = if exp >= -14 { 13 } else { 13 + (-14 - exp) as u32 };
+    let drop = if exp >= -14 {
+        13
+    } else {
+        13 + (-14 - exp) as u32
+    };
     let mask = (1u32 << drop) - 1;
     let half = 1u32 << (drop - 1);
     let frac = bits & mask;

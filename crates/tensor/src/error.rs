@@ -40,7 +40,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::DataLenMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "shape mismatch in {op}: {lhs} vs {rhs}")
@@ -61,7 +64,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = TensorError::DataLenMismatch { expected: 6, actual: 4 };
+        let e = TensorError::DataLenMismatch {
+            expected: 6,
+            actual: 4,
+        };
         assert!(e.to_string().contains('6'));
         assert!(e.to_string().contains('4'));
 

@@ -7,8 +7,7 @@ use crate::tensor::Tensor;
 /// Applies a unary operator element-wise.
 pub fn unary(op: UnaryOp, x: &Tensor) -> Tensor {
     let data = x.data().iter().map(|&v| op.eval(v)).collect();
-    Tensor::from_data(x.shape().clone(), x.dtype(), data)
-        .expect("unary preserves volume")
+    Tensor::from_data(x.shape().clone(), x.dtype(), data).expect("unary preserves volume")
 }
 
 /// Applies a binary operator element-wise with limited broadcasting.
@@ -46,8 +45,7 @@ pub fn binary(op: BinaryOp, a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Applies `op(x, scalar)` element-wise.
 pub fn binary_scalar(op: BinaryOp, x: &Tensor, scalar: f32) -> Tensor {
     let data = x.data().iter().map(|&v| op.eval(v, scalar)).collect();
-    Tensor::from_data(x.shape().clone(), x.dtype(), data)
-        .expect("binary_scalar preserves volume")
+    Tensor::from_data(x.shape().clone(), x.dtype(), data).expect("binary_scalar preserves volume")
 }
 
 /// Strides of `t` viewed in `out` shape: broadcast dims get stride 0.
@@ -122,6 +120,9 @@ mod tests {
     #[test]
     fn scalar_op() {
         let x = t(vec![3], vec![1.0, 2.0, 3.0]);
-        assert_eq!(binary_scalar(BinaryOp::Mul, &x, 2.0).data(), &[2.0, 4.0, 6.0]);
+        assert_eq!(
+            binary_scalar(BinaryOp::Mul, &x, 2.0).data(),
+            &[2.0, 4.0, 6.0]
+        );
     }
 }

@@ -38,7 +38,11 @@ pub fn matmul(a: &Tensor, b: &Tensor, transpose_b: bool) -> Result<Tensor> {
         for j in 0..n {
             let mut acc = 0.0f32;
             for kk in 0..k {
-                let bv = if transpose_b { bd[j * k + kk] } else { bd[kk * n + j] };
+                let bv = if transpose_b {
+                    bd[j * k + kk]
+                } else {
+                    bd[kk * n + j]
+                };
                 acc += ad[i * k + kk] * bv;
             }
             out[i * n + j] = acc;
@@ -68,7 +72,11 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor, transpose_b: bool) -> Result<Tenso
         });
     }
     let (m, k) = (a.shape().dim(1)?, a.shape().dim(2)?);
-    let n = if transpose_b { b.shape().dim(1)? } else { b.shape().dim(2)? };
+    let n = if transpose_b {
+        b.shape().dim(1)?
+    } else {
+        b.shape().dim(2)?
+    };
 
     let mut out = Tensor::zeros(Shape::new(vec![batch, m, n]), a.dtype());
     for bi in 0..batch {

@@ -32,7 +32,9 @@ impl XorShiftRng {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         // xorshift64* has one fixed point at 0; nudge away from it.
-        XorShiftRng { state: if z == 0 { 0x4D59_5DF4_D0F3_3173 } else { z } }
+        XorShiftRng {
+            state: if z == 0 { 0x4D59_5DF4_D0F3_3173 } else { z },
+        }
     }
 
     /// Next 64 raw pseudo-random bits.

@@ -30,10 +30,10 @@ impl Shape {
 
     /// Extent of dimension `dim`.
     pub fn dim(&self, dim: usize) -> Result<usize> {
-        self.0
-            .get(dim)
-            .copied()
-            .ok_or(TensorError::DimOutOfRange { dim, rank: self.0.len() })
+        self.0.get(dim).copied().ok_or(TensorError::DimOutOfRange {
+            dim,
+            rank: self.0.len(),
+        })
     }
 
     /// Total number of elements.
@@ -69,7 +69,10 @@ impl Shape {
     /// Shape with dimension `dim` replaced by extent 1 (a kept reduction).
     pub fn with_dim(&self, dim: usize, extent: usize) -> Result<Shape> {
         if dim >= self.0.len() {
-            return Err(TensorError::DimOutOfRange { dim, rank: self.0.len() });
+            return Err(TensorError::DimOutOfRange {
+                dim,
+                rank: self.0.len(),
+            });
         }
         let mut dims = self.0.clone();
         dims[dim] = extent;

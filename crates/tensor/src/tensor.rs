@@ -43,13 +43,21 @@ impl Tensor {
     /// Creates a zero-filled tensor.
     pub fn zeros(shape: Shape, dtype: DType) -> Self {
         let volume = shape.volume();
-        Tensor { shape, dtype, data: vec![0.0; volume] }
+        Tensor {
+            shape,
+            dtype,
+            data: vec![0.0; volume],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: Shape, dtype: DType, value: f32) -> Self {
         let volume = shape.volume();
-        Tensor { shape, dtype, data: vec![value; volume] }
+        Tensor {
+            shape,
+            dtype,
+            data: vec![value; volume],
+        }
     }
 
     /// Creates a tensor with uniformly random values in `[-1, 1)`.
@@ -104,7 +112,11 @@ impl Tensor {
     /// through half-precision global memory.
     pub fn quantized(&self) -> Tensor {
         let data = self.data.iter().map(|&v| self.dtype.quantize(v)).collect();
-        Tensor { shape: self.shape.clone(), dtype: self.dtype, data }
+        Tensor {
+            shape: self.shape.clone(),
+            dtype: self.dtype,
+            data,
+        }
     }
 
     /// Reinterprets the data under a new shape of equal volume.
@@ -118,7 +130,11 @@ impl Tensor {
                 shape.volume()
             )));
         }
-        Ok(Tensor { shape, dtype: self.dtype, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            dtype: self.dtype,
+            data: self.data.clone(),
+        })
     }
 
     /// Maximum absolute element-wise difference to another tensor.

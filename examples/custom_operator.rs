@@ -28,7 +28,9 @@ fn main() {
     let gate_w = g.weight("gate_w", Shape::new(vec![d, d]));
 
     let qk = g.gemm(q, k, true).unwrap();
-    let scaled = g.scalar(BinaryOp::Mul, qk, 1.0 / (d as f32).sqrt()).unwrap();
+    let scaled = g
+        .scalar(BinaryOp::Mul, qk, 1.0 / (d as f32).sqrt())
+        .unwrap();
     let tempered = g.scalar(BinaryOp::Div, scaled, 0.8).unwrap(); // temperature.
     let masked = g.binary(BinaryOp::Add, tempered, mask).unwrap();
     let mx = g.reduce(ReduceOp::Max, masked, 1).unwrap();
@@ -44,7 +46,11 @@ fn main() {
     let out = g.binary(BinaryOp::Mul, ctx, gate).unwrap();
     g.mark_output(out);
 
-    println!("custom region: {} operators, {} tensors", g.ops().len(), g.values().len());
+    println!(
+        "custom region: {} operators, {} tensors",
+        g.ops().len(),
+        g.values().len()
+    );
 
     // Compile and inspect.
     let compiler = Compiler::with_policy(Arch::Hopper, FusionPolicy::SpaceFusion);

@@ -27,9 +27,7 @@ fn main() {
     println!("derived schedule for MHA(seq=4096):");
     println!(
         "  query block {} x key/value tiles of {} (single pass: {})",
-        kp.schedule.spatial[0].1,
-        temporal.block,
-        !temporal.plan.two_phase
+        kp.schedule.spatial[0].1, temporal.block, !temporal.plan.two_phase
     );
     println!("  sliced reductions and their aggregation strategies:");
     for s in &temporal.plan.sliced {
@@ -68,12 +66,27 @@ fn main() {
 
     // Compare against the baselines across sequence lengths.
     println!("\nspeedup over PyTorch (batch={batch}, heads={heads}):");
-    println!("{:<8} {:>12} {:>16} {:>12}", "seq", "SpaceFusion", "FlashAttention2", "best ratio");
+    println!(
+        "{:<8} {:>12} {:>16} {:>12}",
+        "seq", "SpaceFusion", "FlashAttention2", "best ratio"
+    );
     for seq in [256usize, 1024, 4096] {
         let g = subgraphs::mha(batch, heads, seq, head_dim);
-        let py = Engine::PyTorch.compile(arch, &g).unwrap().profile(2).time_us;
-        let sf = Engine::SpaceFusion.compile(arch, &g).unwrap().profile(2).time_us;
-        let fa2 = flash_attention_v2(arch, &g).unwrap().unwrap().profile(2).time_us;
+        let py = Engine::PyTorch
+            .compile(arch, &g)
+            .unwrap()
+            .profile(2)
+            .time_us;
+        let sf = Engine::SpaceFusion
+            .compile(arch, &g)
+            .unwrap()
+            .profile(2)
+            .time_us;
+        let fa2 = flash_attention_v2(arch, &g)
+            .unwrap()
+            .unwrap()
+            .profile(2)
+            .time_us;
         println!(
             "{seq:<8} {:>11.2}x {:>15.2}x {:>11.2}x",
             py / sf,

@@ -39,9 +39,12 @@ fn main() {
 
     for arch in Arch::all() {
         let cfg = arch.config();
-        let schedules = resource_aware_slicing(&g, &smg, &cfg, &SlicingOptions::default())
-            .expect("slicing");
-        println!("\n== {arch}: {} feasible configurations ==", schedules.len());
+        let schedules =
+            resource_aware_slicing(&g, &smg, &cfg, &SlicingOptions::default()).expect("slicing");
+        println!(
+            "\n== {arch}: {} feasible configurations ==",
+            schedules.len()
+        );
         println!(
             "{:>8} {:>10} {:>10} {:>10} {:>8} {:>12}",
             "spatial", "temporal", "smem KiB", "regs KiB", "grid", "est. µs"
@@ -56,7 +59,10 @@ fn main() {
             println!(
                 "{:>8} {:>10} {:>10} {:>10} {:>8} {:>12.1}",
                 s.spatial[0].1,
-                s.temporal.as_ref().map(|t| t.block.to_string()).unwrap_or("-".into()),
+                s.temporal
+                    .as_ref()
+                    .map(|t| t.block.to_string())
+                    .unwrap_or("-".into()),
                 s.smem_per_block(&kp.graph) >> 10,
                 s.regs_per_block(&kp.graph) >> 10,
                 s.grid() * g.instances as u64,
@@ -66,7 +72,10 @@ fn main() {
         if candidates.len() > 12 {
             println!("   ... and {} more", candidates.len() - 12);
         }
-        let pick = tune(&candidates, &cfg, g.instances as u64, 0.25).expect("candidates");
+        let Some(pick) = tune(&candidates, &cfg, g.instances as u64, 0.25) else {
+            eprintln!("{arch}: no feasible candidates to tune — skipping");
+            continue;
+        };
         let best_kp = &candidates[pick.best];
         let best = &best_kp.schedule;
         println!(

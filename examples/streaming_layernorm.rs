@@ -16,7 +16,10 @@ use spacefusion::rewrite::streaming_variance;
 
 fn main() {
     let arch = Arch::Ampere;
-    println!("{:<10} {:>18} {:>10} {:>18} {:>10}", "rows x N", "baseline", "kernels", "rewritten", "kernels");
+    println!(
+        "{:<10} {:>18} {:>10} {:>18} {:>10}",
+        "rows x N", "baseline", "kernels", "rewritten", "kernels"
+    );
     for n in [4096usize, 16384, 65536] {
         let g = subgraphs::layernorm(1024, n);
         let base = Compiler::with_policy(arch, FusionPolicy::SpaceFusion)

@@ -42,13 +42,20 @@ fn main() {
             total += program.profile(2).time_us * w.count as f64;
         }
         let base = *py_time.get_or_insert(total);
-        println!("{:<14} {:>12.1} {:>9.2}x", engine.name(), total, base / total);
+        println!(
+            "{:<14} {:>12.1} {:>9.2}x",
+            engine.name(),
+            total,
+            base / total
+        );
     }
 
     // Show where the time goes for SpaceFusion.
     println!("\nSpaceFusion per-subprogram breakdown:");
     for w in model.subprograms(batch, seq) {
-        let program = Engine::SpaceFusion.compile(arch, &w.graph).expect("compile");
+        let program = Engine::SpaceFusion
+            .compile(arch, &w.graph)
+            .expect("compile");
         let t = program.profile(2).time_us;
         println!(
             "  {:<40} {:>4} kernel(s) × {:>3} calls = {:>10.1} µs",

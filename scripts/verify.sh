@@ -7,6 +7,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
@@ -15,5 +18,13 @@ cargo test -q --workspace
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> sfc lint (golden-clean gate over examples/graphs)"
+for f in examples/graphs/*.sfg; do
+    for arch in volta ampere hopper; do
+        ./target/release/sfc lint "$f" --arch "$arch" --deny-warnings \
+            || { echo "verify: FAIL — $f is not lint-clean on $arch"; exit 1; }
+    done
+done
 
 echo "verify: OK"

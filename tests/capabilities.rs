@@ -25,7 +25,11 @@ fn attention_fusion_capabilities() {
     let kernels = |e: Engine, g: &sf_ir::Graph| e.compile(arch, g).unwrap().kernels.len();
 
     assert_eq!(kernels(Engine::SpaceFusion, &short), 1);
-    assert_eq!(kernels(Engine::SpaceFusion, &long), 1, "UTA handles any length");
+    assert_eq!(
+        kernels(Engine::SpaceFusion, &long),
+        1,
+        "UTA handles any length"
+    );
 
     // Tile-graph fusion holds at short sequences (everything fits) but
     // must split at long ones — the paper's NNFusion limitation.
@@ -45,7 +49,12 @@ fn attention_fusion_capabilities() {
 fn layernorm_fusion_capabilities() {
     let arch = Arch::Ampere;
     let ln = subgraphs::layernorm(512, 1024);
-    for e in [Engine::SpaceFusion, Engine::BladeDisc, Engine::TensorRt, Engine::Kernl] {
+    for e in [
+        Engine::SpaceFusion,
+        Engine::BladeDisc,
+        Engine::TensorRt,
+        Engine::Kernl,
+    ] {
         let p = e.compile(arch, &ln).unwrap();
         assert_eq!(p.kernels.len(), 1, "{} should fuse LN", e.name());
     }
@@ -62,7 +71,11 @@ fn mlp_stack_fusion_capabilities() {
     let sf = Engine::SpaceFusion.compile(arch, &mlp).unwrap();
     assert_eq!(sf.kernels.len(), 1, "SpaceFusion fuses the whole stack");
     let trt = Engine::TensorRt.compile(arch, &mlp).unwrap();
-    assert_eq!(trt.kernels.len(), 8, "epilogue fusion: one kernel per layer");
+    assert_eq!(
+        trt.kernels.len(),
+        8,
+        "epilogue fusion: one kernel per layer"
+    );
     let blade = Engine::BladeDisc.compile(arch, &mlp).unwrap();
     assert!(blade.kernels.len() >= 8, "MI-only cannot merge GEMMs");
 }
@@ -110,7 +123,10 @@ fn decode_attention_uses_single_block_streaming() {
     let p = Engine::SpaceFusion.compile(Arch::Ampere, &long).unwrap();
     assert_eq!(p.kernels.len(), 1);
     assert_eq!(p.kernels[0].schedule.grid(), 1);
-    assert!(p.kernels[0].schedule.temporal.is_some(), "KV cache must stream");
+    assert!(
+        p.kernels[0].schedule.temporal.is_some(),
+        "KV cache must stream"
+    );
 }
 
 /// Fusion census ordering (Table 6): SpaceFusion ⊇ tile-graph ⊇ MI-only
@@ -145,7 +161,10 @@ fn fusion_census_ordering() {
     // several small >=2-A2O fragments), but the mixed CI+MI census is:
     // only dependency transformation fuses the long attention region.
     assert!(sf_any >= bd_any, "{sf_any} {bd_any}");
-    assert!(sf_mixed > nn_mixed, "SpaceFusion must find more CI+MI patterns");
+    assert!(
+        sf_mixed > nn_mixed,
+        "SpaceFusion must find more CI+MI patterns"
+    );
     assert_eq!(bd_mixed, 0, "MI-only never fuses across a GEMM");
 }
 
@@ -155,7 +174,11 @@ fn mi_only_kernels_are_pure() {
     let g = subgraphs::lstm_cell(128, 256);
     let p = Engine::BladeDisc.compile(Arch::Volta, &g).unwrap();
     for k in &p.kernels {
-        let has_gemm = k.graph.ops().iter().any(|o| matches!(o.kind, OpKind::Gemm { .. }));
+        let has_gemm = k
+            .graph
+            .ops()
+            .iter()
+            .any(|o| matches!(o.kind, OpKind::Gemm { .. }));
         if has_gemm {
             assert_eq!(k.graph.ops().len(), 1);
         }

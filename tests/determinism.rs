@@ -78,5 +78,8 @@ fn architecture_only_affects_costs_not_semantics() {
         assert!(got[0].allclose(&expect[0], 1e-3), "numerics hold on {arch}");
         times.push(p.profile(1).time_us);
     }
-    assert!(times[0] >= times[2], "Hopper is never slower than Volta: {times:?}");
+    assert!(
+        times[0] >= times[2],
+        "Hopper is never slower than Volta: {times:?}"
+    );
 }

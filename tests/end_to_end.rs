@@ -53,7 +53,11 @@ fn llama2_subprograms_compile_and_match() {
             .compile(Arch::Hopper, &w.graph)
             .expect("compile");
         let got = p.execute(&bindings).expect("execute");
-        assert!(got[0].allclose(&expect[0], 2e-3), "wrong on {}", w.graph.name());
+        assert!(
+            got[0].allclose(&expect[0], 2e-3),
+            "wrong on {}",
+            w.graph.name()
+        );
     }
 }
 
@@ -139,13 +143,20 @@ fn batching_does_not_hurt_fused_speedups() {
     let small = subgraphs::mha(1, 16, 512, 64);
     let big = subgraphs::mha(32, 16, 512, 64);
     let su = |g: &sf_ir::Graph| {
-        let sf = Engine::SpaceFusion.compile(arch, g).unwrap().profile(2).time_us;
+        let sf = Engine::SpaceFusion
+            .compile(arch, g)
+            .unwrap()
+            .profile(2)
+            .time_us;
         let py = Engine::PyTorch.compile(arch, g).unwrap().profile(2).time_us;
         py / sf
     };
     let su1 = su(&small);
     let su32 = su(&big);
-    assert!(su32 > 0.5 * su1, "batch 32 speedup collapsed: {su32:.2} vs {su1:.2}");
+    assert!(
+        su32 > 0.5 * su1,
+        "batch 32 speedup collapsed: {su32:.2} vs {su1:.2}"
+    );
 }
 
 /// The compile-cache makes repeated layers cheap (paper §5 / Table 5).

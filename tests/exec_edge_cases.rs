@@ -53,7 +53,9 @@ fn shared_intermediate_across_kernels() {
     g.mark_output(h); // intermediate is also a program output.
     g.mark_output(y);
     for policy in [FusionPolicy::SpaceFusion, FusionPolicy::Unfused] {
-        let p = Compiler::with_policy(Arch::Ampere, policy).compile(&g).unwrap();
+        let p = Compiler::with_policy(Arch::Ampere, policy)
+            .compile(&g)
+            .unwrap();
         let b = g.random_bindings(2);
         let expect = g.execute(&b).unwrap();
         let got = p.execute(&b).unwrap();
@@ -93,7 +95,9 @@ fn single_row_and_column() {
         let mut g = Graph::new("thin", DType::F32);
         let x = g.input("x", Shape::new(dims.clone()));
         let a = g.unary(UnaryOp::Sqr, x).unwrap();
-        let r = g.reduce(ReduceOp::Sum, a, if dims[1] > 1 { 1 } else { 0 }).unwrap();
+        let r = g
+            .reduce(ReduceOp::Sum, a, if dims[1] > 1 { 1 } else { 0 })
+            .unwrap();
         g.mark_output(r);
         verify(&g, Arch::Ampere, 5, 1e-3);
     }
@@ -132,7 +136,10 @@ fn instanced_graph_execution_is_per_instance() {
     g.mark_output(y);
     let p = Engine::SpaceFusion.compile(Arch::Ampere, &g).unwrap();
     let mut b = HashMap::new();
-    b.insert("x".to_string(), Tensor::full(Shape::new(vec![8, 8]), DType::F32, -2.0));
+    b.insert(
+        "x".to_string(),
+        Tensor::full(Shape::new(vec![8, 8]), DType::F32, -2.0),
+    );
     let out = p.execute(&b).unwrap();
     assert!(out[0].data().iter().all(|&v| v == 0.0));
     // The profile covers 16 instances' worth of traffic.
@@ -141,7 +148,10 @@ fn instanced_graph_execution_is_per_instance() {
         let x1 = g1.input("x", Shape::new(vec![8, 8]));
         let y1 = g1.unary(UnaryOp::Relu, x1).unwrap();
         g1.mark_output(y1);
-        Engine::SpaceFusion.compile(Arch::Ampere, &g1).unwrap().profile(1)
+        Engine::SpaceFusion
+            .compile(Arch::Ampere, &g1)
+            .unwrap()
+            .profile(1)
     };
     let r16 = p.profile(16);
     assert!(r16.stats.dram_total_bytes() >= 8 * r1.stats.dram_total_bytes());

@@ -32,7 +32,13 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 }
 
 fn unary_of(i: u8) -> UnaryOp {
-    [UnaryOp::Exp, UnaryOp::Relu, UnaryOp::Sqr, UnaryOp::Tanh, UnaryOp::Sigmoid][i as usize % 5]
+    [
+        UnaryOp::Exp,
+        UnaryOp::Relu,
+        UnaryOp::Sqr,
+        UnaryOp::Tanh,
+        UnaryOp::Sigmoid,
+    ][i as usize % 5]
 }
 
 fn binary_of(i: u8) -> BinaryOp {
