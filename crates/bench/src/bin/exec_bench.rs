@@ -1,0 +1,193 @@
+//! Execution-engine benchmark: multi-threaded spatial blocks vs serial.
+//!
+//! Runs the Fig. 10 subgraph zoo through the interpreter at
+//! `--exec-threads 1` and the parallel setting, checks the outputs are
+//! bit-identical, and writes a `BENCH_exec.json` artifact with per-
+//! workload times, speedups, and fresh-allocation counts (the scratch-
+//! pool reuse counter from `sf-tensor`).
+//!
+//! Times are host wall-clock of the *interpreter* — the correctness
+//! oracle — not simulated GPU time; the artifact records how many
+//! worker threads the host actually provided.
+//!
+//! Usage: `exec_bench [--exec-threads N|max] [--quick] [--gate]
+//!                    [--out PATH]`
+//!
+//! `--gate` exits non-zero if the parallel path is slower than serial
+//! on the zoo aggregate beyond a 10% tolerance (single-core hosts run
+//! both paths at one worker, so equality is the floor, not a speedup).
+
+use sf_gpu_sim::Arch;
+use sf_ir::Graph;
+use sf_models::subgraphs;
+use spacefusion::codegen::ExecOptions;
+use spacefusion::compiler::{Compiler, FusionPolicy};
+use std::time::Instant;
+
+/// Gate tolerance: parallel aggregate may be at most this factor of the
+/// serial aggregate.
+const GATE_TOLERANCE: f64 = 1.10;
+
+struct Row {
+    name: String,
+    serial_us: f64,
+    parallel_us: f64,
+    allocations: u64,
+}
+
+fn zoo(quick: bool) -> Vec<Graph> {
+    if quick {
+        vec![
+            subgraphs::mlp_stack(2, 64, 32),
+            subgraphs::softmax(64, 48),
+            subgraphs::layernorm(64, 48),
+            subgraphs::mha(1, 2, 32, 16),
+        ]
+    } else {
+        vec![
+            subgraphs::mlp_stack(4, 256, 64),
+            subgraphs::lstm_cell(64, 64),
+            subgraphs::softmax(256, 128),
+            subgraphs::layernorm(256, 128),
+            subgraphs::rmsnorm(256, 128),
+            subgraphs::mha(1, 4, 64, 32),
+            subgraphs::masked_mha(1, 4, 64, 32),
+            subgraphs::mha_decode(1, 4, 128, 32),
+        ]
+    }
+}
+
+/// Mean wall-clock of `f`, µs: best of two passes, each sized to cover
+/// ~100 ms (capped at `iters_hint`). The min-of-means discards scheduler
+/// noise, which otherwise dominates sub-millisecond interpreter runs.
+fn time_us<T>(iters_hint: u32, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let t = Instant::now();
+    std::hint::black_box(f());
+    let once = t.elapsed().max(std::time::Duration::from_nanos(50));
+    let iters = (100_000_000 / once.as_nanos().max(1)).clamp(1, iters_hint as u128) as u32;
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e6 / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = sf_bench::quick(&args);
+    let gate = args.iter().any(|a| a == "--gate");
+    let out_path = sf_bench::arg_value(&args, "--out")
+        .unwrap_or_else(|| "results/BENCH_exec.json".to_string());
+    let parallel_opts = match sf_bench::arg_value(&args, "--exec-threads").as_deref() {
+        None | Some("max") => ExecOptions::default(),
+        Some(n) => ExecOptions::with_threads(n.parse().unwrap_or_else(|_| {
+            eprintln!("exec_bench: --exec-threads needs a count or 'max'");
+            std::process::exit(2);
+        })),
+    };
+    let threads = parallel_opts.effective_threads();
+    let iters_hint = if quick { 256 } else { 2_000 };
+
+    println!("== Execution engine: serial vs {threads}-thread blocks ==");
+    let serial = ExecOptions::with_threads(1);
+    let mut rows = Vec::new();
+    for graph in zoo(quick) {
+        let bindings = graph.random_bindings(42);
+        let program = Compiler::with_policy(Arch::Ampere, FusionPolicy::SpaceFusion)
+            .compile(&graph)
+            .unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
+
+        let ref_out = program
+            .execute_with(&bindings, &serial)
+            .expect("serial run");
+        let par_out = program
+            .execute_with(&bindings, &parallel_opts)
+            .expect("parallel run");
+        for (s, p) in ref_out.iter().zip(&par_out) {
+            let same = s.shape() == p.shape()
+                && s.data()
+                    .iter()
+                    .zip(p.data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(
+                same,
+                "{}: parallel output diverged from serial",
+                graph.name()
+            );
+        }
+
+        sf_tensor::alloc_stats::reset_allocations();
+        program.execute_with(&bindings, &serial).expect("alloc run");
+        let allocations = sf_tensor::alloc_stats::allocations();
+
+        let serial_us = time_us(iters_hint, || {
+            program.execute_with(&bindings, &serial).expect("serial")
+        });
+        let parallel_us = time_us(iters_hint, || {
+            program
+                .execute_with(&bindings, &parallel_opts)
+                .expect("parallel")
+        });
+        println!(
+            "{:<16} serial {serial_us:>10.1} µs   parallel {parallel_us:>10.1} µs   {:>5.2}x   {allocations} allocs",
+            graph.name(),
+            serial_us / parallel_us
+        );
+        rows.push(Row {
+            name: graph.name().to_string(),
+            serial_us,
+            parallel_us,
+            allocations,
+        });
+    }
+
+    let agg_serial: f64 = rows.iter().map(|r| r.serial_us).sum();
+    let agg_parallel: f64 = rows.iter().map(|r| r.parallel_us).sum();
+    let speedup = agg_serial / agg_parallel;
+    println!(
+        "aggregate: serial {agg_serial:.1} µs, parallel {agg_parallel:.1} µs, {speedup:.2}x at {threads} threads"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"exec\",\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_us\": {:.1}, \"parallel_us\": {:.1}, \"speedup\": {:.3}, \"allocations\": {}}}{}\n",
+            r.name,
+            r.serial_us,
+            r.parallel_us,
+            r.serial_us / r.parallel_us,
+            r.allocations,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"aggregate\": {{\"serial_us\": {agg_serial:.1}, \"parallel_us\": {agg_parallel:.1}, \"speedup\": {speedup:.3}}}\n"
+    ));
+    json.push_str("}\n");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("exec_bench: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {out_path}");
+
+    if gate && agg_parallel > agg_serial * GATE_TOLERANCE {
+        eprintln!(
+            "exec_bench: GATE FAILED — parallel aggregate {agg_parallel:.1} µs exceeds serial {agg_serial:.1} µs × {GATE_TOLERANCE}"
+        );
+        std::process::exit(1);
+    }
+}

@@ -30,6 +30,9 @@ pub struct Options {
     pub emit: bool,
     /// Print the per-pass timing table from the instrumentation events.
     pub timings: bool,
+    /// Worker threads for the execution engine's spatial block loop
+    /// (`0` = auto).
+    pub exec_threads: usize,
 }
 
 impl Default for Options {
@@ -43,6 +46,7 @@ impl Default for Options {
             rewrite: false,
             emit: false,
             timings: false,
+            exec_threads: 0,
         }
     }
 }
@@ -86,6 +90,16 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--rewrite" => o.rewrite = true,
             "--emit" => o.emit = true,
             "--timings" => o.timings = true,
+            "--exec-threads" => {
+                i += 1;
+                o.exec_threads = match args.get(i).map(|s| s.as_str()) {
+                    Some("max") => 0,
+                    Some(n) => n
+                        .parse()
+                        .map_err(|_| "--exec-threads needs a count or 'max'".to_string())?,
+                    None => return Err("--exec-threads needs a count or 'max'".into()),
+                };
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
@@ -371,7 +385,12 @@ pub fn compile_report(graph: &Graph, o: &Options) -> Result<String, String> {
     if let Some(seed) = o.verify_seed {
         let bindings = graph.random_bindings(seed);
         let expect = graph.execute(&bindings).map_err(|e| e.to_string())?;
-        let got = program.execute(&bindings).map_err(|e| e.to_string())?;
+        let got = program
+            .execute_with(
+                &bindings,
+                &spacefusion::codegen::ExecOptions::with_threads(o.exec_threads),
+            )
+            .map_err(|e| e.to_string())?;
         let mut worst = 0.0f32;
         for (a, b) in got.iter().zip(expect.iter()) {
             worst = worst.max(a.max_abs_diff(b).unwrap_or(f32::INFINITY));
@@ -448,6 +467,22 @@ output y
         assert!(o.profile);
         assert!(parse_options(&["--bogus".to_string()]).is_err());
         assert!(parse_options(&["--arch".to_string(), "mars".to_string()]).is_err());
+    }
+
+    #[test]
+    fn exec_threads_parsing() {
+        let args: Vec<String> = ["--exec-threads", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_options(&args).unwrap().exec_threads, 4);
+        let args: Vec<String> = ["--exec-threads", "max"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_options(&args).unwrap().exec_threads, 0);
+        assert!(parse_options(&["--exec-threads".to_string()]).is_err());
+        assert!(parse_options(&["--exec-threads".to_string(), "soon".to_string()]).is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! sfc compile FILE [--arch volta|ampere|hopper]
 //!                  [--policy spacefusion|unfused|epilogue|mi-only|tile-graph]
 //!                  [--dot] [--profile] [--verify SEED] [--rewrite]
-//!                  [--emit] [--timings]
+//!                  [--emit] [--timings] [--exec-threads N|max]
 //! sfc lint FILE    [--arch ...] [--policy ...] [--json] [--deny-warnings]
 //!                  [--warn CODE] [--deny CODE] [--allow CODE]
 //! sfc print FILE       # parse and pretty-print back to the DSL

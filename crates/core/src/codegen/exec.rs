@@ -10,6 +10,15 @@
 //! This interpreter is the correctness oracle of the whole compiler: the
 //! test suites compare its results bit-for-bit-ish (to float tolerance)
 //! against the unfused reference execution of the same graph.
+//!
+//! Spatial blocks are the unit of parallelism. The slicer only admits
+//! spatial dimensions whose blocks cover disjoint regions of every
+//! output (Table 3 legality), so the block loop fans out over
+//! [`std::thread::scope`] workers — each with its own [`ScratchPool`] —
+//! and the result stays bit-identical to serial execution regardless of
+//! completion order. Block-local values are borrowed as zero-copy
+//! [`TensorView`]s and intermediate buffers are recycled through the
+//! worker's pool, so steady-state execution does not allocate.
 
 use super::program::KernelProgram;
 use crate::error::{Result, SfError};
@@ -17,47 +26,156 @@ use crate::sched::OpRole;
 use crate::slicer::{AggKind, FactorForm};
 use crate::smg::{DimId, Smg};
 use sf_ir::{Graph, OpKind, ValueId};
-use sf_tensor::ops::{self, BinaryOp, ReduceOp, UnaryOp};
-use sf_tensor::{Shape, Tensor};
+use sf_tensor::ops::{viewed, BinaryOp, ReduceOp, UnaryOp};
+use sf_tensor::{ScratchPool, Tensor, TensorView};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Dimension restrictions: `dim -> [start, end)`.
 type Restrict = Vec<(DimId, (usize, usize))>;
 
-/// Executes one kernel over the environment of named tensors.
+/// Options for the execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecOptions {
+    /// Worker threads for the spatial block loop; `0` selects the
+    /// machine's available parallelism (capped at 8, matching the
+    /// compile session's worker default).
+    pub threads: usize,
+}
+
+impl ExecOptions {
+    /// Options pinned to an explicit worker count (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions { threads }
+    }
+
+    /// Resolves the effective worker count.
+    ///
+    /// The auto-detected machine parallelism is cached for the process:
+    /// `available_parallelism` consults cgroup limits on Linux, which is
+    /// file I/O expensive enough to show up on sub-millisecond kernels.
+    pub fn effective_threads(&self) -> usize {
+        static AUTO: OnceLock<usize> = OnceLock::new();
+        if self.threads > 0 {
+            self.threads
+        } else {
+            *AUTO.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get().min(8)))
+        }
+    }
+}
+
+/// Executes one kernel over the environment of named tensors with
+/// default options.
 ///
 /// Inputs and weights are read from `env` by value name; outputs are
 /// inserted into `env` under their value names.
 pub fn execute_kernel(kp: &KernelProgram, env: &mut HashMap<String, Tensor>) -> Result<()> {
+    execute_kernel_with(kp, env, &ExecOptions::default())
+}
+
+/// Executes one kernel, fanning the spatial block loop out over worker
+/// threads.
+///
+/// Results are bit-identical for every thread count: blocks write
+/// disjoint output regions (the slicer's spatial legality guarantee) and
+/// each block's arithmetic is self-contained.
+pub fn execute_kernel_with(
+    kp: &KernelProgram,
+    env: &mut HashMap<String, Tensor>,
+    opts: &ExecOptions,
+) -> Result<()> {
     let graph = &kp.graph;
     let s = &kp.schedule;
 
-    // Allocate full output tensors.
-    let mut outputs: HashMap<ValueId, Tensor> = HashMap::new();
-    for &o in graph.outputs() {
-        outputs.insert(o, Tensor::zeros(graph.shape(o).clone(), graph.dtype()));
+    // Full output tensors, allocated once. A mutex per output lets
+    // workers scatter concurrently; regions are disjoint, so lock order
+    // never affects the values written.
+    let outputs: Vec<(ValueId, String, Mutex<Tensor>)> = graph
+        .outputs()
+        .iter()
+        .map(|&o| {
+            (
+                o,
+                graph.value(o).name.clone(),
+                Mutex::new(Tensor::zeros(graph.shape(o).clone(), graph.dtype())),
+            )
+        })
+        .collect();
+
+    let blocks = enumerate_blocks(s);
+    let workers = opts.effective_threads().min(blocks.len()).max(1);
+
+    if workers == 1 {
+        let mut pool = ScratchPool::new();
+        for block in &blocks {
+            execute_block(kp, env, &outputs, block, &mut pool)?;
+        }
+    } else {
+        let env_ref: &HashMap<String, Tensor> = env;
+        // Chunked work queue: coarse enough to amortize the atomic,
+        // fine enough to balance blocks of uneven cost.
+        let chunk = blocks.len().div_ceil(workers * 4).max(1);
+        let next = AtomicUsize::new(0);
+        let failures: Mutex<Vec<(usize, SfError)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut pool = ScratchPool::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= blocks.len() {
+                            return;
+                        }
+                        let end = (start + chunk).min(blocks.len());
+                        for (off, block) in blocks[start..end].iter().enumerate() {
+                            if let Err(e) = execute_block(kp, env_ref, &outputs, block, &mut pool) {
+                                failures
+                                    .lock()
+                                    .expect("failure list poisoned")
+                                    .push((start + off, e));
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Report the failure of the earliest block, independent of
+        // worker scheduling.
+        let mut failures = failures.into_inner().expect("failure list poisoned");
+        failures.sort_by_key(|&(i, _)| i);
+        if let Some((_, e)) = failures.into_iter().next() {
+            return Err(e);
+        }
     }
 
-    // Iterate spatial blocks.
+    for (_, name, slot) in outputs {
+        env.insert(name, slot.into_inner().expect("output lock poisoned"));
+    }
+    Ok(())
+}
+
+/// Enumerates the spatial block restrictions in row-major block order.
+fn enumerate_blocks(s: &crate::sched::FusedSchedule) -> Vec<Restrict> {
     let block_counts: Vec<usize> = s
         .spatial
         .iter()
         .map(|&(d, b)| s.smg.extent(d).div_ceil(b))
         .collect();
+    let mut blocks = Vec::with_capacity(block_counts.iter().product::<usize>().max(1));
     let mut block_idx = vec![0usize; s.spatial.len()];
     loop {
-        let spatial_restrict: Restrict = s
-            .spatial
-            .iter()
-            .zip(&block_idx)
-            .map(|(&(d, b), &i)| {
-                let start = i * b;
-                (d, (start, (start + b).min(s.smg.extent(d))))
-            })
-            .collect();
-
-        execute_block(kp, env, &mut outputs, &spatial_restrict)?;
-
+        blocks.push(
+            s.spatial
+                .iter()
+                .zip(&block_idx)
+                .map(|(&(d, b), &i)| {
+                    let start = i * b;
+                    (d, (start, (start + b).min(s.smg.extent(d))))
+                })
+                .collect(),
+        );
         // Advance the multi-index.
         let mut carry = true;
         for (i, c) in block_idx.iter_mut().zip(&block_counts) {
@@ -74,36 +192,36 @@ pub fn execute_kernel(kp: &KernelProgram, env: &mut HashMap<String, Tensor>) -> 
             break;
         }
     }
-
-    for (v, t) in outputs {
-        env.insert(graph.value(v).name.clone(), t);
-    }
-    Ok(())
+    blocks
 }
 
 fn execute_block(
     kp: &KernelProgram,
     env: &HashMap<String, Tensor>,
-    outputs: &mut HashMap<ValueId, Tensor>,
+    outputs: &[(ValueId, String, Mutex<Tensor>)],
     spatial: &Restrict,
+    pool: &mut ScratchPool,
 ) -> Result<()> {
     let graph = &kp.graph;
     let s = &kp.schedule;
     let Some(t) = &s.temporal else {
         // Unsliced block: evaluate everything on the block tile.
         let mut local: HashMap<ValueId, Tensor> = HashMap::new();
-        for (oi, _) in graph.ops().iter().enumerate() {
-            let out = eval_op(graph, &s.smg, oi, spatial, &|v| {
+        for (oi, op) in graph.ops().iter().enumerate() {
+            let out = eval_op(graph, &s.smg, oi, spatial, pool, &|v| {
                 value_view(graph, &s.smg, env, &local, v, spatial)
             })?;
-            local.insert(graph.ops()[oi].output, out);
+            local.insert(op.output, out);
         }
-        for (&o, full) in outputs.iter_mut() {
+        for (o, _, slot) in outputs {
             let tile = local
-                .get(&o)
-                .cloned()
+                .get(o)
                 .ok_or_else(|| SfError::Codegen("output not computed".into()))?;
-            scatter(graph, &s.smg, full, o, spatial, &tile)?;
+            let mut full = slot.lock().expect("output lock poisoned");
+            scatter(graph, &s.smg, &mut full, *o, spatial, tile)?;
+        }
+        for (_, tensor) in local.drain() {
+            pool.recycle_tensor(tensor);
         }
         return Ok(());
     };
@@ -112,50 +230,86 @@ fn execute_block(
     let extent = s.smg.extent(dim);
     let n_tiles = extent.div_ceil(t.block);
 
+    // Outputs of UTA update-factor dependencies. Their pre-tile values
+    // are double-buffered in `prev` by moving them out of `accs` at
+    // re-aggregation time, replacing the old whole-map `accs.clone()`
+    // snapshot per tile.
+    let uta_deps: Vec<ValueId> = t
+        .plan
+        .sliced
+        .iter()
+        .filter_map(|sl| match &sl.agg {
+            AggKind::Uta(factors) => Some(factors.as_slice()),
+            _ => None,
+        })
+        .flatten()
+        .map(|f| graph.ops()[f.dep.0].output)
+        .collect();
+
     // Phase 1: the intra-block loop computing the sliced reductions.
     let mut accs: HashMap<ValueId, Tensor> = HashMap::new();
+    let mut prev: HashMap<ValueId, Tensor> = HashMap::new();
+    let mut local: HashMap<ValueId, Tensor> = HashMap::new();
     for tile in 0..n_tiles {
         let start = tile * t.block;
         let mut restrict = spatial.clone();
         restrict.push((dim, (start, (start + t.block).min(extent))));
 
-        let snapshot = accs.clone();
-        let mut local: HashMap<ValueId, Tensor> = HashMap::new();
+        for (_, stale) in prev.drain() {
+            pool.recycle_tensor(stale);
+        }
         for (oi, op) in graph.ops().iter().enumerate() {
             if !kp.needed_phase1[oi] || kp.roles[oi] == OpRole::PostLoop {
                 continue;
             }
             match kp.roles[oi] {
                 OpRole::SlicedReduction(idx) => {
-                    let partial = eval_sliced_partial(graph, &s.smg, oi, dim, &restrict, &|v| {
-                        reduction_input_view(graph, &s.smg, env, &local, &accs, v, &restrict)
-                    })?;
+                    let partial =
+                        eval_sliced_partial(graph, &s.smg, oi, dim, &restrict, pool, &|v| {
+                            reduction_input_view(graph, &s.smg, env, &local, &accs, v, &restrict)
+                        })?;
                     let agg = &t.plan.sliced[idx].agg;
-                    let combined = match accs.get(&op.output) {
+                    let combined = match accs.remove(&op.output) {
                         None => partial,
                         Some(old) => {
-                            let updated = match agg {
-                                AggKind::Simple => old.clone(),
+                            let combined = match agg {
+                                AggKind::Simple => combine(graph, oi, &old, &partial, pool)?,
                                 AggKind::Uta(factors) => {
-                                    apply_update(graph, old, factors, &snapshot, &accs)?
+                                    let updated =
+                                        apply_update(graph, &old, factors, &prev, &accs, pool)?;
+                                    let combined = combine(graph, oi, &updated, &partial, pool)?;
+                                    pool.recycle_tensor(updated);
+                                    combined
                                 }
                             };
-                            combine(graph, oi, &updated, &partial)?
+                            pool.recycle_tensor(partial);
+                            // Later UTA updates in this tile read the
+                            // dependency's pre-tile value from `prev`.
+                            if uta_deps.contains(&op.output) {
+                                prev.insert(op.output, old);
+                            } else {
+                                pool.recycle_tensor(old);
+                            }
+                            combined
                         }
                     };
                     accs.insert(op.output, combined);
                 }
                 _ => {
-                    let out = eval_op(graph, &s.smg, oi, &restrict, &|v| {
+                    let out = eval_op(graph, &s.smg, oi, &restrict, pool, &|v| {
                         reduction_input_view(graph, &s.smg, env, &local, &accs, v, &restrict)
                     })?;
                     local.insert(op.output, out);
                 }
             }
         }
+        for (_, tensor) in local.drain() {
+            pool.recycle_tensor(tensor);
+        }
     }
 
-    // Finalize mean accumulators.
+    // Finalize mean accumulators (in place; same scalar division the
+    // reference `binary_scalar(Div, ...)` performs).
     for (oi, op) in graph.ops().iter().enumerate() {
         if let OpRole::SlicedReduction(_) = kp.roles[oi] {
             if let OpKind::Reduce {
@@ -163,26 +317,29 @@ fn execute_block(
             } = op.kind
             {
                 if let Some(acc) = accs.get_mut(&op.output) {
-                    *acc = ops::binary_scalar(BinaryOp::Div, acc, extent as f32);
+                    for v in acc.data_mut() {
+                        *v /= extent as f32;
+                    }
                 }
             }
         }
     }
 
     // Post-loop ops on finalized aggregates.
+    let no_local: HashMap<ValueId, Tensor> = HashMap::new();
     let mut post: HashMap<ValueId, Tensor> = HashMap::new();
     for (oi, op) in graph.ops().iter().enumerate() {
         if kp.roles[oi] != OpRole::PostLoop {
             continue;
         }
-        let out = eval_op(graph, &s.smg, oi, spatial, &|v| {
+        let out = eval_op(graph, &s.smg, oi, spatial, pool, &|v| {
             if let Some(a) = accs.get(&v) {
-                return Ok(a.clone());
+                return Ok(a.view());
             }
             if let Some(p) = post.get(&v) {
-                return Ok(p.clone());
+                return Ok(p.view());
             }
-            value_view(graph, &s.smg, env, &HashMap::new(), v, spatial)
+            value_view(graph, &s.smg, env, &no_local, v, spatial)
         })?;
         post.insert(op.output, out);
     }
@@ -194,65 +351,79 @@ fn execute_block(
             let start = tile * t.block;
             let mut restrict = spatial.clone();
             restrict.push((dim, (start, (start + t.block).min(extent))));
-            let mut local: HashMap<ValueId, Tensor> = HashMap::new();
             for (oi, op) in graph.ops().iter().enumerate() {
                 if kp.roles[oi] != OpRole::InLoop || !kp.needed_output[oi] {
                     continue;
                 }
-                let out = eval_op(graph, &s.smg, oi, &restrict, &|v| {
+                let out = eval_op(graph, &s.smg, oi, &restrict, pool, &|v| {
                     if let Some(l) = local.get(&v) {
-                        return Ok(l.clone());
+                        return Ok(l.view());
                     }
                     if let Some(a) = accs.get(&v) {
-                        return Ok(a.clone());
+                        return Ok(a.view());
                     }
                     if let Some(p) = post.get(&v) {
-                        return Ok(p.clone());
+                        return Ok(p.view());
                     }
-                    value_view(graph, &s.smg, env, &HashMap::new(), v, &restrict)
+                    value_view(graph, &s.smg, env, &no_local, v, &restrict)
                 })?;
                 local.insert(op.output, out);
             }
-            for (&o, full) in outputs.iter_mut() {
-                if s.smg.value_has_dim(graph, o, dim) {
+            for (o, _, slot) in outputs {
+                if s.smg.value_has_dim(graph, *o, dim) {
                     let tile_val = local
-                        .get(&o)
-                        .cloned()
+                        .get(o)
                         .ok_or_else(|| SfError::Codegen("phase-2 output missing".into()))?;
-                    scatter(graph, &s.smg, full, o, &restrict, &tile_val)?;
+                    let mut full = slot.lock().expect("output lock poisoned");
+                    scatter(graph, &s.smg, &mut full, *o, &restrict, tile_val)?;
                 }
+            }
+            for (_, tensor) in local.drain() {
+                pool.recycle_tensor(tensor);
             }
         }
     }
 
     // Outputs that do not span the sliced dimension come from the
     // aggregates / post-loop values.
-    for (&o, full) in outputs.iter_mut() {
-        if s.smg.value_has_dim(graph, o, dim) {
+    for (o, _, slot) in outputs {
+        if s.smg.value_has_dim(graph, *o, dim) {
             continue; // written in phase 2.
         }
         let tile = accs
-            .get(&o)
-            .or_else(|| post.get(&o))
-            .cloned()
+            .get(o)
+            .or_else(|| post.get(o))
             .ok_or_else(|| SfError::Codegen("block output missing".into()))?;
-        scatter(graph, &s.smg, full, o, spatial, &tile)?;
+        let mut full = slot.lock().expect("output lock poisoned");
+        scatter(graph, &s.smg, &mut full, *o, spatial, tile)?;
+    }
+
+    // Recycle the block's remaining buffers for the next block on this
+    // worker.
+    for (_, tensor) in accs.drain() {
+        pool.recycle_tensor(tensor);
+    }
+    for (_, tensor) in post.drain() {
+        pool.recycle_tensor(tensor);
+    }
+    for (_, tensor) in prev.drain() {
+        pool.recycle_tensor(tensor);
     }
     Ok(())
 }
 
 /// View of a value restricted to the given ranges: computed tiles come
-/// from `local`, globals are extracted from `env`.
-fn value_view(
+/// from `local`, globals are viewed directly in `env` storage.
+fn value_view<'a>(
     graph: &Graph,
     smg: &Smg,
-    env: &HashMap<String, Tensor>,
-    local: &HashMap<ValueId, Tensor>,
+    env: &'a HashMap<String, Tensor>,
+    local: &'a HashMap<ValueId, Tensor>,
     v: ValueId,
     restrict: &Restrict,
-) -> Result<Tensor> {
+) -> Result<TensorView<'a>> {
     if let Some(t) = local.get(&v) {
-        return Ok(t.clone());
+        return Ok(t.view());
     }
     let name = &graph.value(v).name;
     let full = env
@@ -263,35 +434,40 @@ fn value_view(
         // The binding was materialized upstream of a layout barrier and
         // carries the producing kernel's layout; view it under this
         // segment's declared shape before extracting the block tile.
-        let viewed = full.reshape(declared.clone())?;
-        return Ok(extract(graph, smg, &viewed, v, restrict));
+        let reinterpreted = full.view_reshaped(declared.clone())?;
+        return extract(graph, smg, reinterpreted, v, restrict);
     }
-    Ok(extract(graph, smg, full, v, restrict))
+    extract(graph, smg, full.view(), v, restrict)
 }
 
 /// Like [`value_view`] but lets running aggregates shadow global values.
-fn reduction_input_view(
+fn reduction_input_view<'a>(
     graph: &Graph,
     smg: &Smg,
-    env: &HashMap<String, Tensor>,
-    local: &HashMap<ValueId, Tensor>,
-    accs: &HashMap<ValueId, Tensor>,
+    env: &'a HashMap<String, Tensor>,
+    local: &'a HashMap<ValueId, Tensor>,
+    accs: &'a HashMap<ValueId, Tensor>,
     v: ValueId,
     restrict: &Restrict,
-) -> Result<Tensor> {
+) -> Result<TensorView<'a>> {
     if let Some(t) = local.get(&v) {
-        return Ok(t.clone());
+        return Ok(t.view());
     }
     if let Some(a) = accs.get(&v) {
-        return Ok(a.clone());
+        return Ok(a.view());
     }
     value_view(graph, smg, env, local, v, restrict)
 }
 
-/// Extracts the restricted sub-tensor of a full value.
-fn extract(graph: &Graph, smg: &Smg, full: &Tensor, v: ValueId, restrict: &Restrict) -> Tensor {
-    let shape = graph.shape(v);
-    let ranges: Vec<(usize, usize)> = shape
+/// Per-axis `[start, end)` ranges of `v` under a restriction.
+fn restricted_ranges(
+    graph: &Graph,
+    smg: &Smg,
+    v: ValueId,
+    restrict: &Restrict,
+) -> Vec<(usize, usize)> {
+    graph
+        .shape(v)
         .dims()
         .iter()
         .enumerate()
@@ -304,29 +480,26 @@ fn extract(graph: &Graph, smg: &Smg, full: &Tensor, v: ValueId, restrict: &Restr
             }
             (0, e)
         })
-        .collect();
-    let out_dims: Vec<usize> = ranges.iter().map(|&(s, t)| t - s).collect();
-    let out_shape = Shape::new(out_dims.clone());
-    let mut out = Tensor::zeros(out_shape, full.dtype());
-    let mut idx = vec![0usize; ranges.len()];
-    let volume = out.shape().volume();
-    let mut src_index = vec![0usize; ranges.len()];
-    for lin in 0..volume {
-        // Decode lin into idx.
-        let mut rem = lin;
-        for (i, &d) in out_dims.iter().enumerate().rev() {
-            idx[i] = rem % d.max(1);
-            rem /= d.max(1);
-        }
-        for i in 0..ranges.len() {
-            src_index[i] = ranges[i].0 + idx[i];
-        }
-        out.data_mut()[lin] = full.at(&src_index);
-    }
-    out
+        .collect()
+}
+
+/// Zero-copy view of the restricted sub-tensor of a full value.
+fn extract<'a>(
+    graph: &Graph,
+    smg: &Smg,
+    full: TensorView<'a>,
+    v: ValueId,
+    restrict: &Restrict,
+) -> Result<TensorView<'a>> {
+    let ranges = restricted_ranges(graph, smg, v, restrict);
+    full.slice(&ranges).map_err(Into::into)
 }
 
 /// Writes a tile back into the full output tensor.
+///
+/// Spatial blocks restrict at most a prefix of each output's axes, so
+/// the destination region decomposes into contiguous runs that are
+/// copied slice-to-slice.
 fn scatter(
     graph: &Graph,
     smg: &Smg,
@@ -335,21 +508,8 @@ fn scatter(
     restrict: &Restrict,
     tile: &Tensor,
 ) -> Result<()> {
-    let shape = graph.shape(v).clone();
-    let ranges: Vec<(usize, usize)> = shape
-        .dims()
-        .iter()
-        .enumerate()
-        .map(|(axis, &e)| {
-            let d = smg.value_axes[v.0][axis];
-            if e == smg.extent(d) {
-                if let Some(&(_, (s, t))) = restrict.iter().find(|&&(rd, _)| rd == d) {
-                    return (s.min(e), t.min(e));
-                }
-            }
-            (0, e)
-        })
-        .collect();
+    let shape = graph.shape(v);
+    let ranges = restricted_ranges(graph, smg, v, restrict);
     let out_dims: Vec<usize> = ranges.iter().map(|&(s, t)| t - s).collect();
     if out_dims != tile.shape().dims() {
         return Err(SfError::Codegen(format!(
@@ -358,40 +518,63 @@ fn scatter(
             out_dims
         )));
     }
-    let volume = tile.shape().volume();
-    let mut idx = vec![0usize; ranges.len()];
-    let mut dst_index = vec![0usize; ranges.len()];
-    for lin in 0..volume {
-        let mut rem = lin;
-        for (i, &d) in out_dims.iter().enumerate().rev() {
+    let full_dims = shape.dims();
+    let strides = shape.strides();
+    // Innermost axes whose range covers the whole extent form, together
+    // with the deepest restricted axis, one contiguous run per outer
+    // index in both the tile and the destination.
+    let mut split = ranges.len();
+    while split > 0 && ranges[split - 1] == (0, full_dims[split - 1]) {
+        split -= 1;
+    }
+    let outer = split.saturating_sub(1);
+    let run: usize = out_dims[outer..].iter().product();
+    let n_outer: usize = out_dims[..outer].iter().product();
+    let dst = full.data_mut();
+    let src = tile.data();
+    let mut idx = vec![0usize; outer];
+    for block in 0..n_outer {
+        let mut rem = block;
+        for (i, &d) in out_dims[..outer].iter().enumerate().rev() {
             idx[i] = rem % d.max(1);
             rem /= d.max(1);
         }
-        for i in 0..ranges.len() {
-            dst_index[i] = ranges[i].0 + idx[i];
+        let mut base = 0usize;
+        for (ax, (&(s, _), &stride)) in ranges.iter().zip(&strides).enumerate() {
+            let off = s + if ax < outer { idx[ax] } else { 0 };
+            base += off * stride;
         }
-        full.set(&dst_index, tile.data()[lin]);
+        dst[base..base + run].copy_from_slice(&src[block * run..(block + 1) * run]);
     }
     Ok(())
 }
 
 /// Evaluates one (non-sliced) operator on restricted views.
-fn eval_op(
+fn eval_op<'a>(
     graph: &Graph,
     smg: &Smg,
     op_idx: usize,
     restrict: &Restrict,
-    get: &dyn Fn(ValueId) -> Result<Tensor>,
+    pool: &mut ScratchPool,
+    get: &dyn Fn(ValueId) -> Result<TensorView<'a>>,
 ) -> Result<Tensor> {
     let op = &graph.ops()[op_idx];
     let out = match &op.kind {
         OpKind::Gemm { transpose_b } => {
-            ops::matmul(&get(op.inputs[0])?, &get(op.inputs[1])?, *transpose_b)?
+            let a = get(op.inputs[0])?;
+            let b = get(op.inputs[1])?;
+            viewed::matmul(&a, &b, *transpose_b, pool)?
         }
-        OpKind::Unary(u) => ops::unary(*u, &get(op.inputs[0])?),
-        OpKind::Binary(b) => ops::binary(*b, &get(op.inputs[0])?, &get(op.inputs[1])?)?,
-        OpKind::Scalar { op: b, value } => ops::binary_scalar(*b, &get(op.inputs[0])?, *value),
-        OpKind::Reduce { op: r, dim } => ops::reduce(*r, &get(op.inputs[0])?, *dim)?,
+        OpKind::Unary(u) => viewed::unary(*u, &get(op.inputs[0])?, pool),
+        OpKind::Binary(b) => {
+            let x = get(op.inputs[0])?;
+            let y = get(op.inputs[1])?;
+            viewed::binary(*b, &x, &y, pool)?
+        }
+        OpKind::Scalar { op: b, value } => {
+            viewed::binary_scalar(*b, &get(op.inputs[0])?, *value, pool)
+        }
+        OpKind::Reduce { op: r, dim } => viewed::reduce(*r, &get(op.inputs[0])?, *dim, pool)?,
         OpKind::Broadcast { dim, .. } => {
             // The broadcast target extent is the *restricted* extent.
             let d = smg.value_axes[op.output.0][*dim];
@@ -401,7 +584,7 @@ fn eval_op(
                 .find(|&&(rd, _)| rd == d)
                 .map(|&(_, (s, t))| (t - s).min(full))
                 .unwrap_or(full);
-            ops::broadcast_to(&get(op.inputs[0])?, *dim, ext)?
+            viewed::broadcast_to(&get(op.inputs[0])?, *dim, ext, pool)?
         }
         OpKind::LayoutBarrier => {
             return Err(SfError::Codegen("layout barrier inside a kernel".into()))
@@ -413,21 +596,22 @@ fn eval_op(
 /// Evaluates the partial result of a sliced reduction on one tile.
 ///
 /// Mean reductions accumulate raw sums (finalized at loop end).
-fn eval_sliced_partial(
+fn eval_sliced_partial<'a>(
     graph: &Graph,
     smg: &Smg,
     op_idx: usize,
     dim: DimId,
     _restrict: &Restrict,
-    get: &dyn Fn(ValueId) -> Result<Tensor>,
+    pool: &mut ScratchPool,
+    get: &dyn Fn(ValueId) -> Result<TensorView<'a>>,
 ) -> Result<Tensor> {
     let op = &graph.ops()[op_idx];
     match &op.kind {
-        OpKind::Gemm { transpose_b } => Ok(ops::matmul(
-            &get(op.inputs[0])?,
-            &get(op.inputs[1])?,
-            *transpose_b,
-        )?),
+        OpKind::Gemm { transpose_b } => {
+            let a = get(op.inputs[0])?;
+            let b = get(op.inputs[1])?;
+            Ok(viewed::matmul(&a, &b, *transpose_b, pool)?)
+        }
         OpKind::Reduce { op: r, dim: axis } => {
             let input = get(op.inputs[0])?;
             // Sanity: the reduce axis must be the sliced dimension.
@@ -437,7 +621,7 @@ fn eval_sliced_partial(
             } else {
                 *r
             };
-            Ok(ops::reduce(kind, &input, *axis)?)
+            Ok(viewed::reduce(kind, &input, *axis, pool)?)
         }
         other => Err(SfError::Codegen(format!(
             "op {} cannot be a sliced reduction",
@@ -447,7 +631,13 @@ fn eval_sliced_partial(
 }
 
 /// Combines an (updated) accumulator with a tile partial.
-fn combine(graph: &Graph, op_idx: usize, acc: &Tensor, partial: &Tensor) -> Result<Tensor> {
+fn combine(
+    graph: &Graph,
+    op_idx: usize,
+    acc: &Tensor,
+    partial: &Tensor,
+    pool: &mut ScratchPool,
+) -> Result<Tensor> {
     let op = &graph.ops()[op_idx];
     let b = match &op.kind {
         OpKind::Reduce {
@@ -455,33 +645,52 @@ fn combine(graph: &Graph, op_idx: usize, acc: &Tensor, partial: &Tensor) -> Resu
         } => BinaryOp::Max,
         _ => BinaryOp::Add,
     };
-    Ok(ops::binary(b, acc, partial)?)
+    Ok(viewed::binary(b, &acc.view(), &partial.view(), pool)?)
 }
 
 /// Applies the UTA update function: multiplies the old accumulator by
 /// `Π g(dep_old, dep_new)`.
+///
+/// `prev` holds the dependencies' pre-tile values (moved out of the
+/// accumulator map when the dependency re-aggregated this tile);
+/// `current` holds their freshly combined values.
 fn apply_update(
     graph: &Graph,
     old_acc: &Tensor,
     factors: &[crate::slicer::UpdateFactor],
-    snapshot: &HashMap<ValueId, Tensor>,
+    prev: &HashMap<ValueId, Tensor>,
     current: &HashMap<ValueId, Tensor>,
+    pool: &mut ScratchPool,
 ) -> Result<Tensor> {
-    let mut result = old_acc.clone();
+    let mut result: Option<Tensor> = None;
     for f in factors {
         let dep_out = graph.ops()[f.dep.0].output;
-        let old = snapshot
+        let old = prev
             .get(&dep_out)
             .ok_or_else(|| SfError::Codegen("missing old dependency value".into()))?;
         let new = current
             .get(&dep_out)
             .ok_or_else(|| SfError::Codegen("missing new dependency value".into()))?;
         let g = match f.form {
-            FactorForm::Recip => ops::binary(BinaryOp::Div, old, new)?,
-            FactorForm::ExpNeg => ops::unary(UnaryOp::Exp, &ops::binary(BinaryOp::Sub, old, new)?),
-            FactorForm::Value => ops::binary(BinaryOp::Div, new, old)?,
+            FactorForm::Recip => viewed::binary(BinaryOp::Div, &old.view(), &new.view(), pool)?,
+            FactorForm::ExpNeg => {
+                let diff = viewed::binary(BinaryOp::Sub, &old.view(), &new.view(), pool)?;
+                let exp = viewed::unary(UnaryOp::Exp, &diff.view(), pool);
+                pool.recycle_tensor(diff);
+                exp
+            }
+            FactorForm::Value => viewed::binary(BinaryOp::Div, &new.view(), &old.view(), pool)?,
         };
-        result = ops::binary(BinaryOp::Mul, &result, &g)?;
+        let next = match result.take() {
+            None => viewed::binary(BinaryOp::Mul, &old_acc.view(), &g.view(), pool)?,
+            Some(r) => {
+                let m = viewed::binary(BinaryOp::Mul, &r.view(), &g.view(), pool)?;
+                pool.recycle_tensor(r);
+                m
+            }
+        };
+        pool.recycle_tensor(g);
+        result = Some(next);
     }
-    Ok(result)
+    Ok(result.unwrap_or_else(|| old_acc.clone()))
 }

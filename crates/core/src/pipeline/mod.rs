@@ -32,7 +32,9 @@ pub use stats::{
     PassId,
 };
 
-use crate::codegen::{estimate_cost, execute_kernel, trace_kernel, KernelProgram};
+use crate::codegen::{
+    estimate_cost, execute_kernel_with, trace_kernel, ExecOptions, KernelProgram,
+};
 use crate::error::{Result, SfError};
 use crate::sched::SlicingOptions;
 use sf_gpu_sim::{Arch, GpuArch, KernelCost, Profiler, ProgramStats};
@@ -123,13 +125,26 @@ pub struct ProfileReport {
 }
 
 impl CompiledProgram {
-    /// Executes the program numerically over named bindings.
+    /// Executes the program numerically over named bindings with
+    /// default execution options.
     ///
     /// Returns the output tensors in the original graph's output order.
     pub fn execute(&self, bindings: &HashMap<String, Tensor>) -> Result<Vec<Tensor>> {
+        self.execute_with(bindings, &ExecOptions::default())
+    }
+
+    /// Executes the program with explicit execution options (worker
+    /// thread count for the spatial block loop).
+    ///
+    /// Results are bit-identical for every thread count.
+    pub fn execute_with(
+        &self,
+        bindings: &HashMap<String, Tensor>,
+        opts: &ExecOptions,
+    ) -> Result<Vec<Tensor>> {
         let mut env = bindings.clone();
         for k in &self.kernels {
-            execute_kernel(k, &mut env)?;
+            execute_kernel_with(k, &mut env, opts)?;
         }
         self.outputs
             .iter()

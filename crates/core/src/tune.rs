@@ -9,6 +9,12 @@
 
 use crate::codegen::{estimate_cost, KernelProgram};
 use sf_gpu_sim::GpuArch;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Candidate sets larger than this have their cost-model evaluation
+/// fanned out over worker threads.
+const PARALLEL_THRESHOLD: usize = 32;
 
 /// Outcome of tuning one kernel's candidate set.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,17 +44,20 @@ pub fn tune(
     if candidates.is_empty() {
         return None;
     }
+    // Hoisted out of the candidate loop: the clamped early-quit factor
+    // and the per-candidate model times (evaluated in parallel for large
+    // search spaces).
+    let alpha = alpha.clamp(0.01, 1.0);
+    let times = candidate_times(candidates, arch, instances);
+
     let mut best = 0usize;
     let mut best_us = f64::INFINITY;
     let mut evaluated = 0usize;
     let mut pruned = 0usize;
-
-    for (i, kp) in candidates.iter().enumerate() {
-        let cost = estimate_cost(kp, instances);
-        let t = arch.kernel_time_us(&cost);
+    for (i, &t) in times.iter().enumerate() {
         // Early-quit: once a candidate is clearly worse than the current
         // best, its remaining test repetitions are abandoned.
-        if t > best_us / alpha.clamp(0.01, 1.0) {
+        if t > best_us / alpha {
             pruned += 1;
         } else {
             evaluated += 1;
@@ -64,6 +73,45 @@ pub fn tune(
         evaluated,
         pruned,
     })
+}
+
+/// Cost-model time of every candidate, in candidate order.
+fn candidate_times(candidates: &[KernelProgram], arch: &GpuArch, instances: u64) -> Vec<f64> {
+    if candidates.len() <= PARALLEL_THRESHOLD {
+        return candidates
+            .iter()
+            .map(|kp| arch.kernel_time_us(&estimate_cost(kp, instances)))
+            .collect();
+    }
+    tune_parallel(candidates, arch, instances)
+}
+
+/// Parallel cost evaluation for large candidate sets.
+///
+/// Only the (pure, per-candidate) model evaluation is fanned out; the
+/// fold over the resulting times stays serial, so the winner and the
+/// `evaluated + pruned == candidates.len()` accounting are exactly those
+/// of the serial path.
+fn tune_parallel(candidates: &[KernelProgram], arch: &GpuArch, instances: u64) -> Vec<f64> {
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(8)
+        .min(candidates.len());
+    let times = Mutex::new(vec![0.0f64; candidates.len()]);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= candidates.len() {
+                    return;
+                }
+                let t = arch.kernel_time_us(&estimate_cost(&candidates[i], instances));
+                times.lock().expect("times lock poisoned")[i] = t;
+            });
+        }
+    });
+    times.into_inner().expect("times lock poisoned")
 }
 
 #[cfg(test)]
@@ -136,5 +184,31 @@ mod tests {
     #[test]
     fn empty_candidates_return_none() {
         assert_eq!(tune(&[], &GpuArch::ampere(), 1, 0.25), None);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_semantics() {
+        let arch = GpuArch::ampere();
+        let (_, kps) = mha_candidates(&arch);
+        // Tile the candidate set past the threshold so candidate_times
+        // takes the tune_parallel path.
+        let mut big: Vec<KernelProgram> = Vec::new();
+        while big.len() <= PARALLEL_THRESHOLD {
+            big.extend(kps.iter().cloned());
+        }
+        let r = tune(&big, &arch, 32, 0.25).unwrap();
+        assert_eq!(r.evaluated + r.pruned, big.len());
+
+        // Reference: the historical serial fold.
+        let (mut best, mut best_us) = (0usize, f64::INFINITY);
+        for (i, kp) in big.iter().enumerate() {
+            let t = arch.kernel_time_us(&estimate_cost(kp, 32));
+            if t < best_us {
+                best_us = t;
+                best = i;
+            }
+        }
+        assert_eq!(r.best, best);
+        assert_eq!(r.best_us, best_us);
     }
 }

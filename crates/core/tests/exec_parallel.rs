@@ -1,0 +1,122 @@
+//! Parallel execution determinism: the multi-threaded block engine must
+//! be *bit-identical* to serial execution. Spatial blocks write disjoint
+//! output regions (Table 3 legality), so no thread count, scheduling
+//! order, or scratch-pool reuse pattern may change a single bit of any
+//! output. The whole model zoo is checked under every fusion policy and
+//! architecture at `exec-threads` ∈ {1, 2, 8}.
+
+use sf_gpu_sim::Arch;
+use sf_ir::Graph;
+use sf_models::subgraphs;
+use spacefusion::codegen::ExecOptions;
+use spacefusion::compiler::{Compiler, FusionPolicy};
+
+/// Small-size zoo instances: every subgraph family from Fig. 10.
+fn zoo() -> Vec<Graph> {
+    vec![
+        subgraphs::mlp_stack(2, 24, 16),
+        subgraphs::lstm_cell(8, 16),
+        subgraphs::softmax(32, 24),
+        subgraphs::layernorm(24, 16),
+        subgraphs::rmsnorm(24, 16),
+        subgraphs::mha(1, 2, 16, 8),
+        subgraphs::masked_mha(1, 2, 16, 8),
+        subgraphs::mha_decode(1, 2, 16, 8),
+    ]
+}
+
+const POLICIES: [FusionPolicy; 5] = [
+    FusionPolicy::SpaceFusion,
+    FusionPolicy::Unfused,
+    FusionPolicy::EpilogueOnly,
+    FusionPolicy::MiOnly,
+    FusionPolicy::TileGraph,
+];
+
+const ARCHS: [Arch; 3] = [Arch::Volta, Arch::Ampere, Arch::Hopper];
+
+#[test]
+fn parallel_execution_is_bit_identical_to_serial() {
+    for graph in zoo() {
+        let bindings = graph.random_bindings(7);
+        for arch in ARCHS {
+            for policy in POLICIES {
+                let program = Compiler::with_policy(arch, policy)
+                    .compile(&graph)
+                    .unwrap_or_else(|e| panic!("{}/{arch:?}/{policy:?}: {e}", graph.name()));
+                let serial = program
+                    .execute_with(&bindings, &ExecOptions::with_threads(1))
+                    .unwrap_or_else(|e| panic!("{}/{arch:?}/{policy:?}: {e}", graph.name()));
+                for threads in [2usize, 8] {
+                    let parallel = program
+                        .execute_with(&bindings, &ExecOptions::with_threads(threads))
+                        .unwrap_or_else(|e| {
+                            panic!("{}/{arch:?}/{policy:?}/t{threads}: {e}", graph.name())
+                        });
+                    assert_eq!(serial.len(), parallel.len());
+                    for (s, p) in serial.iter().zip(&parallel) {
+                        assert_eq!(s.shape(), p.shape());
+                        // Bitwise, not approximate: identical FP operation
+                        // order is a hard requirement of the engine.
+                        let sb: Vec<u32> = s.data().iter().map(|v| v.to_bits()).collect();
+                        let pb: Vec<u32> = p.data().iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(
+                            sb,
+                            pb,
+                            "{}/{arch:?}/{policy:?} diverged at {threads} threads",
+                            graph.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scratch-buffer reuse must cut fresh allocations well below the naive
+/// engine's bound of one (or more) fresh buffer per op per tile per
+/// block. The acceptance bar from the issue is a ≥5× reduction on the
+/// attention subgraph.
+#[test]
+fn attention_allocations_reduced_by_scratch_reuse() {
+    let graph = subgraphs::mha(1, 4, 64, 32);
+    let bindings = graph.random_bindings(11);
+    let program = Compiler::with_policy(Arch::Ampere, FusionPolicy::SpaceFusion)
+        .compile(&graph)
+        .expect("compile mha");
+
+    // Naive bound: the pre-reuse engine materialized a fresh tensor per
+    // input extraction and per op output, for every (block, tile) pair.
+    // Count op evaluations the same way the engine walks the schedule.
+    let mut naive: u64 = 0;
+    for kernel in &program.kernels {
+        let s = &kernel.schedule;
+        let blocks: u64 = s
+            .spatial
+            .iter()
+            .map(|&(d, b)| s.smg.extent(d).max(1).div_ceil(b.max(1)) as u64)
+            .product();
+        let tiles: u64 = s.temporal.as_ref().map_or(1, |t| {
+            s.smg.extent(t.plan.dim).max(1).div_ceil(t.block.max(1)) as u64
+        });
+        let per_tile: u64 = kernel
+            .graph
+            .ops()
+            .iter()
+            .map(|op| 1 + op.inputs.len() as u64)
+            .sum();
+        naive += blocks * tiles * per_tile.max(1);
+    }
+
+    sf_tensor::alloc_stats::reset_allocations();
+    program
+        .execute_with(&bindings, &ExecOptions::with_threads(1))
+        .expect("execute mha");
+    let actual = sf_tensor::alloc_stats::allocations();
+
+    assert!(actual > 0, "counter must observe the run");
+    assert!(
+        actual * 5 <= naive,
+        "expected ≥5x allocation reduction: naive bound {naive}, actual {actual}"
+    );
+}

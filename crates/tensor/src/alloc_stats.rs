@@ -1,0 +1,50 @@
+//! Process-wide tensor-allocation counter.
+//!
+//! Counts *fresh data-buffer acquisitions*: tensor constructors that
+//! materialize a new `Vec<f32>` ([`Tensor::zeros`](crate::Tensor::zeros),
+//! `full`, `random`, `reshape`, `quantized`, `Clone`,
+//! [`TensorView::to_tensor`](crate::TensorView::to_tensor)) and
+//! [`ScratchPool`](crate::ScratchPool) misses. Pool hits and zero-copy
+//! views are free and therefore not counted — the counter is the metric
+//! benchmarks use to show that the execution engine recycles buffers
+//! instead of allocating per block/tile.
+//!
+//! `Tensor::from_data` adopts a caller-provided buffer and is *not*
+//! counted; buffers produced by a pool are counted once, at `take` time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one fresh buffer allocation (crate-internal).
+pub(crate) fn record_alloc() {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Number of fresh tensor-buffer allocations since the last
+/// [`reset_allocations`].
+pub fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Resets the allocation counter to zero.
+pub fn reset_allocations() {
+    ALLOCS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DType, Shape, Tensor};
+
+    #[test]
+    fn constructors_and_clones_count() {
+        // Other tests run concurrently, so measure deltas with >= bounds.
+        let before = super::allocations();
+        let t = Tensor::zeros(Shape::new(vec![4]), DType::F32);
+        let _c = t.clone();
+        let _q = t.quantized();
+        let _r = t.reshape(Shape::new(vec![2, 2])).unwrap();
+        let _v = t.view(); // free
+        assert!(super::allocations() >= before + 4);
+    }
+}

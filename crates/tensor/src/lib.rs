@@ -15,14 +15,19 @@
 //! used by the GPU performance model (the paper evaluates in FP16, so most
 //! workloads use [`DType::F16`] which occupies two bytes per element).
 
+pub mod alloc_stats;
 pub mod dtype;
 pub mod error;
 pub mod ops;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod tensor;
+pub mod view;
 
 pub use dtype::DType;
 pub use error::{Result, TensorError};
+pub use scratch::ScratchPool;
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use view::TensorView;

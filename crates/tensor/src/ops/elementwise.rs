@@ -1,13 +1,16 @@
 //! Element-wise unary and binary reference operators.
+//!
+//! Thin dense-tensor wrappers over the view kernels in
+//! [`super::viewed`], so one implementation defines the semantics.
 
-use super::{BinaryOp, UnaryOp};
+use super::{viewed, BinaryOp, UnaryOp};
 use crate::error::Result;
+use crate::scratch::ScratchPool;
 use crate::tensor::Tensor;
 
 /// Applies a unary operator element-wise.
 pub fn unary(op: UnaryOp, x: &Tensor) -> Tensor {
-    let data = x.data().iter().map(|&v| op.eval(v)).collect();
-    Tensor::from_data(x.shape().clone(), x.dtype(), data).expect("unary preserves volume")
+    viewed::unary(op, &x.view(), &mut ScratchPool::disabled())
 }
 
 /// Applies a binary operator element-wise with limited broadcasting.
@@ -17,47 +20,12 @@ pub fn unary(op: UnaryOp, x: &Tensor) -> Tensor {
 /// broadcast pattern in the paper's workloads (row/column broadcasts after
 /// reductions, bias adds).
 pub fn binary(op: BinaryOp, a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let out_shape = a.shape().broadcast_with(b.shape())?;
-    let rank = out_shape.rank();
-    let volume = out_shape.volume();
-    let out_strides = out_shape.strides();
-    let a_strides = masked_strides(a, &out_shape);
-    let b_strides = masked_strides(b, &out_shape);
-
-    let mut data = Vec::with_capacity(volume);
-    let a_data = a.data();
-    let b_data = b.data();
-    for lin in 0..volume {
-        let mut a_off = 0;
-        let mut b_off = 0;
-        let mut rem = lin;
-        for d in 0..rank {
-            let idx = rem / out_strides[d];
-            rem %= out_strides[d];
-            a_off += idx * a_strides[d];
-            b_off += idx * b_strides[d];
-        }
-        data.push(op.eval(a_data[a_off], b_data[b_off]));
-    }
-    Ok(Tensor::from_data(out_shape, a.dtype(), data).expect("volume matches"))
+    viewed::binary(op, &a.view(), &b.view(), &mut ScratchPool::disabled())
 }
 
 /// Applies `op(x, scalar)` element-wise.
 pub fn binary_scalar(op: BinaryOp, x: &Tensor, scalar: f32) -> Tensor {
-    let data = x.data().iter().map(|&v| op.eval(v, scalar)).collect();
-    Tensor::from_data(x.shape().clone(), x.dtype(), data).expect("binary_scalar preserves volume")
-}
-
-/// Strides of `t` viewed in `out` shape: broadcast dims get stride 0.
-fn masked_strides(t: &Tensor, out: &crate::shape::Shape) -> Vec<usize> {
-    let strides = t.shape().strides();
-    t.shape()
-        .dims()
-        .iter()
-        .zip(out.dims().iter())
-        .zip(strides)
-        .map(|((&td, &od), s)| if td == od { s } else { 0 })
-        .collect()
+    viewed::binary_scalar(op, &x.view(), scalar, &mut ScratchPool::disabled())
 }
 
 #[cfg(test)]

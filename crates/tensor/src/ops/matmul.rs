@@ -1,6 +1,8 @@
 //! Matrix-multiplication reference operators.
 
+use super::viewed;
 use crate::error::{Result, TensorError};
+use crate::scratch::ScratchPool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -10,45 +12,12 @@ use crate::tensor::Tensor;
 /// shape `[N, K]` (the layout used by the paper's `QK = GEMM(Query, Key)`
 /// where both operands are `[rows, K]`).
 pub fn matmul(a: &Tensor, b: &Tensor, transpose_b: bool) -> Result<Tensor> {
-    if a.shape().rank() != 2 || b.shape().rank() != 2 {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul(rank)",
-            lhs: a.shape().clone(),
-            rhs: b.shape().clone(),
-        });
-    }
-    let (m, k) = (a.shape().dim(0)?, a.shape().dim(1)?);
-    let (n, bk) = if transpose_b {
-        (b.shape().dim(0)?, b.shape().dim(1)?)
-    } else {
-        (b.shape().dim(1)?, b.shape().dim(0)?)
-    };
-    if k != bk {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul(inner)",
-            lhs: a.shape().clone(),
-            rhs: b.shape().clone(),
-        });
-    }
-
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f32;
-            for kk in 0..k {
-                let bv = if transpose_b {
-                    bd[j * k + kk]
-                } else {
-                    bd[kk * n + j]
-                };
-                acc += ad[i * k + kk] * bv;
-            }
-            out[i * n + j] = acc;
-        }
-    }
-    Tensor::from_data(Shape::new(vec![m, n]), a.dtype(), out)
+    viewed::matmul(
+        &a.view(),
+        &b.view(),
+        transpose_b,
+        &mut ScratchPool::disabled(),
+    )
 }
 
 /// Batched matrix multiplication over one leading batch dimension.

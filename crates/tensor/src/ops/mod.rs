@@ -10,6 +10,7 @@ mod matmul;
 mod reduce;
 
 pub mod composite;
+pub mod viewed;
 
 pub use elementwise::{binary, binary_scalar, unary};
 pub use matmul::{batched_matmul, matmul};

@@ -1,7 +1,8 @@
 //! Reduction and broadcast reference operators.
 
-use super::ReduceOp;
-use crate::error::{Result, TensorError};
+use super::{viewed, ReduceOp};
+use crate::error::Result;
+use crate::scratch::ScratchPool;
 use crate::tensor::Tensor;
 
 /// Reduces along dimension `dim`, keeping it with extent 1.
@@ -11,36 +12,7 @@ use crate::tensor::Tensor;
 /// placeholder ("-" in the paper's notation) but still exists in the fused
 /// space.
 pub fn reduce(op: ReduceOp, x: &Tensor, dim: usize) -> Result<Tensor> {
-    let rank = x.shape().rank();
-    if dim >= rank {
-        return Err(TensorError::DimOutOfRange { dim, rank });
-    }
-    let extent = x.shape().dim(dim)?;
-    let out_shape = x.shape().with_dim(dim, 1)?;
-    let mut out = Tensor::full(out_shape.clone(), x.dtype(), op.identity());
-
-    let in_strides = x.shape().strides();
-    let out_strides = out_shape.strides();
-    let out_volume = out_shape.volume();
-    let xd = x.data();
-    let od = out.data_mut();
-
-    for (out_lin, slot) in od.iter_mut().enumerate().take(out_volume) {
-        // Decode the output index, then walk the reduced dimension.
-        let mut base = 0usize;
-        let mut rem = out_lin;
-        for d in 0..rank {
-            let idx = rem / out_strides[d];
-            rem %= out_strides[d];
-            base += idx * in_strides[d];
-        }
-        let mut acc = op.identity();
-        for r in 0..extent {
-            acc = op.combine(acc, xd[base + r * in_strides[dim]]);
-        }
-        *slot = op.finalize(acc, extent);
-    }
-    Ok(out)
+    viewed::reduce(op, &x.view(), dim, &mut ScratchPool::disabled())
 }
 
 /// Broadcasts a tensor with extent 1 in `dim` to extent `extent`.
@@ -49,36 +21,7 @@ pub fn reduce(op: ReduceOp, x: &Tensor, dim: usize) -> Result<Tensor> {
 /// introduces; element-wise ops also accept implicit broadcasts, but the
 /// compiler sometimes materializes broadcasts when transforming dataflow.
 pub fn broadcast_to(x: &Tensor, dim: usize, extent: usize) -> Result<Tensor> {
-    let rank = x.shape().rank();
-    if dim >= rank {
-        return Err(TensorError::DimOutOfRange { dim, rank });
-    }
-    if x.shape().dim(dim)? != 1 {
-        return Err(TensorError::InvalidShape(format!(
-            "broadcast_to requires extent 1 in dim {dim}, got shape {}",
-            x.shape()
-        )));
-    }
-    let out_shape = x.shape().with_dim(dim, extent)?;
-    let mut out = Tensor::zeros(out_shape.clone(), x.dtype());
-    let in_strides = x.shape().strides();
-    let out_strides = out_shape.strides();
-    let volume = out_shape.volume();
-    let xd = x.data();
-    let od = out.data_mut();
-    for (lin, slot) in od.iter_mut().enumerate().take(volume) {
-        let mut rem = lin;
-        let mut src = 0usize;
-        for d in 0..rank {
-            let idx = rem / out_strides[d];
-            rem %= out_strides[d];
-            if d != dim {
-                src += idx * in_strides[d];
-            }
-        }
-        *slot = xd[src];
-    }
-    Ok(out)
+    viewed::broadcast_to(&x.view(), dim, extent, &mut ScratchPool::disabled())
 }
 
 #[cfg(test)]

@@ -1,0 +1,317 @@
+//! View-based operator kernels with scratch-buffer reuse.
+//!
+//! These are the same reference semantics as the plain `&Tensor`
+//! operators in this module's siblings — in fact the plain operators
+//! delegate here — but they accept zero-copy [`TensorView`] operands and
+//! draw their output buffers from a [`ScratchPool`], so the kernel
+//! interpreter can evaluate a block tile without cloning inputs or
+//! allocating outputs.
+//!
+//! Floating-point evaluation order is identical to the historical dense
+//! implementations (row-major element order, `i/j/k` GEMM loop nest),
+//! which keeps pooled, viewed, and dense execution bit-identical.
+
+use super::{BinaryOp, ReduceOp, UnaryOp};
+use crate::error::{Result, TensorError};
+use crate::scratch::ScratchPool;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::view::TensorView;
+
+/// Applies a unary operator element-wise.
+pub fn unary(op: UnaryOp, x: &TensorView, pool: &mut ScratchPool) -> Tensor {
+    let volume = x.volume();
+    let mut out = pool.take(volume);
+    if let Some(src) = x.as_slice() {
+        for (slot, &v) in out.iter_mut().zip(src) {
+            *slot = op.eval(v);
+        }
+    } else {
+        let dec = x.shape().strides();
+        let strides = x.strides();
+        let xd = x.data();
+        for (lin, slot) in out.iter_mut().enumerate() {
+            *slot = op.eval(xd[decode(lin, &dec, strides)]);
+        }
+    }
+    Tensor::from_data(x.shape().clone(), x.dtype(), out).expect("unary preserves volume")
+}
+
+/// Applies `op(x, scalar)` element-wise.
+pub fn binary_scalar(op: BinaryOp, x: &TensorView, scalar: f32, pool: &mut ScratchPool) -> Tensor {
+    let volume = x.volume();
+    let mut out = pool.take(volume);
+    if let Some(src) = x.as_slice() {
+        for (slot, &v) in out.iter_mut().zip(src) {
+            *slot = op.eval(v, scalar);
+        }
+    } else {
+        let dec = x.shape().strides();
+        let strides = x.strides();
+        let xd = x.data();
+        for (lin, slot) in out.iter_mut().enumerate() {
+            *slot = op.eval(xd[decode(lin, &dec, strides)], scalar);
+        }
+    }
+    Tensor::from_data(x.shape().clone(), x.dtype(), out).expect("binary_scalar preserves volume")
+}
+
+/// Applies a binary operator element-wise with limited broadcasting
+/// (either operand may have extent 1 where the other is larger; ranks
+/// must match).
+pub fn binary(
+    op: BinaryOp,
+    a: &TensorView,
+    b: &TensorView,
+    pool: &mut ScratchPool,
+) -> Result<Tensor> {
+    let out_shape = a.shape().broadcast_with(b.shape())?;
+    let rank = out_shape.rank();
+    let volume = out_shape.volume();
+    let out_strides = out_shape.strides();
+    let a_strides = masked_strides(a, &out_shape);
+    let b_strides = masked_strides(b, &out_shape);
+
+    let mut data = pool.take(volume);
+    let a_data = a.data();
+    let b_data = b.data();
+    for (lin, slot) in data.iter_mut().enumerate() {
+        let mut a_off = 0;
+        let mut b_off = 0;
+        let mut rem = lin;
+        for d in 0..rank {
+            let idx = rem / out_strides[d];
+            rem %= out_strides[d];
+            a_off += idx * a_strides[d];
+            b_off += idx * b_strides[d];
+        }
+        *slot = op.eval(a_data[a_off], b_data[b_off]);
+    }
+    Ok(Tensor::from_data(out_shape, a.dtype(), data).expect("volume matches"))
+}
+
+/// Reduces along dimension `dim`, keeping it with extent 1.
+pub fn reduce(op: ReduceOp, x: &TensorView, dim: usize, pool: &mut ScratchPool) -> Result<Tensor> {
+    let rank = x.rank();
+    if dim >= rank {
+        return Err(TensorError::DimOutOfRange { dim, rank });
+    }
+    let extent = x.shape().dim(dim)?;
+    let out_shape = x.shape().with_dim(dim, 1)?;
+    let out_volume = out_shape.volume();
+    let out_strides = out_shape.strides();
+    let in_strides = x.strides();
+    let xd = x.data();
+
+    let mut out = pool.take(out_volume);
+    for (out_lin, slot) in out.iter_mut().enumerate() {
+        // Decode the output index, then walk the reduced dimension.
+        let mut base = 0usize;
+        let mut rem = out_lin;
+        for d in 0..rank {
+            let idx = rem / out_strides[d];
+            rem %= out_strides[d];
+            base += idx * in_strides[d];
+        }
+        let mut acc = op.identity();
+        for r in 0..extent {
+            acc = op.combine(acc, xd[base + r * in_strides[dim]]);
+        }
+        *slot = op.finalize(acc, extent);
+    }
+    Tensor::from_data(out_shape, x.dtype(), out)
+}
+
+/// Broadcasts a view with extent 1 in `dim` to extent `extent`.
+pub fn broadcast_to(
+    x: &TensorView,
+    dim: usize,
+    extent: usize,
+    pool: &mut ScratchPool,
+) -> Result<Tensor> {
+    let rank = x.rank();
+    if dim >= rank {
+        return Err(TensorError::DimOutOfRange { dim, rank });
+    }
+    if x.shape().dim(dim)? != 1 {
+        return Err(TensorError::InvalidShape(format!(
+            "broadcast_to requires extent 1 in dim {dim}, got shape {}",
+            x.shape()
+        )));
+    }
+    let out_shape = x.shape().with_dim(dim, extent)?;
+    let out_strides = out_shape.strides();
+    let in_strides = x.strides();
+    let volume = out_shape.volume();
+    let xd = x.data();
+
+    let mut out = pool.take(volume);
+    for (lin, slot) in out.iter_mut().enumerate() {
+        let mut rem = lin;
+        let mut src = 0usize;
+        for d in 0..rank {
+            let idx = rem / out_strides[d];
+            rem %= out_strides[d];
+            if d != dim {
+                src += idx * in_strides[d];
+            }
+        }
+        *slot = xd[src];
+    }
+    Tensor::from_data(out_shape, x.dtype(), out)
+}
+
+/// 2-D matrix multiplication `C[M,N] = A · B` over views.
+///
+/// When `transpose_b` is false, `B` has shape `[K, N]`; when true, `B`
+/// has shape `[N, K]`.
+pub fn matmul(
+    a: &TensorView,
+    b: &TensorView,
+    transpose_b: bool,
+    pool: &mut ScratchPool,
+) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul(rank)",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let (m, k) = (a.shape().dim(0)?, a.shape().dim(1)?);
+    let (n, bk) = if transpose_b {
+        (b.shape().dim(0)?, b.shape().dim(1)?)
+    } else {
+        (b.shape().dim(1)?, b.shape().dim(0)?)
+    };
+    if k != bk {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul(inner)",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+
+    let (as0, as1) = (a.strides()[0], a.strides()[1]);
+    let (bs0, bs1) = (b.strides()[0], b.strides()[1]);
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = pool.take(m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                let bv = if transpose_b {
+                    bd[j * bs0 + kk * bs1]
+                } else {
+                    bd[kk * bs0 + j * bs1]
+                };
+                acc += ad[i * as0 + kk * as1] * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_data(Shape::new(vec![m, n]), a.dtype(), out)
+}
+
+/// Linear index of a row-major position under view strides.
+fn decode(lin: usize, dec: &[usize], strides: &[usize]) -> usize {
+    let mut rem = lin;
+    let mut off = 0usize;
+    for (&d, &s) in dec.iter().zip(strides) {
+        let i = rem / d.max(1);
+        rem %= d.max(1);
+        off += i * s;
+    }
+    off
+}
+
+/// Strides of `v` viewed in `out` shape: broadcast dims get stride 0.
+fn masked_strides(v: &TensorView, out: &Shape) -> Vec<usize> {
+    v.dims()
+        .iter()
+        .zip(out.dims().iter())
+        .zip(v.strides())
+        .map(|((&td, &od), &s)| if td == od { s } else { 0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DType;
+
+    fn t(dims: Vec<usize>, data: Vec<f32>) -> Tensor {
+        Tensor::from_data(Shape::new(dims), DType::F32, data).unwrap()
+    }
+
+    #[test]
+    fn strided_operands_match_materialized() {
+        let x = t(vec![4, 4], (0..16).map(|i| i as f32).collect());
+        let v = x.slice(&[(1, 3), (1, 4)]).unwrap();
+        let dense = v.to_tensor();
+        let mut pool = ScratchPool::new();
+
+        assert_eq!(
+            unary(UnaryOp::Sqr, &v, &mut pool),
+            unary(UnaryOp::Sqr, &dense.view(), &mut pool)
+        );
+        assert_eq!(
+            reduce(ReduceOp::Sum, &v, 1, &mut pool).unwrap(),
+            reduce(ReduceOp::Sum, &dense.view(), 1, &mut pool).unwrap()
+        );
+        let col = x.slice(&[(1, 3), (0, 1)]).unwrap();
+        assert_eq!(
+            binary(BinaryOp::Sub, &v, &col, &mut pool).unwrap(),
+            binary(
+                BinaryOp::Sub,
+                &dense.view(),
+                &col.to_tensor().view(),
+                &mut pool
+            )
+            .unwrap()
+        );
+    }
+
+    #[test]
+    fn strided_matmul_matches_dense() {
+        let x = t(vec![3, 4], (0..12).map(|i| i as f32).collect());
+        let y = t(vec![4, 4], (0..16).map(|i| (i as f32) * 0.5).collect());
+        let a = x.slice(&[(0, 3), (1, 4)]).unwrap();
+        let b = y.slice(&[(0, 3), (1, 4)]).unwrap();
+        let mut pool = ScratchPool::new();
+        let c = matmul(&a, &b, false, &mut pool).unwrap();
+        let c_dense = matmul(
+            &a.to_tensor().view(),
+            &b.to_tensor().view(),
+            false,
+            &mut pool,
+        )
+        .unwrap();
+        assert_eq!(c, c_dense);
+        // transpose_b path as well
+        let ct = matmul(&a, &b, true, &mut pool).unwrap();
+        let ct_dense = matmul(
+            &a.to_tensor().view(),
+            &b.to_tensor().view(),
+            true,
+            &mut pool,
+        )
+        .unwrap();
+        assert_eq!(ct, ct_dense);
+    }
+
+    #[test]
+    fn pooled_results_are_bit_identical_to_fresh() {
+        let x = Tensor::random(Shape::new(vec![8, 8]), DType::F32, 11);
+        let mut pool = ScratchPool::new();
+        let mut fresh = ScratchPool::disabled();
+        // Warm the pool so the second round reuses buffers.
+        let w = unary(UnaryOp::Gelu, &x.view(), &mut pool);
+        pool.recycle_tensor(w);
+        let pooled = unary(UnaryOp::Gelu, &x.view(), &mut pool);
+        let direct = unary(UnaryOp::Gelu, &x.view(), &mut fresh);
+        assert!(pool.hits() > 0);
+        assert_eq!(pooled, direct);
+    }
+}

@@ -1,0 +1,156 @@
+//! Scratch-buffer pool for the execution engine.
+//!
+//! The kernel interpreter produces short-lived intermediate tensors at a
+//! high rate: one per operator per spatial block per temporal tile. A
+//! [`ScratchPool`] recycles those `Vec<f32>` buffers so steady-state
+//! execution performs no heap allocation — a worker thread owns one pool
+//! and drains its block-local tensors back into it after every block and
+//! tile.
+//!
+//! Buffers handed out by [`take`](ScratchPool::take) are always
+//! zero-filled, so pooled and fresh buffers are indistinguishable and
+//! results stay bit-identical with pooling on or off.
+
+use crate::dtype::DType;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Maximum number of free buffers retained per pool; beyond this,
+/// recycled buffers are dropped.
+const MAX_FREE: usize = 64;
+
+/// A recycling pool of `f32` scratch buffers.
+///
+/// # Examples
+///
+/// ```
+/// use sf_tensor::ScratchPool;
+/// let mut pool = ScratchPool::new();
+/// let buf = pool.take(16);
+/// assert_eq!(buf.len(), 16);
+/// pool.recycle(buf);
+/// // The next take of a compatible size reuses the same storage.
+/// let again = pool.take(8);
+/// assert_eq!(again.len(), 8);
+/// ```
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Vec<Vec<f32>>,
+    enabled: bool,
+    hits: u64,
+}
+
+impl ScratchPool {
+    /// A pool that recycles buffers.
+    pub fn new() -> Self {
+        ScratchPool {
+            free: Vec::new(),
+            enabled: true,
+            hits: 0,
+        }
+    }
+
+    /// A pool that always allocates fresh buffers and drops recycled
+    /// ones (used by the plain `&Tensor` reference operators).
+    pub fn disabled() -> Self {
+        ScratchPool {
+            free: Vec::new(),
+            enabled: false,
+            hits: 0,
+        }
+    }
+
+    /// Number of `take` calls served from recycled storage.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Hands out a zero-filled buffer of `volume` elements, reusing
+    /// recycled storage when possible.
+    pub fn take(&mut self, volume: usize) -> Vec<f32> {
+        if self.enabled {
+            // Prefer a buffer whose capacity already covers the request;
+            // otherwise grow the most recently recycled one.
+            let pos =
+                self.free
+                    .iter()
+                    .position(|b| b.capacity() >= volume)
+                    .or(if self.free.is_empty() {
+                        None
+                    } else {
+                        Some(self.free.len() - 1)
+                    });
+            if let Some(pos) = pos {
+                let mut buf = self.free.swap_remove(pos);
+                self.hits += 1;
+                buf.clear();
+                buf.resize(volume, 0.0);
+                return buf;
+            }
+        }
+        crate::alloc_stats::record_alloc();
+        vec![0.0; volume]
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if self.enabled && buf.capacity() > 0 && self.free.len() < MAX_FREE {
+            self.free.push(buf);
+        }
+    }
+
+    /// Returns a tensor's data buffer to the pool for reuse.
+    pub fn recycle_tensor(&mut self, t: Tensor) {
+        self.recycle(t.into_data());
+    }
+
+    /// Builds a zero-filled tensor backed by pooled storage.
+    pub fn tensor(&mut self, shape: Shape, dtype: DType) -> Tensor {
+        let data = self.take(shape.volume());
+        Tensor::from_data(shape, dtype, data).expect("pooled buffer length matches volume")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_buffers_are_reused_and_zeroed() {
+        let mut pool = ScratchPool::new();
+        let mut buf = pool.take(8);
+        buf.iter_mut().for_each(|v| *v = 7.0);
+        pool.recycle(buf);
+        let again = pool.take(4);
+        assert_eq!(again, vec![0.0; 4]);
+        assert_eq!(pool.hits(), 1);
+    }
+
+    #[test]
+    fn growing_take_reuses_largest() {
+        let mut pool = ScratchPool::new();
+        pool.recycle(vec![0.0; 4]);
+        let big = pool.take(16);
+        assert_eq!(big.len(), 16);
+        assert_eq!(pool.hits(), 1);
+    }
+
+    #[test]
+    fn disabled_pool_always_allocates() {
+        let mut pool = ScratchPool::disabled();
+        pool.recycle(vec![0.0; 8]);
+        let b = pool.take(8);
+        assert_eq!(b.len(), 8);
+        assert_eq!(pool.hits(), 0);
+    }
+
+    #[test]
+    fn pool_tensor_round_trip() {
+        let mut pool = ScratchPool::new();
+        let t = pool.tensor(Shape::new(vec![2, 3]), DType::F32);
+        assert_eq!(t.data(), &[0.0; 6]);
+        pool.recycle_tensor(t);
+        assert_eq!(pool.take(6).len(), 6);
+        assert_eq!(pool.hits(), 1);
+    }
+}

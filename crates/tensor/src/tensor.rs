@@ -18,11 +18,24 @@ use crate::shape::Shape;
 /// assert_eq!(t.shape().volume(), 6);
 /// assert_eq!(t.size_bytes(), 12);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     dtype: DType,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        // A clone materializes a fresh data buffer, so it counts toward
+        // the allocation statistics like any constructor.
+        crate::alloc_stats::record_alloc();
+        Tensor {
+            shape: self.shape.clone(),
+            dtype: self.dtype,
+            data: self.data.clone(),
+        }
+    }
 }
 
 impl Tensor {
@@ -42,6 +55,7 @@ impl Tensor {
 
     /// Creates a zero-filled tensor.
     pub fn zeros(shape: Shape, dtype: DType) -> Self {
+        crate::alloc_stats::record_alloc();
         let volume = shape.volume();
         Tensor {
             shape,
@@ -52,6 +66,7 @@ impl Tensor {
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: Shape, dtype: DType, value: f32) -> Self {
+        crate::alloc_stats::record_alloc();
         let volume = shape.volume();
         Tensor {
             shape,
@@ -65,6 +80,7 @@ impl Tensor {
     /// Deterministic for a given `seed`, so tests and benchmarks are
     /// reproducible.
     pub fn random(shape: Shape, dtype: DType, seed: u64) -> Self {
+        crate::alloc_stats::record_alloc();
         let mut rng = XorShiftRng::seed_from_u64(seed);
         let volume = shape.volume();
         let data = (0..volume).map(|_| rng.uniform(-1.0, 1.0)).collect();
@@ -91,6 +107,12 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consumes the tensor, yielding its data buffer (used by
+    /// [`ScratchPool::recycle_tensor`](crate::ScratchPool::recycle_tensor)).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Storage size in bytes at the tensor's precision.
     pub fn size_bytes(&self) -> usize {
         self.shape.volume() * self.dtype.size_bytes()
@@ -111,6 +133,7 @@ impl Tensor {
     /// precision (a no-op for `F32`). Models what values survive a trip
     /// through half-precision global memory.
     pub fn quantized(&self) -> Tensor {
+        crate::alloc_stats::record_alloc();
         let data = self.data.iter().map(|&v| self.dtype.quantize(v)).collect();
         Tensor {
             shape: self.shape.clone(),
@@ -130,6 +153,7 @@ impl Tensor {
                 shape.volume()
             )));
         }
+        crate::alloc_stats::record_alloc();
         Ok(Tensor {
             shape,
             dtype: self.dtype,

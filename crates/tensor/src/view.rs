@@ -1,0 +1,283 @@
+//! Zero-copy strided tensor views.
+//!
+//! A [`TensorView`] borrows a rectangular region of a [`Tensor`]'s data
+//! without copying it: the view keeps the parent's storage slice plus its
+//! own dimensions and strides. The kernel interpreter uses views for
+//! every block/tile extraction, so restricting a value to a spatial or
+//! temporal block is O(1) instead of an O(volume) clone.
+//!
+//! Views are read-only; writes go back through
+//! [`Tensor::data_mut`] (the interpreter's `scatter`).
+
+use crate::dtype::DType;
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// A borrowed, possibly strided, rectangular view of tensor data.
+///
+/// # Examples
+///
+/// ```
+/// use sf_tensor::{Tensor, Shape, DType};
+/// let t = Tensor::from_data(
+///     Shape::new(vec![2, 3]),
+///     DType::F32,
+///     vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+/// )
+/// .unwrap();
+/// // Column slice [0..2, 1..3): strided, no copy.
+/// let v = t.slice(&[(0, 2), (1, 3)]).unwrap();
+/// assert_eq!(v.dims(), &[2, 2]);
+/// assert_eq!(v.at(&[1, 0]), 4.0);
+/// assert!(!v.is_contiguous());
+/// assert_eq!(v.to_tensor().data(), &[1.0, 2.0, 4.0, 5.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TensorView<'a> {
+    /// Parent storage starting at this view's base offset.
+    data: &'a [f32],
+    /// View shape.
+    shape: Shape,
+    /// Strides into `data` (elements), one per view dimension.
+    strides: Vec<usize>,
+    /// Storage precision (inherited from the parent).
+    dtype: DType,
+}
+
+impl<'a> TensorView<'a> {
+    /// Builds a view over a raw slice (crate-internal: callers guarantee
+    /// the strides address within `data`).
+    pub(crate) fn new(data: &'a [f32], shape: Shape, strides: Vec<usize>, dtype: DType) -> Self {
+        TensorView {
+            data,
+            shape,
+            strides,
+            dtype,
+        }
+    }
+
+    /// The view's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The view's dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.shape.volume()
+    }
+
+    /// Storage precision.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Strides into the underlying data, in elements.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// The underlying storage, starting at the view's base offset.
+    ///
+    /// Only offsets produced by [`strides`](TensorView::strides) are
+    /// meaningful; the slice may extend past the view's last element.
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        debug_assert_eq!(index.len(), self.rank(), "view index rank mismatch");
+        let off: usize = index.iter().zip(&self.strides).map(|(&i, &s)| i * s).sum();
+        self.data[off]
+    }
+
+    /// Whether the view's elements are laid out densely in row-major
+    /// order (dimensions of extent 1 are stride-agnostic).
+    pub fn is_contiguous(&self) -> bool {
+        let mut expected = 1usize;
+        for (&d, &s) in self.shape.dims().iter().zip(&self.strides).rev() {
+            if d > 1 {
+                if s != expected {
+                    return false;
+                }
+                expected *= d;
+            }
+        }
+        true
+    }
+
+    /// The view's elements as one dense slice, when contiguous.
+    pub fn as_slice(&self) -> Option<&'a [f32]> {
+        if self.is_contiguous() {
+            Some(&self.data[..self.volume()])
+        } else {
+            None
+        }
+    }
+
+    /// Restricts the view to per-axis `[start, end)` ranges, returning a
+    /// sub-view of the same storage.
+    pub fn slice(&self, ranges: &[(usize, usize)]) -> Result<TensorView<'a>> {
+        if ranges.len() != self.rank() {
+            return Err(TensorError::InvalidShape(format!(
+                "slice needs {} range(s), got {}",
+                self.rank(),
+                ranges.len()
+            )));
+        }
+        let mut offset = 0usize;
+        let mut dims = Vec::with_capacity(ranges.len());
+        for ((&(s, t), &e), &stride) in ranges
+            .iter()
+            .zip(self.shape.dims().iter())
+            .zip(&self.strides)
+        {
+            if s > t || t > e {
+                return Err(TensorError::InvalidShape(format!(
+                    "slice range [{s}, {t}) out of bounds for extent {e}"
+                )));
+            }
+            offset += s * stride;
+            dims.push(t - s);
+        }
+        let offset = offset.min(self.data.len());
+        Ok(TensorView {
+            data: &self.data[offset..],
+            shape: Shape::new(dims),
+            strides: self.strides.clone(),
+            dtype: self.dtype,
+        })
+    }
+
+    /// Materializes the view into an owned dense tensor.
+    pub fn to_tensor(&self) -> Tensor {
+        if let Some(s) = self.as_slice() {
+            crate::alloc_stats::record_alloc();
+            return Tensor::from_data(self.shape.clone(), self.dtype, s.to_vec())
+                .expect("contiguous view volume matches");
+        }
+        let volume = self.volume();
+        let dec = self.shape.strides();
+        crate::alloc_stats::record_alloc();
+        let mut out = Vec::with_capacity(volume);
+        for lin in 0..volume {
+            let mut rem = lin;
+            let mut off = 0usize;
+            for (&d, &s) in dec.iter().zip(&self.strides) {
+                let i = rem / d.max(1);
+                rem %= d.max(1);
+                off += i * s;
+            }
+            out.push(self.data[off]);
+        }
+        Tensor::from_data(self.shape.clone(), self.dtype, out).expect("view volume matches")
+    }
+}
+
+impl Tensor {
+    /// A zero-copy view of the whole tensor.
+    pub fn view(&self) -> TensorView<'_> {
+        TensorView::new(
+            self.data(),
+            self.shape().clone(),
+            self.shape().strides(),
+            self.dtype(),
+        )
+    }
+
+    /// A zero-copy view of the tensor reinterpreted under a new shape of
+    /// equal volume (the no-copy counterpart of [`Tensor::reshape`]).
+    pub fn view_reshaped(&self, shape: Shape) -> Result<TensorView<'_>> {
+        if shape.volume() != self.shape().volume() {
+            return Err(TensorError::InvalidShape(format!(
+                "cannot view {} (volume {}) as {} (volume {})",
+                self.shape(),
+                self.shape().volume(),
+                shape,
+                shape.volume()
+            )));
+        }
+        let strides = shape.strides();
+        Ok(TensorView::new(self.data(), shape, strides, self.dtype()))
+    }
+
+    /// A zero-copy view restricted to per-axis `[start, end)` ranges.
+    pub fn slice(&self, ranges: &[(usize, usize)]) -> Result<TensorView<'_>> {
+        self.view().slice(ranges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dims: Vec<usize>, data: Vec<f32>) -> Tensor {
+        Tensor::from_data(Shape::new(dims), DType::F32, data).unwrap()
+    }
+
+    #[test]
+    fn full_view_is_contiguous() {
+        let x = t(vec![2, 3], (0..6).map(|i| i as f32).collect());
+        let v = x.view();
+        assert!(v.is_contiguous());
+        assert_eq!(v.as_slice().unwrap(), x.data());
+        assert_eq!(v.at(&[1, 2]), 5.0);
+    }
+
+    #[test]
+    fn row_slice_is_contiguous_column_slice_is_not() {
+        let x = t(vec![4, 3], (0..12).map(|i| i as f32).collect());
+        let rows = x.slice(&[(1, 3), (0, 3)]).unwrap();
+        assert!(rows.is_contiguous());
+        assert_eq!(rows.as_slice().unwrap(), &x.data()[3..9]);
+
+        let cols = x.slice(&[(0, 4), (1, 2)]).unwrap();
+        assert!(!cols.is_contiguous());
+        assert_eq!(cols.dims(), &[4, 1]);
+        assert_eq!(cols.to_tensor().data(), &[1.0, 4.0, 7.0, 10.0]);
+    }
+
+    #[test]
+    fn nested_slicing_composes() {
+        let x = t(vec![4, 4], (0..16).map(|i| i as f32).collect());
+        let v = x.slice(&[(1, 4), (1, 4)]).unwrap();
+        let w = v.slice(&[(1, 3), (0, 2)]).unwrap();
+        assert_eq!(w.dims(), &[2, 2]);
+        assert_eq!(w.to_tensor().data(), &[9.0, 10.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn slice_validates_ranges() {
+        let x = t(vec![2, 2], vec![0.0; 4]);
+        assert!(x.slice(&[(0, 3), (0, 2)]).is_err());
+        assert!(x.slice(&[(1, 0), (0, 2)]).is_err());
+        assert!(x.slice(&[(0, 2)]).is_err());
+    }
+
+    #[test]
+    fn reshaped_view_matches_reshape() {
+        let x = t(vec![2, 6], (0..12).map(|i| i as f32).collect());
+        let v = x.view_reshaped(Shape::new(vec![3, 4])).unwrap();
+        assert_eq!(v.to_tensor(), x.reshape(Shape::new(vec![3, 4])).unwrap());
+        assert!(x.view_reshaped(Shape::new(vec![5])).is_err());
+    }
+
+    #[test]
+    fn empty_slice_has_zero_volume() {
+        let x = t(vec![2, 2], vec![0.0; 4]);
+        let v = x.slice(&[(2, 2), (0, 2)]).unwrap();
+        assert_eq!(v.volume(), 0);
+        assert_eq!(v.to_tensor().shape().dims(), &[0, 2]);
+    }
+}

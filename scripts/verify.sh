@@ -19,6 +19,9 @@ cargo test -q --workspace
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> exec_bench perf smoke (parallel blocks vs serial, 10% tolerance)"
+./target/release/exec_bench --quick --gate --out target/BENCH_exec.json
+
 echo "==> sfc lint (golden-clean gate over examples/graphs)"
 for f in examples/graphs/*.sfg; do
     for arch in volta ampere hopper; do
