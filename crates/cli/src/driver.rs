@@ -63,7 +63,12 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                     Some("volta") => Arch::Volta,
                     Some("ampere") => Arch::Ampere,
                     Some("hopper") => Arch::Hopper,
-                    other => return Err(format!("unknown --arch {other:?}")),
+                    other => {
+                        return Err(format!(
+                            "unknown --arch '{}' (volta|ampere|hopper)",
+                            other.unwrap_or("<missing>")
+                        ))
+                    }
                 };
             }
             "--policy" => {
@@ -74,7 +79,12 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                     Some("epilogue") => FusionPolicy::EpilogueOnly,
                     Some("mi-only") => FusionPolicy::MiOnly,
                     Some("tile-graph") => FusionPolicy::TileGraph,
-                    other => return Err(format!("unknown --policy {other:?}")),
+                    other => {
+                        return Err(format!(
+                        "unknown --policy '{}' (spacefusion|unfused|epilogue|mi-only|tile-graph)",
+                        other.unwrap_or("<missing>")
+                    ))
+                    }
                 };
             }
             "--dot" => o.dot = true,
@@ -152,7 +162,12 @@ pub fn parse_lint_options(args: &[String]) -> Result<LintOptions, String> {
                     Some("volta") => Arch::Volta,
                     Some("ampere") => Arch::Ampere,
                     Some("hopper") => Arch::Hopper,
-                    other => return Err(format!("unknown --arch {other:?}")),
+                    other => {
+                        return Err(format!(
+                            "unknown --arch '{}' (volta|ampere|hopper)",
+                            other.unwrap_or("<missing>")
+                        ))
+                    }
                 };
             }
             "--policy" => {
@@ -163,7 +178,12 @@ pub fn parse_lint_options(args: &[String]) -> Result<LintOptions, String> {
                     Some("epilogue") => FusionPolicy::EpilogueOnly,
                     Some("mi-only") => FusionPolicy::MiOnly,
                     Some("tile-graph") => FusionPolicy::TileGraph,
-                    other => return Err(format!("unknown --policy {other:?}")),
+                    other => {
+                        return Err(format!(
+                        "unknown --policy '{}' (spacefusion|unfused|epilogue|mi-only|tile-graph)",
+                        other.unwrap_or("<missing>")
+                    ))
+                    }
                 };
             }
             "--json" => o.json = true,
@@ -272,6 +292,88 @@ pub fn lint_report(graph: &Graph, o: &LintOptions) -> Result<(String, bool), Str
         let _ = writeln!(out, "{errors} error(s), {warnings} warning(s)");
     }
     Ok((out, clean))
+}
+
+/// Parsed options of `sfc fuzz`.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzOptions {
+    /// Campaign configuration handed to [`sf_fuzz::run_fuzz`].
+    pub fuzz: sf_fuzz::FuzzOptions,
+    /// Print the per-pass timing table after the report.
+    pub timings: bool,
+}
+
+/// Parses `sfc fuzz` flags.
+pub fn parse_fuzz_options(args: &[String]) -> Result<FuzzOptions, String> {
+    let mut o = FuzzOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                o.fuzz.seeds = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seeds needs a count")?;
+            }
+            "--seed" => {
+                i += 1;
+                o.fuzz.seed0 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs a starting seed")?;
+            }
+            "--minimize" => o.fuzz.minimize = true,
+            "--corpus" => {
+                i += 1;
+                o.fuzz.corpus_dir = Some(
+                    args.get(i)
+                        .map(std::path::PathBuf::from)
+                        .ok_or("--corpus needs a directory")?,
+                );
+            }
+            "--arch" => {
+                i += 1;
+                o.fuzz.arch = match args.get(i).map(|s| s.as_str()) {
+                    Some("volta") => Arch::Volta,
+                    Some("ampere") => Arch::Ampere,
+                    Some("hopper") => Arch::Hopper,
+                    other => {
+                        return Err(format!(
+                            "unknown --arch '{}' (volta|ampere|hopper)",
+                            other.unwrap_or("<missing>")
+                        ))
+                    }
+                };
+            }
+            "--timings" => o.timings = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    if o.fuzz.minimize && o.fuzz.corpus_dir.is_none() {
+        o.fuzz.corpus_dir = Some(std::path::PathBuf::from("tests/corpus"));
+    }
+    Ok(o)
+}
+
+/// Runs `sfc fuzz`: a differential fuzzing campaign over generated
+/// graphs (see `sf_fuzz`).
+///
+/// Returns `(report, clean)`; `clean` is `false` when any seed failed
+/// (compile error, verifier error, execution error, or divergence from
+/// the reference interpreter). The report text is deterministic for a
+/// given flag set: timings go only to the event sink, so two runs with
+/// the same `--seeds/--seed` produce byte-identical output.
+pub fn fuzz_report(o: &FuzzOptions) -> (String, bool) {
+    use std::fmt::Write as _;
+    let sink = Arc::new(CollectingSink::new());
+    let report = sf_fuzz::run_fuzz(&o.fuzz, sink.as_ref());
+    let mut out = report.render();
+    if o.timings {
+        let _ = writeln!(out, "\n{}", render_timings(&sink.events()).trim_end());
+    }
+    (out, report.ok())
 }
 
 /// Minimal JSON string escaping.

@@ -1,148 +1,7 @@
 //! Renders a graph back to the `sfc` DSL.
+//!
+//! The implementation moved to [`sf_ir::dsl`] (see
+//! [`crate::parser`] for why); this re-export keeps the historical
+//! `sf_cli::printer` path working.
 
-use sf_ir::{Graph, OpKind, ValueId, ValueKind};
-use sf_tensor::DType;
-use std::fmt::Write as _;
-
-/// Prints a graph in DSL form (round-trips through
-/// [`crate::parser::parse_graph`]).
-pub fn print_graph(g: &Graph) -> String {
-    let mut out = String::new();
-    let dtype = match g.dtype() {
-        DType::F16 => "f16",
-        DType::F32 => "f32",
-    };
-    let _ = writeln!(out, "graph {} {dtype}", sanitize(g.name()));
-    if g.instances != 1 {
-        let _ = writeln!(out, "instances {}", g.instances);
-    }
-    for (vi, v) in g.values().iter().enumerate() {
-        let kw = match v.kind {
-            ValueKind::Input => "input",
-            ValueKind::Weight => "weight",
-            ValueKind::Intermediate => continue,
-        };
-        let _ = writeln!(
-            out,
-            "{kw} {} {}",
-            sanitize(&v.name),
-            shape_str(g, ValueId(vi))
-        );
-    }
-    for op in g.ops() {
-        let name = sanitize(&g.value(op.output).name);
-        let a = |i: usize| sanitize(&g.value(op.inputs[i]).name);
-        let line = match &op.kind {
-            OpKind::Gemm { transpose_b } => {
-                let t = if *transpose_b { " transpose_b" } else { "" };
-                format!("{name} = gemm {} {}{t}", a(0), a(1))
-            }
-            OpKind::Unary(u) => format!("{name} = {} {}", u.name(), a(0)),
-            OpKind::Binary(b) => format!("{name} = {} {} {}", b.name(), a(0), a(1)),
-            OpKind::Scalar { op, value } => {
-                format!("{name} = {}_scalar {} {value}", op.name(), a(0))
-            }
-            OpKind::Reduce { op, dim } => {
-                format!("{name} = reduce_{} {} dim={dim}", op.name(), a(0))
-            }
-            OpKind::Broadcast { dim, extent } => {
-                format!("{name} = broadcast {} dim={dim} extent={extent}", a(0))
-            }
-            OpKind::LayoutBarrier => {
-                format!("{name} = reshape {} {}", a(0), shape_str(g, op.output))
-            }
-        };
-        let _ = writeln!(out, "{line}");
-    }
-    for &o in g.outputs() {
-        let _ = writeln!(out, "output {}", sanitize(&g.value(o).name));
-    }
-    out
-}
-
-fn shape_str(g: &Graph, v: ValueId) -> String {
-    let dims: Vec<String> = g.shape(v).dims().iter().map(|d| d.to_string()).collect();
-    format!("[{}]", dims.join(", "))
-}
-
-/// DSL identifiers cannot contain whitespace; auto-generated names are
-/// already clean, but user names from other frontends may not be.
-fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| {
-            if c.is_whitespace() || c == '=' || c == '#' {
-                '_'
-            } else {
-                c
-            }
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::parser::parse_graph;
-    use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
-    use sf_tensor::Shape;
-
-    fn mha() -> Graph {
-        let mut g = Graph::new("mha", DType::F16);
-        g.instances = 4;
-        let q = g.input("q", Shape::new(vec![32, 64]));
-        let k = g.input("k", Shape::new(vec![128, 64]));
-        let v = g.input("v", Shape::new(vec![128, 64]));
-        let qk = g.gemm(q, k, true).unwrap();
-        let sc = g.scalar(BinaryOp::Mul, qk, 0.125).unwrap();
-        let m = g.reduce(ReduceOp::Max, sc, 1).unwrap();
-        let s = g.binary(BinaryOp::Sub, sc, m).unwrap();
-        let e = g.unary(UnaryOp::Exp, s).unwrap();
-        let z = g.reduce(ReduceOp::Sum, e, 1).unwrap();
-        let d = g.binary(BinaryOp::Div, e, z).unwrap();
-        let out = g.gemm(d, v, false).unwrap();
-        g.mark_output(out);
-        g
-    }
-
-    #[test]
-    fn round_trip_preserves_structure() {
-        let g = mha();
-        let text = print_graph(&g);
-        let g2 = parse_graph(&text).expect("round trip parses");
-        assert_eq!(g2.ops().len(), g.ops().len());
-        assert_eq!(g2.instances, g.instances);
-        assert_eq!(g2.outputs().len(), 1);
-        for (a, b) in g.ops().iter().zip(g2.ops()) {
-            assert_eq!(a.kind.name(), b.kind.name());
-        }
-    }
-
-    #[test]
-    fn round_trip_preserves_numerics() {
-        let g = mha();
-        let g2 = parse_graph(&print_graph(&g)).unwrap();
-        let bindings = g.random_bindings(5);
-        let a = g.execute(&bindings).unwrap();
-        let b = g2.execute(&bindings).unwrap();
-        assert!(a[0].allclose(&b[0], 1e-6));
-    }
-
-    #[test]
-    fn sanitizes_awkward_names() {
-        assert_eq!(sanitize("a name=with #stuff"), "a_name_with__stuff");
-    }
-
-    #[test]
-    fn prints_reshape_and_broadcast() {
-        let mut g = Graph::new("t", DType::F32);
-        let x = g.input("x", Shape::new(vec![4, 1]));
-        let b = g.broadcast(x, 1, 8).unwrap();
-        let r = g.layout_barrier(b, Shape::new(vec![8, 4])).unwrap();
-        g.mark_output(r);
-        let text = print_graph(&g);
-        assert!(text.contains("broadcast x dim=1 extent=8"));
-        assert!(text.contains("reshape"));
-        let g2 = parse_graph(&text).unwrap();
-        assert_eq!(g2.shape(g2.outputs()[0]).dims(), &[8, 4]);
-    }
-}
+pub use sf_ir::dsl::print_graph;

@@ -38,6 +38,11 @@ pub enum PassId {
     /// Static verification of the compiled kernels (SMG invariants,
     /// slicing legality, resource budgets, barrier/race analysis).
     Verify,
+    /// One differential-fuzzing seed: generate, compile under every
+    /// policy, execute at every thread count, diff against the
+    /// reference (the `sf-fuzz` oracle reports through the same sink
+    /// the compiler passes use).
+    Fuzz,
 }
 
 impl PassId {
@@ -55,11 +60,12 @@ impl PassId {
             PassId::CacheLookup => "cache-lookup",
             PassId::Emit => "emit",
             PassId::Verify => "verify",
+            PassId::Fuzz => "fuzz",
         }
     }
 
     /// All passes in pipeline order.
-    pub fn all() -> [PassId; 11] {
+    pub fn all() -> [PassId; 12] {
         [
             PassId::Segment,
             PassId::Group,
@@ -72,6 +78,7 @@ impl PassId {
             PassId::Tune,
             PassId::Emit,
             PassId::Verify,
+            PassId::Fuzz,
         ]
     }
 }
@@ -123,6 +130,15 @@ pub enum EventDetail {
         errors: usize,
         /// Diagnostics at [`Severity::Warning`](crate::verify::Severity).
         warnings: usize,
+    },
+    /// Differential-fuzzing outcome over one generated seed.
+    Fuzz {
+        /// The generator seed.
+        seed: u64,
+        /// Operator count of the generated graph.
+        ops: usize,
+        /// Oracle failures recorded for this seed.
+        failures: usize,
     },
 }
 
@@ -238,6 +254,16 @@ pub fn render_timings(events: &[PassEvent]) -> String {
                     }
                 }
                 let _ = write!(notes, "{er} error(s), {wa} warning(s)");
+            }
+            PassId::Fuzz => {
+                let (mut seeds, mut fails) = (0usize, 0usize);
+                for e in &of_pass {
+                    if let EventDetail::Fuzz { failures, .. } = e.detail {
+                        seeds += 1;
+                        fails += failures;
+                    }
+                }
+                let _ = write!(notes, "{seeds} seed(s), {fails} failure(s)");
             }
             _ => {}
         }

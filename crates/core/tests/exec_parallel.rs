@@ -8,6 +8,7 @@
 use sf_gpu_sim::Arch;
 use sf_ir::Graph;
 use sf_models::subgraphs;
+use sf_tensor::assert_tensors_bitwise;
 use spacefusion::codegen::ExecOptions;
 use spacefusion::compiler::{Compiler, FusionPolicy};
 
@@ -55,16 +56,12 @@ fn parallel_execution_is_bit_identical_to_serial() {
                         });
                     assert_eq!(serial.len(), parallel.len());
                     for (s, p) in serial.iter().zip(&parallel) {
-                        assert_eq!(s.shape(), p.shape());
                         // Bitwise, not approximate: identical FP operation
                         // order is a hard requirement of the engine.
-                        let sb: Vec<u32> = s.data().iter().map(|v| v.to_bits()).collect();
-                        let pb: Vec<u32> = p.data().iter().map(|v| v.to_bits()).collect();
-                        assert_eq!(
-                            sb,
-                            pb,
-                            "{}/{arch:?}/{policy:?} diverged at {threads} threads",
-                            graph.name()
+                        assert_tensors_bitwise(
+                            &format!("{}/{arch:?}/{policy:?} at {threads} threads", graph.name()),
+                            p,
+                            s,
                         );
                     }
                 }

@@ -1,0 +1,56 @@
+//! Corpus replay: every recorded regression graph under `tests/corpus/`
+//! must pass the full differential oracle — all five fusion policies,
+//! all thread counts, verifier lint included. Entries are plain `.sfg`
+//! DSL files (see `sf_fuzz::corpus`), so a graph that once exposed a
+//! bug — or exercises a high-risk motif — stays covered by default
+//! `cargo test` forever, independent of the fuzz campaign that found it.
+
+use sf_fuzz::corpus::read_corpus;
+use sf_fuzz::{run_oracle, OracleOptions};
+use sf_gpu_sim::Arch;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    // crates/core -> workspace root -> tests/corpus
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[test]
+fn corpus_entries_parse_and_validate() {
+    let entries = read_corpus(&corpus_dir()).expect("read corpus");
+    assert!(
+        !entries.is_empty(),
+        "the checked-in corpus must not be empty (see examples/seed_corpus.rs)"
+    );
+    for (path, graph) in &entries {
+        graph
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: invalid graph: {e}", path.display()));
+    }
+}
+
+#[test]
+fn corpus_entries_pass_the_oracle_on_every_arch() {
+    let entries = read_corpus(&corpus_dir()).expect("read corpus");
+    for (path, graph) in &entries {
+        for arch in [Arch::Volta, Arch::Ampere, Arch::Hopper] {
+            let opts = OracleOptions {
+                arch,
+                binding_seed: 7,
+                ..OracleOptions::default()
+            };
+            let report = run_oracle(graph, &opts);
+            assert!(
+                report.ok(),
+                "{} regressed on {arch:?}:\n{}",
+                path.display(),
+                report
+                    .failures
+                    .iter()
+                    .map(|f| f.render())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
+}

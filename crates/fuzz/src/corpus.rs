@@ -1,0 +1,97 @@
+//! Corpus persistence: minimized repros as `.sfg` DSL files.
+//!
+//! Each corpus entry is a plain `sfc` DSL graph (parseable by
+//! `sf_ir::dsl::parse_graph`) preceded by `#`-comment header lines
+//! recording the generator seed and the failures the graph triggered
+//! when it was minimized. The replay test in `crates/core` walks the
+//! corpus directory and re-runs the oracle on every entry, so a fixed
+//! bug stays fixed.
+
+use crate::gen::GraphSpec;
+use crate::oracle::OracleReport;
+use sf_ir::dsl::{parse_graph, print_graph};
+use sf_ir::Graph;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Renders the header + DSL text of a corpus entry.
+pub fn render_entry(spec: &GraphSpec, report: &OracleReport) -> String {
+    let mut out = String::new();
+    out.push_str("# sf-fuzz minimized repro\n");
+    out.push_str(&format!("# {}\n", spec.describe()));
+    for f in &report.failures {
+        out.push_str(&format!("# failure: {}\n", f.render()));
+    }
+    let graph = spec
+        .build()
+        .expect("minimized spec must build (the shrinker only keeps buildable candidates)");
+    out.push_str(&print_graph(&graph));
+    out
+}
+
+/// Writes a corpus entry as `dir/<name>.sfg`, creating `dir` if needed.
+pub fn write_entry(dir: &Path, name: &str, text: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.sfg"));
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Reads every `.sfg` entry under `dir`, sorted by file name.
+///
+/// Returns an empty list when the directory does not exist (a repo
+/// with no recorded failures has no corpus).
+pub fn read_corpus(dir: &Path) -> io::Result<Vec<(PathBuf, Graph)>> {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "sfg"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p)?;
+            let graph = parse_graph(&text).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", p.display()))
+            })?;
+            Ok((p, graph))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use crate::oracle::OracleReport;
+
+    #[test]
+    fn entries_round_trip_through_the_dsl() {
+        let dir = std::env::temp_dir().join("sf-fuzz-corpus-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = GenConfig::default();
+        for seed in [3u64, 17, 41] {
+            let spec = generate(seed, &cfg);
+            let text = render_entry(&spec, &OracleReport::default());
+            write_entry(&dir, &format!("seed{seed}"), &text).unwrap();
+        }
+        let corpus = read_corpus(&dir).unwrap();
+        assert_eq!(corpus.len(), 3);
+        for (path, graph) in &corpus {
+            assert!(path.extension().is_some_and(|x| x == "sfg"));
+            graph.validate().unwrap();
+            assert!(!graph.ops().is_empty());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_reads_as_empty() {
+        let corpus = read_corpus(Path::new("/nonexistent/sf-fuzz")).unwrap();
+        assert!(corpus.is_empty());
+    }
+}

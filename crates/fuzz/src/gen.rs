@@ -1,0 +1,499 @@
+//! Seeded random graph generation.
+//!
+//! The generator produces a [`GraphSpec`] — a *recipe* of [`Step`]s over
+//! a root input — rather than a `Graph` directly. Recipes keep every
+//! mutation well-formed by construction (a step that is infeasible in
+//! the current shape context is skipped at build time, mirroring how
+//! the original property-test builder worked), which is exactly what
+//! the shrinker needs: it mutates the recipe and rebuilds, never
+//! surgically editing a graph.
+//!
+//! The vocabulary covers the paper's operator space: element-wise
+//! chains, GEMMs (with the attention-style `1/√k` rescale), reductions
+//! along either axis, broadcasts, layout barriers, and the
+//! softmax / layernorm / rmsnorm / attention motifs whose sliced
+//! reductions drive the UTA machinery (§4.3). Magnitudes stay bounded —
+//! `exp` only appears behind a max-subtraction — so reference vs fused
+//! differences are attributable to re-association, not overflow races.
+//!
+//! Everything is driven by the in-tree [`XorShiftRng`]; a seed fully
+//! determines the recipe on every platform.
+
+use sf_ir::{Graph, GraphError, ValueId};
+use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+use sf_tensor::rng::XorShiftRng;
+use sf_tensor::{DType, Shape};
+
+/// One recipe step. Steps that are infeasible in the current shape
+/// context (e.g. reducing a unit dimension) are skipped during
+/// [`GraphSpec::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Element-wise unary op on the current value.
+    Unary(UnaryOp),
+    /// `cur op constant`.
+    Scalar(BinaryOp, f32),
+    /// Binary against the root input (skipped when not broadcastable).
+    CombineInput(BinaryOp),
+    /// Binary against a fresh `[1, n]` weight row.
+    CombineWeight(BinaryOp),
+    /// Reduction along `dim` (skipped when the dim — or the other dim —
+    /// has unit extent, so at least one parallel dimension survives).
+    Reduce(ReduceOp, usize),
+    /// Re-expand a unit dimension to the extent it last had.
+    Broadcast(usize),
+    /// GEMM against a fresh weight, followed by a `1/√k` rescale.
+    Gemm {
+        /// Output width of the fresh weight.
+        width: usize,
+        /// Whether the weight is stored `[width, k]`.
+        transpose_b: bool,
+    },
+    /// Row-softmax motif over dim 1 (max, sub, exp, sum, div).
+    Softmax,
+    /// LayerNorm motif with fresh scale/bias weights.
+    LayerNorm,
+    /// RMSNorm motif with a fresh scale weight.
+    RmsNorm,
+    /// Attention tail: fresh K/V inputs of `seq` rows, `QKᵀ` → `1/√k` →
+    /// softmax → `·V`. The motif whose temporal slicing derives the
+    /// online-softmax (FlashAttention) update functions.
+    Attention {
+        /// Sequence length of the fresh K/V inputs.
+        seq: usize,
+    },
+    /// Layout barrier: reinterpret `[a, b]` as `[b, a]`.
+    Reshape,
+}
+
+/// A fully deterministic graph recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpec {
+    /// Seed the recipe was generated from (naming / reporting only).
+    pub seed: u64,
+    /// Root input rows.
+    pub m: usize,
+    /// Root input columns.
+    pub n: usize,
+    /// Storage precision.
+    pub dtype: DType,
+    /// Dependency-free instance multiplier.
+    pub instances: usize,
+    /// Also mark the midpoint intermediate as a program output.
+    pub multi_output: bool,
+    /// The recipe.
+    pub steps: Vec<Step>,
+}
+
+/// Knobs of the generator (the property tests disable the features the
+/// whole-graph SMG builder does not model, e.g. layout barriers).
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum steps per recipe (at least 1 is generated).
+    pub max_steps: usize,
+    /// Candidate root extents.
+    pub dims: Vec<usize>,
+    /// Candidate GEMM output widths.
+    pub gemm_widths: Vec<usize>,
+    /// Candidate attention sequence lengths.
+    pub seq_lens: Vec<usize>,
+    /// Allow layout-barrier steps.
+    pub reshape: bool,
+    /// Allow the attention motif.
+    pub attention: bool,
+    /// Allow `instances > 1`.
+    pub instances: bool,
+    /// Allow multi-output graphs.
+    pub multi_output: bool,
+    /// Allow F16 storage precision.
+    pub f16: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_steps: 8,
+            dims: vec![2, 3, 4, 5, 7, 8, 12, 16, 17, 24, 32, 33, 48, 64],
+            gemm_widths: vec![2, 3, 4, 8, 16, 17, 32],
+            seq_lens: vec![4, 8, 16, 24, 33, 64],
+            reshape: true,
+            attention: true,
+            instances: true,
+            multi_output: true,
+            f16: true,
+        }
+    }
+}
+
+const SAFE_UNARIES: [UnaryOp; 9] = [
+    UnaryOp::Relu,
+    UnaryOp::Tanh,
+    UnaryOp::Sigmoid,
+    UnaryOp::Gelu,
+    UnaryOp::Silu,
+    UnaryOp::Abs,
+    UnaryOp::Neg,
+    UnaryOp::Sqr,
+    UnaryOp::Identity,
+];
+
+/// `Div` is excluded: dividing by near-zero random data produces
+/// magnitudes whose overflow behaviour is order-sensitive, which the
+/// oracle would mis-attribute to the compiler.
+const SAFE_BINARIES: [BinaryOp; 5] = [
+    BinaryOp::Add,
+    BinaryOp::Sub,
+    BinaryOp::Mul,
+    BinaryOp::Max,
+    BinaryOp::Min,
+];
+
+const REDUCES: [ReduceOp; 3] = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Mean];
+
+const SCALARS: [f32; 5] = [-1.5, -0.5, 0.5, 1.0, 2.0];
+
+fn pick<'a, T>(rng: &mut XorShiftRng, items: &'a [T]) -> &'a T {
+    &items[rng.below(items.len() as u64) as usize]
+}
+
+/// Generates the recipe for `seed` under `cfg`.
+pub fn generate(seed: u64, cfg: &GenConfig) -> GraphSpec {
+    let mut rng = XorShiftRng::seed_from_u64(seed);
+    let m = *pick(&mut rng, &cfg.dims);
+    let n = *pick(&mut rng, &cfg.dims);
+    let dtype = if cfg.f16 && rng.below(4) == 0 {
+        DType::F16
+    } else {
+        DType::F32
+    };
+    let instances = if cfg.instances && rng.below(10) == 0 {
+        2 + rng.below(3) as usize
+    } else {
+        1
+    };
+    let multi_output = cfg.multi_output && rng.below(5) == 0;
+    let count = 1 + rng.below(cfg.max_steps.max(1) as u64) as usize;
+    let steps = (0..count).map(|_| random_step(&mut rng, cfg)).collect();
+    GraphSpec {
+        seed,
+        m,
+        n,
+        dtype,
+        instances,
+        multi_output,
+        steps,
+    }
+}
+
+fn random_step(rng: &mut XorShiftRng, cfg: &GenConfig) -> Step {
+    loop {
+        // Weighted draw over the vocabulary (out of 100).
+        let roll = rng.below(100);
+        return match roll {
+            0..=19 => Step::Unary(*pick(rng, &SAFE_UNARIES)),
+            20..=29 => Step::Scalar(*pick(rng, &SAFE_BINARIES), *pick(rng, &SCALARS)),
+            30..=39 => Step::CombineInput(*pick(rng, &SAFE_BINARIES)),
+            40..=49 => Step::CombineWeight(*pick(rng, &SAFE_BINARIES)),
+            50..=61 => Step::Reduce(*pick(rng, &REDUCES), rng.below(2) as usize),
+            62..=69 => Step::Broadcast(rng.below(2) as usize),
+            70..=79 => Step::Gemm {
+                width: *pick(rng, &cfg.gemm_widths),
+                transpose_b: rng.below(2) == 0,
+            },
+            80..=85 => Step::Softmax,
+            86..=89 => Step::LayerNorm,
+            90..=93 => Step::RmsNorm,
+            94..=97 => {
+                if !cfg.attention {
+                    continue;
+                }
+                Step::Attention {
+                    seq: *pick(rng, &cfg.seq_lens),
+                }
+            }
+            _ => {
+                if !cfg.reshape {
+                    continue;
+                }
+                Step::Reshape
+            }
+        };
+    }
+}
+
+impl GraphSpec {
+    /// Builds the graph the recipe describes. Infeasible steps are
+    /// skipped; the result always has at least one operator and at
+    /// least one non-unit dimension at every intermediate value.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        let mut g = Graph::new(format!("fz{}", self.seed), self.dtype);
+        g.instances = self.instances;
+        let x = g.input("x", Shape::new(vec![self.m, self.n]));
+        let mut cur = x;
+        // The extent each axis last had while non-unit (what a
+        // Broadcast step restores after a reduction).
+        let mut last_extent = [self.m.max(2), self.n.max(2)];
+        let mut fresh = 0usize;
+        let mut mid: Option<ValueId> = None;
+        let midpoint = self.steps.len() / 2;
+        for (i, step) in self.steps.iter().enumerate() {
+            cur = self.apply(&mut g, cur, x, step, &mut last_extent, &mut fresh)?;
+            for (d, e) in g.shape(cur).dims().iter().enumerate() {
+                if *e > 1 && d < 2 {
+                    last_extent[d] = *e;
+                }
+            }
+            if i + 1 == midpoint {
+                mid = Some(cur);
+            }
+        }
+        if g.ops().is_empty() {
+            // Every step was infeasible; keep the graph non-trivial.
+            cur = g.unary(UnaryOp::Relu, cur)?;
+        }
+        if self.multi_output {
+            if let Some(v) = mid.filter(|v| *v != cur) {
+                g.mark_output(v);
+            }
+        }
+        g.mark_output(cur);
+        Ok(g)
+    }
+
+    fn apply(
+        &self,
+        g: &mut Graph,
+        cur: ValueId,
+        x: ValueId,
+        step: &Step,
+        last_extent: &mut [usize; 2],
+        fresh: &mut usize,
+    ) -> Result<ValueId, GraphError> {
+        let dims = |g: &Graph, v: ValueId| -> Vec<usize> { g.shape(v).dims().to_vec() };
+        let d = dims(g, cur);
+        Ok(match step {
+            Step::Unary(u) => g.unary(*u, cur)?,
+            Step::Scalar(op, v) => g.scalar(*op, cur, *v)?,
+            Step::CombineInput(op) => {
+                if g.shape(x).broadcast_with(g.shape(cur)).is_err() {
+                    return Ok(cur);
+                }
+                g.binary(*op, x, cur)?
+            }
+            Step::CombineWeight(op) => {
+                let w = g.weight(format!("w{fresh}"), Shape::new(vec![1, d[1]]));
+                *fresh += 1;
+                g.binary(*op, cur, w)?
+            }
+            Step::Reduce(op, dim) => {
+                // Keep at least one parallel dimension alive: reducing
+                // away the last non-unit dim leaves nothing to slice
+                // spatially (paper Alg. 1 rejects such programs).
+                if d[*dim] <= 1 || d[1 - *dim] <= 1 {
+                    return Ok(cur);
+                }
+                g.reduce(*op, cur, *dim)?
+            }
+            Step::Broadcast(dim) => {
+                if d[*dim] != 1 || last_extent[*dim] <= 1 {
+                    return Ok(cur);
+                }
+                g.broadcast(cur, *dim, last_extent[*dim])?
+            }
+            Step::Gemm { width, transpose_b } => {
+                if d[0] <= 1 || d[1] <= 1 {
+                    return Ok(cur);
+                }
+                let k = d[1];
+                let shape = if *transpose_b {
+                    Shape::new(vec![*width, k])
+                } else {
+                    Shape::new(vec![k, *width])
+                };
+                let w = g.weight(format!("w{fresh}"), shape);
+                *fresh += 1;
+                let mm = g.gemm(cur, w, *transpose_b)?;
+                g.scalar(BinaryOp::Mul, mm, 1.0 / (k as f32).sqrt())?
+            }
+            Step::Softmax => {
+                if d[1] <= 1 || d[0] <= 1 {
+                    return Ok(cur);
+                }
+                softmax_tail(g, cur)?
+            }
+            Step::LayerNorm => {
+                if d[1] <= 1 || d[0] <= 1 {
+                    return Ok(cur);
+                }
+                let mean = g.reduce(ReduceOp::Mean, cur, 1)?;
+                let c = g.binary(BinaryOp::Sub, cur, mean)?;
+                let sq = g.unary(UnaryOp::Sqr, c)?;
+                let var = g.reduce(ReduceOp::Mean, sq, 1)?;
+                let veps = g.scalar(BinaryOp::Add, var, 1e-5)?;
+                let std = g.unary(UnaryOp::Sqrt, veps)?;
+                let norm = g.binary(BinaryOp::Div, c, std)?;
+                let w = g.weight(format!("w{fresh}"), Shape::new(vec![1, d[1]]));
+                let b = g.weight(format!("b{fresh}"), Shape::new(vec![1, d[1]]));
+                *fresh += 1;
+                let sc = g.binary(BinaryOp::Mul, norm, w)?;
+                g.binary(BinaryOp::Add, sc, b)?
+            }
+            Step::RmsNorm => {
+                if d[1] <= 1 || d[0] <= 1 {
+                    return Ok(cur);
+                }
+                let sq = g.unary(UnaryOp::Sqr, cur)?;
+                let ms = g.reduce(ReduceOp::Mean, sq, 1)?;
+                let eps = g.scalar(BinaryOp::Add, ms, 1e-5)?;
+                let rms = g.unary(UnaryOp::Sqrt, eps)?;
+                let n1 = g.binary(BinaryOp::Div, cur, rms)?;
+                let w = g.weight(format!("w{fresh}"), Shape::new(vec![1, d[1]]));
+                *fresh += 1;
+                g.binary(BinaryOp::Mul, n1, w)?
+            }
+            Step::Attention { seq } => {
+                if d[0] <= 1 || d[1] <= 1 {
+                    return Ok(cur);
+                }
+                let k = d[1];
+                let kk = g.input(format!("k{fresh}"), Shape::new(vec![*seq, k]));
+                let v = g.input(format!("v{fresh}"), Shape::new(vec![*seq, k]));
+                *fresh += 1;
+                let qk = g.gemm(cur, kk, true)?;
+                let sc = g.scalar(BinaryOp::Mul, qk, 1.0 / (k as f32).sqrt())?;
+                let sm = softmax_tail(g, sc)?;
+                g.gemm(sm, v, false)?
+            }
+            Step::Reshape => {
+                if d[0] == d[1] {
+                    return Ok(cur);
+                }
+                g.layout_barrier(cur, Shape::new(vec![d[1], d[0]]))?
+            }
+        })
+    }
+
+    /// A stable one-line description (used in corpus headers).
+    pub fn describe(&self) -> String {
+        format!(
+            "seed={} m={} n={} dtype={:?} instances={} multi_output={} steps={:?}",
+            self.seed, self.m, self.n, self.dtype, self.instances, self.multi_output, self.steps
+        )
+    }
+}
+
+fn softmax_tail(g: &mut Graph, cur: ValueId) -> Result<ValueId, GraphError> {
+    let mx = g.reduce(ReduceOp::Max, cur, 1)?;
+    let sub = g.binary(BinaryOp::Sub, cur, mx)?;
+    let e = g.unary(UnaryOp::Exp, sub)?;
+    let z = g.reduce(ReduceOp::Sum, e, 1)?;
+    g.binary(BinaryOp::Div, e, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        for seed in 0..32 {
+            assert_eq!(generate(seed, &cfg), generate(seed, &cfg));
+        }
+        assert_ne!(generate(1, &cfg), generate(2, &cfg));
+    }
+
+    #[test]
+    fn generated_graphs_build_and_execute() {
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let spec = generate(seed, &cfg);
+            let g = spec.build().unwrap_or_else(|e| {
+                panic!("seed {seed} failed to build: {e}\n{}", spec.describe())
+            });
+            assert!(!g.ops().is_empty(), "seed {seed} built an empty graph");
+            g.validate()
+                .unwrap_or_else(|e| panic!("seed {seed} invalid: {e}\n{}", spec.describe()));
+            let bindings = g.random_bindings(seed);
+            let out = g
+                .execute(&bindings)
+                .unwrap_or_else(|e| panic!("seed {seed} reference failed: {e}"));
+            assert_eq!(out.len(), g.outputs().len());
+            for t in &out {
+                assert!(
+                    t.data().iter().all(|v| v.is_finite()),
+                    "seed {seed} produced non-finite reference values\n{}",
+                    spec.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intermediates_keep_a_parallel_dim() {
+        // Weights may be scalar-like `[1, 1]` (two-axis broadcast is a
+        // legitimate case to fuzz); computed values must always keep a
+        // spatial dimension or Alg. 1 has nothing to slice.
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let g = generate(seed, &cfg).build().unwrap();
+            for (vi, v) in g.values().iter().enumerate() {
+                if v.kind != sf_ir::ValueKind::Intermediate {
+                    continue;
+                }
+                assert!(
+                    v.shape.dims().iter().any(|&e| e > 1),
+                    "seed {seed} value {vi} is fully reduced: {}",
+                    v.shape
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vocabulary_is_exercised() {
+        let cfg = GenConfig::default();
+        let mut gemm = 0;
+        let mut motif = 0;
+        let mut reduce = 0;
+        let mut reshape = 0;
+        for seed in 0..500 {
+            for s in &generate(seed, &cfg).steps {
+                match s {
+                    Step::Gemm { .. } => gemm += 1,
+                    Step::Softmax | Step::LayerNorm | Step::RmsNorm | Step::Attention { .. } => {
+                        motif += 1
+                    }
+                    Step::Reduce(..) => reduce += 1,
+                    Step::Reshape => reshape += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(gemm > 50, "gemm {gemm}");
+        assert!(motif > 50, "motif {motif}");
+        assert!(reduce > 50, "reduce {reduce}");
+        assert!(reshape > 5, "reshape {reshape}");
+    }
+
+    #[test]
+    fn restricted_config_respects_flags() {
+        let cfg = GenConfig {
+            reshape: false,
+            attention: false,
+            instances: false,
+            multi_output: false,
+            f16: false,
+            ..GenConfig::default()
+        };
+        for seed in 0..300 {
+            let spec = generate(seed, &cfg);
+            assert_eq!(spec.instances, 1);
+            assert!(!spec.multi_output);
+            assert_eq!(spec.dtype, DType::F32);
+            for s in &spec.steps {
+                assert!(!matches!(s, Step::Reshape | Step::Attention { .. }));
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Differential fuzzing for the SpaceFusion compiler.
+//!
+//! The compiler's correctness contract is simple to state: for every
+//! well-formed graph, every fusion policy, and every execution thread
+//! count, the compiled program must produce the same outputs as the
+//! reference interpreter (`sf_ir::Graph::execute`), up to the
+//! re-association drift that slicing and UTA rewriting legitimately
+//! introduce. This crate checks that contract on *randomly generated*
+//! programs instead of the hand-picked zoo in the test suite:
+//!
+//! * [`gen`] — a seeded recipe generator over the paper's operator
+//!   space (element-wise chains, GEMMs, reductions, broadcasts,
+//!   layout barriers, softmax/layernorm/rmsnorm/attention motifs),
+//!   driven by the in-tree `XorShiftRng`. A seed fully determines the
+//!   graph; there is no external fuzzing dependency.
+//! * [`oracle`] — the differential oracle: reference execution vs
+//!   every [`FusionPolicy`](spacefusion::FusionPolicy) × worker-thread
+//!   count `{1, 2, max}`, compared with the shared ULP/abs-tol
+//!   comparator (`sf_tensor::compare`); each compiled candidate also
+//!   runs the static verifier, and error-level findings count as
+//!   failures.
+//! * [`shrink`] — a greedy recipe shrinker producing 1-minimal repros
+//!   (drop steps, shrink extents, simplify ops down a deterministic
+//!   ladder).
+//! * [`corpus`] — minimized repros persisted as plain `sfc` DSL files
+//!   under `tests/corpus/`, replayed by `crates/core/tests/
+//!   fuzz_corpus.rs` so fixed bugs stay fixed.
+//! * [`runner`] — the campaign driver behind `sfc fuzz`: seeds in,
+//!   deterministic report out, one `PassId::Fuzz` instrumentation
+//!   event per seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use sf_fuzz::{generate, run_oracle, GenConfig, OracleOptions};
+//!
+//! let spec = generate(42, &GenConfig::default());
+//! let graph = spec.build().unwrap();
+//! let report = run_oracle(&graph, &OracleOptions::default());
+//! assert!(report.ok(), "{:?}", report.failures);
+//! ```
+
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod runner;
+pub mod shrink;
+
+pub use gen::{generate, GenConfig, GraphSpec, Step};
+pub use oracle::{
+    derive_tolerance, run_oracle, Failure, FailureKind, OracleOptions, OracleReport, POLICIES,
+};
+pub use runner::{run_fuzz, FuzzOptions, FuzzReport, SeedFailure};
+pub use shrink::{shrink, ShrinkResult};

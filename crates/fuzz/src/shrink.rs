@@ -1,0 +1,302 @@
+//! Greedy recipe shrinker.
+//!
+//! Given a failing [`GraphSpec`] and a predicate that re-checks the
+//! failure, the shrinker tries ever-smaller candidate recipes and
+//! keeps each one that still fails, until a full sweep makes no
+//! progress. Because candidates are recipes (not graphs), every
+//! candidate builds a well-formed graph by construction.
+//!
+//! Three move families, applied in rounds:
+//!
+//! 1. **Drop steps** — remove halves, then quarters, then single steps
+//!    (ddmin-style), from the back so later context-free steps go
+//!    first.
+//! 2. **Shrink dimensions** — root extents and per-step parameters
+//!    (GEMM width, attention sequence length) jump straight to 2, then
+//!    halve; `instances` drops to 1; the extra output is removed.
+//! 3. **Simplify ops** — each step steps down a deterministic ladder
+//!    (attention → softmax → reduce-sum; GEMM → weight-add → relu;
+//!    any unary → relu; any scalar constant → `+1.0`), so the final
+//!    repro names the simplest operator that still triggers the bug.
+//!
+//! The predicate is re-evaluated on every candidate, so the result is
+//! `1-minimal` with respect to the move set: no single remaining move
+//! can be applied without losing the failure. Everything is
+//! deterministic — same input, same predicate, same repro.
+
+use crate::gen::{GraphSpec, Step};
+use sf_ir::Graph;
+use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized recipe.
+    pub spec: GraphSpec,
+    /// Candidate recipes evaluated (predicate invocations).
+    pub attempts: usize,
+    /// Accepted shrinking moves.
+    pub accepted: usize,
+}
+
+/// Shrinks `spec` while `still_fails` holds on the built graph.
+///
+/// `still_fails` must return `true` for the initial spec's graph;
+/// otherwise the input is returned unchanged. `max_attempts` bounds
+/// predicate invocations (each one typically compiles the graph five
+/// times), so shrinking terminates even on pathological predicates.
+pub fn shrink<F>(spec: &GraphSpec, still_fails: F, max_attempts: usize) -> ShrinkResult
+where
+    F: Fn(&Graph) -> bool,
+{
+    let check = |s: &GraphSpec| -> bool { s.build().map(|g| still_fails(&g)).unwrap_or(false) };
+    let mut cur = spec.clone();
+    let mut attempts = 0usize;
+    let mut accepted = 0usize;
+    if !check(&cur) {
+        return ShrinkResult {
+            spec: cur,
+            attempts: 1,
+            accepted: 0,
+        };
+    }
+    attempts += 1;
+
+    loop {
+        let mut progressed = false;
+        for candidate in moves(&cur) {
+            if attempts >= max_attempts {
+                return ShrinkResult {
+                    spec: cur,
+                    attempts,
+                    accepted,
+                };
+            }
+            attempts += 1;
+            if check(&candidate) {
+                cur = candidate;
+                accepted += 1;
+                progressed = true;
+                break; // restart the move enumeration from the smaller spec
+            }
+        }
+        if !progressed {
+            return ShrinkResult {
+                spec: cur,
+                attempts,
+                accepted,
+            };
+        }
+    }
+}
+
+/// Candidate recipes strictly "smaller" than `spec`, in priority order.
+fn moves(spec: &GraphSpec) -> Vec<GraphSpec> {
+    let mut out = Vec::new();
+    let n = spec.steps.len();
+
+    // 1. Drop chunks of steps: halves, quarters, then singles, from
+    // the back.
+    let mut chunk = n.div_ceil(2);
+    while chunk >= 1 {
+        let mut start = n.saturating_sub(chunk);
+        loop {
+            if chunk < n {
+                let mut c = spec.clone();
+                c.steps.drain(start..(start + chunk).min(n));
+                out.push(c);
+            }
+            if start == 0 {
+                break;
+            }
+            start = start.saturating_sub(chunk);
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // 2. Structural scalars.
+    if spec.instances > 1 {
+        let mut c = spec.clone();
+        c.instances = 1;
+        out.push(c);
+    }
+    if spec.multi_output {
+        let mut c = spec.clone();
+        c.multi_output = false;
+        out.push(c);
+    }
+    for (get, set) in [
+        (
+            spec.m,
+            (&|c: &mut GraphSpec, v| c.m = v) as &dyn Fn(&mut GraphSpec, usize),
+        ),
+        (spec.n, &|c: &mut GraphSpec, v| c.n = v),
+    ] {
+        for v in shrunk_extents(get) {
+            let mut c = spec.clone();
+            set(&mut c, v);
+            out.push(c);
+        }
+    }
+
+    // 3. Per-step parameter shrinks and op simplifications.
+    for (i, step) in spec.steps.iter().enumerate() {
+        match step {
+            Step::Gemm { width, transpose_b } => {
+                for v in shrunk_extents(*width) {
+                    let mut c = spec.clone();
+                    c.steps[i] = Step::Gemm {
+                        width: v,
+                        transpose_b: *transpose_b,
+                    };
+                    out.push(c);
+                }
+                if *transpose_b {
+                    let mut c = spec.clone();
+                    c.steps[i] = Step::Gemm {
+                        width: *width,
+                        transpose_b: false,
+                    };
+                    out.push(c);
+                }
+            }
+            Step::Attention { seq } => {
+                for v in shrunk_extents(*seq) {
+                    let mut c = spec.clone();
+                    c.steps[i] = Step::Attention { seq: v };
+                    out.push(c);
+                }
+            }
+            _ => {}
+        }
+        for simpler in simplify(step) {
+            let mut c = spec.clone();
+            c.steps[i] = simpler;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Smaller extents to try: straight to 2, then halved.
+fn shrunk_extents(v: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    if v > 2 {
+        out.push(2);
+        if v / 2 > 2 {
+            out.push(v / 2);
+        }
+    }
+    out
+}
+
+/// One rung down the simplification ladder for a step, simplest first.
+fn simplify(step: &Step) -> Vec<Step> {
+    let relu = Step::Unary(UnaryOp::Relu);
+    match step {
+        Step::Unary(UnaryOp::Relu) => vec![],
+        Step::Unary(_) => vec![relu],
+        Step::Scalar(BinaryOp::Add, v) if *v == 1.0 => vec![],
+        Step::Scalar(..) => vec![Step::Scalar(BinaryOp::Add, 1.0)],
+        Step::CombineInput(BinaryOp::Add) => vec![],
+        Step::CombineInput(_) => vec![Step::CombineInput(BinaryOp::Add)],
+        Step::CombineWeight(BinaryOp::Add) => vec![relu],
+        Step::CombineWeight(_) => vec![Step::CombineWeight(BinaryOp::Add)],
+        Step::Reduce(ReduceOp::Sum, _) => vec![],
+        Step::Reduce(_, dim) => vec![Step::Reduce(ReduceOp::Sum, *dim)],
+        Step::Broadcast(_) => vec![],
+        Step::Gemm { .. } => vec![relu, Step::CombineWeight(BinaryOp::Add)],
+        Step::Softmax => vec![Step::Reduce(ReduceOp::Sum, 1)],
+        Step::LayerNorm | Step::RmsNorm => vec![Step::Reduce(ReduceOp::Sum, 1), Step::Softmax],
+        Step::Attention { .. } => vec![Step::Reduce(ReduceOp::Sum, 1), Step::Softmax],
+        Step::Reshape => vec![relu],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_ir::OpKind;
+    use sf_tensor::DType;
+
+    fn big_spec() -> GraphSpec {
+        GraphSpec {
+            seed: 7,
+            m: 32,
+            n: 64,
+            dtype: DType::F32,
+            instances: 4,
+            multi_output: true,
+            steps: vec![
+                Step::Unary(UnaryOp::Tanh),
+                Step::Gemm {
+                    width: 32,
+                    transpose_b: true,
+                },
+                Step::Softmax,
+                Step::Attention { seq: 16 },
+                Step::CombineWeight(BinaryOp::Mul),
+                Step::Reduce(ReduceOp::Mean, 1),
+            ],
+        }
+    }
+
+    #[test]
+    fn trivial_predicate_shrinks_to_single_relu() {
+        // "Always fails" → everything removable is removed; the
+        // build-time floor (one relu on the input) is what remains.
+        let res = shrink(&big_spec(), |_| true, 10_000);
+        let g = res.spec.build().unwrap();
+        assert_eq!(g.ops().len(), 1, "ops: {:?}", g.ops());
+        assert!(matches!(g.ops()[0].kind, OpKind::Unary(UnaryOp::Relu)));
+        assert_eq!(res.spec.instances, 1);
+        assert!(!res.spec.multi_output);
+        assert_eq!(res.spec.m, 2);
+        assert_eq!(res.spec.n, 2);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let pred = |g: &Graph| {
+            g.ops()
+                .iter()
+                .any(|o| matches!(o.kind, OpKind::Gemm { .. }))
+        };
+        let a = shrink(&big_spec(), pred, 10_000);
+        let b = shrink(&big_spec(), pred, 10_000);
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.attempts, b.attempts);
+    }
+
+    #[test]
+    fn predicate_holds_on_result() {
+        let pred = |g: &Graph| {
+            g.ops()
+                .iter()
+                .any(|o| matches!(o.kind, OpKind::Reduce { .. }))
+        };
+        let res = shrink(&big_spec(), pred, 10_000);
+        let g = res.spec.build().unwrap();
+        assert!(pred(&g));
+        // A single reduce plus nothing else: at most 2 ops survive
+        // (reduce + possibly the floor relu is not added since ops
+        // exist).
+        assert!(g.ops().len() <= 2, "ops: {:?}", g.ops());
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let res = shrink(&big_spec(), |_| false, 10_000);
+        assert_eq!(res.spec, big_spec());
+        assert_eq!(res.accepted, 0);
+    }
+
+    #[test]
+    fn attempt_budget_is_respected() {
+        let res = shrink(&big_spec(), |_| true, 5);
+        assert!(res.attempts <= 5);
+    }
+}

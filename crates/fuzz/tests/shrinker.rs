@@ -1,0 +1,76 @@
+//! End-to-end shrinker convergence: a known-bad graph — a seeded recipe
+//! with a planted bug-triggering mutation — must shrink to a repro of at
+//! most three ops, deterministically.
+//!
+//! The engine currently has no real miscompile to minimize (see
+//! EXPERIMENTS.md), so the bug is *synthetic*: a dim-0 (column)
+//! reduction is spliced into a generated recipe, and the predicate
+//! flags any graph containing one — standing in for "the compiler
+//! mis-schedules column reductions". The shrinker only sees the
+//! predicate, exactly as it would a real oracle failure, so the
+//! convergence behaviour transfers. Column reductions are a good
+//! planted trigger because no motif emits one (softmax, layernorm and
+//! attention all reduce over dim 1), so the minimal carrier is a single
+//! `reduce` op — any bigger final repro means a shrinking move was
+//! missed.
+
+use sf_fuzz::{generate, shrink, GenConfig, GraphSpec, Step};
+use sf_ir::{Graph, OpKind};
+use sf_tensor::ops::ReduceOp;
+
+/// The planted bug: "any graph with a column (dim-0) reduction fails".
+fn triggers_bug(g: &Graph) -> bool {
+    g.ops()
+        .iter()
+        .any(|op| matches!(op.kind, OpKind::Reduce { dim: 0, .. }))
+}
+
+/// A generated recipe with the bug trigger spliced into the middle —
+/// the "known-bad graph mutation". Scans seeds until the mutated
+/// recipe actually builds with the trigger live (splice position must
+/// have both extents > 1 or the step is skipped as infeasible).
+fn known_bad() -> GraphSpec {
+    let cfg = GenConfig::default();
+    (0..10_000)
+        .map(|seed| {
+            let mut spec = generate(seed, &cfg);
+            let mid = spec.steps.len() / 2;
+            spec.steps.insert(mid, Step::Reduce(ReduceOp::Max, 0));
+            spec
+        })
+        .find(|spec| {
+            spec.steps.len() >= 6 && spec.build().map(|g| triggers_bug(&g)).unwrap_or(false)
+        })
+        .expect("a viable mutation site exists below seed 10000")
+}
+
+#[test]
+fn known_bad_graph_shrinks_to_a_tiny_repro() {
+    let spec = known_bad();
+    let start_ops = spec.build().unwrap().ops().len();
+    let result = shrink(&spec, triggers_bug, 2_000);
+    let minimized = result.spec.build().unwrap();
+
+    assert!(triggers_bug(&minimized), "shrinking must preserve the bug");
+    assert!(
+        minimized.ops().len() <= 3,
+        "expected <=3 ops, got {} (started at {start_ops}): {:?}",
+        minimized.ops().len(),
+        result.spec.steps
+    );
+    assert!(result.accepted > 0, "at least one move must be accepted");
+    // Shape noise must shrink too, not just the step list.
+    assert!(result.spec.m <= 4 && result.spec.n <= 4);
+    assert_eq!(result.spec.instances, 1);
+    assert!(!result.spec.multi_output);
+}
+
+#[test]
+fn shrinking_is_deterministic() {
+    let spec = known_bad();
+    let a = shrink(&spec, triggers_bug, 2_000);
+    let b = shrink(&spec, triggers_bug, 2_000);
+    assert_eq!(a.spec, b.spec);
+    assert_eq!(a.attempts, b.attempts);
+    assert_eq!(a.accepted, b.accepted);
+}

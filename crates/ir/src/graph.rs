@@ -468,6 +468,121 @@ impl Graph {
             .collect()
     }
 
+    /// Structural validity check: every op references existing values
+    /// created *before* its output (topological order), stored shapes
+    /// match what the builder would re-infer, binding names are unique,
+    /// and at least one output is marked on an existing value.
+    ///
+    /// The builder API cannot produce an invalid graph, but generated or
+    /// deserialized graphs should be checked before compilation — the
+    /// fuzzer runs this on every candidate so generator bugs are caught
+    /// as `validate` failures instead of surfacing as compiler ones.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let mut names: Vec<&str> = Vec::new();
+        for v in &self.values {
+            if matches!(v.kind, ValueKind::Input | ValueKind::Weight) {
+                if names.contains(&v.name.as_str()) {
+                    return Err(GraphError::ShapeMismatch(format!(
+                        "duplicate binding name '{}'",
+                        v.name
+                    )));
+                }
+                names.push(&v.name);
+            }
+        }
+        for op in &self.ops {
+            self.check(op.output)?;
+            if self.values[op.output.0].kind != ValueKind::Intermediate {
+                return Err(GraphError::ShapeMismatch(format!(
+                    "op '{}' writes a non-intermediate value",
+                    op.kind.name()
+                )));
+            }
+            for input in &op.inputs {
+                self.check(*input)?;
+                if input.0 >= op.output.0 {
+                    return Err(GraphError::ShapeMismatch(format!(
+                        "op '{}' reads value {} created after its output {}",
+                        op.kind.name(),
+                        input.0,
+                        op.output.0
+                    )));
+                }
+            }
+            let inferred = self.infer_shape(op)?;
+            if &inferred != self.shape(op.output) {
+                return Err(GraphError::ShapeMismatch(format!(
+                    "op '{}' stores shape {}, re-inference gives {}",
+                    op.kind.name(),
+                    self.shape(op.output),
+                    inferred
+                )));
+            }
+        }
+        if self.outputs.is_empty() {
+            return Err(GraphError::ShapeMismatch("no outputs marked".into()));
+        }
+        for out in &self.outputs {
+            self.check(*out)?;
+        }
+        Ok(())
+    }
+
+    fn infer_shape(&self, op: &OpNode) -> Result<Shape, GraphError> {
+        let shape = |i: usize| self.shape(op.inputs[i]);
+        Ok(match &op.kind {
+            OpKind::Gemm { transpose_b } => {
+                let (sa, sb) = (shape(0), shape(1));
+                if sa.rank() != 2 || sb.rank() != 2 {
+                    return Err(GraphError::ShapeMismatch(format!(
+                        "gemm requires rank-2 operands, got {sa} and {sb}"
+                    )));
+                }
+                let n = if *transpose_b {
+                    sb.dims()[0]
+                } else {
+                    sb.dims()[1]
+                };
+                let bk = if *transpose_b {
+                    sb.dims()[1]
+                } else {
+                    sb.dims()[0]
+                };
+                if sa.dims()[1] != bk {
+                    return Err(GraphError::ShapeMismatch(format!(
+                        "gemm inner dims differ: {sa} · {sb}"
+                    )));
+                }
+                Shape::new(vec![sa.dims()[0], n])
+            }
+            OpKind::Unary(_) | OpKind::Scalar { .. } => shape(0).clone(),
+            OpKind::Binary(_) => shape(0)
+                .broadcast_with(shape(1))
+                .map_err(|e| GraphError::ShapeMismatch(e.to_string()))?,
+            OpKind::Reduce { dim, .. } => shape(0).with_dim(*dim, 1)?,
+            OpKind::Broadcast { dim, extent } => {
+                if shape(0).dims().get(*dim) != Some(&1) {
+                    return Err(GraphError::ShapeMismatch(format!(
+                        "broadcast requires unit dim {dim} on {}",
+                        shape(0)
+                    )));
+                }
+                shape(0).with_dim(*dim, *extent)?
+            }
+            OpKind::LayoutBarrier => {
+                let out = self.shape(op.output);
+                if out.volume() != shape(0).volume() {
+                    return Err(GraphError::ShapeMismatch(format!(
+                        "layout barrier changes volume: {} -> {}",
+                        shape(0),
+                        out
+                    )));
+                }
+                out.clone()
+            }
+        })
+    }
+
     /// Generates deterministic random bindings for all inputs and weights.
     pub fn random_bindings(&self, seed: u64) -> HashMap<String, Tensor> {
         let mut out = HashMap::new();
@@ -587,5 +702,44 @@ mod tests {
         let bindings = g.random_bindings(1);
         let out = g.execute(&bindings).unwrap();
         assert_eq!(out[0].data(), bindings["x"].data());
+    }
+
+    #[test]
+    fn validate_accepts_builder_graphs() {
+        softmax_graph(2, 4).validate().unwrap();
+        let mut g = Graph::new("t", DType::F16);
+        let x = g.input("x", Shape::new(vec![4, 8]));
+        let w = g.weight("w", Shape::new(vec![8, 8]));
+        let h = g.gemm(x, w, false).unwrap();
+        let r = g.reduce(ReduceOp::Sum, h, 1).unwrap();
+        let b = g.broadcast(r, 1, 8).unwrap();
+        let y = g.binary(BinaryOp::Add, h, b).unwrap();
+        g.mark_output(y);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_missing_outputs() {
+        let mut g = Graph::new("t", DType::F32);
+        let x = g.input("x", Shape::new(vec![2, 2]));
+        g.unary(UnaryOp::Relu, x).unwrap();
+        assert!(matches!(g.validate(), Err(GraphError::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_binding_names() {
+        let mut g = Graph::new("t", DType::F32);
+        g.input("x", Shape::new(vec![2, 2]));
+        let x2 = g.input("x", Shape::new(vec![2, 2]));
+        g.mark_output(x2);
+        assert!(matches!(g.validate(), Err(GraphError::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn validate_rejects_tampered_shapes() {
+        let mut g = softmax_graph(2, 4);
+        let last = g.values.len() - 1;
+        g.values[last].shape = Shape::new(vec![3, 3]);
+        assert!(matches!(g.validate(), Err(GraphError::ShapeMismatch(_))));
     }
 }

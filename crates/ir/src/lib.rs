@@ -15,10 +15,12 @@
 
 pub mod analysis;
 pub mod dot;
+pub mod dsl;
 pub mod graph;
 pub mod segment;
 
 pub use analysis::{op_class, op_cost, pattern_signature, OpClass, OpCost};
 pub use dot::{escape_label, stats as graph_stats, to_dot as dfg_to_dot, GraphStats};
+pub use dsl::{parse_graph, print_graph, ParseError};
 pub use graph::{Graph, GraphError, OpId, OpKind, OpNode, ValueId, ValueInfo, ValueKind};
 pub use segment::segment;

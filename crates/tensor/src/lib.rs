@@ -16,6 +16,7 @@
 //! workloads use [`DType::F16`] which occupies two bytes per element).
 
 pub mod alloc_stats;
+pub mod compare;
 pub mod dtype;
 pub mod error;
 pub mod ops;
@@ -25,6 +26,7 @@ pub mod shape;
 pub mod tensor;
 pub mod view;
 
+pub use compare::{assert_tensors_bitwise, assert_tensors_close, compare_tensors, Tolerance};
 pub use dtype::DType;
 pub use error::{Result, TensorError};
 pub use scratch::ScratchPool;

@@ -1,0 +1,163 @@
+//! Regenerates the checked-in regression corpus under `tests/corpus/`.
+//!
+//! The fuzz campaigns recorded in EXPERIMENTS.md found no divergence, so
+//! the corpus holds *passing* regression graphs rather than minimized
+//! failures: the generated seeds that exercise each high-risk motif
+//! (attention, layernorm, rmsnorm, multi-output, multi-instance) plus
+//! the shrunk cases the original proptest suite had recorded. The
+//! replay test (`crates/core/tests/fuzz_corpus.rs`) re-runs the full
+//! oracle on every entry, so any future regression on these graphs is
+//! caught by plain `cargo test`.
+//!
+//! Run with `cargo run --example seed_corpus` from the workspace root.
+
+use sf_fuzz::{generate, GenConfig, GraphSpec, Step};
+use sf_ir::dsl::print_graph;
+use sf_ir::Graph;
+use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+use sf_tensor::{DType, Shape};
+use std::path::Path;
+
+fn render_passing(spec: &GraphSpec, note: &str) -> String {
+    let graph = spec.build().expect("corpus spec must build");
+    format!(
+        "# sf-fuzz regression corpus (passing)\n# {}\n# {}\n{}",
+        spec.describe(),
+        note,
+        print_graph(&graph)
+    )
+}
+
+fn render_handmade(graph: &Graph, note: &str) -> String {
+    format!(
+        "# sf-fuzz regression corpus (passing)\n# {}\n{}",
+        note,
+        print_graph(graph)
+    )
+}
+
+/// First generated seed whose recipe satisfies `wanted`.
+fn first_seed(cfg: &GenConfig, wanted: impl Fn(&GraphSpec) -> bool) -> GraphSpec {
+    (0..10_000)
+        .map(|seed| generate(seed, cfg))
+        .find(wanted)
+        .expect("no seed below 10000 matched the motif")
+}
+
+/// `m=2, n=2, GemmWeight(3) + CombineInput(Add)`: recorded by proptest —
+/// the combine is infeasible after the GEMM widens the row, leaving a
+/// lone square-ish GEMM that once tripped the SMG builder.
+fn proptest_lone_gemm() -> Graph {
+    let mut g = Graph::new("random", DType::F16);
+    let x = g.input("x", Shape::new(vec![2, 2]));
+    let w = g.weight("w0", Shape::new(vec![2, 8]));
+    let mm = g.gemm(x, w, false).unwrap();
+    g.mark_output(mm);
+    g
+}
+
+/// `GemmWeight(3) + Reduce(Sum, 1) + CombineInput(Add)`: the reduction
+/// restores broadcast compatibility with the root input.
+fn proptest_gemm_reduce_combine() -> Graph {
+    let mut g = Graph::new("random", DType::F16);
+    let x = g.input("x", Shape::new(vec![2, 2]));
+    let w = g.weight("w0", Shape::new(vec![2, 8]));
+    let mm = g.gemm(x, w, false).unwrap();
+    let r = g.reduce(ReduceOp::Sum, mm, 1).unwrap();
+    let c = g.binary(BinaryOp::Add, x, r).unwrap();
+    g.mark_output(c);
+    g
+}
+
+/// `GemmWeight(4) + Unary(Relu) + CombineInput(Add)` at `m=2, n=16`:
+/// width-preserving GEMM keeps the combine feasible.
+fn proptest_gemm_relu_combine() -> Graph {
+    let mut g = Graph::new("random", DType::F16);
+    let x = g.input("x", Shape::new(vec![2, 16]));
+    let w = g.weight("w0", Shape::new(vec![16, 16]));
+    let mm = g.gemm(x, w, false).unwrap();
+    let u = g.unary(UnaryOp::Relu, mm).unwrap();
+    let c = g.binary(BinaryOp::Add, x, u).unwrap();
+    g.mark_output(c);
+    g
+}
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let cfg = GenConfig::default();
+
+    let entries: Vec<(&str, String)> = vec![
+        (
+            "gen_attention",
+            render_passing(
+                &first_seed(&cfg, |s| {
+                    s.steps
+                        .iter()
+                        .any(|st| matches!(st, Step::Attention { .. }))
+                }),
+                "first default-config seed containing an attention motif \
+                 (temporal slicing + online softmax)",
+            ),
+        ),
+        (
+            "gen_layernorm",
+            render_passing(
+                &first_seed(&cfg, |s| s.steps.contains(&Step::LayerNorm)),
+                "first default-config seed containing a layernorm motif \
+                 (mean/variance reduction pair)",
+            ),
+        ),
+        (
+            "gen_rmsnorm",
+            render_passing(
+                &first_seed(&cfg, |s| s.steps.contains(&Step::RmsNorm)),
+                "first default-config seed containing an rmsnorm motif",
+            ),
+        ),
+        (
+            "gen_multi_output",
+            render_passing(
+                &first_seed(&cfg, |s| s.multi_output && s.steps.len() >= 4),
+                "first default-config seed marking a midpoint intermediate \
+                 as a second program output",
+            ),
+        ),
+        (
+            "gen_multi_instance",
+            render_passing(
+                &first_seed(&cfg, |s| s.instances > 1 && s.steps.len() >= 3),
+                "first default-config seed with a dependency-free instance \
+                 multiplier (parallel block scheduling)",
+            ),
+        ),
+        (
+            "proptest_lone_gemm",
+            render_handmade(
+                &proptest_lone_gemm(),
+                "recorded by the original proptest run: lone f16 GEMM whose \
+                 contraction extent aliases an output extent",
+            ),
+        ),
+        (
+            "proptest_gemm_reduce_combine",
+            render_handmade(
+                &proptest_gemm_reduce_combine(),
+                "recorded by the original proptest run: GEMM -> row-sum -> \
+                 combine with the root input",
+            ),
+        ),
+        (
+            "proptest_gemm_relu_combine",
+            render_handmade(
+                &proptest_gemm_relu_combine(),
+                "recorded by the original proptest run: width-preserving \
+                 GEMM -> relu -> combine with the root input",
+            ),
+        ),
+    ];
+
+    for (name, text) in entries {
+        let path = sf_fuzz::corpus::write_entry(&dir, name, &text).expect("write corpus entry");
+        println!("wrote {}", path.display());
+    }
+}

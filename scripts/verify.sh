@@ -30,4 +30,19 @@ for f in examples/graphs/*.sfg; do
     done
 done
 
+echo "==> sfc fuzz smoke (50 seeds, differential oracle + verifier)"
+./target/release/sfc fuzz --seeds 50 --seed 42 > target/FUZZ_smoke.txt \
+    || { echo "verify: FAIL — fuzz smoke found a divergence or verifier error"; \
+         cat target/FUZZ_smoke.txt; exit 1; }
+
+echo "==> sfc fuzz determinism (same seeds -> identical report)"
+./target/release/sfc fuzz --seeds 50 --seed 42 > target/FUZZ_smoke2.txt
+diff target/FUZZ_smoke.txt target/FUZZ_smoke2.txt \
+    || { echo "verify: FAIL — fuzz report is not deterministic"; exit 1; }
+
+echo "==> corpus freshness (seed_corpus regenerates what is checked in)"
+cargo run -q --release --example seed_corpus > /dev/null
+git diff --exit-code -- tests/corpus \
+    || { echo "verify: FAIL — tests/corpus is stale; run 'cargo run --example seed_corpus'"; exit 1; }
+
 echo "verify: OK"

@@ -1,122 +1,66 @@
 //! Property-based tests: every schedule the compiler emits — for
 //! *randomly generated* operator graphs and shapes — must reproduce the
 //! reference numerics and respect hardware resource bounds.
+//!
+//! Formerly gated behind a `proptest` feature; now driven by the
+//! in-tree seeded generator (`sf_fuzz::gen`), so the whole suite runs
+//! in the default offline `cargo test` and every case is reproducible
+//! from its seed.
 
-// Gated: requires the `proptest` feature (and a proptest
-// dev-dependency, which needs registry access to resolve). The
-// default offline build skips this suite.
-#![cfg(feature = "proptest")]
-use proptest::prelude::*;
+use sf_fuzz::{derive_tolerance, generate, GenConfig};
 use sf_gpu_sim::Arch;
 use sf_ir::Graph;
+use sf_tensor::assert_tensors_close;
 use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
+use sf_tensor::rng::XorShiftRng;
 use sf_tensor::{DType, Shape};
 use spacefusion::compiler::{Compiler, FusionPolicy};
 
-/// One step of a randomly generated element-wise/reduction pipeline.
-#[derive(Debug, Clone)]
-enum Step {
-    Unary(u8),
-    Scalar(f32),
-    Reduce(u8, bool), // (kind, along_columns)
-    CombineInput(u8), // binary with the original input (broadcasts back).
+fn cases(seeds: u64) -> impl Iterator<Item = (u64, Graph)> {
+    let cfg = GenConfig::default();
+    (0..seeds).map(move |seed| {
+        let g = generate(seed, &cfg)
+            .build()
+            .unwrap_or_else(|e| panic!("seed {seed} failed to build: {e}"));
+        (seed, g)
+    })
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0u8..5).prop_map(Step::Unary),
-        (-1.5f32..1.5).prop_map(Step::Scalar),
-        ((0u8..3), any::<bool>()).prop_map(|(k, c)| Step::Reduce(k, c)),
-        (0u8..4).prop_map(Step::CombineInput),
-    ]
-}
-
-fn unary_of(i: u8) -> UnaryOp {
-    [
-        UnaryOp::Exp,
-        UnaryOp::Relu,
-        UnaryOp::Sqr,
-        UnaryOp::Tanh,
-        UnaryOp::Sigmoid,
-    ][i as usize % 5]
-}
-
-fn binary_of(i: u8) -> BinaryOp {
-    [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Max][i as usize % 4]
-}
-
-fn reduce_of(i: u8) -> ReduceOp {
-    [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Mean][i as usize % 3]
-}
-
-/// Builds a graph from the generated pipeline, tracking shapes so every
-/// op is valid by construction.
-fn build_graph(m: usize, n: usize, steps: &[Step]) -> Graph {
-    let mut g = Graph::new("random_pipeline", DType::F32);
-    let x = g.input("x", Shape::new(vec![m, n]));
-    let mut cur = x;
-    for s in steps {
-        cur = match s {
-            Step::Unary(u) => {
-                // Exp after wide values overflows f32; squash first.
-                let v = if unary_of(*u) == UnaryOp::Exp {
-                    g.unary(UnaryOp::Tanh, cur).unwrap()
-                } else {
-                    cur
-                };
-                g.unary(unary_of(*u), v).unwrap()
-            }
-            Step::Scalar(c) => g.scalar(BinaryOp::Mul, cur, *c).unwrap(),
-            Step::Reduce(k, cols) => {
-                let shape = g.shape(cur).clone();
-                let dim = if *cols { 0 } else { 1 };
-                if shape.dims()[dim] == 1 {
-                    continue; // Already reduced along this dim.
-                }
-                g.reduce(reduce_of(*k), cur, dim).unwrap()
-            }
-            Step::CombineInput(b) => g.binary(binary_of(*b), x, cur).unwrap(),
-        };
-    }
-    g.mark_output(cur);
-    g
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Fused execution of random pipelines matches the reference.
-    #[test]
-    fn fused_random_pipelines_match_reference(
-        m in 3usize..48,
-        n in 3usize..48,
-        steps in prop::collection::vec(step_strategy(), 1..8),
-        seed in 0u64..1000,
-    ) {
-        let g = build_graph(m, n, &steps);
+/// Fused execution of random pipelines matches the reference.
+#[test]
+fn fused_random_pipelines_match_reference() {
+    for (seed, g) in cases(48) {
         let bindings = g.random_bindings(seed);
         let expect = g.execute(&bindings).unwrap();
+        let tol = derive_tolerance(&g);
         for policy in [FusionPolicy::SpaceFusion, FusionPolicy::MiOnly] {
             let compiler = Compiler::with_policy(Arch::Ampere, policy);
-            let program = compiler.compile(&g).unwrap();
+            let program = compiler
+                .compile(&g)
+                .unwrap_or_else(|e| panic!("seed {seed} {policy:?}: {e}"));
             let got = program.execute(&bindings).unwrap();
-            prop_assert!(
-                got[0].allclose(&expect[0], 1e-3),
-                "policy {:?} differs by {:?} on {} steps",
-                policy, got[0].max_abs_diff(&expect[0]), g.ops().len()
-            );
+            for (i, (got, want)) in got.iter().zip(expect.iter()).enumerate() {
+                assert_tensors_close(
+                    &format!("seed {seed} {policy:?} output {i}"),
+                    got,
+                    want,
+                    tol,
+                );
+            }
         }
     }
+}
 
-    /// Attention matches the reference at arbitrary (legal) shapes,
-    /// through the mechanically derived online softmax.
-    #[test]
-    fn fused_attention_matches_reference_at_random_shapes(
-        m in 17usize..80,
-        l in 33usize..200,
-        d in 8usize..40,
-        seed in 0u64..1000,
-    ) {
+/// Attention matches the reference at arbitrary (legal) shapes,
+/// through the mechanically derived online softmax.
+#[test]
+fn fused_attention_matches_reference_at_random_shapes() {
+    let mut rng = XorShiftRng::seed_from_u64(0xa77e);
+    for case in 0..12 {
+        let m = 17 + rng.below(63) as usize;
+        let l = 33 + rng.below(167) as usize;
+        let d = 8 + rng.below(32) as usize;
+        let seed = rng.next_u64();
         let mut g = Graph::new("mha", DType::F32);
         let q = g.input("q", Shape::new(vec![m, d]));
         let k = g.input("k", Shape::new(vec![l, d]));
@@ -133,72 +77,88 @@ proptest! {
         let bindings = g.random_bindings(seed);
         let expect = g.execute(&bindings).unwrap();
         let program = Compiler::with_policy(Arch::Volta, FusionPolicy::SpaceFusion)
-            .compile(&g).unwrap();
+            .compile(&g)
+            .unwrap();
         let got = program.execute(&bindings).unwrap();
-        prop_assert!(got[0].allclose(&expect[0], 1e-3));
+        assert_tensors_close(
+            &format!("case {case} mha {m}x{l}x{d}"),
+            &got[0],
+            &expect[0],
+            derive_tolerance(&g),
+        );
     }
+}
 
-    /// Every emitted kernel respects the target's resource bounds.
-    #[test]
-    fn schedules_respect_resource_bounds(
-        m in 16usize..257,
-        n in 16usize..257,
-        steps in prop::collection::vec(step_strategy(), 1..6),
-    ) {
-        let g = build_graph(m, n, &steps);
+/// Every emitted kernel respects the target's resource bounds.
+#[test]
+fn schedules_respect_resource_bounds() {
+    for (seed, g) in cases(32) {
         for arch in [Arch::Volta, Arch::Hopper] {
             let compiler = Compiler::with_policy(arch, FusionPolicy::SpaceFusion);
-            let program = compiler.compile(&g).unwrap();
+            let program = compiler
+                .compile(&g)
+                .unwrap_or_else(|e| panic!("seed {seed} {arch:?}: {e}"));
             let cfg = arch.config();
             for k in &program.kernels {
-                prop_assert!(k.schedule.smem_per_block(&k.graph) <= cfg.smem_per_block);
-                prop_assert!(k.schedule.regs_per_block(&k.graph) <= cfg.regs_per_block);
+                assert!(
+                    k.schedule.smem_per_block(&k.graph) <= cfg.smem_per_block,
+                    "seed {seed} {arch:?}: smem over budget"
+                );
+                assert!(
+                    k.schedule.regs_per_block(&k.graph) <= cfg.regs_per_block,
+                    "seed {seed} {arch:?}: regs over budget"
+                );
             }
         }
     }
+}
 
-    /// Partition invariant: however a graph is split by policies, the
-    /// kernels chain back to the reference result.
-    #[test]
-    fn policies_agree_with_each_other(
-        m in 8usize..40,
-        n in 8usize..40,
-        steps in prop::collection::vec(step_strategy(), 2..7),
-        seed in 0u64..1000,
-    ) {
-        let g = build_graph(m, n, &steps);
+/// Partition invariant: however a graph is split by policies, the
+/// kernels chain back to the reference result.
+#[test]
+fn policies_agree_with_each_other() {
+    for (seed, g) in cases(32) {
         let bindings = g.random_bindings(seed);
         let a = Compiler::with_policy(Arch::Ampere, FusionPolicy::SpaceFusion)
-            .compile(&g).unwrap().execute(&bindings).unwrap();
+            .compile(&g)
+            .unwrap()
+            .execute(&bindings)
+            .unwrap();
         let b = Compiler::with_policy(Arch::Ampere, FusionPolicy::Unfused)
-            .compile(&g).unwrap().execute(&bindings).unwrap();
-        prop_assert!(a[0].allclose(&b[0], 1e-3));
+            .compile(&g)
+            .unwrap()
+            .execute(&bindings)
+            .unwrap();
+        let tol = derive_tolerance(&g);
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_tensors_close(&format!("seed {seed} output {i}"), x, y, tol);
+        }
     }
+}
 
-    /// The profiler's counters are internally consistent on random
-    /// fused programs: misses never exceed accesses, DRAM reads never
-    /// exceed requested bytes rounded to lines.
-    #[test]
-    fn profiler_counters_are_consistent(
-        m in 16usize..128,
-        n in 16usize..128,
-        steps in prop::collection::vec(step_strategy(), 1..5),
-    ) {
-        let g = build_graph(m, n, &steps);
+/// The profiler's counters are internally consistent on random
+/// fused programs: misses never exceed accesses, DRAM reads never
+/// exceed requested bytes rounded to lines.
+#[test]
+fn profiler_counters_are_consistent() {
+    for (seed, g) in cases(24) {
         let program = Compiler::with_policy(Arch::Ampere, FusionPolicy::SpaceFusion)
-            .compile(&g).unwrap();
+            .compile(&g)
+            .unwrap();
         let r = program.profile(1);
-        prop_assert!(r.stats.l1_misses <= r.stats.l1_accesses);
-        prop_assert!(r.stats.l2_misses <= r.stats.l2_accesses);
+        assert!(r.stats.l1_misses <= r.stats.l1_accesses, "seed {seed}");
+        assert!(r.stats.l2_misses <= r.stats.l2_accesses, "seed {seed}");
         for k in &r.kernels {
             // Line-granularity DRAM reads can exceed requested bytes by
             // at most one line per row access; bound loosely by 2x+line.
-            prop_assert!(
+            assert!(
                 k.dram_read_bytes <= 2 * k.global_read_bytes + 4096,
-                "{} dram {} vs requested {}",
-                k.name, k.dram_read_bytes, k.global_read_bytes
+                "seed {seed} {}: dram {} vs requested {}",
+                k.name,
+                k.dram_read_bytes,
+                k.global_read_bytes
             );
         }
-        prop_assert!(r.time_us > 0.0);
+        assert!(r.time_us > 0.0, "seed {seed}");
     }
 }
