@@ -31,6 +31,7 @@ pub fn compile_fixed(
             fixed_spatial_block: Some(spatial),
             fixed_temporal_block: temporal,
             max_configs: 4,
+            ..Default::default()
         },
         alpha: 0.25,
         ..Default::default()

@@ -242,6 +242,11 @@ pub fn lint_report(graph: &Graph, o: &LintOptions) -> Result<(String, bool), Str
         let _ = writeln!(out, "  \"kernels\": {},", program.kernels.len());
         let _ = writeln!(out, "  \"errors\": {errors},");
         let _ = writeln!(out, "  \"warnings\": {warnings},");
+        let _ = writeln!(
+            out,
+            "  \"degradations\": {},",
+            program.stats.degradations.len()
+        );
         let _ = writeln!(out, "  \"clean\": {clean},");
         let _ = writeln!(out, "  \"diagnostics\": [");
         for (i, d) in diags.iter().enumerate() {
@@ -270,6 +275,9 @@ pub fn lint_report(graph: &Graph, o: &LintOptions) -> Result<(String, bool), Str
         program.kernels.len(),
         DiagCode::all().len()
     );
+    for step in &program.stats.degradations {
+        let _ = writeln!(out, "degraded {}", step.render());
+    }
     if diags.is_empty() {
         let _ = writeln!(out, "clean: no diagnostics");
     } else {
@@ -346,6 +354,13 @@ pub fn parse_fuzz_options(args: &[String]) -> Result<FuzzOptions, String> {
                     }
                 };
             }
+            "--faults" => {
+                i += 1;
+                o.fuzz.faults = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--faults needs a plan count")?;
+            }
             "--timings" => o.timings = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -355,6 +370,82 @@ pub fn parse_fuzz_options(args: &[String]) -> Result<FuzzOptions, String> {
         o.fuzz.corpus_dir = Some(std::path::PathBuf::from("tests/corpus"));
     }
     Ok(o)
+}
+
+/// Parsed options of `sfc faultsim`.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSimOptions {
+    /// Sweep configuration handed to [`sf_fuzz::run_faultsim`].
+    pub sim: sf_fuzz::FaultSimOptions,
+    /// Print the per-pass timing table after the report.
+    pub timings: bool,
+}
+
+/// Parses `sfc faultsim` flags.
+pub fn parse_faultsim_options(args: &[String]) -> Result<FaultSimOptions, String> {
+    let mut o = FaultSimOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                o.sim.seeds = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seeds needs a count")?;
+            }
+            "--seed" => {
+                i += 1;
+                o.sim.seed0 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs a starting seed")?;
+            }
+            "--faults" => {
+                i += 1;
+                o.sim.plans = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--faults needs a plan count")?;
+            }
+            "--arch" => {
+                i += 1;
+                o.sim.arch = match args.get(i).map(|s| s.as_str()) {
+                    Some("volta") => Arch::Volta,
+                    Some("ampere") => Arch::Ampere,
+                    Some("hopper") => Arch::Hopper,
+                    other => {
+                        return Err(format!(
+                            "unknown --arch '{}' (volta|ampere|hopper)",
+                            other.unwrap_or("<missing>")
+                        ))
+                    }
+                };
+            }
+            "--timings" => o.timings = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+/// Runs `sfc faultsim`: a deterministic fault-injection sweep proving
+/// that every injected fault (panic, cache poison, forced
+/// infeasibility, worker crash, deadline expiry) either recovers or
+/// degrades to output bit-identical to the unfused reference.
+///
+/// Returns `(report, clean)`; `clean` is `false` on any abort or
+/// bitwise divergence.
+pub fn faultsim_report(o: &FaultSimOptions) -> (String, bool) {
+    use std::fmt::Write as _;
+    let sink = Arc::new(CollectingSink::new());
+    let report = sf_fuzz::run_faultsim(&o.sim, sink.as_ref());
+    let mut out = report.render();
+    if o.timings {
+        let _ = writeln!(out, "\n{}", render_timings(&sink.events()).trim_end());
+    }
+    (out, report.ok())
 }
 
 /// Runs `sfc fuzz`: a differential fuzzing campaign over generated
@@ -472,6 +563,9 @@ pub fn compile_report(graph: &Graph, o: &Options) -> Result<String, String> {
         if post > 0 {
             let _ = writeln!(out, "    {in_loop} in-loop op(s), {post} post-loop op(s)");
         }
+    }
+    for step in &program.stats.degradations {
+        let _ = writeln!(out, "  degraded {}", step.render());
     }
 
     if o.timings {
@@ -640,6 +734,50 @@ output y
             assert!(report.contains(pass), "missing pass '{pass}' in:\n{report}");
         }
         assert!(report.contains("schedule cache:"), "{report}");
+    }
+
+    #[test]
+    fn faultsim_option_parsing() {
+        let args: Vec<String> = [
+            "--seeds", "12", "--seed", "3", "--faults", "4", "--arch", "volta",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_faultsim_options(&args).unwrap();
+        assert_eq!(o.sim.seeds, 12);
+        assert_eq!(o.sim.seed0, 3);
+        assert_eq!(o.sim.plans, 4);
+        assert_eq!(o.sim.arch, Arch::Volta);
+        assert!(parse_faultsim_options(&["--faults".to_string()]).is_err());
+        assert!(parse_faultsim_options(&["--bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn fuzz_faults_flag_parses() {
+        let args: Vec<String> = ["--seeds", "5", "--faults", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_fuzz_options(&args).unwrap();
+        assert_eq!(o.fuzz.seeds, 5);
+        assert_eq!(o.fuzz.faults, 2);
+    }
+
+    #[test]
+    fn faultsim_report_runs_clean() {
+        let o = FaultSimOptions {
+            sim: sf_fuzz::FaultSimOptions {
+                seeds: 5,
+                plans: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (report, clean) = faultsim_report(&o);
+        assert!(clean, "{report}");
+        assert!(report.contains("faultsim: 5 plan(s)"), "{report}");
+        assert!(report.contains("0 abort(s)"), "{report}");
     }
 
     #[test]

@@ -8,19 +8,23 @@
 //! sfc lint FILE    [--arch ...] [--policy ...] [--json] [--deny-warnings]
 //!                  [--warn CODE] [--deny CODE] [--allow CODE]
 //! sfc fuzz         [--seeds N] [--seed S] [--minimize] [--corpus DIR]
-//!                  [--arch ...] [--timings]
+//!                  [--faults K] [--arch ...] [--timings]
+//! sfc faultsim     [--seeds N] [--seed S] [--faults K] [--arch ...]
+//!                  [--timings]
 //! sfc print FILE       # parse and pretty-print back to the DSL
 //! ```
 
 use sf_cli::driver::{
-    compile_report, fuzz_report, lint_report, parse_fuzz_options, parse_lint_options, parse_options,
+    compile_report, faultsim_report, fuzz_report, lint_report, parse_faultsim_options,
+    parse_fuzz_options, parse_lint_options, parse_options,
 };
 use sf_cli::{parse_graph, print_graph};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: sfc <compile|lint|fuzz|print> [FILE] [flags] (see --help in README)";
+    let usage =
+        "usage: sfc <compile|lint|fuzz|faultsim|print> [FILE] [flags] (see --help in README)";
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
@@ -38,6 +42,23 @@ fn main() -> ExitCode {
             }
         };
         let (report, clean) = fuzz_report(&opts);
+        print!("{report}");
+        return if clean {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if cmd == "faultsim" {
+        // `faultsim` generates its own graphs: no FILE argument.
+        let opts = match parse_faultsim_options(rest) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("sfc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (report, clean) = faultsim_report(&opts);
         print!("{report}");
         return if clean {
             ExitCode::SUCCESS

@@ -22,6 +22,7 @@
 
 use super::program::KernelProgram;
 use crate::error::{Result, SfError};
+use crate::resilience::{panic_payload, FaultInjector, FaultKind};
 use crate::sched::OpRole;
 use crate::slicer::{AggKind, FactorForm};
 use crate::smg::{DimId, Smg};
@@ -30,7 +31,7 @@ use sf_tensor::ops::{viewed, BinaryOp, ReduceOp, UnaryOp};
 use sf_tensor::{ScratchPool, Tensor, TensorView};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Dimension restrictions: `dim -> [start, end)`.
 type Restrict = Vec<(DimId, (usize, usize))>;
@@ -85,6 +86,24 @@ pub fn execute_kernel_with(
     env: &mut HashMap<String, Tensor>,
     opts: &ExecOptions,
 ) -> Result<()> {
+    execute_kernel_faulted(kp, env, opts, None)
+}
+
+/// [`execute_kernel_with`] plus worker isolation and fault hooks: every
+/// spatial block runs behind a `catch_unwind` boundary, so a panicking
+/// block (a backend bug, an injected crash) surfaces as
+/// [`SfError::Internal`] instead of unwinding through the caller. A
+/// failed kernel publishes nothing to `env` — outputs are inserted only
+/// after every block succeeded — which is what makes the reference
+/// fallback of
+/// [`CompiledProgram::execute_resilient`](crate::pipeline::CompiledProgram::execute_resilient)
+/// see exactly the inputs this kernel saw.
+pub fn execute_kernel_faulted(
+    kp: &KernelProgram,
+    env: &mut HashMap<String, Tensor>,
+    opts: &ExecOptions,
+    faults: Option<&FaultInjector>,
+) -> Result<()> {
     let graph = &kp.graph;
     let s = &kp.schedule;
 
@@ -108,8 +127,17 @@ pub fn execute_kernel_with(
 
     if workers == 1 {
         let mut pool = ScratchPool::new();
-        for block in &blocks {
-            execute_block(kp, env, &outputs, block, &mut pool)?;
+        for (bi, block) in blocks.iter().enumerate() {
+            run_block(
+                kp,
+                env,
+                &outputs,
+                block,
+                &mut pool,
+                faults,
+                bi,
+                blocks.len(),
+            )?;
         }
     } else {
         let env_ref: &HashMap<String, Tensor> = env;
@@ -129,11 +157,21 @@ pub fn execute_kernel_with(
                         }
                         let end = (start + chunk).min(blocks.len());
                         for (off, block) in blocks[start..end].iter().enumerate() {
-                            if let Err(e) = execute_block(kp, env_ref, &outputs, block, &mut pool) {
+                            let bi = start + off;
+                            if let Err(e) = run_block(
+                                kp,
+                                env_ref,
+                                &outputs,
+                                block,
+                                &mut pool,
+                                faults,
+                                bi,
+                                blocks.len(),
+                            ) {
                                 failures
                                     .lock()
-                                    .expect("failure list poisoned")
-                                    .push((start + off, e));
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .push((bi, e));
                                 return;
                             }
                         }
@@ -143,7 +181,9 @@ pub fn execute_kernel_with(
         });
         // Report the failure of the earliest block, independent of
         // worker scheduling.
-        let mut failures = failures.into_inner().expect("failure list poisoned");
+        let mut failures = failures
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         failures.sort_by_key(|&(i, _)| i);
         if let Some((_, e)) = failures.into_iter().next() {
             return Err(e);
@@ -151,9 +191,45 @@ pub fn execute_kernel_with(
     }
 
     for (_, name, slot) in outputs {
-        env.insert(name, slot.into_inner().expect("output lock poisoned"));
+        env.insert(
+            name,
+            slot.into_inner().unwrap_or_else(PoisonError::into_inner),
+        );
     }
     Ok(())
+}
+
+/// Executes one spatial block behind a panic-isolation boundary,
+/// firing any armed exec-block fault first (inside the boundary, so an
+/// injected crash is caught like a real one).
+#[allow(clippy::too_many_arguments)]
+fn run_block(
+    kp: &KernelProgram,
+    env: &HashMap<String, Tensor>,
+    outputs: &[(ValueId, String, Mutex<Tensor>)],
+    block: &Restrict,
+    pool: &mut ScratchPool,
+    faults: Option<&FaultInjector>,
+    block_idx: usize,
+    n_blocks: usize,
+) -> Result<()> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(inj) = faults {
+            if inj.fire_block(&kp.name, block_idx, n_blocks) == Some(FaultKind::CrashWorker) {
+                panic!(
+                    "injected worker crash at kernel '{}' block {block_idx}",
+                    kp.name
+                );
+            }
+        }
+        execute_block(kp, env, outputs, block, pool)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(SfError::Internal {
+            pass: format!("exec:{} block {block_idx}", kp.name),
+            payload: panic_payload(payload),
+        })
+    })
 }
 
 /// Enumerates the spatial block restrictions in row-major block order.
@@ -217,7 +293,7 @@ fn execute_block(
             let tile = local
                 .get(o)
                 .ok_or_else(|| SfError::Codegen("output not computed".into()))?;
-            let mut full = slot.lock().expect("output lock poisoned");
+            let mut full = slot.lock().unwrap_or_else(PoisonError::into_inner);
             scatter(graph, &s.smg, &mut full, *o, spatial, tile)?;
         }
         for (_, tensor) in local.drain() {
@@ -374,7 +450,7 @@ fn execute_block(
                     let tile_val = local
                         .get(o)
                         .ok_or_else(|| SfError::Codegen("phase-2 output missing".into()))?;
-                    let mut full = slot.lock().expect("output lock poisoned");
+                    let mut full = slot.lock().unwrap_or_else(PoisonError::into_inner);
                     scatter(graph, &s.smg, &mut full, *o, &restrict, tile_val)?;
                 }
             }
@@ -394,7 +470,7 @@ fn execute_block(
             .get(o)
             .or_else(|| post.get(o))
             .ok_or_else(|| SfError::Codegen("block output missing".into()))?;
-        let mut full = slot.lock().expect("output lock poisoned");
+        let mut full = slot.lock().unwrap_or_else(PoisonError::into_inner);
         scatter(graph, &s.smg, &mut full, *o, spatial, tile)?;
     }
 

@@ -22,7 +22,7 @@ pub mod program;
 pub mod trace;
 
 pub use emit::emit_pseudocode;
-pub use exec::{execute_kernel, execute_kernel_with, ExecOptions};
+pub use exec::{execute_kernel, execute_kernel_faulted, execute_kernel_with, ExecOptions};
 pub use instr::{lower_instructions, Instr, MemSpace};
 pub use program::KernelProgram;
 pub use trace::{estimate_cost, trace_kernel};

@@ -29,6 +29,19 @@ pub enum SfError {
     /// The static verifier found deny-level diagnostics in a compiled
     /// kernel (see [`crate::verify`]).
     Verify(String),
+    /// A pass or worker panicked. The panic was caught at an isolation
+    /// boundary (see [`crate::resilience`]) and converted into an error
+    /// so one bad group or block can degrade instead of aborting the
+    /// process. `pass` names the boundary, `payload` the panic message.
+    Internal {
+        /// Isolation boundary the panic was caught at.
+        pass: String,
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// A deadline budget expired before the work finished (see
+    /// [`crate::resilience::Deadline`]).
+    Timeout(String),
 }
 
 impl fmt::Display for SfError {
@@ -44,6 +57,10 @@ impl fmt::Display for SfError {
             SfError::Codegen(m) => write!(f, "codegen failure: {m}"),
             SfError::Ir(m) => write!(f, "IR failure: {m}"),
             SfError::Verify(m) => write!(f, "verification failed: {m}"),
+            SfError::Internal { pass, payload } => {
+                write!(f, "internal panic in {pass}: {payload}")
+            }
+            SfError::Timeout(m) => write!(f, "deadline expired: {m}"),
         }
     }
 }
@@ -77,6 +94,11 @@ mod tests {
             SfError::Codegen("x".into()),
             SfError::Ir("x".into()),
             SfError::Verify("x".into()),
+            SfError::Internal {
+                pass: "x".into(),
+                payload: "x".into(),
+            },
+            SfError::Timeout("x".into()),
         ] {
             assert!(!e.to_string().is_empty());
         }

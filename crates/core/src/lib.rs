@@ -29,6 +29,11 @@
 //!   [`pipeline::EventSink`], and the restricted fusion policies used
 //!   to model the baseline systems (unfused, epilogue-only,
 //!   memory-intensive-only, tile-graph).
+//! * [`resilience`] — the degradation ladder (current policy → Alg.-2
+//!   partitioned → per-op unfused), `catch_unwind` panic isolation
+//!   feeding [`SfError::Internal`], compilation [`resilience::Deadline`]
+//!   budgets, and the deterministic fault-injection harness behind
+//!   `sfc faultsim`.
 //! * [`compiler`] — the thin convenience facade over [`pipeline`]:
 //!   `Compiler::new(arch, opts).compile(&graph)`.
 //!
@@ -60,7 +65,14 @@
 pub mod codegen;
 pub mod compiler;
 pub mod error;
+// The no-new-unwrap gate: panics in the pipeline and resilience layers
+// are bugs by construction (the whole point is to degrade, not abort),
+// so `unwrap`/`expect` are denied outright. Test modules opt back in
+// locally with `#[allow]`.
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod pipeline;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod resilience;
 pub mod rewrite;
 pub mod sched;
 pub mod slicer;
@@ -71,4 +83,5 @@ pub mod verify;
 pub use compiler::{CompileOptions, CompiledProgram, Compiler, FusionPolicy};
 pub use error::{Result, SfError};
 pub use pipeline::{CompileSession, ScheduleCache};
+pub use resilience::{Deadline, DegradationReport, FaultInjector, FaultPlan};
 pub use smg::{DimId, Mapping, MappingKind, Smg, SpaceId, SpaceKind};

@@ -9,13 +9,21 @@
 //! later claimants block on a condition variable until the entry is
 //! published (or the computation is abandoned, in which case the next
 //! waiter takes over).
+//!
+//! Resilience properties (see [`crate::resilience`]): a claimant that
+//! panics drops its [`ClaimTicket`] during unwinding, which abandons
+//! the claim and wakes the next waiter — a crashed compilation never
+//! wedges other threads. All internal locks recover from mutex
+//! poisoning (the guarded state is only mutated while consistent), and
+//! [`ScheduleCache::invalidate`] evicts an entry that fails validation
+//! on rebuild so the next claimant recomputes it.
 
 use super::FusionPolicy;
 use sf_gpu_sim::GpuArch;
 use sf_ir::{segment, Graph};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Cache key: what makes two scheduling problems identical.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -81,7 +89,7 @@ pub struct ClaimTicket<'c> {
 impl ClaimTicket<'_> {
     /// Publishes the computed entry and wakes all waiters.
     pub fn fulfill(mut self, entry: CacheEntry) {
-        let mut state = self.cache.state.lock().expect("cache poisoned");
+        let mut state = self.cache.lock_state();
         state.in_flight.remove(&self.key);
         state.ready.insert(self.key.clone(), entry);
         self.done = true;
@@ -93,7 +101,7 @@ impl ClaimTicket<'_> {
 impl Drop for ClaimTicket<'_> {
     fn drop(&mut self) {
         if !self.done {
-            let mut state = self.cache.state.lock().expect("cache poisoned");
+            let mut state = self.cache.lock_state();
             state.in_flight.remove(&self.key);
             drop(state);
             self.cache.cv.notify_all();
@@ -122,11 +130,19 @@ impl ScheduleCache {
         ScheduleCache::default()
     }
 
+    // Poison-tolerant lock: a panic elsewhere (caught at a pass
+    // isolation boundary) must not take the cache down with it. The
+    // guarded maps are only mutated while structurally consistent, so
+    // recovering the guard is safe.
+    fn lock_state(&self) -> MutexGuard<'_, CacheState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Probes the cache, blocking while another thread is computing the
     /// same key. Wait chains cannot cycle: a computation only ever
     /// claims keys of strictly smaller subgraphs than its own.
     pub fn claim(&self, key: &CacheKey) -> Claim<'_> {
-        let mut state = self.state.lock().expect("cache poisoned");
+        let mut state = self.lock_state();
         loop {
             if let Some(entry) = state.ready.get(key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -141,23 +157,26 @@ impl ScheduleCache {
                     done: false,
                 });
             }
-            state = self.cv.wait(state).expect("cache poisoned");
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Non-blocking lookup (no in-flight coordination, no counters).
     pub fn peek(&self, key: &CacheKey) -> Option<CacheEntry> {
-        self.state
-            .lock()
-            .expect("cache poisoned")
-            .ready
-            .get(key)
-            .cloned()
+        self.lock_state().ready.get(key).cloned()
+    }
+
+    /// Evicts a published entry (used when a cached schedule fails
+    /// validation on rebuild — e.g. after injected cache poisoning).
+    /// The next claimant recomputes it. Returns whether the key was
+    /// present.
+    pub fn invalidate(&self, key: &CacheKey) -> bool {
+        self.lock_state().ready.remove(key).is_some()
     }
 
     /// Number of cached schedules.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("cache poisoned").ready.len()
+        self.lock_state().ready.len()
     }
 
     /// Whether the cache holds no schedules.
@@ -177,6 +196,7 @@ impl ScheduleCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -232,6 +252,18 @@ mod tests {
             assert!(matches!(c, Claim::Miss(_)));
             // Ticket dropped unfulfilled here.
         }
+        assert!(matches!(cache.claim(&key("a")), Claim::Miss(_)));
+    }
+
+    #[test]
+    fn invalidate_evicts_and_forces_recompute() {
+        let cache = ScheduleCache::new();
+        match cache.claim(&key("a")) {
+            Claim::Miss(t) => t.fulfill(entry()),
+            Claim::Hit(_) => panic!("empty cache cannot hit"),
+        }
+        assert!(cache.invalidate(&key("a")));
+        assert!(!cache.invalidate(&key("a")), "second eviction is a no-op");
         assert!(matches!(cache.claim(&key("a")), Claim::Miss(_)));
     }
 

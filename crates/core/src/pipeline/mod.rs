@@ -33,9 +33,11 @@ pub use stats::{
 };
 
 use crate::codegen::{
-    estimate_cost, execute_kernel_with, trace_kernel, ExecOptions, KernelProgram,
+    estimate_cost, execute_kernel_faulted, execute_kernel_with, trace_kernel, ExecOptions,
+    KernelProgram,
 };
 use crate::error::{Result, SfError};
+use crate::resilience::{panic_payload, Deadline, DegradationReport, FaultInjector, Rung};
 use crate::sched::SlicingOptions;
 use sf_gpu_sim::{Arch, GpuArch, KernelCost, Profiler, ProgramStats};
 use sf_ir::{Graph, ValueKind};
@@ -81,6 +83,19 @@ pub struct CompileOptions {
     /// compiled kernels as a final pass. Defaults to on in debug builds
     /// (every test compile is checked) and off in release builds.
     pub verify: bool,
+    /// Optional wall-clock budget for schedule exploration, in
+    /// milliseconds. When the budget runs out, enumeration and tuning
+    /// return best-so-far instead of searching further; expiry never
+    /// fails a compilation on its own. `None` (the default) explores
+    /// unbounded.
+    pub schedule_budget_ms: Option<u64>,
+    /// Whether a unit that fails to schedule or verify retries down the
+    /// degradation ladder (current policy → Alg.-2 partitioned →
+    /// per-op unfused; see [`crate::resilience::ladder`]) instead of
+    /// failing the compilation. Each fall is recorded in
+    /// [`CompileStats::degradations`] and as a
+    /// [`PassId::Degrade`] event. On by default.
+    pub resilient: bool,
 }
 
 impl Default for CompileOptions {
@@ -91,6 +106,8 @@ impl Default for CompileOptions {
             autotune: true,
             alpha: 0.25,
             verify: cfg!(debug_assertions),
+            schedule_budget_ms: None,
+            resilient: true,
         }
     }
 }
@@ -146,6 +163,34 @@ impl CompiledProgram {
         for k in &self.kernels {
             execute_kernel_with(k, &mut env, opts)?;
         }
+        self.resolve_outputs(&env)
+    }
+
+    /// Executes the program with per-kernel fault isolation: a kernel
+    /// that fails (panicking worker, injected fault, internal error) is
+    /// re-run on the reference interpreter over the same environment —
+    /// the always-correct unfused path — and the fall is recorded in
+    /// the returned [`DegradationReport`]. A failed kernel leaves the
+    /// environment untouched (outputs are only published on success),
+    /// so the fallback sees exactly the inputs the kernel saw.
+    pub fn execute_resilient(
+        &self,
+        bindings: &HashMap<String, Tensor>,
+        opts: &ExecOptions,
+        faults: Option<&FaultInjector>,
+    ) -> Result<(Vec<Tensor>, DegradationReport)> {
+        let mut env = bindings.clone();
+        let mut report = DegradationReport::default();
+        for k in &self.kernels {
+            if let Err(e) = execute_kernel_faulted(k, &mut env, opts, faults) {
+                reference_kernel(k, &mut env)?;
+                report.record(k.name.clone(), Rung::Unfused, e.to_string());
+            }
+        }
+        Ok((self.resolve_outputs(&env)?, report))
+    }
+
+    fn resolve_outputs(&self, env: &HashMap<String, Tensor>) -> Result<Vec<Tensor>> {
         self.outputs
             .iter()
             .map(|(n, shape)| {
@@ -233,6 +278,35 @@ impl CompiledProgram {
     }
 }
 
+/// Evaluates one kernel's subgraph on the reference interpreter,
+/// publishing its outputs into the shared environment. This is the
+/// executor-side bottom rung of the degradation ladder.
+fn reference_kernel(k: &KernelProgram, env: &mut HashMap<String, Tensor>) -> Result<()> {
+    let mut bindings = HashMap::new();
+    for v in k.graph.values() {
+        if !matches!(v.kind, ValueKind::Input | ValueKind::Weight) {
+            continue;
+        }
+        let t = env.get(&v.name).ok_or_else(|| {
+            SfError::Codegen(format!("reference fallback: missing input '{}'", v.name))
+        })?;
+        let t = if t.shape() == &v.shape {
+            t.clone()
+        } else {
+            t.reshape(v.shape.clone())?
+        };
+        bindings.insert(v.name.clone(), t);
+    }
+    let outs = k
+        .graph
+        .execute(&bindings)
+        .map_err(|e| SfError::Codegen(format!("reference fallback failed: {e}")))?;
+    for (&oid, t) in k.graph.outputs().iter().zip(outs) {
+        env.insert(k.graph.value(oid).name.clone(), t);
+    }
+    Ok(())
+}
+
 /// One fusion group flowing through the pipeline: a contiguous slice of
 /// a segment, scheduled independently of its peers.
 #[derive(Debug)]
@@ -292,6 +366,11 @@ pub struct PassCtx<'s> {
     pub sink: &'s dyn EventSink,
     /// Worker-thread budget for the schedule pass.
     pub workers: usize,
+    /// Schedule-exploration budget for this compilation (derived from
+    /// [`CompileOptions::schedule_budget_ms`]).
+    pub deadline: Deadline,
+    /// Fault-injection hooks, `None` in normal operation.
+    pub faults: Option<&'s FaultInjector>,
 }
 
 impl PassCtx<'_> {
@@ -350,6 +429,7 @@ pub struct CompileSession {
     cache: Arc<ScheduleCache>,
     sink: Arc<dyn EventSink>,
     workers: usize,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl CompileSession {
@@ -367,6 +447,7 @@ impl CompileSession {
             cache: Arc::new(ScheduleCache::new()),
             sink: Arc::new(NullSink),
             workers: default_workers(),
+            faults: None,
         }
     }
 
@@ -387,6 +468,15 @@ impl CompileSession {
     /// `1` forces fully sequential compilation.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan for this session's
+    /// compilations (see [`crate::resilience::fault`]). Used by
+    /// `sfc faultsim` and the resilience tests; normal operation leaves
+    /// this unset.
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -420,6 +510,8 @@ impl CompileSession {
             cache: &self.cache,
             sink: self.sink.as_ref(),
             workers: self.workers,
+            deadline: Deadline::from_budget_ms(self.opts.schedule_budget_ms),
+            faults: self.faults.as_deref(),
         };
         let mut state = PipelineState::new(graph.clone());
         let pipeline: [&dyn Pass; 5] = [
@@ -430,7 +522,17 @@ impl CompileSession {
             &passes::VerifyPass,
         ];
         for pass in pipeline {
-            pass.run(&ctx, &mut state)?;
+            // Isolation boundary: a panicking pass becomes an
+            // `SfError::Internal` instead of unwinding through the
+            // caller. Claimed-but-unfulfilled cache tickets are
+            // abandoned during the unwind, so waiters are not wedged.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pass.run(&ctx, &mut state)))
+                .unwrap_or_else(|payload| {
+                Err(SfError::Internal {
+                    pass: pass.name().to_string(),
+                    payload: panic_payload(payload),
+                })
+            })?;
         }
         let mut stats = std::mem::take(&mut state.stats);
         stats.total_us = t0.elapsed().as_secs_f64() * 1e6;

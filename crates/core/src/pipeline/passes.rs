@@ -21,15 +21,17 @@ use super::stats::{CompileStats, EventDetail, PassEvent, PassId};
 use super::{CompileOptions, FusionPolicy, Pass, PassCtx, PipelineState, Unit};
 use crate::codegen::{estimate_cost, KernelProgram};
 use crate::error::{Result, SfError};
+use crate::resilience::{panic_payload, DegradationStep, FaultKind, FaultStage, Rung};
 use crate::sched::{
     assign_memory, partition, resource_aware_slicing, FusedSchedule, TemporalSchedule,
 };
 use crate::slicer::{eligible_spatial_dims, pick_temporal_dim, plan_temporal};
 use crate::smg::{build_smg, Smg};
-use crate::tune::tune;
+use crate::tune::tune_bounded;
+use sf_gpu_sim::GpuArch;
 use sf_ir::{analysis, segment, Graph, OpKind};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Splits the graph into subprograms at layout barriers.
@@ -134,16 +136,21 @@ impl Pass for SchedulePass {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(slot) = slots.get(i) else { break };
-                    let mut unit = slot.lock().expect("unit slot poisoned");
+                    let mut unit = slot.lock().unwrap_or_else(PoisonError::into_inner);
                     let segment = unit.segment;
                     if let Err(e) = (Scheduler { ctx, segment }).schedule_unit(&mut unit) {
-                        failures.lock().expect("failures poisoned").push((i, e));
+                        failures
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push((i, e));
                     }
                 });
             }
         });
         // First failure in unit order, so errors are deterministic too.
-        let mut failures = failures.into_inner().expect("failures poisoned");
+        let mut failures = failures
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         failures.sort_by_key(|(i, _)| *i);
         match failures.into_iter().next() {
             Some((_, e)) => Err(e),
@@ -345,11 +352,91 @@ impl Scheduler<'_, '_> {
         });
     }
 
-    /// Schedules one fusion group into its unit slot.
+    /// Schedules one fusion group into its unit slot, retrying down the
+    /// degradation ladder when [`CompileOptions::resilient`] is on:
+    /// current policy → forced Alg.-2 partitioning → per-op unfused.
+    /// Every fall is recorded in the unit's stats and as a
+    /// [`PassId::Degrade`] event; the error only propagates when the
+    /// bottom rung fails twice (or resilience is off).
     fn schedule_unit(&self, unit: &mut Unit) -> Result<()> {
-        let graph = unit.graph.clone();
-        unit.kernels = self.schedule_group(self.ctx.opts, graph, &mut unit.stats, false)?;
-        Ok(())
+        let name = unit.graph.name().to_string();
+        let mut rung = Rung::Primary;
+        let mut bottom_retried = false;
+        loop {
+            match self.attempt(rung, &name, &unit.graph) {
+                Ok((kernels, stats)) => {
+                    unit.stats.absorb(&stats);
+                    unit.kernels = kernels;
+                    return Ok(());
+                }
+                Err(e) => {
+                    if !self.ctx.opts.resilient {
+                        return Err(e);
+                    }
+                    // Single-op unfused kernels are feasible by
+                    // construction, so a bottom-rung failure is
+                    // transient (a caught panic, an injected fault):
+                    // one bounded retry absorbs it; a second failure
+                    // is a real bug and escapes.
+                    let (next, reason) = match rung.next() {
+                        Some(next) => (next, e.to_string()),
+                        None if !bottom_retried => {
+                            bottom_retried = true;
+                            (Rung::Unfused, format!("{e}; bottom rung retried"))
+                        }
+                        None => return Err(e),
+                    };
+                    unit.stats.degradations.push(DegradationStep {
+                        unit: name.clone(),
+                        rung: next,
+                        reason: reason.clone(),
+                    });
+                    self.emit(
+                        PassId::Degrade,
+                        &name,
+                        0.0,
+                        EventDetail::Degrade {
+                            rung: next.name(),
+                            reason,
+                        },
+                    );
+                    rung = next;
+                }
+            }
+        }
+    }
+
+    /// Runs one rung of the ladder behind a panic-isolation boundary.
+    /// Returns the kernels plus the statistics of this attempt only, so
+    /// a failed attempt contributes nothing to the unit's totals.
+    fn attempt(
+        &self,
+        rung: Rung,
+        name: &str,
+        g: &Graph,
+    ) -> Result<(Vec<KernelProgram>, CompileStats)> {
+        let opts = self.ctx.opts;
+        isolate(name, || {
+            let mut stats = CompileStats::default();
+            let kernels = match rung {
+                Rung::Primary => self.schedule_group(opts, g.clone(), &mut stats, false)?,
+                Rung::Partitioned => self.schedule_partitioned(opts, g, &mut stats)?.0,
+                Rung::Unfused => {
+                    let mut out = Vec::new();
+                    for piece in split_into_groups(FusionPolicy::Unfused, g)? {
+                        out.extend(self.schedule_group(opts, piece, &mut stats, true)?);
+                    }
+                    out
+                }
+            };
+            // Per-rung verification: a kernel set the verifier rejects
+            // must fall to the next rung, not ship. (The VerifyPass
+            // still checks the merged program at the end.)
+            if opts.verify && opts.resilient {
+                verify_kernels(&kernels, self.ctx.arch)?;
+            }
+            Ok((kernels, stats))
+        })
     }
 
     /// Schedules a fusion group through the shared cache, partitioning
@@ -368,48 +455,96 @@ impl Scheduler<'_, '_> {
         // claims the key: concurrent claimants of the same key block
         // until this thread publishes (or abandons) the entry.
         let key = CacheKey::new(&g, opts.policy, self.ctx.arch);
-        let t = Instant::now();
-        let claim = self.ctx.cache.claim(&key);
-        self.emit(
-            PassId::CacheLookup,
-            g.name(),
-            t.elapsed().as_secs_f64() * 1e6,
-            EventDetail::Cache {
-                hit: matches!(claim, Claim::Hit(_)),
-                key: key.shape.clone(),
-            },
-        );
-        match claim {
-            Claim::Hit(entry) => {
-                stats.cache_hits += 1;
-                let kps = self.rebuild_from_cache(opts, &g, &entry)?;
-                if !partitioned {
-                    census(stats, &kps);
+        // A cached entry that fails validation on rebuild (corruption,
+        // shape drift) is evicted and recomputed: two attempts suffice
+        // — hit-then-evict, then a guaranteed miss.
+        for _attempt in 0..2 {
+            let t = Instant::now();
+            let claim = self.ctx.cache.claim(&key);
+            self.emit(
+                PassId::CacheLookup,
+                g.name(),
+                t.elapsed().as_secs_f64() * 1e6,
+                EventDetail::Cache {
+                    hit: matches!(claim, Claim::Hit(_)),
+                    key: key.shape.clone(),
+                },
+            );
+            match claim {
+                Claim::Hit(entry) => {
+                    stats.cache_hits += 1;
+                    match self.rebuild_from_cache(opts, &g, &entry) {
+                        Ok(kps) => {
+                            if !partitioned {
+                                census(stats, &kps);
+                            }
+                            return Ok(kps);
+                        }
+                        Err(e) if self.ctx.opts.resilient => {
+                            // In-place recovery: evict the bad entry so
+                            // the next claim recomputes it.
+                            self.ctx.cache.invalidate(&key);
+                            stats.degradations.push(DegradationStep {
+                                unit: g.name().to_string(),
+                                rung: Rung::Primary,
+                                reason: format!("{e}; entry evicted and recomputed"),
+                            });
+                            self.emit(
+                                PassId::Degrade,
+                                g.name(),
+                                0.0,
+                                EventDetail::Degrade {
+                                    rung: Rung::Primary.name(),
+                                    reason: e.to_string(),
+                                },
+                            );
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
-                Ok(kps)
-            }
-            Claim::Miss(ticket) => {
-                let (kps, intended_fusion) = self.schedule_uncached(opts, &g, stats)?;
-                ticket.fulfill(CacheEntry {
-                    piece_lens: kps.iter().map(|k| k.graph.ops().len()).collect(),
-                    configs: kps
-                        .iter()
-                        .map(|k| SavedConfig {
-                            spatial: k.schedule.spatial.iter().map(|&(_, b)| b).collect(),
-                            temporal: k.schedule.temporal.as_ref().map(|t| t.block),
-                        })
-                        .collect(),
-                });
-                // §6.6 census: only *intended* fusions count as
-                // discovered patterns — fragments produced by the
-                // Algorithm-2 fallback are fusion failures, not
-                // discoveries.
-                if !partitioned && intended_fusion {
-                    census(stats, &kps);
+                Claim::Miss(ticket) => {
+                    let (kps, intended_fusion) = self.schedule_uncached(opts, &g, stats)?;
+                    let mut entry = CacheEntry {
+                        piece_lens: kps.iter().map(|k| k.graph.ops().len()).collect(),
+                        configs: kps
+                            .iter()
+                            .map(|k| SavedConfig {
+                                spatial: k.schedule.spatial.iter().map(|&(_, b)| b).collect(),
+                                temporal: k.schedule.temporal.as_ref().map(|t| t.block),
+                            })
+                            .collect(),
+                    };
+                    if let Some(inj) = self.ctx.faults {
+                        if inj.fire(FaultStage::CachePublish, g.name())
+                            == Some(FaultKind::PoisonCache)
+                        {
+                            // Publish a corrupted entry (the kernels
+                            // returned from *this* compilation are
+                            // good); the next hit on this key must
+                            // detect the corruption and recover.
+                            entry.piece_lens = vec![usize::MAX / 2];
+                            entry.configs.clear();
+                        }
+                    }
+                    ticket.fulfill(entry);
+                    // §6.6 census: only *intended* fusions count as
+                    // discovered patterns — fragments produced by the
+                    // Algorithm-2 fallback are fusion failures, not
+                    // discoveries.
+                    if !partitioned && intended_fusion {
+                        census(stats, &kps);
+                    }
+                    return Ok(kps);
                 }
-                Ok(kps)
             }
         }
+        // Both attempts hit corrupt entries (another thread kept
+        // republishing bad data) — let the ladder take over.
+        Err(SfError::Codegen(format!(
+            "cache entry for '{}' unusable after eviction",
+            g.name()
+        )))
     }
 
     /// Schedules a group that missed the cache. Returns the kernels and
@@ -529,6 +664,22 @@ impl Scheduler<'_, '_> {
         stats: &mut CompileStats,
     ) -> Result<KernelProgram> {
         let name = g.name();
+        if let Some(inj) = self.ctx.faults {
+            match inj.fire(FaultStage::Schedule, name) {
+                Some(FaultKind::Panic) => panic!("injected panic at schedule of '{name}'"),
+                Some(FaultKind::ForceInfeasible) => {
+                    return Err(SfError::ResourceInfeasible(format!(
+                        "injected resource infeasibility at schedule of '{name}'"
+                    )));
+                }
+                Some(FaultKind::ExpireDeadline) => {
+                    return Err(SfError::Timeout(format!(
+                        "injected deadline expiry at schedule of '{name}'"
+                    )));
+                }
+                _ => {}
+            }
+        }
         let t = Instant::now();
         let smg = build_smg(g);
         self.emit(
@@ -557,7 +708,9 @@ impl Scheduler<'_, '_> {
         self.emit(PassId::TemporalSlice, name, temporal_us, EventDetail::None);
 
         let t = Instant::now();
-        let schedules = resource_aware_slicing(g, &smg, self.ctx.arch, &opts.slicing);
+        let mut slicing = opts.slicing.clone();
+        slicing.deadline = slicing.deadline.earliest(self.ctx.deadline);
+        let schedules = resource_aware_slicing(g, &smg, self.ctx.arch, &slicing);
         let enum_us = t.elapsed().as_secs_f64() * 1e6;
         stats.enum_us += enum_us;
         self.emit(
@@ -578,13 +731,16 @@ impl Scheduler<'_, '_> {
 
         let t = Instant::now();
         let pick = if opts.autotune {
-            let r = tune(&candidates, self.ctx.arch, g.instances as u64, opts.alpha).ok_or_else(
-                || {
-                    SfError::ResourceInfeasible(format!(
-                        "no schedule candidates to tune for '{name}'"
-                    ))
-                },
-            )?;
+            let r = tune_bounded(
+                &candidates,
+                self.ctx.arch,
+                g.instances as u64,
+                opts.alpha,
+                self.ctx.deadline,
+            )
+            .ok_or_else(|| {
+                SfError::ResourceInfeasible(format!("no schedule candidates to tune for '{name}'"))
+            })?;
             stats.evaluated += r.evaluated;
             stats.pruned += r.pruned;
             let tune_us = t.elapsed().as_secs_f64() * 1e6;
@@ -619,16 +775,35 @@ impl Scheduler<'_, '_> {
             last
         };
 
-        Ok(candidates.into_iter().nth(pick).expect("pick in range"))
+        candidates
+            .into_iter()
+            .nth(pick)
+            .ok_or_else(|| SfError::Codegen(format!("tuner pick out of range for '{name}'")))
     }
 
     /// Rebuilds kernels for a graph whose shape was already scheduled.
+    /// Validates the entry's piece layout first so a corrupted entry is
+    /// rejected (and recoverable) instead of panicking downstream.
     fn rebuild_from_cache(
         &self,
         opts: &CompileOptions,
         g: &Graph,
         entry: &CacheEntry,
     ) -> Result<Vec<KernelProgram>> {
+        let total = entry
+            .piece_lens
+            .iter()
+            .copied()
+            .fold(0usize, usize::saturating_add);
+        if total != g.ops().len()
+            || entry.piece_lens.len() != entry.configs.len()
+            || entry.piece_lens.contains(&0)
+        {
+            return Err(SfError::Codegen(format!(
+                "cache entry corrupt for '{}': piece layout does not match graph",
+                g.name()
+            )));
+        }
         let mut out = Vec::with_capacity(entry.piece_lens.len());
         let mut start = 0usize;
         for (len, cfg) in entry.piece_lens.iter().zip(&entry.configs) {
@@ -704,6 +879,41 @@ impl Scheduler<'_, '_> {
             "cached temporal plan not reproducible".into(),
         ))
     }
+}
+
+/// Panic-isolation boundary for one scheduling attempt: a panic inside
+/// `f` (a buggy pass, an injected fault) becomes [`SfError::Internal`]
+/// naming the site. Cache tickets claimed inside `f` are abandoned
+/// during the unwind, so waiters on the same key are never wedged.
+fn isolate<T>(site: &str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        Err(SfError::Internal {
+            pass: format!("schedule:{site}"),
+            payload: panic_payload(payload),
+        })
+    })
+}
+
+/// Statically verifies one unit's kernels so a verify failure can feed
+/// the degradation ladder (the final [`VerifyPass`] still checks the
+/// merged program).
+fn verify_kernels(kernels: &[KernelProgram], arch: &GpuArch) -> Result<()> {
+    let diags =
+        crate::verify::verify_program(kernels, arch, &crate::verify::VerifyConfig::default());
+    let (errors, _) = crate::verify::counts(&diags);
+    if errors > 0 {
+        let head: Vec<String> = diags
+            .iter()
+            .filter(|d| d.severity == crate::verify::Severity::Error)
+            .take(3)
+            .map(|d| d.to_string())
+            .collect();
+        return Err(SfError::Verify(format!(
+            "{errors} error(s): {}",
+            head.join("; ")
+        )));
+    }
+    Ok(())
 }
 
 /// Adds the §6.6 census patterns of `kps` to `stats`: fused kernels

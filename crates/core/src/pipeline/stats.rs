@@ -43,6 +43,12 @@ pub enum PassId {
     /// reference (the `sf-fuzz` oracle reports through the same sink
     /// the compiler passes use).
     Fuzz,
+    /// A unit fell down the degradation ladder (or recovered in place
+    /// after a corrupt cache entry); see [`crate::resilience::ladder`].
+    Degrade,
+    /// One fault-injection plan run by `sfc faultsim` / the `--faults`
+    /// fuzz mode.
+    FaultSim,
 }
 
 impl PassId {
@@ -61,11 +67,13 @@ impl PassId {
             PassId::Emit => "emit",
             PassId::Verify => "verify",
             PassId::Fuzz => "fuzz",
+            PassId::Degrade => "degrade",
+            PassId::FaultSim => "faultsim",
         }
     }
 
     /// All passes in pipeline order.
-    pub fn all() -> [PassId; 12] {
+    pub fn all() -> [PassId; 14] {
         [
             PassId::Segment,
             PassId::Group,
@@ -78,7 +86,9 @@ impl PassId {
             PassId::Tune,
             PassId::Emit,
             PassId::Verify,
+            PassId::Degrade,
             PassId::Fuzz,
+            PassId::FaultSim,
         ]
     }
 }
@@ -140,6 +150,27 @@ pub enum EventDetail {
         /// Oracle failures recorded for this seed.
         failures: usize,
     },
+    /// A unit degraded (or recovered in place): one
+    /// [`DegradationStep`](crate::resilience::DegradationStep).
+    Degrade {
+        /// Ladder rung the unit landed on.
+        rung: &'static str,
+        /// The error that forced the step.
+        reason: String,
+    },
+    /// One fault-injection plan's outcome.
+    FaultSim {
+        /// Graph seed the plan ran against.
+        seed: u64,
+        /// Fault-plan seed.
+        plan_seed: u64,
+        /// Faults that actually fired.
+        fired: usize,
+        /// Degradation steps recorded across compile + execute.
+        degraded: usize,
+        /// Hard failures (wrong output, abort, unrecovered error).
+        failures: usize,
+    },
 }
 
 /// One structured instrumentation record.
@@ -187,18 +218,26 @@ impl CollectingSink {
 
     /// A snapshot of all events recorded so far.
     pub fn events(&self) -> Vec<PassEvent> {
-        self.events.lock().expect("sink poisoned").clone()
+        self.lock().clone()
     }
 
     /// Drains and returns all recorded events.
     pub fn take(&self) -> Vec<PassEvent> {
-        std::mem::take(&mut *self.events.lock().expect("sink poisoned"))
+        std::mem::take(&mut *self.lock())
+    }
+
+    // The buffer stays usable even if a panicking pass (now caught at
+    // the isolation boundary) poisoned the mutex mid-record.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<PassEvent>> {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
 impl EventSink for CollectingSink {
     fn record(&self, event: PassEvent) {
-        self.events.lock().expect("sink poisoned").push(event);
+        self.lock().push(event);
     }
 }
 
@@ -265,6 +304,42 @@ pub fn render_timings(events: &[PassEvent]) -> String {
                 }
                 let _ = write!(notes, "{seeds} seed(s), {fails} failure(s)");
             }
+            PassId::Degrade => {
+                let unfused = of_pass
+                    .iter()
+                    .filter(|e| {
+                        matches!(
+                            e.detail,
+                            EventDetail::Degrade {
+                                rung: "unfused",
+                                ..
+                            }
+                        )
+                    })
+                    .count();
+                let _ = write!(notes, "{} step(s), {} to unfused", of_pass.len(), unfused);
+            }
+            PassId::FaultSim => {
+                let (mut fired, mut deg, mut fails) = (0usize, 0usize, 0usize);
+                for e in &of_pass {
+                    if let EventDetail::FaultSim {
+                        fired: f,
+                        degraded,
+                        failures,
+                        ..
+                    } = e.detail
+                    {
+                        fired += f;
+                        deg += degraded;
+                        fails += failures;
+                    }
+                }
+                let _ = write!(
+                    notes,
+                    "{} plan(s), {fired} fired, {deg} degraded, {fails} failure(s)",
+                    of_pass.len()
+                );
+            }
             _ => {}
         }
         let _ = writeln!(
@@ -324,6 +399,9 @@ pub struct CompileStats {
     /// Pattern signatures of fused kernels containing ≥ 2 All-to-One
     /// mappings (the paper's §6.6 census unit).
     pub fusion_patterns: Vec<String>,
+    /// Units that fell down the degradation ladder (or recovered in
+    /// place), in recording order.
+    pub degradations: Vec<crate::resilience::DegradationStep>,
 }
 
 impl CompileStats {
@@ -340,10 +418,12 @@ impl CompileStats {
         self.cache_hits += other.cache_hits;
         self.fusion_patterns
             .extend(other.fusion_patterns.iter().cloned());
+        self.degradations.extend(other.degradations.iter().cloned());
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,129 @@
+//! Monotonic compilation deadlines.
+//!
+//! A [`Deadline`] is a cheap `Copy` budget handed down from
+//! [`CompileOptions::schedule_budget_ms`](crate::pipeline::CompileOptions)
+//! through schedule enumeration (`sched::resource_aware_slicing`) and
+//! auto-tuning (`tune::tune_bounded`). Deadline-aware loops check
+//! [`Deadline::expired`] and stop exploring once the budget is gone,
+//! keeping whatever feasible result they already have — expiry trades
+//! schedule quality for latency, it does not fail the compilation.
+//! Only code that has *nothing* feasible yet converts expiry into
+//! [`SfError::Timeout`].
+
+use crate::error::{Result, SfError};
+use std::time::{Duration, Instant};
+
+/// A point on the monotonic clock after which exploratory work should
+/// stop. `Deadline::default()` / [`Deadline::none`] never expires.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// Expires `d` from now. Saturates to "never" on overflow.
+    pub fn after(d: Duration) -> Self {
+        Deadline {
+            at: Instant::now().checked_add(d),
+        }
+    }
+
+    /// Expires `ms` milliseconds from now.
+    pub fn after_ms(ms: u64) -> Self {
+        Deadline::after(Duration::from_millis(ms))
+    }
+
+    /// Budget from an optional millisecond count (`None` = unbounded).
+    pub fn from_budget_ms(ms: Option<u64>) -> Self {
+        match ms {
+            Some(ms) => Deadline::after_ms(ms),
+            None => Deadline::none(),
+        }
+    }
+
+    /// Whether a finite budget is attached.
+    pub fn is_bounded(&self) -> bool {
+        self.at.is_some()
+    }
+
+    /// Whether the budget is gone. An unbounded deadline never expires.
+    pub fn expired(&self) -> bool {
+        match self.at {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+
+    /// Errors with [`SfError::Timeout`] naming `what` when expired.
+    pub fn check(&self, what: &str) -> Result<()> {
+        if self.expired() {
+            Err(SfError::Timeout(format!("budget exhausted during {what}")))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The tighter of two deadlines.
+    pub fn earliest(self, other: Deadline) -> Deadline {
+        Deadline {
+            at: match (self.at, other.at) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.is_bounded());
+        assert!(!d.expired());
+        assert!(d.check("anything").is_ok());
+        assert_eq!(Deadline::default(), Deadline::none());
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::after_ms(0);
+        assert!(d.is_bounded());
+        assert!(d.expired());
+        match d.check("slicing") {
+            Err(SfError::Timeout(m)) => assert!(m.contains("slicing")),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_does_not_expire() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+    }
+
+    #[test]
+    fn earliest_picks_the_tighter_budget() {
+        let never = Deadline::none();
+        let now = Deadline::after_ms(0);
+        let later = Deadline::after(Duration::from_secs(3600));
+        assert!(never.earliest(now).expired());
+        assert!(now.earliest(never).expired());
+        assert!(!later.earliest(never).expired());
+        assert!(later.earliest(now).expired());
+    }
+
+    #[test]
+    fn from_budget_ms_roundtrip() {
+        assert!(!Deadline::from_budget_ms(None).is_bounded());
+        assert!(Deadline::from_budget_ms(Some(0)).expired());
+    }
+}

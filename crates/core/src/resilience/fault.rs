@@ -1,0 +1,350 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a small, seeded list of faults to fire at named
+//! sites inside the compiler and executor — no `cfg` feature, no
+//! global state: a plan is wrapped in a [`FaultInjector`] and handed to
+//! a `CompileSession` (via `with_faults`) or to
+//! `CompiledProgram::execute_resilient`. Production code paths carry an
+//! `Option<&FaultInjector>` that is `None` in normal operation, so the
+//! hooks cost one branch when disabled.
+//!
+//! Every fault fires **at most once** per injector, and the injector
+//! records a human-readable site string for each fired fault, which is
+//! how `sfc faultsim` proves the [`DegradationReport`]
+//! (`crate::resilience::DegradationReport`) names the fault site.
+
+use sf_tensor::rng::XorShiftRng;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside group scheduling — exercises the `catch_unwind`
+    /// pass isolation, `SfError::Internal` conversion, and
+    /// schedule-cache claim abandonment.
+    Panic,
+    /// Publish a corrupted schedule-cache entry — exercises cache
+    /// validation plus invalidate-and-recompute recovery on the next
+    /// compilation that hits the entry.
+    PoisonCache,
+    /// Force `SfError::ResourceInfeasible` out of group scheduling —
+    /// exercises the Alg.-2 partitioning fallback.
+    ForceInfeasible,
+    /// Panic inside an executor worker on a chosen spatial block —
+    /// exercises block isolation and the per-kernel unfused fallback.
+    CrashWorker,
+    /// Force `SfError::Timeout` out of group scheduling — exercises
+    /// the deadline rung of the degradation ladder.
+    ExpireDeadline,
+}
+
+impl FaultKind {
+    /// Stable lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::PoisonCache => "poison-cache",
+            FaultKind::ForceInfeasible => "force-infeasible",
+            FaultKind::CrashWorker => "crash-worker",
+            FaultKind::ExpireDeadline => "expire-deadline",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Where a fault hook lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStage {
+    /// Entry of fused group scheduling (`Scheduler::schedule_fused`).
+    Schedule,
+    /// Publication of a freshly computed schedule-cache entry.
+    CachePublish,
+    /// Execution of one spatial block of one kernel.
+    ExecBlock,
+}
+
+impl FaultStage {
+    /// Stable lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultStage::Schedule => "schedule",
+            FaultStage::CachePublish => "cache-publish",
+            FaultStage::ExecBlock => "exec-block",
+        }
+    }
+}
+
+impl fmt::Display for FaultStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One planned fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Hook site the fault is armed at.
+    pub stage: FaultStage,
+    /// Behaviour when it fires.
+    pub kind: FaultKind,
+    /// Restricts firing to units/kernels whose name contains this
+    /// substring; the empty string matches any site.
+    pub unit: String,
+    /// For [`FaultStage::ExecBlock`] faults: targeted spatial block.
+    /// The hook fires on block index `block % n_blocks`, so any value
+    /// maps onto a real block of the kernel it lands in.
+    pub block: usize,
+}
+
+/// A deterministic, seeded list of faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed the plan was derived from.
+    pub seed: u64,
+    /// Faults, in arming order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A single-fault plan (convenient in tests).
+    pub fn single(stage: FaultStage, kind: FaultKind) -> Self {
+        FaultPlan {
+            seed: 0,
+            faults: vec![Fault {
+                stage,
+                kind,
+                unit: String::new(),
+                block: 0,
+            }],
+        }
+    }
+
+    /// Derives a plan of one or two faults from `seed`. The mapping is
+    /// pure: the same seed always yields the same plan, and the five
+    /// [`FaultKind`]s are all reachable within any 10 consecutive
+    /// seeds.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = XorShiftRng::seed_from_u64(seed ^ 0xFA01_75EE_D000_0001);
+        let n = 1 + rng.below(2) as usize;
+        let faults = (0..n)
+            .map(|i| {
+                // Cycle the first fault's kind through all five so low
+                // seed counts still cover every kind; later faults are
+                // fully random.
+                let kind = match if i == 0 { seed % 5 } else { rng.below(5) } {
+                    0 => FaultKind::Panic,
+                    1 => FaultKind::PoisonCache,
+                    2 => FaultKind::ForceInfeasible,
+                    3 => FaultKind::CrashWorker,
+                    _ => FaultKind::ExpireDeadline,
+                };
+                let stage = match kind {
+                    FaultKind::PoisonCache => FaultStage::CachePublish,
+                    FaultKind::CrashWorker => FaultStage::ExecBlock,
+                    _ => FaultStage::Schedule,
+                };
+                Fault {
+                    stage,
+                    kind,
+                    unit: String::new(),
+                    block: rng.below(64) as usize,
+                }
+            })
+            .collect();
+        FaultPlan { seed, faults }
+    }
+}
+
+/// Arms a [`FaultPlan`] and fires each fault at most once.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    armed: Vec<AtomicBool>,
+    fired: Mutex<Vec<String>>,
+}
+
+impl FaultInjector {
+    /// Arms every fault in `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let armed = plan.faults.iter().map(|_| AtomicBool::new(true)).collect();
+        FaultInjector {
+            plan,
+            armed,
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The armed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn trigger(&self, idx: usize, site: String) -> FaultKind {
+        let fault = &self.plan.faults[idx];
+        let mut fired = self
+            .fired
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        fired.push(format!("{} {} at {}", fault.kind, fault.stage, site));
+        fault.kind
+    }
+
+    /// Fires the first armed fault matching `stage` whose unit pattern
+    /// matches `unit`. At most one fault fires per call; each fault
+    /// fires at most once per injector.
+    pub fn fire(&self, stage: FaultStage, unit: &str) -> Option<FaultKind> {
+        for (i, f) in self.plan.faults.iter().enumerate() {
+            let matches = f.stage == stage && (f.unit.is_empty() || unit.contains(f.unit.as_str()));
+            if matches && self.armed[i].swap(false, Ordering::SeqCst) {
+                return Some(self.trigger(i, unit.to_string()));
+            }
+        }
+        None
+    }
+
+    /// Fires an [`FaultStage::ExecBlock`] fault when `block` is the
+    /// fault's targeted block (`fault.block % n_blocks`) of a matching
+    /// kernel.
+    pub fn fire_block(&self, kernel: &str, block: usize, n_blocks: usize) -> Option<FaultKind> {
+        for (i, f) in self.plan.faults.iter().enumerate() {
+            let matches = f.stage == FaultStage::ExecBlock
+                && (f.unit.is_empty() || kernel.contains(f.unit.as_str()))
+                && block == f.block % n_blocks.max(1);
+            if matches && self.armed[i].swap(false, Ordering::SeqCst) {
+                return Some(self.trigger(i, format!("{kernel} block {block}")));
+            }
+        }
+        None
+    }
+
+    /// Human-readable "kind stage at site" lines for the faults that
+    /// actually fired, in firing order.
+    pub fn fired(&self) -> Vec<String> {
+        self.fired
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// Installs (once per process) a panic hook that swallows the default
+/// "thread panicked" stderr noise for *injected* panics — payloads
+/// containing the word `injected` — and delegates everything else to
+/// the previously installed hook. Fault-injection sweeps (`sfc
+/// faultsim`, `sf-fuzz --faults`) panic on purpose dozens of times;
+/// without this the output drowns in backtrace spam for events that
+/// are caught and recovered by design.
+pub fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("injected"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("injected"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Stringifies a caught panic payload (`&str` and `String` payloads
+/// pass through; anything else becomes an opaque marker).
+pub fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_cover_all_kinds() {
+        let mut kinds = std::collections::HashSet::new();
+        for seed in 0..10 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a, b);
+            assert!(!a.faults.is_empty() && a.faults.len() <= 2);
+            for f in &a.faults {
+                kinds.insert(f.kind.label());
+            }
+        }
+        assert_eq!(kinds.len(), 5, "10 seeds must cover all 5 fault kinds");
+    }
+
+    #[test]
+    fn stage_matches_kind() {
+        for seed in 0..50 {
+            for f in &FaultPlan::from_seed(seed).faults {
+                match f.kind {
+                    FaultKind::PoisonCache => assert_eq!(f.stage, FaultStage::CachePublish),
+                    FaultKind::CrashWorker => assert_eq!(f.stage, FaultStage::ExecBlock),
+                    _ => assert_eq!(f.stage, FaultStage::Schedule),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faults_fire_at_most_once() {
+        let inj = FaultInjector::new(FaultPlan::single(FaultStage::Schedule, FaultKind::Panic));
+        assert_eq!(inj.fire(FaultStage::Schedule, "u0"), Some(FaultKind::Panic));
+        assert_eq!(inj.fire(FaultStage::Schedule, "u0"), None);
+        assert_eq!(inj.fired().len(), 1);
+        assert!(inj.fired()[0].contains("panic schedule at u0"));
+    }
+
+    #[test]
+    fn unit_pattern_restricts_firing() {
+        let mut plan = FaultPlan::single(FaultStage::Schedule, FaultKind::ForceInfeasible);
+        plan.faults[0].unit = "s1".into();
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.fire(FaultStage::Schedule, "s0u0"), None);
+        assert_eq!(inj.fire(FaultStage::CachePublish, "s1u0"), None);
+        assert_eq!(
+            inj.fire(FaultStage::Schedule, "s1u0"),
+            Some(FaultKind::ForceInfeasible)
+        );
+    }
+
+    #[test]
+    fn block_faults_wrap_into_range() {
+        let mut plan = FaultPlan::single(FaultStage::ExecBlock, FaultKind::CrashWorker);
+        plan.faults[0].block = 10;
+        let inj = FaultInjector::new(plan);
+        // 10 % 4 == 2: fires on block 2 of a 4-block kernel.
+        assert_eq!(inj.fire_block("k", 0, 4), None);
+        assert_eq!(inj.fire_block("k", 2, 4), Some(FaultKind::CrashWorker));
+        assert_eq!(inj.fire_block("k", 2, 4), None);
+    }
+
+    #[test]
+    fn panic_payload_strings() {
+        assert_eq!(panic_payload(Box::new("boom")), "boom");
+        assert_eq!(panic_payload(Box::new(String::from("bang"))), "bang");
+        assert_eq!(panic_payload(Box::new(17u32)), "opaque panic payload");
+    }
+}

@@ -1,0 +1,161 @@
+//! The degradation ladder and its structured report.
+//!
+//! When a unit (fusion group) fails to schedule or verify under the
+//! active policy, the scheduler retries it down a fixed ladder instead
+//! of failing the whole compilation:
+//!
+//! 1. [`Rung::Primary`] — the configured policy, including the paper's
+//!    built-in Alg.-2 partitioning fallback for resource errors;
+//! 2. [`Rung::Partitioned`] — forced Alg.-2 SMG partitioning;
+//! 3. [`Rung::Unfused`] — every operator scheduled as its own
+//!    single-op kernel, the always-correct reference shape.
+//!
+//! Each fall is recorded as a [`DegradationStep`] naming the unit, the
+//! rung landed on, and the error that forced the fall (for injected
+//! faults the message embeds the fault site). Steps accumulate in
+//! `CompileStats::degradations` and surface through `PassEvent`s, the
+//! `sfc --timings` table, `sfc lint`, and `sfc faultsim`. Executor-side
+//! fallbacks (a kernel re-run on the reference interpreter after a
+//! worker crash) reuse the same step type inside a standalone
+//! [`DegradationReport`].
+
+use std::fmt;
+
+/// One level of the degradation ladder. Ordered: falling means moving
+/// to a strictly later rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// The configured fusion policy (with its built-in Alg.-2 fallback
+    /// for resource infeasibility).
+    Primary,
+    /// Forced Alg.-2 SMG partitioning.
+    Partitioned,
+    /// Per-op unfused kernels.
+    Unfused,
+}
+
+impl Rung {
+    /// Stable lowercase label used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Primary => "primary",
+            Rung::Partitioned => "partitioned",
+            Rung::Unfused => "unfused",
+        }
+    }
+
+    /// The next rung down, or `None` at the bottom.
+    pub fn next(self) -> Option<Rung> {
+        match self {
+            Rung::Primary => Some(Rung::Partitioned),
+            Rung::Partitioned => Some(Rung::Unfused),
+            Rung::Unfused => None,
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded fall (or recovery) of one unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationStep {
+    /// Unit (compile) or kernel (execute) that degraded.
+    pub unit: String,
+    /// Rung the unit landed on. [`Rung::Primary`] marks an in-place
+    /// recovery (e.g. a corrupt cache entry invalidated and recomputed
+    /// without leaving the primary policy).
+    pub rung: Rung,
+    /// The error that forced the step, fault site included when the
+    /// error was injected.
+    pub reason: String,
+}
+
+impl DegradationStep {
+    /// One deterministic report line.
+    pub fn render(&self) -> String {
+        format!("{}: -> {} ({})", self.unit, self.rung, self.reason)
+    }
+}
+
+/// Ordered list of degradation steps for one compilation or execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationReport {
+    /// Steps in the order they were recorded.
+    pub steps: Vec<DegradationStep>,
+}
+
+impl DegradationReport {
+    /// Whether nothing degraded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Records a step.
+    pub fn record(&mut self, unit: impl Into<String>, rung: Rung, reason: impl Into<String>) {
+        self.steps.push(DegradationStep {
+            unit: unit.into(),
+            rung,
+            reason: reason.into(),
+        });
+    }
+
+    /// The last rung recorded for `unit`, if it degraded.
+    pub fn final_rung(&self, unit: &str) -> Option<Rung> {
+        self.steps
+            .iter()
+            .rev()
+            .find(|s| s.unit == unit)
+            .map(|s| s.rung)
+    }
+
+    /// Deterministic multi-line rendering (empty string when clean).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            out.push_str(&s.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_order_and_bottom() {
+        assert!(Rung::Primary < Rung::Partitioned);
+        assert!(Rung::Partitioned < Rung::Unfused);
+        assert_eq!(Rung::Primary.next(), Some(Rung::Partitioned));
+        assert_eq!(Rung::Partitioned.next(), Some(Rung::Unfused));
+        assert_eq!(Rung::Unfused.next(), None);
+    }
+
+    #[test]
+    fn report_records_and_renders() {
+        let mut r = DegradationReport::default();
+        assert!(r.is_empty());
+        r.record("s0u1", Rung::Partitioned, "injected panic at schedule");
+        r.record("s0u1", Rung::Unfused, "partition failed");
+        r.record("s1u0", Rung::Primary, "cache entry corrupt, recomputed");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.final_rung("s0u1"), Some(Rung::Unfused));
+        assert_eq!(r.final_rung("s1u0"), Some(Rung::Primary));
+        assert_eq!(r.final_rung("s9u9"), None);
+        let text = r.render();
+        assert!(text.contains("s0u1: -> partitioned (injected panic at schedule)"));
+        assert!(text.contains("s0u1: -> unfused (partition failed)"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! Resilience layer: degradation ladder, panic isolation, deadlines,
+//! and deterministic fault injection.
+//!
+//! The paper's auto-scheduler already contains one fallback — Alg. 2
+//! partitions an SMG when no schedule fits the resource budget — but a
+//! production compiler faces failures that Alg. 2 does not cover: a
+//! panicking pass, a corrupted schedule-cache entry, a crashed executor
+//! worker, a tuning search that runs long. This module turns all of
+//! those into *degradations* instead of process aborts:
+//!
+//! * [`ladder`] — the fixed retry ladder (current policy → Alg.-2
+//!   partitioned → per-op unfused) and the structured
+//!   [`DegradationReport`] recorded when a group falls down it.
+//! * `catch_unwind` boundaries in `pipeline::passes` and
+//!   `codegen::exec` convert panics into
+//!   [`SfError::Internal`](crate::error::SfError::Internal) values that
+//!   feed the ladder; [`panic_payload`] stringifies the payload.
+//! * [`deadline`] — a monotonic [`Deadline`] budget threaded through
+//!   schedule enumeration and auto-tuning so candidate exploration
+//!   returns best-so-far instead of running unbounded.
+//! * [`fault`] — a seeded, `cfg`-free fault-injection harness
+//!   ([`FaultPlan`] / [`FaultInjector`]) that fires panics, cache
+//!   poisoning, forced resource infeasibility, deadline expiry, and
+//!   worker crashes at chosen pass/group/block sites. `sfc faultsim`
+//!   and `sf-fuzz --faults` drive it to prove every injected fault
+//!   either fully recovers or degrades to output identical to the
+//!   unfused reference.
+
+pub mod deadline;
+pub mod fault;
+pub mod ladder;
+
+pub use deadline::Deadline;
+pub use fault::{
+    panic_payload, silence_injected_panics, Fault, FaultInjector, FaultKind, FaultPlan, FaultStage,
+};
+pub use ladder::{DegradationReport, DegradationStep, Rung};

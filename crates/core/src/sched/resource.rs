@@ -3,6 +3,7 @@
 use super::memory::assign_memory;
 use super::schedule::{FusedSchedule, TemporalSchedule};
 use crate::error::{Result, SfError};
+use crate::resilience::Deadline;
 use crate::slicer::{
     eligible_spatial_dims, pick_temporal_dim, plan_temporal, AggKind, TemporalPlan,
 };
@@ -28,6 +29,12 @@ pub struct SlicingOptions {
     pub fixed_temporal_block: Option<usize>,
     /// Cap on the number of feasible schedules returned.
     pub max_configs: usize,
+    /// Wall-clock budget for the enumeration. When it expires the loop
+    /// stops and returns the feasible configurations found so far — at
+    /// least one spatial configuration is always checked, so an expired
+    /// deadline narrows the search space but never fails a graph that
+    /// has any feasible schedule.
+    pub deadline: Deadline,
 }
 
 impl Default for SlicingOptions {
@@ -38,6 +45,7 @@ impl Default for SlicingOptions {
             fixed_spatial_block: None,
             fixed_temporal_block: None,
             max_configs: 128,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -156,7 +164,14 @@ pub fn resource_aware_slicing(
 
     let staging_limit = arch.smem_per_block / 4;
     let mut feasible: Vec<FusedSchedule> = Vec::new();
-    for cfg in &spatial_cfgs {
+    for (ci, cfg) in spatial_cfgs.iter().enumerate() {
+        // Deadline: stop enumerating once the budget is gone, keeping
+        // whatever is already feasible. The first configuration is
+        // always checked so best-so-far is never empty-by-timeout
+        // alone.
+        if ci > 0 && opts.deadline.expired() {
+            break;
+        }
         let spatial: Vec<(DimId, usize)> = spatial_dims
             .iter()
             .copied()

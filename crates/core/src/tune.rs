@@ -6,8 +6,16 @@
 //! runs and an early-quit mechanism (α = 0.25); here measurement is the
 //! analytic cost model, and early-quit prunes candidates whose running
 //! estimate already exceeds `best / α`.
+//!
+//! [`tune_bounded`] additionally accepts a
+//! [`Deadline`](crate::resilience::Deadline): when the budget expires
+//! mid-search the tuner stops measuring and returns the best candidate
+//! seen so far (at least one candidate is always measured), marking the
+//! result [`TuneResult::timed_out`]. Unmeasured candidates count as
+//! pruned, preserving `evaluated + pruned == candidates.len()`.
 
 use crate::codegen::{estimate_cost, KernelProgram};
+use crate::resilience::Deadline;
 use sf_gpu_sim::GpuArch;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -25,8 +33,11 @@ pub struct TuneResult {
     pub best_us: f64,
     /// Candidates fully evaluated.
     pub evaluated: usize,
-    /// Candidates abandoned by the early-quit rule.
+    /// Candidates abandoned by the early-quit rule (or left unmeasured
+    /// when the deadline expired).
     pub pruned: usize,
+    /// Whether the search stopped early because its deadline expired.
+    pub timed_out: bool,
 }
 
 /// Selects the best candidate kernel program for `arch`.
@@ -41,30 +52,68 @@ pub fn tune(
     instances: u64,
     alpha: f64,
 ) -> Option<TuneResult> {
+    tune_bounded(candidates, arch, instances, alpha, Deadline::none())
+}
+
+/// [`tune`] with a wall-clock budget: when `deadline` expires mid-search
+/// the best candidate seen so far wins. The first candidate is always
+/// measured, so an already-expired deadline still yields a valid pick.
+pub fn tune_bounded(
+    candidates: &[KernelProgram],
+    arch: &GpuArch,
+    instances: u64,
+    alpha: f64,
+    deadline: Deadline,
+) -> Option<TuneResult> {
     if candidates.is_empty() {
         return None;
     }
-    // Hoisted out of the candidate loop: the clamped early-quit factor
-    // and the per-candidate model times (evaluated in parallel for large
-    // search spaces).
     let alpha = alpha.clamp(0.01, 1.0);
-    let times = candidate_times(candidates, arch, instances);
-
+    // Bounded searches measure serially so expiry is checked between
+    // candidates; unbounded searches keep the parallel fan-out for
+    // large spaces.
     let mut best = 0usize;
     let mut best_us = f64::INFINITY;
     let mut evaluated = 0usize;
     let mut pruned = 0usize;
-    for (i, &t) in times.iter().enumerate() {
-        // Early-quit: once a candidate is clearly worse than the current
-        // best, its remaining test repetitions are abandoned.
-        if t > best_us / alpha {
-            pruned += 1;
-        } else {
-            evaluated += 1;
+    let mut timed_out = false;
+    if deadline.is_bounded() {
+        for (i, kp) in candidates.iter().enumerate() {
+            if i > 0 && deadline.expired() {
+                // Unmeasured candidates count as pruned so the
+                // `evaluated + pruned == len` invariant holds.
+                pruned += candidates.len() - i;
+                timed_out = true;
+                break;
+            }
+            let t = arch.kernel_time_us(&estimate_cost(kp, instances));
+            if t > best_us / alpha {
+                pruned += 1;
+            } else {
+                evaluated += 1;
+            }
+            if t < best_us {
+                best_us = t;
+                best = i;
+            }
         }
-        if t < best_us {
-            best_us = t;
-            best = i;
+    } else {
+        // Hoisted out of the candidate loop: the per-candidate model
+        // times (evaluated in parallel for large search spaces).
+        let times = candidate_times(candidates, arch, instances);
+        for (i, &t) in times.iter().enumerate() {
+            // Early-quit: once a candidate is clearly worse than the
+            // current best, its remaining test repetitions are
+            // abandoned.
+            if t > best_us / alpha {
+                pruned += 1;
+            } else {
+                evaluated += 1;
+            }
+            if t < best_us {
+                best_us = t;
+                best = i;
+            }
         }
     }
     Some(TuneResult {
@@ -72,6 +121,7 @@ pub fn tune(
         best_us,
         evaluated,
         pruned,
+        timed_out,
     })
 }
 
@@ -107,11 +157,15 @@ fn tune_parallel(candidates: &[KernelProgram], arch: &GpuArch, instances: u64) -
                     return;
                 }
                 let t = arch.kernel_time_us(&estimate_cost(&candidates[i], instances));
-                times.lock().expect("times lock poisoned")[i] = t;
+                times
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = t;
             });
         }
     });
-    times.into_inner().expect("times lock poisoned")
+    times
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -184,6 +238,41 @@ mod tests {
     #[test]
     fn empty_candidates_return_none() {
         assert_eq!(tune(&[], &GpuArch::ampere(), 1, 0.25), None);
+        assert_eq!(
+            tune_bounded(&[], &GpuArch::ampere(), 1, 0.25, Deadline::after_ms(0)),
+            None
+        );
+    }
+
+    #[test]
+    fn expired_deadline_still_picks_a_candidate() {
+        let arch = GpuArch::ampere();
+        let (_, kps) = mha_candidates(&arch);
+        assert!(kps.len() > 1);
+        let r = tune_bounded(&kps, &arch, 32, 0.25, Deadline::after_ms(0)).unwrap();
+        // Only the first candidate was measured; the rest were skipped.
+        assert!(r.timed_out);
+        assert_eq!(r.best, 0);
+        assert!(r.best_us.is_finite());
+        assert_eq!(r.evaluated + r.pruned, kps.len());
+    }
+
+    #[test]
+    fn generous_deadline_matches_unbounded_winner() {
+        let arch = GpuArch::ampere();
+        let (_, kps) = mha_candidates(&arch);
+        let bounded = tune_bounded(
+            &kps,
+            &arch,
+            32,
+            0.25,
+            Deadline::after(std::time::Duration::from_secs(3600)),
+        )
+        .unwrap();
+        let unbounded = tune(&kps, &arch, 32, 0.25).unwrap();
+        assert!(!bounded.timed_out);
+        assert_eq!(bounded.best, unbounded.best);
+        assert_eq!(bounded.best_us, unbounded.best_us);
     }
 
     #[test]

@@ -247,3 +247,101 @@ fn parallel_matches_sequential_segments() {
         assert!(x.allclose(r, 1e-3), "compiled result must match reference");
     }
 }
+
+/// A claimant that panics while holding a `ClaimTicket` must not wedge
+/// the cache: unwinding drops the ticket, which abandons the claim and
+/// hands the key to the next claimant.
+#[test]
+fn panicking_claimant_does_not_wedge_waiters() {
+    use spacefusion::pipeline::{CacheKey, Claim};
+
+    spacefusion::resilience::silence_injected_panics();
+    let cache = Arc::new(ScheduleCache::new());
+    let key = CacheKey {
+        shape: "hot".into(),
+        policy: FusionPolicy::SpaceFusion,
+        arch: "test".into(),
+    };
+
+    // The claimant takes the Miss, then dies mid-computation.
+    let c = cache.clone();
+    let k = key.clone();
+    let claimant = std::thread::spawn(move || match c.claim(&k) {
+        Claim::Miss(_ticket) => panic!("injected claimant crash"),
+        Claim::Hit(_) => panic!("empty cache cannot hit"),
+    });
+    assert!(claimant.join().is_err(), "claimant must have panicked");
+
+    // The key must be claimable again — a Miss, not a deadlock and not
+    // a phantom Hit.
+    match cache.claim(&key) {
+        Claim::Miss(_) => {}
+        Claim::Hit(_) => panic!("abandoned claim must not publish an entry"),
+    };
+}
+
+/// Same, but with waiters already blocked on the condition variable
+/// when the claimant dies: one of them must wake, take over the claim,
+/// and fulfill it for the rest.
+#[test]
+fn waiters_take_over_after_claimant_panic() {
+    use spacefusion::pipeline::{CacheEntry, CacheKey, Claim, SavedConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    spacefusion::resilience::silence_injected_panics();
+    let cache = ScheduleCache::new();
+    let key = CacheKey {
+        shape: "hot".into(),
+        policy: FusionPolicy::SpaceFusion,
+        arch: "test".into(),
+    };
+    let entry = CacheEntry {
+        piece_lens: vec![1],
+        configs: vec![SavedConfig {
+            spatial: vec![8],
+            temporal: None,
+        }],
+    };
+    let claimed = Barrier::new(5);
+    let computed = AtomicUsize::new(0);
+    let hits = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        // The doomed first claimant: grabs the Miss, lets the waiters
+        // pile onto the condvar, then panics with the ticket in hand.
+        let doomed = s.spawn(|| match cache.claim(&key) {
+            Claim::Miss(_ticket) => {
+                claimed.wait();
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                panic!("injected claimant crash");
+            }
+            Claim::Hit(_) => panic!("empty cache cannot hit"),
+        });
+        for _ in 0..4 {
+            s.spawn(|| {
+                claimed.wait();
+                match cache.claim(&key) {
+                    Claim::Miss(t) => {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        t.fulfill(entry.clone());
+                    }
+                    Claim::Hit(e) => {
+                        assert_eq!(e, entry);
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+        // Consume the intentional panic so the scope does not re-raise
+        // it on join.
+        assert!(doomed.join().is_err(), "claimant must have panicked");
+    });
+
+    assert_eq!(
+        computed.load(Ordering::SeqCst),
+        1,
+        "exactly one waiter takes over the abandoned claim"
+    );
+    assert_eq!(hits.load(Ordering::SeqCst), 3);
+}

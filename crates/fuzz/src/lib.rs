@@ -28,6 +28,12 @@
 //! * [`runner`] — the campaign driver behind `sfc fuzz`: seeds in,
 //!   deterministic report out, one `PassId::Fuzz` instrumentation
 //!   event per seed.
+//! * [`faultsim`] — deterministic fault-injection sweeps behind `sfc
+//!   faultsim` and `sfc fuzz --faults`: each seeded graph is replayed
+//!   under seeded `FaultPlan`s (injected panics, cache poisoning,
+//!   forced infeasibility, worker crashes, deadline expiry), asserting
+//!   that every fault recovers or degrades to output bit-identical to
+//!   the unfused reference.
 //!
 //! # Examples
 //!
@@ -41,11 +47,13 @@
 //! ```
 
 pub mod corpus;
+pub mod faultsim;
 pub mod gen;
 pub mod oracle;
 pub mod runner;
 pub mod shrink;
 
+pub use faultsim::{run_fault_plans, run_faultsim, FaultSimOptions, FaultSimReport, PlanOutcome};
 pub use gen::{generate, GenConfig, GraphSpec, Step};
 pub use oracle::{
     derive_tolerance, run_oracle, Failure, FailureKind, OracleOptions, OracleReport, POLICIES,

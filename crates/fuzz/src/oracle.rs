@@ -73,6 +73,9 @@ pub enum FailureKind {
     Execute,
     /// Compiled output diverged from the reference.
     Divergence,
+    /// A fault-injection run aborted or produced a degraded result
+    /// that does not match the unfused reference bitwise.
+    Fault,
 }
 
 impl FailureKind {
@@ -84,6 +87,7 @@ impl FailureKind {
             FailureKind::Lint => "lint",
             FailureKind::Execute => "execute",
             FailureKind::Divergence => "divergence",
+            FailureKind::Fault => "fault",
         }
     }
 }

@@ -33,6 +33,11 @@ pub struct FuzzOptions {
     pub arch: Arch,
     /// Where minimized repros are written (when `minimize`).
     pub corpus_dir: Option<PathBuf>,
+    /// Fault plans injected per seed (`0` disables fault injection).
+    /// Each plan recompiles and re-executes the graph under seeded
+    /// faults and asserts the degraded result still matches the
+    /// unfused reference bitwise (see [`crate::faultsim`]).
+    pub faults: usize,
     /// Generator configuration.
     pub gen: GenConfig,
 }
@@ -45,6 +50,7 @@ impl Default for FuzzOptions {
             minimize: false,
             arch: Arch::Ampere,
             corpus_dir: None,
+            faults: 0,
             gen: GenConfig::default(),
         }
     }
@@ -156,11 +162,12 @@ pub fn run_fuzz(opts: &FuzzOptions, sink: &dyn EventSink) -> FuzzReport {
         let start = Instant::now();
         let spec = generate(seed, &opts.gen);
         let oopts = oracle_opts(seed);
-        let (ops, seed_report) = match spec.build() {
+        let built = spec.build();
+        let (ops, mut seed_report) = match &built {
             Ok(graph) => {
                 let ops = graph.ops().len();
                 let r = match graph.validate() {
-                    Ok(()) => run_oracle(&graph, &oopts),
+                    Ok(()) => run_oracle(graph, &oopts),
                     Err(e) => OracleReport {
                         failures: vec![crate::oracle::Failure {
                             kind: crate::oracle::FailureKind::Reference,
@@ -186,6 +193,20 @@ pub fn run_fuzz(opts: &FuzzOptions, sink: &dyn EventSink) -> FuzzReport {
                 },
             ),
         };
+        if opts.faults > 0 {
+            if let Ok(graph) = &built {
+                if graph.validate().is_ok() {
+                    seed_report
+                        .failures
+                        .extend(crate::faultsim::run_fault_plans(
+                            graph,
+                            seed,
+                            opts.faults,
+                            opts.arch,
+                        ));
+                }
+            }
+        }
         report.compiles += seed_report.compiles;
         report.executions += seed_report.executions;
         report.ops += ops;

@@ -40,6 +40,25 @@ echo "==> sfc fuzz determinism (same seeds -> identical report)"
 diff target/FUZZ_smoke.txt target/FUZZ_smoke2.txt \
     || { echo "verify: FAIL — fuzz report is not deterministic"; exit 1; }
 
+echo "==> sfc faultsim smoke (25 seeds x 2 plans = 50 fault plans, 0 aborts)"
+./target/release/sfc faultsim --seeds 25 --faults 2 > target/FAULTSIM_smoke.txt \
+    || { echo "verify: FAIL — faultsim found an abort or a non-bit-exact degradation"; \
+         cat target/FAULTSIM_smoke.txt; exit 1; }
+grep -q "0 abort(s)" target/FAULTSIM_smoke.txt \
+    || { echo "verify: FAIL — faultsim report missing its zero-abort line"; exit 1; }
+
+echo "==> sfc faultsim determinism (same seeds -> identical report)"
+./target/release/sfc faultsim --seeds 25 --faults 2 > target/FAULTSIM_smoke2.txt
+diff target/FAULTSIM_smoke.txt target/FAULTSIM_smoke2.txt \
+    || { echo "verify: FAIL — faultsim report is not deterministic"; exit 1; }
+
+echo "==> no-new-unwrap gate (pipeline/ and resilience/ deny unwrap/expect)"
+for m in pipeline resilience; do
+    grep -B1 "^pub mod $m;" crates/core/src/lib.rs \
+        | grep -q "deny(clippy::unwrap_used, clippy::expect_used)" \
+        || { echo "verify: FAIL — lib.rs lost the unwrap/expect deny gate on '$m'"; exit 1; }
+done
+
 echo "==> corpus freshness (seed_corpus regenerates what is checked in)"
 cargo run -q --release --example seed_corpus > /dev/null
 git diff --exit-code -- tests/corpus \
