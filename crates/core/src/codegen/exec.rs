@@ -13,13 +13,22 @@
 //!
 //! Spatial blocks are the unit of parallelism. The slicer only admits
 //! spatial dimensions whose blocks cover disjoint regions of every
-//! output (Table 3 legality), so the block loop fans out over
-//! [`std::thread::scope`] workers — each with its own [`ScratchPool`] —
-//! and the result stays bit-identical to serial execution regardless of
-//! completion order. Block-local values are borrowed as zero-copy
+//! output (Table 3 legality), so the block loop fans out over the
+//! persistent [`ExecEngine`] worker pool — each worker with its own
+//! thread-pinned [`ScratchPool`] — and the result stays bit-identical
+//! to serial execution regardless of completion order. The same
+//! disjointness makes output writes lock-free: workers scatter block
+//! tiles through pre-partitioned [`sf_tensor::TensorViewMut`] regions
+//! of the shared output buffers ([`OutputSlot`]) without any mutex; a
+//! debug-build claim bitmap asserts that no two scatters ever touch
+//! the same element. Block-local values are borrowed as zero-copy
 //! [`TensorView`]s and intermediate buffers are recycled through the
-//! worker's pool, so steady-state execution does not allocate.
+//! worker's pool — which persists across calls — so steady-state
+//! execution does not allocate. Kernels whose total work is under
+//! [`super::engine::serial_cutoff`] skip the pool and run inline on
+//! the caller's thread.
 
+use super::engine::{serial_cutoff, ExecEngine};
 use super::program::KernelProgram;
 use crate::error::{Result, SfError};
 use crate::resilience::{panic_payload, FaultInjector, FaultKind};
@@ -28,8 +37,11 @@ use crate::slicer::{AggKind, FactorForm};
 use crate::smg::{DimId, Smg};
 use sf_ir::{Graph, OpKind, ValueId};
 use sf_tensor::ops::{viewed, BinaryOp, ReduceOp, UnaryOp};
-use sf_tensor::{ScratchPool, Tensor, TensorView};
+use sf_tensor::{ScratchPool, Shape, Tensor, TensorView, TensorViewMut};
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
+#[cfg(debug_assertions)]
+use std::sync::atomic::AtomicU8;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
@@ -104,81 +116,227 @@ pub fn execute_kernel_faulted(
     opts: &ExecOptions,
     faults: Option<&FaultInjector>,
 ) -> Result<()> {
-    let graph = &kp.graph;
-    let s = &kp.schedule;
+    ExecEngine::shared().execute_kernel(kp, env, opts, faults)
+}
 
-    // Full output tensors, allocated once. A mutex per output lets
-    // workers scatter concurrently; regions are disjoint, so lock order
-    // never affects the values written.
-    let outputs: Vec<(ValueId, String, Mutex<Tensor>)> = graph
+/// A full output tensor shared lock-free across block workers.
+///
+/// Table-3 spatial legality guarantees that distinct blocks (and
+/// distinct temporal tiles within a block) scatter into *disjoint*
+/// element regions of every output, so no synchronization is needed on
+/// the write path: each scatter goes through a [`TensorViewMut`] carved
+/// out of the buffer with [`OutputSlot::region_mut`]. The data pointer
+/// is captured once at construction — no `&mut Tensor` is ever formed
+/// while workers hold region views, so views never alias a Rust unique
+/// reference.
+///
+/// Debug builds keep a per-element claim bitmap and assert at region
+/// hand-out that no element is ever claimed twice, turning a legality
+/// bug (overlapping writes) into an immediate panic instead of a
+/// silent, schedule-dependent result.
+struct OutputSlot {
+    value: ValueId,
+    name: String,
+    cell: UnsafeCell<Tensor>,
+    base: *mut f32,
+    len: usize,
+    strides: Vec<usize>,
+    #[cfg(debug_assertions)]
+    claimed: Vec<AtomicU8>,
+}
+
+// SAFETY: workers only touch the buffer through disjoint `region_mut`
+// views (asserted in debug builds); the tensor itself is only moved
+// out after every worker has finished.
+unsafe impl Send for OutputSlot {}
+unsafe impl Sync for OutputSlot {}
+
+impl OutputSlot {
+    fn new(value: ValueId, name: String, tensor: Tensor) -> Self {
+        let len = tensor.shape().volume();
+        let strides = tensor.shape().strides();
+        let cell = UnsafeCell::new(tensor);
+        // Capture the data pointer once, while we still have exclusive
+        // access; every region view derives from it.
+        let base = unsafe { (*cell.get()).data_mut().as_mut_ptr() };
+        OutputSlot {
+            value,
+            name,
+            cell,
+            base,
+            len,
+            strides,
+            #[cfg(debug_assertions)]
+            claimed: (0..len).map(|_| AtomicU8::new(0)).collect(),
+        }
+    }
+
+    /// Hands out the mutable strided view of the `[start, end)` region,
+    /// claiming its elements in the debug overlap bitmap.
+    fn region_mut(&self, ranges: &[(usize, usize)]) -> TensorViewMut<'_> {
+        debug_assert_eq!(ranges.len(), self.strides.len());
+        let offset: usize = ranges
+            .iter()
+            .zip(&self.strides)
+            .map(|(&(s, _), &st)| s * st)
+            .sum();
+        let dims: Vec<usize> = ranges.iter().map(|&(s, t)| t - s).collect();
+        #[cfg(debug_assertions)]
+        self.claim(ranges, &dims);
+        // SAFETY: `base + offset` addresses within the tensor buffer for
+        // any in-bounds region; disjointness across concurrent callers
+        // is the slicer's Table-3 guarantee (checked above in debug).
+        unsafe {
+            TensorViewMut::from_raw_parts(
+                self.base.add(offset),
+                self.len - offset,
+                Shape::new(dims),
+                self.strides.clone(),
+            )
+        }
+    }
+
+    /// Marks every element of the region as written, panicking if any
+    /// element was already claimed by an earlier region.
+    #[cfg(debug_assertions)]
+    fn claim(&self, ranges: &[(usize, usize)], dims: &[usize]) {
+        let volume: usize = dims.iter().product();
+        let mut idx = vec![0usize; dims.len()];
+        for _ in 0..volume {
+            let abs: usize = ranges
+                .iter()
+                .zip(&self.strides)
+                .zip(&idx)
+                .map(|((&(s, _), &st), &i)| (s + i) * st)
+                .sum();
+            assert_eq!(
+                self.claimed[abs].swap(1, Ordering::Relaxed),
+                0,
+                "overlapping output write in '{}' at element {abs}",
+                self.name
+            );
+            for ax in (0..dims.len()).rev() {
+                idx[ax] += 1;
+                if idx[ax] < dims[ax] {
+                    break;
+                }
+                idx[ax] = 0;
+            }
+        }
+    }
+
+    fn into_parts(self) -> (String, Tensor) {
+        (self.name, self.cell.into_inner())
+    }
+}
+
+/// Builds the lock-free output slots for one kernel.
+fn output_slots(graph: &Graph) -> Vec<OutputSlot> {
+    graph
         .outputs()
         .iter()
         .map(|&o| {
-            (
+            OutputSlot::new(
                 o,
                 graph.value(o).name.clone(),
-                Mutex::new(Tensor::zeros(graph.shape(o).clone(), graph.dtype())),
+                Tensor::zeros(graph.shape(o).clone(), graph.dtype()),
             )
         })
-        .collect();
+        .collect()
+}
 
-    let blocks = enumerate_blocks(s);
-    let workers = opts.effective_threads().min(blocks.len()).max(1);
+/// Executes one kernel serially with an explicit scratch pool,
+/// publishing outputs into `env` on success. This is the in-worker
+/// path of [`crate::pipeline::CompiledProgram::execute_many`]: batch
+/// items already occupy the pool's workers, so their kernels must not
+/// re-enter the pool.
+pub(crate) fn execute_kernel_pooled(
+    kp: &KernelProgram,
+    env: &mut HashMap<String, Tensor>,
+    pool: &mut ScratchPool,
+    faults: Option<&FaultInjector>,
+) -> Result<()> {
+    let slots = output_slots(&kp.graph);
+    let blocks = enumerate_blocks(&kp.schedule);
+    for (bi, block) in blocks.iter().enumerate() {
+        run_block(kp, env, &slots, block, pool, faults, bi, blocks.len())?;
+    }
+    for slot in slots {
+        let (name, tensor) = slot.into_parts();
+        env.insert(name, tensor);
+    }
+    Ok(())
+}
 
-    if workers == 1 {
-        let mut pool = ScratchPool::new();
-        for (bi, block) in blocks.iter().enumerate() {
-            run_block(
-                kp,
-                env,
-                &outputs,
-                block,
-                &mut pool,
-                faults,
-                bi,
-                blocks.len(),
-            )?;
+impl ExecEngine {
+    /// Executes one kernel on this engine: serially on the caller's
+    /// thread when a single worker is requested or the kernel is under
+    /// the [`serial_cutoff`], otherwise fanned out over the persistent
+    /// worker pool. Outputs are published into `env` only after every
+    /// block succeeded; results are bit-identical for every worker
+    /// count and across the serial/pooled paths.
+    pub fn execute_kernel(
+        &self,
+        kp: &KernelProgram,
+        env: &mut HashMap<String, Tensor>,
+        opts: &ExecOptions,
+        faults: Option<&FaultInjector>,
+    ) -> Result<()> {
+        let blocks = enumerate_blocks(&kp.schedule);
+        let workers = opts.effective_threads().min(blocks.len()).max(1);
+        let total_work: usize = kp
+            .graph
+            .outputs()
+            .iter()
+            .map(|&o| kp.graph.shape(o).volume())
+            .sum();
+        if workers == 1 || serial_cutoff(blocks.len(), total_work) {
+            return self.with_serial_scratch(|pool| execute_kernel_pooled(kp, env, pool, faults));
         }
-    } else {
-        let env_ref: &HashMap<String, Tensor> = env;
+
+        let slots = output_slots(&kp.graph);
         // Chunked work queue: coarse enough to amortize the atomic,
         // fine enough to balance blocks of uneven cost.
         let chunk = blocks.len().div_ceil(workers * 4).max(1);
         let next = AtomicUsize::new(0);
         let failures: Mutex<Vec<(usize, SfError)>> = Mutex::new(Vec::new());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut pool = ScratchPool::new();
-                    loop {
-                        let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= blocks.len() {
-                            return;
-                        }
-                        let end = (start + chunk).min(blocks.len());
-                        for (off, block) in blocks[start..end].iter().enumerate() {
-                            let bi = start + off;
-                            if let Err(e) = run_block(
-                                kp,
-                                env_ref,
-                                &outputs,
-                                block,
-                                &mut pool,
-                                faults,
-                                bi,
-                                blocks.len(),
-                            ) {
-                                failures
-                                    .lock()
-                                    .unwrap_or_else(PoisonError::into_inner)
-                                    .push((bi, e));
-                                return;
-                            }
-                        }
-                    }
-                });
+        let env_ref: &HashMap<String, Tensor> = env;
+        let blocks_ref: &[Restrict] = &blocks;
+        let slots_ref: &[OutputSlot] = &slots;
+        let panicked = self.run_dispatch(workers, &|pool: &mut ScratchPool| loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= blocks_ref.len() {
+                return;
+            }
+            let end = (start + chunk).min(blocks_ref.len());
+            for (off, block) in blocks_ref[start..end].iter().enumerate() {
+                let bi = start + off;
+                if let Err(e) = run_block(
+                    kp,
+                    env_ref,
+                    slots_ref,
+                    block,
+                    pool,
+                    faults,
+                    bi,
+                    blocks_ref.len(),
+                ) {
+                    failures
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((bi, e));
+                    return;
+                }
             }
         });
+        if panicked {
+            // `run_block` already isolates block panics; reaching here
+            // means a panic escaped that boundary (a queue bug).
+            return Err(SfError::Internal {
+                pass: format!("exec:{}", kp.name),
+                payload: "worker panicked outside block isolation".into(),
+            });
+        }
         // Report the failure of the earliest block, independent of
         // worker scheduling.
         let mut failures = failures
@@ -188,15 +346,13 @@ pub fn execute_kernel_faulted(
         if let Some((_, e)) = failures.into_iter().next() {
             return Err(e);
         }
-    }
 
-    for (_, name, slot) in outputs {
-        env.insert(
-            name,
-            slot.into_inner().unwrap_or_else(PoisonError::into_inner),
-        );
+        for slot in slots {
+            let (name, tensor) = slot.into_parts();
+            env.insert(name, tensor);
+        }
+        Ok(())
     }
-    Ok(())
 }
 
 /// Executes one spatial block behind a panic-isolation boundary,
@@ -206,7 +362,7 @@ pub fn execute_kernel_faulted(
 fn run_block(
     kp: &KernelProgram,
     env: &HashMap<String, Tensor>,
-    outputs: &[(ValueId, String, Mutex<Tensor>)],
+    outputs: &[OutputSlot],
     block: &Restrict,
     pool: &mut ScratchPool,
     faults: Option<&FaultInjector>,
@@ -274,7 +430,7 @@ fn enumerate_blocks(s: &crate::sched::FusedSchedule) -> Vec<Restrict> {
 fn execute_block(
     kp: &KernelProgram,
     env: &HashMap<String, Tensor>,
-    outputs: &[(ValueId, String, Mutex<Tensor>)],
+    outputs: &[OutputSlot],
     spatial: &Restrict,
     pool: &mut ScratchPool,
 ) -> Result<()> {
@@ -289,12 +445,11 @@ fn execute_block(
             })?;
             local.insert(op.output, out);
         }
-        for (o, _, slot) in outputs {
+        for slot in outputs {
             let tile = local
-                .get(o)
+                .get(&slot.value)
                 .ok_or_else(|| SfError::Codegen("output not computed".into()))?;
-            let mut full = slot.lock().unwrap_or_else(PoisonError::into_inner);
-            scatter(graph, &s.smg, &mut full, *o, spatial, tile)?;
+            scatter(graph, &s.smg, slot, spatial, tile)?;
         }
         for (_, tensor) in local.drain() {
             pool.recycle_tensor(tensor);
@@ -445,13 +600,12 @@ fn execute_block(
                 })?;
                 local.insert(op.output, out);
             }
-            for (o, _, slot) in outputs {
-                if s.smg.value_has_dim(graph, *o, dim) {
+            for slot in outputs {
+                if s.smg.value_has_dim(graph, slot.value, dim) {
                     let tile_val = local
-                        .get(o)
+                        .get(&slot.value)
                         .ok_or_else(|| SfError::Codegen("phase-2 output missing".into()))?;
-                    let mut full = slot.lock().unwrap_or_else(PoisonError::into_inner);
-                    scatter(graph, &s.smg, &mut full, *o, &restrict, tile_val)?;
+                    scatter(graph, &s.smg, slot, &restrict, tile_val)?;
                 }
             }
             for (_, tensor) in local.drain() {
@@ -462,16 +616,15 @@ fn execute_block(
 
     // Outputs that do not span the sliced dimension come from the
     // aggregates / post-loop values.
-    for (o, _, slot) in outputs {
-        if s.smg.value_has_dim(graph, *o, dim) {
+    for slot in outputs {
+        if s.smg.value_has_dim(graph, slot.value, dim) {
             continue; // written in phase 2.
         }
         let tile = accs
-            .get(o)
-            .or_else(|| post.get(o))
+            .get(&slot.value)
+            .or_else(|| post.get(&slot.value))
             .ok_or_else(|| SfError::Codegen("block output missing".into()))?;
-        let mut full = slot.lock().unwrap_or_else(PoisonError::into_inner);
-        scatter(graph, &s.smg, &mut full, *o, spatial, tile)?;
+        scatter(graph, &s.smg, slot, spatial, tile)?;
     }
 
     // Recycle the block's remaining buffers for the next block on this
@@ -571,21 +724,21 @@ fn extract<'a>(
     full.slice(&ranges).map_err(Into::into)
 }
 
-/// Writes a tile back into the full output tensor.
+/// Writes a tile into its disjoint region of the shared output buffer.
 ///
-/// Spatial blocks restrict at most a prefix of each output's axes, so
-/// the destination region decomposes into contiguous runs that are
-/// copied slice-to-slice.
+/// Lock-free: the destination region is handed out as a
+/// [`TensorViewMut`] over the slot's storage
+/// ([`OutputSlot::region_mut`]); the view's dense-suffix copy decomposes
+/// the region into contiguous runs copied slice-to-slice, exactly like
+/// the old in-place scatter but without taking any mutex.
 fn scatter(
     graph: &Graph,
     smg: &Smg,
-    full: &mut Tensor,
-    v: ValueId,
+    slot: &OutputSlot,
     restrict: &Restrict,
     tile: &Tensor,
 ) -> Result<()> {
-    let shape = graph.shape(v);
-    let ranges = restricted_ranges(graph, smg, v, restrict);
+    let ranges = restricted_ranges(graph, smg, slot.value, restrict);
     let out_dims: Vec<usize> = ranges.iter().map(|&(s, t)| t - s).collect();
     if out_dims != tile.shape().dims() {
         return Err(SfError::Codegen(format!(
@@ -594,35 +747,8 @@ fn scatter(
             out_dims
         )));
     }
-    let full_dims = shape.dims();
-    let strides = shape.strides();
-    // Innermost axes whose range covers the whole extent form, together
-    // with the deepest restricted axis, one contiguous run per outer
-    // index in both the tile and the destination.
-    let mut split = ranges.len();
-    while split > 0 && ranges[split - 1] == (0, full_dims[split - 1]) {
-        split -= 1;
-    }
-    let outer = split.saturating_sub(1);
-    let run: usize = out_dims[outer..].iter().product();
-    let n_outer: usize = out_dims[..outer].iter().product();
-    let dst = full.data_mut();
-    let src = tile.data();
-    let mut idx = vec![0usize; outer];
-    for block in 0..n_outer {
-        let mut rem = block;
-        for (i, &d) in out_dims[..outer].iter().enumerate().rev() {
-            idx[i] = rem % d.max(1);
-            rem /= d.max(1);
-        }
-        let mut base = 0usize;
-        for (ax, (&(s, _), &stride)) in ranges.iter().zip(&strides).enumerate() {
-            let off = s + if ax < outer { idx[ax] } else { 0 };
-            base += off * stride;
-        }
-        dst[base..base + run].copy_from_slice(&src[block * run..(block + 1) * run]);
-    }
-    Ok(())
+    let mut region = slot.region_mut(&ranges);
+    region.copy_from_dense(tile.data()).map_err(Into::into)
 }
 
 /// Evaluates one (non-sliced) operator on restricted views.

@@ -16,12 +16,14 @@
 //!   auto-tuner.
 
 pub mod emit;
+pub mod engine;
 pub mod exec;
 pub mod instr;
 pub mod program;
 pub mod trace;
 
 pub use emit::emit_pseudocode;
+pub use engine::{serial_cutoff, ExecEngine, WorkerPool, MIN_PARALLEL_WORK};
 pub use exec::{execute_kernel, execute_kernel_faulted, execute_kernel_with, ExecOptions};
 pub use instr::{lower_instructions, Instr, MemSpace};
 pub use program::KernelProgram;

@@ -32,18 +32,16 @@ pub use stats::{
     PassId,
 };
 
-use crate::codegen::{
-    estimate_cost, execute_kernel_faulted, execute_kernel_with, trace_kernel, ExecOptions,
-    KernelProgram,
-};
+use crate::codegen::{estimate_cost, trace_kernel, ExecEngine, ExecOptions, KernelProgram};
 use crate::error::{Result, SfError};
 use crate::resilience::{panic_payload, Deadline, DegradationReport, FaultInjector, Rung};
 use crate::sched::SlicingOptions;
 use sf_gpu_sim::{Arch, GpuArch, KernelCost, Profiler, ProgramStats};
 use sf_ir::{Graph, ValueKind};
-use sf_tensor::Tensor;
+use sf_tensor::{ScratchPool, Tensor};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// What the compiler is allowed to fuse — SpaceFusion itself plus the
@@ -128,6 +126,11 @@ pub struct CompiledProgram {
     pub arch: GpuArch,
     /// Compilation statistics.
     pub stats: CompileStats,
+    /// The execution engine every `execute*` call runs on (inherited
+    /// from the compiling session; the process-shared engine by
+    /// default), carrying the persistent worker pool and scratch
+    /// arenas.
+    engine: Arc<ExecEngine>,
 }
 
 /// Result of profiling a compiled program on the simulator.
@@ -161,9 +164,85 @@ impl CompiledProgram {
     ) -> Result<Vec<Tensor>> {
         let mut env = bindings.clone();
         for k in &self.kernels {
-            execute_kernel_with(k, &mut env, opts)?;
+            self.engine.execute_kernel(k, &mut env, opts, None)?;
         }
         self.resolve_outputs(&env)
+    }
+
+    /// The execution engine this program runs on.
+    pub fn engine(&self) -> &Arc<ExecEngine> {
+        &self.engine
+    }
+
+    /// Executes the program over many independent binding sets — the
+    /// batched throughput path — returning each item's outputs in
+    /// input order.
+    ///
+    /// Items fan out over the engine's persistent worker pool, one item
+    /// per worker at a time; within a worker an item's kernels run
+    /// serially with the worker's pinned scratch arena (batch items
+    /// already occupy the pool, so kernels must not re-enter it).
+    /// Results are bit-identical to executing each binding set
+    /// individually at any thread count. On failure, the error of the
+    /// lowest-index failing item is returned, independent of worker
+    /// scheduling.
+    pub fn execute_many(
+        &self,
+        batches: &[HashMap<String, Tensor>],
+        opts: &ExecOptions,
+    ) -> Result<Vec<Vec<Tensor>>> {
+        let workers = opts.effective_threads().min(batches.len()).max(1);
+        if workers == 1 {
+            // Single worker: run inline, still reusing the engine's
+            // serial scratch arena via the per-kernel path.
+            return batches.iter().map(|b| self.execute_with(b, opts)).collect();
+        }
+        let results: Vec<OnceLock<Result<Vec<Tensor>>>> =
+            (0..batches.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let panicked = self
+            .engine
+            .run_batch(workers, &|pool: &mut ScratchPool| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= batches.len() {
+                    return;
+                }
+                let mut env = batches[i].clone();
+                let mut failed = None;
+                for k in &self.kernels {
+                    if let Err(e) =
+                        crate::codegen::exec::execute_kernel_pooled(k, &mut env, pool, None)
+                    {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+                let out = match failed {
+                    Some(e) => Err(e),
+                    None => self.resolve_outputs(&env),
+                };
+                // Each index is claimed exactly once, so the slot is empty.
+                let _ = results[i].set(out);
+            });
+        if panicked {
+            return Err(SfError::Internal {
+                pass: "exec:batch".into(),
+                payload: "worker panicked during batched execution".into(),
+            });
+        }
+        let mut out = Vec::with_capacity(batches.len());
+        for (i, slot) in results.into_iter().enumerate() {
+            match slot.into_inner() {
+                Some(r) => out.push(r?),
+                None => {
+                    return Err(SfError::Internal {
+                        pass: "exec:batch".into(),
+                        payload: format!("batch item {i} produced no result"),
+                    })
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Executes the program with per-kernel fault isolation: a kernel
@@ -182,7 +261,7 @@ impl CompiledProgram {
         let mut env = bindings.clone();
         let mut report = DegradationReport::default();
         for k in &self.kernels {
-            if let Err(e) = execute_kernel_faulted(k, &mut env, opts, faults) {
+            if let Err(e) = self.engine.execute_kernel(k, &mut env, opts, faults) {
                 reference_kernel(k, &mut env)?;
                 report.record(k.name.clone(), Rung::Unfused, e.to_string());
             }
@@ -430,6 +509,7 @@ pub struct CompileSession {
     sink: Arc<dyn EventSink>,
     workers: usize,
     faults: Option<Arc<FaultInjector>>,
+    engine: Arc<ExecEngine>,
 }
 
 impl CompileSession {
@@ -448,7 +528,18 @@ impl CompileSession {
             sink: Arc::new(NullSink),
             workers: default_workers(),
             faults: None,
+            engine: ExecEngine::shared(),
         }
+    }
+
+    /// Shares an explicit execution engine: programs compiled by this
+    /// session execute on its persistent worker pool and scratch
+    /// arenas. Defaults to the process-wide [`ExecEngine::shared`]
+    /// instance, so sessions already share one engine unless isolated
+    /// on purpose (as the engine's own tests are).
+    pub fn with_engine(mut self, engine: Arc<ExecEngine>) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Replaces the instrumentation sink.
@@ -500,6 +591,11 @@ impl CompileSession {
         &self.sink
     }
 
+    /// The execution engine compiled programs will run on.
+    pub fn engine(&self) -> &Arc<ExecEngine> {
+        &self.engine
+    }
+
     /// Compiles a graph into a [`CompiledProgram`] by running the full
     /// pass pipeline.
     pub fn compile(&self, graph: &Graph) -> Result<CompiledProgram> {
@@ -542,6 +638,7 @@ impl CompileSession {
             outputs: std::mem::take(&mut state.outputs),
             arch: self.arch.clone(),
             stats,
+            engine: Arc::clone(&self.engine),
         })
     }
 }

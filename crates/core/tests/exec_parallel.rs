@@ -1,16 +1,24 @@
 //! Parallel execution determinism: the multi-threaded block engine must
 //! be *bit-identical* to serial execution. Spatial blocks write disjoint
 //! output regions (Table 3 legality), so no thread count, scheduling
-//! order, or scratch-pool reuse pattern may change a single bit of any
-//! output. The whole model zoo is checked under every fusion policy and
-//! architecture at `exec-threads` ∈ {1, 2, 8}.
+//! order, scratch-pool reuse pattern, or worker-pool reuse across calls
+//! may change a single bit of any output. The whole model zoo is checked
+//! under every fusion policy and architecture at `exec-threads` ∈
+//! {1, 2, 8, max}, through both the single (`execute_with`) and batched
+//! (`execute_many`) entry points, on engines reused across hundreds of
+//! calls.
 
 use sf_gpu_sim::Arch;
 use sf_ir::Graph;
 use sf_models::subgraphs;
-use sf_tensor::assert_tensors_bitwise;
-use spacefusion::codegen::ExecOptions;
-use spacefusion::compiler::{Compiler, FusionPolicy};
+use sf_tensor::{assert_tensors_bitwise, Tensor};
+use spacefusion::codegen::{ExecEngine, ExecOptions};
+use spacefusion::compiler::{CompileOptions, Compiler, FusionPolicy};
+use spacefusion::pipeline::CompileSession;
+use spacefusion::resilience::{silence_injected_panics, FaultKind, FaultPlan, FaultStage, Rung};
+use spacefusion::FaultInjector;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Small-size zoo instances: every subgraph family from Fig. 10.
 fn zoo() -> Vec<Graph> {
@@ -48,7 +56,7 @@ fn parallel_execution_is_bit_identical_to_serial() {
                 let serial = program
                     .execute_with(&bindings, &ExecOptions::with_threads(1))
                     .unwrap_or_else(|e| panic!("{}/{arch:?}/{policy:?}: {e}", graph.name()));
-                for threads in [2usize, 8] {
+                for threads in [2usize, 8, 0] {
                     let parallel = program
                         .execute_with(&bindings, &ExecOptions::with_threads(threads))
                         .unwrap_or_else(|e| {
@@ -116,4 +124,198 @@ fn attention_allocations_reduced_by_scratch_reuse() {
         actual * 5 <= naive,
         "expected ≥5x allocation reduction: naive bound {naive}, actual {actual}"
     );
+}
+
+/// Compiles `graph` onto a private engine, so pool/counter assertions
+/// are not perturbed by concurrently running tests.
+fn compile_on(
+    graph: &Graph,
+    engine: &Arc<ExecEngine>,
+    policy: FusionPolicy,
+) -> spacefusion::CompiledProgram {
+    CompileSession::new(
+        Arch::Ampere,
+        CompileOptions {
+            policy,
+            ..Default::default()
+        },
+    )
+    .with_engine(Arc::clone(engine))
+    .compile(graph)
+    .unwrap_or_else(|e| panic!("{}: {e}", graph.name()))
+}
+
+fn assert_outputs_bitwise(label: &str, got: &[Tensor], want: &[Tensor]) {
+    assert_eq!(got.len(), want.len(), "{label}: output count");
+    for (g, w) in got.iter().zip(want) {
+        assert_tensors_bitwise(label, g, w);
+    }
+}
+
+/// A reused engine must stay bit-identical to serial no matter how many
+/// executions (sequential and batched, at shifting thread counts) have
+/// warmed its worker pool and scratch arenas. 100 sequential runs plus
+/// batched runs over every thread setting, all against the same serial
+/// reference.
+#[test]
+fn engine_reuse_stays_bit_identical_over_hundreds_of_runs() {
+    let graph = subgraphs::masked_mha(1, 2, 32, 16);
+    let engine = Arc::new(ExecEngine::new());
+    let program = compile_on(&graph, &engine, FusionPolicy::SpaceFusion);
+
+    let sets: Vec<HashMap<String, Tensor>> =
+        (0..8).map(|i| graph.random_bindings(50 + i)).collect();
+    let refs: Vec<Vec<Tensor>> = sets
+        .iter()
+        .map(|b| {
+            program
+                .execute_with(b, &ExecOptions::with_threads(1))
+                .expect("serial reference")
+        })
+        .collect();
+
+    for i in 0..100 {
+        let threads = [1usize, 2, 8, 0][i % 4];
+        let out = program
+            .execute_with(&sets[i % sets.len()], &ExecOptions::with_threads(threads))
+            .unwrap_or_else(|e| panic!("run {i} at {threads} threads: {e}"));
+        assert_outputs_bitwise(
+            &format!("sequential run {i} at {threads} threads"),
+            &out,
+            &refs[i % sets.len()],
+        );
+    }
+
+    for threads in [1usize, 2, 8, 0] {
+        let outs = program
+            .execute_many(&sets, &ExecOptions::with_threads(threads))
+            .unwrap_or_else(|e| panic!("batched at {threads} threads: {e}"));
+        assert_eq!(outs.len(), sets.len());
+        for (i, (out, want)) in outs.iter().zip(&refs).enumerate() {
+            assert_outputs_bitwise(&format!("batched item {i} at {threads} threads"), out, want);
+        }
+    }
+}
+
+/// A worker crash inside the pool must not kill the pool: the crashed
+/// kernel falls back to the reference interpreter (resilience ladder),
+/// and the *same* engine keeps executing parallel kernels correctly
+/// afterwards without respawning threads.
+#[test]
+fn pool_survives_worker_crash_and_keeps_executing() {
+    silence_injected_panics();
+    // Large enough to clear the serial cutoff so the crash happens on a
+    // real pool worker, not the inline serial path.
+    let graph = subgraphs::softmax(128, 256);
+    let engine = Arc::new(ExecEngine::new());
+    let program = compile_on(&graph, &engine, FusionPolicy::SpaceFusion);
+    let bindings = graph.random_bindings(3);
+    let want = program
+        .execute_with(&bindings, &ExecOptions::with_threads(1))
+        .expect("serial reference");
+
+    let opts = ExecOptions::with_threads(2);
+    let dispatches_before = engine.dispatches();
+    program.execute_with(&bindings, &opts).expect("warm-up");
+    assert!(
+        engine.dispatches() > dispatches_before,
+        "workload must be large enough to dispatch to the pool"
+    );
+    let workers = engine.pool_workers();
+    assert!(workers >= 2, "pool must have spawned workers");
+
+    let inj = FaultInjector::new(FaultPlan::single(
+        FaultStage::ExecBlock,
+        FaultKind::CrashWorker,
+    ));
+    let (got, report) = program
+        .execute_resilient(&bindings, &opts, Some(&inj))
+        .expect("crashed kernel must fall back, not abort");
+    assert_eq!(inj.fired().len(), 1, "the injected crash must fire");
+    assert_eq!(report.len(), 1, "{}", report.render());
+    assert_eq!(report.steps[0].rung, Rung::Unfused);
+    assert_outputs_bitwise("fallback output", &got, &want);
+
+    // The pool survived: same worker threads, and parallel execution on
+    // this engine is still bit-identical.
+    assert_eq!(
+        engine.pool_workers(),
+        workers,
+        "crash must not kill or respawn pool threads"
+    );
+    for _ in 0..3 {
+        let again = program
+            .execute_with(&bindings, &opts)
+            .expect("pool must stay usable after a crash");
+        assert_outputs_bitwise("post-crash run", &again, &want);
+    }
+}
+
+/// Cross-call scratch reuse: once the engine is warm, repeated
+/// executions must serve at least 90% of scratch-buffer requests from
+/// recycled storage (the pools are pinned to the engine and its worker
+/// threads, so buffers survive between calls).
+#[test]
+fn warm_engine_reuses_at_least_90_percent_of_scratch() {
+    let graph = subgraphs::mha(1, 4, 64, 32);
+    let engine = Arc::new(ExecEngine::new());
+    let program = compile_on(&graph, &engine, FusionPolicy::SpaceFusion);
+    let bindings = graph.random_bindings(11);
+
+    // Warm-up: first calls populate the arenas (their misses are the
+    // allocations being amortized).
+    for threads in [1usize, 2] {
+        program
+            .execute_with(&bindings, &ExecOptions::with_threads(threads))
+            .expect("warm-up");
+    }
+
+    let hits0 = sf_tensor::alloc_stats::pool_hits();
+    let misses0 = sf_tensor::alloc_stats::pool_misses();
+    for i in 0..50 {
+        let threads = [1usize, 2][i % 2];
+        program
+            .execute_with(&bindings, &ExecOptions::with_threads(threads))
+            .expect("measured run");
+    }
+    let hits = sf_tensor::alloc_stats::pool_hits() - hits0;
+    let misses = sf_tensor::alloc_stats::pool_misses() - misses0;
+    let total = hits + misses;
+    assert!(total > 0, "runs must go through the scratch pools");
+    let ratio = hits as f64 / total as f64;
+    assert!(
+        ratio >= 0.90,
+        "cross-call scratch reuse {ratio:.3} below 90% ({hits} hits / {misses} misses)"
+    );
+}
+
+/// The serial cutoff routes tiny kernels (single-row decode) away from
+/// the pool even at high thread counts, while large kernels dispatch.
+#[test]
+fn tiny_kernels_run_serially_large_kernels_dispatch() {
+    let engine = Arc::new(ExecEngine::new());
+
+    // mha_decode: one query row — far below the cutoff.
+    let tiny = subgraphs::mha_decode(1, 2, 64, 16);
+    let program = compile_on(&tiny, &engine, FusionPolicy::SpaceFusion);
+    let bindings = tiny.random_bindings(9);
+    program
+        .execute_with(&bindings, &ExecOptions::with_threads(8))
+        .expect("tiny kernel");
+    assert_eq!(
+        engine.dispatches(),
+        0,
+        "decode must stay on the serial path"
+    );
+    assert!(engine.serial_runs() > 0);
+    assert_eq!(engine.pool_workers(), 0, "no threads for serial work");
+
+    // A big softmax clears the cutoff and dispatches.
+    let big = subgraphs::softmax(256, 256);
+    let program = compile_on(&big, &engine, FusionPolicy::SpaceFusion);
+    let bindings = big.random_bindings(9);
+    program
+        .execute_with(&bindings, &ExecOptions::with_threads(2))
+        .expect("big kernel");
+    assert!(engine.dispatches() > 0, "big kernel must use the pool");
 }

@@ -179,8 +179,13 @@ pub fn derive_tolerance(graph: &Graph) -> Tolerance {
 
 /// Runs the differential oracle on one graph.
 pub fn run_oracle(graph: &Graph, opts: &OracleOptions) -> OracleReport {
-    use spacefusion::codegen::ExecOptions;
+    use spacefusion::codegen::{ExecEngine, ExecOptions};
 
+    // One persistent engine for every policy and thread count in this
+    // oracle run: warm pool threads and scratch arenas are reused
+    // across candidates, and the comparisons double as a check that a
+    // reused engine stays bit-identical to a fresh one.
+    let engine = ExecEngine::shared();
     let mut report = OracleReport::default();
     let bindings = graph.random_bindings(opts.binding_seed);
     let reference = match graph.execute(&bindings) {
@@ -209,7 +214,7 @@ pub fn run_oracle(graph: &Graph, opts: &OracleOptions) -> OracleReport {
         if policy == FusionPolicy::TileGraph {
             copts.slicing.enable_uta = false;
         }
-        let session = CompileSession::new(opts.arch, copts);
+        let session = CompileSession::new(opts.arch, copts).with_engine(engine.clone());
         let program = match session.compile(graph) {
             Ok(p) => p,
             Err(e) => {

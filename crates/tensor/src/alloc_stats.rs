@@ -1,4 +1,4 @@
-//! Process-wide tensor-allocation counter.
+//! Process-wide tensor-allocation counters.
 //!
 //! Counts *fresh data-buffer acquisitions*: tensor constructors that
 //! materialize a new `Vec<f32>` ([`Tensor::zeros`](crate::Tensor::zeros),
@@ -9,16 +9,38 @@
 //! benchmarks use to show that the execution engine recycles buffers
 //! instead of allocating per block/tile.
 //!
+//! A second pair of counters tracks recycling-enabled pools only:
+//! [`pool_hits`] (a `take` served from recycled storage) and
+//! [`pool_misses`] (a `take` that had to allocate). Because the
+//! execution engine's worker pools now persist across
+//! `execute_kernel_with` calls, the hit ratio measures *cross-call*
+//! scratch reuse: after a warm-up execution, repeated executions should
+//! serve ≥90% of takes from recycled buffers.
+//!
 //! `Tensor::from_data` adopts a caller-provided buffer and is *not*
 //! counted; buffers produced by a pool are counted once, at `take` time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Records one fresh buffer allocation (crate-internal).
 pub(crate) fn record_alloc() {
     ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one pooled `take` served from recycled storage
+/// (crate-internal).
+pub(crate) fn record_pool_hit() {
+    POOL_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one pooled `take` that had to allocate fresh storage
+/// (crate-internal; disabled pools do not count as misses).
+pub(crate) fn record_pool_miss() {
+    POOL_MISSES.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Number of fresh tensor-buffer allocations since the last
@@ -27,9 +49,39 @@ pub fn allocations() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
 
+/// Number of pooled takes served from recycled storage since the last
+/// [`reset_pool_stats`].
+pub fn pool_hits() -> u64 {
+    POOL_HITS.load(Ordering::Relaxed)
+}
+
+/// Number of pooled takes that allocated fresh storage since the last
+/// [`reset_pool_stats`].
+pub fn pool_misses() -> u64 {
+    POOL_MISSES.load(Ordering::Relaxed)
+}
+
+/// Fraction of pooled takes served from recycled storage; `1.0` when
+/// no pooled take has happened yet.
+pub fn pool_reuse_ratio() -> f64 {
+    let hits = pool_hits();
+    let total = hits + pool_misses();
+    if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
 /// Resets the allocation counter to zero.
 pub fn reset_allocations() {
     ALLOCS.store(0, Ordering::Relaxed);
+}
+
+/// Resets the pool hit/miss counters to zero.
+pub fn reset_pool_stats() {
+    POOL_HITS.store(0, Ordering::Relaxed);
+    POOL_MISSES.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]

@@ -32,4 +32,4 @@ pub use error::{Result, TensorError};
 pub use scratch::ScratchPool;
 pub use shape::Shape;
 pub use tensor::Tensor;
-pub use view::TensorView;
+pub use view::{TensorView, TensorViewMut};

@@ -10,6 +10,16 @@
 //! Floating-point evaluation order is identical to the historical dense
 //! implementations (row-major element order, `i/j/k` GEMM loop nest),
 //! which keeps pooled, viewed, and dense execution bit-identical.
+//!
+//! Contiguous operands take stride-1 fast paths: slice-to-slice loops
+//! for element-wise ops, an order-preserving 4-wide unrolled inner loop
+//! for reductions and dot products, and a cache-friendly `i/k/j` loop
+//! for the untransposed GEMM. Every fast path performs the *same*
+//! floating-point operations in the *same* order as the generic strided
+//! path (unrolling only batches loop control, never reassociates), so
+//! which path runs is unobservable in the results — the engine's
+//! bit-identical-at-every-thread-count invariant does not depend on
+//! contiguity being deterministic, though it is.
 
 use super::{BinaryOp, ReduceOp, UnaryOp};
 use crate::error::{Result, TensorError};
@@ -68,6 +78,19 @@ pub fn binary(
     let out_shape = a.shape().broadcast_with(b.shape())?;
     let rank = out_shape.rank();
     let volume = out_shape.volume();
+
+    // Fast path: same shape, both contiguous — one zip loop, no index
+    // arithmetic. Element-wise, so per-element order is unchanged.
+    if a.dims() == b.dims() {
+        if let (Some(xs), Some(ys)) = (a.as_slice(), b.as_slice()) {
+            let mut data = pool.take(volume);
+            for ((slot, &x), &y) in data.iter_mut().zip(xs).zip(ys) {
+                *slot = op.eval(x, y);
+            }
+            return Ok(Tensor::from_data(out_shape, a.dtype(), data).expect("volume matches"));
+        }
+    }
+
     let out_strides = out_shape.strides();
     let a_strides = masked_strides(a, &out_shape);
     let b_strides = masked_strides(b, &out_shape);
@@ -103,6 +126,7 @@ pub fn reduce(op: ReduceOp, x: &TensorView, dim: usize, pool: &mut ScratchPool) 
     let in_strides = x.strides();
     let xd = x.data();
 
+    let stride1 = in_strides[dim] == 1;
     let mut out = pool.take(out_volume);
     for (out_lin, slot) in out.iter_mut().enumerate() {
         // Decode the output index, then walk the reduced dimension.
@@ -114,8 +138,26 @@ pub fn reduce(op: ReduceOp, x: &TensorView, dim: usize, pool: &mut ScratchPool) 
             base += idx * in_strides[d];
         }
         let mut acc = op.identity();
-        for r in 0..extent {
-            acc = op.combine(acc, xd[base + r * in_strides[dim]]);
+        if stride1 {
+            // Stride-1 fast path: fold over the contiguous run, 4-wide
+            // unrolled. The combine chain is sequential left-to-right —
+            // identical order to the strided loop below, so the result
+            // is bit-identical.
+            let run = &xd[base..base + extent];
+            let mut chunks = run.chunks_exact(4);
+            for c in &mut chunks {
+                acc = op.combine(acc, c[0]);
+                acc = op.combine(acc, c[1]);
+                acc = op.combine(acc, c[2]);
+                acc = op.combine(acc, c[3]);
+            }
+            for &v in chunks.remainder() {
+                acc = op.combine(acc, v);
+            }
+        } else {
+            for r in 0..extent {
+                acc = op.combine(acc, xd[base + r * in_strides[dim]]);
+            }
         }
         *slot = op.finalize(acc, extent);
     }
@@ -197,18 +239,60 @@ pub fn matmul(
     let ad = a.data();
     let bd = b.data();
     let mut out = pool.take(m * n);
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f32;
-            for kk in 0..k {
-                let bv = if transpose_b {
-                    bd[j * bs0 + kk * bs1]
-                } else {
-                    bd[kk * bs0 + j * bs1]
-                };
-                acc += ad[i * as0 + kk * as1] * bv;
+    if transpose_b && as1 == 1 && bs1 == 1 && k > 0 {
+        // Row-dot fast path: both operand rows are stride-1 slices, so
+        // each output is a bounds-check-free dot product, 4-wide
+        // unrolled with a single sequential accumulator (same add order
+        // as the generic loop).
+        for i in 0..m {
+            let arow = &ad[i * as0..i * as0 + k];
+            for j in 0..n {
+                let brow = &bd[j * bs0..j * bs0 + k];
+                let mut acc = 0.0f32;
+                let mut ac = arow.chunks_exact(4);
+                let mut bc = brow.chunks_exact(4);
+                for (ca, cb) in (&mut ac).zip(&mut bc) {
+                    acc += ca[0] * cb[0];
+                    acc += ca[1] * cb[1];
+                    acc += ca[2] * cb[2];
+                    acc += ca[3] * cb[3];
+                }
+                for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+                    acc += x * y;
+                }
+                out[i * n + j] = acc;
             }
-            out[i * n + j] = acc;
+        }
+    } else if !transpose_b && bs1 == 1 && n > 0 {
+        // `i/k/j` fast path: walk B by stride-1 rows, accumulating into
+        // the (zero-initialized) output row. For a fixed (i, j) the
+        // additions still happen in ascending-k order starting from
+        // zero — exactly the generic loop's order — so results are
+        // bit-identical while B is now read cache-friendly.
+        for i in 0..m {
+            let orow = &mut out[i * n..(i + 1) * n];
+            for kk in 0..k {
+                let av = ad[i * as0 + kk * as1];
+                let brow = &bd[kk * bs0..kk * bs0 + n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    } else {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    let bv = if transpose_b {
+                        bd[j * bs0 + kk * bs1]
+                    } else {
+                        bd[kk * bs0 + j * bs1]
+                    };
+                    acc += ad[i * as0 + kk * as1] * bv;
+                }
+                out[i * n + j] = acc;
+            }
         }
     }
     Tensor::from_data(Shape::new(vec![m, n]), a.dtype(), out)

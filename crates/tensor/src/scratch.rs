@@ -83,10 +83,12 @@ impl ScratchPool {
             if let Some(pos) = pos {
                 let mut buf = self.free.swap_remove(pos);
                 self.hits += 1;
+                crate::alloc_stats::record_pool_hit();
                 buf.clear();
                 buf.resize(volume, 0.0);
                 return buf;
             }
+            crate::alloc_stats::record_pool_miss();
         }
         crate::alloc_stats::record_alloc();
         vec![0.0; volume]

@@ -6,8 +6,12 @@
 //! every block/tile extraction, so restricting a value to a spatial or
 //! temporal block is O(1) instead of an O(volume) clone.
 //!
-//! Views are read-only; writes go back through
-//! [`Tensor::data_mut`] (the interpreter's `scatter`).
+//! [`TensorViewMut`] is the write-side counterpart: a mutable strided
+//! view of externally-owned storage. The parallel executor pre-partitions
+//! each output tensor into disjoint per-block regions and hands every
+//! worker its own `TensorViewMut`, so block results scatter into the
+//! shared output without any lock — spatial blocks write disjoint
+//! regions by the slicer's Table-3 legality guarantee.
 
 use crate::dtype::DType;
 use crate::error::{Result, TensorError};
@@ -185,6 +189,141 @@ impl<'a> TensorView<'a> {
     }
 }
 
+/// A mutable, possibly strided, rectangular view of externally-owned
+/// `f32` storage.
+///
+/// Unlike [`TensorView`] this is built from a raw pointer so that many
+/// disjoint views of the *same* tensor can be held by different worker
+/// threads at once (the borrow checker cannot express "disjoint strided
+/// regions"). Disjointness is the constructor's safety contract.
+///
+/// # Examples
+///
+/// ```
+/// use sf_tensor::{DType, Shape, Tensor};
+/// let mut t = Tensor::zeros(Shape::new(vec![2, 3]), DType::F32);
+/// let mut v = t.view_mut();
+/// v.copy_from_dense(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+/// assert_eq!(t.data(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+/// ```
+#[derive(Debug)]
+pub struct TensorViewMut<'a> {
+    /// Base of the view's region.
+    data: *mut f32,
+    /// Addressable elements from `data` (bounds checking).
+    len: usize,
+    /// View shape.
+    shape: Shape,
+    /// Strides into `data` (elements), one per view dimension.
+    strides: Vec<usize>,
+    _owner: std::marker::PhantomData<&'a mut [f32]>,
+}
+
+// Safety: a TensorViewMut is an exclusive handle on the region its
+// shape/strides address (constructor contract); sending it to another
+// thread transfers that exclusivity.
+unsafe impl Send for TensorViewMut<'_> {}
+
+impl<'a> TensorViewMut<'a> {
+    /// Builds a mutable view over raw storage.
+    ///
+    /// # Safety
+    ///
+    /// * `data .. data + len` must be valid for reads and writes for the
+    ///   lifetime `'a`.
+    /// * Every element addressed by `shape`/`strides` must fall inside
+    ///   `len`.
+    /// * No other live reference or view may alias any element this view
+    ///   addresses (disjoint regions of one buffer are fine).
+    pub unsafe fn from_raw_parts(
+        data: *mut f32,
+        len: usize,
+        shape: Shape,
+        strides: Vec<usize>,
+    ) -> Self {
+        TensorViewMut {
+            data,
+            len,
+            shape,
+            strides,
+            _owner: std::marker::PhantomData,
+        }
+    }
+
+    /// The view's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The view's dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.shape.volume()
+    }
+
+    /// Copies a dense row-major buffer (`src.len() == volume`) into the
+    /// strided destination region.
+    ///
+    /// The destination decomposes into contiguous runs — the maximal
+    /// dense suffix of the view's axes — which are copied
+    /// slice-to-slice; this is the executor's output scatter.
+    pub fn copy_from_dense(&mut self, src: &[f32]) -> Result<()> {
+        let dims = self.shape.dims().to_vec();
+        let volume = self.volume();
+        if src.len() != volume {
+            return Err(TensorError::InvalidShape(format!(
+                "copy_from_dense: source length {} != view volume {volume}",
+                src.len()
+            )));
+        }
+        if volume == 0 {
+            return Ok(());
+        }
+        // Maximal suffix of axes over which the destination is dense:
+        // stride equals the product of the region extents below it.
+        let mut run = 1usize;
+        let mut split = dims.len();
+        while split > 0 {
+            let ax = split - 1;
+            if dims[ax] != 1 && self.strides[ax] != run {
+                break;
+            }
+            run *= dims[ax];
+            split -= 1;
+        }
+        let n_outer: usize = dims[..split].iter().product();
+        let mut idx = vec![0usize; split];
+        for block in 0..n_outer {
+            let mut rem = block;
+            for (i, &d) in dims[..split].iter().enumerate().rev() {
+                idx[i] = rem % d;
+                rem /= d;
+            }
+            let off: usize = idx
+                .iter()
+                .zip(&self.strides[..split])
+                .map(|(&i, &s)| i * s)
+                .sum();
+            debug_assert!(off + run <= self.len, "run escapes the view's storage");
+            // Safety: offsets produced by the view's strides address
+            // within `len` (constructor contract), and `src` cannot
+            // overlap the exclusively-held destination.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    src.as_ptr().add(block * run),
+                    self.data.add(off),
+                    run,
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
 impl Tensor {
     /// A zero-copy view of the whole tensor.
     pub fn view(&self) -> TensorView<'_> {
@@ -215,6 +354,17 @@ impl Tensor {
     /// A zero-copy view restricted to per-axis `[start, end)` ranges.
     pub fn slice(&self, ranges: &[(usize, usize)]) -> Result<TensorView<'_>> {
         self.view().slice(ranges)
+    }
+
+    /// A mutable view of the whole tensor.
+    pub fn view_mut(&mut self) -> TensorViewMut<'_> {
+        let shape = self.shape().clone();
+        let strides = shape.strides();
+        let data = self.data_mut();
+        let len = data.len();
+        // Safety: the view borrows `self` mutably for its lifetime, so
+        // it is the only handle on the storage.
+        unsafe { TensorViewMut::from_raw_parts(data.as_mut_ptr(), len, shape, strides) }
     }
 }
 
@@ -271,6 +421,57 @@ mod tests {
         let v = x.view_reshaped(Shape::new(vec![3, 4])).unwrap();
         assert_eq!(v.to_tensor(), x.reshape(Shape::new(vec![3, 4])).unwrap());
         assert!(x.view_reshaped(Shape::new(vec![5])).is_err());
+    }
+
+    #[test]
+    fn view_mut_copies_strided_regions() {
+        // Write the two column halves of a 4x4 through disjoint views.
+        let mut x = t(vec![4, 4], vec![0.0; 16]);
+        let strides = x.shape().strides();
+        let len = x.data().len();
+        let base = x.data_mut().as_mut_ptr();
+        // Safety: the two regions ([0..4, 0..2) and [0..4, 2..4)) are
+        // disjoint; `x` is not otherwise touched while they live.
+        let mut left = unsafe {
+            TensorViewMut::from_raw_parts(base, len, Shape::new(vec![4, 2]), strides.clone())
+        };
+        let mut right = unsafe {
+            TensorViewMut::from_raw_parts(base.add(2), len - 2, Shape::new(vec![4, 2]), strides)
+        };
+        left.copy_from_dense(&[1.0; 8]).unwrap();
+        right.copy_from_dense(&[2.0; 8]).unwrap();
+        drop((left, right));
+        for r in 0..4 {
+            assert_eq!(&x.data()[r * 4..r * 4 + 4], &[1.0, 1.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn view_mut_validates_source_length() {
+        let mut x = t(vec![2, 2], vec![0.0; 4]);
+        assert!(x.view_mut().copy_from_dense(&[0.0; 3]).is_err());
+        assert!(x.view_mut().copy_from_dense(&[9.0; 4]).is_ok());
+        assert_eq!(x.data(), &[9.0; 4]);
+    }
+
+    #[test]
+    fn view_mut_dense_suffix_is_one_run_for_row_regions() {
+        // A row slab [1..3, 0..3) of a 4x3 tensor is fully dense: one
+        // contiguous run.
+        let mut x = t(vec![4, 3], vec![0.0; 12]);
+        let strides = x.shape().strides();
+        let len = x.data().len();
+        let base = x.data_mut().as_mut_ptr();
+        let mut rows = unsafe {
+            TensorViewMut::from_raw_parts(base.add(3), len - 3, Shape::new(vec![2, 3]), strides)
+        };
+        rows.copy_from_dense(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .unwrap();
+        drop(rows);
+        assert_eq!(
+            x.data(),
+            &[0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.0, 0.0, 0.0]
+        );
     }
 
     #[test]

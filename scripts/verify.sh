@@ -19,8 +19,11 @@ cargo test -q --workspace
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> exec_bench perf smoke (parallel blocks vs serial, 10% tolerance)"
-./target/release/exec_bench --quick --gate --out target/BENCH_exec.json
+echo "==> exec_bench perf smoke + zoo determinism at --exec-threads max"
+# --gate enforces both the 10% aggregate tolerance and the per-workload
+# 0.95x floor; the bench itself asserts bitwise serial/parallel/batched
+# equality over the zoo before timing anything.
+./target/release/exec_bench --quick --gate --exec-threads max --out target/BENCH_exec.json
 
 echo "==> sfc lint (golden-clean gate over examples/graphs)"
 for f in examples/graphs/*.sfg; do
