@@ -247,6 +247,20 @@ pub fn lint_report(graph: &Graph, o: &LintOptions) -> Result<(String, bool), Str
             "  \"degradations\": {},",
             program.stats.degradations.len()
         );
+        let _ = writeln!(
+            out,
+            "  \"lockfree_proven\": {},",
+            program
+                .kernels
+                .iter()
+                .filter(|k| k.disjoint.is_proven())
+                .count()
+        );
+        let _ = writeln!(
+            out,
+            "  \"serial_fallbacks\": {},",
+            program.stats.lockfree_fallbacks.len()
+        );
         let _ = writeln!(out, "  \"clean\": {clean},");
         let _ = writeln!(out, "  \"diagnostics\": [");
         for (i, d) in diags.iter().enumerate() {
@@ -277,6 +291,19 @@ pub fn lint_report(graph: &Graph, o: &LintOptions) -> Result<(String, bool), Str
     );
     for step in &program.stats.degradations {
         let _ = writeln!(out, "degraded {}", step.render());
+    }
+    let proven = program
+        .kernels
+        .iter()
+        .filter(|k| k.disjoint.is_proven())
+        .count();
+    let _ = writeln!(
+        out,
+        "disjointness: {proven}/{} kernel(s) proven lock-free",
+        program.kernels.len()
+    );
+    for (kernel, reason) in &program.stats.lockfree_fallbacks {
+        let _ = writeln!(out, "serial-fallback {kernel}: {reason}");
     }
     if diags.is_empty() {
         let _ = writeln!(out, "clean: no diagnostics");
@@ -566,6 +593,9 @@ pub fn compile_report(graph: &Graph, o: &Options) -> Result<String, String> {
     }
     for step in &program.stats.degradations {
         let _ = writeln!(out, "  degraded {}", step.render());
+    }
+    for (kernel, reason) in &program.stats.lockfree_fallbacks {
+        let _ = writeln!(out, "  serial-fallback {kernel}: {reason}");
     }
 
     if o.timings {

@@ -25,6 +25,13 @@
 //! of killing the thread: the pool survives and stays usable for the
 //! next call (the resilience layer's interpreter fallback depends on
 //! this).
+//!
+//! The condvar/epoch protocol of [`WorkerPool::run`] / `worker_loop` is
+//! model-checked exhaustively in `crates/core/tests/pool_protocol.rs`:
+//! every interleaving of 2 workers × 2 jobs over the slot-claim state
+//! machine is enumerated, asserting no lost wakeups, no epoch reuse,
+//! and drain-before-return. **Any change to the claim or completion
+//! logic here must be mirrored in that model.**
 
 use sf_tensor::ScratchPool;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,8 +77,11 @@ struct Job {
     epoch: u64,
 }
 
-// The raw task pointer crosses threads inside the mutex; the run
-// protocol (submitter outlives the job) makes that sound.
+// SAFETY: the raw task pointer crosses threads only inside the pool
+// mutex, and the blocking-submit drain (`WorkerPool::run` waits for
+// `taken == slots && active == 0`) guarantees the pointee outlives every
+// worker's use; the pointee itself is `Sync`, so shared calls from
+// several workers are fine.
 unsafe impl Send for Job {}
 
 struct PoolState {
@@ -142,7 +152,15 @@ impl WorkerPool {
     /// atomic index over blocks/items) until empty.
     pub fn run(&self, workers: usize, task: &(dyn Fn(&mut ScratchPool) + Sync)) -> bool {
         let workers = workers.max(1);
-        // Erase the borrow; see `RawTask` for why this is sound.
+        // SAFETY: the transmute only erases the closure's borrow
+        // lifetime (`'_` → `'static`); no other part of the type
+        // changes. The erased pointer is dereferenced exclusively by
+        // workers that claimed a slot of this job, and this function
+        // does not return before every claimed slot has drained
+        // (`taken == slots && active == 0` below), so `task`'s stack
+        // frame strictly outlives every dereference. The pool-protocol
+        // model check (tests/pool_protocol.rs) verifies the drain holds
+        // under every 2-worker × 2-job interleaving.
         let raw: RawTask = unsafe {
             std::mem::transmute::<
                 *const (dyn Fn(&mut ScratchPool) + Sync + '_),
@@ -290,6 +308,9 @@ pub struct ExecEngine {
     dispatches: AtomicU64,
     serial_runs: AtomicU64,
     batches: AtomicU64,
+    /// Kernels denied the lock-free path because their disjointness
+    /// proof failed (`RACE505` or worse); they ran serially instead.
+    race_fallbacks: AtomicU64,
 }
 
 impl Default for ExecEngine {
@@ -305,6 +326,7 @@ impl std::fmt::Debug for ExecEngine {
             .field("dispatches", &self.dispatches())
             .field("serial_runs", &self.serial_runs())
             .field("batches", &self.batches())
+            .field("race_fallbacks", &self.race_fallbacks())
             .finish()
     }
 }
@@ -318,6 +340,7 @@ impl ExecEngine {
             dispatches: AtomicU64::new(0),
             serial_runs: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            race_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -344,6 +367,17 @@ impl ExecEngine {
     /// `execute_many` batches dispatched to the pool.
     pub fn batches(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Kernels forced onto the serial path by a failed disjointness
+    /// proof (see [`crate::verify::races::DisjointProof`]).
+    pub fn race_fallbacks(&self) -> u64 {
+        self.race_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Records one prover-gated serial fallback.
+    pub(crate) fn note_race_fallback(&self) {
+        self.race_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Worker threads currently alive in the pool.

@@ -149,6 +149,12 @@ struct OutputSlot {
 // views (asserted in debug builds); the tensor itself is only moved
 // out after every worker has finished.
 unsafe impl Send for OutputSlot {}
+// SAFETY: shared access is read-only metadata plus `region_mut`, whose
+// handed-out views are pairwise disjoint — proven statically per kernel
+// by `verify::races::prove_disjoint` (kernels it cannot prove run on
+// the serial path) and re-checked dynamically by the debug claim
+// bitmap. No `&self` method forms a second reference to a region in
+// flight.
 unsafe impl Sync for OutputSlot {}
 
 impl OutputSlot {
@@ -156,8 +162,9 @@ impl OutputSlot {
         let len = tensor.shape().volume();
         let strides = tensor.shape().strides();
         let cell = UnsafeCell::new(tensor);
-        // Capture the data pointer once, while we still have exclusive
-        // access; every region view derives from it.
+        // SAFETY: the slot was just constructed, so `cell` is exclusively
+        // owned here — capturing the data pointer cannot race. Every
+        // later region view derives from this one base pointer.
         let base = unsafe { (*cell.get()).data_mut().as_mut_ptr() };
         OutputSlot {
             value,
@@ -290,6 +297,17 @@ impl ExecEngine {
             .iter()
             .map(|&o| kp.graph.shape(o).volume())
             .sum();
+        if !kp.disjoint.is_proven() {
+            // The static prover could not discharge Table-3 disjointness
+            // for this kernel (RACE505 or worse), so the lock-free
+            // fan-out is not justified: fall back to the serial path,
+            // where block writes are ordered by program order and the
+            // region hand-out is trivially sound. Results stay
+            // bit-identical — the serial path runs the same blocks in
+            // the same deterministic order.
+            self.note_race_fallback();
+            return self.with_serial_scratch(|pool| execute_kernel_pooled(kp, env, pool, faults));
+        }
         if workers == 1 || serial_cutoff(blocks.len(), total_work) {
             return self.with_serial_scratch(|pool| execute_kernel_pooled(kp, env, pool, faults));
         }

@@ -17,6 +17,7 @@
 use super::program::KernelProgram;
 use crate::sched::{MemLevel, OpRole};
 use crate::slicer::AggKind;
+use crate::smg::DimId;
 use sf_ir::{OpId, ValueId, ValueKind};
 
 /// Where an operand access lands in the memory hierarchy.
@@ -28,6 +29,47 @@ pub enum MemSpace {
     Shared,
     /// Registers (private to one thread).
     Register,
+}
+
+/// Symbolic write interval of one stored-output axis as a function of
+/// the spatial block index — the region algebra of the disjoint-write
+/// prover ([`crate::verify::races`], DESIGN.md §3h).
+///
+/// The forms mirror exactly what the interpreter's scatter does
+/// (`restricted_ranges` in [`exec`](super::exec)): an axis aligned to a
+/// spatially restricted dimension with matching extent receives the
+/// block's tile, every other axis is written in full by every block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxisWrite {
+    /// Block `i` along `dim` writes `[i*block, min(i*block + span, clamp))`
+    /// of an axis whose storage extent is `extent`.
+    ///
+    /// The lowering always emits `span == block` and
+    /// `clamp == extent == smg.extent(dim)`; the prover re-checks those
+    /// equalities rather than assuming them, so a corrupted stream (or a
+    /// seeded mutation) is caught instead of trusted.
+    Tiled {
+        /// The partitioned global dimension.
+        dim: DimId,
+        /// Tile stride: block `i` starts at `i * block`.
+        block: usize,
+        /// Tile width actually written from the start offset.
+        span: usize,
+        /// Upper clamp applied to the tile end (the partitioned extent).
+        clamp: usize,
+        /// Declared storage extent of the axis.
+        extent: usize,
+    },
+    /// Every block writes the whole axis `[0, extent)`. Harmless only
+    /// when no other block coordinate varies, or when some *other* axis
+    /// of the same store is tiled on every multi-block dimension.
+    Full {
+        /// Declared storage extent of the axis.
+        extent: usize,
+    },
+    /// The axis cannot be expressed in the affine form (broken
+    /// axis↔dimension alignment metadata). Forces `RACE505`.
+    Opaque,
 }
 
 /// One instruction of the lowered kernel.
@@ -72,7 +114,47 @@ pub enum Instr {
     Store {
         /// The stored output value.
         value: ValueId,
+        /// Per-axis symbolic write footprint in the spatial block index.
+        region: Vec<AxisWrite>,
     },
+}
+
+/// Symbolic write footprint of storing `v` under `kp`'s schedule.
+///
+/// Derivation mirrors the interpreter's `restricted_ranges`: an axis is
+/// tiled iff its declared extent equals the global extent of the dimension
+/// it is aligned to *and* that dimension is spatially restricted;
+/// otherwise the whole axis is written by every block. Broken alignment
+/// metadata (rank mismatch, dangling dimension ids) degrades to
+/// [`AxisWrite::Opaque`], which the prover reports as `RACE505`.
+pub fn store_region(kp: &KernelProgram, v: ValueId) -> Vec<AxisWrite> {
+    let s = &kp.schedule;
+    let dims = kp.graph.shape(v).dims().to_vec();
+    let axes = match s.smg.value_axes.get(v.0) {
+        Some(a) if a.len() == dims.len() => a,
+        _ => return vec![AxisWrite::Opaque; dims.len().max(1)],
+    };
+    dims.iter()
+        .zip(axes)
+        .map(|(&e, &d)| {
+            if d.0 >= s.smg.dims.len() {
+                return AxisWrite::Opaque;
+            }
+            let extent_d = s.smg.extent(d);
+            if e == extent_d {
+                if let Some(&(_, b)) = s.spatial.iter().find(|&&(rd, _)| rd == d) {
+                    return AxisWrite::Tiled {
+                        dim: d,
+                        block: b,
+                        span: b,
+                        clamp: extent_d,
+                        extent: e,
+                    };
+                }
+            }
+            AxisWrite::Full { extent: e }
+        })
+        .collect()
 }
 
 /// Memory space an operand of `kp` is read from.
@@ -186,7 +268,10 @@ pub fn lower_instructions(kp: &KernelProgram) -> Vec<Instr> {
                 push_compute(kp, &mut out, oi);
             }
             for &o in g.outputs() {
-                out.push(Instr::Store { value: o });
+                out.push(Instr::Store {
+                    value: o,
+                    region: store_region(kp, o),
+                });
             }
         }
         Some(t) => {
@@ -215,14 +300,20 @@ pub fn lower_instructions(kp: &KernelProgram) -> Vec<Instr> {
                 }
                 for &o in g.outputs() {
                     if s.smg.value_has_dim(g, o, t.plan.dim) {
-                        out.push(Instr::Store { value: o });
+                        out.push(Instr::Store {
+                            value: o,
+                            region: store_region(kp, o),
+                        });
                     }
                 }
                 out.push(Instr::LoopEnd { phase: 2 });
             }
             for &o in g.outputs() {
                 if !s.smg.value_has_dim(g, o, t.plan.dim) {
-                    out.push(Instr::Store { value: o });
+                    out.push(Instr::Store {
+                        value: o,
+                        region: store_region(kp, o),
+                    });
                 }
             }
         }

@@ -25,6 +25,6 @@ pub mod trace;
 pub use emit::emit_pseudocode;
 pub use engine::{serial_cutoff, ExecEngine, WorkerPool, MIN_PARALLEL_WORK};
 pub use exec::{execute_kernel, execute_kernel_faulted, execute_kernel_with, ExecOptions};
-pub use instr::{lower_instructions, Instr, MemSpace};
+pub use instr::{lower_instructions, store_region, AxisWrite, Instr, MemSpace};
 pub use program::KernelProgram;
 pub use trace::{estimate_cost, trace_kernel};

@@ -1,6 +1,7 @@
 //! The lowered kernel representation.
 
 use crate::sched::{op_roles, FusedSchedule, OpRole};
+use crate::verify::races::{prove_disjoint, DisjointProof};
 use sf_ir::{Graph, ValueId};
 
 /// A fused kernel: graph + schedule + derived execution metadata.
@@ -20,6 +21,11 @@ pub struct KernelProgram {
     pub needed_phase1: Vec<bool>,
     /// Ops transitively needed by the kernel outputs.
     pub needed_output: Vec<bool>,
+    /// Verdict of the static disjoint-write prover
+    /// ([`crate::verify::races`]): only `Proven` kernels may take the
+    /// lock-free parallel executor path. Computed at construction so the
+    /// gate holds even when the verifier pass is off (release builds).
+    pub disjoint: DisjointProof,
 }
 
 impl KernelProgram {
@@ -34,14 +40,17 @@ impl KernelProgram {
             .collect();
         let needed_phase1 = needed_by(&graph, &reduction_outputs);
         let needed_output = needed_by(&graph, graph.outputs());
-        KernelProgram {
+        let mut kp = KernelProgram {
             name: name.into(),
             graph,
             schedule,
             roles,
             needed_phase1,
             needed_output,
-        }
+            disjoint: DisjointProof::Proven,
+        };
+        kp.disjoint = prove_disjoint(&kp);
+        kp
     }
 
     /// Whether this kernel fuses more than one operator.

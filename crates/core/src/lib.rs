@@ -62,6 +62,9 @@
 //! assert_eq!(program.kernels.len(), 1);
 //! ```
 
+// Every `unsafe` block in the executor must carry a `// SAFETY:`
+// justification (audited; enforced by verify.sh).
+#[deny(clippy::undocumented_unsafe_blocks)]
 pub mod codegen;
 pub mod compiler;
 pub mod error;

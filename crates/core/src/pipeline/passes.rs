@@ -174,6 +174,17 @@ impl Pass for EmitPass {
             state.stats.absorb(&unit.stats);
             state.kernels.append(&mut unit.kernels);
         }
+        // Record every kernel the disjoint-write prover refused: the
+        // engine will pin them to the serial path at execution time, and
+        // `sfc compile` surfaces them next to the degradations.
+        for kp in &state.kernels {
+            if let crate::verify::DisjointProof::Unproven(reason) = &kp.disjoint {
+                state
+                    .stats
+                    .lockfree_fallbacks
+                    .push((kp.name.clone(), reason.clone()));
+            }
+        }
         // Resolve each output through any trailing layout barriers: the
         // kernels materialize the barrier's *source* value.
         state.outputs = state

@@ -402,6 +402,10 @@ pub struct CompileStats {
     /// Units that fell down the degradation ladder (or recovered in
     /// place), in recording order.
     pub degradations: Vec<crate::resilience::DegradationStep>,
+    /// Kernels whose disjoint-write proof failed, with the prover's
+    /// reason: they execute on the serial path instead of the lock-free
+    /// pool (see [`crate::verify::races::DisjointProof`]).
+    pub lockfree_fallbacks: Vec<(String, String)>,
 }
 
 impl CompileStats {
@@ -419,6 +423,8 @@ impl CompileStats {
         self.fusion_patterns
             .extend(other.fusion_patterns.iter().cloned());
         self.degradations.extend(other.degradations.iter().cloned());
+        self.lockfree_fallbacks
+            .extend(other.lockfree_fallbacks.iter().cloned());
     }
 }
 

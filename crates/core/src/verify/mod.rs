@@ -2,7 +2,7 @@
 //!
 //! The verifier re-derives, independently of the scheduler, the
 //! invariants the paper's machinery is supposed to guarantee, and
-//! reports violations as structured [`Diagnostic`]s. Four check
+//! reports violations as structured [`Diagnostic`]s. Five check
 //! families:
 //!
 //! * **SMG structural invariants** ([`structural`], `SMG001`–`SMG004`) —
@@ -28,6 +28,13 @@
 //!   flagging shared-buffer reads that can observe another thread's
 //!   write without an intervening barrier, reads from a memory tier the
 //!   value was never placed in, and out-of-bounds tile restrictions.
+//! * **Disjoint-write race proof** ([`races`], `RACE501`–`RACE505`) — a
+//!   symbolic affine/interval analysis over the per-store write
+//!   footprints carried by the lowered stream, proving every pair of
+//!   spatial blocks writes disjoint output regions (the Table-3
+//!   legality the lock-free executor's `unsafe` relies on). Its
+//!   [`DisjointProof`] verdict also gates the lock-free vs. serial
+//!   executor path per kernel, independently of the verifier.
 //!
 //! The verifier runs as the final pipeline pass (enabled by default in
 //! debug builds, see
@@ -35,11 +42,13 @@
 //! behind `sfc lint`.
 
 pub mod barriers;
+pub mod races;
 pub mod resources;
 pub mod slicing;
 pub mod structural;
 
 pub use barriers::{check_bounds, check_instructions};
+pub use races::{check_races, prove_disjoint, DisjointProof};
 pub use resources::check_resources;
 pub use slicing::check_slicing;
 pub use structural::check_smg;
@@ -111,6 +120,22 @@ pub enum DiagCode {
     /// `BND402` — a tile restriction indexes out of bounds (unknown
     /// dimension, zero or oversized block, duplicate restriction).
     BndTileOutOfBounds,
+    /// `RACE501` — two spatial blocks write overlapping output regions
+    /// (Table-3 disjoint-write legality violated).
+    RaceOverlappingWrites,
+    /// `RACE502` — a block's write region escapes the partitioned
+    /// extent (writes past the end of its output-slot region).
+    RaceWriteEscapesExtent,
+    /// `RACE503` — scratch aliased across workers: a compute result is
+    /// published to global memory outside the partitioned slot scatter.
+    RaceScratchAliasing,
+    /// `RACE504` — a value is read back after its parallel store with
+    /// no intervening grid-wide ordering point.
+    RaceReadAfterParallelWrite,
+    /// `RACE505` — a write footprint is not provable in the affine
+    /// region algebra; the kernel is forced onto the serial executor
+    /// path instead of running lock-free unproven.
+    RaceUnprovableFootprint,
 }
 
 impl DiagCode {
@@ -131,6 +156,11 @@ impl DiagCode {
             DiagCode::MemReadUnplaced => "MEM302",
             DiagCode::BarMissingBarrier => "BAR401",
             DiagCode::BndTileOutOfBounds => "BND402",
+            DiagCode::RaceOverlappingWrites => "RACE501",
+            DiagCode::RaceWriteEscapesExtent => "RACE502",
+            DiagCode::RaceScratchAliasing => "RACE503",
+            DiagCode::RaceReadAfterParallelWrite => "RACE504",
+            DiagCode::RaceUnprovableFootprint => "RACE505",
         }
     }
 
@@ -151,17 +181,27 @@ impl DiagCode {
             DiagCode::MemReadUnplaced => "read from unplaced tier",
             DiagCode::BarMissingBarrier => "barrier-protected shared reads",
             DiagCode::BndTileOutOfBounds => "tile-restriction bounds",
+            DiagCode::RaceOverlappingWrites => "pairwise-disjoint block writes",
+            DiagCode::RaceWriteEscapesExtent => "write inside the partitioned extent",
+            DiagCode::RaceScratchAliasing => "worker-private scratch",
+            DiagCode::RaceReadAfterParallelWrite => "no readback of in-flight writes",
+            DiagCode::RaceUnprovableFootprint => "affine write-footprint provability",
         }
     }
 
-    /// Default severity (every check defaults to deny; `sfc lint
-    /// --warn CODE` relaxes individual codes).
+    /// Default severity (every check defaults to deny except `RACE505`,
+    /// which is not itself a proven race — the kernel degrades to the
+    /// serial path instead of failing compilation; `sfc lint
+    /// --warn/--deny CODE` adjusts individual codes).
     pub fn default_severity(self) -> Severity {
-        Severity::Error
+        match self {
+            DiagCode::RaceUnprovableFootprint => Severity::Warning,
+            _ => Severity::Error,
+        }
     }
 
     /// All codes, in catalog order.
-    pub fn all() -> [DiagCode; 14] {
+    pub fn all() -> [DiagCode; 19] {
         [
             DiagCode::SmgMappingClass,
             DiagCode::SmgDirectionDim,
@@ -177,6 +217,11 @@ impl DiagCode {
             DiagCode::MemReadUnplaced,
             DiagCode::BarMissingBarrier,
             DiagCode::BndTileOutOfBounds,
+            DiagCode::RaceOverlappingWrites,
+            DiagCode::RaceWriteEscapesExtent,
+            DiagCode::RaceScratchAliasing,
+            DiagCode::RaceReadAfterParallelWrite,
+            DiagCode::RaceUnprovableFootprint,
         ]
     }
 
@@ -332,6 +377,7 @@ pub fn verify_kernel(kp: &KernelProgram, arch: &GpuArch) -> Vec<Diagnostic> {
     diags.extend(resources::check_resources(kp, arch));
     let instrs = lower_instructions(kp);
     diags.extend(barriers::check_instructions(kp, &instrs));
+    diags.extend(races::check_races(kp, &instrs));
     diags
 }
 

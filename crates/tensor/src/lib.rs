@@ -24,6 +24,9 @@ pub mod rng;
 pub mod scratch;
 pub mod shape;
 pub mod tensor;
+// Every `unsafe` block in the raw-view layer must carry a `// SAFETY:`
+// justification (audited; enforced by verify.sh).
+#[deny(clippy::undocumented_unsafe_blocks)]
 pub mod view;
 
 pub use compare::{assert_tensors_bitwise, assert_tensors_close, compare_tensors, Tolerance};

@@ -219,7 +219,7 @@ pub struct TensorViewMut<'a> {
     _owner: std::marker::PhantomData<&'a mut [f32]>,
 }
 
-// Safety: a TensorViewMut is an exclusive handle on the region its
+// SAFETY: a TensorViewMut is an exclusive handle on the region its
 // shape/strides address (constructor contract); sending it to another
 // thread transfers that exclusivity.
 unsafe impl Send for TensorViewMut<'_> {}
@@ -309,7 +309,7 @@ impl<'a> TensorViewMut<'a> {
                 .map(|(&i, &s)| i * s)
                 .sum();
             debug_assert!(off + run <= self.len, "run escapes the view's storage");
-            // Safety: offsets produced by the view's strides address
+            // SAFETY: offsets produced by the view's strides address
             // within `len` (constructor contract), and `src` cannot
             // overlap the exclusively-held destination.
             unsafe {
@@ -362,7 +362,7 @@ impl Tensor {
         let strides = shape.strides();
         let data = self.data_mut();
         let len = data.len();
-        // Safety: the view borrows `self` mutably for its lifetime, so
+        // SAFETY: the view borrows `self` mutably for its lifetime, so
         // it is the only handle on the storage.
         unsafe { TensorViewMut::from_raw_parts(data.as_mut_ptr(), len, shape, strides) }
     }
@@ -430,11 +430,13 @@ mod tests {
         let strides = x.shape().strides();
         let len = x.data().len();
         let base = x.data_mut().as_mut_ptr();
-        // Safety: the two regions ([0..4, 0..2) and [0..4, 2..4)) are
-        // disjoint; `x` is not otherwise touched while they live.
+        // SAFETY: the left region [0..4, 0..2) is in bounds and `x` is
+        // not otherwise touched while the views live.
         let mut left = unsafe {
             TensorViewMut::from_raw_parts(base, len, Shape::new(vec![4, 2]), strides.clone())
         };
+        // SAFETY: the right region [0..4, 2..4) is in bounds and disjoint
+        // from `left`.
         let mut right = unsafe {
             TensorViewMut::from_raw_parts(base.add(2), len - 2, Shape::new(vec![4, 2]), strides)
         };
@@ -462,6 +464,8 @@ mod tests {
         let strides = x.shape().strides();
         let len = x.data().len();
         let base = x.data_mut().as_mut_ptr();
+        // SAFETY: the slab starts at row 1 and stays in bounds; `x` is
+        // not otherwise touched while the view lives.
         let mut rows = unsafe {
             TensorViewMut::from_raw_parts(base.add(3), len - 3, Shape::new(vec![2, 3]), strides)
         };

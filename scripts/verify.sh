@@ -25,8 +25,11 @@ echo "==> exec_bench perf smoke + zoo determinism at --exec-threads max"
 # equality over the zoo before timing anything.
 ./target/release/exec_bench --quick --gate --exec-threads max --out target/BENCH_exec.json
 
-echo "==> sfc lint (golden-clean gate over examples/graphs)"
-for f in examples/graphs/*.sfg; do
+echo "==> sfc lint (golden-clean gate over examples/graphs + tests/corpus)"
+# --deny-warnings promotes RACE505 (unprovable write footprint) to an
+# error, so this sweep doubles as the race-prover gate: every checked-in
+# graph must compile to kernels with statically proven disjoint writes.
+for f in examples/graphs/*.sfg tests/corpus/*.sfg; do
     for arch in volta ampere hopper; do
         ./target/release/sfc lint "$f" --arch "$arch" --deny-warnings \
             || { echo "verify: FAIL — $f is not lint-clean on $arch"; exit 1; }
@@ -61,6 +64,14 @@ for m in pipeline resilience; do
         | grep -q "deny(clippy::unwrap_used, clippy::expect_used)" \
         || { echo "verify: FAIL — lib.rs lost the unwrap/expect deny gate on '$m'"; exit 1; }
 done
+
+echo "==> unsafe-docs gate (codegen/ and view deny undocumented unsafe)"
+grep -B1 "^pub mod codegen;" crates/core/src/lib.rs \
+    | grep -q "deny(clippy::undocumented_unsafe_blocks)" \
+    || { echo "verify: FAIL — core lib.rs lost the undocumented-unsafe deny gate on 'codegen'"; exit 1; }
+grep -B1 "^pub mod view;" crates/tensor/src/lib.rs \
+    | grep -q "deny(clippy::undocumented_unsafe_blocks)" \
+    || { echo "verify: FAIL — tensor lib.rs lost the undocumented-unsafe deny gate on 'view'"; exit 1; }
 
 echo "==> corpus freshness (seed_corpus regenerates what is checked in)"
 cargo run -q --release --example seed_corpus > /dev/null
