@@ -28,7 +28,8 @@ use sf_ir::Graph;
 use sf_models::subgraphs;
 use sf_tensor::Tensor;
 use spacefusion::codegen::ExecOptions;
-use spacefusion::compiler::{Compiler, FusionPolicy};
+use spacefusion::compiler::{CompileOptions, Compiler, FusionPolicy};
+use spacefusion::sched::SlicingOptions;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -65,6 +66,30 @@ fn zoo(quick: bool) -> Vec<Graph> {
             subgraphs::mha(1, 4, 64, 32),
             subgraphs::masked_mha(1, 4, 64, 32),
             subgraphs::mha_decode(1, 4, 128, 32),
+            subgraphs::mha_decode(1, 4, 1024, 32),
+            subgraphs::deep_reduce(64, 4096),
+        ]
+    }
+}
+
+/// Reduction-bound workloads for the split-K section: tiny spatial
+/// grids, deep reduction axes — the shapes where the serialized tile
+/// loop leaves the pool idle.
+fn split_zoo(quick: bool) -> Vec<Graph> {
+    if quick {
+        // Big enough that blocks × partitions × reduction depth clears
+        // the engine's serial-work cutoff, so the two-dispatch split
+        // path actually runs.
+        vec![subgraphs::mha_decode(1, 2, 512, 32)]
+    } else {
+        vec![
+            subgraphs::mha_decode(1, 4, 1024, 32),
+            subgraphs::mha_decode(1, 4, 128, 32),
+            subgraphs::softmax(16, 4096),
+            subgraphs::deep_reduce(16, 4096),
+            // 64 rows already cover the memory system: the tuner
+            // correctly declines to split (factor 1 in the report).
+            subgraphs::deep_reduce(64, 4096),
         ]
     }
 }
@@ -253,6 +278,121 @@ fn main() {
         batch_rows.push((t, opts.effective_threads(), us, graphs_per_sec));
     }
 
+    // Split-K: each reduction-bound workload is compiled twice — split
+    // schedules enabled (arch defaults) and serialized (the same
+    // compiler with `enable_split = false`) — and both run at a
+    // multi-worker setting (at least 4 workers, so the split executor
+    // engages even on small hosts). The dispatch delta per execution
+    // shows the two-launch split path (partial accumulators, then the
+    // combine); the serialized build has zero parallel dispatches on
+    // these shapes because their spatial grids are below the pool
+    // cutoff. Host wall-clock on an oversubscribed box measures
+    // overhead, not the win, so the modeled (simulated-GPU) times that
+    // drove the tuner's choice are reported alongside.
+    println!("== Split-K: partial accumulators vs serialized tile loop ==");
+    let split_threads = threads.max(4);
+    let split_opts = ExecOptions::with_threads(split_threads);
+    let with_split = Compiler::new(Arch::Ampere, CompileOptions::default());
+    let no_split = Compiler::new(
+        Arch::Ampere,
+        CompileOptions {
+            slicing: SlicingOptions {
+                enable_split: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    struct SplitRow {
+        name: String,
+        split_factor: usize,
+        split_dispatches: u64,
+        serialized_dispatches: u64,
+        split_us: f64,
+        serialized_us: f64,
+        model_split_us: f64,
+        model_serialized_us: f64,
+    }
+    let model_us = |p: &spacefusion::pipeline::CompiledProgram| -> f64 {
+        p.kernels
+            .iter()
+            .map(|kp| {
+                p.arch
+                    .kernel_time_us(&spacefusion::codegen::estimate_cost(kp, p.instances as u64))
+            })
+            .sum()
+    };
+    let mut split_rows: Vec<SplitRow> = Vec::new();
+    for graph in split_zoo(quick) {
+        let bindings = graph.random_bindings(42);
+        let split_prog = with_split
+            .compile(&graph)
+            .unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
+        let serial_prog = no_split
+            .compile(&graph)
+            .unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
+        let split_factor = split_prog
+            .kernels
+            .iter()
+            .filter_map(|kp| kp.schedule.temporal.as_ref())
+            .map(|t| t.partitions())
+            .max()
+            .unwrap_or(1);
+
+        // Same-program determinism across thread counts: the fixed
+        // left-to-right combine order makes the split schedule's output
+        // independent of how the pool interleaves partitions.
+        let one = split_prog
+            .execute_with(&bindings, &serial)
+            .expect("1-thread split run");
+        let par = split_prog
+            .execute_with(&bindings, &split_opts)
+            .expect("parallel split run");
+        assert_bitwise(graph.name(), &one, &par);
+
+        let d0 = split_prog.engine().dispatches();
+        split_prog
+            .execute_with(&bindings, &split_opts)
+            .expect("split dispatch run");
+        let split_dispatches = split_prog.engine().dispatches() - d0;
+        let d0 = serial_prog.engine().dispatches();
+        serial_prog
+            .execute_with(&bindings, &split_opts)
+            .expect("serialized dispatch run");
+        let serialized_dispatches = serial_prog.engine().dispatches() - d0;
+
+        let (split_us, serialized_us) = time_pair_us(
+            iters_hint,
+            || {
+                split_prog
+                    .execute_with(&bindings, &split_opts)
+                    .expect("split")
+            },
+            || {
+                serial_prog
+                    .execute_with(&bindings, &split_opts)
+                    .expect("serialized")
+            },
+        );
+        let model_split_us = model_us(&split_prog);
+        let model_serialized_us = model_us(&serial_prog);
+        println!(
+            "{:<24} split {split_factor}   dispatches {split_dispatches} vs {serialized_dispatches}   host {split_us:>8.1} µs vs {serialized_us:>8.1} µs   model {model_split_us:>7.2} µs vs {model_serialized_us:>7.2} µs ({:.2}x)",
+            graph.name(),
+            model_serialized_us / model_split_us
+        );
+        split_rows.push(SplitRow {
+            name: graph.name().to_string(),
+            split_factor,
+            split_dispatches,
+            serialized_dispatches,
+            split_us,
+            serialized_us,
+            model_split_us,
+            model_serialized_us,
+        });
+    }
+
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
     json.push_str("{\n");
@@ -281,6 +421,25 @@ fn main() {
         json.push_str(&format!(
             "    {{\"threads\": {t}, \"effective_threads\": {eff}, \"time_us\": {us:.1}, \"graphs_per_sec\": {gps:.0}}}{}\n",
             if i + 1 < batch_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]},\n");
+    json.push_str(&format!(
+        "  \"split_k\": {{\"threads\": {split_threads}, \"rows\": [\n"
+    ));
+    for (i, r) in split_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"split_factor\": {}, \"dispatches\": {}, \"serialized_dispatches\": {}, \"split_us\": {:.1}, \"serialized_us\": {:.1}, \"model_split_us\": {:.2}, \"model_serialized_us\": {:.2}, \"model_speedup\": {:.3}}}{}\n",
+            r.name,
+            r.split_factor,
+            r.split_dispatches,
+            r.serialized_dispatches,
+            r.split_us,
+            r.serialized_us,
+            r.model_split_us,
+            r.model_serialized_us,
+            r.model_serialized_us / r.model_split_us,
+            if i + 1 < split_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]},\n");

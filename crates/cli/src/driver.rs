@@ -566,9 +566,12 @@ pub fn compile_report(graph: &Graph, o: &Options) -> Result<String, String> {
             s.regs_per_block(&kp.graph) >> 10,
         );
         if let Some(t) = &s.temporal {
+            let split = t.split.as_ref().map_or(String::new(), |sp| {
+                format!(", split-K {} partitions", sp.partitions)
+            });
             let _ = writeln!(
                 out,
-                "    temporal: block {} over extent {}, two-phase {}",
+                "    temporal: block {} over extent {}, two-phase {}{split}",
                 t.block,
                 s.smg.extent(t.plan.dim),
                 t.plan.two_phase

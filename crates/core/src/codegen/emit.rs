@@ -62,7 +62,22 @@ pub fn emit_pseudocode(kp: &KernelProgram) -> String {
                 "    // intra-block loop over dim {} in tiles of {}",
                 s.smg.dims[t.plan.dim.0].name, t.block
             );
-            let _ = writeln!(out, "    for intra_block in Block {{");
+            match &t.split {
+                None => {
+                    let _ = writeln!(out, "    for intra_block in Block {{");
+                }
+                Some(sp) => {
+                    let _ = writeln!(
+                        out,
+                        "    // split-K: {} parallel partitions, each owning a contiguous tile range",
+                        sp.partitions
+                    );
+                    let _ = writeln!(
+                        out,
+                        "    parallel_for p: for intra_block in partition(p) {{"
+                    );
+                }
+            }
             for (vi, v) in g.values().iter().enumerate() {
                 let varying = s.smg.value_has_dim(g, ValueId(vi), t.plan.dim);
                 if matches!(v.kind, ValueKind::Input | ValueKind::Weight) && varying {
@@ -113,6 +128,31 @@ pub fn emit_pseudocode(kp: &KernelProgram) -> String {
                 }
             }
             let _ = writeln!(out, "    }}");
+
+            if let Some(sp) = &t.split {
+                for r in &t.plan.sliced {
+                    let _ = writeln!(
+                        out,
+                        "    park_partial({})   // one state per partition",
+                        name(g.ops()[r.op.0].output)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "    // combine dispatch: fold {} partials in partition order",
+                    sp.partitions
+                );
+                for (r, spec) in t.plan.sliced.iter().zip(&sp.combine) {
+                    let target = name(g.ops()[r.op.0].output);
+                    let rescaled = if spec.rescale { ", rescaled" } else { "" };
+                    let _ = writeln!(
+                        out,
+                        "    {target} = combine_{}({target}[0..{}]{rescaled})",
+                        spec.op.name(),
+                        sp.partitions
+                    );
+                }
+            }
 
             for (oi, _) in g.ops().iter().enumerate() {
                 if kp.roles[oi] == OpRole::PostLoop {
@@ -215,9 +255,12 @@ mod tests {
     #[test]
     fn mha_pseudocode_matches_figure_7_structure() {
         let g = mha(8192);
-        let p = Compiler::with_policy(Arch::Volta, FusionPolicy::SpaceFusion)
-            .compile(&g)
-            .unwrap();
+        // Pin the paper's serial Fig. 7 rendering: split-K would
+        // legitimately partition this deep-KV loop, which the split
+        // pseudo-code test covers instead.
+        let mut opts = crate::compiler::CompileOptions::default();
+        opts.slicing.enable_split = false;
+        let p = Compiler::new(Arch::Volta, opts).compile(&g).unwrap();
         let code = emit_pseudocode(&p.kernels[0]);
         // The paper's Fig. 7 structure: parallel blocks, an intra-block
         // loop, UTA update functions for Sum and Out.
@@ -241,6 +284,46 @@ mod tests {
             assert!(!code.contains("intra_block"));
             assert!(code.contains("gemm(Q, K)"));
         }
+    }
+
+    #[test]
+    fn split_pseudocode_shows_partitions_and_combine_fold() {
+        // Decode shape: one query row, deep KV — the tuner picks split-K.
+        let mut g = Graph::new("decode", DType::F16);
+        let q = g.input("Q", Shape::new(vec![1, 32]));
+        let k = g.input("K", Shape::new(vec![1024, 32]));
+        let v = g.input("V", Shape::new(vec![1024, 32]));
+        let qk = g.gemm(q, k, true).unwrap();
+        let mx = g.reduce(ReduceOp::Max, qk, 1).unwrap();
+        g.rename_value(mx, "Max");
+        let sub = g.binary(BinaryOp::Sub, qk, mx).unwrap();
+        let e = g.unary(UnaryOp::Exp, sub).unwrap();
+        let s = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        g.rename_value(s, "Sum");
+        let d = g.binary(BinaryOp::Div, e, s).unwrap();
+        let out = g.gemm(d, v, false).unwrap();
+        g.rename_value(out, "Out");
+        g.mark_output(out);
+        let p = Compiler::with_policy(Arch::Ampere, FusionPolicy::SpaceFusion)
+            .compile(&g)
+            .unwrap();
+        let kp = &p.kernels[0];
+        let parts = kp
+            .schedule
+            .temporal
+            .as_ref()
+            .and_then(|t| t.split.as_ref())
+            .map(|sp| sp.partitions)
+            .expect("decode shape must split");
+        let code = emit_pseudocode(kp);
+        assert!(code.contains(&format!("split-K: {parts} parallel partitions")));
+        assert!(code.contains("parallel_for p: for intra_block in partition(p)"));
+        assert!(code.contains("park_partial(Max)"));
+        // Simple max fold for the running max; rescaled adds for the
+        // UTA sum and output (the FlashDecoding fixup).
+        assert!(code.contains(&format!("Max = combine_max(Max[0..{parts}])")));
+        assert!(code.contains(&format!("Sum = combine_add(Sum[0..{parts}], rescaled)")));
+        assert!(code.contains(&format!("Out = combine_add(Out[0..{parts}], rescaled)")));
     }
 
     #[test]

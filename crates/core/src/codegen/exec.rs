@@ -308,6 +308,24 @@ impl ExecEngine {
             self.note_race_fallback();
             return self.with_serial_scratch(|pool| execute_kernel_pooled(kp, env, pool, faults));
         }
+        let threads = opts.effective_threads();
+        let partitions = kp.schedule.temporal.as_ref().map_or(1, |t| t.partitions());
+        if partitions > 1 && threads > 1 {
+            // A split-K schedule's unit of parallelism is the
+            // (spatial block × partition) pair, and its real work
+            // includes the sliced reduction extent that the output
+            // volume hides (a decode kernel writes one row but reads
+            // the whole KV cache), so the cutoff is taken on those.
+            let red_extent = kp
+                .schedule
+                .temporal
+                .as_ref()
+                .map_or(1, |t| kp.schedule.smg.extent(t.plan.dim));
+            let split_work = total_work.saturating_mul(red_extent);
+            if !serial_cutoff(blocks.len() * partitions, split_work) {
+                return self.execute_kernel_split(kp, env, &blocks, partitions, threads, faults);
+            }
+        }
         if workers == 1 || serial_cutoff(blocks.len(), total_work) {
             return self.with_serial_scratch(|pool| execute_kernel_pooled(kp, env, pool, faults));
         }
@@ -371,7 +389,187 @@ impl ExecEngine {
         }
         Ok(())
     }
+
+    /// Executes a split-K kernel as two pool dispatches. Phase 1 fans
+    /// the (spatial block × partition) grid over the workers: each item
+    /// runs the intra-block loop over its partition's tile sub-range
+    /// and parks the resulting partial aggregate state in its dedicated
+    /// [`PartialSlot`]. The pool drain at the end of the dispatch (the
+    /// completion hand-shake of `WorkerPool::run`) is the
+    /// happens-before edge publishing every slot. The combine dispatch
+    /// then folds each block's partition states left-to-right in
+    /// partition order — the fixed combine order that keeps outputs
+    /// bit-identical at every thread count and to the serial path —
+    /// and finalizes the block. Slots are strictly
+    /// one-writer-then-one-reader, so no lock is added to the hot path.
+    fn execute_kernel_split(
+        &self,
+        kp: &KernelProgram,
+        env: &mut HashMap<String, Tensor>,
+        blocks: &[Restrict],
+        partitions: usize,
+        threads: usize,
+        faults: Option<&FaultInjector>,
+    ) -> Result<()> {
+        let t =
+            kp.schedule.temporal.as_ref().ok_or_else(|| {
+                SfError::Codegen("split execution without temporal slicing".into())
+            })?;
+        let n_tiles = kp.schedule.smg.extent(t.plan.dim).div_ceil(t.block);
+        let slots = output_slots(&kp.graph);
+        let items = blocks.len() * partitions;
+        let partials: Vec<PartialSlot> = (0..items).map(|_| PartialSlot::default()).collect();
+        let failures: Mutex<Vec<(usize, SfError)>> = Mutex::new(Vec::new());
+        let env_ref: &HashMap<String, Tensor> = env;
+        let partials_ref: &[PartialSlot] = &partials;
+
+        // Dispatch 1: one phase-1 partial per (block, partition).
+        let workers = threads.min(items);
+        let chunk = items.div_ceil(workers * 4).max(1);
+        let next = AtomicUsize::new(0);
+        let panicked = self.run_dispatch(workers, &|pool: &mut ScratchPool| loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= items {
+                return;
+            }
+            let end = (start + chunk).min(items);
+            for (item, slot) in partials_ref.iter().enumerate().take(end).skip(start) {
+                let (bi, p) = (item / partitions, item % partitions);
+                let (lo, hi) = t.partition_tiles(n_tiles, p);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if let Some(inj) = faults {
+                        if inj.fire_block(&kp.name, item, items) == Some(FaultKind::CrashWorker) {
+                            panic!(
+                                "injected worker crash at kernel '{}' split item {item}",
+                                kp.name
+                            );
+                        }
+                    }
+                    phase1_partition(kp, env_ref, &blocks[bi], pool, lo, hi)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(SfError::Internal {
+                        pass: format!("exec:{} split item {item}", kp.name),
+                        payload: panic_payload(payload),
+                    })
+                });
+                match result {
+                    // SAFETY: item indices are claimed uniquely off the
+                    // atomic queue, so this worker is the slot's only
+                    // writer; the only reader runs in the combine
+                    // dispatch, after `run_dispatch` has drained this
+                    // one.
+                    Ok(state) => unsafe { *slot.0.get() = Some(state) },
+                    Err(e) => {
+                        failures
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push((item, e));
+                        return;
+                    }
+                }
+            }
+        });
+        if panicked {
+            return Err(SfError::Internal {
+                pass: format!("exec:{}", kp.name),
+                payload: "worker panicked outside split-item isolation".into(),
+            });
+        }
+        take_earliest_failure(&failures)?;
+
+        // Dispatch 2: fold each block's partitions and finalize it.
+        let workers = threads.min(blocks.len());
+        let chunk = blocks.len().div_ceil(workers * 4).max(1);
+        let next = AtomicUsize::new(0);
+        let slots_ref: &[OutputSlot] = &slots;
+        let panicked = self.run_dispatch(workers, &|pool: &mut ScratchPool| loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= blocks.len() {
+                return;
+            }
+            let end = (start + chunk).min(blocks.len());
+            for bi in start..end {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut accs: Option<HashMap<ValueId, Tensor>> = None;
+                    for p in 0..partitions {
+                        // SAFETY: block `bi` is claimed by exactly one
+                        // combine worker, making this the sole reader
+                        // of its slots; every writer finished before
+                        // the phase-1 dispatch drained.
+                        let state = unsafe { (*partials_ref[bi * partitions + p].0.get()).take() }
+                            .ok_or_else(|| SfError::Internal {
+                                pass: format!("exec:{} combine block {bi}", kp.name),
+                                payload: format!("phase-1 state missing for partition {p}"),
+                            })?;
+                        accs = Some(match accs {
+                            None => state,
+                            Some(acc) => combine_partition_states(kp, acc, state, pool)?,
+                        });
+                    }
+                    let accs = accs.ok_or_else(|| {
+                        SfError::Codegen("split kernel with zero partitions".into())
+                    })?;
+                    finish_block(kp, env_ref, slots_ref, &blocks[bi], accs, pool)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(SfError::Internal {
+                        pass: format!("exec:{} combine block {bi}", kp.name),
+                        payload: panic_payload(payload),
+                    })
+                });
+                if let Err(e) = result {
+                    failures
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((bi, e));
+                    return;
+                }
+            }
+        });
+        if panicked {
+            return Err(SfError::Internal {
+                pass: format!("exec:{}", kp.name),
+                payload: "worker panicked outside combine-block isolation".into(),
+            });
+        }
+        take_earliest_failure(&failures)?;
+
+        for slot in slots {
+            let (name, tensor) = slot.into_parts();
+            env.insert(name, tensor);
+        }
+        Ok(())
+    }
 }
+
+/// Returns the failure of the earliest work item recorded during a
+/// dispatch, independent of worker scheduling; `Ok` when none failed.
+fn take_earliest_failure(failures: &Mutex<Vec<(usize, SfError)>>) -> Result<()> {
+    let mut failures = failures.lock().unwrap_or_else(PoisonError::into_inner);
+    failures.sort_by_key(|&(i, _)| i);
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.remove(0).1)
+    }
+}
+
+/// One (spatial block × partition) phase-1 result: the partial
+/// aggregate state produced by [`phase1_partition`], parked between
+/// the two pool dispatches of a split-K execution.
+#[derive(Default)]
+struct PartialSlot(UnsafeCell<Option<HashMap<ValueId, Tensor>>>);
+
+// SAFETY: a slot is written by exactly one phase-1 worker (work items
+// are claimed uniquely off the atomic queue) and read by exactly one
+// combine worker, strictly after `WorkerPool::run` drained the phase-1
+// dispatch; the drain's completion hand-shake is the happens-before
+// edge between the write and the read.
+unsafe impl Send for PartialSlot {}
+// SAFETY: see the `Send` impl — disjoint one-writer-then-one-reader
+// access, ordered by the dispatch drain.
+unsafe impl Sync for PartialSlot {}
 
 /// Executes one spatial block behind a panic-isolation boundary,
 /// firing any armed exec-block fault first (inside the boundary, so an
@@ -475,9 +673,49 @@ fn execute_block(
         return Ok(());
     };
 
+    let n_tiles = s.smg.extent(t.plan.dim).div_ceil(t.block);
+
+    // Phase 1 over each split-K partition's tile range (one partition
+    // spanning every tile when unsplit), folding the partial aggregate
+    // states in fixed partition order. The parallel split path computes
+    // the same per-partition states concurrently and folds them in the
+    // same order, so results are bit-identical at every thread count.
+    let mut accs: HashMap<ValueId, Tensor> = HashMap::new();
+    for p in 0..t.partitions() {
+        let (lo, hi) = t.partition_tiles(n_tiles, p);
+        let state = phase1_partition(kp, env, spatial, pool, lo, hi)?;
+        accs = if p == 0 {
+            state
+        } else {
+            combine_partition_states(kp, accs, state, pool)?
+        };
+    }
+    finish_block(kp, env, outputs, spatial, accs, pool)
+}
+
+/// Runs the phase-1 intra-block loop over tiles `[tile_lo, tile_hi)`
+/// of the sliced dimension, returning the partial aggregate states
+/// (one tensor per sliced reduction, keyed by its output value).
+///
+/// With the full tile range this is exactly the serial phase-1 loop; a
+/// split-K partition runs it over its own sub-range, producing a
+/// partial state later folded by [`combine_partition_states`].
+fn phase1_partition(
+    kp: &KernelProgram,
+    env: &HashMap<String, Tensor>,
+    spatial: &Restrict,
+    pool: &mut ScratchPool,
+    tile_lo: usize,
+    tile_hi: usize,
+) -> Result<HashMap<ValueId, Tensor>> {
+    let graph = &kp.graph;
+    let s = &kp.schedule;
+    let t = s
+        .temporal
+        .as_ref()
+        .ok_or_else(|| SfError::Codegen("phase-1 partition without temporal slicing".into()))?;
     let dim = t.plan.dim;
     let extent = s.smg.extent(dim);
-    let n_tiles = extent.div_ceil(t.block);
 
     // Outputs of UTA update-factor dependencies. Their pre-tile values
     // are double-buffered in `prev` by moving them out of `accs` at
@@ -495,11 +733,10 @@ fn execute_block(
         .map(|f| graph.ops()[f.dep.0].output)
         .collect();
 
-    // Phase 1: the intra-block loop computing the sliced reductions.
     let mut accs: HashMap<ValueId, Tensor> = HashMap::new();
     let mut prev: HashMap<ValueId, Tensor> = HashMap::new();
     let mut local: HashMap<ValueId, Tensor> = HashMap::new();
-    for tile in 0..n_tiles {
+    for tile in tile_lo..tile_hi {
         let start = tile * t.block;
         let mut restrict = spatial.clone();
         restrict.push((dim, (start, (start + t.block).min(extent))));
@@ -556,6 +793,86 @@ fn execute_block(
             pool.recycle_tensor(tensor);
         }
     }
+    for (_, tensor) in prev.drain() {
+        pool.recycle_tensor(tensor);
+    }
+    Ok(accs)
+}
+
+/// Folds partition `right`'s partial aggregate states into `left`
+/// (partitions are folded left-to-right in partition order — the fixed
+/// combine order that keeps results reproducible at every thread
+/// count).
+///
+/// Walks the sliced reductions in plan (topological) order building the
+/// combined map: a Simple aggregate merges directly with its combine
+/// operator; a UTA partial first rescales **both** sides by the update
+/// factors evaluated against the already-combined dependency values
+/// (the serial tile loop only updates its old side because a fresh
+/// tile partial is already expressed against the current factor values
+/// — a partition's state is not). For attention this computes the
+/// FlashDecoding fixup `o = o_a·(s_a/s)·e^(m_a−m) + o_b·(s_b/s)·e^(m_b−m)`.
+fn combine_partition_states(
+    kp: &KernelProgram,
+    left: HashMap<ValueId, Tensor>,
+    right: HashMap<ValueId, Tensor>,
+    pool: &mut ScratchPool,
+) -> Result<HashMap<ValueId, Tensor>> {
+    let graph = &kp.graph;
+    let t = kp
+        .schedule
+        .temporal
+        .as_ref()
+        .ok_or_else(|| SfError::Codegen("combine without temporal slicing".into()))?;
+    let mut combined: HashMap<ValueId, Tensor> = HashMap::new();
+    for sl in &t.plan.sliced {
+        let out = graph.ops()[sl.op.0].output;
+        let (l, r) = match (left.get(&out), right.get(&out)) {
+            (Some(l), Some(r)) => (l, r),
+            _ => return Err(SfError::Codegen("partition state missing aggregate".into())),
+        };
+        let merged = match &sl.agg {
+            AggKind::Simple => combine(graph, sl.op.0, l, r, pool)?,
+            AggKind::Uta(factors) => {
+                // Dependencies precede this reduction in plan order, so
+                // `combined` already holds their folded values.
+                let l_upd = apply_update(graph, l, factors, &left, &combined, pool)?;
+                let r_upd = apply_update(graph, r, factors, &right, &combined, pool)?;
+                let merged = combine(graph, sl.op.0, &l_upd, &r_upd, pool)?;
+                pool.recycle_tensor(l_upd);
+                pool.recycle_tensor(r_upd);
+                merged
+            }
+        };
+        combined.insert(out, merged);
+    }
+    for (_, tensor) in left.into_iter().chain(right) {
+        pool.recycle_tensor(tensor);
+    }
+    Ok(combined)
+}
+
+/// Finalizes a block from its folded aggregate states: mean division,
+/// post-loop ops, the phase-2 output re-stream, and the scatters into
+/// the shared output slots.
+fn finish_block(
+    kp: &KernelProgram,
+    env: &HashMap<String, Tensor>,
+    outputs: &[OutputSlot],
+    spatial: &Restrict,
+    mut accs: HashMap<ValueId, Tensor>,
+    pool: &mut ScratchPool,
+) -> Result<()> {
+    let graph = &kp.graph;
+    let s = &kp.schedule;
+    let t = s
+        .temporal
+        .as_ref()
+        .ok_or_else(|| SfError::Codegen("finish without temporal slicing".into()))?;
+    let dim = t.plan.dim;
+    let extent = s.smg.extent(dim);
+    let n_tiles = extent.div_ceil(t.block);
+    let mut local: HashMap<ValueId, Tensor> = HashMap::new();
 
     // Finalize mean accumulators (in place; same scalar division the
     // reference `binary_scalar(Div, ...)` performs).
@@ -651,9 +968,6 @@ fn execute_block(
         pool.recycle_tensor(tensor);
     }
     for (_, tensor) in post.drain() {
-        pool.recycle_tensor(tensor);
-    }
-    for (_, tensor) in prev.drain() {
         pool.recycle_tensor(tensor);
     }
     Ok(())

@@ -19,6 +19,7 @@ use crate::sched::{MemLevel, OpRole};
 use crate::slicer::AggKind;
 use crate::smg::DimId;
 use sf_ir::{OpId, ValueId, ValueKind};
+use sf_tensor::ops::BinaryOp;
 
 /// Where an operand access lands in the memory hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +118,36 @@ pub enum Instr {
         /// Per-axis symbolic write footprint in the spatial block index.
         region: Vec<AxisWrite>,
     },
+    /// Split-K phase-1 tail: each partition parks one sliced
+    /// reduction's partial aggregate state in its partition-indexed
+    /// scratch slot. The partition axis is encoded as a tiling of the
+    /// sliced dimension (partition `p` owns tiles `[p·per, (p+1)·per)`),
+    /// so the race prover's Tiled algebra discharges slot disjointness
+    /// with the same rules as output scatters. The slot is worker
+    /// scratch, not a published output: it never enters the prover's
+    /// readback set.
+    StorePartial {
+        /// The sliced reduction's output (the partial state).
+        value: ValueId,
+        /// Per-axis footprint in the (spatial block × partition) index.
+        region: Vec<AxisWrite>,
+    },
+    /// Split-K combine phase: after the phase-1 pool drain, folds one
+    /// sliced reduction's `partitions` partial states pairwise in fixed
+    /// partition order. `SLC104` re-checks this instruction against the
+    /// combine algebra independently re-derived from the graph.
+    Combine {
+        /// The combined sliced reduction.
+        op: OpId,
+        /// Number of partition states folded — must cover the
+        /// schedule's full partition count.
+        partitions: usize,
+        /// The associative merge operator.
+        combine: BinaryOp,
+        /// Whether both sides are rescaled by the reduction's UTA
+        /// update factors before merging.
+        rescaled: bool,
+    },
 }
 
 /// Symbolic write footprint of storing `v` under `kp`'s schedule.
@@ -155,6 +186,42 @@ pub fn store_region(kp: &KernelProgram, v: ValueId) -> Vec<AxisWrite> {
             AxisWrite::Full { extent: e }
         })
         .collect()
+}
+
+/// Symbolic write footprint of one partition's partial-state slot under
+/// a split-K schedule.
+///
+/// The first axis is the partition index, encoded as a tiling of the
+/// sliced dimension: partition `p` covers tiles `[p·per, (p+1)·per)`,
+/// i.e. elements `[p·per·tb, min((p+1)·per·tb, extent))`, so distinct
+/// partitions own disjoint intervals exactly like spatial blocks along
+/// a tiled output axis. The remaining axes are the state's own
+/// footprint in the spatial block index ([`store_region`]). A schedule
+/// without temporal slicing has no partial states; the footprint
+/// degrades to [`AxisWrite::Opaque`].
+pub fn partial_region(kp: &KernelProgram, v: ValueId) -> Vec<AxisWrite> {
+    let s = &kp.schedule;
+    let Some(t) = &s.temporal else {
+        return vec![AxisWrite::Opaque];
+    };
+    let dim = t.plan.dim;
+    let extent = if dim.0 < s.smg.dims.len() {
+        s.smg.extent(dim)
+    } else {
+        return vec![AxisWrite::Opaque];
+    };
+    let n_tiles = extent.div_ceil(t.block.max(1));
+    let per = n_tiles.div_ceil(t.partitions());
+    let stride = per * t.block;
+    let mut region = vec![AxisWrite::Tiled {
+        dim,
+        block: stride,
+        span: stride,
+        clamp: extent,
+        extent,
+    }];
+    region.extend(store_region(kp, v));
+    region
 }
 
 /// Memory space an operand of `kp` is read from.
@@ -283,6 +350,26 @@ pub fn lower_instructions(kp: &KernelProgram) -> Vec<Instr> {
                 }
             }
             out.push(Instr::LoopEnd { phase: 1 });
+
+            // Split-K: each partition parks its partial aggregate
+            // states (the phase-1 tail), then — after the pool drain —
+            // the combine phase folds them in fixed partition order.
+            if let Some(split) = &t.split {
+                for sl in &t.plan.sliced {
+                    out.push(Instr::StorePartial {
+                        value: g.ops()[sl.op.0].output,
+                        region: partial_region(kp, g.ops()[sl.op.0].output),
+                    });
+                }
+                for (sl, spec) in t.plan.sliced.iter().zip(&split.combine) {
+                    out.push(Instr::Combine {
+                        op: sl.op,
+                        partitions: split.partitions,
+                        combine: spec.op,
+                        rescaled: spec.rescale,
+                    });
+                }
+            }
 
             for oi in 0..g.ops().len() {
                 if kp.roles[oi] == OpRole::PostLoop {

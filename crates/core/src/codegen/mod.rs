@@ -27,4 +27,4 @@ pub use engine::{serial_cutoff, ExecEngine, WorkerPool, MIN_PARALLEL_WORK};
 pub use exec::{execute_kernel, execute_kernel_faulted, execute_kernel_with, ExecOptions};
 pub use instr::{lower_instructions, store_region, AxisWrite, Instr, MemSpace};
 pub use program::KernelProgram;
-pub use trace::{estimate_cost, trace_kernel};
+pub use trace::{estimate_accumulate_cost, estimate_cost, trace_kernel};

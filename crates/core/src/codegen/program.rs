@@ -101,7 +101,11 @@ mod tests {
         let n_dim = smg.value_axes[0][1];
         let plan = plan_temporal(&g, &smg, n_dim).unwrap();
         let spatial = vec![(m_dim, 16)];
-        let temporal = Some(TemporalSchedule { plan, block: 32 });
+        let temporal = Some(TemporalSchedule {
+            plan,
+            block: 32,
+            split: None,
+        });
         let mem = assign_memory(&g, &smg, &spatial, temporal.as_ref(), 32 << 10);
         let kp = KernelProgram::new(
             "softmax",

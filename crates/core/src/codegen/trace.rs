@@ -379,17 +379,82 @@ pub fn estimate_cost(kp: &KernelProgram, total_instances: u64) -> KernelCost {
         flops += TILE_OVERHEAD_FLOPS * n_tiles * phases * grid;
     }
 
+    // Split-K: the tile loop runs as `partitions` independent grid
+    // units (grid × P drives occupancy — the whole point of the split),
+    // paid for by partial-state traffic (each sliced reduction's
+    // accumulator is written per partition, re-read and folded by the
+    // combine) plus per-partition loop setup. Where the grid already
+    // saturates the machine the utilization term gains nothing and the
+    // combine overhead makes split-K lose — exactly the tradeoff the
+    // tuner should arbitrate.
+    let partitions = s.temporal.as_ref().map_or(1, |t| t.partitions()) as u64;
+    let mut l2_per_block = read_per_block + write_per_block;
+    if partitions > 1 {
+        if let Some(t) = &s.temporal {
+            let mut state_per_block = 0u64;
+            for sl in &t.plan.sliced {
+                let out = graph.ops()[sl.op.0].output;
+                state_per_block += s.smg.block_footprint(graph, out, &spatial_restrict);
+            }
+            // P partial writes + P combine reads + 1 combined write.
+            l2_per_block += state_per_block * (2 * partitions + 1);
+            // Rescale-and-merge arithmetic over every partial element,
+            // plus per-partition loop entry overhead.
+            flops += (state_per_block / esz.max(1)) * partitions * 8 * grid;
+            flops += TILE_OVERHEAD_FLOPS * partitions * grid;
+        }
+    }
+
     KernelCost {
         name: kp.name.clone(),
-        grid: grid * total_instances,
+        grid: grid * partitions * total_instances,
         flops: flops * total_instances,
         global_read_bytes: read_per_block * grid * total_instances,
         global_write_bytes: write_per_block * grid * total_instances,
         dram_read_bytes: (compulsory * total_instances)
             .min(read_per_block * grid * total_instances),
         dram_write_bytes: write_per_block * grid * total_instances,
-        l2_bytes: (read_per_block + write_per_block) * grid * total_instances,
+        l2_bytes: l2_per_block * grid * total_instances,
         smem_per_block: s.smem_per_block(graph),
         regs_per_block: s.regs_per_block(graph),
     }
+}
+
+/// Cost of a split-K candidate's **accumulate dispatch alone** — the
+/// partial-accumulator launch, without the combine fold's traffic (the
+/// P partial re-reads, the combined write) or its rescale-and-merge
+/// arithmetic. For unsplit kernels this is the full cost.
+///
+/// The bounded tuner measures split candidates dispatch-by-dispatch
+/// the way an on-GPU test run times the two launches; this is the
+/// figure after the first launch. It never exceeds
+/// [`estimate_cost`]'s total, so it is safe to early-quit on.
+pub fn estimate_accumulate_cost(kp: &KernelProgram, total_instances: u64) -> KernelCost {
+    let mut cost = estimate_cost(kp, total_instances);
+    let graph = &kp.graph;
+    let s = &kp.schedule;
+    let partitions = s.temporal.as_ref().map_or(1, |t| t.partitions()) as u64;
+    if partitions > 1 {
+        if let Some(t) = &s.temporal {
+            let esz = graph.dtype().size_bytes() as u64;
+            let grid = s.grid();
+            let spatial_restrict: Vec<(DimId, usize)> = s.spatial.clone();
+            let mut state_per_block = 0u64;
+            for sl in &t.plan.sliced {
+                let out = graph.ops()[sl.op.0].output;
+                state_per_block += s.smg.block_footprint(graph, out, &spatial_restrict);
+            }
+            let scale = grid * total_instances;
+            // Combine dispatch's share of the split overhead added by
+            // estimate_cost: P partial reads + 1 combined write, and
+            // the rescale-and-merge flops.
+            cost.l2_bytes = cost
+                .l2_bytes
+                .saturating_sub(state_per_block * (partitions + 1) * scale);
+            cost.flops = cost
+                .flops
+                .saturating_sub((state_per_block / esz.max(1)) * partitions * 8 * scale);
+        }
+    }
+    cost
 }

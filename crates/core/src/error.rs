@@ -15,7 +15,10 @@ pub enum SfError {
     NoSpatialDim(String),
     /// Temporal slicing failed: the broadcast postposition / update-path
     /// analysis found no algebraic simplification (paper §4.3: "not all
-    /// the All-to-One chains end up with simplification results").
+    /// the All-to-One chains end up with simplification results"), or a
+    /// sliced reduction depends on a produced value outside the sliced
+    /// dimension (no legal phase ordering). Callers abandon the
+    /// dimension and fall back to the next priority.
     UpdatePath(String),
     /// No schedule configuration satisfies the hardware resource
     /// constraints (triggers SMG partitioning).

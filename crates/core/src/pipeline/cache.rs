@@ -66,6 +66,9 @@ pub struct SavedConfig {
     pub spatial: Vec<usize>,
     /// Temporal block size, when the kernel is temporally sliced.
     pub temporal: Option<usize>,
+    /// Split-K partition count, when the tile loop is split. The
+    /// combine algebra is re-derived from the plan on rebuild.
+    pub split: Option<usize>,
 }
 
 /// Outcome of [`ScheduleCache::claim`].
@@ -214,6 +217,7 @@ mod tests {
             configs: vec![SavedConfig {
                 spatial: vec![16],
                 temporal: None,
+                split: None,
             }],
         }
     }

@@ -523,6 +523,12 @@ impl Scheduler<'_, '_> {
                             .map(|k| SavedConfig {
                                 spatial: k.schedule.spatial.iter().map(|&(_, b)| b).collect(),
                                 temporal: k.schedule.temporal.as_ref().map(|t| t.block),
+                                split: k
+                                    .schedule
+                                    .temporal
+                                    .as_ref()
+                                    .and_then(|t| t.split.as_ref())
+                                    .map(|s| s.partitions),
                             })
                             .collect(),
                     };
@@ -839,10 +845,23 @@ impl Scheduler<'_, '_> {
         }
         let spatial: Vec<_> = dims.into_iter().zip(cfg.spatial.iter().copied()).collect();
         let temporal = match cfg.temporal {
-            Some(block) => Some(TemporalSchedule {
-                plan: self.cached_plan(opts, &g, &smg, &spatial)?,
-                block,
-            }),
+            Some(block) => {
+                let plan = self.cached_plan(opts, &g, &smg, &spatial)?;
+                // A saved split factor is rebuilt from the plan: the
+                // combine algebra is a pure function of (graph, plan),
+                // so only the partition count needs caching. A plan
+                // that no longer derives a combine means shape drift.
+                let split = match cfg.split {
+                    Some(partitions) => Some(crate::sched::SplitK {
+                        partitions,
+                        combine: crate::slicer::derive_combine(&g, &plan).ok_or_else(|| {
+                            SfError::Codegen("cached split-K combine not reproducible".into())
+                        })?,
+                    }),
+                    None => None,
+                };
+                Some(TemporalSchedule { plan, block, split })
+            }
             None => None,
         };
         let mem = assign_memory(

@@ -299,6 +299,7 @@ mod tests {
         let temporal = bt.map(|b| TemporalSchedule {
             plan: plan_temporal(&g, &smg, l_dim).unwrap(),
             block: b,
+            split: None,
         });
         let mem = assign_memory(&g, &smg, &spatial, temporal.as_ref(), 32 << 10);
         (

@@ -22,4 +22,6 @@ pub mod schedule;
 pub use memory::{assign_memory, MemLevel, MemoryAssignment};
 pub use partition::{alternative_cut, extract_ops, partition_round, split_graph, sub_smg_units};
 pub use resource::{resource_aware_slicing, SlicingOptions};
-pub use schedule::{op_roles, FusedSchedule, OpRole, TemporalSchedule};
+pub use schedule::{
+    normalize_partitions, op_roles, FusedSchedule, OpRole, SplitK, TemporalSchedule,
+};

@@ -1,11 +1,11 @@
 //! Resource-aware slicing (paper §5.1, Algorithm 1).
 
 use super::memory::assign_memory;
-use super::schedule::{FusedSchedule, TemporalSchedule};
+use super::schedule::{normalize_partitions, FusedSchedule, SplitK, TemporalSchedule};
 use crate::error::{Result, SfError};
 use crate::resilience::Deadline;
 use crate::slicer::{
-    eligible_spatial_dims, pick_temporal_dim, plan_temporal, AggKind, TemporalPlan,
+    derive_combine, eligible_spatial_dims, pick_temporal_dim, plan_temporal, AggKind, TemporalPlan,
 };
 use crate::smg::{DimId, Smg};
 use sf_gpu_sim::GpuArch;
@@ -27,6 +27,11 @@ pub struct SlicingOptions {
     pub fixed_spatial_block: Option<usize>,
     /// Use only this temporal block size.
     pub fixed_temporal_block: Option<usize>,
+    /// Enumerate split-K variants of temporally sliced schedules
+    /// (partitioned tile loop + combine phase). Off for expert-pinned
+    /// ablation variants, which model systems without partial-aggregate
+    /// schedules.
+    pub enable_split: bool,
     /// Cap on the number of feasible schedules returned.
     pub max_configs: usize,
     /// Wall-clock budget for the enumeration. When it expires the loop
@@ -44,6 +49,7 @@ impl Default for SlicingOptions {
             enable_uta: true,
             fixed_spatial_block: None,
             fixed_temporal_block: None,
+            enable_split: true,
             max_configs: 128,
             deadline: Deadline::none(),
         }
@@ -82,6 +88,35 @@ fn min_block_of(graph: &Graph, smg: &Smg, d: DimId) -> usize {
     } else {
         1
     }
+}
+
+/// Candidate split factors. Raw powers of two are normalized against
+/// the tile count (every partition must own ≥ 1 tile) and deduplicated;
+/// a factor that collapses to 1 is dropped.
+const SPLIT_FACTORS: [usize; 3] = [2, 4, 8];
+
+/// Split-K schedule variants for one temporal plan at tile size `tb`:
+/// one [`SplitK`] per distinct effective partition count, or none when
+/// any sliced reduction lacks a combinable partial-state algebra.
+fn split_k_variants(graph: &Graph, plan: &TemporalPlan, extent: usize, tb: usize) -> Vec<SplitK> {
+    let n_tiles = extent.div_ceil(tb);
+    if n_tiles < 2 {
+        return Vec::new();
+    }
+    let Some(combine) = derive_combine(graph, plan) else {
+        return Vec::new();
+    };
+    let mut out: Vec<SplitK> = Vec::new();
+    for want in SPLIT_FACTORS {
+        let p = normalize_partitions(n_tiles, want);
+        if p >= 2 && !out.iter().any(|s| s.partitions == p) {
+            out.push(SplitK {
+                partitions: p,
+                combine: combine.clone(),
+            });
+        }
+    }
+    out
 }
 
 /// Finds the highest-priority temporal plan, skipping dimensions whose
@@ -204,6 +239,7 @@ pub fn resource_aware_slicing(
                 let temporal = Some(TemporalSchedule {
                     plan: plan.clone(),
                     block: tb,
+                    split: None,
                 });
                 let mem = assign_memory(graph, smg, &spatial, temporal.as_ref(), staging_limit);
                 let s = FusedSchedule {
@@ -213,7 +249,39 @@ pub fn resource_aware_slicing(
                     mem,
                 };
                 if arch.block_fits(s.smem_per_block(graph), s.regs_per_block(graph)) {
+                    // Split-K variants: partition the tile loop into P
+                    // parallel partial accumulators when every sliced
+                    // reduction has a combinable partial-state algebra
+                    // (§ DESIGN 3i). The serial variant stays in the
+                    // pool too — the tuner arbitrates. Expert-pinned
+                    // configurations never split: without the tuner the
+                    // pipeline picks the last candidate blindly, and
+                    // the systems those ablations model have no
+                    // partial-aggregate schedules.
+                    let splits = if opts.enable_split
+                        && opts.fixed_spatial_block.is_none()
+                        && opts.fixed_temporal_block.is_none()
+                    {
+                        split_k_variants(graph, plan, smg.extent(plan.dim), tb)
+                    } else {
+                        Vec::new()
+                    };
                     feasible.push(s);
+                    for split in splits {
+                        let temporal = Some(TemporalSchedule {
+                            plan: plan.clone(),
+                            block: tb,
+                            split: Some(split),
+                        });
+                        let mem =
+                            assign_memory(graph, smg, &spatial, temporal.as_ref(), staging_limit);
+                        feasible.push(FusedSchedule {
+                            smg: smg.clone(),
+                            spatial: spatial.clone(),
+                            temporal,
+                            mem,
+                        });
+                    }
                 }
             }
         }

@@ -1,9 +1,26 @@
 //! Concrete fusion schedules.
 
 use super::memory::{MemLevel, MemoryAssignment};
-use crate::slicer::TemporalPlan;
+use crate::slicer::{CombineSpec, TemporalPlan};
 use crate::smg::{DimId, Smg};
 use sf_ir::{Graph, ValueId};
+
+/// Split-K reduction: the temporal tile loop is cut into `partitions`
+/// independent ranges, each producing a partial aggregate state, folded
+/// by a deterministic fixed-order combine phase (Neptune-style split
+/// reduction / FlashDecoding). The serial executor walks partitions in
+/// the same order with the same combine, so results are bit-identical
+/// at every thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitK {
+    /// Number of parallel partial accumulators (≥ 2, and every
+    /// partition owns a non-empty tile range — see
+    /// [`normalize_partitions`]).
+    pub partitions: usize,
+    /// Per-sliced-reduction combine algebra, in
+    /// [`TemporalPlan::sliced`] order.
+    pub combine: Vec<CombineSpec>,
+}
 
 /// Temporal slicing with its chosen intra-block size.
 #[derive(Debug, Clone, PartialEq)]
@@ -12,6 +29,39 @@ pub struct TemporalSchedule {
     pub plan: TemporalPlan,
     /// Intra-block extent along the sliced dimension.
     pub block: usize,
+    /// Optional split-K partitioning of the tile loop.
+    pub split: Option<SplitK>,
+}
+
+impl TemporalSchedule {
+    /// Number of split-K partitions (1 when unsplit).
+    pub fn partitions(&self) -> usize {
+        self.split.as_ref().map_or(1, |s| s.partitions)
+    }
+
+    /// Tile range `[lo, hi)` of partition `p` over `n_tiles` tiles.
+    /// Every partition of a normalized count is non-empty.
+    pub fn partition_tiles(&self, n_tiles: usize, p: usize) -> (usize, usize) {
+        let per = n_tiles.div_ceil(self.partitions());
+        (p * per, ((p + 1) * per).min(n_tiles))
+    }
+}
+
+/// Largest partition count `≤ want` for which every partition owns at
+/// least one of `n_tiles` tiles under the `ceil(T/P)`-sized blocking.
+/// Iterating `P ↦ ceil(T / ceil(T/P))` to its fixed point removes the
+/// trailing empty partitions a naive ceil-split can produce (e.g.
+/// `T=5, want=4` gives per=2 and only 3 non-empty partitions).
+pub fn normalize_partitions(n_tiles: usize, want: usize) -> usize {
+    let mut p = want.clamp(1, n_tiles.max(1));
+    loop {
+        let per = n_tiles.div_ceil(p).max(1);
+        let effective = n_tiles.div_ceil(per).max(1);
+        if effective == p {
+            return p;
+        }
+        p = effective;
+    }
 }
 
 /// A fully concrete schedule for one fused kernel.
@@ -153,7 +203,11 @@ mod tests {
         let n_dim = smg.value_axes[0][1];
         let plan = plan_temporal(&g, &smg, n_dim).unwrap();
         let spatial = vec![(m_dim, 16)];
-        let temporal = Some(TemporalSchedule { plan, block: 64 });
+        let temporal = Some(TemporalSchedule {
+            plan,
+            block: 64,
+            split: None,
+        });
         let mem = assign_memory(&g, &smg, &spatial, temporal.as_ref(), 32 << 10);
         let s = FusedSchedule {
             smg,
@@ -174,7 +228,11 @@ mod tests {
         let n_dim = smg.value_axes[0][1];
         let plan = plan_temporal(&g, &smg, n_dim).unwrap();
         let spatial = vec![(m_dim, 16)];
-        let temporal = Some(TemporalSchedule { plan, block: 64 });
+        let temporal = Some(TemporalSchedule {
+            plan,
+            block: 64,
+            split: None,
+        });
         let mem = assign_memory(&g, &smg, &spatial, temporal.as_ref(), 32 << 10);
         let s = FusedSchedule {
             smg,

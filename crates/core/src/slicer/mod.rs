@@ -16,10 +16,12 @@
 //!   for attention this recovers exactly the FlashAttention online-softmax
 //!   rescaling without any attention-specific code.
 
+pub mod combine;
 pub mod spatial;
 pub mod temporal;
 pub mod update;
 
+pub use combine::{derive_combine, CombineSpec};
 pub use spatial::eligible_spatial_dims;
 pub use temporal::{pick_temporal_dim, plan_temporal, AggKind, SlicedReduction, TemporalPlan};
 pub use update::{FactorForm, UpdateFactor};

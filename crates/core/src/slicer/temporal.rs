@@ -115,6 +115,48 @@ pub fn plan_temporal(graph: &Graph, smg: &Smg, dim: DimId) -> Result<TemporalPla
         .map(|&o| graph.ops()[o.0].output)
         .collect();
 
+    // Phase-1 feasibility: every op transitively feeding a sliced
+    // reduction runs inside the loop, so each of its *produced* inputs
+    // must either span `dim` (recomputed per tile) or be a running
+    // aggregate of an earlier sliced reduction. A produced value outside
+    // the sliced dimension only exists after the loop — no phase
+    // ordering can evaluate such a reduction, so the dimension must be
+    // abandoned. (Graph inputs and weights are exempt: they live in
+    // global memory and stage before the loop.)
+    let mut produced_by = vec![None; graph.values().len()];
+    for (oi, op) in graph.ops().iter().enumerate() {
+        produced_by[op.output.0] = Some(oi);
+    }
+    let mut needed = vec![false; graph.ops().len()];
+    let mut stack: Vec<usize> = sliced_ops.iter().map(|o| o.0).collect();
+    while let Some(oi) = stack.pop() {
+        if std::mem::replace(&mut needed[oi], true) {
+            continue;
+        }
+        for &input in &graph.ops()[oi].inputs {
+            if let Some(p) = produced_by[input.0] {
+                stack.push(p);
+            }
+        }
+    }
+    for (oi, op) in graph.ops().iter().enumerate() {
+        if !needed[oi] {
+            continue;
+        }
+        for &input in &op.inputs {
+            if produced_by[input.0].is_some()
+                && !sliced_outputs.contains(&input)
+                && !smg.value_has_dim(graph, input, dim)
+            {
+                return Err(crate::error::SfError::UpdatePath(format!(
+                    "sliced reduction depends on '{}', a produced value outside the sliced \
+                     dimension; it is only available after the loop",
+                    graph.value(input).name
+                )));
+            }
+        }
+    }
+
     // (a) A kernel output spanning `dim` cannot be finalized mid-loop.
     let mut two_phase = graph
         .outputs()
@@ -261,6 +303,34 @@ mod tests {
         g.mark_output(v);
         let smg = build_smg(&g).unwrap();
         let n_dim = smg.value_axes[0][1];
+        assert!(matches!(
+            plan_temporal(&g, &smg, n_dim),
+            Err(SfError::UpdatePath(_))
+        ));
+    }
+
+    #[test]
+    fn reduction_fed_by_value_outside_dim_is_rejected() {
+        // softmax(x) @ W, then reduce over the GEMM's N dimension:
+        // slicing N puts the whole softmax chain outside the loop, yet
+        // the sliced reduction needs it in phase 1. No legal phase
+        // ordering exists, so the dimension must be abandoned (the
+        // tuner then falls back to the next dimension or stays serial).
+        let mut g = Graph::new("smgemm", DType::F32);
+        let x = g.input("x", Shape::new(vec![2, 2]));
+        let w = g.weight("w", Shape::new(vec![2, 32]));
+        let m = g.reduce(ReduceOp::Max, x, 1).unwrap();
+        let s = g.binary(BinaryOp::Sub, x, m).unwrap();
+        let e = g.unary(UnaryOp::Exp, s).unwrap();
+        let z = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+        let d = g.binary(BinaryOp::Div, e, z).unwrap();
+        let mm = g.gemm(d, w, false).unwrap();
+        let r = g.reduce(ReduceOp::Sum, mm, 1).unwrap();
+        g.mark_output(r);
+        let smg = build_smg(&g).unwrap();
+        // The GEMM output's N axis (extent 32) is the reduce dim.
+        let n_dim = smg.value_axes[mm.0][1];
+        assert_eq!(smg.extent(n_dim), 32);
         assert!(matches!(
             plan_temporal(&g, &smg, n_dim),
             Err(SfError::UpdatePath(_))

@@ -14,7 +14,7 @@
 //! result [`TuneResult::timed_out`]. Unmeasured candidates count as
 //! pruned, preserving `evaluated + pruned == candidates.len()`.
 
-use crate::codegen::{estimate_cost, KernelProgram};
+use crate::codegen::{estimate_accumulate_cost, estimate_cost, KernelProgram};
 use crate::resilience::Deadline;
 use sf_gpu_sim::GpuArch;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -86,7 +86,34 @@ pub fn tune_bounded(
                 timed_out = true;
                 break;
             }
-            let t = arch.kernel_time_us(&estimate_cost(kp, instances));
+            // Split-K candidates are measured dispatch-by-dispatch (as
+            // an on-GPU test run times the two launches), re-checking
+            // the deadline between the accumulate and combine figures.
+            // The first candidate is exempt so an already-expired
+            // deadline still yields one *complete* measurement.
+            let t = if i > 0 && is_split(kp) {
+                match measure_split_bounded(kp, arch, instances, alpha, best_us, &deadline) {
+                    SplitMeasure::Complete(t) => t,
+                    SplitMeasure::EarlyQuit => {
+                        // The accumulate dispatch alone already exceeds
+                        // best/α; the combine can only add to it.
+                        pruned += 1;
+                        continue;
+                    }
+                    SplitMeasure::Expired => {
+                        // The budget ran out after the accumulate
+                        // dispatch was timed but before the combine: the
+                        // partial figure understates the candidate, so
+                        // it is discarded — the best fully-measured
+                        // schedule stands, never a half-evaluated split.
+                        pruned += candidates.len() - i;
+                        timed_out = true;
+                        break;
+                    }
+                }
+            } else {
+                arch.kernel_time_us(&estimate_cost(kp, instances))
+            };
             if t > best_us / alpha {
                 pruned += 1;
             } else {
@@ -123,6 +150,51 @@ pub fn tune_bounded(
         pruned,
         timed_out,
     })
+}
+
+/// Outcome of one staged split-K measurement under a deadline.
+#[derive(Debug, PartialEq)]
+enum SplitMeasure {
+    /// Both dispatches were timed; the candidate's full figure.
+    Complete(f64),
+    /// The accumulate dispatch alone already lost to `best / α`.
+    EarlyQuit,
+    /// The deadline expired between the two dispatches — the partial
+    /// (accumulate-only) figure must be discarded.
+    Expired,
+}
+
+/// Whether a candidate carries a split-K temporal schedule.
+fn is_split(kp: &KernelProgram) -> bool {
+    kp.schedule
+        .temporal
+        .as_ref()
+        .is_some_and(|t| t.split.is_some())
+}
+
+/// Measures one split-K candidate dispatch-by-dispatch under a
+/// deadline: time the accumulate launch, early-quit or re-check the
+/// budget, then time the full candidate. A candidate abandoned between
+/// the launches yields [`SplitMeasure::Expired`] — its accumulate-only
+/// figure omits the combine's traffic and would understate the
+/// schedule, so the caller must fall back to the best *complete*
+/// measurement rather than crown it.
+fn measure_split_bounded(
+    kp: &KernelProgram,
+    arch: &GpuArch,
+    instances: u64,
+    alpha: f64,
+    best_us: f64,
+    deadline: &Deadline,
+) -> SplitMeasure {
+    let t_acc = arch.kernel_time_us(&estimate_accumulate_cost(kp, instances));
+    if t_acc > best_us / alpha {
+        return SplitMeasure::EarlyQuit;
+    }
+    if deadline.expired() {
+        return SplitMeasure::Expired;
+    }
+    SplitMeasure::Complete(arch.kernel_time_us(&estimate_cost(kp, instances)))
 }
 
 /// Cost-model time of every candidate, in candidate order.
@@ -273,6 +345,59 @@ mod tests {
         assert!(!bounded.timed_out);
         assert_eq!(bounded.best, unbounded.best);
         assert_eq!(bounded.best_us, unbounded.best_us);
+    }
+
+    #[test]
+    fn split_measure_discards_partial_figure_on_expiry() {
+        let arch = GpuArch::ampere();
+        let (_, kps) = mha_candidates(&arch);
+        let split = kps
+            .iter()
+            .find(|kp| is_split(kp))
+            .expect("slicer emits split-K variants for mha");
+        // Budget already gone when the mid-measurement check runs: the
+        // accumulate-only figure must be discarded, not returned.
+        let r = measure_split_bounded(
+            split,
+            &arch,
+            32,
+            0.25,
+            f64::INFINITY,
+            &Deadline::after_ms(0),
+        );
+        assert_eq!(r, SplitMeasure::Expired);
+        // With budget left, the staged figure is exactly the unbounded
+        // one, and the accumulate-only figure never exceeds it (so
+        // early-quitting on it is conservative).
+        let full = arch.kernel_time_us(&estimate_cost(split, 32));
+        let acc = arch.kernel_time_us(&estimate_accumulate_cost(split, 32));
+        assert!(acc <= full, "accumulate dispatch alone exceeds the total");
+        assert_eq!(
+            measure_split_bounded(split, &arch, 32, 0.25, f64::INFINITY, &Deadline::none()),
+            SplitMeasure::Complete(full)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_never_crowns_a_half_evaluated_split() {
+        let arch = GpuArch::ampere();
+        let (_, kps) = mha_candidates(&arch);
+        // Order the search so every candidate after the first is a
+        // split-K schedule — the shapes the staged measurement guards.
+        let mut ordered: Vec<KernelProgram> =
+            kps.iter().filter(|kp| !is_split(kp)).cloned().collect();
+        let n_complete = ordered.len();
+        ordered.extend(kps.iter().filter(|kp| is_split(kp)).cloned());
+        assert!(ordered.len() > n_complete, "no split candidates to guard");
+        let r = tune_bounded(&ordered, &arch, 32, 0.25, Deadline::after_ms(0)).unwrap();
+        assert!(r.timed_out);
+        // The winner is a fully-measured schedule, never one whose
+        // combine dispatch went unmeasured.
+        assert!(
+            !is_split(&ordered[r.best]),
+            "expired search crowned a split candidate it could not have finished measuring"
+        );
+        assert_eq!(r.evaluated + r.pruned, ordered.len());
     }
 
     #[test]

@@ -193,9 +193,12 @@ pub fn check_instructions(kp: &KernelProgram, instrs: &[Instr]) -> Vec<Diagnosti
                     }
                 }
             }
-            // Stores read the thread-private register copy; nothing to
-            // check.
-            Instr::Store { .. } => {}
+            // Stores (and partial-state parks) read the thread-private
+            // register copy; the combine phase runs after the phase-1
+            // drain on finalized slots. Nothing to check here —
+            // footprints are the race prover's concern, the combine
+            // algebra SLC104's.
+            Instr::Store { .. } | Instr::StorePartial { .. } | Instr::Combine { .. } => {}
         }
     }
     diags

@@ -11,7 +11,7 @@
 //!   dimension), direction-dimension validity, dimension-alignment
 //!   coherence between tensor axes and global dimensions, and
 //!   acyclicity of the mapping edges.
-//! * **Slicing legality** ([`slicing`], `SLC101`–`SLC103`) — spatially
+//! * **Slicing legality** ([`slicing`], `SLC101`–`SLC104`) — spatially
 //!   sliced dimensions carry no flow dependencies (Table 3), every
 //!   temporally sliced operator really is a reduction along the sliced
 //!   dimension, and the declared Simple-Aggregate/UTA update functions
@@ -50,7 +50,7 @@ pub mod structural;
 pub use barriers::{check_bounds, check_instructions};
 pub use races::{check_races, prove_disjoint, DisjointProof};
 pub use resources::check_resources;
-pub use slicing::check_slicing;
+pub use slicing::{check_partial_aggregate, check_slicing};
 pub use structural::check_smg;
 
 use crate::codegen::{lower_instructions, KernelProgram};
@@ -100,6 +100,12 @@ pub enum DiagCode {
     /// `SLC103` — the declared update function disagrees with the
     /// broadcast-postposition back-trace (§4.3).
     SlcUpdateChain,
+    /// `SLC104` — split-K partial-aggregate legality: the combine phase
+    /// must exist for every sliced reduction of a split schedule, fold
+    /// the full partition count, use the associative merge operator the
+    /// combine algebra derives for the reduction, and rescale exactly
+    /// the UTA partials (the (max, rescaled-sum) softmax pair).
+    SlcPartialAggregate,
     /// `RES201` — per-block shared memory exceeds the architecture
     /// budget.
     ResSmemOverBudget,
@@ -149,6 +155,7 @@ impl DiagCode {
             DiagCode::SlcIllegalSpatialDim => "SLC101",
             DiagCode::SlcNotASlicedReduction => "SLC102",
             DiagCode::SlcUpdateChain => "SLC103",
+            DiagCode::SlcPartialAggregate => "SLC104",
             DiagCode::ResSmemOverBudget => "RES201",
             DiagCode::ResRegsOverBudget => "RES202",
             DiagCode::ResZeroOccupancy => "RES203",
@@ -174,6 +181,7 @@ impl DiagCode {
             DiagCode::SlcIllegalSpatialDim => "spatial-slicing legality",
             DiagCode::SlcNotASlicedReduction => "temporal slice targets a reduction",
             DiagCode::SlcUpdateChain => "UTA update-function derivability",
+            DiagCode::SlcPartialAggregate => "split-K partial-aggregate combine legality",
             DiagCode::ResSmemOverBudget => "shared-memory budget",
             DiagCode::ResRegsOverBudget => "register budget",
             DiagCode::ResZeroOccupancy => "non-zero occupancy",
@@ -201,7 +209,7 @@ impl DiagCode {
     }
 
     /// All codes, in catalog order.
-    pub fn all() -> [DiagCode; 19] {
+    pub fn all() -> [DiagCode; 20] {
         [
             DiagCode::SmgMappingClass,
             DiagCode::SmgDirectionDim,
@@ -210,6 +218,7 @@ impl DiagCode {
             DiagCode::SlcIllegalSpatialDim,
             DiagCode::SlcNotASlicedReduction,
             DiagCode::SlcUpdateChain,
+            DiagCode::SlcPartialAggregate,
             DiagCode::ResSmemOverBudget,
             DiagCode::ResRegsOverBudget,
             DiagCode::ResZeroOccupancy,
@@ -377,6 +386,7 @@ pub fn verify_kernel(kp: &KernelProgram, arch: &GpuArch) -> Vec<Diagnostic> {
     diags.extend(resources::check_resources(kp, arch));
     let instrs = lower_instructions(kp);
     diags.extend(barriers::check_instructions(kp, &instrs));
+    diags.extend(slicing::check_partial_aggregate(kp, &instrs));
     diags.extend(races::check_races(kp, &instrs));
     diags
 }

@@ -183,104 +183,29 @@ pub fn check_races(kp: &KernelProgram, instrs: &[Instr]) -> Vec<Diagnostic> {
                     ));
                 }
                 stored.insert(*value, idx);
-                let mut provable = true;
-                for (axis, aw) in region.iter().enumerate() {
-                    match aw {
-                        AxisWrite::Opaque => {
-                            provable = false;
-                            diags.push(Diagnostic::new(
-                                DiagCode::RaceUnprovableFootprint,
-                                Span::Instr(idx),
-                                format!(
-                                    "axis {axis} of '{}' has no affine footprint (axis\u{2194}dimension alignment is broken); disjointness is unprovable",
-                                    name(kp, *value)
-                                ),
-                            ));
-                        }
-                        AxisWrite::Tiled {
-                            dim,
-                            block,
-                            span,
-                            clamp,
-                            extent,
-                        } => {
-                            let n_blocks = multi
-                                .iter()
-                                .find(|&&(d, _, _)| d == *dim)
-                                .map(|&(_, _, n)| n)
-                                .unwrap_or(1);
-                            if dim.0 >= smg.dims.len()
-                                || !kp.schedule.spatial.iter().any(|&(rd, _)| rd == *dim)
-                            {
-                                provable = false;
-                                diags.push(Diagnostic::new(
-                                    DiagCode::RaceUnprovableFootprint,
-                                    Span::Instr(idx),
-                                    format!(
-                                        "axis {axis} of '{}' claims a tile along d{} which the schedule does not partition",
-                                        name(kp, *value),
-                                        dim.0
-                                    ),
-                                ));
-                                continue;
-                            }
-                            if *block == 0 || *span == 0 {
-                                provable = false;
-                                diags.push(Diagnostic::new(
-                                    DiagCode::RaceUnprovableFootprint,
-                                    Span::Instr(idx),
-                                    format!(
-                                        "axis {axis} of '{}' has a degenerate tile (block {block}, span {span})",
-                                        name(kp, *value)
-                                    ),
-                                ));
-                                continue;
-                            }
-                            if *clamp > *extent {
-                                diags.push(Diagnostic::new(
-                                    DiagCode::RaceWriteEscapesExtent,
-                                    Span::Instr(idx),
-                                    format!(
-                                        "axis {axis} of '{}' is clamped at {clamp} but the axis holds only {extent} elements: the last block writes past the end of its slot region",
-                                        name(kp, *value)
-                                    ),
-                                ));
-                            }
-                            if span > block && n_blocks >= 2 {
-                                diags.push(Diagnostic::new(
-                                    DiagCode::RaceOverlappingWrites,
-                                    Span::Instr(idx),
-                                    format!(
-                                        "tiles of '{}' along '{}' overlap: each block writes {span} elements at stride {block}, so blocks 0 and 1 collide on [{block}, {})",
-                                        name(kp, *value),
-                                        smg.dims[dim.0].name,
-                                        (*span).min(*clamp)
-                                    ),
-                                ));
-                            }
-                        }
-                        AxisWrite::Full { .. } => {}
-                    }
-                }
-                if provable {
-                    for &(d, b, n) in &multi {
-                        let covered = region.iter().any(|aw| {
-                            matches!(aw, AxisWrite::Tiled { dim, block, span, .. }
-                                     if *dim == d && *span <= *block)
-                        });
-                        if !covered {
-                            diags.push(Diagnostic::new(
-                                DiagCode::RaceOverlappingWrites,
-                                Span::Instr(idx),
-                                format!(
-                                    "no axis of '{}' is tiled by '{}' ({n} blocks of {b}): blocks 0 and 1 write identical regions",
-                                    name(kp, *value),
-                                    smg.dims[d.0].name
-                                ),
-                            ));
+                check_store_footprint(kp, idx, *value, region, None, &multi, &mut diags);
+            }
+            Instr::StorePartial { value, region } => {
+                // A partial-state slot is worker scratch between the
+                // two dispatches of a split execution, not a published
+                // output: it never enters the readback set. Its
+                // footprint must additionally tile the partition axis,
+                // which is encoded along the *sliced* (temporal)
+                // dimension — a concurrent writer exists per partition,
+                // exactly like a spatial block along a tiled axis.
+                let temporal = kp.schedule.temporal.as_ref();
+                let t_dim = temporal.map(|t| t.plan.dim);
+                let mut required = multi.clone();
+                if let Some(t) = temporal {
+                    if t.partitions() >= 2 {
+                        if let Some(d) = t_dim {
+                            let n_tiles = smg.extent(d).div_ceil(t.block.max(1));
+                            let stride = n_tiles.div_ceil(t.partitions()) * t.block;
+                            required.push((d, stride, t.partitions()));
                         }
                     }
                 }
+                check_store_footprint(kp, idx, *value, region, t_dim, &required, &mut diags);
             }
             Instr::LoadBlock { value } | Instr::LoadTile { value } => {
                 if let Some(&first) = stored.get(value) {
@@ -320,10 +245,131 @@ pub fn check_races(kp: &KernelProgram, instrs: &[Instr]) -> Vec<Diagnostic> {
                     ));
                 }
             }
+            // The combine phase runs after the phase-1 pool drain (a
+            // kernel-internal ordering point for the partial slots);
+            // its algebra is SLC104's concern, not a race.
+            Instr::Combine { .. } => {}
             Instr::Barrier | Instr::LoopBegin { .. } | Instr::LoopEnd { .. } => {}
         }
     }
     diags
+}
+
+/// Validates one store footprint: per-axis affine form and tile
+/// overlap/escape rules, then coverage of every `required` concurrency
+/// axis (each `(dim, block, count)` with two or more concurrent writers
+/// must be tiled by some axis of the region). `temporal` names the
+/// sliced dimension a partial-state slot may legally tile in addition
+/// to the spatially partitioned ones.
+#[allow(clippy::too_many_arguments)]
+fn check_store_footprint(
+    kp: &KernelProgram,
+    idx: usize,
+    value: ValueId,
+    region: &[AxisWrite],
+    temporal: Option<DimId>,
+    required: &[(DimId, usize, usize)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let smg = &kp.schedule.smg;
+    let mut provable = true;
+    for (axis, aw) in region.iter().enumerate() {
+        match aw {
+            AxisWrite::Opaque => {
+                provable = false;
+                diags.push(Diagnostic::new(
+                    DiagCode::RaceUnprovableFootprint,
+                    Span::Instr(idx),
+                    format!(
+                        "axis {axis} of '{}' has no affine footprint (axis\u{2194}dimension alignment is broken); disjointness is unprovable",
+                        name(kp, value)
+                    ),
+                ));
+            }
+            AxisWrite::Tiled {
+                dim,
+                block,
+                span,
+                clamp,
+                extent,
+            } => {
+                let n_writers = required
+                    .iter()
+                    .find(|&&(d, _, _)| d == *dim)
+                    .map(|&(_, _, n)| n)
+                    .unwrap_or(1);
+                let partitioned =
+                    kp.schedule.spatial.iter().any(|&(rd, _)| rd == *dim) || temporal == Some(*dim);
+                if dim.0 >= smg.dims.len() || !partitioned {
+                    provable = false;
+                    diags.push(Diagnostic::new(
+                        DiagCode::RaceUnprovableFootprint,
+                        Span::Instr(idx),
+                        format!(
+                            "axis {axis} of '{}' claims a tile along d{} which the schedule does not partition",
+                            name(kp, value),
+                            dim.0
+                        ),
+                    ));
+                    continue;
+                }
+                if *block == 0 || *span == 0 {
+                    provable = false;
+                    diags.push(Diagnostic::new(
+                        DiagCode::RaceUnprovableFootprint,
+                        Span::Instr(idx),
+                        format!(
+                            "axis {axis} of '{}' has a degenerate tile (block {block}, span {span})",
+                            name(kp, value)
+                        ),
+                    ));
+                    continue;
+                }
+                if *clamp > *extent {
+                    diags.push(Diagnostic::new(
+                        DiagCode::RaceWriteEscapesExtent,
+                        Span::Instr(idx),
+                        format!(
+                            "axis {axis} of '{}' is clamped at {clamp} but the axis holds only {extent} elements: the last block writes past the end of its slot region",
+                            name(kp, value)
+                        ),
+                    ));
+                }
+                if span > block && n_writers >= 2 {
+                    diags.push(Diagnostic::new(
+                        DiagCode::RaceOverlappingWrites,
+                        Span::Instr(idx),
+                        format!(
+                            "tiles of '{}' along '{}' overlap: each block writes {span} elements at stride {block}, so blocks 0 and 1 collide on [{block}, {})",
+                            name(kp, value),
+                            smg.dims[dim.0].name,
+                            (*span).min(*clamp)
+                        ),
+                    ));
+                }
+            }
+            AxisWrite::Full { .. } => {}
+        }
+    }
+    if provable {
+        for &(d, b, n) in required {
+            let covered = region.iter().any(|aw| {
+                matches!(aw, AxisWrite::Tiled { dim, block, span, .. }
+                         if *dim == d && *span <= *block)
+            });
+            if !covered {
+                diags.push(Diagnostic::new(
+                    DiagCode::RaceOverlappingWrites,
+                    Span::Instr(idx),
+                    format!(
+                        "no axis of '{}' is tiled by '{}' ({n} blocks of {b}): blocks 0 and 1 write identical regions",
+                        name(kp, value),
+                        smg.dims[d.0].name
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 #[cfg(test)]

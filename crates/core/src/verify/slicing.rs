@@ -14,10 +14,16 @@
 //!   broadcast-postposition / update-path back-trace of §4.3. A chain
 //!   for which the back-trace fails has no derivable update function
 //!   and must not have been sliced.
+//! * `SLC104` — a split-K schedule's combine phase must agree with the
+//!   combine algebra independently re-derived from the graph: one
+//!   `StorePartial`/`Combine` pair per sliced reduction, the full
+//!   partition count folded, the associative merge operator the
+//!   reduction kind dictates, and rescaling on exactly the UTA
+//!   partials.
 
 use super::{DiagCode, Diagnostic, Span};
-use crate::codegen::KernelProgram;
-use crate::slicer::{update::update_factors, AggKind, UpdateFactor};
+use crate::codegen::{Instr, KernelProgram};
+use crate::slicer::{derive_combine, update::update_factors, AggKind, UpdateFactor};
 use crate::smg::{MappingKind, SpaceKind};
 use sf_ir::OpId;
 
@@ -126,6 +132,200 @@ pub fn check_slicing(kp: &KernelProgram) -> Vec<Diagnostic> {
                     ));
                 }
             }
+        }
+    }
+    diags
+}
+
+/// Runs the split-K partial-aggregate legality check (`SLC104`) over a
+/// lowered instruction stream.
+///
+/// Exposed separately from [`verify_kernel`](super::verify_kernel) so
+/// tests can corrupt a stream (drop a partition, swap the combine
+/// operator, strip the softmax rescale) and check the analyzer catches
+/// it. The combine algebra is re-derived from the graph with
+/// [`derive_combine`] rather than trusted from the schedule, so a
+/// schedule whose declared algebra drifted from the graph is caught
+/// too.
+pub fn check_partial_aggregate(kp: &KernelProgram, instrs: &[Instr]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let split = kp.schedule.temporal.as_ref().and_then(|t| t.split.as_ref());
+
+    let Some(split) = split else {
+        // Unsplit schedules must not park partials or fold them.
+        for (i, ins) in instrs.iter().enumerate() {
+            if matches!(ins, Instr::StorePartial { .. } | Instr::Combine { .. }) {
+                diags.push(Diagnostic::new(
+                    DiagCode::SlcPartialAggregate,
+                    Span::Instr(i),
+                    "partial-aggregate instruction in a schedule with no split-K \
+                     partitioning"
+                        .to_string(),
+                ));
+            }
+        }
+        return diags;
+    };
+    let t = kp
+        .schedule
+        .temporal
+        .as_ref()
+        .expect("split implies temporal");
+    let g = &kp.graph;
+
+    if split.partitions < 2 {
+        diags.push(Diagnostic::new(
+            DiagCode::SlcPartialAggregate,
+            Span::Schedule {
+                dim: t.plan.dim,
+                block: t.block,
+            },
+            format!(
+                "split-K declares {} partition(s) — a split needs at least 2",
+                split.partitions
+            ),
+        ));
+    }
+
+    let Some(derived) = derive_combine(g, &t.plan) else {
+        diags.push(Diagnostic::new(
+            DiagCode::SlcPartialAggregate,
+            Span::Schedule {
+                dim: t.plan.dim,
+                block: t.block,
+            },
+            "no combine algebra is derivable for this plan's sliced reductions — \
+             the schedule must not have been split"
+                .to_string(),
+        ));
+        return diags;
+    };
+
+    // One StorePartial and one Combine per sliced reduction, each
+    // matching the re-derived algebra.
+    for (sl, spec) in t.plan.sliced.iter().zip(&derived) {
+        let out = g.ops()[sl.op.0].output;
+        let parks = instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::StorePartial { value, .. } if *value == out))
+            .count();
+        if parks != 1 {
+            diags.push(Diagnostic::new(
+                DiagCode::SlcPartialAggregate,
+                Span::Op(sl.op),
+                format!(
+                    "sliced reduction op #{} ({}) has {parks} StorePartial \
+                     instruction(s) — its partial state is not parked exactly once",
+                    sl.op.0,
+                    g.ops()[sl.op.0].kind.name()
+                ),
+            ));
+        }
+        let combines: Vec<(usize, &Instr)> = instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i, Instr::Combine { op, .. } if *op == sl.op))
+            .collect();
+        if combines.len() != 1 {
+            diags.push(Diagnostic::new(
+                DiagCode::SlcPartialAggregate,
+                Span::Op(sl.op),
+                format!(
+                    "sliced reduction op #{} ({}) has {} Combine instruction(s) — \
+                     its partials are not folded exactly once",
+                    sl.op.0,
+                    g.ops()[sl.op.0].kind.name(),
+                    combines.len()
+                ),
+            ));
+            continue;
+        }
+        let (idx, ins) = combines[0];
+        let Instr::Combine {
+            partitions,
+            combine,
+            rescaled,
+            ..
+        } = ins
+        else {
+            unreachable!("filtered to Combine");
+        };
+        if *partitions != split.partitions {
+            diags.push(Diagnostic::new(
+                DiagCode::SlcPartialAggregate,
+                Span::Instr(idx),
+                format!(
+                    "combine for op #{} folds {partitions} partition(s) but the \
+                     schedule dispatches {} — partial accumulators would be dropped",
+                    sl.op.0, split.partitions
+                ),
+            ));
+        }
+        if *combine != spec.op {
+            diags.push(Diagnostic::new(
+                DiagCode::SlcPartialAggregate,
+                Span::Instr(idx),
+                format!(
+                    "combine for op #{} ({}) merges partials with {combine:?} but \
+                     the reduction's algebra requires {:?}",
+                    sl.op.0,
+                    g.ops()[sl.op.0].kind.name(),
+                    spec.op
+                ),
+            ));
+        }
+        if *rescaled != spec.rescale {
+            let msg = if spec.rescale {
+                format!(
+                    "combine for op #{} ({}) merges UTA partials without rescaling \
+                     — the (max, rescaled-sum) softmax algebra requires both sides \
+                     be rescaled against the combined dependencies",
+                    sl.op.0,
+                    g.ops()[sl.op.0].kind.name()
+                )
+            } else {
+                format!(
+                    "combine for op #{} ({}) rescales Simple-aggregate partials — \
+                     plain partials must merge unscaled",
+                    sl.op.0,
+                    g.ops()[sl.op.0].kind.name()
+                )
+            };
+            diags.push(Diagnostic::new(
+                DiagCode::SlcPartialAggregate,
+                Span::Instr(idx),
+                msg,
+            ));
+        }
+    }
+
+    // No stray partial-aggregate instructions for ops outside the plan.
+    let sliced: Vec<OpId> = t.plan.sliced.iter().map(|s| s.op).collect();
+    let outputs: Vec<_> = sliced.iter().map(|op| g.ops()[op.0].output).collect();
+    for (i, ins) in instrs.iter().enumerate() {
+        match ins {
+            Instr::StorePartial { value, .. } if !outputs.contains(value) => {
+                diags.push(Diagnostic::new(
+                    DiagCode::SlcPartialAggregate,
+                    Span::Instr(i),
+                    format!(
+                        "StorePartial parks '{}', which is not the output of any \
+                         sliced reduction",
+                        g.value_name(*value)
+                    ),
+                ));
+            }
+            Instr::Combine { op, .. } if !sliced.contains(op) => {
+                diags.push(Diagnostic::new(
+                    DiagCode::SlcPartialAggregate,
+                    Span::Instr(i),
+                    format!(
+                        "Combine targets op #{}, which is not a sliced reduction",
+                        op.0
+                    ),
+                ));
+            }
+            _ => {}
         }
     }
     diags

@@ -301,6 +301,7 @@ fn waiters_take_over_after_claimant_panic() {
         configs: vec![SavedConfig {
             spatial: vec![8],
             temporal: None,
+            split: None,
         }],
     };
     let claimed = Barrier::new(5);

@@ -13,9 +13,13 @@ use sf_tensor::ops::{BinaryOp, ReduceOp, UnaryOp};
 use sf_tensor::{DType, Shape};
 use spacefusion::codegen::{lower_instructions, AxisWrite, Instr, KernelProgram, MemSpace};
 use spacefusion::compiler::{Compiler, FusionPolicy};
+use spacefusion::sched::SplitK;
+use spacefusion::slicer::derive_combine;
 use spacefusion::slicer::AggKind;
 use spacefusion::smg::{DimId, Mapping, MappingKind};
-use spacefusion::verify::{check_instructions, check_races, verify_kernel, DiagCode};
+use spacefusion::verify::{
+    check_instructions, check_partial_aggregate, check_races, verify_kernel, DiagCode,
+};
 
 fn mha(l: usize) -> Graph {
     let mut g = Graph::new("mha", DType::F16);
@@ -277,6 +281,140 @@ fn mutate_tiled(instrs: &mut [Instr], f: impl Fn(&mut usize, &mut usize, &mut us
         }
     }
     assert!(hit, "the kernel should have at least one tiled store axis");
+}
+
+/// The MHA kernel with a 4-way split-K partitioning of its tile loop
+/// (combine algebra derived from the graph, as the slicer would).
+fn split_mha_kernel() -> (KernelProgram, GpuArch) {
+    let (mut kp, arch) = mha_kernel();
+    let t = kp.schedule.temporal.as_mut().unwrap();
+    let combine = derive_combine(&kp.graph, &t.plan).expect("MHA combine algebra derives");
+    t.split = Some(SplitK {
+        partitions: 4,
+        combine,
+    });
+    (kp, arch)
+}
+
+#[test]
+fn split_baseline_kernel_is_clean() {
+    let (kp, arch) = split_mha_kernel();
+    assert_eq!(codes(&kp, &arch), Vec::new());
+}
+
+/// Seeds one corruption into the lowered stream and asserts the
+/// partial-aggregate check reports `SLC104`.
+#[track_caller]
+fn assert_partial(kp: &KernelProgram, instrs: &[Instr]) {
+    let found: Vec<DiagCode> = check_partial_aggregate(kp, instrs)
+        .into_iter()
+        .map(|d| d.code)
+        .collect();
+    assert!(
+        found.contains(&DiagCode::SlcPartialAggregate),
+        "expected SlcPartialAggregate (SLC104), got {found:?}"
+    );
+}
+
+#[test]
+fn slc104_dropped_partition_in_combine() {
+    let (kp, _arch) = split_mha_kernel();
+    let mut instrs = lower_instructions(&kp);
+    // The combine folds one partition fewer than the schedule
+    // dispatches: one partial accumulator is silently dropped.
+    let mut hit = false;
+    for i in instrs.iter_mut() {
+        if let Instr::Combine { partitions, .. } = i {
+            *partitions -= 1;
+            hit = true;
+        }
+    }
+    assert!(hit, "split kernel should lower Combine instructions");
+    assert_partial(&kp, &instrs);
+}
+
+#[test]
+fn slc104_wrong_combine_operator() {
+    let (kp, _arch) = split_mha_kernel();
+    let mut instrs = lower_instructions(&kp);
+    // Sum partials folded with Max (or max partials with Add): the
+    // merge no longer matches the reduction's algebra.
+    let c = instrs
+        .iter_mut()
+        .find_map(|i| match i {
+            Instr::Combine { combine, .. } => Some(combine),
+            _ => None,
+        })
+        .expect("split kernel should lower Combine instructions");
+    *c = if *c == BinaryOp::Add {
+        BinaryOp::Max
+    } else {
+        BinaryOp::Add
+    };
+    assert_partial(&kp, &instrs);
+}
+
+#[test]
+fn slc104_non_rescaled_softmax_partial() {
+    let (kp, _arch) = split_mha_kernel();
+    let mut instrs = lower_instructions(&kp);
+    // The running softmax sum is a UTA partial: merging it without the
+    // exp(m_p − m) rescale against the combined max is the classic
+    // split-softmax bug.
+    let r = instrs
+        .iter_mut()
+        .find_map(|i| match i {
+            Instr::Combine {
+                rescaled: r @ true, ..
+            } => Some(r),
+            _ => None,
+        })
+        .expect("MHA's UTA reductions need rescaled combines");
+    *r = false;
+    assert_partial(&kp, &instrs);
+}
+
+#[test]
+fn slc104_dropped_store_partial() {
+    let (kp, _arch) = split_mha_kernel();
+    let instrs: Vec<Instr> = lower_instructions(&kp)
+        .into_iter()
+        .filter(|i| !matches!(i, Instr::StorePartial { .. }))
+        .collect();
+    assert_partial(&kp, &instrs);
+}
+
+#[test]
+fn slc104_partial_aggregate_without_a_split_schedule() {
+    // The corruption can also run the other way: a stream that parks
+    // and folds partials under a schedule that never declared a split.
+    let (split_kp, _) = split_mha_kernel();
+    let instrs = lower_instructions(&split_kp);
+    let (kp, _arch) = mha_kernel();
+    assert_partial(&kp, &instrs);
+}
+
+#[test]
+fn slc104_schedule_combine_drift_is_caught_end_to_end() {
+    // Corrupt the *schedule's* declared algebra (not the stream): the
+    // lowering propagates it into the Combine instruction and the
+    // verifier's independent re-derivation from the graph flags it.
+    let (mut kp, arch) = split_mha_kernel();
+    let split = kp
+        .schedule
+        .temporal
+        .as_mut()
+        .unwrap()
+        .split
+        .as_mut()
+        .unwrap();
+    let spec = split.combine.first_mut().expect("split has combine specs");
+    spec.op = if spec.op == BinaryOp::Add {
+        BinaryOp::Max
+    } else {
+        BinaryOp::Add
+    };
+    assert_flags(&kp, &arch, DiagCode::SlcPartialAggregate);
 }
 
 #[test]

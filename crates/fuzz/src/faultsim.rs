@@ -179,7 +179,18 @@ fn run_plan(
     arch: Arch,
 ) -> PlanOutcome {
     let injector = Arc::new(FaultInjector::new(FaultPlan::from_seed(plan_seed)));
-    let session = CompileSession::new(arch, CompileOptions::default())
+    // Split-K re-associates sliced reductions (deterministic across
+    // thread counts, but off the reference's serial association by
+    // rounding), so the bit-exact-vs-reference contract checked below
+    // requires split-free schedules.
+    let opts = CompileOptions {
+        slicing: spacefusion::sched::SlicingOptions {
+            enable_split: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let session = CompileSession::new(arch, opts)
         .with_workers(1)
         .with_faults(injector.clone());
     let mut outcome = PlanOutcome {

@@ -62,6 +62,24 @@ pub enum Step {
         /// Sequence length of the fresh K/V inputs.
         seq: usize,
     },
+    /// Deep-K reduction: GEMM-project to `width` columns (with the
+    /// `1/√k` rescale), then reduce them away. With widths far beyond
+    /// the root extents this is the shape whose tiny spatial grid makes
+    /// the tuner reach for split-K partial accumulators.
+    DeepReduce {
+        /// Reduction folding the projected columns.
+        op: ReduceOp,
+        /// Projected width (the reduction depth).
+        width: usize,
+    },
+    /// Decode-shaped attention: collapse the current value to a single
+    /// query row (row mean), then run the attention tail against fresh
+    /// K/V inputs of `kv` rows. One query row × a long KV cache is the
+    /// canonical split-K workload (FlashDecoding).
+    DecodeAttention {
+        /// KV-cache length of the fresh K/V inputs.
+        kv: usize,
+    },
     /// Layout barrier: reinterpret `[a, b]` as `[b, a]`.
     Reshape,
 }
@@ -97,6 +115,9 @@ pub struct GenConfig {
     pub gemm_widths: Vec<usize>,
     /// Candidate attention sequence lengths.
     pub seq_lens: Vec<usize>,
+    /// Candidate deep-K extents (DeepReduce widths and DecodeAttention
+    /// KV lengths) — sized to push the tuner into split-K schedules.
+    pub deep_extents: Vec<usize>,
     /// Allow layout-barrier steps.
     pub reshape: bool,
     /// Allow the attention motif.
@@ -116,6 +137,7 @@ impl Default for GenConfig {
             dims: vec![2, 3, 4, 5, 7, 8, 12, 16, 17, 24, 32, 33, 48, 64],
             gemm_widths: vec![2, 3, 4, 8, 16, 17, 32],
             seq_lens: vec![4, 8, 16, 24, 33, 64],
+            deep_extents: vec![128, 256, 512],
             reshape: true,
             attention: true,
             instances: true,
@@ -190,25 +212,37 @@ fn random_step(rng: &mut XorShiftRng, cfg: &GenConfig) -> Step {
         // Weighted draw over the vocabulary (out of 100).
         let roll = rng.below(100);
         return match roll {
-            0..=19 => Step::Unary(*pick(rng, &SAFE_UNARIES)),
-            20..=29 => Step::Scalar(*pick(rng, &SAFE_BINARIES), *pick(rng, &SCALARS)),
-            30..=39 => Step::CombineInput(*pick(rng, &SAFE_BINARIES)),
-            40..=49 => Step::CombineWeight(*pick(rng, &SAFE_BINARIES)),
-            50..=61 => Step::Reduce(*pick(rng, &REDUCES), rng.below(2) as usize),
-            62..=69 => Step::Broadcast(rng.below(2) as usize),
-            70..=79 => Step::Gemm {
+            0..=17 => Step::Unary(*pick(rng, &SAFE_UNARIES)),
+            18..=26 => Step::Scalar(*pick(rng, &SAFE_BINARIES), *pick(rng, &SCALARS)),
+            27..=35 => Step::CombineInput(*pick(rng, &SAFE_BINARIES)),
+            36..=44 => Step::CombineWeight(*pick(rng, &SAFE_BINARIES)),
+            45..=56 => Step::Reduce(*pick(rng, &REDUCES), rng.below(2) as usize),
+            57..=63 => Step::Broadcast(rng.below(2) as usize),
+            64..=73 => Step::Gemm {
                 width: *pick(rng, &cfg.gemm_widths),
                 transpose_b: rng.below(2) == 0,
             },
-            80..=85 => Step::Softmax,
-            86..=89 => Step::LayerNorm,
-            90..=93 => Step::RmsNorm,
-            94..=97 => {
+            74..=79 => Step::Softmax,
+            80..=83 => Step::LayerNorm,
+            84..=87 => Step::RmsNorm,
+            88..=91 => {
                 if !cfg.attention {
                     continue;
                 }
                 Step::Attention {
                     seq: *pick(rng, &cfg.seq_lens),
+                }
+            }
+            92..=94 => Step::DeepReduce {
+                op: *pick(rng, &REDUCES),
+                width: *pick(rng, &cfg.deep_extents),
+            },
+            95..=97 => {
+                if !cfg.attention {
+                    continue;
+                }
+                Step::DecodeAttention {
+                    kv: *pick(rng, &cfg.deep_extents),
                 }
             }
             _ => {
@@ -364,6 +398,36 @@ impl GraphSpec {
                 let sm = softmax_tail(g, sc)?;
                 g.gemm(sm, v, false)?
             }
+            Step::DeepReduce { op, width } => {
+                if d[0] <= 1 || d[1] <= 1 {
+                    return Ok(cur);
+                }
+                let k = d[1];
+                let w = g.weight(format!("w{fresh}"), Shape::new(vec![k, *width]));
+                *fresh += 1;
+                let mm = g.gemm(cur, w, false)?;
+                let sc = g.scalar(BinaryOp::Mul, mm, 1.0 / (k as f32).sqrt())?;
+                g.reduce(*op, sc, 1)?
+            }
+            Step::DecodeAttention { kv } => {
+                if d[1] <= 1 {
+                    return Ok(cur);
+                }
+                let k = d[1];
+                // Decode shape: a fresh single-row query makes the score
+                // matrix [1, kv] — the occupancy-starved case split-K
+                // targets. The incoming chain joins back through a
+                // broadcast combine so the step composes anywhere.
+                let q = g.input(format!("q{fresh}"), Shape::new(vec![1, k]));
+                let kk = g.input(format!("k{fresh}"), Shape::new(vec![*kv, k]));
+                let v = g.input(format!("v{fresh}"), Shape::new(vec![*kv, k]));
+                *fresh += 1;
+                let qk = g.gemm(q, kk, true)?;
+                let sc = g.scalar(BinaryOp::Mul, qk, 1.0 / (k as f32).sqrt())?;
+                let sm = softmax_tail(g, sc)?;
+                let att = g.gemm(sm, v, false)?;
+                g.binary(BinaryOp::Add, cur, att)?
+            }
             Step::Reshape => {
                 if d[0] == d[1] {
                     return Ok(cur);
@@ -436,7 +500,18 @@ mod tests {
         // spatial dimension or Alg. 1 has nothing to slice.
         let cfg = GenConfig::default();
         for seed in 0..200 {
-            let g = generate(seed, &cfg).build().unwrap();
+            let spec = generate(seed, &cfg);
+            // Decode-shaped attention collapses the query to a single row,
+            // so its softmax statistics are legitimately `[1, 1]`: split-K
+            // slices the reduction axis instead of a spatial one there.
+            if spec
+                .steps
+                .iter()
+                .any(|s| matches!(s, Step::DecodeAttention { .. }))
+            {
+                continue;
+            }
+            let g = spec.build().unwrap();
             for (vi, v) in g.values().iter().enumerate() {
                 if v.kind != sf_ir::ValueKind::Intermediate {
                     continue;
@@ -457,6 +532,7 @@ mod tests {
         let mut motif = 0;
         let mut reduce = 0;
         let mut reshape = 0;
+        let mut deep = 0;
         for seed in 0..500 {
             for s in &generate(seed, &cfg).steps {
                 match s {
@@ -466,6 +542,7 @@ mod tests {
                     }
                     Step::Reduce(..) => reduce += 1,
                     Step::Reshape => reshape += 1,
+                    Step::DeepReduce { .. } | Step::DecodeAttention { .. } => deep += 1,
                     _ => {}
                 }
             }
@@ -474,6 +551,7 @@ mod tests {
         assert!(motif > 50, "motif {motif}");
         assert!(reduce > 50, "reduce {reduce}");
         assert!(reshape > 5, "reshape {reshape}");
+        assert!(deep > 30, "deep {deep}");
     }
 
     #[test]
@@ -492,7 +570,10 @@ mod tests {
             assert!(!spec.multi_output);
             assert_eq!(spec.dtype, DType::F32);
             for s in &spec.steps {
-                assert!(!matches!(s, Step::Reshape | Step::Attention { .. }));
+                assert!(!matches!(
+                    s,
+                    Step::Reshape | Step::Attention { .. } | Step::DecodeAttention { .. }
+                ));
             }
         }
     }

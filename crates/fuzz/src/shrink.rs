@@ -170,6 +170,20 @@ fn moves(spec: &GraphSpec) -> Vec<GraphSpec> {
                     out.push(c);
                 }
             }
+            Step::DeepReduce { op, width } => {
+                for v in shrunk_extents(*width) {
+                    let mut c = spec.clone();
+                    c.steps[i] = Step::DeepReduce { op: *op, width: v };
+                    out.push(c);
+                }
+            }
+            Step::DecodeAttention { kv } => {
+                for v in shrunk_extents(*kv) {
+                    let mut c = spec.clone();
+                    c.steps[i] = Step::DecodeAttention { kv: v };
+                    out.push(c);
+                }
+            }
             _ => {}
         }
         for simpler in simplify(step) {
@@ -212,6 +226,14 @@ fn simplify(step: &Step) -> Vec<Step> {
         Step::Softmax => vec![Step::Reduce(ReduceOp::Sum, 1)],
         Step::LayerNorm | Step::RmsNorm => vec![Step::Reduce(ReduceOp::Sum, 1), Step::Softmax],
         Step::Attention { .. } => vec![Step::Reduce(ReduceOp::Sum, 1), Step::Softmax],
+        Step::DeepReduce {
+            op: ReduceOp::Sum, ..
+        } => vec![Step::Reduce(ReduceOp::Sum, 1)],
+        Step::DeepReduce { width, .. } => vec![Step::DeepReduce {
+            op: ReduceOp::Sum,
+            width: *width,
+        }],
+        Step::DecodeAttention { .. } => vec![Step::Reduce(ReduceOp::Sum, 1), Step::Softmax],
         Step::Reshape => vec![relu],
     }
 }

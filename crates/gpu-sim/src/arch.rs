@@ -208,14 +208,36 @@ impl GpuArch {
         ((grid as f64) / want).clamp(0.05, 1.0)
     }
 
+    /// Fraction of peak memory bandwidth reachable at this grid size.
+    ///
+    /// Memory streams need concurrency just like compute: a handful of
+    /// resident blocks cannot keep enough loads in flight to saturate
+    /// DRAM — the occupancy effect split-K reduction schedules exist to
+    /// fix (a decode kernel reading a long KV cache with one block per
+    /// head leaves the memory system mostly idle). Bandwidth saturates
+    /// well before compute does — about an eighth of the chip's
+    /// resident-block capacity is enough — so this curve rises 8×
+    /// faster than [`Self::parallel_utilization`] and never falls below
+    /// it.
+    pub fn memory_utilization(&self, grid: u64) -> f64 {
+        if grid == 0 {
+            return 1.0;
+        }
+        let saturate = (self.sm_count * 2) as f64 / 8.0;
+        ((grid as f64) / saturate)
+            .clamp(0.05, 1.0)
+            .max(self.parallel_utilization(grid))
+    }
+
     /// Analytic kernel time (microseconds): launch overhead plus a
     /// roofline over compute, DRAM, and L2 components.
     pub fn kernel_time_us(&self, cost: &KernelCost) -> f64 {
         let util = self.parallel_utilization(cost.grid);
+        let mem_util = self.memory_utilization(cost.grid);
         let compute_s = cost.flops as f64 / (self.fp16_flops * self.compute_efficiency * util);
-        let dram_s = (cost.dram_read_bytes + cost.dram_write_bytes) as f64
-            / (self.dram_bps * util.max(0.25));
-        let l2_s = cost.l2_bytes as f64 / (self.l2_bps * util.max(0.25));
+        let dram_s =
+            (cost.dram_read_bytes + cost.dram_write_bytes) as f64 / (self.dram_bps * mem_util);
+        let l2_s = cost.l2_bytes as f64 / (self.l2_bps * mem_util);
         // Per-block scheduling cost, amortized over the concurrent slots.
         let sched_s =
             cost.grid as f64 * self.block_overhead_us * 1e-6 / (self.sm_count as f64 * 2.0);

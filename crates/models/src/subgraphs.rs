@@ -168,6 +168,25 @@ pub fn mha_decode(batch: usize, heads: usize, kv_len: usize, head_dim: usize) ->
     g
 }
 
+/// A reduction-bound row sum: `y ← (Σₖ x) / k` over an `[m, k]` input
+/// with `k ≫ m`.
+///
+/// The extreme aspect ratio leaves only `m` spatial blocks — far too
+/// few to occupy a GPU — while all the work sits on the reduction
+/// axis, making this the canonical shape where a split-K schedule
+/// (parallel partial accumulators plus a combine fold) wins and a
+/// purely spatial one cannot.
+pub fn deep_reduce(m: usize, k: usize) -> Graph {
+    let mut g = Graph::new(format!("reduce{k}x{m}"), DType::F16);
+    let x = g.input("x", Shape::new(vec![m, k]));
+    let s = g.reduce(ReduceOp::Sum, x, 1).expect("row sum");
+    let d = g
+        .scalar(BinaryOp::Mul, s, 1.0 / (k as f32))
+        .expect("mean scale");
+    g.mark_output(d);
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +228,20 @@ mod tests {
             (ci, mi)
         };
         assert_eq!(ci, 0, "LayerNorm must be all memory-intensive");
+    }
+
+    #[test]
+    fn deep_reduce_is_a_row_mean() {
+        let g = deep_reduce(4, 64);
+        assert_eq!(g.name(), "reduce64x4");
+        let bindings = g.random_bindings(9);
+        let out = g.execute(&bindings).unwrap();
+        let x = &bindings["x"];
+        assert_eq!(out[0].shape().dims(), &[4, 1]);
+        for i in 0..4 {
+            let mean: f32 = (0..64).map(|j| x.at(&[i, j])).sum::<f32>() / 64.0;
+            assert!((out[0].at(&[i, 0]) - mean).abs() < 1e-2);
+        }
     }
 
     #[test]

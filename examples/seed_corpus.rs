@@ -82,6 +82,28 @@ fn proptest_gemm_relu_combine() -> Graph {
     g
 }
 
+/// Minimized from fuzz seed 101 (hopper campaign): a softmax chain
+/// feeding a GEMM whose N extent dominates the temporal priority order.
+/// Slicing N would strand the whole softmax chain outside the loop
+/// while the sliced row-sum needs it in phase 1 — the slicer must
+/// abandon the dimension (`SfError::UpdatePath`) instead of emitting a
+/// schedule that reads values never placed (MEM302).
+fn fuzz_softmax_gemm_reduce() -> Graph {
+    let mut g = Graph::new("random", DType::F32);
+    let x = g.input("x", Shape::new(vec![2, 2]));
+    let w = g.weight("w0", Shape::new(vec![2, 32]));
+    let m = g.reduce(ReduceOp::Max, x, 1).unwrap();
+    let s = g.binary(BinaryOp::Sub, x, m).unwrap();
+    let e = g.unary(UnaryOp::Exp, s).unwrap();
+    let z = g.reduce(ReduceOp::Sum, e, 1).unwrap();
+    let d = g.binary(BinaryOp::Div, e, z).unwrap();
+    let mm = g.gemm(d, w, false).unwrap();
+    let sc = g.scalar(BinaryOp::Mul, mm, 1.0 / (2f32).sqrt()).unwrap();
+    let r = g.reduce(ReduceOp::Sum, sc, 1).unwrap();
+    g.mark_output(r);
+    g
+}
+
 fn main() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
     let cfg = GenConfig::default();
@@ -128,6 +150,40 @@ fn main() {
                 &first_seed(&cfg, |s| s.instances > 1 && s.steps.len() >= 3),
                 "first default-config seed with a dependency-free instance \
                  multiplier (parallel block scheduling)",
+            ),
+        ),
+        (
+            "gen_deep_reduce",
+            render_passing(
+                &first_seed(&cfg, |s| {
+                    s.steps
+                        .iter()
+                        .any(|st| matches!(st, Step::DeepReduce { .. }))
+                }),
+                "first default-config seed containing a deep-K reduction \
+                 (split-K partial accumulators + combine fold)",
+            ),
+        ),
+        (
+            "gen_decode_attention",
+            render_passing(
+                &first_seed(&cfg, |s| {
+                    s.steps
+                        .iter()
+                        .any(|st| matches!(st, Step::DecodeAttention { .. }))
+                }),
+                "first default-config seed containing a decode-shaped \
+                 attention motif (single query row, split-K over KV)",
+            ),
+        ),
+        (
+            "fuzz_softmax_gemm_reduce",
+            render_handmade(
+                &fuzz_softmax_gemm_reduce(),
+                "minimized from fuzz seed 101: softmax feeding a GEMM whose \
+                 N extent tops the temporal priority — slicing it would \
+                 strand the softmax outside the loop, so the slicer must \
+                 abandon the dimension and stay serial",
             ),
         ),
         (

@@ -36,6 +36,15 @@ for f in examples/graphs/*.sfg tests/corpus/*.sfg; do
     done
 done
 
+echo "==> split-K selection gate (decode attention auto-splits at arch defaults)"
+# The tuner must pick a split-K schedule for the decode-shaped zoo
+# workload on its own (no pinned blocks, default options) — the lint
+# sweep above already proves such schedules pass SLC104 + RACE on every
+# arch; this asserts the cost model still *chooses* one where it wins.
+./target/release/sfc compile examples/graphs/mha_decode.sfg --arch ampere \
+    | grep -q "split-K" \
+    || { echo "verify: FAIL — mha_decode no longer compiles to a split-K schedule"; exit 1; }
+
 echo "==> sfc fuzz smoke (50 seeds, differential oracle + verifier)"
 ./target/release/sfc fuzz --seeds 50 --seed 42 > target/FUZZ_smoke.txt \
     || { echo "verify: FAIL — fuzz smoke found a divergence or verifier error"; \
