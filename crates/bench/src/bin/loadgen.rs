@@ -1,0 +1,366 @@
+//! Load generator for the `sfc serve` daemon.
+//!
+//! Connects N concurrent clients to a running daemon over its Unix
+//! socket and drives a deterministic request mix: `--seeds K` distinct
+//! request forms (subgraph variant × fixed binding seed × fusion
+//! policy) cycled round-robin. Reports per-phase latency percentiles
+//! and throughput at each client count, the daemon's cache hit rate,
+//! and degradation/shed counters, writing a `BENCH_serve.json`
+//! artifact.
+//!
+//! Because every form pins its binding seed, the daemon's responses are
+//! bit-determined: the `--digest PATH` file (request form → sorted
+//! output checksums) is byte-identical across runs, daemons, restarts,
+//! and `--exec-threads` settings — verify.sh diffs two runs to prove
+//! it.
+//!
+//! Usage:
+//!   loadgen --socket PATH [--clients 1,4,16] [--requests N]
+//!           [--seeds K] [--out PATH] [--digest PATH]
+//!   loadgen --socket PATH --shutdown     # stop the daemon, no load
+//!
+//! Stdout ends with `key: value` counter lines (`sheds:`,
+//! `warm_loaded:`, `schedule_misses:`, ...) for scripts to grep.
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("loadgen: requires Unix-domain sockets");
+    std::process::exit(2);
+}
+
+#[cfg(unix)]
+fn main() {
+    unix::main()
+}
+
+#[cfg(unix)]
+mod unix {
+    use sf_ir::dsl::print_graph;
+    use sf_models::subgraphs;
+    use spacefusion::pipeline::FusionPolicy;
+    use spacefusion::serve::{CompileRequest, Response, ServeClient, StatsSnapshot};
+    use std::path::{Path, PathBuf};
+    use std::time::{Duration, Instant};
+
+    /// One deterministic request form: graph text, policy, binding seed.
+    #[derive(Clone)]
+    struct Form {
+        graph: String,
+        policy: FusionPolicy,
+        seed: u64,
+    }
+
+    /// Builds the `k` request forms: subgraph variants × policies, each
+    /// with a pinned binding seed so responses are bit-determined.
+    fn forms(k: usize) -> Vec<Form> {
+        let variants = [
+            print_graph(&subgraphs::softmax(16, 64)),
+            print_graph(&subgraphs::layernorm(8, 128)),
+            print_graph(&subgraphs::rmsnorm(8, 96)),
+            print_graph(&subgraphs::mlp_stack(2, 32, 24)),
+            print_graph(&subgraphs::softmax(32, 48)),
+            print_graph(&subgraphs::deep_reduce(16, 64)),
+        ];
+        let policies = [
+            FusionPolicy::SpaceFusion,
+            FusionPolicy::Unfused,
+            FusionPolicy::MiOnly,
+        ];
+        (0..k)
+            .map(|i| Form {
+                graph: variants[i % variants.len()].clone(),
+                policy: policies[(i / variants.len()) % policies.len()],
+                seed: 1000 + i as u64,
+            })
+            .collect()
+    }
+
+    struct Phase {
+        clients: usize,
+        requests: usize,
+        p50_us: f64,
+        p99_us: f64,
+        throughput_rps: f64,
+        retries: usize,
+    }
+
+    fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+        if sorted_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+        sorted_us[idx.min(sorted_us.len() - 1)]
+    }
+
+    /// Runs one phase: `clients` threads × `per_client` requests each,
+    /// round-robin over the forms. Returns the phase report and the
+    /// per-form checksum lists observed.
+    fn run_phase(
+        socket: &Path,
+        forms: &[Form],
+        clients: usize,
+        per_client: usize,
+    ) -> (Phase, Vec<(usize, Vec<u64>)>) {
+        let observed: std::sync::Mutex<Vec<(usize, Vec<u64>)>> = std::sync::Mutex::new(Vec::new());
+        let latencies: std::sync::Mutex<Vec<f64>> = std::sync::Mutex::new(Vec::new());
+        let retries = std::sync::atomic::AtomicUsize::new(0);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let observed = &observed;
+                let latencies = &latencies;
+                let retries = &retries;
+                s.spawn(move || {
+                    let mut client =
+                        ServeClient::connect_with_retry(socket, Duration::from_secs(10))
+                            .unwrap_or_else(|e| {
+                                eprintln!("loadgen: cannot connect to {}: {e}", socket.display());
+                                std::process::exit(1);
+                            });
+                    for i in 0..per_client {
+                        let form_idx = (c + i) % forms.len();
+                        let form = &forms[form_idx];
+                        let req = CompileRequest {
+                            id: form_idx as u64,
+                            graph: form.graph.clone(),
+                            policy: form.policy,
+                            seed: form.seed,
+                            ..CompileRequest::default()
+                        };
+                        let t = Instant::now();
+                        loop {
+                            match client.compile(req.clone()) {
+                                Ok(Response::Ok(ok)) => {
+                                    latencies
+                                        .lock()
+                                        .unwrap()
+                                        .push(t.elapsed().as_secs_f64() * 1e6);
+                                    observed.lock().unwrap().push((
+                                        form_idx,
+                                        ok.outputs.iter().map(|o| o.checksum).collect(),
+                                    ));
+                                    break;
+                                }
+                                Ok(Response::Retry { .. }) => {
+                                    // Shed under overload: back off and retry.
+                                    retries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    std::thread::sleep(Duration::from_millis(5));
+                                }
+                                Ok(other) => {
+                                    eprintln!("loadgen: request failed: {other:?}");
+                                    std::process::exit(1);
+                                }
+                                Err(e) => {
+                                    eprintln!("loadgen: transport error: {e}");
+                                    std::process::exit(1);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+        let mut lat = latencies.into_inner().unwrap();
+        lat.sort_by(f64::total_cmp);
+        let total = clients * per_client;
+        (
+            Phase {
+                clients,
+                requests: total,
+                p50_us: percentile(&lat, 0.50),
+                p99_us: percentile(&lat, 0.99),
+                throughput_rps: total as f64 / wall_s.max(1e-9),
+                retries: retries.into_inner(),
+            },
+            observed.into_inner().unwrap(),
+        )
+    }
+
+    fn print_counters(stats: &StatsSnapshot) {
+        let probes = stats.program_hits + stats.program_compiles;
+        let hit_rate = if probes == 0 {
+            0.0
+        } else {
+            stats.program_hits as f64 / probes as f64
+        };
+        println!("requests: {}", stats.requests);
+        println!("ok: {}", stats.ok);
+        println!("errors: {}", stats.errors);
+        println!("sheds: {}", stats.sheds);
+        println!("program_compiles: {}", stats.program_compiles);
+        println!("program_hits: {}", stats.program_hits);
+        println!("cache_hit_rate: {hit_rate:.4}");
+        println!("schedule_hits: {}", stats.schedule_hits);
+        println!("schedule_misses: {}", stats.schedule_misses);
+        println!("schedule_entries: {}", stats.schedule_entries);
+        println!("warm_loaded: {}", stats.warm_loaded);
+        println!("warm_evicted: {}", stats.warm_evicted);
+        println!("degradations: {}", stats.degradations);
+    }
+
+    pub fn main() {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let socket = PathBuf::from(sf_bench::arg_value(&args, "--socket").unwrap_or_else(|| {
+            eprintln!("loadgen: --socket PATH is required");
+            std::process::exit(2);
+        }));
+
+        if args.iter().any(|a| a == "--shutdown") {
+            let mut client = ServeClient::connect_with_retry(&socket, Duration::from_secs(10))
+                .unwrap_or_else(|e| {
+                    eprintln!("loadgen: cannot connect to {}: {e}", socket.display());
+                    std::process::exit(1);
+                });
+            client.shutdown().unwrap_or_else(|e| {
+                eprintln!("loadgen: shutdown failed: {e}");
+                std::process::exit(1);
+            });
+            println!("shutdown: acknowledged");
+            return;
+        }
+
+        let clients: Vec<usize> = sf_bench::arg_value(&args, "--clients")
+            .unwrap_or_else(|| "1,4,16".into())
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("loadgen: bad --clients entry '{s}'");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        let seeds: usize = sf_bench::arg_value(&args, "--seeds")
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("loadgen: --seeds needs a count");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(12);
+        let per_client: usize = sf_bench::arg_value(&args, "--requests")
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("loadgen: --requests needs a count");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(16);
+        let out_path = sf_bench::arg_value(&args, "--out");
+        let digest_path = sf_bench::arg_value(&args, "--digest");
+
+        let forms = forms(seeds.max(1));
+        println!(
+            "== loadgen: {} form(s), phases at {:?} client(s) x {per_client} request(s) ==",
+            forms.len(),
+            clients
+        );
+
+        // Per-form checksums: every observation of a form must agree
+        // (bit-identical responses), and the collected set is the
+        // deterministic digest.
+        let mut digests: Vec<Option<Vec<u64>>> = vec![None; forms.len()];
+        let mut phases = Vec::new();
+        for &n in &clients {
+            let (phase, observed) = run_phase(&socket, &forms, n, per_client);
+            for (form_idx, sums) in observed {
+                match &digests[form_idx] {
+                    None => digests[form_idx] = Some(sums),
+                    Some(prev) => {
+                        if prev != &sums {
+                            eprintln!("loadgen: form {form_idx} diverged across requests");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+            println!(
+                "clients {:>3}  p50 {:>9.1} us  p99 {:>9.1} us  {:>8.1} req/s  retries {}",
+                phase.clients, phase.p50_us, phase.p99_us, phase.throughput_rps, phase.retries
+            );
+            phases.push(phase);
+        }
+
+        let stats = ServeClient::connect_with_retry(&socket, Duration::from_secs(10))
+            .and_then(|mut c| c.stats())
+            .unwrap_or_else(|e| {
+                eprintln!("loadgen: stats fetch failed: {e}");
+                std::process::exit(1);
+            });
+        print_counters(&stats);
+
+        if let Some(path) = digest_path {
+            let mut text = String::new();
+            for (i, sums) in digests.iter().enumerate() {
+                let sums = sums.as_ref().map(Vec::as_slice).unwrap_or(&[]);
+                let hex: Vec<String> = sums.iter().map(|s| format!("{s:016x}")).collect();
+                text.push_str(&format!("form{i} {}\n", hex.join(" ")));
+            }
+            std::fs::write(&path, text).unwrap_or_else(|e| {
+                eprintln!("loadgen: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("digest: {path}");
+        }
+
+        if let Some(path) = out_path {
+            let probes = stats.program_hits + stats.program_compiles;
+            let hit_rate = if probes == 0 {
+                0.0
+            } else {
+                stats.program_hits as f64 / probes as f64
+            };
+            let mut json = String::new();
+            json.push_str("{\n");
+            json.push_str("  \"bench\": \"serve\",\n");
+            json.push_str(&format!("  \"forms\": {},\n", forms.len()));
+            json.push_str(&format!("  \"requests_per_client\": {per_client},\n"));
+            json.push_str("  \"phases\": [\n");
+            for (i, p) in phases.iter().enumerate() {
+                let comma = if i + 1 < phases.len() { "," } else { "" };
+                json.push_str(&format!(
+                    "    {{\"clients\": {}, \"requests\": {}, \"p50_us\": {:.1}, \
+                     \"p99_us\": {:.1}, \"throughput_rps\": {:.1}, \"retries\": {}}}{comma}\n",
+                    p.clients, p.requests, p.p50_us, p.p99_us, p.throughput_rps, p.retries
+                ));
+            }
+            json.push_str("  ],\n");
+            json.push_str("  \"daemon\": {\n");
+            json.push_str(&format!("    \"requests\": {},\n", stats.requests));
+            json.push_str(&format!("    \"ok\": {},\n", stats.ok));
+            json.push_str(&format!("    \"errors\": {},\n", stats.errors));
+            json.push_str(&format!("    \"sheds\": {},\n", stats.sheds));
+            json.push_str(&format!(
+                "    \"program_compiles\": {},\n",
+                stats.program_compiles
+            ));
+            json.push_str(&format!("    \"program_hits\": {},\n", stats.program_hits));
+            json.push_str(&format!("    \"cache_hit_rate\": {hit_rate:.4},\n"));
+            json.push_str(&format!(
+                "    \"schedule_hits\": {},\n",
+                stats.schedule_hits
+            ));
+            json.push_str(&format!(
+                "    \"schedule_misses\": {},\n",
+                stats.schedule_misses
+            ));
+            json.push_str(&format!(
+                "    \"schedule_entries\": {},\n",
+                stats.schedule_entries
+            ));
+            json.push_str(&format!("    \"warm_loaded\": {},\n", stats.warm_loaded));
+            json.push_str(&format!("    \"warm_evicted\": {},\n", stats.warm_evicted));
+            json.push_str(&format!("    \"degradations\": {}\n", stats.degradations));
+            json.push_str("  }\n");
+            json.push_str("}\n");
+            if let Some(dir) = Path::new(&path).parent() {
+                std::fs::create_dir_all(dir).ok();
+            }
+            std::fs::write(&path, json).unwrap_or_else(|e| {
+                eprintln!("loadgen: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote: {path}");
+        }
+    }
+}

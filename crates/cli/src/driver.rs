@@ -51,6 +51,20 @@ impl Default for Options {
     }
 }
 
+/// Parses the value of an `--arch` flag.
+fn arch_arg(args: &[String], i: usize) -> Result<Arch, String> {
+    let s = args.get(i).map(|s| s.as_str()).unwrap_or("<missing>");
+    Arch::parse(s).ok_or_else(|| format!("unknown --arch '{s}' (volta|ampere|hopper)"))
+}
+
+/// Parses the value of a `--policy` flag.
+fn policy_arg(args: &[String], i: usize) -> Result<FusionPolicy, String> {
+    let s = args.get(i).map(|s| s.as_str()).unwrap_or("<missing>");
+    FusionPolicy::parse(s).ok_or_else(|| {
+        format!("unknown --policy '{s}' (spacefusion|unfused|epilogue|mi-only|tile-graph)")
+    })
+}
+
 /// Parses `--flag value` style arguments.
 pub fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut o = Options::default();
@@ -59,33 +73,11 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
         match args[i].as_str() {
             "--arch" => {
                 i += 1;
-                o.arch = match args.get(i).map(|s| s.as_str()) {
-                    Some("volta") => Arch::Volta,
-                    Some("ampere") => Arch::Ampere,
-                    Some("hopper") => Arch::Hopper,
-                    other => {
-                        return Err(format!(
-                            "unknown --arch '{}' (volta|ampere|hopper)",
-                            other.unwrap_or("<missing>")
-                        ))
-                    }
-                };
+                o.arch = arch_arg(args, i)?;
             }
             "--policy" => {
                 i += 1;
-                o.policy = match args.get(i).map(|s| s.as_str()) {
-                    Some("spacefusion") => FusionPolicy::SpaceFusion,
-                    Some("unfused") => FusionPolicy::Unfused,
-                    Some("epilogue") => FusionPolicy::EpilogueOnly,
-                    Some("mi-only") => FusionPolicy::MiOnly,
-                    Some("tile-graph") => FusionPolicy::TileGraph,
-                    other => {
-                        return Err(format!(
-                        "unknown --policy '{}' (spacefusion|unfused|epilogue|mi-only|tile-graph)",
-                        other.unwrap_or("<missing>")
-                    ))
-                    }
-                };
+                o.policy = policy_arg(args, i)?;
             }
             "--dot" => o.dot = true,
             "--profile" => o.profile = true,
@@ -158,33 +150,11 @@ pub fn parse_lint_options(args: &[String]) -> Result<LintOptions, String> {
         match args[i].as_str() {
             "--arch" => {
                 i += 1;
-                o.arch = match args.get(i).map(|s| s.as_str()) {
-                    Some("volta") => Arch::Volta,
-                    Some("ampere") => Arch::Ampere,
-                    Some("hopper") => Arch::Hopper,
-                    other => {
-                        return Err(format!(
-                            "unknown --arch '{}' (volta|ampere|hopper)",
-                            other.unwrap_or("<missing>")
-                        ))
-                    }
-                };
+                o.arch = arch_arg(args, i)?;
             }
             "--policy" => {
                 i += 1;
-                o.policy = match args.get(i).map(|s| s.as_str()) {
-                    Some("spacefusion") => FusionPolicy::SpaceFusion,
-                    Some("unfused") => FusionPolicy::Unfused,
-                    Some("epilogue") => FusionPolicy::EpilogueOnly,
-                    Some("mi-only") => FusionPolicy::MiOnly,
-                    Some("tile-graph") => FusionPolicy::TileGraph,
-                    other => {
-                        return Err(format!(
-                        "unknown --policy '{}' (spacefusion|unfused|epilogue|mi-only|tile-graph)",
-                        other.unwrap_or("<missing>")
-                    ))
-                    }
-                };
+                o.policy = policy_arg(args, i)?;
             }
             "--json" => o.json = true,
             "--deny-warnings" => o.deny_warnings = true,
@@ -369,17 +339,7 @@ pub fn parse_fuzz_options(args: &[String]) -> Result<FuzzOptions, String> {
             }
             "--arch" => {
                 i += 1;
-                o.fuzz.arch = match args.get(i).map(|s| s.as_str()) {
-                    Some("volta") => Arch::Volta,
-                    Some("ampere") => Arch::Ampere,
-                    Some("hopper") => Arch::Hopper,
-                    other => {
-                        return Err(format!(
-                            "unknown --arch '{}' (volta|ampere|hopper)",
-                            other.unwrap_or("<missing>")
-                        ))
-                    }
-                };
+                o.fuzz.arch = arch_arg(args, i)?;
             }
             "--faults" => {
                 i += 1;
@@ -437,17 +397,7 @@ pub fn parse_faultsim_options(args: &[String]) -> Result<FaultSimOptions, String
             }
             "--arch" => {
                 i += 1;
-                o.sim.arch = match args.get(i).map(|s| s.as_str()) {
-                    Some("volta") => Arch::Volta,
-                    Some("ampere") => Arch::Ampere,
-                    Some("hopper") => Arch::Hopper,
-                    other => {
-                        return Err(format!(
-                            "unknown --arch '{}' (volta|ampere|hopper)",
-                            other.unwrap_or("<missing>")
-                        ))
-                    }
-                };
+                o.sim.arch = arch_arg(args, i)?;
             }
             "--timings" => o.timings = true,
             other => return Err(format!("unknown flag '{other}'")),
@@ -492,6 +442,124 @@ pub fn fuzz_report(o: &FuzzOptions) -> (String, bool) {
         let _ = writeln!(out, "\n{}", render_timings(&sink.events()).trim_end());
     }
     (out, report.ok())
+}
+
+/// Parsed options of `sfc serve`.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Unix-domain socket path to listen on.
+    pub socket: std::path::PathBuf,
+    /// Compile worker threads.
+    pub workers: usize,
+    /// Bounded admission queue depth.
+    pub queue_depth: usize,
+    /// Execution threads per request (`0` = auto).
+    pub exec_threads: usize,
+    /// Schedule-cache snapshot file (loaded at start, saved at
+    /// shutdown).
+    pub snapshot: Option<std::path::PathBuf>,
+}
+
+/// Parses `sfc serve SOCKET [flags]`.
+pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
+    let (socket, flags) = args
+        .split_first()
+        .ok_or("serve needs a socket path: sfc serve SOCKET [flags]")?;
+    if socket.starts_with("--") {
+        return Err(format!("serve needs a socket path, got flag '{socket}'"));
+    }
+    let mut o = ServeOptions {
+        socket: std::path::PathBuf::from(socket),
+        workers: 4,
+        queue_depth: 64,
+        exec_threads: 0,
+        snapshot: None,
+    };
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--workers" => {
+                i += 1;
+                o.workers = flags
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--workers needs a positive count")?;
+            }
+            "--queue-depth" => {
+                i += 1;
+                o.queue_depth = flags
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--queue-depth needs a positive count")?;
+            }
+            "--exec-threads" => {
+                i += 1;
+                o.exec_threads = match flags.get(i).map(|s| s.as_str()) {
+                    Some("max") => 0,
+                    Some(n) => n
+                        .parse()
+                        .map_err(|_| "--exec-threads needs a count or 'max'".to_string())?,
+                    None => return Err("--exec-threads needs a count or 'max'".into()),
+                };
+            }
+            "--snapshot" => {
+                i += 1;
+                o.snapshot = Some(
+                    flags
+                        .get(i)
+                        .map(std::path::PathBuf::from)
+                        .ok_or("--snapshot needs a file path")?,
+                );
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+/// Runs `sfc serve`: bind the socket, warm-start the schedule cache
+/// from the snapshot, and serve until a client sends `shutdown`.
+///
+/// Prints a banner once listening (so scripts can wait for readiness)
+/// and returns the final counter summary.
+#[cfg(unix)]
+pub fn serve_run(o: &ServeOptions) -> Result<String, String> {
+    use spacefusion::serve::{ServeConfig, Server};
+    use std::io::Write as _;
+    let config = ServeConfig {
+        workers: o.workers,
+        queue_depth: o.queue_depth,
+        exec_threads: o.exec_threads,
+        snapshot_path: o.snapshot.clone(),
+        faults: None,
+    };
+    let server = Server::bind(&o.socket, config).map_err(|e| e.to_string())?;
+    let warm = server.core().stats();
+    println!(
+        "serve: listening on {} (workers {}, queue {}, warm_loaded {}, warm_evicted {})",
+        o.socket.display(),
+        o.workers,
+        o.queue_depth,
+        warm.warm_loaded,
+        warm.warm_evicted
+    );
+    let _ = std::io::stdout().flush();
+    let stats = server.run().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "serve: done; requests {} ok {} errors {} sheds {} compiles {} hits {} \
+         schedule_entries {} degradations {}\n",
+        stats.requests,
+        stats.ok,
+        stats.errors,
+        stats.sheds,
+        stats.program_compiles,
+        stats.program_hits,
+        stats.schedule_entries,
+        stats.degradations
+    ))
 }
 
 /// Minimal JSON string escaping.
@@ -663,6 +731,7 @@ pub fn compile_report(graph: &Graph, o: &Options) -> Result<String, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::parser::parse_graph;
@@ -767,6 +836,45 @@ output y
             assert!(report.contains(pass), "missing pass '{pass}' in:\n{report}");
         }
         assert!(report.contains("schedule cache:"), "{report}");
+    }
+
+    #[test]
+    fn serve_option_parsing() {
+        let args: Vec<String> = [
+            "/tmp/sfc.sock",
+            "--workers",
+            "2",
+            "--queue-depth",
+            "8",
+            "--exec-threads",
+            "max",
+            "--snapshot",
+            "/tmp/cache.sfcache",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_serve_options(&args).unwrap();
+        assert_eq!(o.socket, std::path::PathBuf::from("/tmp/sfc.sock"));
+        assert_eq!(o.workers, 2);
+        assert_eq!(o.queue_depth, 8);
+        assert_eq!(o.exec_threads, 0);
+        assert_eq!(
+            o.snapshot,
+            Some(std::path::PathBuf::from("/tmp/cache.sfcache"))
+        );
+        assert!(parse_serve_options(&[]).is_err(), "socket path required");
+        assert!(parse_serve_options(&["--workers".to_string()]).is_err());
+        assert!(
+            parse_serve_options(&[
+                "s.sock".to_string(),
+                "--workers".to_string(),
+                "0".to_string()
+            ])
+            .is_err(),
+            "zero workers rejected"
+        );
+        assert!(parse_serve_options(&["s.sock".to_string(), "--bogus".to_string()]).is_err());
     }
 
     #[test]

@@ -19,8 +19,13 @@
 //! * [`driver`] — the `compile` / `explain` subcommands used by
 //!   `src/main.rs`.
 
+// The no-new-unwrap gate (see crates/core/src/lib.rs): the driver backs
+// a long-running daemon (`sfc serve`), where a stray panic is an
+// outage. Test modules opt back in locally with `#[allow]`.
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod driver;
 pub mod parser;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod printer;
 
 pub use parser::{parse_graph, ParseError};

@@ -11,20 +11,22 @@
 //!                  [--faults K] [--arch ...] [--timings]
 //! sfc faultsim     [--seeds N] [--seed S] [--faults K] [--arch ...]
 //!                  [--timings]
+//! sfc serve SOCKET [--workers N] [--queue-depth N]
+//!                  [--exec-threads N|max] [--snapshot FILE]
 //! sfc print FILE       # parse and pretty-print back to the DSL
 //! ```
 
 use sf_cli::driver::{
     compile_report, faultsim_report, fuzz_report, lint_report, parse_faultsim_options,
-    parse_fuzz_options, parse_lint_options, parse_options,
+    parse_fuzz_options, parse_lint_options, parse_options, parse_serve_options,
 };
 use sf_cli::{parse_graph, print_graph};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage =
-        "usage: sfc <compile|lint|fuzz|faultsim|print> [FILE] [flags] (see --help in README)";
+    let usage = "usage: sfc <compile|lint|fuzz|faultsim|serve|print> [FILE|SOCKET] [flags] \
+                 (see --help in README)";
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
@@ -65,6 +67,35 @@ fn main() -> ExitCode {
         } else {
             ExitCode::FAILURE
         };
+    }
+    if cmd == "serve" {
+        // `serve` takes a socket path, not a graph FILE.
+        let opts = match parse_serve_options(rest) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("sfc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        #[cfg(unix)]
+        {
+            return match sf_cli::driver::serve_run(&opts) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("sfc: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = opts;
+            eprintln!("sfc: serve requires Unix-domain sockets");
+            return ExitCode::FAILURE;
+        }
     }
     let (file, flags) = match rest.split_first() {
         Some((f, fl)) => (f, fl.to_vec()),

@@ -77,7 +77,11 @@ pub mod pipeline;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod resilience;
 pub mod rewrite;
+// The serving layer runs unattended: a stray panic there is an outage,
+// so the same deny gate applies.
 pub mod sched;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod serve;
 pub mod slicer;
 pub mod smg;
 pub mod tune;

@@ -1,4 +1,4 @@
-//! The shared, thread-safe schedule cache.
+//! The shared, thread-safe claim-based caches.
 //!
 //! Scheduling decisions are cached by `(shape key, fusion policy,
 //! architecture)` (paper §5: "SpaceFusion compiles the repetitive ones
@@ -9,6 +9,13 @@
 //! later claimants block on a condition variable until the entry is
 //! published (or the computation is abandoned, in which case the next
 //! waiter takes over).
+//!
+//! The claim protocol itself is generic: [`ClaimMap`] maps any
+//! hashable key to any clonable value with exactly-one-computation
+//! semantics. [`ScheduleCache`] instantiates it for schedule decisions;
+//! the serving layer ([`crate::serve`]) instantiates it again for whole
+//! compiled programs, so N identical in-flight requests trigger exactly
+//! one compile.
 //!
 //! Resilience properties (see [`crate::resilience`]): a claimant that
 //! panics drops its [`ClaimTicket`] during unwinding, which abandons
@@ -22,6 +29,7 @@ use super::FusionPolicy;
 use sf_gpu_sim::GpuArch;
 use sf_ir::{segment, Graph};
 use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
@@ -59,6 +67,25 @@ pub struct CacheEntry {
     pub configs: Vec<SavedConfig>,
 }
 
+impl CacheEntry {
+    /// Structural sanity of a (possibly deserialized) entry: a schedule
+    /// must cover at least one kernel piece, carry one configuration
+    /// per piece, and every recorded block size must be non-zero. The
+    /// snapshot loader ([`crate::serve::snapshot`]) evicts entries that
+    /// fail this check — the same recompute-in-place recovery the
+    /// rebuild path uses for poisoned in-memory entries.
+    pub fn is_well_formed(&self) -> bool {
+        !self.piece_lens.is_empty()
+            && self.piece_lens.len() == self.configs.len()
+            && self.piece_lens.iter().all(|&l| l > 0)
+            && self.configs.iter().all(|c| {
+                c.spatial.iter().all(|&b| b > 0)
+                    && c.temporal.is_none_or(|b| b > 0)
+                    && c.split.is_none_or(|p| p > 1)
+            })
+    }
+}
+
 /// One kernel's saved block configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SavedConfig {
@@ -71,91 +98,112 @@ pub struct SavedConfig {
     pub split: Option<usize>,
 }
 
-/// Outcome of [`ScheduleCache::claim`].
-pub enum Claim<'c> {
-    /// The key was already scheduled; here is the saved decision.
-    Hit(CacheEntry),
-    /// The caller must schedule the subgraph and then
+/// Outcome of [`ClaimMap::claim`] / [`ScheduleCache::claim`].
+pub enum Claim<'c, K: Eq + Hash + Clone = CacheKey, V: Clone = CacheEntry> {
+    /// The key was already computed; here is the published value.
+    Hit(V),
+    /// The caller must compute the value and then
     /// [`fulfill`](ClaimTicket::fulfill) the ticket. Dropping the
     /// ticket unfulfilled (error or panic) wakes the next waiter, which
     /// claims the key in turn.
-    Miss(ClaimTicket<'c>),
+    Miss(ClaimTicket<'c, K, V>),
 }
 
 /// Exclusive right (and obligation) to compute one cache entry.
-pub struct ClaimTicket<'c> {
-    cache: &'c ScheduleCache,
-    key: CacheKey,
+pub struct ClaimTicket<'c, K: Eq + Hash + Clone = CacheKey, V: Clone = CacheEntry> {
+    map: &'c ClaimMap<K, V>,
+    key: K,
     done: bool,
 }
 
-impl ClaimTicket<'_> {
-    /// Publishes the computed entry and wakes all waiters.
-    pub fn fulfill(mut self, entry: CacheEntry) {
-        let mut state = self.cache.lock_state();
+impl<K: Eq + Hash + Clone, V: Clone> ClaimTicket<'_, K, V> {
+    /// Publishes the computed value and wakes all waiters.
+    pub fn fulfill(mut self, value: V) {
+        let mut state = self.map.lock_state();
         state.in_flight.remove(&self.key);
-        state.ready.insert(self.key.clone(), entry);
+        state.ready.insert(self.key.clone(), value);
         self.done = true;
         drop(state);
-        self.cache.cv.notify_all();
+        self.map.cv.notify_all();
     }
 }
 
-impl Drop for ClaimTicket<'_> {
+impl<K: Eq + Hash + Clone, V: Clone> Drop for ClaimTicket<'_, K, V> {
     fn drop(&mut self) {
         if !self.done {
-            let mut state = self.cache.lock_state();
+            let mut state = self.map.lock_state();
             state.in_flight.remove(&self.key);
             drop(state);
-            self.cache.cv.notify_all();
+            self.map.cv.notify_all();
         }
     }
 }
 
-#[derive(Default)]
-struct CacheState {
-    ready: HashMap<CacheKey, CacheEntry>,
-    in_flight: HashSet<CacheKey>,
+struct MapState<K, V> {
+    ready: HashMap<K, V>,
+    in_flight: HashSet<K>,
 }
 
-/// Thread-safe schedule cache shared across compilations.
-#[derive(Default)]
-pub struct ScheduleCache {
-    state: Mutex<CacheState>,
+impl<K, V> Default for MapState<K, V> {
+    fn default() -> Self {
+        MapState {
+            ready: HashMap::new(),
+            in_flight: HashSet::new(),
+        }
+    }
+}
+
+/// A thread-safe map with exactly-one-computation claim semantics: the
+/// first thread to [`claim`](ClaimMap::claim) a missing key receives a
+/// [`ClaimTicket`] and computes the value; concurrent claimants of the
+/// same key block until the ticket is fulfilled (or abandoned, in which
+/// case the next waiter takes over the computation).
+pub struct ClaimMap<K: Eq + Hash + Clone, V: Clone> {
+    state: Mutex<MapState<K, V>>,
     cv: Condvar,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
 
-impl ScheduleCache {
-    /// Creates an empty cache.
+impl<K: Eq + Hash + Clone, V: Clone> Default for ClaimMap<K, V> {
+    fn default() -> Self {
+        ClaimMap {
+            state: Mutex::default(),
+            cv: Condvar::new(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ClaimMap<K, V> {
+    /// Creates an empty map.
     pub fn new() -> Self {
-        ScheduleCache::default()
+        ClaimMap::default()
     }
 
     // Poison-tolerant lock: a panic elsewhere (caught at a pass
     // isolation boundary) must not take the cache down with it. The
     // guarded maps are only mutated while structurally consistent, so
     // recovering the guard is safe.
-    fn lock_state(&self) -> MutexGuard<'_, CacheState> {
+    fn lock_state(&self) -> MutexGuard<'_, MapState<K, V>> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Probes the cache, blocking while another thread is computing the
-    /// same key. Wait chains cannot cycle: a computation only ever
-    /// claims keys of strictly smaller subgraphs than its own.
-    pub fn claim(&self, key: &CacheKey) -> Claim<'_> {
+    /// Probes the map, blocking while another thread is computing the
+    /// same key.
+    pub fn claim(&self, key: &K) -> Claim<'_, K, V> {
         let mut state = self.lock_state();
         loop {
-            if let Some(entry) = state.ready.get(key) {
+            if let Some(value) = state.ready.get(key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Claim::Hit(entry.clone());
+                return Claim::Hit(value.clone());
             }
             if !state.in_flight.contains(key) {
                 state.in_flight.insert(key.clone());
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 return Claim::Miss(ClaimTicket {
-                    cache: self,
+                    map: self,
                     key: key.clone(),
                     done: false,
                 });
@@ -165,29 +213,47 @@ impl ScheduleCache {
     }
 
     /// Non-blocking lookup (no in-flight coordination, no counters).
-    pub fn peek(&self, key: &CacheKey) -> Option<CacheEntry> {
+    pub fn peek(&self, key: &K) -> Option<V> {
         self.lock_state().ready.get(key).cloned()
     }
 
-    /// Evicts a published entry (used when a cached schedule fails
-    /// validation on rebuild — e.g. after injected cache poisoning).
-    /// The next claimant recomputes it. Returns whether the key was
-    /// present.
-    pub fn invalidate(&self, key: &CacheKey) -> bool {
+    /// Publishes a value directly, without the claim protocol — the
+    /// warm-start path: snapshot entries are inserted wholesale before
+    /// any claimant runs. An insert also wakes waiters of an in-flight
+    /// claim on the same key; their next probe hits.
+    pub fn insert(&self, key: K, value: V) {
+        let mut state = self.lock_state();
+        state.ready.insert(key, value);
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// Evicts a published value. Returns whether the key was present.
+    pub fn invalidate(&self, key: &K) -> bool {
         self.lock_state().ready.remove(key).is_some()
     }
 
-    /// Number of cached schedules.
+    /// A snapshot of every published `(key, value)` pair. In-flight
+    /// claims are not included (they have no value yet).
+    pub fn entries(&self) -> Vec<(K, V)> {
+        self.lock_state()
+            .ready
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of published values.
     pub fn len(&self) -> usize {
         self.lock_state().ready.len()
     }
 
-    /// Whether the cache holds no schedules.
+    /// Whether the map holds no published values.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Probes that found a ready entry (lifetime total).
+    /// Probes that found a published value (lifetime total).
     pub fn hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
     }
@@ -195,6 +261,70 @@ impl ScheduleCache {
     /// Probes that had to compute (lifetime total).
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Thread-safe schedule cache shared across compilations: the
+/// [`ClaimMap`] claim protocol keyed by [`CacheKey`].
+#[derive(Default)]
+pub struct ScheduleCache {
+    map: ClaimMap<CacheKey, CacheEntry>,
+}
+
+impl ScheduleCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ScheduleCache::default()
+    }
+
+    /// Probes the cache, blocking while another thread is computing the
+    /// same key. Wait chains cannot cycle: a computation only ever
+    /// claims keys of strictly smaller subgraphs than its own.
+    pub fn claim(&self, key: &CacheKey) -> Claim<'_> {
+        self.map.claim(key)
+    }
+
+    /// Non-blocking lookup (no in-flight coordination, no counters).
+    pub fn peek(&self, key: &CacheKey) -> Option<CacheEntry> {
+        self.map.peek(key)
+    }
+
+    /// Publishes an entry directly (the snapshot warm-start path).
+    pub fn insert(&self, key: CacheKey, entry: CacheEntry) {
+        self.map.insert(key, entry);
+    }
+
+    /// Evicts a published entry (used when a cached schedule fails
+    /// validation on rebuild — e.g. after injected cache poisoning — or
+    /// when a snapshot entry fails its checksum on load). The next
+    /// claimant recomputes it. Returns whether the key was present.
+    pub fn invalidate(&self, key: &CacheKey) -> bool {
+        self.map.invalidate(key)
+    }
+
+    /// A snapshot of every published entry, for disk persistence.
+    pub fn entries(&self) -> Vec<(CacheKey, CacheEntry)> {
+        self.map.entries()
+    }
+
+    /// Number of cached schedules.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no schedules.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Probes that found a ready entry (lifetime total).
+    pub fn hits(&self) -> usize {
+        self.map.hits()
+    }
+
+    /// Probes that had to compute (lifetime total).
+    pub fn misses(&self) -> usize {
+        self.map.misses()
     }
 }
 
@@ -269,6 +399,49 @@ mod tests {
         assert!(cache.invalidate(&key("a")));
         assert!(!cache.invalidate(&key("a")), "second eviction is a no-op");
         assert!(matches!(cache.claim(&key("a")), Claim::Miss(_)));
+    }
+
+    #[test]
+    fn insert_publishes_without_a_claim() {
+        let cache = ScheduleCache::new();
+        cache.insert(key("warm"), entry());
+        assert!(matches!(cache.claim(&key("warm")), Claim::Hit(e) if e == entry()));
+        assert_eq!(cache.misses(), 0, "warm entries never count as misses");
+        let snap = cache.entries();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, key("warm"));
+    }
+
+    #[test]
+    fn well_formedness_rejects_corrupt_entries() {
+        assert!(entry().is_well_formed());
+        let empty = CacheEntry {
+            piece_lens: vec![],
+            configs: vec![],
+        };
+        assert!(!empty.is_well_formed());
+        let mismatched = CacheEntry {
+            piece_lens: vec![3, 2],
+            configs: entry().configs,
+        };
+        assert!(!mismatched.is_well_formed());
+        let mut zero_block = entry();
+        zero_block.configs[0].spatial = vec![0];
+        assert!(!zero_block.is_well_formed());
+        let mut unit_split = entry();
+        unit_split.configs[0].split = Some(1);
+        assert!(!unit_split.is_well_formed());
+    }
+
+    #[test]
+    fn generic_claim_map_serves_arbitrary_values() {
+        let map: ClaimMap<u64, String> = ClaimMap::new();
+        match map.claim(&7) {
+            Claim::Miss(t) => t.fulfill("seven".into()),
+            Claim::Hit(_) => panic!("empty map cannot hit"),
+        }
+        assert!(matches!(map.claim(&7), Claim::Hit(s) if s == "seven"));
+        assert_eq!(map.entries(), vec![(7, "seven".to_string())]);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod cache;
 pub mod passes;
 pub mod stats;
 
-pub use cache::{CacheEntry, CacheKey, Claim, ClaimTicket, SavedConfig, ScheduleCache};
+pub use cache::{CacheEntry, CacheKey, Claim, ClaimMap, ClaimTicket, SavedConfig, ScheduleCache};
 pub use stats::{
     render_timings, CollectingSink, CompileStats, EventDetail, EventSink, NullSink, PassEvent,
     PassId,
@@ -61,6 +61,36 @@ pub enum FusionPolicy {
     /// dependency transformation — UTA disabled (Welder / NNFusion
     /// style). Oversized fusions fall back to partitioning.
     TileGraph,
+}
+
+impl FusionPolicy {
+    /// All policies, in presentation order.
+    pub fn all() -> [FusionPolicy; 5] {
+        [
+            FusionPolicy::SpaceFusion,
+            FusionPolicy::Unfused,
+            FusionPolicy::EpilogueOnly,
+            FusionPolicy::MiOnly,
+            FusionPolicy::TileGraph,
+        ]
+    }
+
+    /// Stable lowercase name, shared by the `sfc` flag vocabulary, the
+    /// serve protocol, and the schedule-cache snapshot format.
+    pub fn name(self) -> &'static str {
+        match self {
+            FusionPolicy::SpaceFusion => "spacefusion",
+            FusionPolicy::Unfused => "unfused",
+            FusionPolicy::EpilogueOnly => "epilogue",
+            FusionPolicy::MiOnly => "mi-only",
+            FusionPolicy::TileGraph => "tile-graph",
+        }
+    }
+
+    /// Inverse of [`name`](FusionPolicy::name).
+    pub fn parse(s: &str) -> Option<FusionPolicy> {
+        FusionPolicy::all().into_iter().find(|p| p.name() == s)
+    }
 }
 
 /// Compilation options.

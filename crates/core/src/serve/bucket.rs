@@ -1,0 +1,145 @@
+//! Request bucketing: identical in-flight requests compile once.
+//!
+//! Every compile request is mapped to a [`BucketKey`] — the graph hash,
+//! shape signature, architecture, and fusion policy. The daemon keeps a
+//! [`ProgramCache`] keyed by bucket, built on the same claim-ticket
+//! protocol as the schedule cache: of N concurrent requests for one
+//! bucket, exactly one wins the claim and compiles; the rest block on
+//! the claim's condvar and receive the shared [`CompiledProgram`] the
+//! winner publishes. A winner that fails drops its ticket, which hands
+//! the claim to the next waiter instead of wedging the bucket.
+
+use super::protocol::fnv1a64;
+use crate::pipeline::{Claim, ClaimMap, ClaimTicket};
+use crate::pipeline::{CompiledProgram, FusionPolicy};
+use sf_gpu_sim::GpuArch;
+use sf_ir::dsl::print_graph;
+use sf_ir::graph::Graph;
+use sf_ir::segment;
+use std::sync::Arc;
+
+/// Identity of a compile bucket: requests with equal keys share one
+/// compiled program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BucketKey {
+    /// FNV-1a 64 of the canonically printed graph.
+    pub graph: u64,
+    /// Shape signature of the graph (op kinds + shapes).
+    pub shape: String,
+    /// Debug rendering of the resolved [`GpuArch`] config.
+    pub arch: String,
+    /// Fusion policy.
+    pub policy: FusionPolicy,
+}
+
+impl BucketKey {
+    /// Builds the bucket key for a parsed graph. The graph hash is
+    /// taken over the canonical DSL printing, so textual differences
+    /// that parse identically (whitespace, comments) share a bucket.
+    pub fn new(graph: &Graph, arch: &GpuArch, policy: FusionPolicy) -> Self {
+        BucketKey {
+            graph: fnv1a64(print_graph(graph).as_bytes()),
+            shape: segment::shape_key(graph),
+            arch: format!("{arch:?}"),
+            policy,
+        }
+    }
+}
+
+/// Claim-ticket cache of compiled programs, shared by all serve
+/// workers. See [`ClaimMap`] for the protocol.
+pub struct ProgramCache {
+    map: ClaimMap<BucketKey, Arc<CompiledProgram>>,
+}
+
+impl ProgramCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ProgramCache {
+            map: ClaimMap::new(),
+        }
+    }
+
+    /// Claims a bucket: a hit returns the shared program immediately, a
+    /// miss returns a ticket obligating the caller to compile and
+    /// fulfill (or drop the ticket on failure, waking the next waiter).
+    pub fn claim(&self, key: &BucketKey) -> Claim<'_, BucketKey, Arc<CompiledProgram>> {
+        self.map.claim(key)
+    }
+
+    /// Publishes a compiled program through a held ticket.
+    pub fn fulfill(
+        &self,
+        ticket: ClaimTicket<'_, BucketKey, Arc<CompiledProgram>>,
+        program: Arc<CompiledProgram>,
+    ) {
+        ticket.fulfill(program);
+    }
+
+    /// Requests that found their bucket ready (or piggybacked on an
+    /// in-flight compile).
+    pub fn hits(&self) -> usize {
+        self.map.hits()
+    }
+
+    /// Requests that had to compile their bucket.
+    pub fn misses(&self) -> usize {
+        self.map.misses()
+    }
+
+    /// Distinct buckets compiled so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no bucket has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl Default for ProgramCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use sf_gpu_sim::Arch;
+    use sf_ir::dsl::parse_graph;
+
+    const DSL_A: &str = "graph a f32\ninput x [8, 8]\ny = exp x\noutput y\n";
+    const DSL_B: &str = "graph b f32\ninput x [8, 8]\ny = relu x\noutput y\n";
+
+    #[test]
+    fn keys_distinguish_graph_arch_policy() {
+        let ga = parse_graph(DSL_A).unwrap();
+        let gb = parse_graph(DSL_B).unwrap();
+        let volta = Arch::Volta.config();
+        let hopper = Arch::Hopper.config();
+        let base = BucketKey::new(&ga, &volta, FusionPolicy::SpaceFusion);
+        assert_eq!(base, BucketKey::new(&ga, &volta, FusionPolicy::SpaceFusion));
+        assert_ne!(base, BucketKey::new(&gb, &volta, FusionPolicy::SpaceFusion));
+        assert_ne!(
+            base,
+            BucketKey::new(&ga, &hopper, FusionPolicy::SpaceFusion)
+        );
+        assert_ne!(base, BucketKey::new(&ga, &volta, FusionPolicy::Unfused));
+    }
+
+    #[test]
+    fn reparsed_graph_hashes_equal() {
+        // Hashing the canonical printing makes the key stable across
+        // parse/print round trips.
+        let g1 = parse_graph(DSL_A).unwrap();
+        let g2 = parse_graph(&print_graph(&g1)).unwrap();
+        let arch = Arch::Ampere.config();
+        assert_eq!(
+            BucketKey::new(&g1, &arch, FusionPolicy::SpaceFusion),
+            BucketKey::new(&g2, &arch, FusionPolicy::SpaceFusion),
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Minimal blocking client for the serve protocol (used by the CLI's
+//! load generator and the socket tests).
+
+#![cfg(unix)]
+
+use super::protocol::{read_frame, write_frame, CompileRequest, Request, Response, StatsSnapshot};
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// One connection to a serve daemon.
+pub struct ServeClient {
+    stream: UnixStream,
+}
+
+fn bad_data(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+impl ServeClient {
+    /// Connects to the daemon's socket.
+    pub fn connect(path: &Path) -> io::Result<ServeClient> {
+        Ok(ServeClient {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+
+    /// Connects, retrying while the daemon finishes binding. Retries
+    /// every 20 ms up to `timeout`.
+    pub fn connect_with_retry(path: &Path, timeout: Duration) -> io::Result<ServeClient> {
+        let mut waited = Duration::ZERO;
+        loop {
+            match UnixStream::connect(path) {
+                Ok(stream) => return Ok(ServeClient { stream }),
+                Err(e) if waited >= timeout => return Err(e),
+                Err(_) => {
+                    let step = Duration::from_millis(20);
+                    std::thread::sleep(step);
+                    waited += step;
+                }
+            }
+        }
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.to_json())?;
+        let doc = read_frame(&mut self.stream)?
+            .ok_or_else(|| bad_data("daemon closed the connection".into()))?;
+        Response::from_json(&doc).map_err(bad_data)
+    }
+
+    /// Compile + execute one graph.
+    pub fn compile(&mut self, req: CompileRequest) -> io::Result<Response> {
+        self.request(&Request::Compile(Box::new(req)))
+    }
+
+    /// Fetches the daemon's counter snapshot.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(*s),
+            other => Err(bad_data(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Asks the daemon to persist its snapshot and stop.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::Shutdown => Ok(()),
+            other => Err(bad_data(format!("expected shutdown ack, got {other:?}"))),
+        }
+    }
+}

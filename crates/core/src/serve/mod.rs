@@ -1,0 +1,37 @@
+//! Fusion-as-a-service: the `sfc serve` daemon (paper §5's "compile the
+//! repetitive ones only once", promoted from a per-process cache to a
+//! persistent service).
+//!
+//! A daemon accepts compile+execute requests over a Unix-domain socket
+//! (length-prefixed JSON frames, [`protocol`]) and multiplexes all
+//! client sessions onto one shared [`ScheduleCache`], [`ExecEngine`],
+//! and compiled-program bucket cache ([`bucket`]): N identical
+//! in-flight requests trigger exactly one compile via the same
+//! claim-ticket protocol the schedule cache uses internally. The
+//! schedule cache persists across daemon restarts through versioned,
+//! checksummed snapshots ([`snapshot`]) — corrupt or stale entries are
+//! evicted individually at load and recompiled in place. Overload is
+//! handled by deterministic admission control ([`server`]): a bounded
+//! queue with lowest-arrival-index-wins shedding.
+//!
+//! [`ScheduleCache`]: crate::pipeline::ScheduleCache
+//! [`ExecEngine`]: crate::codegen::ExecEngine
+
+pub mod bucket;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use bucket::{BucketKey, ProgramCache};
+#[cfg(unix)]
+pub use client::ServeClient;
+pub use protocol::{
+    fnv1a64, tensor_checksum, CacheOutcome, CompileRequest, OkResponse, OutputDigest, Request,
+    Response, StatsSnapshot, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+#[cfg(unix)]
+pub use server::Server;
+pub use server::{ServeConfig, ServeCore};
+pub use snapshot::{LoadReport, SNAPSHOT_VERSION};

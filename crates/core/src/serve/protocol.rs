@@ -1,0 +1,641 @@
+//! The serve wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is one JSON document prefixed by its byte length as a
+//! 4-byte big-endian integer. Three request ops exist:
+//!
+//! * `compile` — parse the DSL graph, compile it (or piggyback on an
+//!   identical in-flight/bucketed compile), execute with seeded random
+//!   bindings, and return per-output checksums (optionally the raw
+//!   data). Carries the per-request deadline that flows into the
+//!   compiler's `schedule_budget_ms` degradation ladder.
+//! * `stats` — a control-plane snapshot of the daemon's counters.
+//!   Bypasses admission control.
+//! * `shutdown` — persist the schedule cache snapshot (when configured)
+//!   and stop the daemon.
+//!
+//! **Admission ordering guarantee:** every compile request is assigned
+//! a monotonically increasing admission `index` under the queue lock at
+//! arrival. A request is shed (`status: "retry"`) if and only if the
+//! bounded queue was full at its arrival instant, so of two requests
+//! racing for the last queue slot the one with the **lowest admission
+//! index wins** — shedding is deterministic given arrival order, never
+//! a function of worker scheduling.
+//!
+//! Output tensors travel as FNV-1a checksums over the shape and the
+//! raw f32 bit patterns; `want_data` additionally inlines the bits as a
+//! hex string. Two responses with equal checksums are bitwise-identical
+//! executions.
+
+use super::json::{parse, Json, JsonError};
+use crate::pipeline::FusionPolicy;
+use sf_gpu_sim::Arch;
+use std::io::{self, Read, Write};
+
+/// Protocol version, checked by clients against [`StatsSnapshot`].
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on one frame, as a sanity check against corrupt length
+/// prefixes (a request carries DSL text; a response at most a few
+/// tensors of hex data).
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// One `compile` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileRequest {
+    /// Client-chosen request id, echoed in the response.
+    pub id: u64,
+    /// Graph in the `sfc` DSL.
+    pub graph: String,
+    /// Target architecture.
+    pub arch: Arch,
+    /// Fusion policy.
+    pub policy: FusionPolicy,
+    /// Per-request schedule deadline, ms. `Some(0)` compiles
+    /// best-so-far immediately (the degradation ladder guarantees
+    /// progress); `None` explores unbounded.
+    pub deadline_ms: Option<u64>,
+    /// Seed for the random input bindings the request executes with.
+    pub seed: u64,
+    /// Inline the raw output bits (hex) next to the checksums.
+    pub want_data: bool,
+    /// Test/drain facility: block the worker processing this request on
+    /// the named server-side gate until the operator releases it. Used
+    /// by the admission-control tests to pin a worker deterministically.
+    pub hold: Option<String>,
+}
+
+impl Default for CompileRequest {
+    fn default() -> Self {
+        CompileRequest {
+            id: 0,
+            graph: String::new(),
+            arch: Arch::Ampere,
+            policy: FusionPolicy::SpaceFusion,
+            deadline_ms: None,
+            seed: 0,
+            want_data: false,
+            hold: None,
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Compile + execute one graph.
+    Compile(Box<CompileRequest>),
+    /// Counter snapshot (control plane, never queued).
+    Stats,
+    /// Persist the snapshot and stop the daemon.
+    Shutdown,
+}
+
+/// One output tensor digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputDigest {
+    /// Output value name.
+    pub name: String,
+    /// Output shape.
+    pub shape: Vec<usize>,
+    /// FNV-1a 64 over the shape and the f32 bit patterns.
+    pub checksum: u64,
+    /// Raw f32 values (present under `want_data`); bit-exact via the
+    /// hex encoding.
+    pub data: Option<Vec<f32>>,
+}
+
+/// Whether a compile request was served from the program bucket cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The bucket was already compiled (or an in-flight compile was
+    /// piggybacked on).
+    Hit,
+    /// This request performed the bucket's one compile.
+    Miss,
+}
+
+impl CacheOutcome {
+    fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// A successful compile+execute response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OkResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Admission index assigned at arrival.
+    pub index: u64,
+    /// Program-bucket cache outcome.
+    pub cache: CacheOutcome,
+    /// Kernels in the compiled program.
+    pub kernels: usize,
+    /// Degradation-ladder steps recorded by this request's compile.
+    pub degradations: usize,
+    /// Output digests, in graph output order.
+    pub outputs: Vec<OutputDigest>,
+}
+
+/// Counter snapshot of a running daemon.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Protocol version of the daemon.
+    pub version: u64,
+    /// Compile requests received (admitted or shed).
+    pub requests: u64,
+    /// Requests shed by admission control (`retry` responses).
+    pub sheds: u64,
+    /// Requests answered `ok`.
+    pub ok: u64,
+    /// Requests answered `error`.
+    pub errors: u64,
+    /// Buckets compiled by this process (exactly one per distinct
+    /// in-flight bucket).
+    pub program_compiles: u64,
+    /// Requests served from the program bucket cache.
+    pub program_hits: u64,
+    /// Schedule-cache probe hits (includes warm-start entries).
+    pub schedule_hits: u64,
+    /// Schedule-cache probes that had to compute.
+    pub schedule_misses: u64,
+    /// Schedules currently cached.
+    pub schedule_entries: u64,
+    /// Snapshot entries loaded at warm start.
+    pub warm_loaded: u64,
+    /// Snapshot entries evicted at load (corrupt/stale/truncated).
+    pub warm_evicted: u64,
+    /// Degradation-ladder steps across all compiles.
+    pub degradations: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Compile + execute succeeded.
+    Ok(Box<OkResponse>),
+    /// Shed by admission control: the queue was full at arrival. The
+    /// client should back off and retry.
+    Retry {
+        /// Echoed request id.
+        id: u64,
+        /// Admission index assigned at arrival (see the module docs for
+        /// the lowest-index-wins guarantee).
+        index: u64,
+    },
+    /// The request failed (parse error, compile error, execution
+    /// error). The daemon itself stays up.
+    Error {
+        /// Echoed request id.
+        id: u64,
+        /// Human-readable failure.
+        message: String,
+    },
+    /// Counter snapshot.
+    Stats(Box<StatsSnapshot>),
+    /// Shutdown acknowledged.
+    Shutdown,
+}
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Digest of one output tensor: FNV-1a over the shape dims and the f32
+/// bit patterns, all little-endian.
+pub fn tensor_checksum(shape: &[usize], data: &[f32]) -> u64 {
+    let mut bytes = Vec::with_capacity(8 * shape.len() + 4 * data.len());
+    for &d in shape {
+        bytes.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for &v in data {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+fn hex_of_f32s(data: &[f32]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(data.len() * 8);
+    for v in data {
+        let _ = write!(out, "{:08x}", v.to_bits());
+    }
+    out
+}
+
+fn f32s_of_hex(hex: &str) -> Result<Vec<f32>, String> {
+    if !hex.len().is_multiple_of(8) {
+        return Err("data hex length not a multiple of 8".into());
+    }
+    hex.as_bytes()
+        .chunks(8)
+        .map(|c| {
+            let s = std::str::from_utf8(c).map_err(|_| "bad data hex".to_string())?;
+            u32::from_str_radix(s, 16)
+                .map(f32::from_bits)
+                .map_err(|_| "bad data hex".to_string())
+        })
+        .collect()
+}
+
+impl Request {
+    /// Encodes to a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Stats => Json::obj(vec![("op", Json::Str("stats".into()))]),
+            Request::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
+            Request::Compile(r) => {
+                let mut pairs = vec![
+                    ("op", Json::Str("compile".into())),
+                    ("id", Json::Num(r.id as f64)),
+                    ("graph", Json::Str(r.graph.clone())),
+                    ("arch", Json::Str(r.arch.name().into())),
+                    ("policy", Json::Str(r.policy.name().into())),
+                    ("seed", Json::Num(r.seed as f64)),
+                    ("want_data", Json::Bool(r.want_data)),
+                ];
+                if let Some(ms) = r.deadline_ms {
+                    pairs.push(("deadline_ms", Json::Num(ms as f64)));
+                }
+                if let Some(gate) = &r.hold {
+                    pairs.push(("hold", Json::Str(gate.clone())));
+                }
+                Json::obj(pairs)
+            }
+        }
+    }
+
+    /// Decodes from a JSON value.
+    pub fn from_json(doc: &Json) -> Result<Request, String> {
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request missing 'op'")?;
+        match op {
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "compile" => {
+                let graph = doc
+                    .get("graph")
+                    .and_then(Json::as_str)
+                    .ok_or("compile request missing 'graph'")?
+                    .to_string();
+                let arch = match doc.get("arch").and_then(Json::as_str) {
+                    None => Arch::Ampere,
+                    Some(s) => Arch::parse(s).ok_or_else(|| format!("unknown arch '{s}'"))?,
+                };
+                let policy = match doc.get("policy").and_then(Json::as_str) {
+                    None => FusionPolicy::SpaceFusion,
+                    Some(s) => {
+                        FusionPolicy::parse(s).ok_or_else(|| format!("unknown policy '{s}'"))?
+                    }
+                };
+                let deadline_ms = match doc.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_u64().ok_or("bad 'deadline_ms'")?),
+                };
+                Ok(Request::Compile(Box::new(CompileRequest {
+                    id: doc.get("id").and_then(Json::as_u64).unwrap_or(0),
+                    graph,
+                    arch,
+                    policy,
+                    deadline_ms,
+                    seed: doc.get("seed").and_then(Json::as_u64).unwrap_or(0),
+                    want_data: doc
+                        .get("want_data")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                    hold: doc
+                        .get("hold")
+                        .and_then(Json::as_str)
+                        .map(|s| s.to_string()),
+                })))
+            }
+            other => Err(format!("unknown op '{other}'")),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes to a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Ok(r) => {
+                let outputs = r
+                    .outputs
+                    .iter()
+                    .map(|o| {
+                        let mut pairs = vec![
+                            ("name", Json::Str(o.name.clone())),
+                            (
+                                "shape",
+                                Json::Arr(o.shape.iter().map(|&d| Json::Num(d as f64)).collect()),
+                            ),
+                            ("checksum", Json::Str(format!("{:016x}", o.checksum))),
+                        ];
+                        if let Some(data) = &o.data {
+                            pairs.push(("data", Json::Str(hex_of_f32s(data))));
+                        }
+                        Json::obj(pairs)
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("status", Json::Str("ok".into())),
+                    ("id", Json::Num(r.id as f64)),
+                    ("index", Json::Num(r.index as f64)),
+                    ("cache", Json::Str(r.cache.name().into())),
+                    ("kernels", Json::Num(r.kernels as f64)),
+                    ("degradations", Json::Num(r.degradations as f64)),
+                    ("outputs", Json::Arr(outputs)),
+                ])
+            }
+            Response::Retry { id, index } => Json::obj(vec![
+                ("status", Json::Str("retry".into())),
+                ("id", Json::Num(*id as f64)),
+                ("index", Json::Num(*index as f64)),
+            ]),
+            Response::Error { id, message } => Json::obj(vec![
+                ("status", Json::Str("error".into())),
+                ("id", Json::Num(*id as f64)),
+                ("message", Json::Str(message.clone())),
+            ]),
+            Response::Stats(s) => Json::obj(vec![
+                ("status", Json::Str("stats".into())),
+                ("version", Json::Num(s.version as f64)),
+                ("requests", Json::Num(s.requests as f64)),
+                ("sheds", Json::Num(s.sheds as f64)),
+                ("ok", Json::Num(s.ok as f64)),
+                ("errors", Json::Num(s.errors as f64)),
+                ("program_compiles", Json::Num(s.program_compiles as f64)),
+                ("program_hits", Json::Num(s.program_hits as f64)),
+                ("schedule_hits", Json::Num(s.schedule_hits as f64)),
+                ("schedule_misses", Json::Num(s.schedule_misses as f64)),
+                ("schedule_entries", Json::Num(s.schedule_entries as f64)),
+                ("warm_loaded", Json::Num(s.warm_loaded as f64)),
+                ("warm_evicted", Json::Num(s.warm_evicted as f64)),
+                ("degradations", Json::Num(s.degradations as f64)),
+            ]),
+            Response::Shutdown => Json::obj(vec![("status", Json::Str("shutdown".into()))]),
+        }
+    }
+
+    /// Decodes from a JSON value.
+    pub fn from_json(doc: &Json) -> Result<Response, String> {
+        let status = doc
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or("response missing 'status'")?;
+        let id = doc.get("id").and_then(Json::as_u64).unwrap_or(0);
+        let field = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("response missing '{key}'"))
+        };
+        match status {
+            "shutdown" => Ok(Response::Shutdown),
+            "retry" => Ok(Response::Retry {
+                id,
+                index: field("index")?,
+            }),
+            "error" => Ok(Response::Error {
+                id,
+                message: doc
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            }),
+            "stats" => Ok(Response::Stats(Box::new(StatsSnapshot {
+                version: field("version")?,
+                requests: field("requests")?,
+                sheds: field("sheds")?,
+                ok: field("ok")?,
+                errors: field("errors")?,
+                program_compiles: field("program_compiles")?,
+                program_hits: field("program_hits")?,
+                schedule_hits: field("schedule_hits")?,
+                schedule_misses: field("schedule_misses")?,
+                schedule_entries: field("schedule_entries")?,
+                warm_loaded: field("warm_loaded")?,
+                warm_evicted: field("warm_evicted")?,
+                degradations: field("degradations")?,
+            }))),
+            "ok" => {
+                let cache = match doc.get("cache").and_then(Json::as_str) {
+                    Some("hit") => CacheOutcome::Hit,
+                    Some("miss") => CacheOutcome::Miss,
+                    other => return Err(format!("bad 'cache' field {other:?}")),
+                };
+                let outputs = doc
+                    .get("outputs")
+                    .and_then(Json::as_arr)
+                    .ok_or("ok response missing 'outputs'")?
+                    .iter()
+                    .map(|o| {
+                        let shape = o
+                            .get("shape")
+                            .and_then(Json::as_arr)
+                            .ok_or("output missing 'shape'")?
+                            .iter()
+                            .map(|d| d.as_u64().map(|d| d as usize).ok_or("bad shape dim"))
+                            .collect::<Result<Vec<usize>, &str>>()
+                            .map_err(|e| e.to_string())?;
+                        let checksum = o
+                            .get("checksum")
+                            .and_then(Json::as_str)
+                            .and_then(|s| u64::from_str_radix(s, 16).ok())
+                            .ok_or("output missing 'checksum'")?;
+                        let data = match o.get("data").and_then(Json::as_str) {
+                            Some(hex) => Some(f32s_of_hex(hex)?),
+                            None => None,
+                        };
+                        Ok(OutputDigest {
+                            name: o
+                                .get("name")
+                                .and_then(Json::as_str)
+                                .unwrap_or("")
+                                .to_string(),
+                            shape,
+                            checksum,
+                            data,
+                        })
+                    })
+                    .collect::<Result<Vec<OutputDigest>, String>>()?;
+                Ok(Response::Ok(Box::new(OkResponse {
+                    id,
+                    index: field("index")?,
+                    cache,
+                    kernels: field("kernels")? as usize,
+                    degradations: field("degradations")? as usize,
+                    outputs,
+                })))
+            }
+            other => Err(format!("unknown status '{other}'")),
+        }
+    }
+}
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame(w: &mut impl Write, doc: &Json) -> io::Result<()> {
+    let body = doc.render();
+    let len = body.len() as u32;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one length-prefixed JSON frame. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary (the peer closed the connection).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length prefix exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let text = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+    parse(&text)
+        .map(Some)
+        .map_err(|e: JsonError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn sample_compile() -> Request {
+        Request::Compile(Box::new(CompileRequest {
+            id: 9,
+            graph: "graph g f32\ninput x [4, 4]\ny = exp x\noutput y\n".into(),
+            arch: Arch::Hopper,
+            policy: FusionPolicy::MiOnly,
+            deadline_ms: Some(25),
+            seed: 7,
+            want_data: true,
+            hold: Some("g0".into()),
+        }))
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [sample_compile(), Request::Stats, Request::Shutdown] {
+            assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = Response::Ok(Box::new(OkResponse {
+            id: 9,
+            index: 3,
+            cache: CacheOutcome::Miss,
+            kernels: 2,
+            degradations: 1,
+            outputs: vec![OutputDigest {
+                name: "y".into(),
+                shape: vec![4, 4],
+                checksum: 0xdead_beef,
+                data: Some(vec![1.0, -0.5, f32::MIN_POSITIVE]),
+            }],
+        }));
+        let retry = Response::Retry { id: 1, index: 12 };
+        let err = Response::Error {
+            id: 2,
+            message: "no \"luck\"\n".into(),
+        };
+        let stats = Response::Stats(Box::new(StatsSnapshot {
+            version: PROTOCOL_VERSION,
+            requests: 10,
+            sheds: 1,
+            ok: 8,
+            errors: 1,
+            program_compiles: 3,
+            program_hits: 5,
+            schedule_hits: 4,
+            schedule_misses: 3,
+            schedule_entries: 3,
+            warm_loaded: 2,
+            warm_evicted: 1,
+            degradations: 1,
+        }));
+        for resp in [ok, retry, err, stats, Response::Shutdown] {
+            assert_eq!(Response::from_json(&resp.to_json()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample_compile().to_json()).unwrap();
+        write_frame(&mut buf, &Request::Stats.to_json()).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let a = read_frame(&mut cursor).unwrap().unwrap();
+        let b = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(Request::from_json(&a).unwrap(), sample_compile());
+        assert_eq!(Request::from_json(&b).unwrap(), Request::Stats);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Stats.to_json()).unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+        // An absurd length prefix is rejected before allocation.
+        let mut cursor = std::io::Cursor::new(vec![0xff, 0xff, 0xff, 0xff]);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn checksums_are_bit_sensitive() {
+        let a = tensor_checksum(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let b = tensor_checksum(&[2, 2], &[1.0, 2.0, 3.0, 4.0000005]);
+        let c = tensor_checksum(&[4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_ne!(a, b, "value bits participate");
+        assert_ne!(a, c, "shape participates");
+        // -0.0 and 0.0 differ bitwise, so they must differ here too.
+        assert_ne!(
+            tensor_checksum(&[1], &[0.0]),
+            tensor_checksum(&[1], &[-0.0])
+        );
+    }
+
+    #[test]
+    fn data_hex_is_bit_exact() {
+        let vals = vec![0.0, -0.0, 1.5, f32::NAN, f32::INFINITY, -1e-40];
+        let back = f32s_of_hex(&hex_of_f32s(&vals)).unwrap();
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(f32s_of_hex("abc").is_err());
+        assert!(f32s_of_hex("zzzzzzzz").is_err());
+    }
+}

@@ -328,3 +328,37 @@ fn unfused_policy_ladder_still_terminates() {
         assert_tensors_bitwise("out", a, b);
     }
 }
+
+#[test]
+fn serve_zero_deadline_degrades_instead_of_hanging() {
+    // Serve-level deadline flow: a request with `deadline_ms: 0` pushes
+    // the compiler's schedule budget to zero. The degradation ladder
+    // guarantees forward progress (best-so-far schedules), so the
+    // request must answer Ok — never hang, never error.
+    use sf_ir::dsl::print_graph;
+    use spacefusion::serve::{CompileRequest, Response, ServeConfig, ServeCore};
+
+    let core = ServeCore::start(ServeConfig::default()).unwrap();
+    let req = CompileRequest {
+        id: 1,
+        graph: print_graph(&softmax(64, 256)),
+        deadline_ms: Some(0),
+        seed: 11,
+        ..CompileRequest::default()
+    };
+    match core.submit(req.clone()) {
+        Response::Ok(ok) => assert!(!ok.outputs.is_empty()),
+        other => panic!("zero-deadline request must answer Ok, got {other:?}"),
+    }
+    // An unconstrained request for the same bucket piggybacks on the
+    // degraded-but-published program rather than recompiling.
+    let relaxed = CompileRequest {
+        id: 2,
+        deadline_ms: None,
+        ..req
+    };
+    assert!(matches!(core.submit(relaxed), Response::Ok(_)));
+    let stats = core.shutdown().unwrap();
+    assert_eq!(stats.ok, 2);
+    assert_eq!(stats.program_compiles, 1);
+}

@@ -1,0 +1,216 @@
+//! Warm-start round trips: serve → snapshot → restart → zero schedule
+//! recomputation, plus corrupt-snapshot recovery. All assertions go
+//! through `CompileStats` and cache counters — never timing.
+
+use sf_gpu_sim::Arch;
+use sf_ir::dsl::print_graph;
+use sf_ir::Graph;
+use spacefusion::pipeline::{CompileOptions, CompileSession, ScheduleCache};
+use spacefusion::serve::{snapshot, CompileRequest, Response, ServeConfig, ServeCore};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn graphs() -> Vec<Graph> {
+    vec![
+        sf_models::subgraphs::softmax(16, 64),
+        sf_models::subgraphs::layernorm(8, 128),
+        sf_models::subgraphs::rmsnorm(8, 96),
+    ]
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sfc-warm-{}-{name}", std::process::id()))
+}
+
+/// Compiles every zoo graph against `cache`, returning the summed
+/// tuner evaluations (0 means every schedule came from the cache).
+fn compile_all(cache: &Arc<ScheduleCache>) -> usize {
+    let mut evaluated = 0;
+    for g in graphs() {
+        let session = CompileSession::new(Arch::Ampere, CompileOptions::default())
+            .with_cache(Arc::clone(cache));
+        let program = session.compile(&g).expect("zoo graph compiles");
+        evaluated += program.stats.evaluated;
+    }
+    evaluated
+}
+
+#[test]
+fn snapshot_round_trip_compiles_nothing_on_reload() {
+    let cold = Arc::new(ScheduleCache::new());
+    let cold_evaluated = compile_all(&cold);
+    assert!(cold_evaluated > 0, "cold compiles must tune something");
+    assert!(!cold.is_empty());
+
+    let text = snapshot::render(&cold);
+    let warm = Arc::new(ScheduleCache::new());
+    let report = snapshot::load_str(&warm, &text);
+    assert_eq!(report.loaded, cold.len());
+    assert_eq!(report.evicted, 0);
+
+    // Every schedule comes from the warm cache: zero tuner evaluations,
+    // zero cache misses. (CompileStats, not timing.)
+    let warm_evaluated = compile_all(&warm);
+    assert_eq!(warm_evaluated, 0, "warm start must not re-tune");
+    assert_eq!(warm.misses(), 0, "warm start must not miss");
+    assert!(warm.hits() > 0);
+}
+
+#[test]
+fn bit_flipped_entry_is_evicted_and_recompiled_in_place() {
+    let cold = Arc::new(ScheduleCache::new());
+    compile_all(&cold);
+    let entries = cold.len();
+    let text = snapshot::render(&cold);
+
+    // Flip bits inside one entry's body: its checksum no longer
+    // matches, so exactly that entry is evicted on load.
+    let target = text.find("spatial=").expect("snapshot has a config line");
+    let mut corrupt = text.into_bytes();
+    corrupt[target + "spatial=".len()] ^= 0x01;
+    let corrupt = String::from_utf8(corrupt).unwrap();
+
+    let warm = Arc::new(ScheduleCache::new());
+    let report = snapshot::load_str(&warm, &corrupt);
+    assert_eq!(report.evicted, 1, "only the flipped entry is dropped");
+    assert_eq!(report.loaded, entries - 1);
+
+    // Recompiled in place: only the evicted schedule misses; afterwards
+    // the cache is whole again.
+    let evaluated = compile_all(&warm);
+    assert!(evaluated > 0, "the evicted entry must re-tune");
+    assert_eq!(warm.misses(), 1, "exactly the evicted key recomputes");
+    assert_eq!(warm.len(), entries, "cache is whole after recompilation");
+}
+
+#[test]
+fn truncated_snapshot_drops_only_the_trailing_entry() {
+    let cold = Arc::new(ScheduleCache::new());
+    compile_all(&cold);
+    let entries = cold.len();
+    let text = snapshot::render(&cold);
+
+    // Cut the file mid-way through the last entry's body.
+    let cut = text.rfind("config").expect("snapshot has config lines");
+    let warm = Arc::new(ScheduleCache::new());
+    let report = snapshot::load_str(&warm, &text[..cut]);
+    assert_eq!(report.evicted, 1, "the partial trailing entry is dropped");
+    assert_eq!(report.loaded, entries - 1);
+
+    let evaluated = compile_all(&warm);
+    assert!(evaluated > 0);
+    assert_eq!(warm.misses(), 1);
+    assert_eq!(warm.len(), entries);
+}
+
+#[test]
+fn serve_restart_warm_starts_from_disk() {
+    let snap = tmp_path("restart.sfcache");
+    std::fs::remove_file(&snap).ok();
+    let reqs: Vec<CompileRequest> = graphs()
+        .iter()
+        .enumerate()
+        .map(|(i, g)| CompileRequest {
+            id: i as u64,
+            graph: print_graph(g),
+            seed: 40 + i as u64,
+            ..CompileRequest::default()
+        })
+        .collect();
+
+    // First daemon lifetime: cold compiles, snapshot saved at shutdown.
+    let core = ServeCore::start(ServeConfig {
+        workers: 2,
+        snapshot_path: Some(snap.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let first: Vec<Response> = reqs.iter().map(|r| core.submit(r.clone())).collect();
+    let cold_stats = core.shutdown().unwrap();
+    assert_eq!(cold_stats.warm_loaded, 0);
+    assert!(cold_stats.schedule_misses > 0);
+    assert!(snap.exists(), "shutdown persisted the snapshot");
+
+    // Second daemon lifetime: every schedule is served warm — zero
+    // schedule-cache misses across all (re)compiles.
+    let core = ServeCore::start(ServeConfig {
+        workers: 2,
+        snapshot_path: Some(snap.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    assert!(core.stats().warm_loaded >= 1);
+    assert_eq!(core.stats().warm_evicted, 0);
+    let second: Vec<Response> = reqs.iter().map(|r| core.submit(r.clone())).collect();
+    let warm_stats = core.shutdown().unwrap();
+    assert_eq!(
+        warm_stats.schedule_misses, 0,
+        "restart must serve every schedule from the snapshot: {warm_stats:?}"
+    );
+    assert!(warm_stats.schedule_hits > 0);
+    assert_eq!(warm_stats.ok, reqs.len() as u64);
+
+    // And the answers are bitwise identical across the restart.
+    for (a, b) in first.iter().zip(&second) {
+        match (a, b) {
+            (Response::Ok(a), Response::Ok(b)) => assert_eq!(a.outputs, b.outputs),
+            other => panic!("unexpected response pair {other:?}"),
+        }
+    }
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn serve_restart_recovers_from_corrupt_snapshot() {
+    let snap = tmp_path("corrupt.sfcache");
+    std::fs::remove_file(&snap).ok();
+    let req = CompileRequest {
+        id: 0,
+        graph: print_graph(&sf_models::subgraphs::softmax(16, 64)),
+        seed: 9,
+        ..CompileRequest::default()
+    };
+
+    let core = ServeCore::start(ServeConfig {
+        snapshot_path: Some(snap.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    core.submit(req.clone());
+    core.shutdown().unwrap();
+
+    // Flip a bit inside the snapshot on disk.
+    let text = std::fs::read_to_string(&snap).unwrap();
+    let target = text.find("pieces").expect("snapshot has a pieces line");
+    let mut bytes = text.into_bytes();
+    bytes[target + "pieces ".len()] ^= 0x02;
+    std::fs::write(&snap, bytes).unwrap();
+
+    // Restart: the corrupt entry is evicted at load (visible in stats),
+    // the request recompiles cleanly, and shutdown rewrites a healthy
+    // snapshot.
+    let core = ServeCore::start(ServeConfig {
+        snapshot_path: Some(snap.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    assert!(core.stats().warm_evicted >= 1);
+    match core.submit(req) {
+        Response::Ok(_) => {}
+        other => panic!("recompile after eviction failed: {other:?}"),
+    }
+    let stats = core.shutdown().unwrap();
+    assert!(stats.schedule_misses > 0, "evicted schedule recomputed");
+
+    // Third lifetime: the rewritten snapshot is whole again.
+    let core = ServeCore::start(ServeConfig {
+        snapshot_path: Some(snap.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let stats = core.stats();
+    assert!(stats.warm_loaded >= 1);
+    assert_eq!(stats.warm_evicted, 0);
+    core.shutdown().unwrap();
+    std::fs::remove_file(&snap).ok();
+}

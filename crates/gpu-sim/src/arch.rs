@@ -27,6 +27,21 @@ impl Arch {
             Arch::Hopper => GpuArch::hopper(),
         }
     }
+
+    /// Stable lowercase name, shared by the `sfc` flag vocabulary and
+    /// the serve protocol.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arch::Volta => "volta",
+            Arch::Ampere => "ampere",
+            Arch::Hopper => "hopper",
+        }
+    }
+
+    /// Inverse of [`name`](Arch::name).
+    pub fn parse(s: &str) -> Option<Arch> {
+        Arch::all().into_iter().find(|a| a.name() == s)
+    }
 }
 
 impl std::fmt::Display for Arch {

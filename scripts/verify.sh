@@ -67,11 +67,64 @@ echo "==> sfc faultsim determinism (same seeds -> identical report)"
 diff target/FAULTSIM_smoke.txt target/FAULTSIM_smoke2.txt \
     || { echo "verify: FAIL — faultsim report is not deterministic"; exit 1; }
 
-echo "==> no-new-unwrap gate (pipeline/ and resilience/ deny unwrap/expect)"
-for m in pipeline resilience; do
+echo "==> sfc serve smoke (daemon + loadgen determinism + warm restart)"
+# Two cold loadgen runs must produce byte-identical digests; a restart
+# must warm-start the schedule cache from the snapshot (warm_loaded >= 1,
+# zero schedule misses); and low load must never shed.
+SERVE_SOCK=target/serve-smoke.sock
+SERVE_SNAP=target/serve-smoke.sfcache
+rm -f "$SERVE_SOCK" "$SERVE_SNAP"
+./target/release/sfc serve "$SERVE_SOCK" --workers 4 --snapshot "$SERVE_SNAP" \
+    > target/SERVE_daemon1.txt 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] || { echo "verify: FAIL — serve daemon never bound its socket"; exit 1; }
+./target/release/loadgen --socket "$SERVE_SOCK" --seeds 50 --requests 8 \
+    --clients 1,4,16 --out target/BENCH_serve.json --digest target/SERVE_digest1.txt \
+    > target/SERVE_run1.txt \
+    || { echo "verify: FAIL — loadgen run 1 failed"; cat target/SERVE_run1.txt; exit 1; }
+./target/release/loadgen --socket "$SERVE_SOCK" --seeds 50 --requests 8 \
+    --clients 1,4,16 --digest target/SERVE_digest2.txt > target/SERVE_run2.txt \
+    || { echo "verify: FAIL — loadgen run 2 failed"; cat target/SERVE_run2.txt; exit 1; }
+diff target/SERVE_digest1.txt target/SERVE_digest2.txt \
+    || { echo "verify: FAIL — serve responses are not deterministic across runs"; exit 1; }
+./target/release/loadgen --socket "$SERVE_SOCK" --shutdown > /dev/null
+wait "$SERVE_PID"
+
+echo "==> sfc serve warm restart (snapshot reload, zero schedule misses)"
+./target/release/sfc serve "$SERVE_SOCK" --workers 4 --snapshot "$SERVE_SNAP" \
+    > target/SERVE_daemon2.txt 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+./target/release/loadgen --socket "$SERVE_SOCK" --seeds 50 --requests 8 \
+    --clients 1,4,16 --digest target/SERVE_digest3.txt > target/SERVE_run3.txt \
+    || { echo "verify: FAIL — loadgen warm run failed"; cat target/SERVE_run3.txt; exit 1; }
+diff target/SERVE_digest1.txt target/SERVE_digest3.txt \
+    || { echo "verify: FAIL — serve responses changed across a daemon restart"; exit 1; }
+grep -Eq "^warm_loaded: [1-9]" target/SERVE_run3.txt \
+    || { echo "verify: FAIL — restart did not warm-start from the snapshot"; \
+         cat target/SERVE_run3.txt; exit 1; }
+grep -q "^schedule_misses: 0$" target/SERVE_run3.txt \
+    || { echo "verify: FAIL — warm restart recomputed schedules"; \
+         cat target/SERVE_run3.txt; exit 1; }
+for run in target/SERVE_run1.txt target/SERVE_run2.txt target/SERVE_run3.txt; do
+    grep -q "^sheds: 0$" "$run" \
+        || { echo "verify: FAIL — daemon shed requests at low load ($run)"; exit 1; }
+done
+./target/release/loadgen --socket "$SERVE_SOCK" --shutdown > /dev/null
+wait "$SERVE_PID"
+rm -f "$SERVE_SOCK" "$SERVE_SNAP"
+
+echo "==> no-new-unwrap gate (pipeline/, resilience/, serve/, cli deny unwrap/expect)"
+for m in pipeline resilience serve; do
     grep -B1 "^pub mod $m;" crates/core/src/lib.rs \
         | grep -q "deny(clippy::unwrap_used, clippy::expect_used)" \
         || { echo "verify: FAIL — lib.rs lost the unwrap/expect deny gate on '$m'"; exit 1; }
+done
+for m in driver printer; do
+    grep -B1 "^pub mod $m;" crates/cli/src/lib.rs \
+        | grep -q "deny(clippy::unwrap_used, clippy::expect_used)" \
+        || { echo "verify: FAIL — cli lib.rs lost the unwrap/expect deny gate on '$m'"; exit 1; }
 done
 
 echo "==> unsafe-docs gate (codegen/ and view deny undocumented unsafe)"
