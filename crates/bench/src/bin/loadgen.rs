@@ -38,7 +38,7 @@ mod unix {
     use sf_ir::dsl::print_graph;
     use sf_models::subgraphs;
     use spacefusion::pipeline::FusionPolicy;
-    use spacefusion::serve::{CompileRequest, Response, ServeClient, StatsSnapshot};
+    use spacefusion::serve::{CompileRequest, Response, RetryPolicy, ServeClient, StatsSnapshot};
     use std::path::{Path, PathBuf};
     use std::time::{Duration, Instant};
 
@@ -82,6 +82,7 @@ mod unix {
         p99_us: f64,
         throughput_rps: f64,
         retries: usize,
+        sheds_recovered: usize,
     }
 
     fn percentile(sorted_us: &[f64], p: f64) -> f64 {
@@ -104,18 +105,25 @@ mod unix {
         let observed: std::sync::Mutex<Vec<(usize, Vec<u64>)>> = std::sync::Mutex::new(Vec::new());
         let latencies: std::sync::Mutex<Vec<f64>> = std::sync::Mutex::new(Vec::new());
         let retries = std::sync::atomic::AtomicUsize::new(0);
+        let sheds_recovered = std::sync::atomic::AtomicUsize::new(0);
         let t0 = Instant::now();
         std::thread::scope(|s| {
             for c in 0..clients {
                 let observed = &observed;
                 let latencies = &latencies;
                 let retries = &retries;
+                let sheds_recovered = &sheds_recovered;
                 s.spawn(move || {
                     let mut client =
                         ServeClient::connect_with_retry(socket, Duration::from_secs(10))
                             .unwrap_or_else(|e| {
                                 eprintln!("loadgen: cannot connect to {}: {e}", socket.display());
                                 std::process::exit(1);
+                            })
+                            .with_retry(RetryPolicy {
+                                attempts: 8,
+                                base_backoff_ms: 2,
+                                seed: clients as u64 * 1031 + c as u64,
                             });
                     for i in 0..per_client {
                         let form_idx = (c + i) % forms.len();
@@ -128,8 +136,13 @@ mod unix {
                             ..CompileRequest::default()
                         };
                         let t = Instant::now();
+                        // `compile_with_retry` absorbs sheds, torn frames,
+                        // and dropped connections with seeded jittered
+                        // backoff; a shed that outlives the whole budget
+                        // comes back as `Retry` and we simply go again —
+                        // every loadgen request must complete.
                         loop {
-                            match client.compile(req.clone()) {
+                            match client.compile_with_retry(req.clone()) {
                                 Ok(Response::Ok(ok)) => {
                                     latencies
                                         .lock()
@@ -142,9 +155,8 @@ mod unix {
                                     break;
                                 }
                                 Ok(Response::Retry { .. }) => {
-                                    // Shed under overload: back off and retry.
-                                    retries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                    std::thread::sleep(Duration::from_millis(5));
+                                    // Budget exhausted while the queue is
+                                    // saturated: re-enter with a fresh one.
                                 }
                                 Ok(other) => {
                                     eprintln!("loadgen: request failed: {other:?}");
@@ -157,6 +169,14 @@ mod unix {
                             }
                         }
                     }
+                    retries.fetch_add(
+                        client.retries() as usize,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                    sheds_recovered.fetch_add(
+                        client.sheds_recovered() as usize,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
                 });
             }
         });
@@ -172,6 +192,7 @@ mod unix {
                 p99_us: percentile(&lat, 0.99),
                 throughput_rps: total as f64 / wall_s.max(1e-9),
                 retries: retries.into_inner(),
+                sheds_recovered: sheds_recovered.into_inner(),
             },
             observed.into_inner().unwrap(),
         )
@@ -275,8 +296,14 @@ mod unix {
                 }
             }
             println!(
-                "clients {:>3}  p50 {:>9.1} us  p99 {:>9.1} us  {:>8.1} req/s  retries {}",
-                phase.clients, phase.p50_us, phase.p99_us, phase.throughput_rps, phase.retries
+                "clients {:>3}  p50 {:>9.1} us  p99 {:>9.1} us  {:>8.1} req/s  retries {}  \
+                 sheds-recovered {}",
+                phase.clients,
+                phase.p50_us,
+                phase.p99_us,
+                phase.throughput_rps,
+                phase.retries,
+                phase.sheds_recovered
             );
             phases.push(phase);
         }
@@ -288,6 +315,10 @@ mod unix {
                 std::process::exit(1);
             });
         print_counters(&stats);
+        let total_retries: usize = phases.iter().map(|p| p.retries).sum();
+        let total_recovered: usize = phases.iter().map(|p| p.sheds_recovered).sum();
+        println!("client_retries: {total_retries}");
+        println!("sheds_recovered: {total_recovered}");
 
         if let Some(path) = digest_path {
             let mut text = String::new();
@@ -320,8 +351,15 @@ mod unix {
                 let comma = if i + 1 < phases.len() { "," } else { "" };
                 json.push_str(&format!(
                     "    {{\"clients\": {}, \"requests\": {}, \"p50_us\": {:.1}, \
-                     \"p99_us\": {:.1}, \"throughput_rps\": {:.1}, \"retries\": {}}}{comma}\n",
-                    p.clients, p.requests, p.p50_us, p.p99_us, p.throughput_rps, p.retries
+                     \"p99_us\": {:.1}, \"throughput_rps\": {:.1}, \"retries\": {}, \
+                     \"sheds_recovered\": {}}}{comma}\n",
+                    p.clients,
+                    p.requests,
+                    p.p50_us,
+                    p.p99_us,
+                    p.throughput_rps,
+                    p.retries,
+                    p.sheds_recovered
                 ));
             }
             json.push_str("  ],\n");

@@ -458,6 +458,9 @@ pub struct ServeOptions {
     /// Schedule-cache snapshot file (loaded at start, saved at
     /// shutdown).
     pub snapshot: Option<std::path::PathBuf>,
+    /// Per-session socket read/write timeout, ms (stalled or idle
+    /// clients are reaped after this long).
+    pub session_timeout_ms: u64,
 }
 
 /// Parses `sfc serve SOCKET [flags]`.
@@ -474,6 +477,7 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
         queue_depth: 64,
         exec_threads: 0,
         snapshot: None,
+        session_timeout_ms: 30_000,
     };
     let mut i = 0;
     while i < flags.len() {
@@ -513,6 +517,14 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
                         .ok_or("--snapshot needs a file path")?,
                 );
             }
+            "--session-timeout-ms" => {
+                i += 1;
+                o.session_timeout_ms = flags
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &u64| n > 0)
+                    .ok_or("--session-timeout-ms needs a positive count")?;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
@@ -534,6 +546,7 @@ pub fn serve_run(o: &ServeOptions) -> Result<String, String> {
         queue_depth: o.queue_depth,
         exec_threads: o.exec_threads,
         snapshot_path: o.snapshot.clone(),
+        session_timeout_ms: o.session_timeout_ms,
         faults: None,
     };
     let server = Server::bind(&o.socket, config).map_err(|e| e.to_string())?;
@@ -560,6 +573,112 @@ pub fn serve_run(o: &ServeOptions) -> Result<String, String> {
         stats.schedule_entries,
         stats.degradations
     ))
+}
+
+/// Parsed options of `sfc chaos`.
+#[derive(Debug, Clone)]
+pub struct ChaosCliOptions {
+    /// Unix-domain socket path the per-seed daemons bind.
+    pub socket: std::path::PathBuf,
+    /// Number of seeded fault plans.
+    pub seeds: u64,
+    /// First seed.
+    pub seed0: u64,
+    /// Concurrent clients per seed.
+    pub clients: usize,
+    /// Requests per client per seed.
+    pub requests: usize,
+    /// Per-session watchdog timeout, ms.
+    pub session_timeout_ms: u64,
+}
+
+/// Parses `sfc chaos SOCKET [flags]`.
+pub fn parse_chaos_options(args: &[String]) -> Result<ChaosCliOptions, String> {
+    let (socket, flags) = args
+        .split_first()
+        .ok_or("chaos needs a socket path: sfc chaos SOCKET [flags]")?;
+    if socket.starts_with("--") {
+        return Err(format!("chaos needs a socket path, got flag '{socket}'"));
+    }
+    let mut o = ChaosCliOptions {
+        socket: std::path::PathBuf::from(socket),
+        seeds: 25,
+        seed0: 0,
+        clients: 3,
+        requests: 4,
+        session_timeout_ms: 200,
+    };
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                o.seeds = flags
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &u64| n > 0)
+                    .ok_or("--seeds needs a positive count")?;
+            }
+            "--seed" => {
+                i += 1;
+                o.seed0 = flags
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--clients" => {
+                i += 1;
+                o.clients = flags
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--clients needs a positive count")?;
+            }
+            "--requests" => {
+                i += 1;
+                o.requests = flags
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--requests needs a positive count")?;
+            }
+            "--session-timeout-ms" => {
+                i += 1;
+                o.session_timeout_ms = flags
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &u64| n > 0)
+                    .ok_or("--session-timeout-ms needs a positive count")?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+/// Runs `sfc chaos`: a seeded fault campaign against per-seed daemons.
+///
+/// Returns `(report, clean)`; `clean` is `false` on any hang, daemon
+/// abort, checksum mismatch, or snapshot corruption. The report is
+/// deterministic for a fixed seed range.
+#[cfg(unix)]
+pub fn chaos_report(o: &ChaosCliOptions) -> Result<(String, bool), String> {
+    use spacefusion::serve::chaos;
+    let report = chaos::run(&chaos::ChaosOptions {
+        socket: o.socket.clone(),
+        seeds: o.seeds,
+        seed0: o.seed0,
+        clients: o.clients,
+        requests: o.requests,
+        session_timeout_ms: o.session_timeout_ms,
+    })
+    .map_err(|e| e.to_string())?;
+    let clean = report.hangs == 0
+        && report.aborts == 0
+        && report.mismatches == 0
+        && report.snapshot_corruptions == 0;
+    Ok((report.text, clean))
 }
 
 /// Minimal JSON string escaping.
@@ -875,6 +994,64 @@ output y
             "zero workers rejected"
         );
         assert!(parse_serve_options(&["s.sock".to_string(), "--bogus".to_string()]).is_err());
+        // Session timeout: defaults to 30 s, flag overrides, zero rejected.
+        assert_eq!(o.session_timeout_ms, 30_000);
+        let o = parse_serve_options(&[
+            "s.sock".to_string(),
+            "--session-timeout-ms".to_string(),
+            "250".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(o.session_timeout_ms, 250);
+        assert!(parse_serve_options(&[
+            "s.sock".to_string(),
+            "--session-timeout-ms".to_string(),
+            "0".to_string()
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn chaos_option_parsing() {
+        let args: Vec<String> = [
+            "/tmp/sfc-chaos.sock",
+            "--seeds",
+            "50",
+            "--seed",
+            "7",
+            "--clients",
+            "2",
+            "--requests",
+            "3",
+            "--session-timeout-ms",
+            "150",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_chaos_options(&args).unwrap();
+        assert_eq!(o.socket, std::path::PathBuf::from("/tmp/sfc-chaos.sock"));
+        assert_eq!(o.seeds, 50);
+        assert_eq!(o.seed0, 7);
+        assert_eq!(o.clients, 2);
+        assert_eq!(o.requests, 3);
+        assert_eq!(o.session_timeout_ms, 150);
+        // Defaults.
+        let o = parse_chaos_options(&["c.sock".to_string()]).unwrap();
+        assert_eq!(o.seeds, 25);
+        assert_eq!(o.seed0, 0);
+        assert_eq!(o.clients, 3);
+        assert_eq!(o.requests, 4);
+        assert_eq!(o.session_timeout_ms, 200);
+        assert!(parse_chaos_options(&[]).is_err(), "socket path required");
+        assert!(parse_chaos_options(&["--seeds".to_string()]).is_err());
+        assert!(parse_chaos_options(&[
+            "c.sock".to_string(),
+            "--seeds".to_string(),
+            "0".to_string()
+        ])
+        .is_err());
+        assert!(parse_chaos_options(&["c.sock".to_string(), "--bogus".to_string()]).is_err());
     }
 
     #[test]

@@ -13,19 +13,23 @@
 //!                  [--timings]
 //! sfc serve SOCKET [--workers N] [--queue-depth N]
 //!                  [--exec-threads N|max] [--snapshot FILE]
+//!                  [--session-timeout-ms MS]
+//! sfc chaos SOCKET [--seeds N] [--seed S] [--clients N]
+//!                  [--requests N] [--session-timeout-ms MS]
 //! sfc print FILE       # parse and pretty-print back to the DSL
 //! ```
 
 use sf_cli::driver::{
-    compile_report, faultsim_report, fuzz_report, lint_report, parse_faultsim_options,
-    parse_fuzz_options, parse_lint_options, parse_options, parse_serve_options,
+    compile_report, faultsim_report, fuzz_report, lint_report, parse_chaos_options,
+    parse_faultsim_options, parse_fuzz_options, parse_lint_options, parse_options,
+    parse_serve_options,
 };
 use sf_cli::{parse_graph, print_graph};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: sfc <compile|lint|fuzz|faultsim|serve|print> [FILE|SOCKET] [flags] \
+    let usage = "usage: sfc <compile|lint|fuzz|faultsim|serve|chaos|print> [FILE|SOCKET] [flags] \
                  (see --help in README)";
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
@@ -94,6 +98,39 @@ fn main() -> ExitCode {
         {
             let _ = opts;
             eprintln!("sfc: serve requires Unix-domain sockets");
+            return ExitCode::FAILURE;
+        }
+    }
+    if cmd == "chaos" {
+        // `chaos` takes a socket path, not a graph FILE.
+        let opts = match parse_chaos_options(rest) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("sfc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        #[cfg(unix)]
+        {
+            return match sf_cli::driver::chaos_report(&opts) {
+                Ok((report, clean)) => {
+                    print!("{report}");
+                    if clean {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("sfc: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = opts;
+            eprintln!("sfc: chaos requires Unix-domain sockets");
             return ExitCode::FAILURE;
         }
     }

@@ -38,6 +38,27 @@ pub enum FaultKind {
     /// Force `SfError::Timeout` out of group scheduling — exercises
     /// the deadline rung of the degradation ladder.
     ExpireDeadline,
+    /// Serve: truncate an outbound response frame at a seeded byte
+    /// offset (the fault's `block` field) and sever the connection —
+    /// exercises the client's torn-frame detection and retry.
+    TornFrame,
+    /// Serve: the chaos harness's client writes a partial frame and
+    /// then stalls for longer than the session timeout — exercises the
+    /// daemon's per-session read timeout and idle reaper. Fired by the
+    /// client driver, never by a server-side hook.
+    StallClient,
+    /// Serve: close the connection after reading a request, before any
+    /// response is written — exercises client reconnect + resend.
+    DropConnection,
+    /// Serve: panic inside a session thread — exercises session panic
+    /// isolation (the admission slot is freed, `ServeCore` state stays
+    /// healthy, the crash is counted).
+    CrashSession,
+    /// Serve: abandon the schedule-cache snapshot write at a seeded
+    /// byte offset (the fault's `block` field): the temp file is left
+    /// partial and never renamed — exercises tmp+rename atomicity (the
+    /// previous snapshot must stay fully intact).
+    KillDuringSnapshot,
 }
 
 impl FaultKind {
@@ -49,7 +70,26 @@ impl FaultKind {
             FaultKind::ForceInfeasible => "force-infeasible",
             FaultKind::CrashWorker => "crash-worker",
             FaultKind::ExpireDeadline => "expire-deadline",
+            FaultKind::TornFrame => "torn-frame",
+            FaultKind::StallClient => "stall-client",
+            FaultKind::DropConnection => "drop-connection",
+            FaultKind::CrashSession => "crash-session",
+            FaultKind::KillDuringSnapshot => "kill-during-snapshot",
         }
+    }
+
+    /// Whether this kind belongs to the serving layer (fired by the
+    /// serve session/write/snapshot hooks or the chaos client driver)
+    /// rather than the compile/execute pipeline.
+    pub fn is_serve(self) -> bool {
+        matches!(
+            self,
+            FaultKind::TornFrame
+                | FaultKind::StallClient
+                | FaultKind::DropConnection
+                | FaultKind::CrashSession
+                | FaultKind::KillDuringSnapshot
+        )
     }
 }
 
@@ -68,6 +108,19 @@ pub enum FaultStage {
     CachePublish,
     /// Execution of one spatial block of one kernel.
     ExecBlock,
+    /// A serve session thread, after a request frame is read and
+    /// before it is submitted ([`FaultKind::CrashSession`],
+    /// [`FaultKind::DropConnection`]).
+    ServeSession,
+    /// The outbound response frame write of a serve session
+    /// ([`FaultKind::TornFrame`]).
+    ServeWrite,
+    /// The schedule-cache snapshot save
+    /// ([`FaultKind::KillDuringSnapshot`]).
+    ServeSnapshot,
+    /// The chaos harness's client driver ([`FaultKind::StallClient`] —
+    /// client-side behaviour, never a server hook).
+    ServeClient,
 }
 
 impl FaultStage {
@@ -77,6 +130,10 @@ impl FaultStage {
             FaultStage::Schedule => "schedule",
             FaultStage::CachePublish => "cache-publish",
             FaultStage::ExecBlock => "exec-block",
+            FaultStage::ServeSession => "serve-session",
+            FaultStage::ServeWrite => "serve-write",
+            FaultStage::ServeSnapshot => "serve-snapshot",
+            FaultStage::ServeClient => "serve-client",
         }
     }
 }
@@ -97,9 +154,13 @@ pub struct Fault {
     /// Restricts firing to units/kernels whose name contains this
     /// substring; the empty string matches any site.
     pub unit: String,
-    /// For [`FaultStage::ExecBlock`] faults: targeted spatial block.
-    /// The hook fires on block index `block % n_blocks`, so any value
-    /// maps onto a real block of the kernel it lands in.
+    /// For [`FaultStage::ExecBlock`] faults: targeted spatial block
+    /// (the hook fires on block index `block % n_blocks`, so any value
+    /// maps onto a real block of the kernel it lands in). Serve-layer
+    /// faults reuse it as the seeded byte offset: [`FaultKind::TornFrame`]
+    /// truncates the frame at `block % frame_len`,
+    /// [`FaultKind::KillDuringSnapshot`] abandons the snapshot write at
+    /// `block % snapshot_len`.
     pub block: usize,
 }
 
@@ -160,6 +221,42 @@ impl FaultPlan {
             .collect();
         FaultPlan { seed, faults }
     }
+
+    /// Derives a serve-layer plan of one or two faults from `seed`,
+    /// with the same determinism contract as [`FaultPlan::from_seed`]:
+    /// the mapping is pure and the five serve [`FaultKind`]s are all
+    /// reachable within any 10 consecutive seeds (the first fault's
+    /// kind cycles with `seed % 5`).
+    pub fn serve_from_seed(seed: u64) -> Self {
+        let mut rng = XorShiftRng::seed_from_u64(seed ^ 0x5EB0_FA01_7C4A_0517);
+        let n = 1 + rng.below(2) as usize;
+        let faults = (0..n)
+            .map(|i| {
+                let kind = match if i == 0 { seed % 5 } else { rng.below(5) } {
+                    0 => FaultKind::TornFrame,
+                    1 => FaultKind::StallClient,
+                    2 => FaultKind::DropConnection,
+                    3 => FaultKind::CrashSession,
+                    _ => FaultKind::KillDuringSnapshot,
+                };
+                let stage = match kind {
+                    FaultKind::TornFrame => FaultStage::ServeWrite,
+                    FaultKind::StallClient => FaultStage::ServeClient,
+                    FaultKind::KillDuringSnapshot => FaultStage::ServeSnapshot,
+                    _ => FaultStage::ServeSession,
+                };
+                Fault {
+                    stage,
+                    kind,
+                    unit: String::new(),
+                    // Doubles as the seeded byte offset for torn frames
+                    // and abandoned snapshot writes.
+                    block: rng.below(1 << 20) as usize,
+                }
+            })
+            .collect();
+        FaultPlan { seed, faults }
+    }
 }
 
 /// Arms a [`FaultPlan`] and fires each fault at most once.
@@ -200,10 +297,18 @@ impl FaultInjector {
     /// matches `unit`. At most one fault fires per call; each fault
     /// fires at most once per injector.
     pub fn fire(&self, stage: FaultStage, unit: &str) -> Option<FaultKind> {
+        self.fire_fault(stage, unit).map(|f| f.kind)
+    }
+
+    /// Like [`FaultInjector::fire`] but returns the full fired
+    /// [`Fault`], so serve-layer hooks can read the seeded byte offset
+    /// carried in `block`.
+    pub fn fire_fault(&self, stage: FaultStage, unit: &str) -> Option<Fault> {
         for (i, f) in self.plan.faults.iter().enumerate() {
             let matches = f.stage == stage && (f.unit.is_empty() || unit.contains(f.unit.as_str()));
             if matches && self.armed[i].swap(false, Ordering::SeqCst) {
-                return Some(self.trigger(i, unit.to_string()));
+                self.trigger(i, unit.to_string());
+                return Some(f.clone());
             }
         }
         None
@@ -306,6 +411,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn serve_plans_are_deterministic_and_cover_all_kinds() {
+        let mut kinds = std::collections::HashSet::new();
+        for seed in 0..10 {
+            let a = FaultPlan::serve_from_seed(seed);
+            let b = FaultPlan::serve_from_seed(seed);
+            assert_eq!(a, b);
+            assert!(!a.faults.is_empty() && a.faults.len() <= 2);
+            for f in &a.faults {
+                assert!(f.kind.is_serve(), "serve plans carry serve kinds only");
+                kinds.insert(f.kind.label());
+            }
+        }
+        assert_eq!(kinds.len(), 5, "10 seeds must cover all 5 serve kinds");
+    }
+
+    #[test]
+    fn serve_stage_matches_kind() {
+        for seed in 0..50 {
+            for f in &FaultPlan::serve_from_seed(seed).faults {
+                match f.kind {
+                    FaultKind::TornFrame => assert_eq!(f.stage, FaultStage::ServeWrite),
+                    FaultKind::StallClient => assert_eq!(f.stage, FaultStage::ServeClient),
+                    FaultKind::KillDuringSnapshot => {
+                        assert_eq!(f.stage, FaultStage::ServeSnapshot)
+                    }
+                    _ => assert_eq!(f.stage, FaultStage::ServeSession),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fire_fault_returns_the_seeded_block_offset() {
+        let mut plan = FaultPlan::single(FaultStage::ServeWrite, FaultKind::TornFrame);
+        plan.faults[0].block = 1234;
+        let inj = FaultInjector::new(plan);
+        let fired = inj.fire_fault(FaultStage::ServeWrite, "session").unwrap();
+        assert_eq!(fired.kind, FaultKind::TornFrame);
+        assert_eq!(fired.block, 1234);
+        assert!(inj.fire_fault(FaultStage::ServeWrite, "session").is_none());
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! `sfc chaos` — the serving analogue of `sfc faultsim`: a seeded
+//! campaign that boots a fault-injected daemon per seed, hammers it
+//! with loadgen-style request forms through the retrying client, and
+//! proves the correctness envelope:
+//!
+//! * every request either completes with the **correct FNV checksum**
+//!   (precomputed against a pristine in-process core — responses are
+//!   bit-identical across restarts and thread counts) or fails cleanly
+//!   with a typed error — never a hang, never a daemon abort;
+//! * a stalled-mid-frame client is reaped within the session timeout
+//!   while other clients keep completing;
+//! * the admission queue is drained at every exit;
+//! * a daemon killed mid-snapshot leaves the previous snapshot fully
+//!   intact (`warm_evicted == 0` on the next seed's warm start).
+//!
+//! The report is deterministic for a fixed seed range: each wire fault
+//! fires at most once and disrupts exactly one request attempt, so the
+//! retry totals are a pure function of the plan, and fired-site lines
+//! are sorted (firing order is the one racy quantity).
+
+#![cfg(unix)]
+
+use super::client::{RetryPolicy, ServeClient};
+use super::protocol::{CompileRequest, Response};
+use super::server::{ServeConfig, Server};
+use crate::pipeline::FusionPolicy;
+use crate::resilience::{silence_injected_panics, FaultInjector, FaultKind, FaultPlan, FaultStage};
+use crate::serve::ServeCore;
+use std::io::{self, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Socket path the per-seed daemons bind (the snapshot lives next
+    /// to it with an `.sfcache` extension).
+    pub socket: PathBuf,
+    /// Number of seeded fault plans to run.
+    pub seeds: u64,
+    /// First seed.
+    pub seed0: u64,
+    /// Concurrent clients per seed.
+    pub clients: usize,
+    /// Requests per client per seed.
+    pub requests: usize,
+    /// Per-session watchdog timeout handed to the daemon. Chaos runs
+    /// use a short timeout so stalled clients are reaped quickly.
+    pub session_timeout_ms: u64,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            socket: PathBuf::from("/tmp/sfc-chaos.sock"),
+            seeds: 25,
+            seed0: 0,
+            clients: 3,
+            requests: 4,
+            session_timeout_ms: 200,
+        }
+    }
+}
+
+/// Campaign outcome: the printable report plus the hard counters the
+/// caller (CLI, tests, `verify.sh`) gates on.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Deterministic human-readable report.
+    pub text: String,
+    /// Seeds whose queue failed to drain or whose clients wedged.
+    pub hangs: u64,
+    /// Daemon threads that panicked or returned an I/O error.
+    pub aborts: u64,
+    /// Responses whose checksum disagreed with the pristine oracle.
+    pub mismatches: u64,
+    /// Warm starts that evicted entries (a torn snapshot escaped the
+    /// tmp+rename atomicity).
+    pub snapshot_corruptions: u64,
+}
+
+/// The loadgen-style request forms: small graphs over distinct
+/// policies, each pinning one binding seed so the correct checksums
+/// are a constant of the campaign. Inline DSL — the core crate cannot
+/// see `sf-models`.
+fn forms() -> Vec<(String, FusionPolicy, u64)> {
+    let softmax = "\
+graph softmax f32
+input x [8, 32]
+m = reduce_max x dim=1
+s = sub x m
+e = exp s
+z = reduce_sum e dim=1
+out = div e z
+output out
+";
+    let chain = "\
+graph chain f32
+input x [16, 16]
+a = relu x
+b = exp a
+c = add b x
+output c
+";
+    vec![
+        (softmax.to_string(), FusionPolicy::SpaceFusion, 11),
+        (softmax.to_string(), FusionPolicy::Unfused, 12),
+        (chain.to_string(), FusionPolicy::SpaceFusion, 13),
+    ]
+}
+
+/// Computes the oracle checksums by serving every form from a pristine
+/// in-process core (no socket, no faults). Bit-identical responses
+/// across cores make these valid for every seed.
+fn oracle(forms: &[(String, FusionPolicy, u64)]) -> io::Result<Vec<Vec<u64>>> {
+    let core = ServeCore::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })?;
+    let mut expected = Vec::with_capacity(forms.len());
+    for (i, (graph, policy, seed)) in forms.iter().enumerate() {
+        match core.submit(CompileRequest {
+            id: i as u64,
+            graph: graph.clone(),
+            policy: *policy,
+            seed: *seed,
+            ..CompileRequest::default()
+        }) {
+            Response::Ok(ok) => expected.push(ok.outputs.iter().map(|o| o.checksum).collect()),
+            other => {
+                return Err(io::Error::other(format!(
+                    "oracle compile of form {i} failed: {other:?}"
+                )))
+            }
+        }
+    }
+    core.shutdown()?;
+    Ok(expected)
+}
+
+/// What one client thread observed.
+#[derive(Debug, Default, Clone, Copy)]
+struct ClientTally {
+    ok: u64,
+    clean_errors: u64,
+    mismatches: u64,
+    retries: u64,
+    sheds_recovered: u64,
+}
+
+/// One client: `requests` round-robined form submissions through the
+/// retrying client, verifying every Ok checksum against the oracle.
+fn client_thread(
+    socket: &Path,
+    seed: u64,
+    client_idx: usize,
+    requests: usize,
+    forms: &[(String, FusionPolicy, u64)],
+    expected: &[Vec<u64>],
+) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let Ok(client) = ServeClient::connect_with_retry(socket, Duration::from_secs(5)) else {
+        tally.clean_errors += requests as u64;
+        return tally;
+    };
+    // The long I/O timeout is a hang backstop, not a retry trigger:
+    // injected faults surface as immediate EOF/torn-frame errors.
+    let Ok(client) = client.with_io_timeout(Duration::from_secs(30)) else {
+        tally.clean_errors += requests as u64;
+        return tally;
+    };
+    let mut client = client.with_retry(RetryPolicy {
+        attempts: 8,
+        base_backoff_ms: 2,
+        seed: seed.wrapping_mul(97).wrapping_add(client_idx as u64),
+    });
+    for r in 0..requests {
+        let form = (client_idx + r) % forms.len();
+        let (graph, policy, bind_seed) = &forms[form];
+        let req = CompileRequest {
+            id: (client_idx * requests + r) as u64,
+            graph: graph.clone(),
+            policy: *policy,
+            seed: *bind_seed,
+            ..CompileRequest::default()
+        };
+        match client.compile_with_retry(req) {
+            Ok(Response::Ok(ok)) => {
+                let sums: Vec<u64> = ok.outputs.iter().map(|o| o.checksum).collect();
+                if sums == expected[form] {
+                    tally.ok += 1;
+                } else {
+                    tally.mismatches += 1;
+                }
+            }
+            // Budget exhausted on sheds, or a typed transport/compile
+            // error: a clean failure, never a hang.
+            Ok(_) | Err(_) => tally.clean_errors += 1,
+        }
+    }
+    tally.retries = client.retries();
+    tally.sheds_recovered = client.sheds_recovered();
+    tally
+}
+
+/// One staller: writes a partial length prefix, then waits for the
+/// daemon's watchdog to reap the session (observed as EOF). Fires the
+/// plan's `StallClient` fault so the report records it.
+fn staller_thread(socket: &Path, session_timeout_ms: u64, inj: &FaultInjector) -> bool {
+    inj.fire(FaultStage::ServeClient, "staller");
+    let Ok(mut stream) = UnixStream::connect(socket) else {
+        return false;
+    };
+    // Ten timeouts of grace: the reap must land well inside this.
+    let deadline = Duration::from_millis(session_timeout_ms.saturating_mul(10).max(1000));
+    if stream.set_read_timeout(Some(deadline)).is_err() {
+        return false;
+    }
+    if stream.write_all(&[0u8, 0u8]).is_err() {
+        return false;
+    }
+    let start = Instant::now();
+    let mut buf = [0u8; 1];
+    // EOF (Ok(0)) is the reap; anything else within the deadline fails.
+    let reaped = matches!(stream.read(&mut buf), Ok(0));
+    reaped && start.elapsed() <= deadline
+}
+
+/// Per-seed deterministic summary line fields.
+struct SeedSummary {
+    line: String,
+    hang: bool,
+    abort: bool,
+    mismatches: u64,
+    snapshot_corrupt: bool,
+    tally: ClientTally,
+    kind_counts: Vec<FaultKind>,
+}
+
+fn run_seed(
+    opts: &ChaosOptions,
+    seed: u64,
+    forms: &[(String, FusionPolicy, u64)],
+    expected: &[Vec<u64>],
+    snapshot: &Path,
+) -> io::Result<SeedSummary> {
+    let plan = FaultPlan::serve_from_seed(seed);
+    let kinds: Vec<FaultKind> = plan.faults.iter().map(|f| f.kind).collect();
+    let stallers = kinds
+        .iter()
+        .filter(|k| **k == FaultKind::StallClient)
+        .count();
+    let inj = Arc::new(FaultInjector::new(plan));
+
+    let server = Server::bind(
+        &opts.socket,
+        ServeConfig {
+            workers: 2,
+            queue_depth: 64,
+            snapshot_path: Some(snapshot.to_path_buf()),
+            session_timeout_ms: opts.session_timeout_ms,
+            faults: Some(Arc::clone(&inj)),
+            ..ServeConfig::default()
+        },
+    )?;
+    let core = server.core().clone();
+    let snapshot_corrupt = core.stats().warm_evicted > 0;
+    let daemon = std::thread::spawn(move || server.run());
+
+    let mut tally = ClientTally::default();
+    let mut stallers_reaped = 0usize;
+    std::thread::scope(|s| {
+        let clients: Vec<_> = (0..opts.clients)
+            .map(|c| {
+                s.spawn(move || {
+                    client_thread(&opts.socket, seed, c, opts.requests, forms, expected)
+                })
+            })
+            .collect();
+        let stall_handles: Vec<_> = (0..stallers)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                s.spawn(move || staller_thread(&opts.socket, opts.session_timeout_ms, &inj))
+            })
+            .collect();
+        for h in clients {
+            if let Ok(t) = h.join() {
+                tally.ok += t.ok;
+                tally.clean_errors += t.clean_errors;
+                tally.mismatches += t.mismatches;
+                tally.retries += t.retries;
+                tally.sheds_recovered += t.sheds_recovered;
+            }
+        }
+        for h in stall_handles {
+            if matches!(h.join(), Ok(true)) {
+                stallers_reaped += 1;
+            }
+        }
+    });
+
+    // Admission queue drained at exit: no queued or in-flight work may
+    // survive the clients.
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    let mut drained = false;
+    while Instant::now() < drain_deadline {
+        if core.queued() == 0 && core.in_flight() == 0 {
+            drained = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    core.request_shutdown();
+    let (abort, final_stats) = match daemon.join() {
+        Ok(Ok(stats)) => (false, Some(stats)),
+        _ => (true, None),
+    };
+
+    let mut fired = inj.fired();
+    fired.sort();
+    let mut kind_labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+    kind_labels.sort_unstable();
+    let (reaped, crashed, rejected) = final_stats
+        .as_ref()
+        .map(|s| (s.sessions_reaped, s.sessions_crashed, s.frames_rejected))
+        .unwrap_or((0, 0, 0));
+    let hang = !drained || stallers_reaped != stallers;
+    let line = format!(
+        "seed {seed}: plan=[{}] fired=[{}] ok={} errors={} mismatches={} retries={} reaped={} crashed={} rejected={} snapshot={} drained={}",
+        kind_labels.join(", "),
+        fired.join("; "),
+        tally.ok,
+        tally.clean_errors,
+        tally.mismatches,
+        tally.retries,
+        reaped,
+        crashed,
+        rejected,
+        if snapshot_corrupt { "CORRUPT" } else { "intact" },
+        if drained { "yes" } else { "NO" },
+    );
+    Ok(SeedSummary {
+        line,
+        hang,
+        abort,
+        mismatches: tally.mismatches,
+        snapshot_corrupt,
+        tally,
+        kind_counts: kinds,
+    })
+}
+
+/// Runs the campaign: one fault-injected daemon per seed, all five
+/// serve fault kinds reachable in any 10 consecutive seeds.
+pub fn run(opts: &ChaosOptions) -> io::Result<ChaosReport> {
+    silence_injected_panics();
+    let forms = forms();
+    let expected = oracle(&forms)?;
+    let snapshot = opts.socket.with_extension("sfcache");
+    // A fresh campaign starts cold so the report is independent of
+    // leftover state; seeds then share the snapshot, which is how
+    // kill-during-snapshot gets cross-checked by the next warm start.
+    std::fs::remove_file(&snapshot).ok();
+    std::fs::remove_file(snapshot.with_extension("tmp")).ok();
+
+    let mut text = String::new();
+    text.push_str(&format!(
+        "chaos campaign: seeds={} clients={} requests={} session-timeout-ms={}\n",
+        opts.seeds, opts.clients, opts.requests, opts.session_timeout_ms
+    ));
+    let mut hangs = 0u64;
+    let mut aborts = 0u64;
+    let mut mismatches = 0u64;
+    let mut corruptions = 0u64;
+    let mut total = ClientTally::default();
+    let mut kind_totals: Vec<(FaultKind, u64)> = [
+        FaultKind::TornFrame,
+        FaultKind::StallClient,
+        FaultKind::DropConnection,
+        FaultKind::CrashSession,
+        FaultKind::KillDuringSnapshot,
+    ]
+    .into_iter()
+    .map(|k| (k, 0))
+    .collect();
+
+    for seed in opts.seed0..opts.seed0 + opts.seeds {
+        let summary = run_seed(opts, seed, &forms, &expected, &snapshot)?;
+        text.push_str(&summary.line);
+        text.push('\n');
+        hangs += summary.hang as u64;
+        aborts += summary.abort as u64;
+        mismatches += summary.mismatches;
+        corruptions += summary.snapshot_corrupt as u64;
+        total.ok += summary.tally.ok;
+        total.clean_errors += summary.tally.clean_errors;
+        total.retries += summary.tally.retries;
+        total.sheds_recovered += summary.tally.sheds_recovered;
+        for k in &summary.kind_counts {
+            for (kind, n) in &mut kind_totals {
+                if kind == k {
+                    *n += 1;
+                }
+            }
+        }
+    }
+    std::fs::remove_file(&snapshot).ok();
+    std::fs::remove_file(snapshot.with_extension("tmp")).ok();
+
+    let planned: Vec<String> = kind_totals
+        .iter()
+        .map(|(k, n)| format!("{}={n}", k.label()))
+        .collect();
+    text.push_str(&format!("faults planned: {}\n", planned.join(" ")));
+    text.push_str(&format!(
+        "requests: ok={} clean-errors={} retries={} sheds-recovered={}\n",
+        total.ok, total.clean_errors, total.retries, total.sheds_recovered
+    ));
+    text.push_str(&format!(
+        "{hangs} hang(s), {aborts} abort(s), {mismatches} checksum mismatch(es), {corruptions} snapshot corruption(s)\n"
+    ));
+    Ok(ChaosReport {
+        text,
+        hangs,
+        aborts,
+        mismatches,
+        snapshot_corruptions: corruptions,
+    })
+}

@@ -1,17 +1,62 @@
 //! Minimal blocking client for the serve protocol (used by the CLI's
-//! load generator and the socket tests).
+//! load generator, the chaos campaign, and the socket tests), plus the
+//! request-level retry/backoff layer.
+//!
+//! **Retry contract.** A compile request is idempotent: the daemon's
+//! response is a pure function of the request (bucketed compile +
+//! seeded execution), so resending after a transport failure can never
+//! double-apply anything. [`ServeClient::compile_with_retry`] therefore
+//! retries on
+//!
+//! * [`Response::Retry`] admission sheds — backing off with seeded,
+//!   jittered exponential delays, and
+//! * transport errors (torn frames, dropped connections, daemon closed
+//!   mid-response) — reconnecting before the resend,
+//!
+//! up to a bounded attempt budget ([`RetryPolicy::attempts`], default
+//! 5). Deterministic seeding keeps chaos campaigns reproducible: the
+//! same seed yields the same backoff schedule.
 
 #![cfg(unix)]
 
 use super::protocol::{read_frame, write_frame, CompileRequest, Request, Response, StatsSnapshot};
+use sf_tensor::rng::XorShiftRng;
 use std::io;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+/// Bounded, seeded retry/backoff policy for compile requests.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempt budget (first try included). At least 1.
+    pub attempts: u32,
+    /// Base backoff delay, doubled per retry, plus seeded jitter of up
+    /// to one base step.
+    pub base_backoff_ms: u64,
+    /// Jitter seed; fixed seed ⇒ fixed backoff schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_backoff_ms: 2,
+            seed: 0,
+        }
+    }
+}
 
 /// One connection to a serve daemon.
 pub struct ServeClient {
     stream: UnixStream,
+    path: PathBuf,
+    io_timeout: Option<Duration>,
+    policy: RetryPolicy,
+    rng: XorShiftRng,
+    retries: u64,
+    sheds_recovered: u64,
 }
 
 fn bad_data(message: String) -> io::Error {
@@ -19,11 +64,23 @@ fn bad_data(message: String) -> io::Error {
 }
 
 impl ServeClient {
+    fn from_stream(stream: UnixStream, path: &Path) -> ServeClient {
+        let policy = RetryPolicy::default();
+        let rng = XorShiftRng::seed_from_u64(policy.seed);
+        ServeClient {
+            stream,
+            path: path.to_path_buf(),
+            io_timeout: None,
+            policy,
+            rng,
+            retries: 0,
+            sheds_recovered: 0,
+        }
+    }
+
     /// Connects to the daemon's socket.
     pub fn connect(path: &Path) -> io::Result<ServeClient> {
-        Ok(ServeClient {
-            stream: UnixStream::connect(path)?,
-        })
+        Ok(ServeClient::from_stream(UnixStream::connect(path)?, path))
     }
 
     /// Connects, retrying while the daemon finishes binding. Retries
@@ -32,7 +89,7 @@ impl ServeClient {
         let mut waited = Duration::ZERO;
         loop {
             match UnixStream::connect(path) {
-                Ok(stream) => return Ok(ServeClient { stream }),
+                Ok(stream) => return Ok(ServeClient::from_stream(stream, path)),
                 Err(e) if waited >= timeout => return Err(e),
                 Err(_) => {
                     let step = Duration::from_millis(20);
@@ -43,6 +100,32 @@ impl ServeClient {
         }
     }
 
+    /// Sets a socket read/write timeout, so a daemon that stops
+    /// mid-response can never hang this client.
+    pub fn with_io_timeout(mut self, timeout: Duration) -> io::Result<ServeClient> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_write_timeout(Some(timeout))?;
+        self.io_timeout = Some(timeout);
+        Ok(self)
+    }
+
+    /// Installs a retry policy for [`ServeClient::compile_with_retry`].
+    pub fn with_retry(mut self, policy: RetryPolicy) -> ServeClient {
+        self.rng = XorShiftRng::seed_from_u64(policy.seed);
+        self.policy = policy;
+        self
+    }
+
+    /// Retries performed so far (shed backoffs + transport resends).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Admission sheds that were subsequently recovered by a retry.
+    pub fn sheds_recovered(&self) -> u64 {
+        self.sheds_recovered
+    }
+
     /// Sends one request and waits for its response.
     pub fn request(&mut self, req: &Request) -> io::Result<Response> {
         write_frame(&mut self.stream, &req.to_json())?;
@@ -51,9 +134,72 @@ impl ServeClient {
         Response::from_json(&doc).map_err(bad_data)
     }
 
-    /// Compile + execute one graph.
+    /// Compile + execute one graph, single attempt.
     pub fn compile(&mut self, req: CompileRequest) -> io::Result<Response> {
         self.request(&Request::Compile(Box::new(req)))
+    }
+
+    /// Drops the current connection and dials a fresh one, carrying
+    /// over the configured I/O timeout.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = UnixStream::connect(&self.path)?;
+        if let Some(t) = self.io_timeout {
+            stream.set_read_timeout(Some(t))?;
+            stream.set_write_timeout(Some(t))?;
+        }
+        self.stream = stream;
+        Ok(())
+    }
+
+    /// Seeded jittered exponential backoff for retry attempt `n`
+    /// (0-based): `base << n` plus up to one extra base step.
+    fn backoff(&mut self, n: u32) {
+        let base = self.policy.base_backoff_ms.clamp(1, 1 << 16);
+        let jitter = self.rng.below(base + 1);
+        let ms = base.saturating_mul(1 << n.min(16)).saturating_add(jitter);
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+
+    /// Compile + execute one graph with bounded retry: admission sheds
+    /// back off (seeded jitter) and resend; transport failures — torn
+    /// frames, dropped connections, daemon closed mid-response —
+    /// reconnect and resend. Safe because compile responses are pure
+    /// functions of the request. Returns the last shed as
+    /// [`Response::Retry`] (or the last transport error) when the
+    /// attempt budget runs out.
+    pub fn compile_with_retry(&mut self, req: CompileRequest) -> io::Result<Response> {
+        let attempts = self.policy.attempts.max(1);
+        let mut last_err: Option<io::Error> = None;
+        let mut shed_pending = false;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries += 1;
+                self.backoff(attempt - 1);
+                if last_err.is_some() && self.reconnect().is_err() {
+                    // The daemon may still be mid-close; next attempt
+                    // redials after another backoff.
+                    continue;
+                }
+            }
+            match self.compile(req.clone()) {
+                Ok(Response::Retry { id, index }) => {
+                    shed_pending = true;
+                    last_err = None;
+                    if attempt + 1 == attempts {
+                        return Ok(Response::Retry { id, index });
+                    }
+                }
+                Ok(resp) => {
+                    if shed_pending {
+                        self.sheds_recovered += 1;
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "retry budget exhausted")))
     }
 
     /// Fetches the daemon's counter snapshot.

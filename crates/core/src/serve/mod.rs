@@ -18,6 +18,7 @@
 //! [`ExecEngine`]: crate::codegen::ExecEngine
 
 pub mod bucket;
+pub mod chaos;
 pub mod client;
 pub mod json;
 pub mod protocol;
@@ -26,7 +27,9 @@ pub mod snapshot;
 
 pub use bucket::{BucketKey, ProgramCache};
 #[cfg(unix)]
-pub use client::ServeClient;
+pub use chaos::{ChaosOptions, ChaosReport};
+#[cfg(unix)]
+pub use client::{RetryPolicy, ServeClient};
 pub use protocol::{
     fnv1a64, tensor_checksum, CacheOutcome, CompileRequest, OkResponse, OutputDigest, Request,
     Response, StatsSnapshot, MAX_FRAME_BYTES, PROTOCOL_VERSION,

@@ -170,6 +170,15 @@ pub struct StatsSnapshot {
     pub warm_evicted: u64,
     /// Degradation-ladder steps across all compiles.
     pub degradations: u64,
+    /// Sessions closed by the per-session read/write timeout (stalled
+    /// or idle peers reaped by the watchdog).
+    pub sessions_reaped: u64,
+    /// Session threads that panicked and were isolated (the daemon
+    /// stays healthy; the crash is counted here).
+    pub sessions_crashed: u64,
+    /// Inbound frames rejected by the decoder (torn prefix, over-limit
+    /// length, bad UTF-8, malformed JSON, unknown op).
+    pub frames_rejected: u64,
 }
 
 /// A server response.
@@ -383,6 +392,9 @@ impl Response {
                 ("warm_loaded", Json::Num(s.warm_loaded as f64)),
                 ("warm_evicted", Json::Num(s.warm_evicted as f64)),
                 ("degradations", Json::Num(s.degradations as f64)),
+                ("sessions_reaped", Json::Num(s.sessions_reaped as f64)),
+                ("sessions_crashed", Json::Num(s.sessions_crashed as f64)),
+                ("frames_rejected", Json::Num(s.frames_rejected as f64)),
             ]),
             Response::Shutdown => Json::obj(vec![("status", Json::Str("shutdown".into()))]),
         }
@@ -428,6 +440,9 @@ impl Response {
                 warm_loaded: field("warm_loaded")?,
                 warm_evicted: field("warm_evicted")?,
                 degradations: field("degradations")?,
+                sessions_reaped: field("sessions_reaped")?,
+                sessions_crashed: field("sessions_crashed")?,
+                frames_rejected: field("frames_rejected")?,
             }))),
             "ok" => {
                 let cache = match doc.get("cache").and_then(Json::as_str) {
@@ -499,14 +514,28 @@ pub fn write_frame(w: &mut impl Write, doc: &Json) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one length-prefixed JSON frame. Returns `Ok(None)` on a clean
-/// EOF at a frame boundary (the peer closed the connection).
+/// Reads one length-prefixed JSON frame. Returns `Ok(None)` only on a
+/// clean EOF at a frame boundary (the peer closed between frames); a
+/// torn prefix (1–3 bytes then EOF) is an `UnexpectedEof` error, so a
+/// half-written frame is never mistaken for a graceful close. The body
+/// is read incrementally via `Read::take`, so a hostile length prefix
+/// within `MAX_FRAME_BYTES` still only allocates what the peer sends.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
     let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "torn frame length prefix",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
     let len = u32::from_be_bytes(len_buf);
     if len > MAX_FRAME_BYTES {
@@ -515,8 +544,14 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
             "frame length prefix exceeds MAX_FRAME_BYTES",
         ));
     }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
+    let mut body = Vec::new();
+    r.take(len as u64).read_to_end(&mut body)?;
+    if body.len() < len as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "torn frame body",
+        ));
+    }
     let text = String::from_utf8(body)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
     parse(&text)
@@ -583,6 +618,9 @@ mod tests {
             warm_loaded: 2,
             warm_evicted: 1,
             degradations: 1,
+            sessions_reaped: 2,
+            sessions_crashed: 1,
+            frames_rejected: 3,
         }));
         for resp in [ok, retry, err, stats, Response::Shutdown] {
             assert_eq!(Response::from_json(&resp.to_json()).unwrap(), resp);
@@ -612,6 +650,18 @@ mod tests {
         // An absurd length prefix is rejected before allocation.
         let mut cursor = std::io::Cursor::new(vec![0xff, 0xff, 0xff, 0xff]);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn torn_length_prefix_is_an_error_not_a_clean_eof() {
+        for n in 1..4 {
+            let mut cursor = std::io::Cursor::new(vec![0u8; n]);
+            let e = read_frame(&mut cursor).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "{n}-byte prefix");
+        }
+        // Zero bytes is the one clean EOF.
+        let mut cursor = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut cursor).unwrap().is_none());
     }
 
     #[test]

@@ -54,8 +54,15 @@ pub struct ServeConfig {
     pub exec_threads: usize,
     /// Schedule-cache snapshot to load at start and write at shutdown.
     pub snapshot_path: Option<PathBuf>,
-    /// Deterministic fault plan armed on every compile session (tests
-    /// and `faultsim`-style drills; normal serving leaves this unset).
+    /// Per-session socket read/write timeout, ms. A client that stalls
+    /// mid-frame (or sits idle) longer than this is reaped: its session
+    /// thread closes the connection and exits instead of being pinned
+    /// forever. Also the idle-connection reaper — an idle peer's next
+    /// read times out the same way.
+    pub session_timeout_ms: u64,
+    /// Deterministic fault plan armed on every compile session and on
+    /// the serve-layer hooks (tests, `faultsim`/`chaos` drills; normal
+    /// serving leaves this unset).
     pub faults: Option<Arc<FaultInjector>>,
 }
 
@@ -66,6 +73,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             exec_threads: 0,
             snapshot_path: None,
+            session_timeout_ms: 30_000,
             faults: None,
         }
     }
@@ -80,6 +88,9 @@ struct Counters {
     program_compiles: AtomicU64,
     degradations: AtomicU64,
     in_flight: AtomicU64,
+    sessions_reaped: AtomicU64,
+    sessions_crashed: AtomicU64,
+    frames_rejected: AtomicU64,
 }
 
 /// One queued request and the slot its response is delivered through.
@@ -247,7 +258,44 @@ impl ServeCore {
             warm_loaded: warm.loaded as u64,
             warm_evicted: warm.evicted as u64,
             degradations: inner.stats.degradations.load(Ordering::Relaxed),
+            sessions_reaped: inner.stats.sessions_reaped.load(Ordering::Relaxed),
+            sessions_crashed: inner.stats.sessions_crashed.load(Ordering::Relaxed),
+            frames_rejected: inner.stats.frames_rejected.load(Ordering::Relaxed),
         }
+    }
+
+    /// The armed fault injector, when one is configured.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.inner.config.faults.as_ref()
+    }
+
+    /// The configured per-session socket timeout.
+    pub fn session_timeout_ms(&self) -> u64 {
+        self.inner.config.session_timeout_ms
+    }
+
+    /// Counts a session closed by the watchdog (stalled/idle peer).
+    pub fn note_session_reaped(&self) {
+        self.inner
+            .stats
+            .sessions_reaped
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a session thread panic that was isolated.
+    pub fn note_session_crashed(&self) {
+        self.inner
+            .stats
+            .sessions_crashed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an inbound frame the decoder rejected.
+    pub fn note_frame_rejected(&self) {
+        self.inner
+            .stats
+            .frames_rejected
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// The shared schedule cache (inspection and snapshot tests).
@@ -295,7 +343,11 @@ impl ServeCore {
             let _ = h.join();
         }
         if let Some(path) = &self.inner.config.snapshot_path {
-            snapshot::save(&self.inner.cache, path)?;
+            snapshot::save_with_faults(
+                &self.inner.cache,
+                path,
+                self.inner.config.faults.as_deref(),
+            )?;
         }
         Ok(self.stats())
     }
@@ -422,8 +474,10 @@ pub use unix_socket::Server;
 
 #[cfg(unix)]
 mod unix_socket {
+    use super::super::json::Json;
     use super::super::protocol::{read_frame, write_frame, Request, Response};
     use super::{lock, ServeConfig, ServeCore, StatsSnapshot};
+    use crate::resilience::{FaultKind, FaultStage};
     use std::io;
     use std::os::unix::net::{UnixListener, UnixStream};
     use std::path::{Path, PathBuf};
@@ -439,13 +493,28 @@ mod unix_socket {
     }
 
     impl Server {
-        /// Binds the socket (replacing a stale file at `path`) and
-        /// starts the core — including the warm-start snapshot load.
+        /// Binds the socket and starts the core — including the
+        /// warm-start snapshot load. A *stale* socket file (nothing
+        /// accepting on it) is replaced; a socket a live daemon answers
+        /// on fails with `AddrInUse`, so a second daemon can never
+        /// silently hijack a running one.
         pub fn bind(path: &Path, config: ServeConfig) -> io::Result<Server> {
-            match std::fs::remove_file(path) {
-                Ok(()) => {}
+            match UnixStream::connect(path) {
+                Ok(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("a live daemon is already serving on {}", path.display()),
+                    ));
+                }
+                // No socket file: nothing to replace.
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-                Err(e) => return Err(e),
+                // A file exists but no one accepts (e.g. a crashed
+                // daemon's leftover): safe to unlink and rebind.
+                Err(_) => match std::fs::remove_file(path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                },
             }
             let listener = UnixListener::bind(path)?;
             // Nonblocking accept lets the loop poll the shutdown flag.
@@ -501,9 +570,35 @@ mod unix_socket {
         }
     }
 
-    /// One client connection: frames in, frames out, until EOF or a
-    /// `shutdown` request.
+    /// One client connection, with panic isolation: a session thread
+    /// that panics (including an injected [`FaultKind::CrashSession`])
+    /// is counted and its connection dropped — the daemon, its queue,
+    /// and its caches stay healthy because session code never holds a
+    /// core lock across the request dispatch.
     fn session(core: &ServeCore, stream: UnixStream) {
+        // The accept loop holds a dup of this socket (for shutdown), so
+        // dropping the session's handles does not sever the connection
+        // — an explicit shutdown on any exit (reap, drop, panic) does,
+        // immediately unblocking a peer waiting on a response.
+        let cleanup = stream.try_clone().ok();
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session_loop(core, stream)))
+            .is_err()
+        {
+            core.note_session_crashed();
+        }
+        if let Some(s) = cleanup {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// The session body: frames in, frames out, until EOF, a decode
+    /// error, a watchdog timeout, or a `shutdown` request.
+    fn session_loop(core: &ServeCore, stream: UnixStream) {
+        // The watchdog: a peer that stalls mid-frame or sits idle past
+        // the session timeout is reaped instead of pinning this thread.
+        let timeout = Duration::from_millis(core.session_timeout_ms().max(1));
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_write_timeout(Some(timeout));
         let mut reader = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => return,
@@ -513,21 +608,81 @@ mod unix_socket {
             let doc = match read_frame(&mut reader) {
                 Ok(Some(doc)) => doc,
                 Ok(None) => return,
-                Err(_) => return,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    core.note_session_reaped();
+                    return;
+                }
+                Err(_) => {
+                    // Torn prefix, over-limit length, bad UTF-8, or
+                    // malformed JSON: the frame is rejected and the
+                    // connection dropped.
+                    core.note_frame_rejected();
+                    return;
+                }
             };
             let resp = match Request::from_json(&doc) {
-                Err(message) => Response::Error { id: 0, message },
+                Err(message) => {
+                    core.note_frame_rejected();
+                    Response::Error { id: 0, message }
+                }
                 Ok(Request::Stats) => Response::Stats(Box::new(core.stats())),
                 Ok(Request::Shutdown) => {
                     core.request_shutdown();
                     let _ = write_frame(&mut writer, &Response::Shutdown.to_json());
                     return;
                 }
-                Ok(Request::Compile(req)) => core.submit(*req),
+                Ok(Request::Compile(req)) => {
+                    // Serve-session fault hook: after the request frame
+                    // is read, before it is submitted.
+                    if let Some(fault) = core
+                        .faults()
+                        .and_then(|inj| inj.fire_fault(FaultStage::ServeSession, "session"))
+                    {
+                        match fault.kind {
+                            FaultKind::CrashSession => panic!("injected session crash"),
+                            // Close mid-request: no response is written.
+                            _ => return,
+                        }
+                    }
+                    let resp = core.submit(*req);
+                    // Serve-write fault hook: truncate the outbound
+                    // frame at the fault's seeded byte offset and sever.
+                    if let Some(fault) = core
+                        .faults()
+                        .and_then(|inj| inj.fire_fault(FaultStage::ServeWrite, "response"))
+                    {
+                        if fault.kind == FaultKind::TornFrame {
+                            let _ = write_torn_frame(&mut writer, &resp.to_json(), fault.block);
+                            return;
+                        }
+                    }
+                    resp
+                }
             };
             if write_frame(&mut writer, &resp.to_json()).is_err() {
                 return;
             }
         }
+    }
+
+    /// Writes a deliberately truncated frame — the first
+    /// `offset % frame_len` bytes of the length prefix + body — then
+    /// severs the connection. The client must observe a torn frame (or
+    /// a bare close when the cut lands at 0), never a valid response.
+    fn write_torn_frame(w: &mut UnixStream, doc: &Json, offset: usize) -> io::Result<()> {
+        use std::io::Write as _;
+        let body = doc.render();
+        let mut full = Vec::with_capacity(4 + body.len());
+        full.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        full.extend_from_slice(body.as_bytes());
+        let cut = offset % full.len().max(1);
+        w.write_all(&full[..cut])?;
+        w.flush()?;
+        w.shutdown(std::net::Shutdown::Both)
     }
 }

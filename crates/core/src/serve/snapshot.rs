@@ -203,8 +203,30 @@ pub fn render(cache: &ScheduleCache) -> String {
 /// Writes the snapshot atomically (temp file + rename) so a crash
 /// mid-save never leaves a half-written file at `path`.
 pub fn save(cache: &ScheduleCache, path: &Path) -> io::Result<()> {
+    save_with_faults(cache, path, None)
+}
+
+/// [`save`] with a fault-injection hook: a
+/// [`FaultKind::KillDuringSnapshot`](crate::resilience::FaultKind) fault
+/// abandons the write after `fault.block % len` bytes of the temp file
+/// and never renames — simulating a daemon killed mid-snapshot. The
+/// file at `path` is untouched, which is exactly the atomicity claim
+/// the chaos campaign verifies.
+pub fn save_with_faults(
+    cache: &ScheduleCache,
+    path: &Path,
+    faults: Option<&crate::resilience::FaultInjector>,
+) -> io::Result<()> {
+    let text = render(cache);
     let tmp = path.with_extension("tmp");
-    fs::write(&tmp, render(cache))?;
+    if let Some(inj) = faults {
+        if let Some(fault) = inj.fire_fault(crate::resilience::FaultStage::ServeSnapshot, "save") {
+            let cut = fault.block % text.len().max(1);
+            fs::write(&tmp, &text.as_bytes()[..cut])?;
+            return Ok(());
+        }
+    }
+    fs::write(&tmp, text)?;
     fs::rename(&tmp, path)
 }
 

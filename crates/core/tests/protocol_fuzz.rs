@@ -1,0 +1,175 @@
+//! Hostile-bytes fuzzing for the serve wire layer: `read_frame` and
+//! `Request::from_json` must survive arbitrary input without panicking,
+//! without allocating past `MAX_FRAME_BYTES`, and always surfacing a
+//! typed `io::Error` (or a clean EOF) — never undefined behavior.
+
+use sf_tensor::rng::XorShiftRng;
+use spacefusion::serve::json::{self, Json};
+use spacefusion::serve::protocol::{read_frame, Request, MAX_FRAME_BYTES};
+use std::io::{self, Read};
+
+/// A reader that serves a fixed prefix and counts how many bytes the
+/// consumer actually pulled — the oracle for "rejected before the body
+/// was read".
+struct CountingReader {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl CountingReader {
+    fn new(data: Vec<u8>) -> Self {
+        CountingReader { data, pos: 0 }
+    }
+}
+
+impl Read for CountingReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A big-endian length-prefixed frame around `body`.
+fn frame(body: &[u8]) -> Vec<u8> {
+    let mut out = (body.len() as u32).to_be_bytes().to_vec();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Seeded random byte streams: `read_frame` never panics; every outcome
+/// is a typed error, a clean EOF, or a (rare) well-formed frame.
+#[test]
+fn random_byte_streams_never_panic() {
+    let mut rng = XorShiftRng::seed_from_u64(0xF022_0001);
+    for _ in 0..500 {
+        let len = rng.below(512) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        let mut r = CountingReader::new(bytes);
+        match read_frame(&mut r) {
+            Ok(None) | Ok(Some(_)) => {}
+            Err(e) => {
+                // Typed: every error carries a kind and a message.
+                let _ = (e.kind(), e.to_string());
+            }
+        }
+    }
+}
+
+/// Truncating a valid frame at every byte offset yields a clean EOF
+/// (offset 0) or a typed `UnexpectedEof` — never a hang or panic.
+#[test]
+fn truncation_sweep_is_typed() {
+    let whole = frame(br#"{"op":"stats"}"#);
+    for cut in 0..whole.len() {
+        let mut r = CountingReader::new(whole[..cut].to_vec());
+        match read_frame(&mut r) {
+            Ok(None) => assert_eq!(cut, 0, "clean EOF only before any byte"),
+            Ok(Some(_)) => panic!("cut={cut}: truncated frame parsed whole"),
+            Err(e) => {
+                assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "cut={cut}: {e}");
+            }
+        }
+    }
+    // And the untouched frame still parses whole.
+    let mut r = CountingReader::new(whole);
+    let doc = read_frame(&mut r).unwrap().unwrap();
+    assert!(Request::from_json(&doc).is_ok());
+}
+
+/// An oversized length prefix is rejected *before* the body is read —
+/// no multi-gigabyte allocation on a 4-byte lie.
+#[test]
+fn oversized_length_prefix_rejected_before_body() {
+    let mut bytes = (MAX_FRAME_BYTES + 1).to_be_bytes().to_vec();
+    bytes.extend_from_slice(&[b'x'; 64]);
+    let mut r = CountingReader::new(bytes);
+    let err = read_frame(&mut r).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    assert_eq!(r.pos, 4, "only the prefix may be consumed: {}", r.pos);
+
+    // u32::MAX likewise: typed rejection, not an allocation attempt.
+    let mut r = CountingReader::new(u32::MAX.to_be_bytes().to_vec());
+    let err = read_frame(&mut r).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    assert_eq!(r.pos, 4);
+}
+
+/// A prefix claiming more body than the peer delivers reads only what
+/// arrived (incremental `take`-bounded allocation) and errors typed.
+#[test]
+fn short_body_is_unexpected_eof() {
+    let mut bytes = 1024u32.to_be_bytes().to_vec();
+    bytes.extend_from_slice(b"only ten b");
+    let mut r = CountingReader::new(bytes);
+    let err = read_frame(&mut r).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{err}");
+    assert_eq!(r.pos, 14, "everything sent was read, nothing more");
+}
+
+/// Non-UTF-8 bytes in a well-formed frame are a typed `InvalidData`.
+#[test]
+fn non_utf8_body_is_invalid_data() {
+    let mut r = CountingReader::new(frame(&[0xFF, 0xFE, 0x80, 0x81]));
+    let err = read_frame(&mut r).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+}
+
+/// Seeded random JSON-ish documents through the full pipeline
+/// (`json::parse` then `Request::from_json`): no panics, typed errors.
+#[test]
+fn random_json_documents_never_panic() {
+    let alphabet: &[u8] = br#"{}[]",:0123456789.eE+-truefalsenulabc\"#;
+    let mut rng = XorShiftRng::seed_from_u64(0xD0C5_0002);
+    let mut parsed = 0u32;
+    for _ in 0..2000 {
+        let len = rng.below(80) as usize;
+        let doc: String = (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize] as char)
+            .collect();
+        if let Ok(v) = json::parse(&doc) {
+            parsed += 1;
+            // A parse success may still be a malformed request.
+            let _ = Request::from_json(&v);
+        }
+    }
+    assert!(parsed > 0, "the alphabet must produce some valid documents");
+}
+
+/// Structurally valid JSON that is semantically hostile: wrong types,
+/// missing fields, absurd values — `Request::from_json` errors typed,
+/// with a human-readable message.
+#[test]
+fn hostile_request_shapes_error_cleanly() {
+    for doc in [
+        r#"{}"#,
+        r#"{"op":"unknown-verb"}"#,
+        r#"{"op":"compile"}"#,
+        r#"{"op":"compile","id":1,"graph":[1,2,3]}"#,
+        r#"{"op":"compile","graph":"g","arch":"not-an-arch"}"#,
+        r#"{"op":"compile","graph":"g","policy":"not-a-policy"}"#,
+        r#"{"op":"compile","graph":"g","deadline_ms":"soon"}"#,
+        r#"[1,2,3]"#,
+        r#""just a string""#,
+    ] {
+        let v = match json::parse(doc) {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        let err = Request::from_json(&v).unwrap_err();
+        assert!(!err.is_empty(), "error for {doc} must carry a message");
+    }
+}
+
+/// Deeply nested arrays hit the parser depth cap as a typed error —
+/// not a stack overflow.
+#[test]
+fn deep_nesting_is_capped_not_overflowed() {
+    let deep = "[".repeat(json::MAX_JSON_DEPTH * 8);
+    assert!(json::parse(&deep).is_err());
+    // Just under the cap still parses.
+    let ok_depth =
+        "[".repeat(json::MAX_JSON_DEPTH - 1) + "1" + &"]".repeat(json::MAX_JSON_DEPTH - 1);
+    assert!(matches!(json::parse(&ok_depth), Ok(Json::Arr(_))));
+}

@@ -1,0 +1,323 @@
+//! Serve-layer chaos battery: the seeded campaign end-to-end, plus
+//! targeted drills for each defense — session watchdog reaping, panic
+//! isolation, torn-frame retry, bounded retry budgets, and the
+//! bind-probe that refuses to hijack a live daemon.
+
+#![cfg(unix)]
+
+use sf_ir::dsl::print_graph;
+use spacefusion::resilience::{
+    silence_injected_panics, FaultInjector, FaultKind, FaultPlan, FaultStage,
+};
+use spacefusion::serve::{
+    chaos, CompileRequest, Response, RetryPolicy, ServeClient, ServeConfig, Server,
+};
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn sock_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sfc-chaos-{}-{name}.sock", std::process::id()))
+}
+
+fn softmax_req(id: u64) -> CompileRequest {
+    CompileRequest {
+        id,
+        graph: print_graph(&sf_models::subgraphs::softmax(8, 32)),
+        seed: 5,
+        ..CompileRequest::default()
+    }
+}
+
+/// The campaign over 10 seeds covers all five serve fault kinds and
+/// must finish with zero hangs, zero daemon aborts, zero checksum
+/// mismatches, zero snapshot corruptions — and a deterministic report.
+#[test]
+fn chaos_campaign_is_clean_and_deterministic() {
+    let opts = chaos::ChaosOptions {
+        socket: sock_path("campaign"),
+        seeds: 10,
+        seed0: 0,
+        clients: 3,
+        requests: 4,
+        session_timeout_ms: 200,
+    };
+    let a = chaos::run(&opts).unwrap();
+    assert_eq!(a.hangs, 0, "{}", a.text);
+    assert_eq!(a.aborts, 0, "{}", a.text);
+    assert_eq!(a.mismatches, 0, "{}", a.text);
+    assert_eq!(a.snapshot_corruptions, 0, "{}", a.text);
+    for kind in [
+        "torn-frame",
+        "stall-client",
+        "drop-connection",
+        "crash-session",
+        "kill-during-snapshot",
+    ] {
+        assert!(
+            a.text.contains(kind),
+            "10 seeds must exercise '{kind}':\n{}",
+            a.text
+        );
+    }
+    let b = chaos::run(&opts).unwrap();
+    assert_eq!(a.text, b.text, "chaos report must be deterministic");
+}
+
+/// A client that stalls mid-frame is reaped within the session timeout
+/// while another client keeps completing requests with bounded latency
+/// — the slowloris defense.
+#[test]
+fn stalled_client_is_reaped_while_others_complete() {
+    let sock = sock_path("stall");
+    let timeout_ms = 200u64;
+    let server = Server::bind(
+        &sock,
+        ServeConfig {
+            workers: 2,
+            session_timeout_ms: timeout_ms,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let daemon = std::thread::spawn(move || server.run());
+
+    // The staller: two bytes of length prefix, then silence.
+    let staller = {
+        let sock = sock.clone();
+        std::thread::spawn(move || {
+            let mut stream = UnixStream::connect(&sock).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            stream.write_all(&[0u8, 0u8]).unwrap();
+            let start = Instant::now();
+            let mut buf = [0u8; 1];
+            use std::io::Read as _;
+            let n = stream.read(&mut buf).unwrap_or(1);
+            (n, start.elapsed())
+        })
+    };
+
+    // Meanwhile a healthy client completes a burst of requests.
+    let mut client = ServeClient::connect_with_retry(&sock, Duration::from_secs(5)).unwrap();
+    let mut worst = Duration::ZERO;
+    for i in 0..6 {
+        let t = Instant::now();
+        match client.compile(softmax_req(i)).unwrap() {
+            Response::Ok(_) => {}
+            other => panic!("healthy client failed: {other:?}"),
+        }
+        worst = worst.max(t.elapsed());
+    }
+
+    let (n, reap_elapsed) = staller.join().unwrap();
+    assert_eq!(n, 0, "the reap must surface as EOF to the staller");
+    assert!(
+        reap_elapsed >= Duration::from_millis(timeout_ms / 2),
+        "reaped suspiciously early: {reap_elapsed:?}"
+    );
+    assert!(
+        reap_elapsed <= Duration::from_millis(timeout_ms * 50),
+        "reap took too long: {reap_elapsed:?}"
+    );
+    // Bounded worst-case latency for the healthy client: generous, but
+    // rules out the pre-watchdog failure mode (pinned forever).
+    assert!(worst <= Duration::from_secs(20), "worst latency {worst:?}");
+
+    let mut ctl = ServeClient::connect(&sock).unwrap();
+    let stats = ctl.stats().unwrap();
+    // The staller for sure; the healthy client may also be reaped for
+    // idling once its burst is done — that's the idle reaper working.
+    assert!(stats.sessions_reaped >= 1, "{stats:?}");
+    assert_eq!(stats.ok, 6);
+    ctl.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+/// `Server::bind` must refuse to hijack a live daemon (`AddrInUse`) but
+/// still replace a genuinely stale socket file.
+#[test]
+fn bind_refuses_live_daemon_but_replaces_stale_socket() {
+    let sock = sock_path("hijack");
+    let server = Server::bind(&sock, ServeConfig::default()).unwrap();
+    let core = server.core().clone();
+    let daemon = std::thread::spawn(move || server.run());
+    // Wait until the daemon accepts connections.
+    ServeClient::connect_with_retry(&sock, Duration::from_secs(5)).unwrap();
+
+    match Server::bind(&sock, ServeConfig::default()) {
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}"),
+        Ok(_) => panic!("bind must refuse to hijack a live daemon"),
+    }
+
+    core.request_shutdown();
+    daemon.join().unwrap().unwrap();
+    assert!(!sock.exists());
+
+    // A stale socket file — a listener died without unlinking it — is
+    // replaced silently.
+    drop(std::os::unix::net::UnixListener::bind(&sock).unwrap());
+    assert!(sock.exists(), "dropped listener leaves the file behind");
+    let server = Server::bind(&sock, ServeConfig::default()).unwrap();
+    let core = server.core().clone();
+    let daemon = std::thread::spawn(move || server.run());
+    let mut client = ServeClient::connect_with_retry(&sock, Duration::from_secs(5)).unwrap();
+    assert!(matches!(
+        client.compile(softmax_req(1)).unwrap(),
+        Response::Ok(_)
+    ));
+    core.request_shutdown();
+    daemon.join().unwrap().unwrap();
+}
+
+/// An injected session panic is isolated: counted, connection severed,
+/// daemon healthy — and the client recovers through its retry budget.
+#[test]
+fn session_crash_is_isolated_and_client_recovers() {
+    silence_injected_panics();
+    let sock = sock_path("crash");
+    let faults = Arc::new(FaultInjector::new(FaultPlan::single(
+        FaultStage::ServeSession,
+        FaultKind::CrashSession,
+    )));
+    let server = Server::bind(
+        &sock,
+        ServeConfig {
+            workers: 2,
+            faults: Some(Arc::clone(&faults)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let mut client = ServeClient::connect_with_retry(&sock, Duration::from_secs(5))
+        .unwrap()
+        .with_retry(RetryPolicy {
+            attempts: 4,
+            base_backoff_ms: 2,
+            seed: 1,
+        });
+    match client.compile_with_retry(softmax_req(3)).unwrap() {
+        Response::Ok(ok) => assert_eq!(ok.id, 3),
+        other => panic!("retry must recover from the crash: {other:?}"),
+    }
+    assert_eq!(client.retries(), 1, "exactly one resend");
+    assert_eq!(faults.fired().len(), 1);
+
+    let mut ctl = ServeClient::connect(&sock).unwrap();
+    let stats = ctl.stats().unwrap();
+    assert_eq!(stats.sessions_crashed, 1, "{stats:?}");
+    assert_eq!(stats.ok, 1);
+    ctl.shutdown().unwrap();
+    let final_stats = daemon.join().unwrap().unwrap();
+    assert_eq!(final_stats.sessions_crashed, 1);
+}
+
+/// A torn response frame (truncated at the seeded byte offset) is
+/// detected as a typed transport error and recovered by reconnect +
+/// resend — with bit-identical results.
+#[test]
+fn torn_frame_recovers_with_identical_bits() {
+    let sock = sock_path("torn");
+    let mut plan = FaultPlan::single(FaultStage::ServeWrite, FaultKind::TornFrame);
+    plan.faults[0].block = 37;
+    let faults = Arc::new(FaultInjector::new(plan));
+    let server = Server::bind(
+        &sock,
+        ServeConfig {
+            workers: 2,
+            faults: Some(Arc::clone(&faults)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let core = server.core().clone();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let mut client = ServeClient::connect_with_retry(&sock, Duration::from_secs(5))
+        .unwrap()
+        .with_retry(RetryPolicy::default());
+    let first = match client.compile_with_retry(softmax_req(8)).unwrap() {
+        Response::Ok(ok) => ok,
+        other => panic!("retry must recover from the torn frame: {other:?}"),
+    };
+    assert_eq!(client.retries(), 1);
+    // The recovered answer matches an untouched second request bitwise.
+    let second = match client.compile_with_retry(softmax_req(8)).unwrap() {
+        Response::Ok(ok) => ok,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(first.outputs, second.outputs);
+    assert_eq!(client.retries(), 1, "no further retries needed");
+
+    core.request_shutdown();
+    daemon.join().unwrap().unwrap();
+}
+
+/// The retry budget is bounded: a client hammering a full queue gets
+/// its shed back (typed, not a hang) once the attempts run out.
+#[test]
+fn retry_budget_is_bounded_on_persistent_sheds() {
+    let sock = sock_path("budget");
+    let server = Server::bind(
+        &sock,
+        ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let core = server.core().clone();
+    let daemon = std::thread::spawn(move || server.run());
+
+    // Pin the single worker on a held gate and fill the one queue slot.
+    let held = {
+        let sock = sock.clone();
+        std::thread::spawn(move || {
+            let mut c = ServeClient::connect_with_retry(&sock, Duration::from_secs(5)).unwrap();
+            let mut req = softmax_req(100);
+            req.hold = Some("g".into());
+            c.compile(req)
+        })
+    };
+    while core.in_flight() != 1 {
+        std::thread::yield_now();
+    }
+    let queued = {
+        let sock = sock.clone();
+        std::thread::spawn(move || {
+            let mut c = ServeClient::connect_with_retry(&sock, Duration::from_secs(5)).unwrap();
+            c.compile(softmax_req(101))
+        })
+    };
+    while core.queued() != 1 {
+        std::thread::yield_now();
+    }
+
+    // Every attempt sheds; the budget must surface the shed, bounded.
+    let mut client = ServeClient::connect(&sock)
+        .unwrap()
+        .with_retry(RetryPolicy {
+            attempts: 3,
+            base_backoff_ms: 1,
+            seed: 9,
+        });
+    match client.compile_with_retry(softmax_req(102)).unwrap() {
+        Response::Retry { id, .. } => assert_eq!(id, 102),
+        other => panic!("expected the shed back after the budget: {other:?}"),
+    }
+    assert_eq!(client.retries(), 2, "attempts - 1 retries");
+
+    core.release_gate("g");
+    assert!(matches!(held.join().unwrap(), Ok(Response::Ok(_))));
+    assert!(matches!(queued.join().unwrap(), Ok(Response::Ok(_))));
+    core.request_shutdown();
+    let stats = daemon.join().unwrap().unwrap();
+    assert_eq!(stats.ok, 2);
+    assert!(stats.sheds >= 3, "{stats:?}");
+}

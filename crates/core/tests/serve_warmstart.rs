@@ -214,3 +214,84 @@ fn serve_restart_recovers_from_corrupt_snapshot() {
     core.shutdown().unwrap();
     std::fs::remove_file(&snap).ok();
 }
+
+/// Crash-consistency: a daemon killed *during* the snapshot write — at
+/// any seeded byte offset — leaves the previous snapshot intact,
+/// because the write goes to a temp file and the rename never happens.
+/// The next lifetime warm-starts from the old file with zero evictions.
+#[test]
+fn kill_during_snapshot_always_leaves_old_snapshot_intact() {
+    use spacefusion::resilience::{FaultInjector, FaultKind, FaultPlan, FaultStage};
+
+    let snap = tmp_path("killsnap.sfcache");
+    std::fs::remove_file(&snap).ok();
+    let reqs: Vec<CompileRequest> = graphs()
+        .iter()
+        .enumerate()
+        .map(|(i, g)| CompileRequest {
+            id: i as u64,
+            graph: print_graph(g),
+            seed: 70 + i as u64,
+            ..CompileRequest::default()
+        })
+        .collect();
+
+    // Lifetime 0: clean shutdown establishes the "old" snapshot.
+    let core = ServeCore::start(ServeConfig {
+        workers: 2,
+        snapshot_path: Some(snap.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    for r in &reqs {
+        core.submit(r.clone());
+    }
+    core.shutdown().unwrap();
+    let old_text = std::fs::read_to_string(&snap).unwrap();
+    let old_loaded = {
+        let warm = Arc::new(ScheduleCache::new());
+        snapshot::load_str(&warm, &old_text).loaded
+    };
+    assert!(old_loaded >= 1);
+
+    // Kill the snapshot write at a sweep of seeded byte offsets. Every
+    // lifetime k: warm-start must load the *old* file whole (proving
+    // the previous kill never clobbered it), then die mid-save again.
+    for offset_seed in 0..8u64 {
+        let mut plan = FaultPlan::single(FaultStage::ServeSnapshot, FaultKind::KillDuringSnapshot);
+        plan.faults[0].block = (offset_seed * 997 + 13) as usize;
+        let core = ServeCore::start(ServeConfig {
+            workers: 2,
+            snapshot_path: Some(snap.clone()),
+            faults: Some(Arc::new(FaultInjector::new(plan))),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let stats = core.stats();
+        assert_eq!(
+            stats.warm_evicted, 0,
+            "offset {offset_seed}: old snapshot must be intact"
+        );
+        assert_eq!(stats.warm_loaded as usize, old_loaded);
+        for r in &reqs {
+            core.submit(r.clone());
+        }
+        core.shutdown().unwrap();
+        // The kill left the old file byte-identical; the partial write
+        // only ever reached the temp file.
+        assert_eq!(std::fs::read_to_string(&snap).unwrap(), old_text);
+    }
+
+    // One clean lifetime at the end: still warm, and shutdown replaces
+    // the temp-file debris with a healthy snapshot.
+    let core = ServeCore::start(ServeConfig {
+        workers: 2,
+        snapshot_path: Some(snap.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let stats = core.shutdown().unwrap();
+    assert_eq!(stats.warm_evicted, 0);
+    std::fs::remove_file(&snap).ok();
+    std::fs::remove_file(snap.with_extension("tmp")).ok();
+}

@@ -115,12 +115,32 @@ done
 wait "$SERVE_PID"
 rm -f "$SERVE_SOCK" "$SERVE_SNAP"
 
+echo "==> sfc chaos smoke (25 seeds x all five serve fault kinds, 0 hangs / 0 aborts)"
+CHAOS_SOCK=target/chaos-smoke.sock
+rm -f "$CHAOS_SOCK"
+./target/release/sfc chaos "$CHAOS_SOCK" --seeds 25 > target/CHAOS_smoke.txt \
+    || { echo "verify: FAIL — chaos campaign was not clean"; \
+         cat target/CHAOS_smoke.txt; exit 1; }
+grep -q "0 hang(s)" target/CHAOS_smoke.txt \
+    || { echo "verify: FAIL — chaos report missing its zero-hang line"; exit 1; }
+grep -q "0 abort(s)" target/CHAOS_smoke.txt \
+    || { echo "verify: FAIL — chaos report missing its zero-abort line"; exit 1; }
+
+echo "==> sfc chaos determinism (same seeds -> identical report)"
+./target/release/sfc chaos "$CHAOS_SOCK" --seeds 25 > target/CHAOS_smoke2.txt
+diff target/CHAOS_smoke.txt target/CHAOS_smoke2.txt \
+    || { echo "verify: FAIL — chaos report is not deterministic"; exit 1; }
+
 echo "==> no-new-unwrap gate (pipeline/, resilience/, serve/, cli deny unwrap/expect)"
 for m in pipeline resilience serve; do
     grep -B1 "^pub mod $m;" crates/core/src/lib.rs \
         | grep -q "deny(clippy::unwrap_used, clippy::expect_used)" \
         || { echo "verify: FAIL — lib.rs lost the unwrap/expect deny gate on '$m'"; exit 1; }
 done
+# The serve gate must keep covering the chaos submodule (the deny
+# attribute on `pub mod serve;` applies to the whole subtree).
+grep -q "^pub mod chaos;" crates/core/src/serve/mod.rs \
+    || { echo "verify: FAIL — serve/mod.rs lost the chaos module"; exit 1; }
 for m in driver printer; do
     grep -B1 "^pub mod $m;" crates/cli/src/lib.rs \
         | grep -q "deny(clippy::unwrap_used, clippy::expect_used)" \
